@@ -1,0 +1,122 @@
+// Fast Fourier transform.
+// Generated from lib/workloads/fft.ml -- run with:
+//   dune exec bin/spd.exe -- run examples/kernels/fft.c -p spec -w 5
+
+double reduce_angle(double x) {
+  /* reduce into [-pi, pi] */
+  int k;
+  k = (int)(x / 6.283185307179586);
+  x = x - k * 6.283185307179586;
+  if (x > 3.141592653589793) x = x - 6.283185307179586;
+  if (x < -3.141592653589793) x = x + 6.283185307179586;
+  return x;
+}
+
+double my_sin(double xin) {
+  double x; double x2; double term; double sum;
+  int k;
+  x = reduce_angle(xin);
+  x2 = x * x;
+  term = x;
+  sum = x;
+  for (k = 1; k < 10; k = k + 1) {
+    term = -term * x2 / ((2.0 * k) * (2.0 * k + 1.0));
+    sum = sum + term;
+  }
+  return sum;
+}
+
+double my_cos(double xin) {
+  double x; double x2; double term; double sum;
+  int k;
+  x = reduce_angle(xin);
+  x2 = x * x;
+  term = 1.0;
+  sum = 1.0;
+  for (k = 1; k < 10; k = k + 1) {
+    term = -term * x2 / ((2.0 * k - 1.0) * (2.0 * k));
+    sum = sum + term;
+  }
+  return sum;
+}
+
+double my_sqrt(double x) {
+  double r;
+  int k;
+  if (x <= 0.0) return 0.0;
+  r = x;
+  if (r > 1.0) r = x * 0.5 + 0.5;
+  for (k = 0; k < 30; k = k + 1) {
+    r = 0.5 * (r + x / r);
+  }
+  return r;
+}
+
+void fft(double xr[], double xi[], int n, int isign) {
+  int i; int j; int k; int m;
+  int mmax; int istep;
+  double tr; double ti; double wr; double wi; double wpr; double wpi;
+  double wtemp; double theta;
+  /* bit reversal */
+  j = 0;
+  for (i = 0; i < n; i = i + 1) {
+    if (i < j) {
+      tr = xr[i]; xr[i] = xr[j]; xr[j] = tr;
+      ti = xi[i]; xi[i] = xi[j]; xi[j] = ti;
+    }
+    k = n / 2;
+    while (k >= 1 && j >= k) {
+      j = j - k;
+      k = k / 2;
+    }
+    j = j + k;
+  }
+  /* Danielson-Lanczos */
+  mmax = 1;
+  while (mmax < n) {
+    istep = mmax * 2;
+    theta = isign * 3.141592653589793 / mmax;
+    wtemp = my_sin(0.5 * theta);
+    wpr = -2.0 * wtemp * wtemp;
+    wpi = my_sin(theta);
+    wr = 1.0;
+    wi = 0.0;
+    for (m = 0; m < mmax; m = m + 1) {
+      for (i = m; i < n; i = i + istep) {
+        j = i + mmax;
+        tr = wr * xr[j] - wi * xi[j];
+        ti = wr * xi[j] + wi * xr[j];
+        xr[j] = xr[i] - tr;
+        xi[j] = xi[i] - ti;
+        xr[i] = xr[i] + tr;
+        xi[i] = xi[i] + ti;
+      }
+      wtemp = wr;
+      wr = wr * wpr - wi * wpi + wr;
+      wi = wi * wpr + wtemp * wpi + wi;
+    }
+    mmax = istep;
+  }
+}
+
+double re[64];
+double im[64];
+
+int main() {
+  int i;
+  double chk;
+  for (i = 0; i < 64; i = i + 1) {
+    re[i] = my_sin(0.35 * i) + 0.25 * my_cos(1.1 * i);
+    im[i] = 0.0;
+  }
+  fft(re, im, 64, 1);
+  chk = 0.0;
+  for (i = 0; i < 64; i = i + 1) {
+    chk = chk + re[i] * (i + 1) * 0.01 + im[i] * 0.005 * i;
+  }
+  /* round trip: the inverse transform recovers the input, scaled by n */
+  fft(re, im, 64, -1);
+  chk = chk + re[5] / 64.0 + re[17] / 64.0;
+  print_float(chk);
+  return (int)chk;
+}

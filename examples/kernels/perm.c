@@ -1,0 +1,44 @@
+// Recursive permutation program.
+// Generated from lib/workloads/perm.ml -- run with:
+//   dune exec bin/spd.exe -- run examples/kernels/perm.c -p spec -w 5
+
+int permarray[8];
+int pctr = 0;
+
+void swap_elems(int v[], int a, int b) {
+  int t;
+  t = v[a];
+  v[a] = v[b];
+  v[b] = t;
+}
+
+void permute(int n) {
+  int k;
+  pctr = pctr + 1;
+  if (n != 0) {
+    permute(n - 1);
+    for (k = n - 1; k >= 0; k = k - 1) {
+      swap_elems(permarray, n, k);
+      permute(n - 1);
+      swap_elems(permarray, n, k);
+    }
+  }
+}
+
+int main() {
+  int i; int trial; int chk;
+  chk = 0;
+  for (trial = 0; trial < 3; trial = trial + 1) {
+    for (i = 0; i < 8; i = i + 1) {
+      permarray[i] = i;
+    }
+    pctr = 0;
+    permute(6);
+    chk = chk + pctr;
+  }
+  for (i = 0; i < 8; i = i + 1) {
+    chk = chk + permarray[i] * (i + 1);
+  }
+  print_int(chk);
+  return chk;
+}

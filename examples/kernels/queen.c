@@ -1,0 +1,44 @@
+// Eight queens problem.
+// Generated from lib/workloads/queen.ml -- run with:
+//   dune exec bin/spd.exe -- run examples/kernels/queen.c -p spec -w 5
+
+int acol[8];
+int bdiag[15];
+int cdiag[15];
+int solutions = 0;
+
+void try_row(int row) {
+  int col; int free_;
+  for (col = 0; col < 8; col = col + 1) {
+    free_ = acol[col] == 0 && bdiag[row + col] == 0
+            && cdiag[row - col + 7] == 0;
+    if (free_) {
+      acol[col] = 1;
+      bdiag[row + col] = 1;
+      cdiag[row - col + 7] = 1;
+      if (row == 7) {
+        solutions = solutions + 1;
+      } else {
+        try_row(row + 1);
+      }
+      acol[col] = 0;
+      bdiag[row + col] = 0;
+      cdiag[row - col + 7] = 0;
+    }
+  }
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 8; i = i + 1) {
+    acol[i] = 0;
+  }
+  for (i = 0; i < 15; i = i + 1) {
+    bdiag[i] = 0;
+    cdiag[i] = 0;
+  }
+  solutions = 0;
+  try_row(0);
+  print_int(solutions);
+  return solutions;
+}

@@ -1,0 +1,149 @@
+// Smoothing of data.
+// Generated from lib/workloads/smooft.ml -- run with:
+//   dune exec bin/spd.exe -- run examples/kernels/smooft.c -p spec -w 5
+
+double reduce_angle(double x) {
+  /* reduce into [-pi, pi] */
+  int k;
+  k = (int)(x / 6.283185307179586);
+  x = x - k * 6.283185307179586;
+  if (x > 3.141592653589793) x = x - 6.283185307179586;
+  if (x < -3.141592653589793) x = x + 6.283185307179586;
+  return x;
+}
+
+double my_sin(double xin) {
+  double x; double x2; double term; double sum;
+  int k;
+  x = reduce_angle(xin);
+  x2 = x * x;
+  term = x;
+  sum = x;
+  for (k = 1; k < 10; k = k + 1) {
+    term = -term * x2 / ((2.0 * k) * (2.0 * k + 1.0));
+    sum = sum + term;
+  }
+  return sum;
+}
+
+double my_cos(double xin) {
+  double x; double x2; double term; double sum;
+  int k;
+  x = reduce_angle(xin);
+  x2 = x * x;
+  term = 1.0;
+  sum = 1.0;
+  for (k = 1; k < 10; k = k + 1) {
+    term = -term * x2 / ((2.0 * k - 1.0) * (2.0 * k));
+    sum = sum + term;
+  }
+  return sum;
+}
+
+double my_sqrt(double x) {
+  double r;
+  int k;
+  if (x <= 0.0) return 0.0;
+  r = x;
+  if (r > 1.0) r = x * 0.5 + 0.5;
+  for (k = 0; k < 30; k = k + 1) {
+    r = 0.5 * (r + x / r);
+  }
+  return r;
+}
+
+void fft(double xr[], double xi[], int n, int isign) {
+  int i; int j; int k; int m;
+  int mmax; int istep;
+  double tr; double ti; double wr; double wi; double wpr; double wpi;
+  double wtemp; double theta;
+  /* bit reversal */
+  j = 0;
+  for (i = 0; i < n; i = i + 1) {
+    if (i < j) {
+      tr = xr[i]; xr[i] = xr[j]; xr[j] = tr;
+      ti = xi[i]; xi[i] = xi[j]; xi[j] = ti;
+    }
+    k = n / 2;
+    while (k >= 1 && j >= k) {
+      j = j - k;
+      k = k / 2;
+    }
+    j = j + k;
+  }
+  /* Danielson-Lanczos */
+  mmax = 1;
+  while (mmax < n) {
+    istep = mmax * 2;
+    theta = isign * 3.141592653589793 / mmax;
+    wtemp = my_sin(0.5 * theta);
+    wpr = -2.0 * wtemp * wtemp;
+    wpi = my_sin(theta);
+    wr = 1.0;
+    wi = 0.0;
+    for (m = 0; m < mmax; m = m + 1) {
+      for (i = m; i < n; i = i + istep) {
+        j = i + mmax;
+        tr = wr * xr[j] - wi * xi[j];
+        ti = wr * xi[j] + wi * xr[j];
+        xr[j] = xr[i] - tr;
+        xi[j] = xi[i] - ti;
+        xr[i] = xr[i] + tr;
+        xi[i] = xi[i] + ti;
+      }
+      wtemp = wr;
+      wr = wr * wpr - wi * wpi + wr;
+      wi = wi * wpr + wtemp * wpi + wi;
+    }
+    mmax = istep;
+  }
+}
+
+double sr[64];
+double si[64];
+double win[64];
+double orig[64];
+
+/* attenuate; the stores to r[]/q[] are ambiguously aliased with the
+   loads from w[] that follow in the same body */
+void window_pass(double r[], double q[], double w[], int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    r[i] = r[i] * w[i];
+    q[i] = q[i] * w[i];
+  }
+}
+
+void smooft(double r[], double q[], double w[], int n) {
+  int i;
+  fft(r, q, n, 1);
+  window_pass(r, q, w, n);
+  fft(r, q, n, -1);
+  for (i = 0; i < n; i = i + 1) {
+    r[i] = r[i] / n;
+    q[i] = q[i] / n;
+  }
+}
+
+int main() {
+  int i; int f;
+  double chk; double c;
+  for (i = 0; i < 64; i = i + 1) {
+    /* a smooth signal plus alternating "noise" */
+    sr[i] = my_sin(0.2 * i) + 0.3 * (i % 2) - 0.15;
+    si[i] = 0.0;
+    orig[i] = sr[i];
+    /* raised-cosine low-pass window over frequency bins */
+    f = i;
+    if (f > 32) f = 64 - f;
+    c = my_cos(3.141592653589793 * f / 32.0);
+    win[i] = 0.25 * (1.0 + c) * (1.0 + c);
+  }
+  smooft(sr, si, win, 64);
+  chk = 0.0;
+  for (i = 0; i < 64; i = i + 1) {
+    chk = chk + (sr[i] - orig[i]) * (sr[i] - orig[i]) + sr[i] * 0.01 * i;
+  }
+  print_float(chk);
+  return (int)(chk * 10.0);
+}
