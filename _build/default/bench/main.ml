@@ -1,0 +1,125 @@
+(** Benchmark harness.
+
+    [dune exec bench/main.exe] regenerates every table and figure of the
+    paper's evaluation section (section 6) from this reproduction:
+
+    - Table 6-1  operation latencies (machine configuration)
+    - Table 6-2  benchmark inventory
+    - Table 6-3  frequency of SpD application by dependence type
+    - Table 6-4  the four disambiguators
+    - Figure 6-2 speedup over NAIVE on a 5-FU machine (2 & 6 cycle memory)
+    - Figure 6-3 speedup of SPEC over STATIC vs machine width (NRC)
+    - Figure 6-4 code size increase due to SpD
+
+    Subcommands select individual artefacts; [micro] additionally runs
+    Bechamel micro-benchmarks of the compiler passes themselves. *)
+
+module Report = Spd_harness.Report
+
+let ppf = Fmt.stdout
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the tool chain *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let kernel = (Spd_workloads.Registry.by_name "moment").source in
+  let lowered = Spd_lang.Lower.compile kernel in
+  let naive = Spd_analysis.Memarcs.annotate (Spd_analysis.Forwarding.run lowered) in
+  let static = Spd_disambig.Static_disambig.run naive in
+  let a_tree =
+    (* the largest tree with ambiguous arcs, for pass-level benches *)
+    let best = ref None in
+    Spd_ir.Prog.iter_trees
+      (fun _ t ->
+        if Spd_ir.Tree.ambiguous_arcs t <> [] then
+          match !best with
+          | Some b when Spd_ir.Tree.size b >= Spd_ir.Tree.size t -> ()
+          | _ -> best := Some t)
+      static;
+    Option.get !best
+  in
+  let tests =
+    [
+      Test.make ~name:"frontend: parse+check+lower"
+        (Staged.stage (fun () -> Spd_lang.Lower.compile kernel));
+      Test.make ~name:"analysis: memory arcs"
+        (Staged.stage (fun () -> Spd_analysis.Memarcs.annotate lowered));
+      Test.make ~name:"disambig: GCD/Banerjee"
+        (Staged.stage (fun () -> Spd_disambig.Static_disambig.run naive));
+      Test.make ~name:"ddg: build+asap"
+        (Staged.stage (fun () ->
+             Spd_analysis.Ddg.asap
+               (Spd_analysis.Ddg.build ~mem_latency:2 a_tree)));
+      Test.make ~name:"scheduler: 4-wide list schedule"
+        (Staged.stage (fun () ->
+             let g = Spd_analysis.Ddg.build ~mem_latency:2 a_tree in
+             Spd_machine.Scheduler.run ~fus:4 g));
+      Test.make ~name:"spd: heuristic on program"
+        (Staged.stage (fun () ->
+             Spd_core.Heuristic.run ~mem_latency:2 static));
+      Test.make ~name:"simulator: full run"
+        (Staged.stage (fun () -> Spd_sim.Interp.run lowered));
+    ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw =
+    Benchmark.all cfg [ Instance.monotonic_clock ]
+      (Test.make_grouped ~name:"passes" tests)
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Fmt.pf ppf "@.Micro-benchmarks of the tool chain (ns/run)@.";
+  Fmt.pf ppf "%s@." (String.make 60 '-');
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) -> (name, est) :: acc
+        | _ -> acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, est) -> Fmt.pf ppf "%-44s %12.0f@." name est)
+    rows;
+  Fmt.pf ppf "%s@." (String.make 60 '-')
+
+(* ------------------------------------------------------------------ *)
+
+let artefacts =
+  [
+    ("table6_1", Report.table6_1);
+    ("table6_2", Report.table6_2);
+    ("table6_3", Report.table6_3);
+    ("table6_4", Report.table6_4);
+    ("fig6_2", Report.fig6_2);
+    ("fig6_3", Report.fig6_3);
+    ("fig6_4", Report.fig6_4);
+    ("ext_dynamic", Spd_harness.Extensions.ext_dynamic);
+    ("ext_grafting", Spd_harness.Extensions.ext_grafting);
+    ("ext_params", Spd_harness.Extensions.ext_params);
+  ]
+
+let usage () =
+  Fmt.pf ppf "usage: main.exe [all|micro%a]@."
+    (Fmt.list ~sep:Fmt.nop (fun ppf (n, _) -> Fmt.pf ppf "|%s" n))
+    artefacts
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] | [ _; "all" ] ->
+      Report.all ppf ();
+      Spd_harness.Extensions.all ppf ();
+      micro ()
+  | [ _; "micro" ] -> micro ()
+  | [ _; name ] -> (
+      match List.assoc_opt name artefacts with
+      | Some f -> f ppf ()
+      | None -> usage ())
+  | _ -> usage ()

@@ -1,0 +1,266 @@
+(** The [spd] command-line tool.
+
+    {v
+    spd compile FILE [--pipeline P] [--mem-latency N]   dump the decision-tree IR
+    spd run     FILE [--pipeline P] [--width W] ...     compile, simulate, time
+    spd bench   NAME [--mem-latency N]                  one built-in benchmark, all pipelines
+    spd report  [ARTEFACT]                              regenerate the paper's tables/figures
+    spd list                                            list built-in benchmarks
+    v}
+
+    [FILE] is a mini-C source file; [P] is one of naive, static, spec,
+    perfect (default spec). *)
+
+open Cmdliner
+module Pipeline = Spd_harness.Pipeline
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let pipeline_conv =
+  let parse = function
+    | "naive" -> Ok Pipeline.Naive
+    | "static" -> Ok Pipeline.Static
+    | "spec" -> Ok Pipeline.Spec
+    | "perfect" -> Ok Pipeline.Perfect
+    | s -> Error (`Msg (Printf.sprintf "unknown pipeline %S" s))
+  in
+  Arg.conv (parse, Pipeline.pp)
+
+let pipeline_arg =
+  Arg.(
+    value
+    & opt pipeline_conv Pipeline.Spec
+    & info [ "p"; "pipeline" ] ~docv:"PIPELINE"
+        ~doc:"Disambiguation pipeline: naive, static, spec or perfect.")
+
+let mem_latency_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "m"; "mem-latency" ] ~docv:"CYCLES"
+        ~doc:"Memory latency in cycles (the paper uses 2 and 6).")
+
+let width_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "w"; "width" ] ~docv:"FUS"
+        ~doc:
+          "Number of universal functional units (default: infinite \
+           machine).")
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Mini-C source file.")
+
+let handle_errors f =
+  try f () with
+  | Spd_lang.Lexer.Error (msg, line) ->
+      Fmt.epr "lexical error, line %d: %s@." line msg;
+      exit 1
+  | Spd_lang.Parser.Error (msg, line) ->
+      Fmt.epr "syntax error, line %d: %s@." line msg;
+      exit 1
+  | Spd_lang.Typecheck.Error msg ->
+      Fmt.epr "type error: %s@." msg;
+      exit 1
+  | Spd_lang.Lower.Error msg ->
+      Fmt.epr "lowering error: %s@." msg;
+      exit 1
+  | Spd_sim.Interp.Runtime_error msg ->
+      Fmt.epr "runtime error: %s@." msg;
+      exit 1
+
+let prepare_src ~mem_latency pipeline src =
+  Pipeline.prepare ~mem_latency pipeline (Spd_lang.Lower.compile src)
+
+(* ------------------------------------------------------------------ *)
+
+let compile_cmd =
+  let run file pipeline mem_latency =
+    handle_errors (fun () ->
+        let p = prepare_src ~mem_latency pipeline (read_file file) in
+        Fmt.pr "%a@." Spd_ir.Prog.pp p.prog;
+        if p.applications <> [] then begin
+          Fmt.pr "@.SpD applications:@.";
+          List.iter
+            (fun (a : Spd_core.Heuristic.application) ->
+              Fmt.pr "  %s tree %d: %a arc #%d->#%d gain %.2f cost %d@."
+                a.func a.tree_id Spd_ir.Memdep.pp_kind a.kind (fst a.arc)
+                (snd a.arc) a.predicted_gain a.cost)
+            p.applications
+        end)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a mini-C file and dump the IR.")
+    Term.(const run $ file_arg $ pipeline_arg $ mem_latency_arg)
+
+let run_cmd =
+  let run file pipeline mem_latency width =
+    handle_errors (fun () ->
+        let p = prepare_src ~mem_latency pipeline (read_file file) in
+        let descr =
+          {
+            Spd_machine.Descr.width =
+              (match width with
+              | None -> Spd_machine.Descr.Infinite
+              | Some n -> Spd_machine.Descr.Fus n);
+            mem_latency;
+          }
+        in
+        let timing = Spd_machine.Timing_builder.program descr p.prog in
+        let r = Spd_sim.Interp.run ~timing p.prog in
+        List.iter (fun v -> Fmt.pr "%a@." Spd_ir.Value.pp v) r.output;
+        Fmt.pr "return      %a@." Spd_ir.Value.pp r.ret;
+        Fmt.pr "machine     %a (%a)@." Spd_machine.Descr.pp descr Pipeline.pp
+          pipeline;
+        Fmt.pr "traversals  %d@." r.traversals;
+        Fmt.pr "cycles      %d@." r.cycles)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Compile, disambiguate, schedule and simulate a mini-C file.")
+    Term.(const run $ file_arg $ pipeline_arg $ mem_latency_arg $ width_arg)
+
+let bench_cmd =
+  let run name mem_latency width =
+    handle_errors (fun () ->
+        let w = Spd_workloads.Registry.by_name name in
+        let width =
+          match width with
+          | None -> Spd_machine.Descr.Fus 5
+          | Some n -> Spd_machine.Descr.Fus n
+        in
+        Fmt.pr "%-10s %-30s@." w.name w.description;
+        Fmt.pr "%-8s %10s %10s@." "pipeline" "cycles" "speedup";
+        let lowered = Spd_lang.Lower.compile w.source in
+        let base = ref 0 in
+        List.iter
+          (fun kind ->
+            let p = Pipeline.prepare ~mem_latency kind lowered in
+            let cycles = Pipeline.cycles p ~width in
+            if kind = Pipeline.Naive then base := cycles;
+            Fmt.pr "%-8s %10d %9.1f%%@." (Pipeline.name kind) cycles
+              (100.0 *. Pipeline.speedup ~base:!base ~this:cycles))
+          Pipeline.all)
+  in
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Benchmark name (see $(b,spd list)).")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Run one built-in benchmark under all four pipelines.")
+    Term.(const run $ name_arg $ mem_latency_arg $ width_arg)
+
+let report_cmd =
+  let artefacts =
+    [
+      ("table6_1", Spd_harness.Report.table6_1);
+      ("table6_2", Spd_harness.Report.table6_2);
+      ("table6_3", Spd_harness.Report.table6_3);
+      ("table6_4", Spd_harness.Report.table6_4);
+      ("fig6_2", Spd_harness.Report.fig6_2);
+      ("fig6_3", Spd_harness.Report.fig6_3);
+      ("fig6_4", Spd_harness.Report.fig6_4);
+      ("ext_dynamic", Spd_harness.Extensions.ext_dynamic);
+      ("ext_grafting", Spd_harness.Extensions.ext_grafting);
+      ("ext_params", Spd_harness.Extensions.ext_params);
+    ]
+  in
+  let run name =
+    match name with
+    | None -> Spd_harness.Report.all Fmt.stdout ()
+    | Some n -> (
+        match List.assoc_opt n artefacts with
+        | Some f -> f Fmt.stdout ()
+        | None ->
+            Fmt.epr "unknown artefact %s (one of: %s)@." n
+              (String.concat ", " (List.map fst artefacts));
+            exit 1)
+  in
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"ARTEFACT"
+          ~doc:"Table or figure to regenerate (default: all).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Regenerate the paper's evaluation tables and figures.")
+    Term.(const run $ name_arg)
+
+let graph_cmd =
+  let run file pipeline mem_latency func tree_id =
+    handle_errors (fun () ->
+        let p = prepare_src ~mem_latency pipeline (read_file file) in
+        (* default: the tree with the most active memory arcs *)
+        let best = ref None in
+        Spd_ir.Prog.iter_trees
+          (fun f (t : Spd_ir.Tree.t) ->
+            let matches =
+              (match func with Some n -> n = f | None -> true)
+              && match tree_id with Some i -> i = t.id | None -> true
+            in
+            if matches then
+              let n = List.length (Spd_ir.Tree.active_arcs t) in
+              match !best with
+              | Some (m, _) when m >= n -> ()
+              | _ -> best := Some (n, t))
+          p.prog;
+        match !best with
+        | None -> Fmt.epr "no matching tree@."; exit 1
+        | Some (_, t) ->
+            let g = Spd_analysis.Ddg.build ~mem_latency t in
+            Fmt.pr "%a@." Spd_analysis.Ddg.pp_dot g)
+  in
+  let func_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "function" ] ~docv:"NAME" ~doc:"Restrict to a function.")
+  in
+  let tree_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "t"; "tree" ] ~docv:"ID" ~doc:"Select a tree id.")
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:
+         "Emit the dependence graph of a tree in Graphviz DOT format           (default: the tree with the most memory arcs).")
+    Term.(
+      const run $ file_arg $ pipeline_arg $ mem_latency_arg $ func_arg
+      $ tree_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (w : Spd_workloads.Workload.t) ->
+        Fmt.pr "%-10s %-9s %s@." w.name
+          (Spd_workloads.Workload.suite_name w.suite)
+          w.description)
+      Spd_workloads.Registry.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the built-in benchmarks.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "spd" ~version:"1.0.0"
+      ~doc:
+        "Speculative disambiguation for a guarded VLIW: compiler, \
+         scheduler, simulator and the ISCA'94 experiments."
+  in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; bench_cmd; report_cmd; graph_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/alias_explorer.ml: Fmt List Spd_analysis Spd_disambig Spd_ir Spd_lang

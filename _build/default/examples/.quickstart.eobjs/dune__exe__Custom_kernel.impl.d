@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Array Fmt Fun List Spd_harness Spd_lang Spd_machine Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Spd_harness Spd_ir Spd_lang Spd_machine

@@ -1,0 +1,1 @@
+examples/vliw_pipeline.ml: Array Fmt Fun List Option Spd_analysis Spd_core Spd_harness Spd_ir Spd_lang Spd_machine Spd_workloads Sys

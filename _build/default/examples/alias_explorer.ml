@@ -1,0 +1,158 @@
+(** Alias explorer: query the static disambiguator (GCD + Banerjee over
+    affine address forms) on classic subscript pairs, including the
+    paper's Example 2-2 whose alias probability is exactly 0.01.
+
+    Run with: [dune exec examples/alias_explorer.exe] *)
+
+module Alias = Spd_disambig.Alias
+module Affine = Spd_analysis.Affine
+
+(* Each scenario is a tiny loop with two references; we compile it, find
+   the pair inside the loop tree, and ask the oracle. *)
+let scenarios =
+  [
+    ( "paper Example 2-2: a[2i] vs a[i+4], i in [1,100]",
+      {|
+double a[300];
+int main() {
+  int i; double y;
+  y = 0.0;
+  for (i = 1; i <= 100; i = i + 1) {
+    a[2 * i] = y;
+    y = y + a[i + 4];
+  }
+  return (int)y;
+}
+|} );
+    ( "disjoint strides: a[2i] vs a[2i+1]",
+      {|
+double a[300];
+int main() {
+  int i; double y;
+  y = 0.0;
+  for (i = 0; i < 100; i = i + 1) {
+    a[2 * i] = y;
+    y = y + a[2 * i + 1];
+  }
+  return (int)y;
+}
+|} );
+    ( "identical subscripts: a[i+1] vs a[i+1]",
+      {|
+double a[300];
+int main() {
+  int i; double y;
+  y = 0.0;
+  for (i = 0; i < 100; i = i + 1) {
+    y = y + a[i + 1] * 0.5;
+    a[i + 1] = y;
+  }
+  return (int)y;
+}
+|} );
+    ( "distinct globals: a[i] vs b[j] (any subscripts)",
+      {|
+double a[100];
+double b[100];
+int main() {
+  int i; double y;
+  y = 0.0;
+  for (i = 0; i < 100; i = i + 1) {
+    a[i] = y;
+    y = y + b[i * 7 % 13];
+  }
+  return (int)y;
+}
+|} );
+    ( "pointer parameters: p[i] vs q[i] (the hard case)",
+      {|
+double a[100];
+double b[100];
+double f(double p[], double q[], int n) {
+  int i; double y;
+  y = 0.0;
+  for (i = 0; i < n; i = i + 1) {
+    p[i] = y;
+    y = y + q[i];
+  }
+  return y;
+}
+int main() { return (int)f(a, b, 100); }
+|} );
+    ( "same-iteration constant distance: a[i] vs a[i+200]",
+      {|
+double a[400];
+double f(int n) {
+  int i; double y;
+  y = 0.0;
+  for (i = 0; i < n; i = i + 1) {
+    a[i] = y;
+    y = y + a[i + 200];
+  }
+  return y;
+}
+int main() { return (int)f(100); }
+|} );
+    ( "loop bound from a parameter: a[2i] vs a[i+200], i < n",
+      {|
+double a[700];
+double f(int n) {
+  int i; double y;
+  y = 0.0;
+  for (i = 0; i < n; i = i + 1) {
+    a[2 * i] = y;
+    y = y + a[i + 200];
+  }
+  return y;
+}
+int main() { return (int)f(100); }
+|} );
+    ( "same pair with literal bounds: a[2i] vs a[i+200], i < 100",
+      {|
+double a[700];
+int main() {
+  int i; double y;
+  y = 0.0;
+  for (i = 0; i < 100; i = i + 1) {
+    a[2 * i] = y;
+    y = y + a[i + 200];
+  }
+  return (int)y;
+}
+|} );
+  ]
+
+(* The first tree containing a store and a load, with the oracle's answer
+   for that pair. *)
+let analyze src =
+  let prog =
+    Spd_analysis.Forwarding.run (Spd_lang.Lower.compile src)
+  in
+  let answer = ref None in
+  Spd_ir.Prog.iter_trees
+    (fun _ tree ->
+      if !answer = None then begin
+        let mems = Spd_ir.Tree.mem_insns tree in
+        let stores = List.filter Spd_ir.Insn.is_store mems in
+        let loads = List.filter Spd_ir.Insn.is_load mems in
+        match (stores, loads) with
+        | store :: _, load :: _ ->
+            let env = Affine.analyze tree in
+            answer := Some (Alias.query tree env store load)
+        | _ -> ()
+      end)
+    prog;
+  !answer
+
+let () =
+  Fmt.pr "Static disambiguation oracle (GCD + Banerjee over affine forms)@.@.";
+  List.iter
+    (fun (name, src) ->
+      match analyze src with
+      | Some a -> Fmt.pr "%-55s -> %a@." name Alias.pp_answer a
+      | None -> Fmt.pr "%-55s -> (no store/load pair found)@." name)
+    scenarios;
+  Fmt.pr
+    "@.'no' arcs are deleted by STATIC; 'must' arcs can never be removed;@.\
+     'unknown' arcs are what speculative disambiguation attacks at run \
+     time.@."

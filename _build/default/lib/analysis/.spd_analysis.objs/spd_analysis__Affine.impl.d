@@ -1,0 +1,1 @@
+lib/analysis/affine.ml: Array Fmt Insn Int Interval List Map Opcode Reg Spd_ir Stdlib Tree Value

@@ -1,0 +1,1 @@
+lib/analysis/ddg.ml: Array Fmt Hashtbl Insn List Memdep Opcode Spd_ir String Tree

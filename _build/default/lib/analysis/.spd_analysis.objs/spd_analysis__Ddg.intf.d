@@ -1,0 +1,1 @@
+lib/analysis/ddg.mli: Format Spd_ir

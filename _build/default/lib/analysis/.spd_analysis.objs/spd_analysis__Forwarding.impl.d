@@ -1,0 +1,1 @@
+lib/analysis/forwarding.ml: Array Hashtbl Insn List Opcode Option Prog Reg Spd_ir Tree

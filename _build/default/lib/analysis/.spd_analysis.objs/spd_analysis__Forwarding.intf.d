@@ -1,0 +1,1 @@
+lib/analysis/forwarding.mli: Spd_ir

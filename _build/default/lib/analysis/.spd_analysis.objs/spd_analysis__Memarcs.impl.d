@@ -1,0 +1,1 @@
+lib/analysis/memarcs.ml: Array Insn List Memdep Prog Spd_ir Tree

@@ -1,0 +1,1 @@
+lib/analysis/memarcs.mli: Spd_ir

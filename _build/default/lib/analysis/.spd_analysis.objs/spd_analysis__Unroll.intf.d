@@ -1,0 +1,1 @@
+lib/analysis/unroll.mli: Spd_ir

@@ -1,0 +1,194 @@
+(** Data dependence graph of a decision tree, and the infinite-machine
+    (ASAP) timing derived from it.
+
+    Nodes are the tree's instructions plus its exit branches.  Edges:
+
+    - register flow: producer -> consumer, weighted by the producer's
+      latency (guard registers are consumers like any other source);
+    - active memory dependence arcs, weighted per {!Spd_ir.Memdep.weight}
+      (a RAW arc costs a full memory latency — removing it is where SpD's
+      win comes from);
+    - the exit priority chain: a branch may not resolve before the
+      branches of higher priority (weight 0: same-cycle issue is fine, the
+      machine evaluates exit guards in priority order).
+
+    With unlimited functional units the earliest issue time of every node
+    is the longest-path distance from the tree's entry; this is the
+    paper's "cycle-level infinite machine simulator" timing. *)
+
+open Spd_ir
+
+type t = {
+  tree : Tree.t;
+  mem_latency : int;
+  n_insns : int;
+  n_exits : int;
+  preds : (int * int) list array;
+      (** per node: (predecessor node, edge weight) *)
+  succs : (int * int) list array;
+}
+
+let n_nodes g = g.n_insns + g.n_exits
+
+let insn_node pos = pos
+let exit_node g k = g.n_insns + k
+
+(** Build the dependence graph.  Only arcs for which [arc_active] holds
+    constrain the graph; by default that is {!Spd_ir.Memdep.is_active}. *)
+let build ?(arc_active = Memdep.is_active) ~mem_latency (tree : Tree.t) : t =
+  let n_insns = Array.length tree.insns in
+  let n_exits = Array.length tree.exits in
+  let g =
+    {
+      tree;
+      mem_latency;
+      n_insns;
+      n_exits;
+      preds = Array.make (n_insns + n_exits) [];
+      succs = Array.make (n_insns + n_exits) [];
+    }
+  in
+  let add_edge src dst w =
+    g.preds.(dst) <- (src, w) :: g.preds.(dst);
+    g.succs.(src) <- (dst, w) :: g.succs.(src)
+  in
+  (* register flow *)
+  let def_pos = Hashtbl.create 16 in
+  Array.iteri
+    (fun pos (insn : Insn.t) ->
+      List.iter (fun d -> Hashtbl.replace def_pos d pos) (Insn.defs insn))
+    tree.insns;
+  let flow_into node uses =
+    List.iter
+      (fun r ->
+        match Hashtbl.find_opt def_pos r with
+        | Some p ->
+            let w =
+              Opcode.latency ~mem_latency tree.insns.(p).Insn.op
+            in
+            add_edge (insn_node p) node w
+        | None -> () (* parameter: available at cycle 0 *))
+      uses
+  in
+  Array.iteri
+    (fun pos insn -> flow_into (insn_node pos) (Insn.uses insn))
+    tree.insns;
+  Array.iteri
+    (fun k e -> flow_into (exit_node g k) (Tree.exit_uses e))
+    tree.exits;
+  (* memory dependence arcs *)
+  List.iter
+    (fun (arc : Memdep.t) ->
+      if arc_active arc then
+        let si = Tree.insn_index tree arc.src
+        and di = Tree.insn_index tree arc.dst in
+        add_edge (insn_node si) (insn_node di) (Memdep.weight ~mem_latency arc))
+    tree.arcs;
+  (* exit priority chain *)
+  for k = 1 to n_exits - 1 do
+    add_edge (exit_node g (k - 1)) (exit_node g k) 0
+  done;
+  g
+
+(** Latency of a node: its opcode latency, or the branch latency for
+    exits. *)
+let node_latency g node =
+  if node < g.n_insns then
+    Opcode.latency ~mem_latency:g.mem_latency g.tree.insns.(node).Insn.op
+  else Opcode.branch_latency
+
+(** Earliest issue time of every node on an unbounded machine.  Node order
+    is topological by construction (definitions precede uses, arcs point
+    forward, the exit chain is ordered). *)
+let asap (g : t) : int array =
+  let issue = Array.make (n_nodes g) 0 in
+  for node = 0 to n_nodes g - 1 do
+    List.iter
+      (fun (p, w) -> issue.(node) <- max issue.(node) (issue.(p) + w))
+      g.preds.(node)
+  done;
+  issue
+
+(** Longest path from each node to the end of the tree (used as the list
+    scheduler's priority: schedule critical nodes first). *)
+let height (g : t) : int array =
+  let h = Array.make (n_nodes g) 0 in
+  for node = n_nodes g - 1 downto 0 do
+    h.(node) <- node_latency g node;
+    List.iter
+      (fun (s, w) -> h.(node) <- max h.(node) (w + h.(s)))
+      g.succs.(node)
+  done;
+  h
+
+(** Completion times on the unbounded machine, directly consumable as a
+    timing table entry: instruction completions by position, exit
+    completions by exit index. *)
+let asap_completion (g : t) : int array * int array =
+  let issue = asap g in
+  let insn_completion =
+    Array.init g.n_insns (fun pos -> issue.(pos) + node_latency g pos)
+  in
+  let exit_completion =
+    Array.init g.n_exits (fun k ->
+        issue.(exit_node g k) + Opcode.branch_latency)
+  in
+  (insn_completion, exit_completion)
+
+(* ------------------------------------------------------------------ *)
+(* Graphviz export *)
+
+(** Render the dependence graph in DOT format: solid edges are register
+    flow, bold red edges are memory dependence arcs (dashed when
+    ambiguous), dotted edges are the exit priority chain.  Feed to
+    [dot -Tsvg] to inspect what constrains a tree's schedule. *)
+let pp_dot ppf (g : t) =
+  let tree = g.tree in
+  Fmt.pf ppf "digraph %S {@." tree.name;
+  Fmt.pf ppf "  rankdir=TB; node [shape=box, fontname=monospace];@.";
+  Array.iteri
+    (fun pos (insn : Insn.t) ->
+      Fmt.pf ppf "  n%d [label=\"#%d %s\"%s];@." pos insn.id
+        (String.map (function '"' -> '\'' | c -> c)
+           (Fmt.str "%a" Insn.pp insn))
+        (if Insn.is_mem insn then ", style=filled, fillcolor=lightyellow"
+         else ""))
+    tree.insns;
+  Array.iteri
+    (fun k e ->
+      Fmt.pf ppf "  x%d [label=\"exit %d: %s\", shape=oval];@." k k
+        (String.map (function '"' -> '\'' | c -> c)
+           (Fmt.str "%a" Tree.pp_exit e)))
+    tree.exits;
+  let mem_edges = Hashtbl.create 8 in
+  List.iter
+    (fun (arc : Memdep.t) ->
+      if Memdep.is_active arc then begin
+        let sp = Tree.insn_index tree arc.src
+        and dp = Tree.insn_index tree arc.dst in
+        Hashtbl.replace mem_edges (sp, dp) arc
+      end)
+    tree.arcs;
+  let node_name n = if n < g.n_insns then Fmt.str "n%d" n else Fmt.str "x%d" (n - g.n_insns) in
+  Array.iteri
+    (fun src succs ->
+      List.iter
+        (fun (dst, w) ->
+          let attrs =
+            if src < g.n_insns && dst < g.n_insns then
+              match Hashtbl.find_opt mem_edges (src, dst) with
+              | Some arc ->
+                  Fmt.str
+                    "color=red, penwidth=2%s, label=\"%a w=%d\""
+                    (if Memdep.is_ambiguous arc then ", style=dashed" else "")
+                    Memdep.pp_kind arc.kind w
+              | None -> Fmt.str "label=\"%d\"" w
+            else if src >= g.n_insns && dst >= g.n_insns then
+              "style=dotted"
+            else Fmt.str "label=\"%d\"" w
+          in
+          Fmt.pf ppf "  %s -> %s [%s];@." (node_name src) (node_name dst)
+            attrs)
+        succs)
+    g.succs;
+  Fmt.pf ppf "}@."

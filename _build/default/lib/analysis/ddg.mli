@@ -1,0 +1,59 @@
+(** Data dependence graph of a decision tree, and the infinite-machine
+    (ASAP) timing derived from it.
+
+    Nodes are the tree's instructions plus its exit branches.  Edges:
+
+    - register flow: producer -> consumer, weighted by the producer's
+      latency (guard registers are consumers like any other source);
+    - active memory dependence arcs, weighted per {!Spd_ir.Memdep.weight}
+      (a RAW arc costs a full memory latency — removing it is where SpD's
+      win comes from);
+    - the exit priority chain: a branch may not resolve before the
+      branches of higher priority (weight 0: same-cycle issue is fine, the
+      machine evaluates exit guards in priority order).
+
+    With unlimited functional units the earliest issue time of every node
+    is the longest-path distance from the tree's entry; this is the
+    paper's "cycle-level infinite machine simulator" timing. *)
+
+type t = {
+  tree : Spd_ir.Tree.t;
+  mem_latency : int;
+  n_insns : int;
+  n_exits : int;
+  preds : (int * int) list array;
+  succs : (int * int) list array;
+}
+val n_nodes : t -> int
+val insn_node : 'a -> 'a
+val exit_node : t -> int -> int
+
+(** Build the dependence graph.  Only arcs for which [arc_active] holds
+    constrain the graph; by default that is {!Spd_ir.Memdep.is_active}. *)
+val build :
+  ?arc_active:(Spd_ir.Memdep.t -> bool) ->
+  mem_latency:int -> Spd_ir.Tree.t -> t
+
+(** Latency of a node: its opcode latency, or the branch latency for
+    exits. *)
+val node_latency : t -> int -> int
+
+(** Earliest issue time of every node on an unbounded machine.  Node order
+    is topological by construction (definitions precede uses, arcs point
+    forward, the exit chain is ordered). *)
+val asap : t -> int array
+
+(** Longest path from each node to the end of the tree (used as the list
+    scheduler's priority: schedule critical nodes first). *)
+val height : t -> int array
+
+(** Completion times on the unbounded machine, directly consumable as a
+    timing table entry: instruction completions by position, exit
+    completions by exit index. *)
+val asap_completion : t -> int array * int array
+
+(** Render the dependence graph in DOT format: register-flow edges with
+    latency weights, memory dependence arcs in red (dashed when
+    ambiguous), and the dotted exit priority chain.  Feed to
+    [dot -Tsvg]. *)
+val pp_dot : Format.formatter -> t -> unit

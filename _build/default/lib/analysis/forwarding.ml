@@ -1,0 +1,74 @@
+(** Store-to-load forwarding and redundant-load elimination.
+
+    A conservative, syntactic pass any optimizing compiler performs (and
+    the paper's LIFE C compiler certainly did): within one tree,
+
+    - a load whose address register was just stored through (with no
+      possibly-aliasing store in between) takes the stored value directly;
+    - a load from the same address register as an earlier load (with no
+      store in between) reuses the earlier result.
+
+    "Possibly aliasing" is judged syntactically: any unguarded store to a
+    different address register, or any guarded store at all, invalidates
+    everything.  Without this pass, the must-alias reload chains dominate
+    every critical path and hide the ambiguous arcs SpD targets. *)
+
+open Spd_ir
+
+let run_tree (tree : Tree.t) : Tree.t =
+  let subst : Reg.t Reg.Map.t ref = ref Reg.Map.empty in
+  let lookup r =
+    match Reg.Map.find_opt r !subst with Some r' -> r' | None -> r
+  in
+  (* available values by address register *)
+  let stored : (Reg.t, Reg.t) Hashtbl.t = Hashtbl.create 8 in
+  let loaded : (Reg.t, Reg.t) Hashtbl.t = Hashtbl.create 8 in
+  let kept = ref [] in
+  Array.iter
+    (fun (insn : Insn.t) ->
+      let insn =
+        {
+          insn with
+          srcs = List.map lookup insn.srcs;
+          guard =
+            Option.map
+              (fun (g : Insn.guard) -> { g with greg = lookup g.greg })
+              insn.guard;
+        }
+      in
+      match insn.op with
+      | Opcode.Load -> (
+          let addr = Insn.addr insn in
+          let forwarded =
+            match Hashtbl.find_opt stored addr with
+            | Some v -> Some v
+            | None -> Hashtbl.find_opt loaded addr
+          in
+          match forwarded with
+          | Some v ->
+              subst := Reg.Map.add (Option.get insn.dst) v !subst
+          | None ->
+              Hashtbl.replace loaded addr (Option.get insn.dst);
+              kept := insn :: !kept)
+      | Opcode.Store ->
+          (match insn.guard with
+          | None ->
+              Hashtbl.reset stored;
+              Hashtbl.reset loaded;
+              Hashtbl.replace stored (Insn.addr insn) (Insn.store_value insn)
+          | Some _ ->
+              (* a conditional store may or may not clobber: forget all *)
+              Hashtbl.reset stored;
+              Hashtbl.reset loaded);
+          kept := insn :: !kept
+      | _ -> kept := insn :: !kept)
+    tree.insns;
+  let exits = Array.map (Tree.map_exit_regs lookup) tree.exits in
+  { tree with insns = Array.of_list (List.rev !kept); exits }
+
+(** Apply forwarding to every tree.  Must run before memory dependence
+    arcs are built (it deletes loads). *)
+let run (prog : Prog.t) : Prog.t =
+  let prog = Prog.map_trees (fun _ t -> run_tree t) prog in
+  Prog.validate prog;
+  prog

@@ -1,0 +1,20 @@
+(** Store-to-load forwarding and redundant-load elimination.
+
+    A conservative, syntactic pass any optimizing compiler performs (and
+    the paper's LIFE C compiler certainly did): within one tree,
+
+    - a load whose address register was just stored through (with no
+      possibly-aliasing store in between) takes the stored value directly;
+    - a load from the same address register as an earlier load (with no
+      store in between) reuses the earlier result.
+
+    "Possibly aliasing" is judged syntactically: any unguarded store to a
+    different address register, or any guarded store at all, invalidates
+    everything.  Without this pass, the must-alias reload chains dominate
+    every critical path and hide the ambiguous arcs SpD targets. *)
+
+val run_tree : Spd_ir.Tree.t -> Spd_ir.Tree.t
+
+(** Apply forwarding to every tree.  Must run before memory dependence
+    arcs are built (it deletes loads). *)
+val run : Spd_ir.Prog.t -> Spd_ir.Prog.t

@@ -1,0 +1,39 @@
+(** Construction of the initial (fully conservative) memory dependence
+    arcs of a tree: one arc for every program-ordered pair of memory
+    operations of which at least one is a store.  All arcs start out
+    [Ambiguous]; the disambiguators refine them. *)
+
+open Spd_ir
+
+let build_tree (tree : Tree.t) : Tree.t =
+  let mems =
+    Array.to_list tree.insns
+    |> List.filter Insn.is_mem
+  in
+  let rec pairs acc = function
+    | [] -> acc
+    | x :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc y ->
+              if Insn.is_store x || Insn.is_store y then
+                {
+                  Memdep.src = x.Insn.id;
+                  dst = y.Insn.id;
+                  kind =
+                    Memdep.kind_of_ops ~src_is_store:(Insn.is_store x)
+                      ~dst_is_store:(Insn.is_store y);
+                  status = Memdep.Ambiguous None;
+                }
+                :: acc
+              else acc)
+            acc rest
+        in
+        pairs acc rest
+  in
+  { tree with arcs = List.rev (pairs [] mems) }
+
+(** Annotate every tree of the program; this produces the NAIVE
+    configuration. *)
+let annotate (prog : Prog.t) : Prog.t =
+  Prog.map_trees (fun _ t -> build_tree t) prog

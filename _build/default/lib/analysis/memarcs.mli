@@ -1,0 +1,10 @@
+(** Construction of the initial (fully conservative) memory dependence
+    arcs of a tree: one arc for every program-ordered pair of memory
+    operations of which at least one is a store.  All arcs start out
+    [Ambiguous]; the disambiguators refine them. *)
+
+val build_tree : Spd_ir.Tree.t -> Spd_ir.Tree.t
+
+(** Annotate every tree of the program; this produces the NAIVE
+    configuration. *)
+val annotate : Spd_ir.Prog.t -> Spd_ir.Prog.t

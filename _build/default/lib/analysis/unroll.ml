@@ -1,0 +1,170 @@
+(** Tree grafting by loop unrolling.
+
+    The paper's section 7 names tree enlargement ("grafting") as the lever
+    for exposing more SpD opportunities: trees in integer codes are often
+    too small to contain a pair of ambiguous references.  This pass
+    implements the loop form of grafting: a canonical self-looping tree
+
+    {v  [pc -> self(args)] [-> after(args0)]  v}
+
+    is replicated in place.  The second body copy reads the back-edge
+    arguments of the first, its side effects are additionally guarded by
+    the first copy's back-edge condition, and the tree gains a third,
+    intermediate exit.  The result is still a decision tree (single entry,
+    prioritized exits) with twice the SpD surface.
+
+    Runs before memory-arc construction; arcs are built afresh on the
+    enlarged tree. *)
+
+open Spd_ir
+
+(** Recognize the canonical single-tree loop produced by the frontend. *)
+let self_loop (tree : Tree.t) :
+    (Insn.guard * Reg.t list * Tree.exit) option =
+  match tree.exits with
+  | [| { xguard = Some g; kind = Jump { target; args } }; fall |]
+    when target = tree.id ->
+      Some (g, args, fall)
+  | _ -> None
+
+let unroll_once (tree : Tree.t) : Tree.t option =
+  match self_loop tree with
+  | None -> None
+  | Some (g1, back_args, fall) ->
+      let gen = Reg.Gen.above (Reg.Set.elements (Tree.all_regs tree)) in
+      let next_id = ref (Tree.max_insn_id tree + 1) in
+      let fresh_id () =
+        let id = !next_id in
+        incr next_id;
+        id
+      in
+      (* copy-2 substitution: parameters take the back-edge arguments *)
+      let subst = Hashtbl.create 16 in
+      List.iter2
+        (fun p a -> Hashtbl.replace subst p a)
+        tree.params back_args;
+      let lookup r =
+        match Hashtbl.find_opt subst r with Some r' -> r' | None -> r
+      in
+      (* the first copy's continue condition as a value *)
+      let extra = ref [] in
+      let g1_val =
+        if g1.positive then g1.greg
+        else begin
+          let d = Reg.Gen.fresh gen in
+          extra :=
+            Insn.make ~id:(fresh_id ()) Opcode.Not ~dst:(Some d)
+              ~srcs:[ g1.greg ]
+            :: !extra;
+          d
+        end
+      in
+      let guard_with_g1 (guard : Insn.guard option) : Insn.guard option =
+        match guard with
+        | None -> Some { Insn.greg = g1_val; positive = true }
+        | Some g ->
+            let gv =
+              if g.positive then lookup g.greg
+              else begin
+                let d = Reg.Gen.fresh gen in
+                extra :=
+                  Insn.make ~id:(fresh_id ()) Opcode.Not ~dst:(Some d)
+                    ~srcs:[ lookup g.greg ]
+                  :: !extra;
+                d
+              end
+            in
+            let d = Reg.Gen.fresh gen in
+            extra :=
+              Insn.make ~id:(fresh_id ()) (Opcode.Ibin Opcode.And)
+                ~dst:(Some d) ~srcs:[ gv; g1_val ]
+              :: !extra;
+            Some { Insn.greg = d; positive = true }
+      in
+      let copy2 =
+        Array.to_list tree.insns
+        |> List.map (fun (insn : Insn.t) ->
+               let guard =
+                 if Opcode.has_side_effect insn.op then
+                   guard_with_g1 insn.guard
+                 else None
+               in
+               let srcs = List.map lookup insn.srcs in
+               let dst =
+                 Option.map
+                   (fun d ->
+                     let d' = Reg.Gen.fresh gen in
+                     Hashtbl.replace subst d d';
+                     d')
+                   insn.dst
+               in
+               let i =
+                 Insn.make ~id:(fresh_id ()) ?guard insn.op ~dst ~srcs
+               in
+               let pending = List.rev !extra in
+               extra := [];
+               (pending, i))
+      in
+      let copy2_insns = List.concat_map (fun (p, i) -> p @ [ i ]) copy2 in
+      (* combined continue condition: g1 && g2' *)
+      let g2' =
+        match self_loop tree with
+        | Some (g2, _, _) -> { g2 with Insn.greg = lookup g2.greg }
+        | None -> assert false
+      in
+      let g2_val =
+        if g2'.positive then [ (g2'.Insn.greg, []) ]
+        else begin
+          let d = Reg.Gen.fresh gen in
+          [
+            ( d,
+              [
+                Insn.make ~id:(fresh_id ()) Opcode.Not ~dst:(Some d)
+                  ~srcs:[ g2'.Insn.greg ];
+              ] );
+          ]
+        end
+      in
+      let g2_reg, g2_insns = List.hd g2_val in
+      let g12 = Reg.Gen.fresh gen in
+      let g12_insn =
+        Insn.make ~id:(fresh_id ()) (Opcode.Ibin Opcode.And) ~dst:(Some g12)
+          ~srcs:[ g1_val; g2_reg ]
+      in
+      let back_args' = List.map lookup back_args in
+      let fall2 = Tree.map_exit_regs lookup fall in
+      let insns =
+        Array.of_list
+          (Array.to_list tree.insns
+          @ copy2_insns @ g2_insns @ [ g12_insn ])
+      in
+      let exits =
+        [|
+          {
+            Tree.xguard = Some { Insn.greg = g12; positive = true };
+            kind = Tree.Jump { target = tree.id; args = back_args' };
+          };
+          { Tree.xguard = Some { g1 with Insn.greg = g1.greg }; kind = fall2.kind };
+          fall;
+        |]
+      in
+      let tree' = { tree with insns; exits; arcs = [] } in
+      Tree.validate tree';
+      Some tree'
+
+(** Unroll every canonical loop tree of the program [factor - 1] times
+    (factor 2 = one replication).  Trees larger than [max_tree_size]
+    operations are left alone to bound code growth. *)
+let run ?(factor = 2) ?(max_tree_size = 120) (prog : Prog.t) : Prog.t =
+  let prog' =
+    Prog.map_trees
+      (fun _ tree ->
+        let rec go t k =
+          if k <= 1 || Tree.size t > max_tree_size then t
+          else match unroll_once t with None -> t | Some t' -> go t' (k - 1)
+        in
+        go tree factor)
+      prog
+  in
+  Prog.validate prog';
+  prog'

@@ -1,0 +1,29 @@
+(** Tree grafting by loop unrolling.
+
+    The paper's section 7 names tree enlargement ("grafting") as the lever
+    for exposing more SpD opportunities: trees in integer codes are often
+    too small to contain a pair of ambiguous references.  This pass
+    implements the loop form of grafting: a canonical self-looping tree
+
+    {v  [pc -> self(args)] [-> after(args0)]  v}
+
+    is replicated in place.  The second body copy reads the back-edge
+    arguments of the first, its side effects are additionally guarded by
+    the first copy's back-edge condition, and the tree gains a third,
+    intermediate exit.  The result is still a decision tree (single entry,
+    prioritized exits) with twice the SpD surface.
+
+    Runs before memory-arc construction; arcs are built afresh on the
+    enlarged tree. *)
+
+
+(** Recognize the canonical single-tree loop produced by the frontend. *)
+val self_loop :
+  Spd_ir.Tree.t ->
+  (Spd_ir.Insn.guard * Spd_ir.Reg.t list * Spd_ir.Tree.exit) option
+val unroll_once : Spd_ir.Tree.t -> Spd_ir.Tree.t option
+
+(** Unroll every canonical loop tree of the program [factor - 1] times
+    (factor 2 = one replication).  Trees larger than [max_tree_size]
+    operations are left alone to bound code growth. *)
+val run : ?factor:int -> ?max_tree_size:int -> Spd_ir.Prog.t -> Spd_ir.Prog.t

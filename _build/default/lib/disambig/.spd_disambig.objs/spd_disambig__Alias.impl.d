@@ -1,0 +1,1 @@
+lib/disambig/alias.ml: Banerjee Fmt Gcd_test Insn Int List Spd_analysis Spd_ir Tree

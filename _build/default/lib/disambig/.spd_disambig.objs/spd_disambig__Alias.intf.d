@@ -1,0 +1,1 @@
+lib/disambig/alias.mli: Format Spd_analysis Spd_ir

@@ -1,0 +1,1 @@
+lib/disambig/banerjee.ml: Interval Reg Spd_analysis Spd_ir Tree

@@ -1,0 +1,1 @@
+lib/disambig/banerjee.mli: Spd_analysis Spd_ir

@@ -1,0 +1,1 @@
+lib/disambig/gcd_test.ml: List

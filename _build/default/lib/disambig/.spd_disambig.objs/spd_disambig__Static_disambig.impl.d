@@ -1,0 +1,1 @@
+lib/disambig/static_disambig.ml: Alias List Memdep Prog Spd_analysis Spd_ir Spd_sim Tree

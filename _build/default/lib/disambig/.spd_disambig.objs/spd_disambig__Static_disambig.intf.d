@@ -1,0 +1,1 @@
+lib/disambig/static_disambig.mli: Spd_analysis Spd_ir Spd_sim

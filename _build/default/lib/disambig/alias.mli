@@ -1,0 +1,24 @@
+(** The static alias oracle.
+
+    Combines the distinct-object rule, the GCD test and the Banerjee
+    inequalities over symbolic affine address forms, answering for a pair
+    of addresses exactly the three-way question of the paper's section 2.2:
+
+    - [No]: never the same address;
+    - [Must]: always the same address (the difference is identically 0);
+    - [Unknown p]: possibly aliased, with an estimated alias probability
+      when the subscript equation admits one. *)
+
+module Affine = Spd_analysis.Affine
+type answer = No | Must | Unknown of float option
+val equal_answer : answer -> answer -> bool
+val pp_answer : Format.formatter -> answer -> unit
+
+(** Compare two affine address forms within a tree. *)
+val query_forms : Spd_ir.Tree.t -> Affine.t -> Affine.t -> answer
+
+(** Compare the addresses of two memory instructions of [tree] under the
+    affine environment [env] (from {!Spd_analysis.Affine.analyze}). *)
+val query :
+  Spd_ir.Tree.t ->
+  Affine.t Spd_ir.Reg.Map.t -> Spd_ir.Insn.t -> Spd_ir.Insn.t -> answer

@@ -1,0 +1,47 @@
+(** The Banerjee bounds test.
+
+    Where the GCD test reasons over unrestricted integers, the Banerjee
+    inequalities bound the dependence-equation difference using the known
+    ranges of the symbols (for us: induction variables with static loop
+    bounds).  If the interval of [f1 - f2] excludes zero, the references
+    are independent. *)
+
+open Spd_ir
+module Affine = Spd_analysis.Affine
+
+(** Interval of an affine difference under the tree's parameter ranges. *)
+let bounds (tree : Tree.t) (diff : Affine.t) : Interval.t =
+  Affine.range tree diff
+
+(** True when the bounds prove the difference never vanishes. *)
+let proves_independent tree diff =
+  Interval.excludes_zero (bounds tree diff)
+
+(** Exact refinement for a single-symbol difference [c1*s + c0] with a
+    finite range for [s]: either pinpoint the unique solution (returning
+    the alias probability [1 / |range|] under a uniform traversal of the
+    range) or prove independence.
+
+    Returns [None] when the difference does not have this shape. *)
+let single_symbol_probability (tree : Tree.t) (diff : Affine.t) : [ `No | `Prob of float ] option =
+  match Affine.Sym_map.bindings diff.terms with
+  | [ (s, c1) ] -> (
+      let iv =
+        match s with
+        | Affine.Sreg r -> (
+            match Reg.Map.find_opt r tree.ranges with
+            | Some iv -> iv
+            | None -> Interval.top)
+        | Affine.Sglobal _ | Affine.Sframe -> Interval.top
+      in
+      match Interval.cardinal iv with
+      | None -> None
+      | Some card when card <= 0 -> Some `No
+      | Some card ->
+          if diff.const mod c1 <> 0 then Some `No
+          else
+            let sol = -diff.const / c1 in
+            if Interval.contains iv sol then
+              Some (`Prob (1.0 /. float_of_int card))
+            else Some `No)
+  | _ -> None

@@ -1,0 +1,24 @@
+(** The Banerjee bounds test.
+
+    Where the GCD test reasons over unrestricted integers, the Banerjee
+    inequalities bound the dependence-equation difference using the known
+    ranges of the symbols (for us: induction variables with static loop
+    bounds).  If the interval of [f1 - f2] excludes zero, the references
+    are independent. *)
+
+module Affine = Spd_analysis.Affine
+
+(** Interval of an affine difference under the tree's parameter ranges. *)
+val bounds : Spd_ir.Tree.t -> Affine.t -> Spd_ir.Interval.t
+
+(** True when the bounds prove the difference never vanishes. *)
+val proves_independent : Spd_ir.Tree.t -> Affine.t -> bool
+
+(** Exact refinement for a single-symbol difference [c1*s + c0] with a
+    finite range for [s]: either pinpoint the unique solution (returning
+    the alias probability [1 / |range|] under a uniform traversal of the
+    range) or prove independence.
+
+    Returns [None] when the difference does not have this shape. *)
+val single_symbol_probability :
+  Spd_ir.Tree.t -> Affine.t -> [ `No | `Prob of float ] option

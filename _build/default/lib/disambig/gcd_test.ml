@@ -1,0 +1,25 @@
+(** The GCD test for linear diophantine equations.
+
+    The dependence equation of two subscripts is [c1*s1 + ... + cn*sn = -c0]
+    (the difference of the two affine address forms set to zero).  An
+    integer solution exists iff [gcd(c1..cn)] divides [c0]; when it does
+    not, the references can never alias (Banerjee, "Dependence Analysis
+    for Supercomputing"). *)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let gcd_list = function
+  | [] -> 0
+  | x :: rest -> List.fold_left gcd (abs x) rest
+
+(** [may_have_solution ~coeffs ~const] decides whether
+    [sum coeffs_i * x_i + const = 0] can hold for integer [x_i]:
+
+    - no coefficients: a solution exists iff [const = 0];
+    - otherwise a solution exists iff [gcd coeffs] divides [const]. *)
+let may_have_solution ~coeffs ~const =
+  match coeffs with
+  | [] -> const = 0
+  | _ ->
+      let g = gcd_list coeffs in
+      if g = 0 then const = 0 else const mod g = 0

@@ -1,0 +1,25 @@
+(** The GCD test for linear diophantine equations.
+
+    The dependence equation of two subscripts is [c1*s1 + ... + cn*sn = -c0]
+    (the difference of the two affine address forms set to zero).  An
+    integer solution exists iff [gcd(c1..cn)] divides [c0]; when it does
+    not, the references can never alias (Banerjee, "Dependence Analysis
+    for Supercomputing"). *)
+
+
+(** The GCD test for linear diophantine equations.
+
+    The dependence equation of two subscripts is [c1*s1 + ... + cn*sn = -c0]
+    (the difference of the two affine address forms set to zero).  An
+    integer solution exists iff [gcd(c1..cn)] divides [c0]; when it does
+    not, the references can never alias (Banerjee, "Dependence Analysis
+    for Supercomputing"). *)
+val gcd : int -> int -> int
+val gcd_list : int list -> int
+
+(** [may_have_solution ~coeffs ~const] decides whether
+    [sum coeffs_i * x_i + const = 0] can hold for integer [x_i]:
+
+    - no coefficients: a solution exists iff [const = 0];
+    - otherwise a solution exists iff [gcd coeffs] divides [const]. *)
+val may_have_solution : coeffs:int list -> const:int -> bool

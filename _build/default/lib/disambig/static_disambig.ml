@@ -1,0 +1,69 @@
+(** The STATIC disambiguator: refine every memory dependence arc of a
+    program using the {!Alias} oracle (GCD/Banerjee over affine forms).
+
+    Arcs proven independent are marked [Removed By_static]; arcs proven
+    always-aliasing become [Must]; the rest stay [Ambiguous], annotated
+    with an alias probability when the oracle can compute one. *)
+
+open Spd_ir
+module Affine = Spd_analysis.Affine
+
+type stats = {
+  mutable proven_no : int;
+  mutable proven_must : int;
+  mutable unknown : int;
+}
+
+let refine_tree ?stats (tree : Tree.t) : Tree.t =
+  let env = Affine.analyze tree in
+  let bump f =
+    match stats with None -> () | Some s -> f s
+  in
+  let arcs =
+    List.map
+      (fun (arc : Memdep.t) ->
+        match arc.status with
+        | Memdep.Removed _ | Memdep.Must -> arc
+        | Memdep.Ambiguous _ -> (
+            let a = Tree.insn_by_id tree arc.src
+            and b = Tree.insn_by_id tree arc.dst in
+            match Alias.query tree env a b with
+            | Alias.No ->
+                bump (fun s -> s.proven_no <- s.proven_no + 1);
+                { arc with status = Memdep.Removed Memdep.By_static }
+            | Alias.Must ->
+                bump (fun s -> s.proven_must <- s.proven_must + 1);
+                { arc with status = Memdep.Must }
+            | Alias.Unknown p ->
+                bump (fun s -> s.unknown <- s.unknown + 1);
+                { arc with status = Memdep.Ambiguous p }))
+      tree.arcs
+  in
+  { tree with arcs }
+
+let run ?stats (prog : Prog.t) : Prog.t =
+  Prog.map_trees (fun _ t -> refine_tree ?stats t) prog
+
+(** The PERFECT disambiguator lives here too: given a profile from an
+    instrumented run, remove every arc whose references never dynamically
+    hit the same address (the paper's "superfluous arcs").  As in the
+    paper this is an optimistic oracle — its answers are specific to the
+    profiled input. *)
+let perfect ~(profile : Spd_sim.Profile.t) (prog : Prog.t) : Prog.t =
+  Prog.map_trees
+    (fun func (tree : Tree.t) ->
+      let arcs =
+        List.map
+          (fun (arc : Memdep.t) ->
+            match arc.status with
+            | Memdep.Removed _ -> arc
+            | Memdep.Must | Memdep.Ambiguous _ ->
+                if
+                  Spd_sim.Profile.superfluous profile ~func ~tree_id:tree.id
+                    ~src:arc.src ~dst:arc.dst
+                then { arc with status = Memdep.Removed Memdep.By_perfect }
+                else arc)
+          tree.arcs
+      in
+      { tree with arcs })
+    prog

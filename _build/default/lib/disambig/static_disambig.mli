@@ -1,0 +1,22 @@
+(** The STATIC disambiguator: refine every memory dependence arc of a
+    program using the {!Alias} oracle (GCD/Banerjee over affine forms).
+
+    Arcs proven independent are marked [Removed By_static]; arcs proven
+    always-aliasing become [Must]; the rest stay [Ambiguous], annotated
+    with an alias probability when the oracle can compute one. *)
+
+module Affine = Spd_analysis.Affine
+type stats = {
+  mutable proven_no : int;
+  mutable proven_must : int;
+  mutable unknown : int;
+}
+val refine_tree : ?stats:stats -> Spd_ir.Tree.t -> Spd_ir.Tree.t
+val run : ?stats:stats -> Spd_ir.Prog.t -> Spd_ir.Prog.t
+
+(** The PERFECT disambiguator lives here too: given a profile from an
+    instrumented run, remove every arc whose references never dynamically
+    hit the same address (the paper's "superfluous arcs").  As in the
+    paper this is an optimistic oracle — its answers are specific to the
+    profiled input. *)
+val perfect : profile:Spd_sim.Profile.t -> Spd_ir.Prog.t -> Spd_ir.Prog.t

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Hashtbl Pipeline Spd_core Spd_ir Spd_lang Spd_machine Spd_workloads

@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Hashtbl Pipeline Spd_ir Spd_machine Spd_workloads

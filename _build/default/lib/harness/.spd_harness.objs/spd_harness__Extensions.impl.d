@@ -1,0 +1,1 @@
+lib/harness/extensions.ml: Experiment Fmt List Pipeline Spd_core Spd_machine Spd_workloads String

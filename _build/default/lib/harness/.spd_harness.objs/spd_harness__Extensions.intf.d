@@ -1,0 +1,1 @@
+lib/harness/extensions.mli: Format Spd_core Spd_workloads

@@ -1,0 +1,1 @@
+lib/harness/pipeline.ml: Fmt Prog Spd_analysis Spd_core Spd_disambig Spd_ir Spd_machine Spd_sim

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Array Experiment Float Fmt List Pipeline Spd_machine Spd_workloads String

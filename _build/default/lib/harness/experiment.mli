@@ -1,0 +1,43 @@
+(** Experiment driver: prepares and measures benchmark/pipeline/machine
+    combinations, memoizing the expensive stages (lowering, profiling,
+    SpD, scheduling, simulation) so the table and figure generators can
+    share work. *)
+
+module W = Spd_workloads
+type key = {
+  bench : string;
+  latency : int;
+  kind : Pipeline.kind;
+}
+val lowered_cache : (string, Spd_ir.Prog.t) Hashtbl.t
+val prep_cache : (key, Pipeline.prepared) Hashtbl.t
+val cycles_cache : (key * Spd_machine.Descr.width, int) Hashtbl.t
+val memo : ('a, 'b) Hashtbl.t -> 'a -> (unit -> 'b) -> 'b
+val lowered : string -> Spd_ir.Prog.t
+
+(** Prepared pipeline for a benchmark at a memory latency (memoized). *)
+val prepared :
+  bench:string ->
+  latency:int -> Pipeline.kind -> Pipeline.prepared
+
+(** Measured cycle count (memoized). *)
+val cycles :
+  bench:string ->
+  latency:int ->
+  Pipeline.kind -> width:Spd_machine.Descr.width -> int
+
+(** Speedup of [kind] over NAIVE, the metric of Figure 6-2. *)
+val speedup_over_naive :
+  bench:string ->
+  latency:int ->
+  Pipeline.kind -> width:Spd_machine.Descr.width -> float
+
+(** Speedup of SPEC over STATIC, the metric of Figure 6-3. *)
+val spec_over_static :
+  bench:string -> latency:int -> width:Spd_machine.Descr.width -> float
+
+(** SpD application counts by dependence kind (Table 6-3 row). *)
+val spd_counts : bench:string -> latency:int -> int * int * int
+
+(** Code growth of SPEC relative to STATIC, as a fraction (Figure 6-4). *)
+val code_growth : bench:string -> latency:int -> float

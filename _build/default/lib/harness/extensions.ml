@@ -1,0 +1,148 @@
+(** Experiments beyond the paper's evaluation section, implementing its
+    discussion and future-work items:
+
+    - {b hardware dynamic disambiguation} (section 2.3): the
+      88110-style small-window load/store reordering alternative, to show
+      that SpD's compile-time scope beats small hardware windows;
+    - {b tree grafting} (section 7): unrolling loop trees to expose more
+      ambiguous pairs to SpD;
+    - {b guidance-parameter ablation} (section 5.3): how [MaxExpansion]
+      and [MinGain] trade code growth against speedup. *)
+
+module W = Spd_workloads
+module H = Spd_core.Heuristic
+
+let hline ppf width = Fmt.pf ppf "%s@." (String.make width '-')
+
+(* ------------------------------------------------------------------ *)
+
+(** Extension A: SPEC vs hardware dynamic disambiguation windows. *)
+let ext_dynamic ppf () =
+  Fmt.pf ppf
+    "@.Extension A: SpD vs hardware dynamic disambiguation (section 2.3)@.";
+  Fmt.pf ppf
+    "5 FU machine, 6-cycle memory; HW reorders within a W-reference \
+     window on@.the STATIC-disambiguated code; speedups over STATIC.@.@.";
+  hline ppf 78;
+  Fmt.pf ppf "%-10s %9s %9s %9s %9s %9s@." "Program" "HW W=2" "HW W=4"
+    "HW W=8" "HW W=32" "SPEC";
+  hline ppf 78;
+  let latency = 6 in
+  let width = Spd_machine.Descr.Fus 5 in
+  List.iter
+    (fun (w : W.Workload.t) ->
+      let bench = w.name in
+      let static = Experiment.prepared ~bench ~latency Pipeline.Static in
+      let base = Pipeline.cycles static ~width in
+      let hw window =
+        Spd_machine.Dynamic.cycles ~window ~width ~mem_latency:latency
+          static.prog
+      in
+      let spec =
+        Experiment.cycles ~bench ~latency Pipeline.Spec ~width
+      in
+      let pct c = 100.0 *. Pipeline.speedup ~base ~this:c in
+      Fmt.pf ppf "%-10s %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8.1f%%@." bench
+        (pct (hw 2)) (pct (hw 4)) (pct (hw 8)) (pct (hw 32)) (pct spec))
+    W.Registry.all;
+  hline ppf 78
+
+(* ------------------------------------------------------------------ *)
+
+(** Extension B: the effect of tree grafting (loop unrolling) on SpD. *)
+let ext_grafting ppf () =
+  Fmt.pf ppf "@.Extension B: tree grafting (section 7 future work)@.";
+  Fmt.pf ppf
+    "5 FU machine, 6-cycle memory; SPEC with and without one round of \
+     loop-tree@.replication; speedups over STATIC of the same code shape.@.@.";
+  hline ppf 76;
+  Fmt.pf ppf "%-10s | %6s %9s | %6s %9s@." "Program" "apps" "SPEC"
+    "apps" "SPEC+graft";
+  hline ppf 76;
+  let latency = 6 in
+  let width = Spd_machine.Descr.Fus 5 in
+  List.iter
+    (fun (w : W.Workload.t) ->
+      let lowered = Experiment.lowered w.name in
+      let measure ~graft =
+        let static =
+          Pipeline.prepare ~graft ~mem_latency:latency Pipeline.Static
+            lowered
+        in
+        let spec =
+          Pipeline.prepare ~graft ~mem_latency:latency Pipeline.Spec lowered
+        in
+        ( List.length spec.applications,
+          Pipeline.speedup
+            ~base:(Pipeline.cycles static ~width)
+            ~this:(Pipeline.cycles spec ~width) )
+      in
+      let apps0, s0 = measure ~graft:false in
+      let apps1, s1 = measure ~graft:true in
+      Fmt.pf ppf "%-10s | %6d %8.1f%% | %6d %8.1f%%@." w.name apps0
+        (100.0 *. s0) apps1 (100.0 *. s1))
+    W.Registry.all;
+  hline ppf 76
+
+(* ------------------------------------------------------------------ *)
+
+(** Extension C: guidance heuristic parameter ablation. *)
+let ext_params ppf () =
+  Fmt.pf ppf
+    "@.Extension C: guidance heuristic ablation (MaxExpansion / MinGain)@.";
+  Fmt.pf ppf
+    "NRC geometric means at 5 FU, 6-cycle memory: SPEC speedup over \
+     STATIC and@.code growth, as the two knobs of Figure 5-1 vary.@.";
+  let latency = 6 in
+  let width = Spd_machine.Descr.Fus 5 in
+  let measure params =
+    let speedups, growths =
+      List.split
+        (List.map
+           (fun (w : W.Workload.t) ->
+             let lowered = Experiment.lowered w.name in
+             let static =
+               Pipeline.prepare ~mem_latency:latency Pipeline.Static lowered
+             in
+             let spec =
+               Pipeline.prepare ~spd_params:params ~mem_latency:latency
+                 Pipeline.Spec lowered
+             in
+             ( 1.0
+               +. Pipeline.speedup
+                    ~base:(Pipeline.cycles static ~width)
+                    ~this:(Pipeline.cycles spec ~width),
+               float_of_int (Pipeline.code_size spec)
+               /. float_of_int (Pipeline.code_size static) ))
+           W.Registry.nrc)
+    in
+    let geomean xs =
+      exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))
+    in
+    (100.0 *. (geomean speedups -. 1.0), 100.0 *. (geomean growths -. 1.0))
+  in
+  Fmt.pf ppf "@.MaxExpansion sweep (MinGain = %.2f):@." H.default_params.min_gain;
+  hline ppf 52;
+  Fmt.pf ppf "%-14s %12s %12s@." "MaxExpansion" "speedup" "code growth";
+  hline ppf 52;
+  List.iter
+    (fun me ->
+      let s, g = measure { H.default_params with max_expansion = me } in
+      Fmt.pf ppf "%-14.2f %11.1f%% %11.1f%%@." me s g)
+    [ 1.0; 1.25; 1.5; 2.0; 4.0; 8.0 ];
+  hline ppf 52;
+  Fmt.pf ppf "@.MinGain sweep (MaxExpansion = %.2f):@." H.default_params.max_expansion;
+  hline ppf 52;
+  Fmt.pf ppf "%-14s %12s %12s@." "MinGain" "speedup" "code growth";
+  hline ppf 52;
+  List.iter
+    (fun mg ->
+      let s, g = measure { H.default_params with min_gain = mg } in
+      Fmt.pf ppf "%-14.2f %11.1f%% %11.1f%%@." mg s g)
+    [ 0.25; 0.5; 0.75; 1.5; 3.0; 6.0 ];
+  hline ppf 52
+
+let all ppf () =
+  ext_dynamic ppf ();
+  ext_grafting ppf ();
+  ext_params ppf ()

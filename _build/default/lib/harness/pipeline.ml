@@ -1,0 +1,93 @@
+(** The four disambiguation pipelines of Table 6-4.
+
+    {v
+    source --lower--> trees --all-pairs arcs-->            NAIVE
+    NAIVE  --GCD/Banerjee (affine forms)-->                STATIC
+    STATIC --profiled path probabilities--SpD heuristic--> SPEC
+    NAIVE  --profiled alias counts, drop superfluous-->    PERFECT
+    v}
+
+    Every prepared program is validated to produce the same observable
+    behaviour (return value and printed output) as the NAIVE baseline. *)
+
+open Spd_ir
+module Memarcs = Spd_analysis.Memarcs
+module Static = Spd_disambig.Static_disambig
+module Heuristic = Spd_core.Heuristic
+
+type kind = Naive | Static | Spec | Perfect
+
+let all = [ Naive; Static; Spec; Perfect ]
+
+let name = function
+  | Naive -> "NAIVE"
+  | Static -> "STATIC"
+  | Spec -> "SPEC"
+  | Perfect -> "PERFECT"
+
+let pp ppf k = Fmt.string ppf (name k)
+
+type prepared = {
+  kind : kind;
+  mem_latency : int;
+  prog : Prog.t;
+  applications : Heuristic.application list;
+      (** SpD applications performed (SPEC only) *)
+}
+
+(** Profile a program: run it once with instrumentation. *)
+let profile_of (prog : Prog.t) : Spd_sim.Profile.t =
+  let profile = Spd_sim.Profile.create () in
+  ignore (Spd_sim.Interp.run ~profile prog);
+  profile
+
+exception Behaviour_mismatch of string
+
+(** Build pipeline [kind] at [mem_latency] from a lowered program (no arcs
+    yet).  [check] (default true) verifies observable equivalence with the
+    unoptimized program — the paper validated SpD output the same way. *)
+let prepare ?(check = true) ?spd_params ?(graft = false) ~mem_latency
+    (kind : kind) (lowered : Prog.t) : prepared =
+  (* scalar cleanup every pipeline gets: store-to-load forwarding and
+     redundant-load elimination, as in the paper's optimizing compiler *)
+  let cleaned = Spd_analysis.Forwarding.run lowered in
+  (* optional tree grafting (paper section 7): unroll loop trees to expose
+     more ambiguous pairs to SpD *)
+  let cleaned = if graft then Spd_analysis.Unroll.run cleaned else cleaned in
+  let naive = Memarcs.annotate cleaned in
+  let prog, applications =
+    match kind with
+    | Naive -> (naive, [])
+    | Static -> (Static.run naive, [])
+    | Spec ->
+        let static = Static.run naive in
+        let profile = profile_of static in
+        Heuristic.run ~profile ?params:spd_params ~mem_latency static
+    | Perfect ->
+        let profile = profile_of naive in
+        (Static.perfect ~profile naive, [])
+  in
+  Prog.validate prog;
+  if check then begin
+    let expected = Spd_sim.Interp.observe naive in
+    let got = Spd_sim.Interp.observe prog in
+    if expected <> got then
+      raise
+        (Behaviour_mismatch
+           (Fmt.str "pipeline %s changed program behaviour" (name kind)))
+  end;
+  { kind; mem_latency; prog; applications }
+
+(** Cycle count of a prepared program on [width] functional units. *)
+let cycles (p : prepared) ~(width : Spd_machine.Descr.width) : int =
+  let descr =
+    { Spd_machine.Descr.width; mem_latency = p.mem_latency }
+  in
+  Spd_machine.Timing_builder.cycles descr p.prog
+
+(** Static code size in operations (Figure 6-4's metric). *)
+let code_size (p : prepared) : int = Prog.code_size p.prog
+
+(** The paper's speedup metric: [cycles_base / cycles_x - 1]. *)
+let speedup ~(base : int) ~(this : int) : float =
+  (float_of_int base /. float_of_int this) -. 1.0

@@ -1,0 +1,46 @@
+(** The four disambiguation pipelines of Table 6-4.
+
+    {v
+    source --lower--> trees --all-pairs arcs-->            NAIVE
+    NAIVE  --GCD/Banerjee (affine forms)-->                STATIC
+    STATIC --profiled path probabilities--SpD heuristic--> SPEC
+    NAIVE  --profiled alias counts, drop superfluous-->    PERFECT
+    v}
+
+    Every prepared program is validated to produce the same observable
+    behaviour (return value and printed output) as the NAIVE baseline. *)
+
+module Memarcs = Spd_analysis.Memarcs
+module Static = Spd_disambig.Static_disambig
+module Heuristic = Spd_core.Heuristic
+type kind = Naive | Static | Spec | Perfect
+val all : kind list
+val name : kind -> string
+val pp : Format.formatter -> kind -> unit
+type prepared = {
+  kind : kind;
+  mem_latency : int;
+  prog : Spd_ir.Prog.t;
+  applications : Heuristic.application list;
+}
+
+(** Profile a program: run it once with instrumentation. *)
+val profile_of : Spd_ir.Prog.t -> Spd_sim.Profile.t
+exception Behaviour_mismatch of string
+
+(** Build pipeline [kind] at [mem_latency] from a lowered program (no arcs
+    yet).  [check] (default true) verifies observable equivalence with the
+    unoptimized program — the paper validated SpD output the same way. *)
+val prepare :
+  ?check:bool ->
+  ?spd_params:Heuristic.params ->
+  ?graft:bool -> mem_latency:int -> kind -> Spd_ir.Prog.t -> prepared
+
+(** Cycle count of a prepared program on [width] functional units. *)
+val cycles : prepared -> width:Spd_machine.Descr.width -> int
+
+(** Static code size in operations (Figure 6-4's metric). *)
+val code_size : prepared -> int
+
+(** The paper's speedup metric: [cycles_base / cycles_x - 1]. *)
+val speedup : base:int -> this:int -> float

@@ -1,0 +1,170 @@
+(** Renderers for the paper's tables and figures.
+
+    Each generator prints the same rows/series the paper reports, computed
+    from our reproduction.  Absolute numbers differ from the paper's
+    proprietary LIFE testbed; EXPERIMENTS.md records the shape
+    comparison. *)
+
+module W = Spd_workloads
+
+let latencies = [ 2; 6 ]
+let widths = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let benches () = List.map (fun (w : W.Workload.t) -> w.name) W.Registry.all
+
+let nrc_benches () =
+  List.map (fun (w : W.Workload.t) -> w.name) W.Registry.nrc
+
+let hline ppf width = Fmt.pf ppf "%s@." (String.make width '-')
+
+(* ------------------------------------------------------------------ *)
+
+(** Table 6-1: operation latencies (the machine configuration). *)
+let table6_1 ppf () =
+  Fmt.pf ppf "@.Table 6-1: Operation latencies@.";
+  hline ppf 44;
+  Fmt.pf ppf "%-32s %s@." "Operation" "Latency (cyc)";
+  hline ppf 44;
+  List.iter
+    (fun (name, lat) -> Fmt.pf ppf "%-32s %d@." name lat)
+    (Spd_machine.Descr.table_6_1 ~mem_latency:2
+    |> List.map (fun (n, l) ->
+           if n = "Memory loads and stores" then (n, l) else (n, l)));
+  Fmt.pf ppf "%-32s 2 or 6@." "Memory loads and stores (swept)";
+  hline ppf 44
+
+(** Table 6-2: benchmark descriptions. *)
+let table6_2 ppf () =
+  Fmt.pf ppf "@.Table 6-2: Benchmark descriptions@.";
+  hline ppf 76;
+  Fmt.pf ppf "%-10s %-9s %5s  %s@." "Benchmark" "Suite" "Lines" "Description";
+  hline ppf 76;
+  List.iter
+    (fun (w : W.Workload.t) ->
+      Fmt.pf ppf "%-10s %-9s %5d  %s@." w.name
+        (W.Workload.suite_name w.suite)
+        (W.Registry.lines w)
+        w.description)
+    W.Registry.all;
+  hline ppf 76
+
+(** Table 6-3: frequency of SpD application by dependence type. *)
+let table6_3 ppf () =
+  Fmt.pf ppf
+    "@.Table 6-3: Frequency of SpD application by dependence type@.";
+  hline ppf 64;
+  Fmt.pf ppf "%-10s | %-21s | %-21s@." ""
+    "2 Cycle Memory Latency" "6 Cycle Memory Latency";
+  Fmt.pf ppf "%-10s | %6s %6s %6s | %6s %6s %6s@." "Program" "RAW" "WAR"
+    "WAW" "RAW" "WAR" "WAW";
+  hline ppf 64;
+  let totals = Array.make 6 0 in
+  List.iter
+    (fun bench ->
+      let r2, w2, o2 = Experiment.spd_counts ~bench ~latency:2 in
+      let r6, w6, o6 = Experiment.spd_counts ~bench ~latency:6 in
+      List.iteri
+        (fun i v -> totals.(i) <- totals.(i) + v)
+        [ r2; w2; o2; r6; w6; o6 ];
+      Fmt.pf ppf "%-10s | %6d %6d %6d | %6d %6d %6d@." bench r2 w2 o2 r6 w6
+        o6)
+    (benches ());
+  hline ppf 64;
+  Fmt.pf ppf "%-10s | %6d %6d %6d | %6d %6d %6d@." "TOTAL" totals.(0)
+    totals.(1) totals.(2) totals.(3) totals.(4) totals.(5);
+  hline ppf 64
+
+(** Table 6-4: the four disambiguators. *)
+let table6_4 ppf () =
+  Fmt.pf ppf "@.Table 6-4: Disambiguators used in experiments@.";
+  hline ppf 60;
+  List.iter
+    (fun (k, d) -> Fmt.pf ppf "%-10s %s@." k d)
+    [
+      ("NAIVE", "None");
+      ("STATIC", "Static (GCD/Banerjee over affine forms)");
+      ("SPEC", "Static followed by SpD");
+      ("PERFECT", "Perfect static (profiled superfluous-arc removal)");
+    ];
+  hline ppf 60
+
+(* ------------------------------------------------------------------ *)
+
+let bar ppf frac =
+  (* a signed ASCII bar, 1 character per 2.5% of speedup *)
+  let n = int_of_float (Float.abs frac *. 40.0) in
+  let n = min n 60 in
+  Fmt.pf ppf "%s%s" (if frac < 0.0 then "-" else "") (String.make n '#')
+
+(** Figure 6-2: speedup over NAIVE on a 5-FU machine. *)
+let fig6_2 ppf () =
+  Fmt.pf ppf "@.Figure 6-2: Speedup over the NAIVE disambiguator (5 FU machine)@.";
+  List.iter
+    (fun latency ->
+      Fmt.pf ppf "@.%d cycle memory latency@." latency;
+      hline ppf 72;
+      Fmt.pf ppf "%-10s %9s %9s %9s@." "Program" "STATIC" "SPEC" "PERFECT";
+      hline ppf 72;
+      List.iter
+        (fun bench ->
+          let s k =
+            Experiment.speedup_over_naive ~bench ~latency k
+              ~width:(Spd_machine.Descr.Fus 5)
+          in
+          let st = s Pipeline.Static
+          and sp = s Pipeline.Spec
+          and pf = s Pipeline.Perfect in
+          Fmt.pf ppf "%-10s %8.1f%% %8.1f%% %8.1f%%   SPEC|%a@." bench
+            (100.0 *. st) (100.0 *. sp) (100.0 *. pf) bar sp)
+        (benches ());
+      hline ppf 72)
+    latencies
+
+(** Figure 6-3: speedup of SPEC over STATIC vs machine width (NRC). *)
+let fig6_3 ppf () =
+  Fmt.pf ppf "@.Figure 6-3: Speedup of SPEC over STATIC (NRC benchmarks)@.";
+  List.iter
+    (fun latency ->
+      Fmt.pf ppf "@.%d cycle memory latency@." latency;
+      hline ppf 78;
+      Fmt.pf ppf "%-10s" "Program";
+      List.iter (fun w -> Fmt.pf ppf " %6d FU" w) widths;
+      Fmt.pf ppf "@.";
+      hline ppf 78;
+      List.iter
+        (fun bench ->
+          Fmt.pf ppf "%-10s" bench;
+          List.iter
+            (fun w ->
+              let s =
+                Experiment.spec_over_static ~bench ~latency
+                  ~width:(Spd_machine.Descr.Fus w)
+              in
+              Fmt.pf ppf " %8.1f%%" (100.0 *. s))
+            widths;
+          Fmt.pf ppf "@.")
+        (nrc_benches ());
+      hline ppf 78)
+    latencies
+
+(** Figure 6-4: code size increase due to SpD (2-cycle memory). *)
+let fig6_4 ppf () =
+  Fmt.pf ppf "@.Figure 6-4: Code size increase due to SpD (2 cycle memory latency)@.";
+  hline ppf 48;
+  Fmt.pf ppf "%-10s %12s@." "Program" "Increase";
+  hline ppf 48;
+  List.iter
+    (fun bench ->
+      let g = Experiment.code_growth ~bench ~latency:2 in
+      Fmt.pf ppf "%-10s %11.1f%%  %a@." bench (100.0 *. g) bar (g *. 4.0))
+    (benches ());
+  hline ppf 48
+
+let all ppf () =
+  table6_1 ppf ();
+  table6_2 ppf ();
+  table6_4 ppf ();
+  table6_3 ppf ();
+  fig6_2 ppf ();
+  fig6_3 ppf ();
+  fig6_4 ppf ()

@@ -1,0 +1,36 @@
+(** Renderers for the paper's tables and figures.
+
+    Each generator prints the same rows/series the paper reports, computed
+    from our reproduction.  Absolute numbers differ from the paper's
+    proprietary LIFE testbed; EXPERIMENTS.md records the shape
+    comparison. *)
+
+module W = Spd_workloads
+val latencies : int list
+val widths : int list
+val benches : unit -> string list
+val nrc_benches : unit -> string list
+val hline : Format.formatter -> int -> unit
+
+(** Table 6-1: operation latencies (the machine configuration). *)
+val table6_1 : Format.formatter -> unit -> unit
+
+(** Table 6-2: benchmark descriptions. *)
+val table6_2 : Format.formatter -> unit -> unit
+
+(** Table 6-3: frequency of SpD application by dependence type. *)
+val table6_3 : Format.formatter -> unit -> unit
+
+(** Table 6-4: the four disambiguators. *)
+val table6_4 : Format.formatter -> unit -> unit
+val bar : Format.formatter -> float -> unit
+
+(** Figure 6-2: speedup over NAIVE on a 5-FU machine. *)
+val fig6_2 : Format.formatter -> unit -> unit
+
+(** Figure 6-3: speedup of SPEC over STATIC vs machine width (NRC). *)
+val fig6_3 : Format.formatter -> unit -> unit
+
+(** Figure 6-4: code size increase due to SpD (2-cycle memory). *)
+val fig6_4 : Format.formatter -> unit -> unit
+val all : Format.formatter -> unit -> unit

@@ -1,0 +1,1 @@
+lib/ir/insn.mli: Format Opcode Reg

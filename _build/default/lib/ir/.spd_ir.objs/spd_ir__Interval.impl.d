@@ -1,0 +1,1 @@
+lib/ir/interval.ml: Fmt Option

@@ -1,0 +1,1 @@
+lib/ir/memdep.ml: Fmt

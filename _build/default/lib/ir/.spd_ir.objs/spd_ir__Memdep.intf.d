@@ -1,0 +1,1 @@
+lib/ir/memdep.mli: Format

@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Array Fmt Hashtbl List Reg Tree Value

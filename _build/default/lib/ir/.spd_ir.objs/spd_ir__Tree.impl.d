@@ -1,0 +1,1 @@
+lib/ir/tree.ml: Array Fmt Hashtbl Insn Interval List Memdep Opcode Option Reg

@@ -1,0 +1,1 @@
+lib/ir/tree.mli: Format Insn Interval Memdep Reg

@@ -1,0 +1,59 @@
+(** Guarded instructions.
+
+    An instruction optionally carries a guard: a boolean register plus a
+    polarity.  In this machine model only side-effecting operations
+    (stores) are guarded — pure operations execute speculatively and their
+    results are merged with {!Opcode.Select} — which keeps the
+    interpretation of a decision tree simple: evaluate everything, commit
+    stores whose guard holds. *)
+
+type guard = { greg : Reg.t; positive : bool }
+
+type t = {
+  id : int;  (** unique within the enclosing tree *)
+  op : Opcode.t;
+  dst : Reg.t option;
+  srcs : Reg.t list;
+  guard : guard option;
+}
+
+let make ~id ?guard op ~dst ~srcs =
+  assert (List.length srcs = Opcode.arity op);
+  assert (Option.is_some dst = Opcode.has_dst op);
+  { id; op; dst; srcs; guard }
+
+(** All registers read by the instruction, including its guard. *)
+let uses i =
+  match i.guard with None -> i.srcs | Some g -> g.greg :: i.srcs
+
+let defs i = match i.dst with None -> [] | Some d -> [ d ]
+
+let is_store i = i.op = Opcode.Store
+let is_load i = i.op = Opcode.Load
+let is_mem i = Opcode.is_mem i.op
+
+(** Address register of a memory operation. *)
+let addr i =
+  match (i.op, i.srcs) with
+  | Opcode.Load, [ a ] | Opcode.Store, [ a; _ ] -> a
+  | _ -> invalid_arg "Insn.addr: not a memory operation"
+
+(** Value register stored by a store. *)
+let store_value i =
+  match (i.op, i.srcs) with
+  | Opcode.Store, [ _; v ] -> v
+  | _ -> invalid_arg "Insn.store_value: not a store"
+
+let pp_guard ppf = function
+  | None -> ()
+  | Some { greg; positive } ->
+      Fmt.pf ppf "(%s%a) " (if positive then "" else "!") Reg.pp greg
+
+let pp ppf i =
+  let pp_dst ppf = function
+    | Some d -> Fmt.pf ppf "%a = " Reg.pp d
+    | None -> ()
+  in
+  Fmt.pf ppf "%a%a%a %a" pp_guard i.guard pp_dst i.dst Opcode.pp i.op
+    Fmt.(list ~sep:(any ", ") Reg.pp)
+    i.srcs

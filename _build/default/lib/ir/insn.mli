@@ -1,0 +1,36 @@
+(** Guarded instructions.
+
+    An instruction optionally carries a guard: a boolean register plus a
+    polarity.  In this machine model only side-effecting operations
+    (stores) are guarded — pure operations execute speculatively and their
+    results are merged with {!Opcode.Select} — which keeps the
+    interpretation of a decision tree simple: evaluate everything, commit
+    stores whose guard holds. *)
+
+type guard = { greg : Reg.t; positive : bool; }
+type t = {
+  id : int;
+  op : Opcode.t;
+  dst : Reg.t option;
+  srcs : Reg.t list;
+  guard : guard option;
+}
+val make :
+  id:int ->
+  ?guard:guard ->
+  Opcode.t -> dst:Reg.t option -> srcs:Reg.t list -> t
+
+(** All registers read by the instruction, including its guard. *)
+val uses : t -> Reg.t list
+val defs : t -> Reg.t list
+val is_store : t -> bool
+val is_load : t -> bool
+val is_mem : t -> bool
+
+(** Address register of a memory operation. *)
+val addr : t -> Reg.t
+
+(** Value register stored by a store. *)
+val store_value : t -> Reg.t
+val pp_guard : Format.formatter -> guard option -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+(** Integer intervals with open ends.
+
+    Used to annotate live-in registers of a tree with statically known
+    value ranges (e.g. a for-loop induction variable with constant bounds),
+    which the Banerjee test consumes. *)
+
+type bound = int option
+(** [None] is the corresponding infinity. *)
+
+type t = { lo : bound; hi : bound }
+
+let top = { lo = None; hi = None }
+let make lo hi = { lo; hi }
+let point n = { lo = Some n; hi = Some n }
+let of_bounds ~lo ~hi = { lo = Some lo; hi = Some hi }
+
+let is_bounded t = Option.is_some t.lo && Option.is_some t.hi
+
+(** Number of integers in the interval, when finite. *)
+let cardinal t =
+  match (t.lo, t.hi) with
+  | Some lo, Some hi -> if hi < lo then Some 0 else Some (hi - lo + 1)
+  | _ -> None
+
+let contains t n =
+  (match t.lo with None -> true | Some lo -> lo <= n)
+  && match t.hi with None -> true | Some hi -> n <= hi
+
+let add_bound a b =
+  match (a, b) with Some x, Some y -> Some (x + y) | _ -> None
+
+(* Multiplying a bound by a scalar flips lo/hi when the scalar is
+   negative; the caller handles the flip. *)
+let scale_bound c = function None -> None | Some x -> Some (c * x)
+
+let add a b = { lo = add_bound a.lo b.lo; hi = add_bound a.hi b.hi }
+
+let neg a =
+  {
+    lo = (match a.hi with None -> None | Some h -> Some (-h));
+    hi = (match a.lo with None -> None | Some l -> Some (-l));
+  }
+
+let scale c a =
+  if c = 0 then point 0
+  else if c > 0 then { lo = scale_bound c a.lo; hi = scale_bound c a.hi }
+  else { lo = scale_bound c a.hi; hi = scale_bound c a.lo }
+
+let shift c a = add (point c) a
+
+(** True when the interval certainly excludes zero. *)
+let excludes_zero t =
+  (match t.lo with Some lo when lo > 0 -> true | _ -> false)
+  || match t.hi with Some hi when hi < 0 -> true | _ -> false
+
+let pp_bound inf ppf = function
+  | None -> Fmt.string ppf inf
+  | Some n -> Fmt.int ppf n
+
+let pp ppf t =
+  Fmt.pf ppf "[%a,%a]" (pp_bound "-inf") t.lo (pp_bound "+inf") t.hi

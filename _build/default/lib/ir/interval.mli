@@ -1,0 +1,28 @@
+(** Integer intervals with open ends.
+
+    Used to annotate live-in registers of a tree with statically known
+    value ranges (e.g. a for-loop induction variable with constant bounds),
+    which the Banerjee test consumes. *)
+
+type bound = int option
+type t = { lo : bound; hi : bound; }
+val top : t
+val make : bound -> bound -> t
+val point : int -> t
+val of_bounds : lo:int -> hi:int -> t
+val is_bounded : t -> bool
+
+(** Number of integers in the interval, when finite. *)
+val cardinal : t -> int option
+val contains : t -> int -> bool
+val add_bound : int option -> int option -> int option
+val scale_bound : int -> int option -> int option
+val add : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+val shift : int -> t -> t
+
+(** True when the interval certainly excludes zero. *)
+val excludes_zero : t -> bool
+val pp_bound : string -> Format.formatter -> int option -> unit
+val pp : Format.formatter -> t -> unit

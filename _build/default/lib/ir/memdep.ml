@@ -1,0 +1,65 @@
+(** Memory dependence arcs between instructions of one decision tree.
+
+    An arc connects two memory operations in program order (at least one of
+    which is a store).  Its [status] records what the tool chain currently
+    knows about it:
+
+    - [Must]: the two references certainly hit the same address whenever
+      both execute; the arc can never be removed.
+    - [Ambiguous p]: possibility of aliasing; [p] is an estimated alias
+      probability when one is available (profiling or counting integer
+      solutions of the subscript equation).
+    - [Removed why]: the scheduler may ignore the arc.  [why] records which
+      disambiguator removed it, which the harness reports. *)
+
+type kind = Raw | War | Waw
+
+type removal = By_static | By_perfect | By_spd
+
+type status =
+  | Must
+  | Ambiguous of float option
+  | Removed of removal
+
+type t = {
+  src : int;  (** instruction id of the earlier reference *)
+  dst : int;  (** instruction id of the later reference *)
+  kind : kind;
+  status : status;
+}
+
+let kind_of_ops ~(src_is_store : bool) ~(dst_is_store : bool) =
+  match (src_is_store, dst_is_store) with
+  | true, false -> Raw
+  | false, true -> War
+  | true, true -> Waw
+  | false, false -> invalid_arg "Memdep.kind_of_ops: load-load pair"
+
+let is_active a = match a.status with Removed _ -> false | _ -> true
+let is_ambiguous a =
+  match a.status with Ambiguous _ -> true | Must | Removed _ -> false
+
+(** Scheduling weight of an arc, in cycles.
+
+    A RAW arc forces the load to start only after the store has completed
+    (the paper's Fig. 4-4 gains exactly [store + load] latency by
+    forwarding).  WAR and WAW arcs only constrain issue order. *)
+let weight ~mem_latency a =
+  match a.kind with Raw -> mem_latency | War | Waw -> 1
+
+let pp_kind ppf k =
+  Fmt.string ppf (match k with Raw -> "RAW" | War -> "WAR" | Waw -> "WAW")
+
+let pp_removal ppf = function
+  | By_static -> Fmt.string ppf "static"
+  | By_perfect -> Fmt.string ppf "perfect"
+  | By_spd -> Fmt.string ppf "spd"
+
+let pp_status ppf = function
+  | Must -> Fmt.string ppf "must"
+  | Ambiguous None -> Fmt.string ppf "ambig"
+  | Ambiguous (Some p) -> Fmt.pf ppf "ambig(p=%.3f)" p
+  | Removed r -> Fmt.pf ppf "removed(%a)" pp_removal r
+
+let pp ppf a =
+  Fmt.pf ppf "%a #%d -> #%d %a" pp_kind a.kind a.src a.dst pp_status a.status

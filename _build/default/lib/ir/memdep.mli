@@ -1,0 +1,32 @@
+(** Memory dependence arcs between instructions of one decision tree.
+
+    An arc connects two memory operations in program order (at least one of
+    which is a store).  Its [status] records what the tool chain currently
+    knows about it:
+
+    - [Must]: the two references certainly hit the same address whenever
+      both execute; the arc can never be removed.
+    - [Ambiguous p]: possibility of aliasing; [p] is an estimated alias
+      probability when one is available (profiling or counting integer
+      solutions of the subscript equation).
+    - [Removed why]: the scheduler may ignore the arc.  [why] records which
+      disambiguator removed it, which the harness reports. *)
+
+type kind = Raw | War | Waw
+type removal = By_static | By_perfect | By_spd
+type status = Must | Ambiguous of float option | Removed of removal
+type t = { src : int; dst : int; kind : kind; status : status; }
+val kind_of_ops : src_is_store:bool -> dst_is_store:bool -> kind
+val is_active : t -> bool
+val is_ambiguous : t -> bool
+
+(** Scheduling weight of an arc, in cycles.
+
+    A RAW arc forces the load to start only after the store has completed
+    (the paper's Fig. 4-4 gains exactly [store + load] latency by
+    forwarding).  WAR and WAW arcs only constrain issue order. *)
+val weight : mem_latency:int -> t -> int
+val pp_kind : Format.formatter -> kind -> unit
+val pp_removal : Format.formatter -> removal -> unit
+val pp_status : Format.formatter -> status -> unit
+val pp : Format.formatter -> t -> unit

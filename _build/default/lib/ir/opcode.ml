@@ -1,0 +1,145 @@
+(** Operation set of the target machine.
+
+    The operation repertoire follows the LIFE machine model of the paper:
+    universal functional units executing integer/float ALU operations,
+    compares, guarded selects, loads and stores.  Branches are not
+    instructions; they are the prioritized exits of a decision tree (see
+    {!Tree}).
+
+    Latencies implement Table 6-1 of the paper; memory latency is a
+    parameter (2 or 6 cycles in the experiments). *)
+
+type ibin =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+
+type icmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type fbin = Fadd | Fsub | Fmul | Fdiv
+
+type fcmp = Feq | Fne | Flt | Fle | Fgt | Fge
+
+(** Address bases resolvable only by the runtime: the address of a global
+    object, or a slot in the current activation frame.  Kept symbolic in
+    the IR so that the static disambiguator can reason about object
+    identities. *)
+type base =
+  | Global of string
+  | Frame of int  (** word offset inside the current activation frame *)
+
+type t =
+  | Ibin of ibin
+  | Icmp of icmp
+  | Fbin of fbin
+  | Fcmp of fcmp
+  | Not  (** logical negation: 0 -> 1, non-zero -> 0 *)
+  | Ineg
+  | Fneg
+  | Mov
+  | Select  (** [Select p a b] = if p then a else b; the guarded merge *)
+  | Const of Value.t
+  | Addrof of base  (** materialize the address of an object *)
+  | Itof
+  | Ftoi
+  | Load  (** srcs = [address] *)
+  | Store  (** srcs = [address; value]; the only side-effecting op *)
+
+(** Number of register sources each opcode consumes. *)
+let arity = function
+  | Ibin _ | Fbin _ | Icmp _ | Fcmp _ -> 2
+  | Not | Ineg | Fneg | Mov | Itof | Ftoi | Load -> 1
+  | Select -> 3
+  | Const _ | Addrof _ -> 0
+  | Store -> 2
+
+let has_dst = function Store -> false | _ -> true
+
+(** Only stores modify state that survives a cancelled guard; everything
+    else is freely speculable in this machine model (paper section 4.1). *)
+let has_side_effect = function Store -> true | _ -> false
+
+let is_mem = function Load | Store -> true | _ -> false
+
+(** Latency in cycles, per Table 6-1.  [mem_latency] is the load/store
+    latency of the modelled memory system. *)
+let latency ~mem_latency = function
+  | Ibin Mul -> 3
+  | Ibin Div | Ibin Rem | Fbin Fdiv -> 7
+  | Fcmp _ -> 1
+  | Ibin _ | Icmp _ | Not | Ineg | Mov | Select | Const _ | Addrof _ -> 1
+  | Fbin _ | Fneg | Itof | Ftoi -> 3
+  | Load | Store -> mem_latency
+
+(** Latency of a decision-tree exit branch, per Table 6-1. *)
+let branch_latency = 2
+
+let pp_ibin ppf op =
+  Fmt.string ppf
+    (match op with
+    | Add -> "add"
+    | Sub -> "sub"
+    | Mul -> "mul"
+    | Div -> "div"
+    | Rem -> "rem"
+    | And -> "and"
+    | Or -> "or"
+    | Xor -> "xor"
+    | Shl -> "shl"
+    | Shr -> "shr")
+
+let pp_icmp ppf op =
+  Fmt.string ppf
+    (match op with
+    | Eq -> "cmpeq"
+    | Ne -> "cmpne"
+    | Lt -> "cmplt"
+    | Le -> "cmple"
+    | Gt -> "cmpgt"
+    | Ge -> "cmpge")
+
+let pp_fbin ppf op =
+  Fmt.string ppf
+    (match op with
+    | Fadd -> "fadd"
+    | Fsub -> "fsub"
+    | Fmul -> "fmul"
+    | Fdiv -> "fdiv")
+
+let pp_fcmp ppf op =
+  Fmt.string ppf
+    (match op with
+    | Feq -> "fcmpeq"
+    | Fne -> "fcmpne"
+    | Flt -> "fcmplt"
+    | Fle -> "fcmple"
+    | Fgt -> "fcmpgt"
+    | Fge -> "fcmpge")
+
+let pp_base ppf = function
+  | Global g -> Fmt.pf ppf "&%s" g
+  | Frame off -> Fmt.pf ppf "&frame[%d]" off
+
+let pp ppf = function
+  | Ibin op -> pp_ibin ppf op
+  | Icmp op -> pp_icmp ppf op
+  | Fbin op -> pp_fbin ppf op
+  | Fcmp op -> pp_fcmp ppf op
+  | Not -> Fmt.string ppf "not"
+  | Ineg -> Fmt.string ppf "neg"
+  | Fneg -> Fmt.string ppf "fneg"
+  | Mov -> Fmt.string ppf "mov"
+  | Select -> Fmt.string ppf "select"
+  | Const v -> Fmt.pf ppf "const %a" Value.pp v
+  | Addrof b -> Fmt.pf ppf "addrof %a" pp_base b
+  | Itof -> Fmt.string ppf "itof"
+  | Ftoi -> Fmt.string ppf "ftoi"
+  | Load -> Fmt.string ppf "load"
+  | Store -> Fmt.string ppf "store"

@@ -1,0 +1,54 @@
+(** Operation set of the target machine.
+
+    The operation repertoire follows the LIFE machine model of the paper:
+    universal functional units executing integer/float ALU operations,
+    compares, guarded selects, loads and stores.  Branches are not
+    instructions; they are the prioritized exits of a decision tree (see
+    {!Tree}).
+
+    Latencies implement Table 6-1 of the paper; memory latency is a
+    parameter (2 or 6 cycles in the experiments). *)
+
+type ibin = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+type icmp = Eq | Ne | Lt | Le | Gt | Ge
+type fbin = Fadd | Fsub | Fmul | Fdiv
+type fcmp = Feq | Fne | Flt | Fle | Fgt | Fge
+type base = Global of string | Frame of int
+type t =
+    Ibin of ibin
+  | Icmp of icmp
+  | Fbin of fbin
+  | Fcmp of fcmp
+  | Not
+  | Ineg
+  | Fneg
+  | Mov
+  | Select
+  | Const of Value.t
+  | Addrof of base
+  | Itof
+  | Ftoi
+  | Load
+  | Store
+
+(** Number of register sources each opcode consumes. *)
+val arity : t -> int
+val has_dst : t -> bool
+
+(** Only stores modify state that survives a cancelled guard; everything
+    else is freely speculable in this machine model (paper section 4.1). *)
+val has_side_effect : t -> bool
+val is_mem : t -> bool
+
+(** Latency in cycles, per Table 6-1.  [mem_latency] is the load/store
+    latency of the modelled memory system. *)
+val latency : mem_latency:int -> t -> int
+
+(** Latency of a decision-tree exit branch, per Table 6-1. *)
+val branch_latency : int
+val pp_ibin : Format.formatter -> ibin -> unit
+val pp_icmp : Format.formatter -> icmp -> unit
+val pp_fbin : Format.formatter -> fbin -> unit
+val pp_fcmp : Format.formatter -> fcmp -> unit
+val pp_base : Format.formatter -> base -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,150 @@
+(** Whole programs: functions made of decision trees, plus global data.
+
+    Functions use a conventional activation model: each call pushes a fresh
+    register file and a frame of [frame_words] words for local arrays.
+    Scalars live in registers and flow between trees through block
+    arguments. *)
+
+type global = {
+  gname : string;
+  words : int;  (** size in memory words *)
+  ginit : Value.t array;  (** initial values; padded with Int 0 *)
+}
+
+type func = {
+  fname : string;
+  fparams : Reg.t list;  (** also the parameters of the entry tree *)
+  frame_words : int;
+  entry : int;
+  trees : Tree.t list;
+}
+
+type t = {
+  funcs : (string * func) list;  (** in definition order *)
+  globals : global list;
+  main : string;
+}
+
+(** Built-in procedures implemented directly by the simulator. *)
+let builtins = [ ("print_int", 1); ("print_float", 1) ]
+
+let is_builtin name = List.mem_assoc name builtins
+
+let find_func t name =
+  match List.assoc_opt name t.funcs with
+  | Some f -> f
+  | None -> invalid_arg (Fmt.str "Prog.find_func: unknown function %s" name)
+
+let find_tree (f : func) id =
+  match List.find_opt (fun (tr : Tree.t) -> tr.id = id) f.trees with
+  | Some tr -> tr
+  | None ->
+      invalid_arg (Fmt.str "Prog.find_tree: no tree %d in %s" id f.fname)
+
+let find_global t name =
+  match List.find_opt (fun g -> g.gname = name) t.globals with
+  | Some g -> g
+  | None -> invalid_arg (Fmt.str "Prog.find_global: unknown global %s" name)
+
+(** [map_trees f t] rebuilds the program with every tree replaced by
+    [f func_name tree]; used by the disambiguation pipelines. *)
+let map_trees f t =
+  let funcs =
+    List.map
+      (fun (name, fn) ->
+        (name, { fn with trees = List.map (f name) fn.trees }))
+      t.funcs
+  in
+  { t with funcs }
+
+let iter_trees f t =
+  List.iter (fun (name, fn) -> List.iter (f name) fn.trees) t.funcs
+
+(** Total static code size in operations (paper's Figure 6-4 metric). *)
+let code_size t =
+  let n = ref 0 in
+  iter_trees (fun _ tr -> n := !n + Tree.size tr) t;
+  !n
+
+exception Invalid of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+let validate t =
+  if not (List.mem_assoc t.main t.funcs) then
+    fail "program: missing main function %s" t.main;
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun g ->
+      if Hashtbl.mem seen g.gname then fail "duplicate global %s" g.gname;
+      Hashtbl.add seen g.gname ();
+      if g.words <= 0 then fail "global %s has size %d" g.gname g.words;
+      if Array.length g.ginit > g.words then
+        fail "global %s: initializer larger than object" g.gname)
+    t.globals;
+  List.iter
+    (fun (name, f) ->
+      if name <> f.fname then fail "function table inconsistency at %s" name;
+      let tree_ids = List.map (fun (tr : Tree.t) -> tr.id) f.trees in
+      let params_of id = (find_tree f id).params in
+      if not (List.mem f.entry tree_ids) then
+        fail "%s: entry tree %d missing" name f.entry;
+      if params_of f.entry <> f.fparams then
+        fail "%s: entry tree parameters differ from function parameters" name;
+      List.iter
+        (fun (tr : Tree.t) ->
+          (try Tree.validate tr
+           with Tree.Invalid msg -> fail "%s: %s" name msg);
+          Array.iter
+            (fun (e : Tree.exit) ->
+              let check_target ?ret target args =
+                if not (List.mem target tree_ids) then
+                  fail "%s: tree %d jumps to unknown tree %d" name tr.id
+                    target;
+                (* a call continuation has one extra trailing parameter
+                   receiving the return value *)
+                let want = List.length args + (match ret with Some _ -> 1 | None -> 0) in
+                let tparams = params_of target in
+                if List.length tparams <> want then
+                  fail "%s: tree %d -> %d argument count mismatch" name tr.id
+                    target;
+                match ret with
+                | Some r ->
+                    if List.nth tparams (want - 1) <> r then
+                      fail
+                        "%s: tree %d call return register is not the \
+                         continuation's trailing parameter"
+                        name tr.id
+                | None -> ()
+              in
+              match e.kind with
+              | Tree.Jump { target; args } -> check_target target args
+              | Tree.Call { callee; call_args; ret; return_to; cont_args } ->
+                  (match List.assoc_opt callee builtins with
+                  | Some arity ->
+                      if List.length call_args <> arity then
+                        fail "%s: builtin %s arity mismatch" name callee
+                  | None -> (
+                      match List.assoc_opt callee t.funcs with
+                      | None -> fail "%s: call to unknown %s" name callee
+                      | Some g ->
+                          if
+                            List.length call_args <> List.length g.fparams
+                          then fail "%s: call to %s arity mismatch" name callee));
+                  check_target ?ret return_to cont_args
+              | Tree.Return _ -> ())
+            tr.exits)
+        f.trees)
+    t.funcs
+
+let pp ppf t =
+  List.iter
+    (fun g -> Fmt.pf ppf "global %s[%d]@." g.gname g.words)
+    t.globals;
+  List.iter
+    (fun (_, f) ->
+      Fmt.pf ppf "@.func %s(%a) frame=%d entry=t%d@." f.fname
+        Fmt.(list ~sep:(any ", ") Reg.pp)
+        f.fparams f.frame_words f.entry;
+      List.iter (fun tr -> Fmt.pf ppf "%a@." Tree.pp tr) f.trees)
+    t.funcs

@@ -1,0 +1,39 @@
+(** Whole programs: functions made of decision trees, plus global data.
+
+    Functions use a conventional activation model: each call pushes a fresh
+    register file and a frame of [frame_words] words for local arrays.
+    Scalars live in registers and flow between trees through block
+    arguments. *)
+
+type global = { gname : string; words : int; ginit : Value.t array; }
+type func = {
+  fname : string;
+  fparams : Reg.t list;
+  frame_words : int;
+  entry : int;
+  trees : Tree.t list;
+}
+type t = {
+  funcs : (string * func) list;
+  globals : global list;
+  main : string;
+}
+
+(** Built-in procedures implemented directly by the simulator. *)
+val builtins : (string * int) list
+val is_builtin : string -> bool
+val find_func : t -> string -> func
+val find_tree : func -> int -> Tree.t
+val find_global : t -> string -> global
+
+(** [map_trees f t] rebuilds the program with every tree replaced by
+    [f func_name tree]; used by the disambiguation pipelines. *)
+val map_trees : (string -> Tree.t -> Tree.t) -> t -> t
+val iter_trees : (string -> Tree.t -> unit) -> t -> unit
+
+(** Total static code size in operations (paper's Figure 6-4 metric). *)
+val code_size : t -> int
+exception Invalid of string
+val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val validate : t -> unit
+val pp : Format.formatter -> t -> unit

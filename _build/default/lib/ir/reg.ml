@@ -1,0 +1,39 @@
+(** Virtual registers.
+
+    Registers are per-function.  Within a single decision tree every
+    register is assigned at most once ([Tree.validate] enforces this);
+    across trees of the same activation the register file is persistent and
+    updated by the parallel copies performed at tree transitions. *)
+
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let hash = Fun.id
+
+let pp ppf r = Fmt.pf ppf "r%d" r
+let to_string r = Fmt.str "%a" pp r
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+(** Fresh-register generators.  One generator per function being built or
+    transformed; [dub] builds a generator that continues above every
+    register already used by an existing function. *)
+module Gen = struct
+  type reg = t
+  type t = { mutable next : int }
+
+  let create ?(from = 0) () = { next = from }
+
+  let fresh t =
+    let r = t.next in
+    t.next <- t.next + 1;
+    r
+
+  (** [above regs] is a generator producing registers strictly greater than
+      any element of [regs]. *)
+  let above (regs : reg list) =
+    let top = List.fold_left (fun acc r -> max acc r) (-1) regs in
+    create ~from:(top + 1) ()
+end

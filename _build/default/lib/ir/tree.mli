@@ -1,0 +1,74 @@
+(** Decision trees: the compilation and scheduling unit.
+
+    A decision tree is the if-converted, flattened form of the largest
+    single-entry acyclic group of basic blocks (paper section 4.1).  It
+    consists of:
+
+    - an ordered array of guarded instructions.  Order is the sequential
+      ("original program") order and is the ground truth for memory
+      semantics; register flow is single-assignment so any topological
+      order consistent with the dependence arcs is equivalent;
+    - a prioritized array of exits.  During a traversal the first exit (in
+      array order) whose guard evaluates true is taken; the final exit is
+      unconditional.  Exits carry block arguments: a parallel copy into the
+      parameters of the successor tree;
+    - the set of memory dependence arcs between its memory operations,
+      which the disambiguators refine;
+    - static value ranges for its parameters (loop induction variables with
+      known bounds), consumed by the Banerjee test. *)
+
+type exit_kind =
+    Jump of { target : int; args : Reg.t list; }
+  | Call of { callee : string; call_args : Reg.t list;
+      ret : Reg.t option; return_to : int;
+      cont_args : Reg.t list;
+    }
+  | Return of { value : Reg.t option; }
+type exit = { xguard : Insn.guard option; kind : exit_kind; }
+type t = {
+  id : int;
+  name : string;
+  params : Reg.t list;
+  insns : Insn.t array;
+  exits : exit array;
+  arcs : Memdep.t list;
+  ranges : Interval.t Reg.Map.t;
+  addr_params : Reg.Set.t;
+}
+val make :
+  id:int ->
+  name:string ->
+  params:Reg.t list ->
+  insns:Insn.t array ->
+  exits:exit array ->
+  arcs:Memdep.t list ->
+  ranges:Interval.t Reg.Map.t ->
+  ?addr_params:Reg.Set.t -> unit -> t
+val size : t -> int
+
+(** Code size in operations, the metric of the paper's Figure 6-4 (exit
+    branches count as operations; no-ops do not exist in this count). *)
+val insn_index : t -> int -> int
+val insn_by_id : t -> int -> Insn.t
+val mem_insns : t -> Insn.t list
+val max_insn_id : t -> int
+val regs_of_exit_kind : exit_kind -> Reg.t list
+val exit_uses : exit -> Reg.t list
+
+(** Every register mentioned anywhere in the tree. *)
+val all_regs : t -> Reg.Set.t
+
+(** Ambiguous (still-removable) arcs. *)
+val ambiguous_arcs : t -> Memdep.t list
+val active_arcs : t -> Memdep.t list
+
+(** Rewrite every register mentioned by an exit through [lookup]. *)
+val map_exit_regs : (Reg.t -> Reg.t) -> exit -> exit
+exception Invalid of string
+val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** [validate t] checks the structural invariants listed in the module
+    documentation and raises {!Invalid} describing the first violation. *)
+val validate : t -> unit
+val pp_exit : Format.formatter -> exit -> unit
+val pp : Format.formatter -> t -> unit

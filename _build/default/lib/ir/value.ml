@@ -1,0 +1,42 @@
+(** Runtime scalar values of the simulated machine.
+
+    The LIFE-style machine we model is word oriented: every register and
+    every memory word holds either a (boxed-width) integer or an IEEE
+    double.  Addresses are plain integers (word addressed). *)
+
+type t =
+  | Int of int
+  | Float of float
+
+let zero = Int 0
+let one = Int 1
+
+let of_bool b = if b then one else zero
+
+let is_true = function
+  | Int 0 -> false
+  | Int _ -> true
+  | Float f -> f <> 0.0
+
+(** [to_int v] reads [v] as an integer.  Floats are truncated, matching the
+    C semantics of an implicit (int) conversion. *)
+let to_int = function
+  | Int i -> i
+  | Float f -> int_of_float f
+
+(** [to_float v] reads [v] as a float, converting integers. *)
+let to_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Int _, Float _ | Float _, Int _ -> false
+
+let pp ppf = function
+  | Int i -> Fmt.pf ppf "%d" i
+  | Float f -> Fmt.pf ppf "%h" f
+
+let to_string v = Fmt.str "%a" pp v

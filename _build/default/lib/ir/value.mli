@@ -1,0 +1,21 @@
+(** Runtime scalar values of the simulated machine.
+
+    The LIFE-style machine we model is word oriented: every register and
+    every memory word holds either a (boxed-width) integer or an IEEE
+    double.  Addresses are plain integers (word addressed). *)
+
+type t = Int of int | Float of float
+val zero : t
+val one : t
+val of_bool : bool -> t
+val is_true : t -> bool
+
+(** [to_int v] reads [v] as an integer.  Floats are truncated, matching the
+    C semantics of an implicit (int) conversion. *)
+val to_int : t -> int
+
+(** [to_float v] reads [v] as a float, converting integers. *)
+val to_float : t -> float
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

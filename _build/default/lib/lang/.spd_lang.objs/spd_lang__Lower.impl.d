@@ -1,0 +1,1 @@
+lib/lang/lower.ml: Array Ast Fmt Hashtbl List Map Normalize Option Parser Printf Spd_ir String Tast Typecheck

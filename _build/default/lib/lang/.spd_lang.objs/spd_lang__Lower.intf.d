@@ -1,0 +1,1 @@
+lib/lang/lower.mli: Ast Format Hashtbl Map Seq Spd_ir String Tast

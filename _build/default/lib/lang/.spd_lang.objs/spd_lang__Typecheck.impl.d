@@ -1,0 +1,1 @@
+lib/lang/typecheck.ml: Ast Fmt List Option Spd_ir Tast

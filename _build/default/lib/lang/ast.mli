@@ -1,0 +1,68 @@
+(** Abstract syntax of the mini-C input language.
+
+    The language covers what the paper's benchmark kernels need: [int] and
+    [double] scalars, one-dimensional arrays (globals, locals and array
+    parameters — array parameters are what defeats the static
+    disambiguator, exactly as in the NRC benchmarks), structured control
+    flow, function calls including recursion, and the two output builtins
+    [print_int]/[print_float].
+
+    Multi-dimensional arrays are written with explicit index arithmetic
+    ([u[i * 50 + j]]), keeping the subscript math visible to the affine
+    address analyzer — the same information a C compiler would recover by
+    linearizing subscripts. *)
+
+type ty = Tint | Tdouble
+type unop = Neg | Lnot
+type binop =
+    Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Land
+  | Lor
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+type expr =
+    Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+  | Cast of ty * expr
+type lvalue = Lvar of string | Lindex of string * expr
+type stmt =
+    Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of { init : (string * expr) option; cond : expr;
+      step : (string * expr) option; body : stmt list;
+    }
+  | Expr of expr
+  | Return of expr option
+type vkind = Scalar of ty | Array of ty * int | Array_param of ty
+type param = { pname : string; pkind : vkind; }
+type fundef = {
+  fname : string;
+  ret_ty : ty option;
+  params : param list;
+  locals : (string * vkind) list;
+  body : stmt list;
+}
+type init = Init_scalar of expr | Init_array of expr list
+type global_decl = { gname : string; gkind : vkind; ginit : init option; }
+type program = { globals : global_decl list; funs : fundef list; }
+val pp_ty : Format.formatter -> ty -> unit
+val binop_name : binop -> string

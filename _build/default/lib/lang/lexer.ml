@@ -1,0 +1,202 @@
+(** Hand-written lexer for the mini-C language. *)
+
+type token =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW_INT
+  | KW_DOUBLE
+  | KW_VOID
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | NOT
+  | ANDAND
+  | OROR
+  | AMP
+  | BAR
+  | CARET
+  | SHL
+  | SHR
+  | EOF
+
+exception Error of string * int  (** message, line *)
+
+let keyword_of_string = function
+  | "int" -> Some KW_INT
+  | "double" -> Some KW_DOUBLE
+  | "void" -> Some KW_VOID
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "for" -> Some KW_FOR
+  | "return" -> Some KW_RETURN
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+(** [tokenize src] returns the token stream with source line numbers. *)
+let tokenize (src : string) : (token * int) list =
+  let n = String.length src in
+  let line = ref 1 in
+  let toks = ref [] in
+  let emit t = toks := (t, !line) :: !toks in
+  let err msg = raise (Error (msg, !line)) in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then err "unterminated comment"
+    end
+    else if is_digit c || (c = '.' && (match peek 1 with Some d -> is_digit d | None -> false))
+    then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      let is_float = ref false in
+      if !i < n && src.[!i] = '.' then begin
+        is_float := true;
+        incr i;
+        while !i < n && is_digit src.[!i] do incr i done
+      end;
+      if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+        is_float := true;
+        incr i;
+        if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+        while !i < n && is_digit src.[!i] do incr i done
+      end;
+      let text = String.sub src start (!i - start) in
+      if !is_float then
+        match float_of_string_opt text with
+        | Some f -> emit (FLOAT_LIT f)
+        | None -> err ("bad float literal " ^ text)
+      else
+        match int_of_string_opt text with
+        | Some v -> emit (INT_LIT v)
+        | None -> err ("bad int literal " ^ text)
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let text = String.sub src start (!i - start) in
+      match keyword_of_string text with
+      | Some kw -> emit kw
+      | None -> emit (IDENT text)
+    end
+    else begin
+      let two tk = emit tk; i := !i + 2 in
+      let one tk = emit tk; incr i in
+      match (c, peek 1) with
+      | '<', Some '=' -> two LE
+      | '<', Some '<' -> two SHL
+      | '>', Some '=' -> two GE
+      | '>', Some '>' -> two SHR
+      | '=', Some '=' -> two EQ
+      | '!', Some '=' -> two NE
+      | '&', Some '&' -> two ANDAND
+      | '|', Some '|' -> two OROR
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | ';', _ -> one SEMI
+      | ',', _ -> one COMMA
+      | '=', _ -> one ASSIGN
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | '!', _ -> one NOT
+      | '&', _ -> one AMP
+      | '|', _ -> one BAR
+      | '^', _ -> one CARET
+      | _ -> err (Printf.sprintf "unexpected character %C" c)
+    end
+  done;
+  List.rev ((EOF, !line) :: !toks)
+
+let token_name = function
+  | INT_LIT v -> Printf.sprintf "int literal %d" v
+  | FLOAT_LIT f -> Printf.sprintf "float literal %g" f
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | KW_INT -> "'int'"
+  | KW_DOUBLE -> "'double'"
+  | KW_VOID -> "'void'"
+  | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'"
+  | KW_WHILE -> "'while'"
+  | KW_FOR -> "'for'"
+  | KW_RETURN -> "'return'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | ASSIGN -> "'='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EQ -> "'=='"
+  | NE -> "'!='"
+  | NOT -> "'!'"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | AMP -> "'&'"
+  | BAR -> "'|'"
+  | CARET -> "'^'"
+  | SHL -> "'<<'"
+  | SHR -> "'>>'"
+  | EOF -> "end of file"

@@ -1,0 +1,54 @@
+(** Hand-written lexer for the mini-C language. *)
+
+type token =
+    INT_LIT of int
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW_INT
+  | KW_DOUBLE
+  | KW_VOID
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | NOT
+  | ANDAND
+  | OROR
+  | AMP
+  | BAR
+  | CARET
+  | SHL
+  | SHR
+  | EOF
+exception Error of string * int
+
+(** message, line *)
+val keyword_of_string : string -> token option
+val is_digit : char -> bool
+val is_ident_start : char -> bool
+val is_ident_char : char -> bool
+
+(** [tokenize src] returns the token stream with source line numbers. *)
+val tokenize : string -> (token * int) list
+val token_name : token -> string

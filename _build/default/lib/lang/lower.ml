@@ -1,0 +1,745 @@
+(** Lowering: typed AST -> decision-tree IR.
+
+    This is the frontend's code generator, mirroring what the paper calls
+    "an optimizing C compiler which generates decision trees":
+
+    - flat conditionals are {b if-converted} into the enclosing tree:
+      control dependence becomes data dependence through materialized path
+      conditions; stores are guarded, scalar updates merge via [Select];
+    - loops with flat bodies become single self-looping trees (condition
+      evaluated in the tree, body guarded by it, back edge as the
+      first-priority exit) — the canonical loop-body decision tree of the
+      paper;
+    - calls, returns and non-flat control flow split trees; values flow
+      between trees through block arguments (tree parameters);
+    - for-loops with recognizable induction variables annotate the loop
+      trees with the variable's static interval, feeding the Banerjee test.
+
+    Registers are single-assignment within a tree by construction. *)
+
+open Tast
+module Ir = Spd_ir
+module SMap = Map.Make (String)
+
+exception Error of string
+
+let errf fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Variable kinds within a function *)
+
+type vkind =
+  | Kreg of Ast.ty  (** scalar local or parameter: lives in registers *)
+  | Kgscalar of Ast.ty  (** global scalar: lives in memory *)
+  | Kgarray of Ast.ty  (** global array *)
+  | Kfarray of Ast.ty * int  (** local array at a frame offset *)
+  | Kparray of Ast.ty  (** array parameter: address in a register *)
+
+(* ------------------------------------------------------------------ *)
+(* Tree builder *)
+
+type builder = {
+  fname : string;
+  gen : Ir.Reg.Gen.t;
+  kinds : vkind SMap.t;
+  var_order : string list;  (** register-resident variables, fixed order *)
+  mutable next_tree : int;
+  mutable trees : Ir.Tree.t list;
+  (* state of the tree under construction *)
+  mutable tree_id : int;
+  mutable insns : Ir.Insn.t list;  (** reversed *)
+  mutable next_insn : int;
+  mutable params : Ir.Reg.t list;
+  mutable ranges : (Ir.Reg.t * Ir.Interval.t) list;
+  mutable vmap : Ir.Reg.t SMap.t;
+  mutable guard : Ir.Reg.t option;  (** materialized path condition *)
+  mutable terminated : bool;
+  mutable range_env : Ir.Interval.t SMap.t;
+      (** known intervals for in-scope induction variables *)
+  vn : (Ir.Opcode.t * Ir.Reg.t list, Ir.Reg.t) Hashtbl.t;
+      (** per-tree value numbering of pure operations *)
+  mem_cache : (Ir.Reg.t, Ir.Reg.t * Ir.Reg.t option) Hashtbl.t;
+      (** address register -> (stored value, guard context at the store);
+          forwarding applies only under the same guard context *)
+  load_cache : (Ir.Reg.t, Ir.Reg.t) Hashtbl.t;
+      (** address register -> last loaded value (loads are unguarded) *)
+}
+
+let fresh_tree_id b =
+  let id = b.next_tree in
+  b.next_tree <- id + 1;
+  id
+
+let emit b ?guard op srcs =
+  let dst = if Ir.Opcode.has_dst op then Some (Ir.Reg.Gen.fresh b.gen) else None in
+  let insn = Ir.Insn.make ~id:b.next_insn ?guard op ~dst ~srcs in
+  b.next_insn <- b.next_insn + 1;
+  b.insns <- insn :: b.insns;
+  match dst with Some d -> d | None -> -1
+
+(** Emit a pure operation with local value numbering: within a tree,
+    identical pure operations on identical sources share one register. *)
+let emit_vn b op srcs =
+  match Hashtbl.find_opt b.vn (op, srcs) with
+  | Some r -> r
+  | None ->
+      let r = emit b op srcs in
+      Hashtbl.add b.vn (op, srcs) r;
+      r
+
+let emit_cached b op = emit_vn b op []
+
+let const_int b v = emit_cached b (Ir.Opcode.Const (Ir.Value.Int v))
+let const_float b f = emit_cached b (Ir.Opcode.Const (Ir.Value.Float f))
+
+(** Emit a load from [addr], reusing a forwarded value when available:
+    the last store through [addr] in the same guard context, or the last
+    load from [addr] (loads execute speculatively, so any context). *)
+let emit_load b addr =
+  match Hashtbl.find_opt b.mem_cache addr with
+  | Some (v, ctx) when ctx = b.guard -> v
+  | _ -> (
+      match Hashtbl.find_opt b.load_cache addr with
+      | Some v -> v
+      | None ->
+          let d = emit b Ir.Opcode.Load [ addr ] in
+          Hashtbl.replace b.load_cache addr d;
+          d)
+
+(** Emit a (possibly guarded) store and update the forwarding caches: any
+    store may clobber any address, so both caches are flushed before the
+    new binding is recorded. *)
+let emit_store b addr value =
+  let guard =
+    match b.guard with
+    | None -> None
+    | Some g -> Some { Ir.Insn.greg = g; positive = true }
+  in
+  ignore (emit b ?guard Ir.Opcode.Store [ addr; value ]);
+  Hashtbl.reset b.mem_cache;
+  Hashtbl.reset b.load_cache;
+  Hashtbl.replace b.mem_cache addr (value, b.guard)
+
+(** Registers of the current tree's parameters that hold object addresses
+    (array parameters of the function). *)
+let addr_params b =
+  SMap.fold
+    (fun v r acc ->
+      match SMap.find_opt v b.kinds with
+      | Some (Kparray _) -> Ir.Reg.Set.add r acc
+      | _ -> acc)
+    b.vmap Ir.Reg.Set.empty
+  |> Ir.Reg.Set.filter (fun r -> List.mem r b.params)
+
+(** Close the tree under construction with the given exits. *)
+let finish b (exits : Ir.Tree.exit list) =
+  assert (not b.terminated);
+  let tree =
+    Ir.Tree.make ~id:b.tree_id
+      ~name:(Printf.sprintf "%s.t%d" b.fname b.tree_id)
+      ~params:b.params
+      ~insns:(Array.of_list (List.rev b.insns))
+      ~exits:(Array.of_list exits) ~arcs:[]
+      ~ranges:
+        (List.fold_left
+           (fun m (r, iv) -> Ir.Reg.Map.add r iv m)
+           Ir.Reg.Map.empty b.ranges)
+      ~addr_params:(addr_params b) ()
+  in
+  b.trees <- tree :: b.trees;
+  b.terminated <- true
+
+(** Current block arguments: the registers of all register-resident
+    variables, in the fixed order. *)
+let current_args b = List.map (fun v -> SMap.find v b.vmap) b.var_order
+
+(** Begin a new tree.  Every register-resident variable gets a fresh
+    parameter register; [ret_var], when given, receives an extra trailing
+    parameter holding a call's return value. *)
+let start b ?ret_var id =
+  assert b.terminated;
+  b.tree_id <- id;
+  b.insns <- [];
+  b.next_insn <- 0;
+  Hashtbl.reset b.vn;
+  Hashtbl.reset b.mem_cache;
+  Hashtbl.reset b.load_cache;
+  b.guard <- None;
+  b.terminated <- false;
+  let params = List.map (fun _ -> Ir.Reg.Gen.fresh b.gen) b.var_order in
+  b.vmap <-
+    List.fold_left2
+      (fun m v r -> SMap.add v r m)
+      SMap.empty b.var_order params;
+  b.ranges <-
+    List.filter_map
+      (fun v ->
+        match SMap.find_opt v b.range_env with
+        | Some iv -> Some (SMap.find v b.vmap, iv)
+        | None -> None)
+      b.var_order;
+  match ret_var with
+  | None -> b.params <- params
+  | Some (v, r) ->
+      b.params <- params @ [ r ];
+      b.vmap <- SMap.add v r b.vmap
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let array_base b name =
+  match SMap.find_opt name b.kinds with
+  | Some (Kgarray _) -> emit_cached b (Ir.Opcode.Addrof (Ir.Opcode.Global name))
+  | Some (Kfarray (_, off)) -> emit_cached b (Ir.Opcode.Addrof (Ir.Opcode.Frame off))
+  | Some (Kparray _) -> SMap.find name b.vmap
+  | _ -> errf "%s: %s is not an array" b.fname name
+
+let ibin_of_op : Ast.binop -> Ir.Opcode.ibin = function
+  | Ast.Add -> Add
+  | Sub -> Sub
+  | Mul -> Mul
+  | Div -> Div
+  | Mod -> Rem
+  | Land | Band -> And
+  | Lor | Bor -> Or
+  | Bxor -> Xor
+  | Shl -> Shl
+  | Shr -> Shr
+  | _ -> assert false
+
+let icmp_of_op : Ast.binop -> Ir.Opcode.icmp = function
+  | Ast.Lt -> Lt
+  | Le -> Le
+  | Gt -> Gt
+  | Ge -> Ge
+  | Eq -> Eq
+  | Ne -> Ne
+  | _ -> assert false
+
+let fbin_of_op : Ast.binop -> Ir.Opcode.fbin = function
+  | Ast.Add -> Fadd
+  | Sub -> Fsub
+  | Mul -> Fmul
+  | Div -> Fdiv
+  | _ -> assert false
+
+let fcmp_of_op : Ast.binop -> Ir.Opcode.fcmp = function
+  | Ast.Lt -> Flt
+  | Le -> Fle
+  | Gt -> Fgt
+  | Ge -> Fge
+  | Eq -> Feq
+  | Ne -> Fne
+  | _ -> assert false
+
+(** Does this node already produce a canonical boolean (0 or 1)? *)
+let is_boolean (e : texpr) =
+  match e.node with
+  | TBinop ((Lt | Le | Gt | Ge | Eq | Ne | Land | Lor), _, _) -> true
+  | TUnop (Lnot, _) -> true
+  | TInt (0 | 1) -> true
+  | _ -> false
+
+let rec lower_expr b (e : texpr) : Ir.Reg.t =
+  match e.node with
+  | TInt v -> const_int b v
+  | TFloat f -> const_float b f
+  | TVar name -> (
+      match SMap.find_opt name b.kinds with
+      | Some (Kreg _) | Some (Kparray _) -> SMap.find name b.vmap
+      | Some (Kgscalar _) ->
+          let addr = emit_cached b (Ir.Opcode.Addrof (Ir.Opcode.Global name)) in
+          emit_load b addr
+      | _ -> errf "%s: bad variable %s" b.fname name)
+  | TIndex (name, idx) ->
+      let addr = lower_addr b name idx in
+      emit_load b addr
+  | TUnop (Neg, a) ->
+      let r = lower_expr b a in
+      emit_vn b (if e.ty = Ast.Tdouble then Ir.Opcode.Fneg else Ir.Opcode.Ineg) [ r ]
+  | TUnop (Lnot, a) ->
+      let r = lower_expr b a in
+      emit_vn b Ir.Opcode.Not [ r ]
+  | TBinop ((Land | Lor) as op, x, y) ->
+      (* operands are booleanized so strict bitwise and/or implement the
+         logical connectives *)
+      let rx = lower_bool b x and ry = lower_bool b y in
+      emit_vn b (Ir.Opcode.Ibin (ibin_of_op op)) [ rx; ry ]
+  | TBinop (op, x, y) ->
+      let rx = lower_expr b x and ry = lower_expr b y in
+      let opc =
+        match (op, x.ty) with
+        | (Lt | Le | Gt | Ge | Eq | Ne), Ast.Tdouble ->
+            Ir.Opcode.Fcmp (fcmp_of_op op)
+        | (Lt | Le | Gt | Ge | Eq | Ne), Ast.Tint ->
+            Ir.Opcode.Icmp (icmp_of_op op)
+        | _, Ast.Tdouble -> Ir.Opcode.Fbin (fbin_of_op op)
+        | _, Ast.Tint -> Ir.Opcode.Ibin (ibin_of_op op)
+      in
+      emit_vn b opc [ rx; ry ]
+  | TCast (ty, a) ->
+      let r = lower_expr b a in
+      if ty = a.ty then r
+      else emit_vn b (if ty = Ast.Tdouble then Ir.Opcode.Itof else Ir.Opcode.Ftoi) [ r ]
+  | TCall _ -> errf "%s: internal error: call survived normalization" b.fname
+
+and lower_addr b name idx =
+  let base = array_base b name in
+  match idx.node with
+  | TInt 0 -> base
+  | _ ->
+      let i = lower_expr b idx in
+      emit_vn b (Ir.Opcode.Ibin Ir.Opcode.Add) [ base; i ]
+
+(** Lower an expression used as a truth value to a canonical 0/1. *)
+and lower_bool b (e : texpr) : Ir.Reg.t =
+  let r = lower_expr b e in
+  if is_boolean e then r
+  else
+    let z = const_int b 0 in
+    emit_vn b (Ir.Opcode.Icmp Ir.Opcode.Ne) [ r; z ]
+
+(* ------------------------------------------------------------------ *)
+(* Path conditions *)
+
+(** Conjoin the current path condition with [pc]. *)
+let conj b pc =
+  match b.guard with
+  | None -> pc
+  | Some g -> emit_vn b (Ir.Opcode.Ibin Ir.Opcode.And) [ g; pc ]
+
+let store_guard b : Ir.Insn.guard option =
+  match b.guard with
+  | None -> None
+  | Some g -> Some { Ir.Insn.greg = g; positive = true }
+
+(* ------------------------------------------------------------------ *)
+(* Induction variable ranges *)
+
+(** Static interval for the values a for-loop variable has at loop-tree
+    entry, when the bounds are literal.  Conservatively widened to include
+    the final (test-failing) value. *)
+let iv_interval ~(init : texpr option) ~(cond : texpr) ~(step : texpr option)
+    ~(var : string) : Ir.Interval.t option =
+  let lit (e : texpr) = match e.node with TInt v -> Some v | _ -> None in
+  let step_by =
+    match step with
+    | Some { node = TBinop (Ast.Add, { node = TVar v; _ }, s); _ }
+      when v = var ->
+        lit s
+    | Some { node = TBinop (Ast.Sub, { node = TVar v; _ }, s); _ }
+      when v = var ->
+        Option.map (fun x -> -x) (lit s)
+    | _ -> None
+  in
+  match (cond.node, step_by) with
+  | TBinop (op, { node = TVar v; _ }, bound), Some s when v = var && s <> 0 ->
+      let b = lit bound in
+      let i0 = Option.bind init lit in
+      let mk lo hi = Some (Ir.Interval.make lo hi) in
+      if s > 0 then (
+        match op with
+        | Ast.Lt -> mk i0 (Option.map (fun b -> b + s - 1) b)
+        | Ast.Le -> mk i0 (Option.map (fun b -> b + s) b)
+        | Ast.Ne -> mk i0 b
+        | _ -> None)
+      else (
+        match op with
+        | Ast.Gt -> mk (Option.map (fun b -> b + s + 1) b) i0
+        | Ast.Ge -> mk (Option.map (fun b -> b + s) b) i0
+        | Ast.Ne -> mk b i0
+        | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let rec lower_stmt b (s : tstmt) : unit =
+  if b.terminated then
+    (* unreachable code after a return: drop it *)
+    ()
+  else
+    match s with
+    | TAssign (lv, { node = TCall (f, args); _ }) -> lower_call b ~dst:(Some lv) f args
+    | TExpr { node = TCall (f, args); _ } -> lower_call b ~dst:None f args
+    | TExpr _ -> ()
+    | TAssign (TLvar (name, _), e) -> (
+        let r = lower_expr b e in
+        match SMap.find_opt name b.kinds with
+        | Some (Kreg _) -> (
+            (* under a guard the new value only holds on this path *)
+            match b.guard with
+            | None -> b.vmap <- SMap.add name r b.vmap
+            | Some g ->
+                let old = SMap.find name b.vmap in
+                let m = emit_vn b Ir.Opcode.Select [ g; r; old ] in
+                b.vmap <- SMap.add name m b.vmap)
+        | Some (Kgscalar _) ->
+            let addr = emit_cached b (Ir.Opcode.Addrof (Ir.Opcode.Global name)) in
+            emit_store b addr r
+        | _ -> errf "%s: bad assignment target %s" b.fname name)
+    | TAssign (TLindex (name, idx, _), e) ->
+        let r = lower_expr b e in
+        let addr = lower_addr b name idx in
+        emit_store b addr r
+    | TIf (c, then_, else_) ->
+        if List.for_all stmt_is_flat then_ && List.for_all stmt_is_flat else_
+        then lower_if_flat b c then_ else_
+        else lower_if_split b c then_ else_
+    | TWhile (c, body) -> lower_loop b ~range:None c body None
+    | TFor { init; cond; step; body } -> lower_for b init cond step body
+    | TReturn value ->
+        let v = Option.map (lower_expr b) value in
+        finish b [ { xguard = None; kind = Ir.Tree.Return { value = v } } ]
+
+(* If-conversion of a flat conditional into the current tree. *)
+and lower_if_flat b c then_ else_ =
+  let pc = lower_bool b c in
+  let outer = b.guard in
+  let map0 = b.vmap in
+  (* then branch *)
+  b.guard <- Some (conj b pc);
+  List.iter (lower_stmt b) then_;
+  let map1 = b.vmap in
+  (* else branch *)
+  b.vmap <- map0;
+  b.guard <- outer;
+  if else_ <> [] then begin
+    let npc = emit_vn b Ir.Opcode.Not [ pc ] in
+    b.guard <- Some (conj b npc);
+    List.iter (lower_stmt b) else_
+  end;
+  let map2 = b.vmap in
+  b.guard <- outer;
+  (* merge scalar updates *)
+  b.vmap <-
+    SMap.merge
+      (fun _ r1 r2 ->
+        match (r1, r2) with
+        | Some r1, Some r2 when Ir.Reg.equal r1 r2 -> Some r1
+        | Some r1, Some r2 -> Some (emit_vn b Ir.Opcode.Select [ pc; r1; r2 ])
+        | _ -> assert false)
+      map1 map2
+
+(* A conditional with loops/calls/returns inside: genuine control split. *)
+and lower_if_split b c then_ else_ =
+  assert (b.guard = None);
+  let pc = lower_bool b c in
+  let then_id = fresh_tree_id b in
+  let else_id = if else_ = [] then None else Some (fresh_tree_id b) in
+  let join_id = fresh_tree_id b in
+  let args = current_args b in
+  let fall_through =
+    match else_id with Some id -> id | None -> join_id
+  in
+  finish b
+    [
+      {
+        xguard = Some { Ir.Insn.greg = pc; positive = true };
+        kind = Ir.Tree.Jump { target = then_id; args };
+      };
+      { xguard = None; kind = Ir.Tree.Jump { target = fall_through; args } };
+    ];
+  let lower_branch id stmts =
+    start b id;
+    List.iter (lower_stmt b) stmts;
+    if not b.terminated then
+      finish b
+        [
+          {
+            xguard = None;
+            kind = Ir.Tree.Jump { target = join_id; args = current_args b };
+          };
+        ]
+  in
+  lower_branch then_id then_;
+  Option.iter (fun id -> lower_branch id else_) else_id;
+  start b join_id
+
+(* Loops.  [range] carries the induction variable's interval; [step] is an
+   optional trailing statement (the for-loop increment). *)
+and lower_loop b ~range c body (step : tstmt option) =
+  assert (b.guard = None);
+  let header_id = fresh_tree_id b in
+  let after_id = fresh_tree_id b in
+  finish b
+    [
+      {
+        xguard = None;
+        kind = Ir.Tree.Jump { target = header_id; args = current_args b };
+      };
+    ];
+  let saved_ranges = b.range_env in
+  (match range with
+  | Some (var, iv) -> b.range_env <- SMap.add var iv b.range_env
+  | None -> ());
+  let body_stmts = match step with Some s -> body @ [ s ] | None -> body in
+  if List.for_all stmt_is_flat body_stmts then begin
+    (* single-tree loop: condition + guarded body + back edge *)
+    start b header_id;
+    let entry_args = current_args b in
+    let pc = lower_bool b c in
+    b.guard <- Some pc;
+    List.iter (lower_stmt b) body_stmts;
+    b.guard <- None;
+    finish b
+      [
+        {
+          xguard = Some { Ir.Insn.greg = pc; positive = true };
+          kind = Ir.Tree.Jump { target = header_id; args = current_args b };
+        };
+        { xguard = None; kind = Ir.Tree.Jump { target = after_id; args = entry_args } };
+      ]
+  end
+  else begin
+    (* multi-tree loop: header tests, body trees loop back *)
+    let body_id = fresh_tree_id b in
+    start b header_id;
+    let pc = lower_bool b c in
+    let args = current_args b in
+    finish b
+      [
+        {
+          xguard = Some { Ir.Insn.greg = pc; positive = true };
+          kind = Ir.Tree.Jump { target = body_id; args };
+        };
+        { xguard = None; kind = Ir.Tree.Jump { target = after_id; args } };
+      ];
+    start b body_id;
+    List.iter (lower_stmt b) body_stmts;
+    if not b.terminated then
+      finish b
+        [
+          {
+            xguard = None;
+            kind = Ir.Tree.Jump { target = header_id; args = current_args b };
+          };
+        ]
+  end;
+  b.range_env <- saved_ranges;
+  start b after_id
+
+and lower_for b init cond step body =
+  (match init with
+  | Some (v, e) -> lower_stmt b (TAssign (TLvar (v, Ast.Tint), e))
+  | None -> ());
+  let var_of =
+    match (init, step) with
+    | _, Some (v, _) -> Some v
+    | Some (v, _), None -> Some v
+    | None, None -> None
+  in
+  let range =
+    match var_of with
+    | None -> None
+    | Some var ->
+        let init_e =
+          match init with Some (v, e) when v = var -> Some e | _ -> None
+        in
+        let step_e =
+          match step with Some (v, e) when v = var -> Some e | _ -> None
+        in
+        (* the interval only applies if the body does not write the var *)
+        if List.exists (stmt_writes_var var) body then None
+        else
+          iv_interval ~init:init_e ~cond ~step:step_e ~var
+          |> Option.map (fun iv -> (var, iv))
+  in
+  let step_stmt =
+    Option.map (fun (v, e) -> TAssign (TLvar (v, Ast.Tint), e)) step
+  in
+  lower_loop b ~range cond body step_stmt
+
+and stmt_writes_var var = function
+  | TAssign (TLvar (v, _), _) -> v = var
+  | TAssign (TLindex _, _) | TExpr _ | TReturn _ -> false
+  | TIf (_, a, b) ->
+      List.exists (stmt_writes_var var) a || List.exists (stmt_writes_var var) b
+  | TWhile (_, body) -> List.exists (stmt_writes_var var) body
+  | TFor { init; step; body; _ } ->
+      (match init with Some (v, _) -> v = var | None -> false)
+      || (match step with Some (v, _) -> v = var | None -> false)
+      || List.exists (stmt_writes_var var) body
+
+(* Calls end the current tree; execution resumes in a continuation tree
+   whose extra trailing parameter receives the return value. *)
+and lower_call b ~dst f args =
+  assert (b.guard = None);
+  let call_args =
+    List.map
+      (function
+        | Aexpr e -> lower_expr b e
+        | Aarray name -> array_base b name)
+      args
+  in
+  let cont_id = fresh_tree_id b in
+  let cont_args = current_args b in
+  let ret_var =
+    match dst with
+    | Some (TLvar (name, _)) -> Some (name, Ir.Reg.Gen.fresh b.gen)
+    | Some (TLindex _) ->
+        errf "%s: call result must be assigned to a scalar" b.fname
+    | None -> None
+  in
+  let ret = Option.map snd ret_var in
+  finish b
+    [
+      {
+        xguard = None;
+        kind =
+          Ir.Tree.Call { callee = f; call_args; ret; return_to = cont_id; cont_args };
+      };
+    ];
+  start b ?ret_var cont_id
+
+(* ------------------------------------------------------------------ *)
+(* Functions and programs *)
+
+let lower_fun ~kinds_global (f : tfun) : Ir.Prog.func =
+  (* frame layout for local arrays *)
+  let frame_words, kinds =
+    List.fold_left
+      (fun (off, kinds) (name, k) ->
+        match (k : Ast.vkind) with
+        | Ast.Scalar ty -> (off, SMap.add name (Kreg ty) kinds)
+        | Ast.Array (ty, n) -> (off + n, SMap.add name (Kfarray (ty, off)) kinds)
+        | Ast.Array_param _ -> assert false)
+      (0, kinds_global) f.locals
+  in
+  let kinds =
+    List.fold_left
+      (fun kinds (p : Ast.param) ->
+        match p.pkind with
+        | Ast.Scalar ty -> SMap.add p.pname (Kreg ty) kinds
+        | Ast.Array_param ty -> SMap.add p.pname (Kparray ty) kinds
+        | Ast.Array _ -> assert false)
+      kinds f.params
+  in
+  let var_order =
+    List.map (fun (p : Ast.param) -> p.pname) f.params
+    @ List.filter_map
+        (fun (name, k) ->
+          match (k : Ast.vkind) with Ast.Scalar _ -> Some name | _ -> None)
+        f.locals
+  in
+  let gen = Ir.Reg.Gen.create () in
+  let fparams =
+    List.map (fun (p : Ast.param) -> (p.pname, Ir.Reg.Gen.fresh gen)) f.params
+  in
+  let b =
+    {
+      fname = f.fname;
+      gen;
+      kinds;
+      var_order;
+      next_tree = 1;
+      trees = [];
+      tree_id = 0;
+      insns = [];
+      next_insn = 0;
+      params = List.map snd fparams;
+      ranges = [];
+      vmap = List.fold_left (fun m (v, r) -> SMap.add v r m) SMap.empty fparams;
+      guard = None;
+      terminated = false;
+      range_env = SMap.empty;
+      vn = Hashtbl.create 32;
+      mem_cache = Hashtbl.create 8;
+      load_cache = Hashtbl.create 8;
+    }
+  in
+  (* local scalars start as zero *)
+  List.iter
+    (fun (name, k) ->
+      match (k : Ast.vkind) with
+      | Ast.Scalar Ast.Tint -> b.vmap <- SMap.add name (const_int b 0) b.vmap
+      | Ast.Scalar Ast.Tdouble ->
+          b.vmap <- SMap.add name (const_float b 0.0) b.vmap
+      | _ -> ())
+    f.locals;
+  List.iter (lower_stmt b) f.body;
+  if not b.terminated then begin
+    (* implicit return *)
+    let v =
+      match f.ret_ty with
+      | None -> None
+      | Some Ast.Tint -> Some (const_int b 0)
+      | Some Ast.Tdouble -> Some (const_float b 0.0)
+    in
+    finish b [ { xguard = None; kind = Ir.Tree.Return { value = v } } ]
+  end;
+  {
+    Ir.Prog.fname = f.fname;
+    fparams = List.map snd fparams;
+    frame_words;
+    entry = 0;
+    trees = List.rev b.trees;
+  }
+
+(** Evaluate a constant initializer expression. *)
+let rec const_value ty (e : texpr) : Ir.Value.t =
+  match (e.node, ty) with
+  | TInt v, Ast.Tint -> Ir.Value.Int v
+  | TInt v, Ast.Tdouble -> Ir.Value.Float (float_of_int v)
+  | TFloat f, Ast.Tdouble -> Ir.Value.Float f
+  | TFloat f, Ast.Tint -> Ir.Value.Int (int_of_float f)
+  | TUnop (Ast.Neg, a), _ -> (
+      match const_value ty a with
+      | Ir.Value.Int v -> Ir.Value.Int (-v)
+      | Ir.Value.Float f -> Ir.Value.Float (-.f))
+  | TCast (t, a), _ -> const_value ty (const_as t a)
+  | _ -> errf "global initializers must be constants"
+
+and const_as t (e : texpr) : texpr = { e with ty = t }
+
+let lower_global (g : Ast.global_decl) : Ir.Prog.global =
+  let elab e env = Typecheck.check_expr env e in
+  let empty_env = Typecheck.{ vars = []; funs = []; globals = [] } in
+  match g.gkind with
+  | Ast.Scalar ty ->
+      let ginit =
+        match g.ginit with
+        | None -> [| (match ty with Ast.Tint -> Ir.Value.Int 0 | Ast.Tdouble -> Ir.Value.Float 0.0) |]
+        | Some (Ast.Init_scalar e) -> [| const_value ty (elab e empty_env) |]
+        | Some (Ast.Init_array _) -> assert false
+      in
+      { Ir.Prog.gname = g.gname; words = 1; ginit }
+  | Ast.Array (ty, n) ->
+      let ginit =
+        match g.ginit with
+        | None -> [||]
+        | Some (Ast.Init_array es) ->
+            Array.of_list (List.map (fun e -> const_value ty (elab e empty_env)) es)
+        | Some (Ast.Init_scalar _) -> assert false
+      in
+      { Ir.Prog.gname = g.gname; words = n; ginit }
+  | Ast.Array_param _ -> assert false
+
+(** Lower a checked, normalized program. *)
+let lower (p : tprog) : Ir.Prog.t =
+  let kinds_global =
+    List.fold_left
+      (fun m (g : Ast.global_decl) ->
+        match g.gkind with
+        | Ast.Scalar ty -> SMap.add g.gname (Kgscalar ty) m
+        | Ast.Array (ty, _) -> SMap.add g.gname (Kgarray ty) m
+        | Ast.Array_param _ -> m)
+      SMap.empty p.globals
+  in
+  let prog =
+    {
+      Ir.Prog.funcs =
+        List.map (fun (f : tfun) -> (f.fname, lower_fun ~kinds_global f)) p.funs;
+      globals = List.map lower_global p.globals;
+      main = "main";
+    }
+  in
+  Ir.Prog.validate prog;
+  prog
+
+(** Front-to-back convenience: parse, check, normalize, lower. *)
+let compile (src : string) : Ir.Prog.t =
+  let ast = Parser.parse_program src in
+  let tast = Typecheck.check ast in
+  let tast = Normalize.run tast in
+  lower tast

@@ -1,0 +1,193 @@
+(** Lowering: typed AST -> decision-tree IR.
+
+    This is the frontend's code generator, mirroring what the paper calls
+    "an optimizing C compiler which generates decision trees":
+
+    - flat conditionals are {b if-converted} into the enclosing tree:
+      control dependence becomes data dependence through materialized path
+      conditions; stores are guarded, scalar updates merge via [Select];
+    - loops with flat bodies become single self-looping trees (condition
+      evaluated in the tree, body guarded by it, back edge as the
+      first-priority exit) — the canonical loop-body decision tree of the
+      paper;
+    - calls, returns and non-flat control flow split trees; values flow
+      between trees through block arguments (tree parameters);
+    - for-loops with recognizable induction variables annotate the loop
+      trees with the variable's static interval, feeding the Banerjee test.
+
+    Registers are single-assignment within a tree by construction. *)
+
+module Ir = Spd_ir
+module SMap :
+  sig
+    type key = String.t
+    type 'a t = 'a Map.Make(String).t
+    val empty : 'a t
+    val add : key -> 'a -> 'a t -> 'a t
+    val add_to_list : key -> 'a -> 'a list t -> 'a list t
+    val update : key -> ('a option -> 'a option) -> 'a t -> 'a t
+    val singleton : key -> 'a -> 'a t
+    val remove : key -> 'a t -> 'a t
+    val merge :
+      (key -> 'a option -> 'b option -> 'c option) -> 'a t -> 'b t -> 'c t
+    val union : (key -> 'a -> 'a -> 'a option) -> 'a t -> 'a t -> 'a t
+    val cardinal : 'a t -> int
+    val bindings : 'a t -> (key * 'a) list
+    val min_binding : 'a t -> key * 'a
+    val min_binding_opt : 'a t -> (key * 'a) option
+    val max_binding : 'a t -> key * 'a
+    val max_binding_opt : 'a t -> (key * 'a) option
+    val choose : 'a t -> key * 'a
+    val choose_opt : 'a t -> (key * 'a) option
+    val find : key -> 'a t -> 'a
+    val find_opt : key -> 'a t -> 'a option
+    val find_first : (key -> bool) -> 'a t -> key * 'a
+    val find_first_opt : (key -> bool) -> 'a t -> (key * 'a) option
+    val find_last : (key -> bool) -> 'a t -> key * 'a
+    val find_last_opt : (key -> bool) -> 'a t -> (key * 'a) option
+    val iter : (key -> 'a -> unit) -> 'a t -> unit
+    val fold : (key -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+    val map : ('a -> 'b) -> 'a t -> 'b t
+    val mapi : (key -> 'a -> 'b) -> 'a t -> 'b t
+    val filter : (key -> 'a -> bool) -> 'a t -> 'a t
+    val filter_map : (key -> 'a -> 'b option) -> 'a t -> 'b t
+    val partition : (key -> 'a -> bool) -> 'a t -> 'a t * 'a t
+    val split : key -> 'a t -> 'a t * 'a option * 'a t
+    val is_empty : 'a t -> bool
+    val mem : key -> 'a t -> bool
+    val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+    val compare : ('a -> 'a -> int) -> 'a t -> 'a t -> int
+    val for_all : (key -> 'a -> bool) -> 'a t -> bool
+    val exists : (key -> 'a -> bool) -> 'a t -> bool
+    val to_list : 'a t -> (key * 'a) list
+    val of_list : (key * 'a) list -> 'a t
+    val to_seq : 'a t -> (key * 'a) Seq.t
+    val to_rev_seq : 'a t -> (key * 'a) Seq.t
+    val to_seq_from : key -> 'a t -> (key * 'a) Seq.t
+    val add_seq : (key * 'a) Seq.t -> 'a t -> 'a t
+    val of_seq : (key * 'a) Seq.t -> 'a t
+  end
+exception Error of string
+val errf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+type vkind =
+    Kreg of Ast.ty
+  | Kgscalar of Ast.ty
+  | Kgarray of Ast.ty
+  | Kfarray of Ast.ty * int
+  | Kparray of Ast.ty
+type builder = {
+  fname : string;
+  gen : Ir.Reg.Gen.t;
+  kinds : vkind SMap.t;
+  var_order : string list;
+  mutable next_tree : int;
+  mutable trees : Ir.Tree.t list;
+  mutable tree_id : int;
+  mutable insns : Ir.Insn.t list;
+  mutable next_insn : int;
+  mutable params : Ir.Reg.t list;
+  mutable ranges : (Ir.Reg.t * Ir.Interval.t) list;
+  mutable vmap : Ir.Reg.t SMap.t;
+  mutable guard : Ir.Reg.t option;
+  mutable terminated : bool;
+  mutable range_env : Ir.Interval.t SMap.t;
+  vn : (Ir.Opcode.t * Ir.Reg.t list, Ir.Reg.t) Hashtbl.t;
+  mem_cache : (Ir.Reg.t, Ir.Reg.t * Ir.Reg.t option) Hashtbl.t;
+  load_cache : (Ir.Reg.t, Ir.Reg.t) Hashtbl.t;
+}
+val fresh_tree_id : builder -> int
+val emit :
+  builder -> ?guard:Ir.Insn.guard -> Ir.Opcode.t -> Spd_ir.Reg.t list -> int
+
+(** Emit a pure operation with local value numbering: within a tree,
+    identical pure operations on identical sources share one register. *)
+val emit_vn : builder -> Ir.Opcode.t -> Ir.Reg.t list -> Ir.Reg.t
+val emit_cached : builder -> Ir.Opcode.t -> Ir.Reg.t
+val const_int : builder -> int -> Ir.Reg.t
+val const_float : builder -> float -> Ir.Reg.t
+
+(** Emit a load from [addr], reusing a forwarded value when available:
+    the last store through [addr] in the same guard context, or the last
+    load from [addr] (loads execute speculatively, so any context). *)
+val emit_load : builder -> Ir.Reg.t -> Ir.Reg.t
+
+(** Emit a (possibly guarded) store and update the forwarding caches: any
+    store may clobber any address, so both caches are flushed before the
+    new binding is recorded. *)
+val emit_store : builder -> Spd_ir.Reg.t -> Spd_ir.Reg.t -> unit
+
+(** Registers of the current tree's parameters that hold object addresses
+    (array parameters of the function). *)
+val addr_params : builder -> Ir.Reg.Set.t
+
+(** Close the tree under construction with the given exits. *)
+val finish : builder -> Ir.Tree.exit list -> unit
+
+(** Current block arguments: the registers of all register-resident
+    variables, in the fixed order. *)
+val current_args : builder -> Ir.Reg.t list
+
+(** Begin a new tree.  Every register-resident variable gets a fresh
+    parameter register; [ret_var], when given, receives an extra trailing
+    parameter holding a call's return value. *)
+val start : builder -> ?ret_var:SMap.key * Ir.Reg.t -> int -> unit
+val array_base : builder -> SMap.key -> Ir.Reg.t
+val ibin_of_op : Ast.binop -> Ir.Opcode.ibin
+val icmp_of_op : Ast.binop -> Ir.Opcode.icmp
+val fbin_of_op : Ast.binop -> Ir.Opcode.fbin
+val fcmp_of_op : Ast.binop -> Ir.Opcode.fcmp
+
+(** Does this node already produce a canonical boolean (0 or 1)? *)
+val is_boolean : Tast.texpr -> bool
+val lower_expr : builder -> Tast.texpr -> Ir.Reg.t
+val lower_addr : builder -> SMap.key -> Tast.texpr -> Ir.Reg.t
+val lower_bool : builder -> Tast.texpr -> Ir.Reg.t
+
+(** Conjoin the current path condition with [pc]. *)
+val conj : builder -> Ir.Reg.t -> Ir.Reg.t
+val store_guard : builder -> Ir.Insn.guard option
+
+(** Static interval for the values a for-loop variable has at loop-tree
+    entry, when the bounds are literal.  Conservatively widened to include
+    the final (test-failing) value. *)
+val iv_interval :
+  init:Tast.texpr option ->
+  cond:Tast.texpr ->
+  step:Tast.texpr option -> var:string -> Ir.Interval.t option
+val lower_stmt : builder -> Tast.tstmt -> unit
+val lower_if_flat :
+  builder ->
+  Tast.texpr ->
+  Tast.tstmt list -> Tast.tstmt list -> unit
+val lower_if_split :
+  builder ->
+  Tast.texpr ->
+  Tast.tstmt list -> Tast.tstmt list -> unit
+val lower_loop :
+  builder ->
+  range:(SMap.key * Ir.Interval.t) option ->
+  Tast.texpr ->
+  Tast.tstmt list -> Tast.tstmt option -> unit
+val lower_for :
+  builder ->
+  (string * Tast.texpr) option ->
+  Tast.texpr ->
+  (string * Tast.texpr) option -> Tast.tstmt list -> unit
+val stmt_writes_var : string -> Tast.tstmt -> bool
+val lower_call :
+  builder ->
+  dst:Tast.tlvalue option ->
+  string -> Tast.targ list -> unit
+val lower_fun :
+  kinds_global:vkind SMap.t -> Tast.tfun -> Ir.Prog.func
+
+(** Evaluate a constant initializer expression. *)
+val const_value : Ast.ty -> Tast.texpr -> Ir.Value.t
+val const_as : Tast.ty -> Tast.texpr -> Tast.texpr
+val lower_global : Ast.global_decl -> Ir.Prog.global
+
+(** Lower a checked, normalized program. *)
+val lower : Tast.tprog -> Ir.Prog.t
+
+(** Front-to-back convenience: parse, check, normalize, lower. *)
+val compile : string -> Ir.Prog.t

@@ -1,0 +1,113 @@
+(** Call normalization.
+
+    Lowering materializes calls as decision-tree exits, so a call must be
+    the entire right-hand side of an assignment or a statement by itself.
+    This pass hoists every nested call into a fresh temporary:
+
+    [x = f(a) + g(b);]  becomes  [__t0 = f(a); __t1 = g(b); x = __t0 + __t1;]
+
+    A call in a [while] condition is evaluated before the loop and
+    re-evaluated at the end of each iteration. *)
+
+open Tast
+
+type st = { mutable counter : int; mutable temps : (string * Ast.vkind) list }
+
+let fresh st (ty : Ast.ty) =
+  let name = Printf.sprintf "__t%d" st.counter in
+  st.counter <- st.counter + 1;
+  st.temps <- (name, Ast.Scalar ty) :: st.temps;
+  name
+
+(** [norm_expr st e] rewrites [e] so it contains no calls, returning the
+    hoisted statements (in execution order) and the residual expression. *)
+let rec norm_expr st (e : texpr) : tstmt list * texpr =
+  match e.node with
+  | TInt _ | TFloat _ | TVar _ -> ([], e)
+  | TIndex (a, i) ->
+      let s, i = norm_expr st i in
+      (s, { e with node = TIndex (a, i) })
+  | TUnop (op, a) ->
+      let s, a = norm_expr st a in
+      (s, { e with node = TUnop (op, a) })
+  | TCast (ty, a) ->
+      let s, a = norm_expr st a in
+      (s, { e with node = TCast (ty, a) })
+  | TBinop (op, a, b) ->
+      let sa, a = norm_expr st a in
+      let sb, b = norm_expr st b in
+      (sa @ sb, { e with node = TBinop (op, a, b) })
+  | TCall (f, args) ->
+      let s, call = norm_call st f args e.ty in
+      let tmp = fresh st e.ty in
+      (s @ [ TAssign (TLvar (tmp, e.ty), call) ], { e with node = TVar tmp })
+
+and norm_call st f args ty : tstmt list * texpr =
+  let stmts, args =
+    List.fold_left
+      (fun (stmts, args) arg ->
+        match arg with
+        | Aarray _ -> (stmts, arg :: args)
+        | Aexpr e ->
+            let s, e = norm_expr st e in
+            (stmts @ s, Aexpr e :: args))
+      ([], []) args
+  in
+  (stmts, { node = TCall (f, List.rev args); ty })
+
+let rec norm_stmt st (s : tstmt) : tstmt list =
+  match s with
+  | TAssign ((TLvar _ as lv), { node = TCall (f, args); ty }) ->
+      let pre, call = norm_call st f args ty in
+      pre @ [ TAssign (lv, call) ]
+  | TAssign ((TLindex _ as lv), ({ node = TCall _; _ } as e)) ->
+      (* calls may only land in scalars; bounce through a temporary *)
+      let pre_lv, lv = norm_lvalue st lv in
+      let pre, e = norm_expr st e in
+      pre_lv @ pre @ [ TAssign (lv, e) ]
+  | TAssign (lv, e) ->
+      let pre_lv, lv = norm_lvalue st lv in
+      let pre, e = norm_expr st e in
+      pre_lv @ pre @ [ TAssign (lv, e) ]
+  | TExpr { node = TCall (f, args); ty } ->
+      let pre, call = norm_call st f args ty in
+      pre @ [ TExpr call ]
+  | TExpr e ->
+      let pre, e = norm_expr st e in
+      pre @ [ TExpr e ]
+  | TIf (c, a, b) ->
+      let pre, c = norm_expr st c in
+      pre @ [ TIf (c, norm_stmts st a, norm_stmts st b) ]
+  | TWhile (c, body) ->
+      if expr_has_call c then begin
+        (* t = <c>; while (t) { body; t = <c>; } *)
+        let pre, c = norm_expr st c in
+        let tmp = fresh st Ast.Tint in
+        let set = TAssign (TLvar (tmp, Ast.Tint), c) in
+        let tvar = { node = TVar tmp; ty = Ast.Tint } in
+        pre @ [ set ] @ [ TWhile (tvar, norm_stmts st body @ pre @ [ set ]) ]
+      end
+      else [ TWhile (c, norm_stmts st body) ]
+  | TFor { init; cond; step; body } ->
+      (* the type checker rejects calls in for headers *)
+      [ TFor { init; cond; step; body = norm_stmts st body } ]
+  | TReturn None -> [ TReturn None ]
+  | TReturn (Some e) ->
+      let pre, e = norm_expr st e in
+      pre @ [ TReturn (Some e) ]
+
+and norm_lvalue st = function
+  | TLvar _ as lv -> ([], lv)
+  | TLindex (a, i, ty) ->
+      let pre, i = norm_expr st i in
+      (pre, TLindex (a, i, ty))
+
+and norm_stmts st stmts = List.concat_map (norm_stmt st) stmts
+
+let norm_fun (f : tfun) : tfun =
+  let st = { counter = 0; temps = [] } in
+  let body = norm_stmts st f.body in
+  { f with body; locals = f.locals @ List.rev st.temps }
+
+(** Normalize every function of the program. *)
+let run (p : tprog) : tprog = { p with funs = List.map norm_fun p.funs }

@@ -1,0 +1,35 @@
+(** Call normalization.
+
+    Lowering materializes calls as decision-tree exits, so a call must be
+    the entire right-hand side of an assignment or a statement by itself.
+    This pass hoists every nested call into a fresh temporary:
+
+    [x = f(a) + g(b);]  becomes  [__t0 = f(a); __t1 = g(b); x = __t0 + __t1;]
+
+    A call in a [while] condition is evaluated before the loop and
+    re-evaluated at the end of each iteration. *)
+
+type st = {
+  mutable counter : int;
+  mutable temps : (string * Ast.vkind) list;
+}
+val fresh : st -> Ast.ty -> string
+
+(** [norm_expr st e] rewrites [e] so it contains no calls, returning the
+    hoisted statements (in execution order) and the residual expression. *)
+val norm_expr :
+  st -> Tast.texpr -> Tast.tstmt list * Tast.texpr
+val norm_call :
+  st ->
+  string ->
+  Tast.targ list ->
+  Tast.ty -> Tast.tstmt list * Tast.texpr
+val norm_stmt : st -> Tast.tstmt -> Tast.tstmt list
+val norm_lvalue :
+  st ->
+  Tast.tlvalue -> Tast.tstmt list * Tast.tlvalue
+val norm_stmts : st -> Tast.tstmt list -> Tast.tstmt list
+val norm_fun : Tast.tfun -> Tast.tfun
+
+(** Normalize every function of the program. *)
+val run : Tast.tprog -> Tast.tprog

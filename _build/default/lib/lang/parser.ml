@@ -1,0 +1,395 @@
+(** Recursive-descent parser for the mini-C language. *)
+
+open Ast
+
+exception Error of string * int
+
+type st = { toks : (Lexer.token * int) array; mutable pos : int }
+
+let cur st = fst st.toks.(st.pos)
+let line st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let err st msg =
+  raise (Error (Printf.sprintf "%s (found %s)" msg (Lexer.token_name (cur st)), line st))
+
+let expect st tok =
+  if cur st = tok then advance st
+  else err st (Printf.sprintf "expected %s" (Lexer.token_name tok))
+
+let expect_ident st =
+  match cur st with
+  | Lexer.IDENT s -> advance st; s
+  | _ -> err st "expected identifier"
+
+let expect_int st =
+  match cur st with
+  | Lexer.INT_LIT v -> advance st; v
+  | _ -> err st "expected integer literal"
+
+let parse_ty st =
+  match cur st with
+  | Lexer.KW_INT -> advance st; Tint
+  | Lexer.KW_DOUBLE -> advance st; Tdouble
+  | _ -> err st "expected a type"
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let rec parse_expr st = parse_lor st
+
+and parse_lor st =
+  let lhs = ref (parse_land st) in
+  while cur st = Lexer.OROR do
+    advance st;
+    lhs := Binop (Lor, !lhs, parse_land st)
+  done;
+  !lhs
+
+and parse_land st =
+  let lhs = ref (parse_bor st) in
+  while cur st = Lexer.ANDAND do
+    advance st;
+    lhs := Binop (Land, !lhs, parse_bor st)
+  done;
+  !lhs
+
+and parse_bor st =
+  let lhs = ref (parse_bxor st) in
+  while cur st = Lexer.BAR do
+    advance st;
+    lhs := Binop (Bor, !lhs, parse_bxor st)
+  done;
+  !lhs
+
+and parse_bxor st =
+  let lhs = ref (parse_band st) in
+  while cur st = Lexer.CARET do
+    advance st;
+    lhs := Binop (Bxor, !lhs, parse_band st)
+  done;
+  !lhs
+
+and parse_band st =
+  let lhs = ref (parse_equality st) in
+  while cur st = Lexer.AMP do
+    advance st;
+    lhs := Binop (Band, !lhs, parse_equality st)
+  done;
+  !lhs
+
+and parse_equality st =
+  let lhs = ref (parse_relational st) in
+  let continue = ref true in
+  while !continue do
+    match cur st with
+    | Lexer.EQ -> advance st; lhs := Binop (Eq, !lhs, parse_relational st)
+    | Lexer.NE -> advance st; lhs := Binop (Ne, !lhs, parse_relational st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_relational st =
+  let lhs = ref (parse_shift st) in
+  let continue = ref true in
+  while !continue do
+    match cur st with
+    | Lexer.LT -> advance st; lhs := Binop (Lt, !lhs, parse_shift st)
+    | Lexer.LE -> advance st; lhs := Binop (Le, !lhs, parse_shift st)
+    | Lexer.GT -> advance st; lhs := Binop (Gt, !lhs, parse_shift st)
+    | Lexer.GE -> advance st; lhs := Binop (Ge, !lhs, parse_shift st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_shift st =
+  let lhs = ref (parse_additive st) in
+  let continue = ref true in
+  while !continue do
+    match cur st with
+    | Lexer.SHL -> advance st; lhs := Binop (Shl, !lhs, parse_additive st)
+    | Lexer.SHR -> advance st; lhs := Binop (Shr, !lhs, parse_additive st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let continue = ref true in
+  while !continue do
+    match cur st with
+    | Lexer.PLUS -> advance st; lhs := Binop (Add, !lhs, parse_multiplicative st)
+    | Lexer.MINUS -> advance st; lhs := Binop (Sub, !lhs, parse_multiplicative st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match cur st with
+    | Lexer.STAR -> advance st; lhs := Binop (Mul, !lhs, parse_unary st)
+    | Lexer.SLASH -> advance st; lhs := Binop (Div, !lhs, parse_unary st)
+    | Lexer.PERCENT -> advance st; lhs := Binop (Mod, !lhs, parse_unary st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match cur st with
+  | Lexer.MINUS -> advance st; Unop (Neg, parse_unary st)
+  | Lexer.NOT -> advance st; Unop (Lnot, parse_unary st)
+  | Lexer.LPAREN
+    when (match fst st.toks.(st.pos + 1) with
+         | Lexer.KW_INT | Lexer.KW_DOUBLE -> fst st.toks.(st.pos + 2) = Lexer.RPAREN
+         | _ -> false) ->
+      advance st;
+      let ty = parse_ty st in
+      expect st Lexer.RPAREN;
+      Cast (ty, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match cur st with
+  | Lexer.INT_LIT v -> advance st; Int_lit v
+  | Lexer.FLOAT_LIT f -> advance st; Float_lit f
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RPAREN;
+      e
+  | Lexer.IDENT name -> (
+      advance st;
+      match cur st with
+      | Lexer.LBRACKET ->
+          advance st;
+          let idx = parse_expr st in
+          expect st Lexer.RBRACKET;
+          Index (name, idx)
+      | Lexer.LPAREN ->
+          advance st;
+          let args = parse_args st in
+          Call (name, args)
+      | _ -> Var name)
+  | _ -> err st "expected an expression"
+
+and parse_args st =
+  if cur st = Lexer.RPAREN then begin advance st; [] end
+  else begin
+    let args = ref [ parse_expr st ] in
+    while cur st = Lexer.COMMA do
+      advance st;
+      args := parse_expr st :: !args
+    done;
+    expect st Lexer.RPAREN;
+    List.rev !args
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let parse_simple_assign st =
+  (* [ident = expr], as used in for-loop headers *)
+  let name = expect_ident st in
+  expect st Lexer.ASSIGN;
+  let e = parse_expr st in
+  (name, e)
+
+let rec parse_stmt st : stmt =
+  match cur st with
+  | Lexer.KW_IF ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let cond = parse_expr st in
+      expect st Lexer.RPAREN;
+      let then_ = parse_block_or_stmt st in
+      let else_ =
+        if cur st = Lexer.KW_ELSE then begin
+          advance st;
+          parse_block_or_stmt st
+        end
+        else []
+      in
+      If (cond, then_, else_)
+  | Lexer.KW_WHILE ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let cond = parse_expr st in
+      expect st Lexer.RPAREN;
+      While (cond, parse_block_or_stmt st)
+  | Lexer.KW_FOR ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let init =
+        if cur st = Lexer.SEMI then None else Some (parse_simple_assign st)
+      in
+      expect st Lexer.SEMI;
+      let cond = parse_expr st in
+      expect st Lexer.SEMI;
+      let step =
+        if cur st = Lexer.RPAREN then None else Some (parse_simple_assign st)
+      in
+      expect st Lexer.RPAREN;
+      For { init; cond; step; body = parse_block_or_stmt st }
+  | Lexer.KW_RETURN ->
+      advance st;
+      if cur st = Lexer.SEMI then begin
+        advance st;
+        Return None
+      end
+      else begin
+        let e = parse_expr st in
+        expect st Lexer.SEMI;
+        Return (Some e)
+      end
+  | Lexer.IDENT name -> (
+      advance st;
+      match cur st with
+      | Lexer.ASSIGN ->
+          advance st;
+          let e = parse_expr st in
+          expect st Lexer.SEMI;
+          Assign (Lvar name, e)
+      | Lexer.LBRACKET ->
+          advance st;
+          let idx = parse_expr st in
+          expect st Lexer.RBRACKET;
+          expect st Lexer.ASSIGN;
+          let e = parse_expr st in
+          expect st Lexer.SEMI;
+          Assign (Lindex (name, idx), e)
+      | Lexer.LPAREN ->
+          advance st;
+          let args = parse_args st in
+          expect st Lexer.SEMI;
+          Expr (Call (name, args))
+      | _ -> err st "expected '=', '[' or '(' after identifier")
+  | _ -> err st "expected a statement"
+
+and parse_block_or_stmt st : stmt list =
+  if cur st = Lexer.LBRACE then begin
+    advance st;
+    let stmts = ref [] in
+    while cur st <> Lexer.RBRACE do
+      stmts := parse_stmt st :: !stmts
+    done;
+    advance st;
+    List.rev !stmts
+  end
+  else [ parse_stmt st ]
+
+(* ------------------------------------------------------------------ *)
+(* Declarations *)
+
+let parse_init st =
+  if cur st = Lexer.LBRACE then begin
+    advance st;
+    let items = ref [ parse_expr st ] in
+    while cur st = Lexer.COMMA do
+      advance st;
+      items := parse_expr st :: !items
+    done;
+    expect st Lexer.RBRACE;
+    Init_array (List.rev !items)
+  end
+  else Init_scalar (parse_expr st)
+
+let parse_param st =
+  let ty = parse_ty st in
+  let name = expect_ident st in
+  if cur st = Lexer.LBRACKET then begin
+    advance st;
+    expect st Lexer.RBRACKET;
+    { pname = name; pkind = Array_param ty }
+  end
+  else { pname = name; pkind = Scalar ty }
+
+let parse_params st =
+  expect st Lexer.LPAREN;
+  if cur st = Lexer.RPAREN then begin advance st; [] end
+  else if cur st = Lexer.KW_VOID && fst st.toks.(st.pos + 1) = Lexer.RPAREN
+  then begin
+    advance st;
+    advance st;
+    []
+  end
+  else begin
+    let ps = ref [ parse_param st ] in
+    while cur st = Lexer.COMMA do
+      advance st;
+      ps := parse_param st :: !ps
+    done;
+    expect st Lexer.RPAREN;
+    List.rev !ps
+  end
+
+(* A local declaration: [type ident;] or [type ident[N];]. *)
+let parse_local st =
+  let ty = parse_ty st in
+  let name = expect_ident st in
+  let kind =
+    if cur st = Lexer.LBRACKET then begin
+      advance st;
+      let n = expect_int st in
+      expect st Lexer.RBRACKET;
+      Array (ty, n)
+    end
+    else Scalar ty
+  in
+  expect st Lexer.SEMI;
+  (name, kind)
+
+let parse_fun_body st =
+  expect st Lexer.LBRACE;
+  let locals = ref [] in
+  while cur st = Lexer.KW_INT || cur st = Lexer.KW_DOUBLE do
+    locals := parse_local st :: !locals
+  done;
+  let stmts = ref [] in
+  while cur st <> Lexer.RBRACE do
+    stmts := parse_stmt st :: !stmts
+  done;
+  advance st;
+  (List.rev !locals, List.rev !stmts)
+
+(** Parse a whole translation unit. *)
+let parse_program (src : string) : program =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0 } in
+  let globals = ref [] in
+  let funs = ref [] in
+  while cur st <> Lexer.EOF do
+    let ret_ty = if cur st = Lexer.KW_VOID then (advance st; None) else Some (parse_ty st) in
+    let name = expect_ident st in
+    match cur st with
+    | Lexer.LPAREN ->
+        let params = parse_params st in
+        let locals, body = parse_fun_body st in
+        funs := { fname = name; ret_ty; params; locals; body } :: !funs
+    | _ ->
+        let ty =
+          match ret_ty with
+          | Some t -> t
+          | None -> err st "global declarations cannot be void"
+        in
+        let kind =
+          if cur st = Lexer.LBRACKET then begin
+            advance st;
+            let n = expect_int st in
+            expect st Lexer.RBRACKET;
+            Array (ty, n)
+          end
+          else Scalar ty
+        in
+        let init =
+          if cur st = Lexer.ASSIGN then begin
+            advance st;
+            Some (parse_init st)
+          end
+          else None
+        in
+        expect st Lexer.SEMI;
+        globals := { gname = name; gkind = kind; ginit = init } :: !globals
+  done;
+  { globals = List.rev !globals; funs = List.rev !funs }

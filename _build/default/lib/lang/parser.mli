@@ -1,0 +1,38 @@
+(** Recursive-descent parser for the mini-C language. *)
+
+exception Error of string * int
+type st = { toks : (Lexer.token * int) array; mutable pos : int; }
+val cur : st -> Lexer.token
+val line : st -> int
+val advance : st -> unit
+val err : st -> string -> 'a
+val expect : st -> Lexer.token -> unit
+val expect_ident : st -> string
+val expect_int : st -> int
+val parse_ty : st -> Ast.ty
+val parse_expr : st -> Ast.expr
+val parse_lor : st -> Ast.expr
+val parse_land : st -> Ast.expr
+val parse_bor : st -> Ast.expr
+val parse_bxor : st -> Ast.expr
+val parse_band : st -> Ast.expr
+val parse_equality : st -> Ast.expr
+val parse_relational : st -> Ast.expr
+val parse_shift : st -> Ast.expr
+val parse_additive : st -> Ast.expr
+val parse_multiplicative : st -> Ast.expr
+val parse_unary : st -> Ast.expr
+val parse_primary : st -> Ast.expr
+val parse_args : st -> Ast.expr list
+val parse_simple_assign : st -> string * Ast.expr
+val parse_stmt : st -> Ast.stmt
+val parse_block_or_stmt : st -> Ast.stmt list
+val parse_init : st -> Ast.init
+val parse_param : st -> Ast.param
+val parse_params : st -> Ast.param list
+val parse_local : st -> string * Ast.vkind
+val parse_fun_body :
+  st -> (string * Ast.vkind) list * Ast.stmt list
+
+(** Parse a whole translation unit. *)
+val parse_program : string -> Ast.program

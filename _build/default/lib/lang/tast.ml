@@ -1,0 +1,85 @@
+(** Typed abstract syntax.
+
+    Produced by {!Typecheck}; all implicit conversions have been made
+    explicit ([TCast]), every binary operation has operands of one type,
+    conditions are [int]-typed, and names are resolved to their kinds. *)
+
+type ty = Ast.ty
+
+type texpr = { node : node; ty : ty }
+
+and node =
+  | TInt of int
+  | TFloat of float
+  | TVar of string
+  | TIndex of string * texpr  (** element access; [ty] is the element type *)
+  | TUnop of Ast.unop * texpr
+  | TBinop of Ast.binop * texpr * texpr
+  | TCall of string * targ list
+  | TCast of ty * texpr
+
+and targ =
+  | Aexpr of texpr
+  | Aarray of string  (** an array name decaying to its address *)
+
+type tlvalue =
+  | TLvar of string * ty
+  | TLindex of string * texpr * ty  (** array, index, element type *)
+
+type tstmt =
+  | TAssign of tlvalue * texpr
+  | TIf of texpr * tstmt list * tstmt list
+  | TWhile of texpr * tstmt list
+  | TFor of {
+      init : (string * texpr) option;
+      cond : texpr;
+      step : (string * texpr) option;
+      body : tstmt list;
+    }
+  | TExpr of texpr  (** a call evaluated for effect *)
+  | TReturn of texpr option
+
+type tfun = {
+  fname : string;
+  ret_ty : ty option;
+  params : Ast.param list;
+  locals : (string * Ast.vkind) list;
+  body : tstmt list;
+}
+
+type tprog = { globals : Ast.global_decl list; funs : tfun list }
+
+let rec expr_has_call (e : texpr) =
+  match e.node with
+  | TCall _ -> true
+  | TInt _ | TFloat _ | TVar _ -> false
+  | TIndex (_, i) -> expr_has_call i
+  | TUnop (_, a) | TCast (_, a) -> expr_has_call a
+  | TBinop (_, a, b) -> expr_has_call a || expr_has_call b
+
+let rec stmt_has_call = function
+  | TAssign (TLvar _, e) | TExpr e -> expr_has_call e
+  | TAssign (TLindex (_, i, _), e) -> expr_has_call i || expr_has_call e
+  | TIf (c, a, b) ->
+      expr_has_call c || List.exists stmt_has_call a
+      || List.exists stmt_has_call b
+  | TWhile (c, b) -> expr_has_call c || List.exists stmt_has_call b
+  | TFor { init; cond; step; body } ->
+      (match init with Some (_, e) -> expr_has_call e | None -> false)
+      || expr_has_call cond
+      || (match step with Some (_, e) -> expr_has_call e | None -> false)
+      || List.exists stmt_has_call body
+  | TReturn (Some e) -> expr_has_call e
+  | TReturn None -> false
+
+(** A statement is flat when it contains no loop, call or return: flat
+    regions are what if-conversion may fold into the enclosing decision
+    tree. *)
+let rec stmt_is_flat s =
+  match s with
+  | TAssign _ | TExpr _ -> not (stmt_has_call s)
+  | TIf (c, a, b) ->
+      (not (expr_has_call c))
+      && List.for_all stmt_is_flat a
+      && List.for_all stmt_is_flat b
+  | TWhile _ | TFor _ | TReturn _ -> false

@@ -1,0 +1,43 @@
+(** Typed abstract syntax.
+
+    Produced by {!Typecheck}; all implicit conversions have been made
+    explicit ([TCast]), every binary operation has operands of one type,
+    conditions are [int]-typed, and names are resolved to their kinds. *)
+
+type ty = Ast.ty
+type texpr = { node : node; ty : ty; }
+and node =
+    TInt of int
+  | TFloat of float
+  | TVar of string
+  | TIndex of string * texpr
+  | TUnop of Ast.unop * texpr
+  | TBinop of Ast.binop * texpr * texpr
+  | TCall of string * targ list
+  | TCast of ty * texpr
+and targ = Aexpr of texpr | Aarray of string
+type tlvalue = TLvar of string * ty | TLindex of string * texpr * ty
+type tstmt =
+    TAssign of tlvalue * texpr
+  | TIf of texpr * tstmt list * tstmt list
+  | TWhile of texpr * tstmt list
+  | TFor of { init : (string * texpr) option; cond : texpr;
+      step : (string * texpr) option; body : tstmt list;
+    }
+  | TExpr of texpr
+  | TReturn of texpr option
+type tfun = {
+  fname : string;
+  ret_ty : ty option;
+  params : Ast.param list;
+  locals : (string * Ast.vkind) list;
+  body : tstmt list;
+}
+type tprog = { globals : Ast.global_decl list; funs : tfun list; }
+val expr_has_call : texpr -> bool
+val stmt_has_call : tstmt -> bool
+
+(** A statement is flat when it contains no loop, call or return: flat
+    regions are what if-conversion may fold into the enclosing decision
+    tree. *)
+val stmt_is_flat : tstmt -> bool

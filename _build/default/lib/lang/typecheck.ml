@@ -1,0 +1,243 @@
+(** Type checker and elaborator: AST -> typed AST.
+
+    Responsibilities:
+    - name resolution and kind checking (scalar vs array vs array param);
+    - arithmetic promotion: a binary operation with one [double] operand
+      promotes the other ([TCast]); comparisons yield [int];
+    - implicit conversion at assignments, call arguments and returns;
+    - conditions are coerced to [int] (a [double] condition becomes
+      [d != 0.0]);
+    - arity/type checking of calls, including the output builtins. *)
+
+open Ast
+open Tast
+
+exception Error of string
+
+let errf fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type entry =
+  | Escalar of ty
+  | Earray of ty  (** global/local array or array parameter *)
+
+type env = {
+  vars : (string * entry) list;  (** innermost first *)
+  funs : (string * (ty option * param list)) list;
+  globals : (string * entry) list;
+}
+
+let lookup env name =
+  match List.assoc_opt name env.vars with
+  | Some e -> Some e
+  | None -> List.assoc_opt name env.globals
+
+let entry_of_kind = function
+  | Scalar t -> Escalar t
+  | Array (t, _) -> Earray t
+  | Array_param t -> Earray t
+
+let cast_to ty (e : texpr) =
+  if e.ty = ty then e else { node = TCast (ty, e); ty }
+
+let is_comparison = function
+  | Lt | Le | Gt | Ge | Eq | Ne -> true
+  | _ -> false
+
+let int_only = function
+  | Mod | Land | Lor | Band | Bor | Bxor | Shl | Shr -> true
+  | _ -> false
+
+let rec check_expr env (e : expr) : texpr =
+  match e with
+  | Int_lit v -> { node = TInt v; ty = Tint }
+  | Float_lit f -> { node = TFloat f; ty = Tdouble }
+  | Var name -> (
+      match lookup env name with
+      | Some (Escalar t) -> { node = TVar name; ty = t }
+      | Some (Earray _) -> errf "array %s used as a scalar" name
+      | None -> errf "undefined variable %s" name)
+  | Index (name, idx) -> (
+      match lookup env name with
+      | Some (Earray t) ->
+          let idx = check_expr env idx in
+          if idx.ty <> Tint then errf "index of %s is not an int" name;
+          { node = TIndex (name, idx); ty = t }
+      | Some (Escalar _) -> errf "scalar %s indexed as an array" name
+      | None -> errf "undefined array %s" name)
+  | Unop (Neg, a) ->
+      let a = check_expr env a in
+      { node = TUnop (Neg, a); ty = a.ty }
+  | Unop (Lnot, a) ->
+      let a = check_cond env a in
+      { node = TUnop (Lnot, a); ty = Tint }
+  | Binop ((Land | Lor) as op, a, b) ->
+      let a = check_cond env a and b = check_cond env b in
+      { node = TBinop (op, a, b); ty = Tint }
+  | Binop (op, a, b) ->
+      let a = check_expr env a and b = check_expr env b in
+      let oty =
+        if a.ty = Tdouble || b.ty = Tdouble then Tdouble else Tint
+      in
+      if int_only op && oty = Tdouble then
+        errf "operator %s requires integer operands" (binop_name op);
+      let a = cast_to oty a and b = cast_to oty b in
+      let ty = if is_comparison op then Tint else oty in
+      { node = TBinop (op, a, b); ty }
+  | Call (name, args) -> check_call env name args
+  | Cast (ty, a) ->
+      let a = check_expr env a in
+      cast_to ty a
+
+and check_call env name args : texpr =
+  match List.assoc_opt name Spd_ir.Prog.builtins with
+  | Some arity ->
+      if List.length args <> arity then errf "builtin %s wants %d argument(s)" name arity;
+      let want = if name = "print_float" then Tdouble else Tint in
+      let args =
+        List.map (fun a -> Aexpr (cast_to want (check_expr env a))) args
+      in
+      { node = TCall (name, args); ty = Tint }
+      (* builtins are void; [check_stmt] only lets them appear in
+         statement position, so the bogus type is never observed *)
+  | None -> (
+      match List.assoc_opt name env.funs with
+      | None -> errf "call to undefined function %s" name
+      | Some (ret, params) ->
+          if List.length args <> List.length params then
+            errf "%s expects %d argument(s), got %d" name
+              (List.length params) (List.length args);
+          let check_arg (p : param) (a : expr) =
+            match (p.pkind, a) with
+            | Array_param t, Var arr -> (
+                match lookup env arr with
+                | Some (Earray t') when t' = t -> Aarray arr
+                | Some (Earray _) ->
+                    errf "array argument %s has wrong element type" arr
+                | _ -> errf "argument %s of %s must be an array" arr name)
+            | Array_param _, _ ->
+                errf "argument of %s must be an array name" name
+            | Scalar t, a -> Aexpr (cast_to t (check_expr env a))
+            | Array (_, _), _ -> assert false
+          in
+          let targs = List.map2 check_arg params args in
+          let ty = match ret with Some t -> t | None -> Tint in
+          { node = TCall (name, targs); ty })
+
+(** Check an expression used as a truth value; result type is [int]. *)
+and check_cond env (e : expr) : texpr =
+  let t = check_expr env e in
+  if t.ty = Tint then t
+  else
+    {
+      node = TBinop (Ne, t, { node = TFloat 0.0; ty = Tdouble });
+      ty = Tint;
+    }
+
+let rec check_stmt env ~(ret : ty option) (s : stmt) : tstmt =
+  match s with
+  | Assign (Lvar name, e) -> (
+      match lookup env name with
+      | Some (Escalar t) ->
+          TAssign (TLvar (name, t), cast_to t (check_expr env e))
+      | Some (Earray _) -> errf "cannot assign to array %s" name
+      | None -> errf "assignment to undefined variable %s" name)
+  | Assign (Lindex (name, idx), e) -> (
+      match lookup env name with
+      | Some (Earray t) ->
+          let idx = check_expr env idx in
+          if idx.ty <> Tint then errf "index of %s is not an int" name;
+          TAssign (TLindex (name, idx, t), cast_to t (check_expr env e))
+      | Some (Escalar _) -> errf "scalar %s indexed as an array" name
+      | None -> errf "assignment to undefined array %s" name)
+  | If (c, a, b) ->
+      TIf
+        ( check_cond env c,
+          List.map (check_stmt env ~ret) a,
+          List.map (check_stmt env ~ret) b )
+  | While (c, body) ->
+      TWhile (check_cond env c, List.map (check_stmt env ~ret) body)
+  | For { init; cond; step; body } ->
+      let check_iv (name, e) =
+        match lookup env name with
+        | Some (Escalar Tint) -> (name, cast_to Tint (check_expr env e))
+        | Some _ -> errf "for-loop variable %s must be an int scalar" name
+        | None -> errf "undefined for-loop variable %s" name
+      in
+      let init = Option.map check_iv init in
+      let step = Option.map check_iv step in
+      let cond = check_cond env cond in
+      if
+        expr_has_call cond
+        || (match init with Some (_, e) -> expr_has_call e | None -> false)
+        || match step with Some (_, e) -> expr_has_call e | None -> false
+      then errf "calls are not allowed in for-loop headers";
+      TFor { init; cond; step; body = List.map (check_stmt env ~ret) body }
+  | Expr (Call (name, args)) -> TExpr (check_call env name args)
+  | Expr _ -> errf "expression statements must be calls"
+  | Return None ->
+      if ret <> None then errf "missing return value";
+      TReturn None
+  | Return (Some e) -> (
+      match ret with
+      | None -> errf "void function returns a value"
+      | Some t -> TReturn (Some (cast_to t (check_expr env e))))
+
+let check_fun env (f : fundef) : tfun =
+  let add_var vars name entry =
+    if List.mem_assoc name vars then errf "duplicate variable %s in %s" name f.fname;
+    (name, entry) :: vars
+  in
+  let vars =
+    List.fold_left
+      (fun vars (p : param) -> add_var vars p.pname (entry_of_kind p.pkind))
+      [] f.params
+  in
+  let vars =
+    List.fold_left
+      (fun vars (name, kind) ->
+        (match kind with
+        | Array_param _ -> errf "local %s cannot be an array parameter" name
+        | _ -> ());
+        add_var vars name (entry_of_kind kind))
+      vars f.locals
+  in
+  let env = { env with vars } in
+  {
+    fname = f.fname;
+    ret_ty = f.ret_ty;
+    params = f.params;
+    locals = f.locals;
+    body = List.map (check_stmt env ~ret:f.ret_ty) f.body;
+  }
+
+(** Check a whole program.  Requires an [int main()] entry point. *)
+let check (p : program) : tprog =
+  let globals =
+    List.map
+      (fun (g : global_decl) ->
+        (match (g.gkind, g.ginit) with
+        | Scalar _, Some (Init_array _) ->
+            errf "scalar global %s has array initializer" g.gname
+        | Array _, Some (Init_scalar _) ->
+            errf "array global %s has scalar initializer" g.gname
+        | Array_param _, _ -> errf "global %s cannot be an array parameter" g.gname
+        | _ -> ());
+        (g.gname, entry_of_kind g.gkind))
+      p.globals
+  in
+  let funs =
+    List.map (fun (f : fundef) -> (f.fname, (f.ret_ty, f.params))) p.funs
+  in
+  List.iter
+    (fun (name, _) ->
+      if Spd_ir.Prog.is_builtin name then
+        errf "function %s shadows a builtin" name;
+      if List.length (List.filter (fun (n, _) -> n = name) funs) > 1 then
+        errf "duplicate function %s" name)
+    funs;
+  let env = { vars = []; funs; globals } in
+  (match List.assoc_opt "main" funs with
+  | Some (Some Tint, []) -> ()
+  | Some _ -> errf "main must be declared as int main()"
+  | None -> errf "program has no main function");
+  { globals = p.globals; funs = List.map (check_fun env) p.funs }

@@ -1,0 +1,35 @@
+(** Type checker and elaborator: AST -> typed AST.
+
+    Responsibilities:
+    - name resolution and kind checking (scalar vs array vs array param);
+    - arithmetic promotion: a binary operation with one [double] operand
+      promotes the other ([TCast]); comparisons yield [int];
+    - implicit conversion at assignments, call arguments and returns;
+    - conditions are coerced to [int] (a [double] condition becomes
+      [d != 0.0]);
+    - arity/type checking of calls, including the output builtins. *)
+
+exception Error of string
+val errf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+type entry = Escalar of Tast.ty | Earray of Tast.ty
+type env = {
+  vars : (string * entry) list;
+  funs : (string * (Tast.ty option * Ast.param list)) list;
+  globals : (string * entry) list;
+}
+val lookup : env -> string -> entry option
+val entry_of_kind : Ast.vkind -> entry
+val cast_to : Tast.ty -> Tast.texpr -> Tast.texpr
+val is_comparison : Ast.binop -> bool
+val int_only : Ast.binop -> bool
+val check_expr : env -> Ast.expr -> Tast.texpr
+val check_call :
+  env -> string -> Ast.expr list -> Tast.texpr
+val check_cond : env -> Ast.expr -> Tast.texpr
+val check_stmt :
+  env ->
+  ret:Tast.ty option -> Ast.stmt -> Tast.tstmt
+val check_fun : env -> Ast.fundef -> Tast.tfun
+
+(** Check a whole program.  Requires an [int main()] entry point. *)
+val check : Ast.program -> Tast.tprog

@@ -1,0 +1,1 @@
+lib/machine/descr.ml: Fmt Spd_ir

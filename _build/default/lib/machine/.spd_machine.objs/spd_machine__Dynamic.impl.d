@@ -1,0 +1,1 @@
+lib/machine/dynamic.ml: Array Descr Hashtbl Insn List Memdep Prog Scheduler Spd_analysis Spd_ir Spd_sim Tree

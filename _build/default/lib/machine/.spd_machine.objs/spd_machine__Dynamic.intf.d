@@ -1,0 +1,1 @@
+lib/machine/dynamic.mli: Descr Hashtbl Spd_analysis Spd_ir Spd_sim

@@ -1,0 +1,1 @@
+lib/machine/scheduler.ml: Array Fun Hashtbl List Spd_analysis Spd_ir Spd_sim

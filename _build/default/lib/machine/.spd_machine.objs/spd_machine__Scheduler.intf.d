@@ -1,0 +1,1 @@
+lib/machine/scheduler.mli: Spd_analysis Spd_sim

@@ -1,0 +1,1 @@
+lib/machine/timing_builder.ml: Descr Prog Scheduler Spd_analysis Spd_ir Spd_sim Tree

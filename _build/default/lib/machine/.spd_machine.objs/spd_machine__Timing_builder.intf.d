@@ -1,0 +1,1 @@
+lib/machine/timing_builder.mli: Descr Spd_analysis Spd_ir Spd_sim

@@ -1,0 +1,37 @@
+(** Machine descriptions.
+
+    The experiments of the paper use LIFE implementations with one to
+    eight {b universal} functional units (each able to execute any
+    operation, fully pipelined, one issue per cycle) and a memory latency
+    of two or six cycles.  [Infinite] is the paper's "infinite machine
+    simulator" configuration. *)
+
+type width = Infinite | Fus of int
+
+type t = { width : width; mem_latency : int }
+
+let make ?(width = Infinite) ?(mem_latency = 2) () = { width; mem_latency }
+
+let infinite ~mem_latency = { width = Infinite; mem_latency }
+let fus n ~mem_latency = { width = Fus n; mem_latency }
+
+let pp_width ppf = function
+  | Infinite -> Fmt.string ppf "inf"
+  | Fus n -> Fmt.pf ppf "%d FU" n
+
+let pp ppf t =
+  Fmt.pf ppf "%a, %d-cycle memory" pp_width t.width t.mem_latency
+
+(** Table 6-1 of the paper, as rendered by the harness.  The authoritative
+    encoding is {!Spd_ir.Opcode.latency}; this list exists for reporting
+    and is checked against it by the test suite. *)
+let table_6_1 ~mem_latency =
+  [
+    ("Integer multiplies", 3);
+    ("Integer and FP divides", 7);
+    ("FP compares", 1);
+    ("Other ALU operations", 1);
+    ("Other FPU operations", 3);
+    ("Memory loads and stores", mem_latency);
+    ("Branches", Spd_ir.Opcode.branch_latency);
+  ]

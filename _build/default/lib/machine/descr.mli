@@ -1,0 +1,20 @@
+(** Machine descriptions.
+
+    The experiments of the paper use LIFE implementations with one to
+    eight {b universal} functional units (each able to execute any
+    operation, fully pipelined, one issue per cycle) and a memory latency
+    of two or six cycles.  [Infinite] is the paper's "infinite machine
+    simulator" configuration. *)
+
+type width = Infinite | Fus of int
+type t = { width : width; mem_latency : int; }
+val make : ?width:width -> ?mem_latency:int -> unit -> t
+val infinite : mem_latency:int -> t
+val fus : int -> mem_latency:int -> t
+val pp_width : Format.formatter -> width -> unit
+val pp : Format.formatter -> t -> unit
+
+(** Table 6-1 of the paper, as rendered by the harness.  The authoritative
+    encoding is {!Spd_ir.Opcode.latency}; this list exists for reporting
+    and is checked against it by the test suite. *)
+val table_6_1 : mem_latency:int -> (string * int) list

@@ -1,0 +1,107 @@
+(** Resource-constrained list scheduler.
+
+    Packs the nodes of a tree's dependence graph (instructions plus exit
+    branches) into VLIW instruction words of at most [fus] operations per
+    cycle, all functional units being universal and fully pipelined.
+    Priority is the classic critical-path height: nodes with the longest
+    remaining dependence chain issue first. *)
+
+module Ddg = Spd_analysis.Ddg
+
+type t = {
+  issue : int array;  (** per node, the cycle it issues *)
+  length : int;  (** schedule length: last issue cycle + 1 *)
+}
+
+(** Schedule [g] on a machine with [fus] universal units.  [fus = None]
+    means unlimited (the result then equals ASAP). *)
+let run ?fus (g : Ddg.t) : t =
+  let n = Ddg.n_nodes g in
+  let issue = Array.make n (-1) in
+  (match fus with
+  | None ->
+      let asap = Ddg.asap g in
+      Array.blit asap 0 issue 0 n
+  | Some fus ->
+      if fus <= 0 then invalid_arg "Scheduler.run: fus must be positive";
+      let height = Ddg.height g in
+      let n_preds_left = Array.make n 0 in
+      for node = 0 to n - 1 do
+        n_preds_left.(node) <- List.length g.preds.(node)
+      done;
+      (* earliest data-ready cycle, updated as predecessors schedule *)
+      let ready_at = Array.make n 0 in
+      let remaining = ref n in
+      let cycle = ref 0 in
+      while !remaining > 0 do
+        (* fill the cycle's slots, re-scanning so that zero-weight chains
+           (prioritized exit branches) may issue in the same word *)
+        let slots = ref fus in
+        let progress = ref true in
+        while !slots > 0 && !progress do
+          let ready =
+            List.init n Fun.id
+            |> List.filter (fun node ->
+                   issue.(node) < 0
+                   && n_preds_left.(node) = 0
+                   && ready_at.(node) <= !cycle)
+            |> List.sort (fun a b -> compare height.(b) height.(a))
+          in
+          progress := false;
+          List.iter
+            (fun node ->
+              if !slots > 0 then begin
+                decr slots;
+                progress := true;
+                issue.(node) <- !cycle;
+                decr remaining;
+                List.iter
+                  (fun (s, w) ->
+                    n_preds_left.(s) <- n_preds_left.(s) - 1;
+                    ready_at.(s) <- max ready_at.(s) (!cycle + w))
+                  g.succs.(node)
+              end)
+            ready
+        done;
+        incr cycle
+      done);
+  let length = Array.fold_left max (-1) issue + 1 in
+  { issue; length }
+
+(** Convert a schedule into the timing table entry the simulator charges
+    traversals with. *)
+let timing (g : Ddg.t) (s : t) : Spd_sim.Timing.tree_timing =
+  let insn_completion =
+    Array.init g.n_insns (fun pos ->
+        s.issue.(pos) + Ddg.node_latency g pos)
+  in
+  let exit_completion =
+    Array.init g.n_exits (fun k ->
+        s.issue.(Ddg.exit_node g k) + Spd_ir.Opcode.branch_latency)
+  in
+  { Spd_sim.Timing.insn_completion; exit_completion }
+
+(** Check that a schedule respects every dependence edge and the [fus]
+    resource bound; used by the property tests. *)
+let valid ?fus (g : Ddg.t) (s : t) : bool =
+  let deps_ok = ref true in
+  Array.iteri
+    (fun node preds ->
+      List.iter
+        (fun (p, w) ->
+          if s.issue.(node) < s.issue.(p) + w then deps_ok := false)
+        preds)
+    g.preds;
+  let resources_ok =
+    match fus with
+    | None -> true
+    | Some fus ->
+        let per_cycle = Hashtbl.create 16 in
+        Array.for_all
+          (fun c ->
+            let k = 1 + try Hashtbl.find per_cycle c with Not_found -> 0 in
+            Hashtbl.replace per_cycle c k;
+            k <= fus)
+          s.issue
+  in
+  !deps_ok && resources_ok

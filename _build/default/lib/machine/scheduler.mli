@@ -1,0 +1,22 @@
+(** Resource-constrained list scheduler.
+
+    Packs the nodes of a tree's dependence graph (instructions plus exit
+    branches) into VLIW instruction words of at most [fus] operations per
+    cycle, all functional units being universal and fully pipelined.
+    Priority is the classic critical-path height: nodes with the longest
+    remaining dependence chain issue first. *)
+
+module Ddg = Spd_analysis.Ddg
+type t = { issue : int array; length : int; }
+
+(** Schedule [g] on a machine with [fus] universal units.  [fus = None]
+    means unlimited (the result then equals ASAP). *)
+val run : ?fus:int -> Ddg.t -> t
+
+(** Convert a schedule into the timing table entry the simulator charges
+    traversals with. *)
+val timing : Ddg.t -> t -> Spd_sim.Timing.tree_timing
+
+(** Check that a schedule respects every dependence edge and the [fus]
+    resource bound; used by the property tests. *)
+val valid : ?fus:int -> Ddg.t -> t -> bool

@@ -1,0 +1,27 @@
+(** Build a full program timing table for a machine description. *)
+
+open Spd_ir
+module Ddg = Spd_analysis.Ddg
+
+(** Timing of one tree on [descr]. *)
+let tree_timing (descr : Descr.t) (tree : Tree.t) : Spd_sim.Timing.tree_timing =
+  let g = Ddg.build ~mem_latency:descr.mem_latency tree in
+  match descr.width with
+  | Descr.Infinite ->
+      let insn_completion, exit_completion = Ddg.asap_completion g in
+      { Spd_sim.Timing.insn_completion; exit_completion }
+  | Descr.Fus n -> Scheduler.timing g (Scheduler.run ~fus:n g)
+
+(** Timing of every tree of the program. *)
+let program (descr : Descr.t) (prog : Prog.t) : Spd_sim.Timing.t =
+  let tbl = Spd_sim.Timing.create () in
+  Prog.iter_trees
+    (fun func tree ->
+      Spd_sim.Timing.add tbl ~func ~tree_id:tree.id (tree_timing descr tree))
+    prog;
+  tbl
+
+(** Convenience: simulate [prog] on [descr] and return the cycle count. *)
+let cycles (descr : Descr.t) (prog : Prog.t) : int =
+  let timing = program descr prog in
+  (Spd_sim.Interp.run ~timing prog).cycles

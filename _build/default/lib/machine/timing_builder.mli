@@ -1,0 +1,13 @@
+(** Build a full program timing table for a machine description. *)
+
+module Ddg = Spd_analysis.Ddg
+
+(** Timing of one tree on [descr]. *)
+val tree_timing :
+  Descr.t -> Spd_ir.Tree.t -> Spd_sim.Timing.tree_timing
+
+(** Timing of every tree of the program. *)
+val program : Descr.t -> Spd_ir.Prog.t -> Spd_sim.Timing.t
+
+(** Convenience: simulate [prog] on [descr] and return the cycle count. *)
+val cycles : Descr.t -> Spd_ir.Prog.t -> int

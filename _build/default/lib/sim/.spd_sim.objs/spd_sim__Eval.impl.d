@@ -1,0 +1,1 @@
+lib/sim/eval.ml: Fmt Opcode Spd_ir Value

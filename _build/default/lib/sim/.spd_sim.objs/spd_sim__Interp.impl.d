@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Array Eval Fmt Hashtbl Insn List Memdep Opcode Option Profile Prog Reg Spd_ir Timing Tree Value

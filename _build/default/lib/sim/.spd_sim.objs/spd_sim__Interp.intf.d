@@ -1,0 +1,1 @@
+lib/sim/interp.mli: Format Profile Spd_ir Timing

@@ -1,0 +1,1 @@
+lib/sim/timing.ml: Array Fmt Hashtbl Insn Spd_ir Tree

@@ -1,0 +1,77 @@
+(** Evaluation of pure operations on runtime values. *)
+
+open Spd_ir
+
+exception Runtime_error of string
+
+let errf fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+let bool_of v = Value.is_true v
+
+let eval_ibin (op : Opcode.ibin) a b =
+  let x = Value.to_int a and y = Value.to_int b in
+  let r =
+    match op with
+    | Add -> x + y
+    | Sub -> x - y
+    | Mul -> x * y
+    | Div -> if y = 0 then errf "integer division by zero" else x / y
+    | Rem -> if y = 0 then errf "integer remainder by zero" else x mod y
+    | And -> x land y
+    | Or -> x lor y
+    | Xor -> x lxor y
+    | Shl -> x lsl (y land 63)
+    | Shr -> x asr (y land 63)
+  in
+  Value.Int r
+
+let eval_icmp (op : Opcode.icmp) a b =
+  let x = Value.to_int a and y = Value.to_int b in
+  Value.of_bool
+    (match op with
+    | Eq -> x = y
+    | Ne -> x <> y
+    | Lt -> x < y
+    | Le -> x <= y
+    | Gt -> x > y
+    | Ge -> x >= y)
+
+let eval_fbin (op : Opcode.fbin) a b =
+  let x = Value.to_float a and y = Value.to_float b in
+  Value.Float
+    (match op with
+    | Fadd -> x +. y
+    | Fsub -> x -. y
+    | Fmul -> x *. y
+    | Fdiv -> x /. y)
+
+let eval_fcmp (op : Opcode.fcmp) a b =
+  let x = Value.to_float a and y = Value.to_float b in
+  Value.of_bool
+    (match op with
+    | Feq -> x = y
+    | Fne -> x <> y
+    | Flt -> x < y
+    | Fle -> x <= y
+    | Fgt -> x > y
+    | Fge -> x >= y)
+
+(** Evaluate a pure opcode.  Memory operations and [Addrof] are the
+    interpreter's business, not ours. *)
+let eval_pure (op : Opcode.t) (srcs : Value.t list) : Value.t =
+  match (op, srcs) with
+  | Opcode.Ibin o, [ a; b ] -> eval_ibin o a b
+  | Opcode.Icmp o, [ a; b ] -> eval_icmp o a b
+  | Opcode.Fbin o, [ a; b ] -> eval_fbin o a b
+  | Opcode.Fcmp o, [ a; b ] -> eval_fcmp o a b
+  | Opcode.Not, [ a ] -> Value.of_bool (not (bool_of a))
+  | Opcode.Ineg, [ a ] -> Value.Int (-Value.to_int a)
+  | Opcode.Fneg, [ a ] -> Value.Float (-.Value.to_float a)
+  | Opcode.Mov, [ a ] -> a
+  | Opcode.Select, [ p; a; b ] -> if bool_of p then a else b
+  | Opcode.Const v, [] -> v
+  | Opcode.Itof, [ a ] -> Value.Float (Value.to_float a)
+  | Opcode.Ftoi, [ a ] -> Value.Int (Value.to_int a)
+  | (Opcode.Load | Opcode.Store | Opcode.Addrof _), _ ->
+      invalid_arg "Eval.eval_pure: not a pure operation"
+  | _ -> invalid_arg "Eval.eval_pure: arity mismatch"

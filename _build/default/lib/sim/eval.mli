@@ -1,0 +1,17 @@
+(** Evaluation of pure operations on runtime values. *)
+
+exception Runtime_error of string
+val errf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val bool_of : Spd_ir.Value.t -> bool
+val eval_ibin :
+  Spd_ir.Opcode.ibin -> Spd_ir.Value.t -> Spd_ir.Value.t -> Spd_ir.Value.t
+val eval_icmp :
+  Spd_ir.Opcode.icmp -> Spd_ir.Value.t -> Spd_ir.Value.t -> Spd_ir.Value.t
+val eval_fbin :
+  Spd_ir.Opcode.fbin -> Spd_ir.Value.t -> Spd_ir.Value.t -> Spd_ir.Value.t
+val eval_fcmp :
+  Spd_ir.Opcode.fcmp -> Spd_ir.Value.t -> Spd_ir.Value.t -> Spd_ir.Value.t
+
+(** Evaluate a pure opcode.  Memory operations and [Addrof] are the
+    interpreter's business, not ours. *)
+val eval_pure : Spd_ir.Opcode.t -> Spd_ir.Value.t list -> Spd_ir.Value.t

@@ -1,0 +1,323 @@
+(** Cycle-level simulator.
+
+    The interpreter executes decision trees traversal by traversal with
+    sequential (original program order) semantics: every instruction is
+    evaluated, stores commit only when their guard holds, and the first
+    exit whose guard holds is taken.  This is the ground-truth semantics
+    against which all disambiguator pipelines are validated.
+
+    Orthogonally, when a {!Timing} table is supplied (built from a machine
+    schedule or from the infinite-machine ASAP analysis), each traversal is
+    charged [max(taken-exit completion, committed store completions)]
+    cycles, and the total is the program's execution time on that machine —
+    the paper's measurement methodology.
+
+    The interpreter also fills in a {!Profile}: exit frequencies and
+    dynamic alias counts per memory dependence arc (the PERFECT
+    disambiguator's input). *)
+
+open Spd_ir
+
+exception Runtime_error = Eval.Runtime_error
+
+let errf fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+type result = {
+  ret : Value.t;  (** return value of [main] *)
+  output : Value.t list;  (** values printed by the builtins, in order *)
+  cycles : int;  (** total cycles; 0 when no timing table was given *)
+  traversals : int;  (** number of tree traversals executed *)
+}
+
+(* Per-function runtime metadata. *)
+type finfo = {
+  func : Prog.func;
+  by_id : Tree.t option array;  (** tree lookup by id *)
+  nregs : int;
+}
+
+type frame = {
+  saved_regs : Value.t array;
+  saved_fp : int;
+  saved_sp : int;
+  saved_fi : finfo;
+  ret_reg : Reg.t option;
+  resume : int;  (** tree id to resume at *)
+}
+
+let build_finfo (func : Prog.func) : finfo =
+  let max_id =
+    List.fold_left (fun m (t : Tree.t) -> max m t.id) 0 func.trees
+  in
+  let by_id = Array.make (max_id + 1) None in
+  List.iter (fun (t : Tree.t) -> by_id.(t.id) <- Some t) func.trees;
+  let nregs =
+    List.fold_left
+      (fun m (t : Tree.t) -> Reg.Set.fold max (Tree.all_regs t) m)
+      0 func.trees
+    + 1
+  in
+  { func; by_id; nregs }
+
+(** Lay out globals in low memory; returns the address map and the first
+    free address.  Address 0 is reserved so that a stray null-ish pointer
+    faults loudly in bounds checks of size-0 accesses. *)
+let layout (prog : Prog.t) =
+  let tbl = Hashtbl.create 16 in
+  let next = ref 16 in
+  List.iter
+    (fun (g : Prog.global) ->
+      Hashtbl.replace tbl g.gname !next;
+      next := !next + g.words)
+    prog.globals;
+  ((fun name ->
+     match Hashtbl.find_opt tbl name with
+     | Some a -> a
+     | None -> errf "unknown global %s" name),
+   !next)
+
+type traversal_cost =
+  func:string ->
+  tree:Tree.t ->
+  addrs:int array ->
+  active:bool array ->
+  taken:int ->
+  int
+(** Per-traversal cost callback for dynamic timing models: receives the
+    traversal's concrete memory addresses ([addrs], indexed by instruction
+    position, [-1] for non-memory ops), which guarded operations committed
+    ([active]) and the taken exit, and returns the traversal's cycles.
+    Used by the hardware dynamic-disambiguation baseline, which resolves
+    aliases with run-time address compares. *)
+
+let run ?timing ?(traversal_cost : traversal_cost option)
+    ?(profile : Profile.t option) ?(mem_words = 1 lsl 20)
+    ?(max_traversals = 60_000_000) (prog : Prog.t) : result =
+  let global_addr, globals_end = layout prog in
+  let mem = Array.make mem_words Value.zero in
+  List.iter
+    (fun (g : Prog.global) ->
+      let base = global_addr g.gname in
+      Array.iteri (fun i v -> mem.(base + i) <- v) g.ginit)
+    prog.globals;
+  if globals_end >= mem_words then errf "globals exceed memory";
+  let finfos = Hashtbl.create 8 in
+  List.iter
+    (fun (name, f) -> Hashtbl.replace finfos name (build_finfo f))
+    prog.funcs;
+  let finfo name =
+    match Hashtbl.find_opt finfos name with
+    | Some fi -> fi
+    | None -> errf "unknown function %s" name
+  in
+  (* scratch buffers sized to the largest tree *)
+  let max_insns =
+    List.fold_left
+      (fun m (_, (f : Prog.func)) ->
+        List.fold_left
+          (fun m (t : Tree.t) -> max m (Array.length t.insns))
+          m f.trees)
+      1 prog.funcs
+  in
+  let addr_buf = Array.make max_insns (-1) in
+  let active_buf = Array.make max_insns false in
+  let output = ref [] in
+  let cycles = ref 0 in
+  let traversals = ref 0 in
+  (* current activation *)
+  let fi = ref (finfo prog.main) in
+  let regs = ref (Array.make !fi.nregs Value.zero) in
+  let sp = ref mem_words in
+  let fp = ref (mem_words - !fi.func.frame_words) in
+  sp := !fp;
+  if !sp <= globals_end then errf "stack overflow";
+  let stack : frame list ref = ref [] in
+  let tree_id = ref !fi.func.entry in
+  let finished = ref None in
+  (* Loads are non-faulting (the paper's machine model, section 4.6: LIFE
+     loads are dismissible): a speculative load from a wild address yields
+     zero instead of trapping.  Committed stores are still checked. *)
+  let load addr =
+    if addr < 0 || addr >= mem_words then Value.zero else mem.(addr)
+  in
+  let store addr v =
+    if addr < 0 || addr >= mem_words then errf "store out of bounds: %d" addr
+    else mem.(addr) <- v
+  in
+  while !finished = None do
+    incr traversals;
+    if !traversals > max_traversals then errf "traversal budget exhausted";
+    let tree =
+      match !fi.by_id.(!tree_id) with
+      | Some t -> t
+      | None -> errf "no tree %d in %s" !tree_id !fi.func.fname
+    in
+    let rf = !regs in
+    let guard_holds (g : Insn.guard option) =
+      match g with
+      | None -> true
+      | Some { greg; positive } ->
+          let v = Value.is_true rf.(greg) in
+          if positive then v else not v
+    in
+    (* evaluate instructions in program order *)
+    Array.iteri
+      (fun pos (insn : Insn.t) ->
+        match insn.op with
+        | Opcode.Load ->
+            let a = Value.to_int rf.(Insn.addr insn) in
+            addr_buf.(pos) <- a;
+            active_buf.(pos) <- true;
+            rf.(Option.get insn.dst) <- load a
+        | Opcode.Store ->
+            let a = Value.to_int rf.(Insn.addr insn) in
+            addr_buf.(pos) <- a;
+            let active = guard_holds insn.guard in
+            active_buf.(pos) <- active;
+            if active then store a rf.(Insn.store_value insn)
+        | Opcode.Addrof (Opcode.Global g) ->
+            rf.(Option.get insn.dst) <- Value.Int (global_addr g)
+        | Opcode.Addrof (Opcode.Frame off) ->
+            rf.(Option.get insn.dst) <- Value.Int (!fp + off)
+        | _ ->
+            let srcs = List.map (fun r -> rf.(r)) insn.srcs in
+            rf.(Option.get insn.dst) <- Eval.eval_pure insn.op srcs)
+      tree.insns;
+    (* choose the taken exit *)
+    let n_exits = Array.length tree.exits in
+    let taken = ref (n_exits - 1) in
+    (try
+       for k = 0 to n_exits - 1 do
+         if guard_holds tree.exits.(k).xguard then begin
+           taken := k;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* profile *)
+    (match profile with
+    | None -> ()
+    | Some p ->
+        let stat = Profile.tree_stat p ~func:!fi.func.fname ~tree in
+        stat.traversals <- stat.traversals + 1;
+        stat.exit_taken.(!taken) <- stat.exit_taken.(!taken) + 1;
+        List.iter
+          (fun (arc : Memdep.t) ->
+            let si = Tree.insn_index tree arc.src
+            and di = Tree.insn_index tree arc.dst in
+            if active_buf.(si) && active_buf.(di) then begin
+              let a = Profile.arc_stat stat ~src:arc.src ~dst:arc.dst in
+              a.both_active <- a.both_active + 1;
+              if addr_buf.(si) = addr_buf.(di) then a.aliased <- a.aliased + 1
+            end)
+          tree.arcs);
+    (* timing *)
+    (match timing with
+    | None -> ()
+    | Some tbl ->
+        let tt = Timing.find tbl ~func:!fi.func.fname ~tree_id:tree.id in
+        let t = ref tt.exit_completion.(!taken) in
+        Array.iteri
+          (fun pos (insn : Insn.t) ->
+            if Insn.is_store insn && active_buf.(pos) then
+              t := max !t tt.insn_completion.(pos))
+          tree.insns;
+        cycles := !cycles + !t);
+    (match traversal_cost with
+    | None -> ()
+    | Some cost ->
+        cycles :=
+          !cycles
+          + cost ~func:!fi.func.fname ~tree ~addrs:addr_buf
+              ~active:active_buf ~taken:!taken);
+    (* reset scratch *)
+    Array.iteri
+      (fun pos (insn : Insn.t) ->
+        if Insn.is_mem insn then begin
+          addr_buf.(pos) <- -1;
+          active_buf.(pos) <- false
+        end)
+      tree.insns;
+    (* transition *)
+    let copy_into target_params args =
+      let values = List.map (fun r -> rf.(r)) args in
+      List.iter2
+        (fun p v -> rf.(p) <- v)
+        (List.filteri (fun i _ -> i < List.length values) target_params)
+        values
+    in
+    match tree.exits.(!taken).kind with
+    | Tree.Jump { target; args } ->
+        let tgt =
+          match !fi.by_id.(target) with
+          | Some t -> t
+          | None -> errf "no tree %d in %s" target !fi.func.fname
+        in
+        copy_into tgt.params args;
+        tree_id := target
+    | Tree.Call { callee = "print_int"; call_args; return_to; cont_args; _ } ->
+        output := Value.Int (Value.to_int rf.(List.hd call_args)) :: !output;
+        let tgt = Option.get !fi.by_id.(return_to) in
+        copy_into tgt.params cont_args;
+        tree_id := return_to
+    | Tree.Call { callee = "print_float"; call_args; return_to; cont_args; _ }
+      ->
+        output :=
+          Value.Float (Value.to_float rf.(List.hd call_args)) :: !output;
+        let tgt = Option.get !fi.by_id.(return_to) in
+        copy_into tgt.params cont_args;
+        tree_id := return_to
+    | Tree.Call { callee; call_args; ret; return_to; cont_args } ->
+        let tgt = Option.get !fi.by_id.(return_to) in
+        copy_into tgt.params cont_args;
+        let callee_fi = finfo callee in
+        let arg_values = List.map (fun r -> rf.(r)) call_args in
+        stack :=
+          {
+            saved_regs = rf;
+            saved_fp = !fp;
+            saved_sp = !sp;
+            saved_fi = !fi;
+            ret_reg = ret;
+            resume = return_to;
+          }
+          :: !stack;
+        if List.length !stack > 100_000 then errf "call stack overflow";
+        fi := callee_fi;
+        regs := Array.make callee_fi.nregs Value.zero;
+        List.iter2
+          (fun p v -> !regs.(p) <- v)
+          callee_fi.func.fparams arg_values;
+        fp := !sp - callee_fi.func.frame_words;
+        sp := !fp;
+        if !sp <= globals_end then errf "stack overflow";
+        tree_id := callee_fi.func.entry
+    | Tree.Return { value } -> (
+        let v =
+          match value with Some r -> rf.(r) | None -> Value.zero
+        in
+        match !stack with
+        | [] -> finished := Some v
+        | frame :: rest ->
+            stack := rest;
+            regs := frame.saved_regs;
+            fp := frame.saved_fp;
+            sp := frame.saved_sp;
+            fi := frame.saved_fi;
+            (match frame.ret_reg with
+            | Some r -> !regs.(r) <- v
+            | None -> ());
+            tree_id := frame.resume)
+  done;
+  {
+    ret = Option.get !finished;
+    output = List.rev !output;
+    cycles = !cycles;
+    traversals = !traversals;
+  }
+
+(** Run and return just the observable behaviour (return value and output),
+    used for semantic-equivalence checks between pipelines. *)
+let observe ?mem_words ?max_traversals prog =
+  let r = run ?mem_words ?max_traversals prog in
+  (r.ret, r.output)

@@ -1,0 +1,68 @@
+(** Cycle-level simulator.
+
+    The interpreter executes decision trees traversal by traversal with
+    sequential (original program order) semantics: every instruction is
+    evaluated, stores commit only when their guard holds, and the first
+    exit whose guard holds is taken.  This is the ground-truth semantics
+    against which all disambiguator pipelines are validated.
+
+    Orthogonally, when a {!Timing} table is supplied (built from a machine
+    schedule or from the infinite-machine ASAP analysis), each traversal is
+    charged [max(taken-exit completion, committed store completions)]
+    cycles, and the total is the program's execution time on that machine —
+    the paper's measurement methodology.
+
+    The interpreter also fills in a {!Profile}: exit frequencies and
+    dynamic alias counts per memory dependence arc (the PERFECT
+    disambiguator's input). *)
+
+exception Runtime_error of string
+val errf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+type result = {
+  ret : Spd_ir.Value.t;
+  output : Spd_ir.Value.t list;
+  cycles : int;
+  traversals : int;
+}
+type finfo = {
+  func : Spd_ir.Prog.func;
+  by_id : Spd_ir.Tree.t option array;
+  nregs : int;
+}
+type frame = {
+  saved_regs : Spd_ir.Value.t array;
+  saved_fp : int;
+  saved_sp : int;
+  saved_fi : finfo;
+  ret_reg : Spd_ir.Reg.t option;
+  resume : int;
+}
+val build_finfo : Spd_ir.Prog.func -> finfo
+
+(** Lay out globals in low memory; returns the address map and the first
+    free address.  Address 0 is reserved so that a stray null-ish pointer
+    faults loudly in bounds checks of size-0 accesses. *)
+val layout : Spd_ir.Prog.t -> (string -> int) * int
+type traversal_cost =
+    func:string ->
+    tree:Spd_ir.Tree.t ->
+    addrs:int array -> active:bool array -> taken:int -> int
+
+(** Per-traversal cost callback for dynamic timing models: receives the
+    traversal's concrete memory addresses ([addrs], indexed by instruction
+    position, [-1] for non-memory ops), which guarded operations committed
+    ([active]) and the taken exit, and returns the traversal's cycles.
+    Used by the hardware dynamic-disambiguation baseline, which resolves
+    aliases with run-time address compares. *)
+val run :
+  ?timing:Timing.t ->
+  ?traversal_cost:traversal_cost ->
+  ?profile:Profile.t ->
+  ?mem_words:int -> ?max_traversals:int -> Spd_ir.Prog.t -> result
+
+(** Run and return just the observable behaviour (return value and output),
+    used for semantic-equivalence checks between pipelines. *)
+val observe :
+  ?mem_words:int ->
+  ?max_traversals:int ->
+  Spd_ir.Prog.t -> Spd_ir.Value.t * Spd_ir.Value.t list

@@ -1,0 +1,78 @@
+(** Execution profiles collected by the interpreter.
+
+    Two kinds of information, both used exactly as in the paper:
+
+    - {b path probabilities}: how often each exit of each tree is taken,
+      feeding the [Gain()] estimator of the SpD guidance heuristic;
+    - {b alias counts}: for every memory dependence arc, how often the two
+      references were both active and hit the same address.  Arcs with
+      [alias = 0] are the "superfluous arcs" that define the PERFECT
+      disambiguator. *)
+
+type arc_stat = { mutable both_active : int; mutable aliased : int }
+
+type tree_stat = {
+  mutable traversals : int;
+  exit_taken : int array;
+  arc_stats : (int * int, arc_stat) Hashtbl.t;
+      (** keyed by (src insn id, dst insn id) *)
+}
+
+type t = (string * int, tree_stat) Hashtbl.t
+(** keyed by (function name, tree id) *)
+
+let create () : t = Hashtbl.create 64
+
+let tree_stat (p : t) ~func ~(tree : Spd_ir.Tree.t) : tree_stat =
+  let key = (func, tree.id) in
+  match Hashtbl.find_opt p key with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          traversals = 0;
+          exit_taken = Array.make (Array.length tree.exits) 0;
+          arc_stats = Hashtbl.create 8;
+        }
+      in
+      Hashtbl.add p key s;
+      s
+
+let arc_stat (s : tree_stat) ~src ~dst =
+  let key = (src, dst) in
+  match Hashtbl.find_opt s.arc_stats key with
+  | Some a -> a
+  | None ->
+      let a = { both_active = 0; aliased = 0 } in
+      Hashtbl.add s.arc_stats key a;
+      a
+
+let find (p : t) ~func ~tree_id = Hashtbl.find_opt p (func, tree_id)
+
+(** Probability that traversal of the tree takes exit [k]; uniform when the
+    tree was never profiled. *)
+let exit_probability (p : t) ~func ~(tree : Spd_ir.Tree.t) k =
+  match find p ~func ~tree_id:tree.id with
+  | Some s when s.traversals > 0 ->
+      float_of_int s.exit_taken.(k) /. float_of_int s.traversals
+  | _ -> 1.0 /. float_of_int (Array.length tree.exits)
+
+(** Observed alias probability of an arc, when the pair was ever active. *)
+let alias_probability (p : t) ~func ~tree_id ~src ~dst =
+  match find p ~func ~tree_id with
+  | None -> None
+  | Some s -> (
+      match Hashtbl.find_opt s.arc_stats (src, dst) with
+      | Some a when a.both_active > 0 ->
+          Some (float_of_int a.aliased /. float_of_int a.both_active)
+      | _ -> None)
+
+(** True when profiling proved the arc superfluous: the two references
+    never dynamically touched the same address. *)
+let superfluous (p : t) ~func ~tree_id ~src ~dst =
+  match find p ~func ~tree_id with
+  | None -> false
+  | Some s -> (
+      match Hashtbl.find_opt s.arc_stats (src, dst) with
+      | Some a -> a.aliased = 0
+      | None -> s.traversals > 0)

@@ -1,0 +1,48 @@
+(** Execution profiles collected by the interpreter.
+
+    Two kinds of information, both used exactly as in the paper:
+
+    - {b path probabilities}: how often each exit of each tree is taken,
+      feeding the [Gain()] estimator of the SpD guidance heuristic;
+    - {b alias counts}: for every memory dependence arc, how often the two
+      references were both active and hit the same address.  Arcs with
+      [alias = 0] are the "superfluous arcs" that define the PERFECT
+      disambiguator. *)
+
+type arc_stat = { mutable both_active : int; mutable aliased : int; }
+type tree_stat = {
+  mutable traversals : int;
+  exit_taken : int array;
+  arc_stats : (int * int, arc_stat) Hashtbl.t;
+}
+type t = (string * int, tree_stat) Hashtbl.t
+
+(** keyed by (function name, tree id) *)
+val create : unit -> t
+val tree_stat : t -> func:string -> tree:Spd_ir.Tree.t -> tree_stat
+
+(** Execution profiles collected by the interpreter.
+
+    Two kinds of information, both used exactly as in the paper:
+
+    - {b path probabilities}: how often each exit of each tree is taken,
+      feeding the [Gain()] estimator of the SpD guidance heuristic;
+    - {b alias counts}: for every memory dependence arc, how often the two
+      references were both active and hit the same address.  Arcs with
+      [alias = 0] are the "superfluous arcs" that define the PERFECT
+      disambiguator. *)
+val arc_stat : tree_stat -> src:int -> dst:int -> arc_stat
+val find : t -> func:string -> tree_id:int -> tree_stat option
+
+(** Probability that traversal of the tree takes exit [k]; uniform when the
+    tree was never profiled. *)
+val exit_probability : t -> func:string -> tree:Spd_ir.Tree.t -> int -> float
+
+(** Observed alias probability of an arc, when the pair was ever active. *)
+val alias_probability :
+  t -> func:string -> tree_id:int -> src:int -> dst:int -> float option
+
+(** True when profiling proved the arc superfluous: the two references
+    never dynamically touched the same address. *)
+val superfluous :
+  t -> func:string -> tree_id:int -> src:int -> dst:int -> bool

@@ -1,0 +1,53 @@
+(** Timing tables consumed by the interpreter.
+
+    The scheduler (or the infinite-machine ASAP analysis) produces, for
+    every tree, the completion cycle of each instruction and of each exit
+    branch.  During simulation a traversal that takes exit [k] and commits
+    stores [S] costs
+
+    [max (exit_completion.(k), max over s in S of insn_completion(s))]
+
+    cycles: the machine leaves the tree when the taken branch resolves and
+    all committed state has drained. *)
+
+open Spd_ir
+
+type tree_timing = {
+  insn_completion : int array;
+      (** indexed by position in [Tree.insns]; completion = issue + latency *)
+  exit_completion : int array;  (** indexed by exit position *)
+}
+
+type t = (string * int, tree_timing) Hashtbl.t
+(** keyed by (function name, tree id) *)
+
+let create () : t = Hashtbl.create 64
+
+let add (t : t) ~func ~tree_id timing = Hashtbl.replace t (func, tree_id) timing
+
+let find (t : t) ~func ~tree_id =
+  match Hashtbl.find_opt t (func, tree_id) with
+  | Some x -> x
+  | None ->
+      invalid_arg
+        (Fmt.str "Timing.find: no timing for %s tree %d" func tree_id)
+
+(** Longest completion over the whole tree; a simple upper bound used in
+    diagnostics. *)
+let span tt =
+  let m = Array.fold_left max 0 tt.insn_completion in
+  Array.fold_left max m tt.exit_completion
+
+let pp ppf (tr : Tree.t) tt =
+  Fmt.pf ppf "@[<v>timing %s:@," tr.name;
+  Array.iteri
+    (fun i insn ->
+      Fmt.pf ppf "  #%-3d done@%-4d %a@," insn.Insn.id tt.insn_completion.(i)
+        Insn.pp insn)
+    tr.insns;
+  Array.iteri
+    (fun k e ->
+      Fmt.pf ppf "  exit%-2d done@%-4d %a@," k tt.exit_completion.(k)
+        Tree.pp_exit e)
+    tr.exits;
+  Fmt.pf ppf "@]"

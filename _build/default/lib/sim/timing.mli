@@ -1,0 +1,27 @@
+(** Timing tables consumed by the interpreter.
+
+    The scheduler (or the infinite-machine ASAP analysis) produces, for
+    every tree, the completion cycle of each instruction and of each exit
+    branch.  During simulation a traversal that takes exit [k] and commits
+    stores [S] costs
+
+    [max (exit_completion.(k), max over s in S of insn_completion(s))]
+
+    cycles: the machine leaves the tree when the taken branch resolves and
+    all committed state has drained. *)
+
+type tree_timing = {
+  insn_completion : int array;
+  exit_completion : int array;
+}
+type t = (string * int, tree_timing) Hashtbl.t
+
+(** keyed by (function name, tree id) *)
+val create : unit -> t
+val add : t -> func:string -> tree_id:int -> tree_timing -> unit
+val find : t -> func:string -> tree_id:int -> tree_timing
+
+(** Longest completion over the whole tree; a simple upper bound used in
+    diagnostics. *)
+val span : tree_timing -> int
+val pp : Format.formatter -> Spd_ir.Tree.t -> tree_timing -> unit

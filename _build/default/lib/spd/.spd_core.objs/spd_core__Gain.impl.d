@@ -1,0 +1,1 @@
+lib/spd/gain.ml: Array Insn List Memdep Spd_analysis Spd_ir Spd_sim Tree

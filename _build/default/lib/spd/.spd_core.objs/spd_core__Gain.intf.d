@@ -1,0 +1,1 @@
+lib/spd/gain.mli: Spd_analysis Spd_ir Spd_sim

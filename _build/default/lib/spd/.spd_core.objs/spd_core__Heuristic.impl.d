@@ -1,0 +1,1 @@
+lib/spd/heuristic.ml: Gain List Memdep Prog Spd_ir Transform Tree

@@ -1,0 +1,1 @@
+lib/spd/heuristic.mli: Spd_ir Spd_sim

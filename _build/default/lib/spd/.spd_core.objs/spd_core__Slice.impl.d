@@ -1,0 +1,1 @@
+lib/spd/slice.ml: Array Hashtbl Insn List Reg Spd_ir Tree

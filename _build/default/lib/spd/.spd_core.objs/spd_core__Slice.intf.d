@@ -1,0 +1,1 @@
+lib/spd/slice.mli: Spd_ir

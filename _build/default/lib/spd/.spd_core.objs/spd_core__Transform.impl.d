@@ -1,0 +1,1 @@
+lib/spd/transform.ml: Array Fmt Hashtbl Insn List Memdep Opcode Option Reg Result Slice Spd_ir Tree

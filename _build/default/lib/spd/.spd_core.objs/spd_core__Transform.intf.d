@@ -1,0 +1,1 @@
+lib/spd/transform.mli: Format Spd_ir

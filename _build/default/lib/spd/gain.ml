@@ -1,0 +1,62 @@
+(** The [Gain()] estimator of the guidance heuristic (paper section 5.3).
+
+    The predicted gain of removing an ambiguous arc is the drop in the
+    tree's expected execution time on the infinite machine, where the
+    expectation runs over the tree's exits weighted by profiled path
+    probabilities (uniform when no profile is available, e.g. on the first
+    compile). *)
+
+open Spd_ir
+module Ddg = Spd_analysis.Ddg
+
+let arc_eq (a : Memdep.t) (b : Memdep.t) =
+  a.src = b.src && a.dst = b.dst && a.kind = b.kind
+
+(** Expected traversal time of [tree] with the given arc filter.
+
+    Matches the simulator's charge for a traversal taking exit [k]:
+    [max(exit_k completion, committed store completions)].  The estimator
+    conservatively assumes stores commit on every exit. *)
+let expected_time ?profile ~mem_latency ~func ?(without : Memdep.t option)
+    (tree : Tree.t) : float =
+  let arc_active (a : Memdep.t) =
+    Memdep.is_active a
+    && match without with Some w -> not (arc_eq a w) | None -> true
+  in
+  let g = Ddg.build ~arc_active ~mem_latency tree in
+  let insn_completion, exit_completion = Ddg.asap_completion g in
+  let store_max = ref 0 in
+  Array.iteri
+    (fun pos (insn : Insn.t) ->
+      if Insn.is_store insn then
+        store_max := max !store_max insn_completion.(pos))
+    tree.insns;
+  let prob k =
+    match profile with
+    | Some p -> Spd_sim.Profile.exit_probability p ~func ~tree k
+    | None -> 1.0 /. float_of_int (Array.length tree.exits)
+  in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun k c -> acc := !acc +. (prob k *. float_of_int (max c !store_max)))
+    exit_completion;
+  !acc
+
+(** Predicted gain (in expected cycles per traversal) of removing [arc]. *)
+let gain ?profile ~mem_latency ~func (tree : Tree.t) (arc : Memdep.t) : float
+    =
+  expected_time ?profile ~mem_latency ~func tree
+  -. expected_time ?profile ~mem_latency ~func ~without:arc tree
+
+(** The ambiguous arcs on a critical path: those whose removal reduces the
+    expected traversal time (the paper's [CriticalAlias]). *)
+let critical_aliases ?profile ~mem_latency ~func (tree : Tree.t) :
+    (Memdep.t * float) list =
+  let base = expected_time ?profile ~mem_latency ~func tree in
+  List.filter_map
+    (fun arc ->
+      let g =
+        base -. expected_time ?profile ~mem_latency ~func ~without:arc tree
+      in
+      if g > 0.0 then Some (arc, g) else None)
+    (Tree.ambiguous_arcs tree)

@@ -1,0 +1,32 @@
+(** The [Gain()] estimator of the guidance heuristic (paper section 5.3).
+
+    The predicted gain of removing an ambiguous arc is the drop in the
+    tree's expected execution time on the infinite machine, where the
+    expectation runs over the tree's exits weighted by profiled path
+    probabilities (uniform when no profile is available, e.g. on the first
+    compile). *)
+
+module Ddg = Spd_analysis.Ddg
+val arc_eq : Spd_ir.Memdep.t -> Spd_ir.Memdep.t -> bool
+
+(** Expected traversal time of [tree] with the given arc filter.
+
+    Matches the simulator's charge for a traversal taking exit [k]:
+    [max(exit_k completion, committed store completions)].  The estimator
+    conservatively assumes stores commit on every exit. *)
+val expected_time :
+  ?profile:Spd_sim.Profile.t ->
+  mem_latency:int ->
+  func:string -> ?without:Spd_ir.Memdep.t -> Spd_ir.Tree.t -> float
+
+(** Predicted gain (in expected cycles per traversal) of removing [arc]. *)
+val gain :
+  ?profile:Spd_sim.Profile.t ->
+  mem_latency:int -> func:string -> Spd_ir.Tree.t -> Spd_ir.Memdep.t -> float
+
+(** The ambiguous arcs on a critical path: those whose removal reduces the
+    expected traversal time (the paper's [CriticalAlias]). *)
+val critical_aliases :
+  ?profile:Spd_sim.Profile.t ->
+  mem_latency:int ->
+  func:string -> Spd_ir.Tree.t -> (Spd_ir.Memdep.t * float) list

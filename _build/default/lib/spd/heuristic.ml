@@ -1,0 +1,88 @@
+(** The SpD guidance heuristic, Figure 5-1 of the paper.
+
+    For each tree: repeatedly apply SpD to the critical ambiguous arc with
+    the largest predicted gain, until the tree has grown past
+    [max_expansion] times its original size, no critical ambiguous arc
+    remains, or the best gain falls below [min_gain]. *)
+
+open Spd_ir
+
+type params = {
+  max_expansion : float;  (** the paper's [MaxExpansion] *)
+  min_gain : float;  (** the paper's [MinGain], in expected cycles *)
+  max_applications : int;  (** hard safety cap per tree *)
+}
+
+let default_params =
+  { max_expansion = 4.0; min_gain = 0.75; max_applications = 64 }
+
+(** One successful SpD application, for reporting (Table 6-3). *)
+type application = {
+  func : string;
+  tree_id : int;
+  kind : Memdep.kind;
+  arc : int * int;
+  predicted_gain : float;
+  cost : int;  (** operations added, per the paper's cost model *)
+}
+
+let run_tree ?profile ~(params : params) ~mem_latency ~func (tree : Tree.t) :
+    Tree.t * application list =
+  let max_size =
+    int_of_float (ceil (float_of_int (Tree.size tree) *. params.max_expansion))
+  in
+  let rec step t log n =
+    if n >= params.max_applications || Tree.size t >= max_size then (t, log)
+    else
+      let candidates =
+        Gain.critical_aliases ?profile ~mem_latency ~func t
+        |> List.filter (fun (arc, _) -> Transform.can_apply t arc)
+      in
+      match
+        List.sort (fun (_, g1) (_, g2) -> compare g2 g1) candidates
+      with
+      | [] -> (t, log)
+      | (arc, g) :: _ ->
+          if g < params.min_gain then (t, log)
+          else (
+            match Transform.apply t arc with
+            | Error _ -> (t, log) (* can_apply filtered; defensive *)
+            | Ok t' ->
+                let app =
+                  {
+                    func;
+                    tree_id = t.id;
+                    kind = arc.kind;
+                    arc = (arc.src, arc.dst);
+                    predicted_gain = g;
+                    cost = Transform.estimated_cost t arc;
+                  }
+                in
+                step t' (app :: log) (n + 1))
+  in
+  let t, log = step tree [] 0 in
+  (t, List.rev log)
+
+(** Apply the heuristic to every tree of the program. *)
+let run ?profile ?(params = default_params) ~mem_latency (prog : Prog.t) :
+    Prog.t * application list =
+  let all = ref [] in
+  let prog' =
+    Prog.map_trees
+      (fun func tree ->
+        let tree', log = run_tree ?profile ~params ~mem_latency ~func tree in
+        all := !all @ log;
+        tree')
+      prog
+  in
+  (prog', !all)
+
+(** Tally applications by dependence kind: the row format of Table 6-3. *)
+let count_by_kind (log : application list) : int * int * int =
+  List.fold_left
+    (fun (raw, war, waw) (a : application) ->
+      match a.kind with
+      | Memdep.Raw -> (raw + 1, war, waw)
+      | Memdep.War -> (raw, war + 1, waw)
+      | Memdep.Waw -> (raw, war, waw + 1))
+    (0, 0, 0) log

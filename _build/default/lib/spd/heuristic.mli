@@ -1,0 +1,35 @@
+(** The SpD guidance heuristic, Figure 5-1 of the paper.
+
+    For each tree: repeatedly apply SpD to the critical ambiguous arc with
+    the largest predicted gain, until the tree has grown past
+    [max_expansion] times its original size, no critical ambiguous arc
+    remains, or the best gain falls below [min_gain]. *)
+
+type params = {
+  max_expansion : float;
+  min_gain : float;
+  max_applications : int;
+}
+val default_params : params
+type application = {
+  func : string;
+  tree_id : int;
+  kind : Spd_ir.Memdep.kind;
+  arc : int * int;
+  predicted_gain : float;
+  cost : int;
+}
+val run_tree :
+  ?profile:Spd_sim.Profile.t ->
+  params:params ->
+  mem_latency:int ->
+  func:string -> Spd_ir.Tree.t -> Spd_ir.Tree.t * application list
+
+(** Apply the heuristic to every tree of the program. *)
+val run :
+  ?profile:Spd_sim.Profile.t ->
+  ?params:params ->
+  mem_latency:int -> Spd_ir.Prog.t -> Spd_ir.Prog.t * application list
+
+(** Tally applications by dependence kind: the row format of Table 6-3. *)
+val count_by_kind : application list -> int * int * int

@@ -1,0 +1,76 @@
+(** Slicing utilities over the flat instruction array of a tree. *)
+
+open Spd_ir
+
+(** Position of the defining instruction of each register. *)
+let def_positions (tree : Tree.t) : int Reg.Map.t =
+  let m = ref Reg.Map.empty in
+  Array.iteri
+    (fun pos insn ->
+      List.iter (fun d -> m := Reg.Map.add d pos !m) (Insn.defs insn))
+    tree.insns;
+  !m
+
+(** Forward slice: positions of all instructions that depend, directly or
+    transitively through registers, on a value in [roots].  This is the
+    paper's [n_L] set — the operations that must be duplicated when SpD is
+    applied. *)
+let forward_slice (tree : Tree.t) (roots : Reg.Set.t) : int list =
+  let tainted = ref roots in
+  let members = ref [] in
+  Array.iteri
+    (fun pos insn ->
+      if List.exists (fun u -> Reg.Set.mem u !tainted) (Insn.uses insn) then begin
+        members := pos :: !members;
+        List.iter (fun d -> tainted := Reg.Set.add d !tainted) (Insn.defs insn)
+      end)
+    tree.insns;
+  List.rev !members
+
+(** Backward slice suitable for hoisting: the positions (ascending) of the
+    instructions at or after [from_pos] that must execute before the
+    registers in [regs] are available.  Returns [None] if any such
+    instruction is a memory operation or has side effects (those cannot be
+    hoisted across stores without dependence analysis). *)
+let hoistable_backward_slice (tree : Tree.t) ~(regs : Reg.t list)
+    ~(from_pos : int) : int list option =
+  let defs = def_positions tree in
+  let needed = Hashtbl.create 8 in
+  let exception Not_hoistable in
+  let rec visit r =
+    match Reg.Map.find_opt r defs with
+    | None -> () (* parameter *)
+    | Some pos when pos < from_pos -> ()
+    | Some pos ->
+        if not (Hashtbl.mem needed pos) then begin
+          let insn = tree.insns.(pos) in
+          if Insn.is_mem insn then raise Not_hoistable;
+          Hashtbl.replace needed pos ();
+          List.iter visit (Insn.uses insn)
+        end
+  in
+  match List.iter visit regs with
+  | () ->
+      Some (Hashtbl.fold (fun pos () acc -> pos :: acc) needed [] |> List.sort compare)
+  | exception Not_hoistable -> None
+
+(** Registers defined inside a position set. *)
+let defs_of_positions (tree : Tree.t) (positions : int list) : Reg.Set.t =
+  List.fold_left
+    (fun acc pos ->
+      List.fold_left
+        (fun acc d -> Reg.Set.add d acc)
+        acc
+        (Insn.defs tree.insns.(pos)))
+    Reg.Set.empty positions
+
+(** Substitute registers in an exit according to [lookup]. *)
+let subst_exit (lookup : Reg.t -> Reg.t) (e : Tree.exit) : Tree.exit =
+  Tree.map_exit_regs lookup e
+
+(** All registers used by any exit of the tree. *)
+let exit_used_regs (tree : Tree.t) : Reg.Set.t =
+  Array.fold_left
+    (fun acc e ->
+      List.fold_left (fun acc r -> Reg.Set.add r acc) acc (Tree.exit_uses e))
+    Reg.Set.empty tree.exits

@@ -1,0 +1,29 @@
+(** Slicing utilities over the flat instruction array of a tree. *)
+
+
+(** Position of the defining instruction of each register. *)
+val def_positions : Spd_ir.Tree.t -> int Spd_ir.Reg.Map.t
+
+(** Forward slice: positions of all instructions that depend, directly or
+    transitively through registers, on a value in [roots].  This is the
+    paper's [n_L] set — the operations that must be duplicated when SpD is
+    applied. *)
+val forward_slice : Spd_ir.Tree.t -> Spd_ir.Reg.Set.t -> int list
+
+(** Backward slice suitable for hoisting: the positions (ascending) of the
+    instructions at or after [from_pos] that must execute before the
+    registers in [regs] are available.  Returns [None] if any such
+    instruction is a memory operation or has side effects (those cannot be
+    hoisted across stores without dependence analysis). *)
+val hoistable_backward_slice :
+  Spd_ir.Tree.t -> regs:Spd_ir.Reg.t list -> from_pos:int -> int list option
+
+(** Registers defined inside a position set. *)
+val defs_of_positions : Spd_ir.Tree.t -> int list -> Spd_ir.Reg.Set.t
+
+(** Substitute registers in an exit according to [lookup]. *)
+val subst_exit :
+  (Spd_ir.Reg.t -> Spd_ir.Reg.t) -> Spd_ir.Tree.exit -> Spd_ir.Tree.exit
+
+(** All registers used by any exit of the tree. *)
+val exit_used_regs : Spd_ir.Tree.t -> Spd_ir.Reg.Set.t

@@ -1,0 +1,455 @@
+(** The speculative disambiguation code transformation (paper section 4).
+
+    For an ambiguous arc the transform emits an address compare [p],
+    produces code for {b both} outcomes of the alias, guards each side's
+    side effects with opposite polarities of [p], and merges escaping
+    values with [Select].  Concretely:
+
+    - {b RAW} (store [S] before load [L]): the arc is removed, freeing [L]
+      to issue before [S].  The slice dependent on [L] is duplicated with
+      [S]'s stored value forwarded in place of the loaded value; the
+      duplicate commits when the addresses alias (and [S] committed), the
+      original when they do not.  Cost [1 + n_L].
+    - {b WAR} (load [L1] before store [S1]): a new load [L3] from [S1]'s
+      address is inserted before [L1] and protected by a must-arc
+      [L3 -> S1]; the slice dependent on [L1] is duplicated reading [L3].
+      Removing the arc frees [S1] to issue before [L1].  Cost [2 + n_L].
+    - {b WAW} (store [S1] before store [S2]): the arc is removed, freeing
+      [S2] to issue first; [S1] is additionally guarded to not commit when
+      the addresses alias (and [S2] committed).  Cost [1].
+
+    The transformation never physically reorders instructions: the
+    sequential order of the rewritten tree remains a correct execution,
+    and because each side of the compare is correct for its own alias
+    outcome, {i any} schedule respecting the remaining arcs is correct
+    too.  This is exactly the guarded-execution property the paper relies
+    on. *)
+
+open Spd_ir
+
+type not_applicable =
+  | Arc_not_ambiguous
+  | Intervening_reference
+      (** another potentially-aliasing reference sits between the pair, so
+          the forwarding compensation would be unsound *)
+  | Address_unavailable
+      (** an address (or guard) is not computed early enough to place the
+          compare/compensation load *)
+
+let pp_not_applicable ppf r =
+  Fmt.string ppf
+    (match r with
+    | Arc_not_ambiguous -> "arc is not ambiguous"
+    | Intervening_reference -> "intervening ambiguous reference"
+    | Address_unavailable -> "address unavailable early enough")
+
+(* ------------------------------------------------------------------ *)
+(* Rewrite buffer *)
+
+type buf = {
+  tree : Tree.t;
+  gen : Reg.Gen.t;
+  mutable next_id : int;
+  pre : Insn.t list array;  (** reversed; emitted before position k *)
+  replace : Insn.t option array;
+  post : Insn.t list array;  (** reversed; emitted after position k *)
+  tail : Insn.t list ref;  (** reversed; emitted after all insns *)
+  dropped : bool array;  (** positions whose instruction moved elsewhere *)
+}
+
+let make_buf (tree : Tree.t) =
+  let n = Array.length tree.insns in
+  {
+    tree;
+    gen = Reg.Gen.above (Reg.Set.elements (Tree.all_regs tree));
+    next_id = Tree.max_insn_id tree + 1;
+    pre = Array.make n [];
+    replace = Array.make n None;
+    post = Array.make n [];
+    tail = ref [];
+    dropped = Array.make n false;
+  }
+
+let fresh_id buf =
+  let id = buf.next_id in
+  buf.next_id <- id + 1;
+  id
+
+let mk_insn buf ?guard op srcs =
+  let dst =
+    if Opcode.has_dst op then Some (Reg.Gen.fresh buf.gen) else None
+  in
+  Insn.make ~id:(fresh_id buf) ?guard op ~dst ~srcs
+
+let emit_before buf pos insn = buf.pre.(pos) <- insn :: buf.pre.(pos)
+let emit_after buf pos insn = buf.post.(pos) <- insn :: buf.post.(pos)
+let emit_tail buf insn = buf.tail := insn :: !(buf.tail)
+
+let dst_exn (i : Insn.t) = Option.get i.dst
+
+(** Move the pure instructions computing [regs] (from [from_pos] onwards)
+    up to just before [to_pos].  Caller must have verified hoistability. *)
+let hoist_pure buf ~regs ~from_pos ~to_pos =
+  match Slice.hoistable_backward_slice buf.tree ~regs ~from_pos with
+  | None -> invalid_arg "Transform.hoist_pure: slice not hoistable"
+  | Some positions ->
+      List.iter
+        (fun pos ->
+          buf.dropped.(pos) <- true;
+          emit_before buf to_pos buf.tree.insns.(pos))
+        positions
+
+let finalize buf ~(arcs : Memdep.t list) ~(exits : Tree.exit array) : Tree.t =
+  let insns =
+    List.concat
+      (List.concat
+         (List.mapi
+            (fun pos orig ->
+              let body =
+                if buf.dropped.(pos) then []
+                else
+                  [
+                    (match buf.replace.(pos) with Some i -> i | None -> orig);
+                  ]
+              in
+              [ List.rev buf.pre.(pos); body; List.rev buf.post.(pos) ])
+            (Array.to_list buf.tree.insns))
+      @ [ List.rev !(buf.tail) ])
+  in
+  { buf.tree with insns = Array.of_list insns; arcs; exits }
+
+(* ------------------------------------------------------------------ *)
+(* Helpers *)
+
+(** Truth value of an existing guard as a register, materializing a [Not]
+    when the polarity is negative.  [emit] places helper instructions. *)
+let guard_value buf ~emit (g : Insn.guard) : Reg.t =
+  if g.positive then g.greg
+  else begin
+    let i = mk_insn buf Opcode.Not [ g.greg ] in
+    emit i;
+    dst_exn i
+  end
+
+(** Conjoin an optional existing guard with predicate register [p] taken
+    with [polarity]; returns the new guard. *)
+let conj_guard buf ~emit (old_guard : Insn.guard option) ~(p : Reg.t)
+    ~(polarity : bool) : Insn.guard option =
+  match old_guard with
+  | None -> Some { Insn.greg = p; positive = polarity }
+  | Some g ->
+      let gval = guard_value buf ~emit g in
+      let pval =
+        if polarity then p
+        else begin
+          let i = mk_insn buf Opcode.Not [ p ] in
+          emit i;
+          dst_exn i
+        end
+      in
+      let i = mk_insn buf (Opcode.Ibin Opcode.And) [ gval; pval ] in
+      emit i;
+      Some { Insn.greg = dst_exn i; positive = true }
+
+(** Predicate "this pair aliases": address equality, conjoined with the
+    guard of [committing] when that store is itself conditional (the
+    forwarded value only exists if the store commits). *)
+let alias_predicate buf ~pos (committing : Insn.t option) addr_a addr_b :
+    Reg.t =
+  let eq = mk_insn buf (Opcode.Icmp Opcode.Eq) [ addr_a; addr_b ] in
+  emit_before buf pos eq;
+  match committing with
+  | Some { Insn.guard = Some g; _ } ->
+      let gval = guard_value buf ~emit:(emit_before buf pos) g in
+      let i =
+        mk_insn buf (Opcode.Ibin Opcode.And) [ gval; dst_exn eq ]
+      in
+      emit_before buf pos i;
+      dst_exn i
+  | _ -> dst_exn eq
+
+(** Positions whose active arcs target [id] / leave [id]. *)
+let active_arcs (tree : Tree.t) = List.filter Memdep.is_active tree.arcs
+
+let pos_of tree id = Tree.insn_index tree id
+
+(* ------------------------------------------------------------------ *)
+(* Slice duplication (RAW and WAR share it) *)
+
+(** Duplicate the forward slice of [root_reg], substituting [fwd_reg] for
+    it.  Duplicated side effects are guarded with [p] positive; the
+    original side effects in the slice get [p] negative conjoined in.
+    Escaping values (used by exits) are merged with [Select p].
+
+    Returns the set of new arcs mirroring the originals onto the
+    duplicated memory operations, and the register substitution to apply
+    to the exits. *)
+let duplicate_slice buf ~(p : Reg.t) ~(root_reg : Reg.t) ~(fwd_reg : Reg.t) :
+    Memdep.t list * Reg.t Reg.Map.t =
+  let tree = buf.tree in
+  let slice = Slice.forward_slice tree (Reg.Set.singleton root_reg) in
+  let subst = ref (Reg.Map.singleton root_reg fwd_reg) in
+  let lookup r = match Reg.Map.find_opt r !subst with Some r' -> r' | None -> r in
+  let dup_id_of : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  (* duplicate, in program order, each slice member right after itself *)
+  List.iter
+    (fun pos ->
+      let orig = tree.insns.(pos) in
+      let guard =
+        if Opcode.has_side_effect orig.op then begin
+          (* duplicate commits on alias *)
+          let dup_guard =
+            conj_guard buf ~emit:(emit_after buf pos) orig.guard ~p
+              ~polarity:true
+          in
+          (* original now commits only when no alias *)
+          let orig_guard =
+            conj_guard buf ~emit:(emit_before buf pos) orig.guard ~p
+              ~polarity:false
+          in
+          buf.replace.(pos) <- Some { orig with guard = orig_guard };
+          dup_guard
+        end
+        else None
+      in
+      let srcs = List.map lookup orig.srcs in
+      let dst =
+        match orig.dst with
+        | None -> None
+        | Some _ -> Some (Reg.Gen.fresh buf.gen)
+      in
+      let dup = Insn.make ~id:(fresh_id buf) ?guard orig.op ~dst ~srcs in
+      emit_after buf pos dup;
+      Hashtbl.replace dup_id_of orig.id dup.id;
+      (match (orig.dst, dst) with
+      | Some d, Some d' -> subst := Reg.Map.add d d' !subst
+      | _ -> ()))
+    slice;
+  (* mirror active arcs onto the duplicated memory operations *)
+  let mirrored =
+    List.concat_map
+      (fun (arc : Memdep.t) ->
+        let s' = Hashtbl.find_opt dup_id_of arc.src in
+        let d' = Hashtbl.find_opt dup_id_of arc.dst in
+        match (s', d') with
+        | None, None -> []
+        | Some s', None -> [ { arc with src = s' } ]
+        | None, Some d' -> [ { arc with dst = d' } ]
+        | Some s', Some d' ->
+            [
+              { arc with src = s' };
+              { arc with dst = d' };
+              { arc with src = s'; dst = d' };
+            ])
+      (active_arcs tree)
+  in
+  (* merge escaping values *)
+  let exit_used = Slice.exit_used_regs tree in
+  let exit_subst = ref Reg.Map.empty in
+  Reg.Map.iter
+    (fun orig dup ->
+      if Reg.Set.mem orig exit_used then begin
+        let sel = mk_insn buf Opcode.Select [ p; dup; orig ] in
+        emit_tail buf sel;
+        exit_subst := Reg.Map.add orig (dst_exn sel) !exit_subst
+      end)
+    !subst;
+  (mirrored, !exit_subst)
+
+(* ------------------------------------------------------------------ *)
+(* Applicability *)
+
+(** No active arc into [dst_id] from a reference strictly between
+    [lo_pos] and [hi_pos] (exclusive bounds). *)
+let no_intervening_arc_into tree ~dst_id ~lo_pos ~hi_pos =
+  List.for_all
+    (fun (arc : Memdep.t) ->
+      if arc.dst <> dst_id then true
+      else
+        let p = pos_of tree arc.src in
+        p <= lo_pos || p >= hi_pos)
+    (active_arcs tree)
+
+(** No active arc out of [src_id] into a reference strictly between. *)
+let no_intervening_arc_out_of tree ~src_id ~lo_pos ~hi_pos =
+  List.for_all
+    (fun (arc : Memdep.t) ->
+      if arc.src <> src_id then true
+      else
+        let p = pos_of tree arc.dst in
+        p <= lo_pos || p >= hi_pos)
+    (active_arcs tree)
+
+let max_def_pos tree regs =
+  let defs = Slice.def_positions tree in
+  List.fold_left
+    (fun acc r ->
+      match Reg.Map.find_opt r defs with Some p -> max acc p | None -> acc)
+    (-1) regs
+
+let guard_regs (i : Insn.t) =
+  match i.guard with None -> [] | Some g -> [ g.greg ]
+
+let check_applicable (tree : Tree.t) (arc : Memdep.t) :
+    (unit, not_applicable) result =
+  if not (Memdep.is_ambiguous arc) then Error Arc_not_ambiguous
+  else
+    let a = Tree.insn_by_id tree arc.src
+    and b = Tree.insn_by_id tree arc.dst in
+    let pa = pos_of tree arc.src and pb = pos_of tree arc.dst in
+    match arc.kind with
+    | Memdep.Raw ->
+        (* all stores possibly aliasing the load must precede S, so that
+           on alias the forwarded value is the one the load would read *)
+        if not (no_intervening_arc_into tree ~dst_id:arc.dst ~lo_pos:pa ~hi_pos:pb)
+        then Error Intervening_reference
+        else Ok ()
+    | Memdep.Waw ->
+        (* no load may read S1's (possibly suppressed) value in between *)
+        if not (no_intervening_arc_out_of tree ~src_id:arc.src ~lo_pos:pa ~hi_pos:pb)
+        then Error Intervening_reference
+        else if
+          (* the compare and S1's new guard must be computable before S1;
+             pure address computations can be hoisted there *)
+          Slice.hoistable_backward_slice tree
+            ~regs:([ Insn.addr a; Insn.addr b ] @ guard_regs a @ guard_regs b)
+            ~from_pos:pa
+          = None
+        then Error Address_unavailable
+        else Ok ()
+    | Memdep.War ->
+        (* the compensation load L3 reads S1's address at L1's position *)
+        if
+          Slice.hoistable_backward_slice tree ~regs:[ Insn.addr b ]
+            ~from_pos:pa
+          = None
+        then Error Address_unavailable
+        else if
+          (* stores aliasing S1 between L1 and S1 would make L3 stale *)
+          not
+            (List.for_all
+               (fun (other : Memdep.t) ->
+                 if other.dst <> arc.dst || other.kind <> Memdep.Waw then true
+                 else
+                   let p = pos_of tree other.src in
+                   p <= pa || p >= pb)
+               (active_arcs tree))
+        then Error Intervening_reference
+        else Ok ()
+
+let can_apply tree arc = Result.is_ok (check_applicable tree arc)
+
+(* ------------------------------------------------------------------ *)
+(* The three transformations *)
+
+let remove_arc arcs (target : Memdep.t) =
+  List.map
+    (fun (a : Memdep.t) ->
+      if a.src = target.src && a.dst = target.dst && a.kind = target.kind
+      then { a with status = Memdep.Removed Memdep.By_spd }
+      else a)
+    arcs
+
+let apply_raw (tree : Tree.t) (arc : Memdep.t) : Tree.t =
+  let s = Tree.insn_by_id tree arc.src in
+  let l = Tree.insn_by_id tree arc.dst in
+  let l_pos = pos_of tree arc.dst in
+  let buf = make_buf tree in
+  let p =
+    alias_predicate buf ~pos:l_pos (Some s) (Insn.addr s) (Insn.addr l)
+  in
+  let mirrored, exit_subst =
+    duplicate_slice buf ~p ~root_reg:(dst_exn l) ~fwd_reg:(Insn.store_value s)
+  in
+  let arcs = remove_arc tree.arcs arc @ mirrored in
+  let lookup r =
+    match Reg.Map.find_opt r exit_subst with Some r' -> r' | None -> r
+  in
+  let exits = Array.map (Slice.subst_exit lookup) tree.exits in
+  finalize buf ~arcs ~exits
+
+let apply_waw (tree : Tree.t) (arc : Memdep.t) : Tree.t =
+  let s1 = Tree.insn_by_id tree arc.src in
+  let s2 = Tree.insn_by_id tree arc.dst in
+  let s1_pos = pos_of tree arc.src in
+  let buf = make_buf tree in
+  hoist_pure buf
+    ~regs:([ Insn.addr s1; Insn.addr s2 ] @ guard_regs s1 @ guard_regs s2)
+    ~from_pos:s1_pos ~to_pos:s1_pos;
+  let p =
+    alias_predicate buf ~pos:s1_pos (Some s2) (Insn.addr s1) (Insn.addr s2)
+  in
+  let new_guard =
+    conj_guard buf ~emit:(emit_before buf s1_pos) s1.guard ~p ~polarity:false
+  in
+  buf.replace.(s1_pos) <- Some { s1 with guard = new_guard };
+  let arcs = remove_arc tree.arcs arc in
+  finalize buf ~arcs ~exits:tree.exits
+
+let apply_war (tree : Tree.t) (arc : Memdep.t) : Tree.t =
+  let l1 = Tree.insn_by_id tree arc.src in
+  let s1 = Tree.insn_by_id tree arc.dst in
+  let l1_pos = pos_of tree arc.src in
+  let buf = make_buf tree in
+  hoist_pure buf ~regs:[ Insn.addr s1 ] ~from_pos:l1_pos ~to_pos:l1_pos;
+  (* compensation load from S1's address, at L1's point *)
+  let l3 = mk_insn buf Opcode.Load [ Insn.addr s1 ] in
+  emit_before buf l1_pos l3;
+  let p =
+    alias_predicate buf ~pos:l1_pos None (Insn.addr l1) (Insn.addr s1)
+  in
+  let mirrored, exit_subst =
+    duplicate_slice buf ~p ~root_reg:(dst_exn l1) ~fwd_reg:(dst_exn l3)
+  in
+  (* L3 must read before S1 may write, and inherits S1's alias
+     relationships with other stores (paper section 4.4) *)
+  let l3_arcs =
+    { Memdep.src = l3.id; dst = s1.id; kind = Memdep.War; status = Memdep.Must }
+    :: List.filter_map
+         (fun (other : Memdep.t) ->
+           if other.dst = arc.dst && other.kind = Memdep.Waw then
+             (* store X aliasing S1, before L3: X -> L3 is a RAW arc *)
+             Some { other with dst = l3.id; kind = Memdep.Raw }
+           else if other.src = arc.dst && other.kind = Memdep.Waw then
+             (* store Y after S1 aliasing it: L3 must read before Y *)
+             Some { other with src = l3.id; kind = Memdep.War }
+           else None)
+         (active_arcs tree)
+  in
+  let arcs = remove_arc tree.arcs arc @ mirrored @ l3_arcs in
+  let lookup r =
+    match Reg.Map.find_opt r exit_subst with Some r' -> r' | None -> r
+  in
+  let exits = Array.map (Slice.subst_exit lookup) tree.exits in
+  finalize buf ~arcs ~exits
+
+(** Apply SpD for [arc] in [tree].  Returns the transformed tree, or the
+    reason the transformation is not applicable. *)
+let apply (tree : Tree.t) (arc : Memdep.t) : (Tree.t, not_applicable) result =
+  match check_applicable tree arc with
+  | Error e -> Error e
+  | Ok () ->
+      let tree' =
+        match arc.kind with
+        | Memdep.Raw -> apply_raw tree arc
+        | Memdep.War -> apply_war tree arc
+        | Memdep.Waw -> apply_waw tree arc
+      in
+      Tree.validate tree';
+      Ok tree'
+
+(** Paper cost model: operations added by applying SpD to [arc]
+    (1 + n_L for RAW, 2 + n_L for WAR, 1 for WAW). *)
+let estimated_cost (tree : Tree.t) (arc : Memdep.t) : int =
+  match arc.kind with
+  | Memdep.Waw -> 1
+  | Memdep.Raw ->
+      let l = Tree.insn_by_id tree arc.dst in
+      1
+      + List.length
+          (Slice.forward_slice tree (Reg.Set.singleton (dst_exn l)))
+  | Memdep.War ->
+      let l1 = Tree.insn_by_id tree arc.src in
+      2
+      + List.length
+          (Slice.forward_slice tree (Reg.Set.singleton (dst_exn l1)))

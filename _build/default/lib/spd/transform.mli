@@ -1,0 +1,131 @@
+(** The speculative disambiguation code transformation (paper section 4).
+
+    For an ambiguous arc the transform emits an address compare [p],
+    produces code for {b both} outcomes of the alias, guards each side's
+    side effects with opposite polarities of [p], and merges escaping
+    values with [Select].  Concretely:
+
+    - {b RAW} (store [S] before load [L]): the arc is removed, freeing [L]
+      to issue before [S].  The slice dependent on [L] is duplicated with
+      [S]'s stored value forwarded in place of the loaded value; the
+      duplicate commits when the addresses alias (and [S] committed), the
+      original when they do not.  Cost [1 + n_L].
+    - {b WAR} (load [L1] before store [S1]): a new load [L3] from [S1]'s
+      address is inserted before [L1] and protected by a must-arc
+      [L3 -> S1]; the slice dependent on [L1] is duplicated reading [L3].
+      Removing the arc frees [S1] to issue before [L1].  Cost [2 + n_L].
+    - {b WAW} (store [S1] before store [S2]): the arc is removed, freeing
+      [S2] to issue first; [S1] is additionally guarded to not commit when
+      the addresses alias (and [S2] committed).  Cost [1].
+
+    The transformation never physically reorders instructions: the
+    sequential order of the rewritten tree remains a correct execution,
+    and because each side of the compare is correct for its own alias
+    outcome, {i any} schedule respecting the remaining arcs is correct
+    too.  This is exactly the guarded-execution property the paper relies
+    on. *)
+
+type not_applicable =
+    Arc_not_ambiguous
+  | Intervening_reference
+  | Address_unavailable
+
+(** an address (or guard) is not computed early enough to place the
+          compare/compensation load *)
+val pp_not_applicable : Format.formatter -> not_applicable -> unit
+type buf = {
+  tree : Spd_ir.Tree.t;
+  gen : Spd_ir.Reg.Gen.t;
+  mutable next_id : int;
+  pre : Spd_ir.Insn.t list array;
+  replace : Spd_ir.Insn.t option array;
+  post : Spd_ir.Insn.t list array;
+  tail : Spd_ir.Insn.t list ref;
+  dropped : bool array;
+}
+val make_buf : Spd_ir.Tree.t -> buf
+val fresh_id : buf -> int
+val mk_insn :
+  buf ->
+  ?guard:Spd_ir.Insn.guard ->
+  Spd_ir.Opcode.t -> Spd_ir.Reg.t list -> Spd_ir.Insn.t
+val emit_before : buf -> int -> Spd_ir.Insn.t -> unit
+val emit_after : buf -> int -> Spd_ir.Insn.t -> unit
+val emit_tail : buf -> Spd_ir.Insn.t -> unit
+val dst_exn : Spd_ir.Insn.t -> Spd_ir.Reg.t
+
+(** Move the pure instructions computing [regs] (from [from_pos] onwards)
+    up to just before [to_pos].  Caller must have verified hoistability. *)
+val hoist_pure :
+  buf -> regs:Spd_ir.Reg.t list -> from_pos:int -> to_pos:int -> unit
+val finalize :
+  buf ->
+  arcs:Spd_ir.Memdep.t list -> exits:Spd_ir.Tree.exit array -> Spd_ir.Tree.t
+
+(** Truth value of an existing guard as a register, materializing a [Not]
+    when the polarity is negative.  [emit] places helper instructions. *)
+val guard_value :
+  buf -> emit:(Spd_ir.Insn.t -> unit) -> Spd_ir.Insn.guard -> Spd_ir.Reg.t
+
+(** Conjoin an optional existing guard with predicate register [p] taken
+    with [polarity]; returns the new guard. *)
+val conj_guard :
+  buf ->
+  emit:(Spd_ir.Insn.t -> unit) ->
+  Spd_ir.Insn.guard option ->
+  p:Spd_ir.Reg.t -> polarity:bool -> Spd_ir.Insn.guard option
+
+(** Predicate "this pair aliases": address equality, conjoined with the
+    guard of [committing] when that store is itself conditional (the
+    forwarded value only exists if the store commits). *)
+val alias_predicate :
+  buf ->
+  pos:int ->
+  Spd_ir.Insn.t option -> Spd_ir.Reg.t -> Spd_ir.Reg.t -> Spd_ir.Reg.t
+
+(** Positions whose active arcs target [id] / leave [id]. *)
+val active_arcs : Spd_ir.Tree.t -> Spd_ir.Memdep.t list
+val pos_of : Spd_ir.Tree.t -> int -> int
+
+(** Duplicate the forward slice of [root_reg], substituting [fwd_reg] for
+    it.  Duplicated side effects are guarded with [p] positive; the
+    original side effects in the slice get [p] negative conjoined in.
+    Escaping values (used by exits) are merged with [Select p].
+
+    Returns the set of new arcs mirroring the originals onto the
+    duplicated memory operations, and the register substitution to apply
+    to the exits. *)
+val duplicate_slice :
+  buf ->
+  p:Spd_ir.Reg.t ->
+  root_reg:Spd_ir.Reg.t ->
+  fwd_reg:Spd_ir.Reg.t ->
+  Spd_ir.Memdep.t list * Spd_ir.Reg.t Spd_ir.Reg.Map.t
+
+(** No active arc into [dst_id] from a reference strictly between
+    [lo_pos] and [hi_pos] (exclusive bounds). *)
+val no_intervening_arc_into :
+  Spd_ir.Tree.t -> dst_id:int -> lo_pos:int -> hi_pos:int -> bool
+
+(** No active arc out of [src_id] into a reference strictly between. *)
+val no_intervening_arc_out_of :
+  Spd_ir.Tree.t -> src_id:int -> lo_pos:int -> hi_pos:int -> bool
+val max_def_pos : Spd_ir.Tree.t -> Spd_ir.Reg.Map.key list -> int
+val guard_regs : Spd_ir.Insn.t -> Spd_ir.Reg.t list
+val check_applicable :
+  Spd_ir.Tree.t -> Spd_ir.Memdep.t -> (unit, not_applicable) result
+val can_apply : Spd_ir.Tree.t -> Spd_ir.Memdep.t -> bool
+val remove_arc :
+  Spd_ir.Memdep.t list -> Spd_ir.Memdep.t -> Spd_ir.Memdep.t list
+val apply_raw : Spd_ir.Tree.t -> Spd_ir.Memdep.t -> Spd_ir.Tree.t
+val apply_waw : Spd_ir.Tree.t -> Spd_ir.Memdep.t -> Spd_ir.Tree.t
+val apply_war : Spd_ir.Tree.t -> Spd_ir.Memdep.t -> Spd_ir.Tree.t
+
+(** Apply SpD for [arc] in [tree].  Returns the transformed tree, or the
+    reason the transformation is not applicable. *)
+val apply :
+  Spd_ir.Tree.t -> Spd_ir.Memdep.t -> (Spd_ir.Tree.t, not_applicable) result
+
+(** Paper cost model: operations added by applying SpD to [arc]
+    (1 + n_L for RAW, 2 + n_L for WAR, 1 for WAW). *)
+val estimated_cost : Spd_ir.Tree.t -> Spd_ir.Memdep.t -> int

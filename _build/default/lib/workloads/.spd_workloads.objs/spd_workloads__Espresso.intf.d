@@ -1,0 +1,1 @@
+lib/workloads/espresso.mli: Workload

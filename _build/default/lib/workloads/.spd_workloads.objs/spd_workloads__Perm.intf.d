@@ -1,0 +1,1 @@
+lib/workloads/perm.mli: Workload

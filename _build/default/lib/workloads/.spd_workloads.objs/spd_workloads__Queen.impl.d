@@ -1,0 +1,1 @@
+lib/workloads/queen.ml: Workload

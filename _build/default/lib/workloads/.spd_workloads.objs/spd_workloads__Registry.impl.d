@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Adi Bcuint Espresso Fft List Moment Perm Printf Queen Quick Smooft Solvde String Tree_sort Workload

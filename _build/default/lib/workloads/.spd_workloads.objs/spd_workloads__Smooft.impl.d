@@ -1,0 +1,1 @@
+lib/workloads/smooft.ml: Workload

@@ -1,0 +1,1 @@
+lib/workloads/solvde.ml: Workload

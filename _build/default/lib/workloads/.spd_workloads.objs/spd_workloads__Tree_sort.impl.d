@@ -1,0 +1,1 @@
+lib/workloads/tree_sort.ml: Workload

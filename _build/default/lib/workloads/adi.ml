@@ -1,0 +1,123 @@
+(** adi — alternating direction implicit method for PDEs (NRC style).
+
+    A Peaceman-Rachford ADI relaxation on an N x N grid: each half-step
+    solves a tridiagonal system (Thomas algorithm) along every row, then
+    along every column.  All arrays reach the solver as parameters, so the
+    static disambiguator cannot separate them — the paper's canonical hard
+    case.  The forward-elimination body stores [g[j]] and then loads from
+    four other parameter arrays: ambiguous RAW arcs on the critical
+    recurrence. *)
+
+let source =
+  {|
+int N = 12;
+
+double u[144];
+double tmp[144];
+double aa[12];
+double bb[12];
+double cc[12];
+double rr[12];
+double xx[12];
+double gg[12];
+
+/* Thomas algorithm: solve a tridiagonal system.  The store to g[j]
+   is ambiguously aliased with the loads from a, b, r, x that follow
+   it inside the same loop body. */
+void trisolve(double a[], double b[], double c[], double r[], double x[],
+              double g[], int n) {
+  int j;
+  double bet;
+  bet = b[0];
+  x[0] = r[0] / bet;
+  for (j = 1; j < n; j = j + 1) {
+    g[j] = c[j - 1] / bet;
+    bet = b[j] - a[j] * g[j];
+    x[j] = (r[j] - a[j] * x[j - 1]) / bet;
+  }
+  for (j = n - 2; j >= 0; j = j - 1) {
+    x[j] = x[j] - g[j + 1] * x[j + 1];
+  }
+}
+
+/* one ADI half-sweep along rows of the flattened grid */
+void row_sweep(double grid[], double next[], double lam) {
+  int i; int j; int n;
+  n = N;
+  for (j = 0; j < n; j = j + 1) {
+    aa[j] = -lam;
+    bb[j] = 1.0 + 2.0 * lam;
+    cc[j] = -lam;
+  }
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      rr[j] = grid[i * 12 + j];
+      if (i > 0) rr[j] = rr[j] + lam * grid[(i - 1) * 12 + j];
+      if (i < n - 1) rr[j] = rr[j] + lam * grid[(i + 1) * 12 + j];
+      rr[j] = rr[j] - 2.0 * lam * grid[i * 12 + j];
+    }
+    trisolve(aa, bb, cc, rr, xx, gg, n);
+    for (j = 0; j < n; j = j + 1) {
+      next[i * 12 + j] = xx[j];
+    }
+  }
+}
+
+void col_sweep(double grid[], double next[], double lam) {
+  int i; int j; int n;
+  n = N;
+  for (j = 0; j < n; j = j + 1) {
+    aa[j] = -lam;
+    bb[j] = 1.0 + 2.0 * lam;
+    cc[j] = -lam;
+  }
+  for (j = 0; j < n; j = j + 1) {
+    for (i = 0; i < n; i = i + 1) {
+      rr[i] = grid[i * 12 + j];
+      if (j > 0) rr[i] = rr[i] + lam * grid[i * 12 + j - 1];
+      if (j < n - 1) rr[i] = rr[i] + lam * grid[i * 12 + j + 1];
+      rr[i] = rr[i] - 2.0 * lam * grid[i * 12 + j];
+    }
+    trisolve(aa, bb, cc, rr, xx, gg, n);
+    for (i = 0; i < n; i = i + 1) {
+      next[i * 12 + j] = xx[i];
+    }
+  }
+}
+
+int main() {
+  int i; int j; int step; int n;
+  double chk;
+  n = N;
+  /* boundary-heated plate */
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      u[i * 12 + j] = 0.0;
+      if (i == 0) u[i * 12 + j] = 1.0;
+      if (j == 0) u[i * 12 + j] = 0.5;
+    }
+  }
+  for (step = 0; step < 4; step = step + 1) {
+    row_sweep(u, tmp, 0.3);
+    col_sweep(tmp, u, 0.3);
+  }
+  chk = 0.0;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      chk = chk + u[i * 12 + j] * (i + 2 * j + 1);
+    }
+  }
+  print_float(chk);
+  return (int)chk;
+}
+|}
+
+let workload =
+  {
+    Workload.name = "adi";
+    suite = Workload.Nrc;
+    description =
+      "Alternating direction implicit method for partial differential \
+       equations.";
+    source;
+  }

@@ -1,0 +1,22 @@
+(** adi — alternating direction implicit method for PDEs (NRC style).
+
+    A Peaceman-Rachford ADI relaxation on an N x N grid: each half-step
+    solves a tridiagonal system (Thomas algorithm) along every row, then
+    along every column.  All arrays reach the solver as parameters, so the
+    static disambiguator cannot separate them — the paper's canonical hard
+    case.  The forward-elimination body stores [g[j]] and then loads from
+    four other parameter arrays: ambiguous RAW arcs on the critical
+    recurrence. *)
+
+
+(** adi — alternating direction implicit method for PDEs (NRC style).
+
+    A Peaceman-Rachford ADI relaxation on an N x N grid: each half-step
+    solves a tridiagonal system (Thomas algorithm) along every row, then
+    along every column.  All arrays reach the solver as parameters, so the
+    static disambiguator cannot separate them — the paper's canonical hard
+    case.  The forward-elimination body stores [g[j]] and then loads from
+    four other parameter arrays: ambiguous RAW arcs on the critical
+    recurrence. *)
+val source : string
+val workload : Workload.t

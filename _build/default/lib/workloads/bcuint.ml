@@ -1,0 +1,101 @@
+(** bcuint — bicubic interpolation (NRC style).
+
+    Computes the 16 bicubic coefficients of a grid cell from function
+    values and derivatives at its corners (the classic weight-matrix
+    formulation), then evaluates the interpolant at a sweep of points.
+    Function values arrive through array parameters; the coefficient
+    store [c[l]] is followed inside the same loop nest by loads from the
+    input vectors. *)
+
+let source =
+  {|
+int wt[256] = {
+  1, 0, -3, 2, 0, 0, 0, 0, -3, 0, 9, -6, 2, 0, -6, 4,
+  0, 0, 0, 0, 0, 0, 0, 0, 3, 0, -9, 6, -2, 0, 6, -4,
+  0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 9, -6, 0, 0, -6, 4,
+  0, 0, 3, -2, 0, 0, 0, 0, 0, 0, -9, 6, 0, 0, 6, -4,
+  0, 0, 0, 0, 1, 0, -3, 2, -2, 0, 6, -4, 1, 0, -3, 2,
+  0, 0, 0, 0, 0, 0, 0, 0, -1, 0, 3, -2, 1, 0, -3, 2,
+  0, 0, 0, 0, 0, 0, 0, 0, 0, 0, -3, 2, 0, 0, 3, -2,
+  0, 0, 0, 0, 0, 0, 3, -2, 0, 0, -6, 4, 0, 0, 3, -2,
+  0, 1, -2, 1, 0, 0, 0, 0, 0, -3, 6, -3, 0, 2, -4, 2,
+  0, 0, 0, 0, 0, 0, 0, 0, 0, 3, -6, 3, 0, -2, 4, -2,
+  0, 0, 0, 0, 0, 0, 0, 0, 0, 0, -3, 3, 0, 0, 2, -2,
+  0, 0, -1, 1, 0, 0, 0, 0, 0, 0, 3, -3, 0, 0, -2, 2,
+  0, 0, 0, 0, 0, 1, -2, 1, 0, -2, 4, -2, 0, 1, -2, 1,
+  0, 0, 0, 0, 0, 0, 0, 0, 0, -1, 2, -1, 0, 1, -2, 1,
+  0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, -1, 0, 0, -1, 1,
+  0, 0, 0, 0, 0, 0, -1, 1, 0, 0, 2, -2, 0, 0, -1, 1
+};
+
+double yv[4];
+double y1v[4];
+double y2v[4];
+double y12v[4];
+double coef[16];
+
+void bcucof(double y[], double y1[], double y2[], double y12[],
+            double d1, double d2, double c[]) {
+  int l; int k; int i;
+  double xx; double d1d2;
+  double x[16];
+  d1d2 = d1 * d2;
+  for (i = 0; i < 4; i = i + 1) {
+    x[i] = y[i];
+    x[i + 4] = y1[i] * d1;
+    x[i + 8] = y2[i] * d2;
+    x[i + 12] = y12[i] * d1d2;
+  }
+  for (l = 0; l < 16; l = l + 1) {
+    xx = 0.0;
+    for (k = 0; k < 16; k = k + 1) {
+      xx = xx + wt[l * 16 + k] * x[k];
+    }
+    c[l] = xx;
+  }
+}
+
+double bcuint_eval(double c[], double t, double u) {
+  int i;
+  double ans;
+  ans = 0.0;
+  for (i = 3; i >= 0; i = i - 1) {
+    ans = t * ans
+        + ((c[i * 4 + 3] * u + c[i * 4 + 2]) * u + c[i * 4 + 1]) * u
+        + c[i * 4 + 0];
+  }
+  return ans;
+}
+
+int main() {
+  int i; int pt;
+  double t; double u; double chk; double v;
+  /* corner data of a synthetic surface f(x,y) = x^2 y + y^2 */
+  yv[0] = 0.0;  yv[1] = 1.0;  yv[2] = 2.0;  yv[3] = 1.0;
+  y1v[0] = 0.0; y1v[1] = 2.0; y1v[2] = 2.0; y1v[3] = 0.0;
+  y2v[0] = 1.0; y2v[1] = 1.0; y2v[2] = 3.0; y2v[3] = 3.0;
+  y12v[0] = 0.0; y12v[1] = 2.0; y12v[2] = 2.0; y12v[3] = 0.0;
+  chk = 0.0;
+  for (pt = 0; pt < 24; pt = pt + 1) {
+    bcucof(yv, y1v, y2v, y12v, 1.0, 1.0, coef);
+    t = pt * (1.0 / 24.0);
+    u = 1.0 - t * 0.5;
+    v = bcuint_eval(coef, t, u);
+    chk = chk + v * (pt + 1);
+    /* perturb the corner data so each round differs */
+    for (i = 0; i < 4; i = i + 1) {
+      yv[i] = yv[i] + v * 0.001;
+    }
+  }
+  print_float(chk);
+  return (int)chk;
+}
+|}
+
+let workload =
+  {
+    Workload.name = "bcuint";
+    suite = Workload.Nrc;
+    description = "Bicubic interpolation.";
+    source;
+  }

@@ -1,0 +1,20 @@
+(** bcuint — bicubic interpolation (NRC style).
+
+    Computes the 16 bicubic coefficients of a grid cell from function
+    values and derivatives at its corners (the classic weight-matrix
+    formulation), then evaluates the interpolant at a sweep of points.
+    Function values arrive through array parameters; the coefficient
+    store [c[l]] is followed inside the same loop nest by loads from the
+    input vectors. *)
+
+
+(** bcuint — bicubic interpolation (NRC style).
+
+    Computes the 16 bicubic coefficients of a grid cell from function
+    values and derivatives at its corners (the classic weight-matrix
+    formulation), then evaluates the interpolant at a sweep of points.
+    Function values arrive through array parameters; the coefficient
+    store [c[l]] is followed inside the same loop nest by loads from the
+    input vectors. *)
+val source : string
+val workload : Workload.t

@@ -1,0 +1,20 @@
+(** espresso — boolean function minimization (SPECint 92), kernel scale.
+
+    The inner loops of espresso's cube/cover machinery: cubes are bit
+    vectors (two bits per variable), and the dominant operations are
+    word-wise distance, containment and merge sweeps over covers reached
+    through pointers.  The full 14,838-line program is out of scope for
+    the mini-C frontend; this kernel preserves the pointer-heavy,
+    bit-parallel memory behaviour of its hot loops (see DESIGN.md). *)
+
+
+(** espresso — boolean function minimization (SPECint 92), kernel scale.
+
+    The inner loops of espresso's cube/cover machinery: cubes are bit
+    vectors (two bits per variable), and the dominant operations are
+    word-wise distance, containment and merge sweeps over covers reached
+    through pointers.  The full 14,838-line program is out of scope for
+    the mini-C frontend; this kernel preserves the pointer-heavy,
+    bit-parallel memory behaviour of its hot loops (see DESIGN.md). *)
+val source : string
+val workload : Workload.t

@@ -1,0 +1,44 @@
+(** fft — fast Fourier transform (NRC four1 style).
+
+    Radix-2 decimation-in-time FFT with an explicit bit-reversal pass and
+    Danielson-Lanczos butterflies.  The access pattern is the paper's
+    textbook non-linear case: strides double every stage ("exponential
+    order"), so subscripts are not affine in the loop counters and static
+    disambiguation gives up.  The butterfly stores [xr[j]] / [xi[j]] are
+    ambiguously aliased with the loads of the other array and of the
+    [i]-indexed elements that follow them in the same body. *)
+
+let source_body =
+  {|
+double re[64];
+double im[64];
+
+int main() {
+  int i;
+  double chk;
+  for (i = 0; i < 64; i = i + 1) {
+    re[i] = my_sin(0.35 * i) + 0.25 * my_cos(1.1 * i);
+    im[i] = 0.0;
+  }
+  fft(re, im, 64, 1);
+  chk = 0.0;
+  for (i = 0; i < 64; i = i + 1) {
+    chk = chk + re[i] * (i + 1) * 0.01 + im[i] * 0.005 * i;
+  }
+  /* round trip: the inverse transform recovers the input, scaled by n */
+  fft(re, im, 64, -1);
+  chk = chk + re[5] / 64.0 + re[17] / 64.0;
+  print_float(chk);
+  return (int)chk;
+}
+|}
+
+let source = Workload.math_helpers ^ Workload.fft_function ^ source_body
+
+let workload =
+  {
+    Workload.name = "fft";
+    suite = Workload.Nrc;
+    description = "Fast Fourier transform.";
+    source;
+  }

@@ -1,0 +1,23 @@
+(** fft — fast Fourier transform (NRC four1 style).
+
+    Radix-2 decimation-in-time FFT with an explicit bit-reversal pass and
+    Danielson-Lanczos butterflies.  The access pattern is the paper's
+    textbook non-linear case: strides double every stage ("exponential
+    order"), so subscripts are not affine in the loop counters and static
+    disambiguation gives up.  The butterfly stores [xr[j]] / [xi[j]] are
+    ambiguously aliased with the loads of the other array and of the
+    [i]-indexed elements that follow them in the same body. *)
+
+
+(** fft — fast Fourier transform (NRC four1 style).
+
+    Radix-2 decimation-in-time FFT with an explicit bit-reversal pass and
+    Danielson-Lanczos butterflies.  The access pattern is the paper's
+    textbook non-linear case: strides double every stage ("exponential
+    order"), so subscripts are not affine in the loop counters and static
+    disambiguation gives up.  The butterfly stores [xr[j]] / [xi[j]] are
+    ambiguously aliased with the loads of the other array and of the
+    [i]-indexed elements that follow them in the same body. *)
+val source_body : string
+val source : string
+val workload : Workload.t

@@ -1,0 +1,92 @@
+(** moment — moments of a distribution (NRC style).
+
+    Computes mean, average deviation, standard deviation, variance, skew
+    and kurtosis of a data vector.  Results are returned through an output
+    array parameter (NRC returns them through pointers), and a
+    normalization pass then rewrites the data in place while accumulating
+    a checksum from a second vector — store-then-load patterns on
+    parameter arrays throughout. *)
+
+let source_body =
+  {|
+double data[256];
+double weight[256];
+double out[6];
+
+void moment(double d[], int n, double o[]) {
+  int j;
+  double s; double p; double ep; double ave; double adev; double var;
+  double skew; double curt; double dev;
+  s = 0.0;
+  for (j = 0; j < n; j = j + 1) {
+    s = s + d[j];
+  }
+  ave = s / n;
+  adev = 0.0; var = 0.0; skew = 0.0; curt = 0.0; ep = 0.0;
+  for (j = 0; j < n; j = j + 1) {
+    dev = d[j] - ave;
+    ep = ep + dev;
+    if (dev < 0.0) adev = adev - dev;
+    else adev = adev + dev;
+    p = dev * dev;
+    var = var + p;
+    p = p * dev;
+    skew = skew + p;
+    p = p * dev;
+    curt = curt + p;
+  }
+  adev = adev / n;
+  var = (var - ep * ep / n) / (n - 1);
+  o[0] = ave;
+  o[1] = adev;
+  o[2] = my_sqrt(var);
+  o[3] = var;
+  if (var > 0.0) {
+    o[4] = skew / (n * var * o[2]);
+    o[5] = curt / (n * var * var) - 3.0;
+  } else {
+    o[4] = 0.0;
+    o[5] = 0.0;
+  }
+}
+
+/* standardize the data in place; the store to d[j] is ambiguously
+   aliased with the loads from o[] and w[] that follow it */
+double normalize(double d[], double w[], double o[], int n) {
+  int j;
+  double chk;
+  chk = 0.0;
+  for (j = 0; j < n; j = j + 1) {
+    d[j] = (d[j] - o[0]) / o[2];
+    chk = chk + d[j] * w[j];
+  }
+  return chk;
+}
+
+int main() {
+  int i; int seed;
+  double chk;
+  seed = 13;
+  for (i = 0; i < 256; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    data[i] = (seed % 1000) * 0.001;
+    weight[i] = 1.0 + (i % 7) * 0.125;
+  }
+  moment(data, 256, out);
+  chk = normalize(data, weight, out, 256);
+  print_float(out[0]);
+  print_float(out[3]);
+  print_float(chk);
+  return (int)(chk * 100.0);
+}
+|}
+
+let source = Workload.math_helpers ^ source_body
+
+let workload =
+  {
+    Workload.name = "moment";
+    suite = Workload.Nrc;
+    description = "Moments of a distribution.";
+    source;
+  }

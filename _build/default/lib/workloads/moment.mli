@@ -1,0 +1,21 @@
+(** moment — moments of a distribution (NRC style).
+
+    Computes mean, average deviation, standard deviation, variance, skew
+    and kurtosis of a data vector.  Results are returned through an output
+    array parameter (NRC returns them through pointers), and a
+    normalization pass then rewrites the data in place while accumulating
+    a checksum from a second vector — store-then-load patterns on
+    parameter arrays throughout. *)
+
+
+(** moment — moments of a distribution (NRC style).
+
+    Computes mean, average deviation, standard deviation, variance, skew
+    and kurtosis of a data vector.  Results are returned through an output
+    array parameter (NRC returns them through pointers), and a
+    normalization pass then rewrites the data in place while accumulating
+    a checksum from a second vector — store-then-load patterns on
+    parameter arrays throughout. *)
+val source_body : string
+val source : string
+val workload : Workload.t

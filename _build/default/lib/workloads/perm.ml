@@ -1,0 +1,57 @@
+(** perm — recursive permutation program (Stanford Integer Benchmarks).
+
+    Generates all permutations of a small vector by recursive swapping.
+    The swap routine receives the array and two data-dependent indices:
+    ambiguous WAR/WAW arcs between the element accesses. *)
+
+let source =
+  {|
+int permarray[8];
+int pctr = 0;
+
+void swap_elems(int v[], int a, int b) {
+  int t;
+  t = v[a];
+  v[a] = v[b];
+  v[b] = t;
+}
+
+void permute(int n) {
+  int k;
+  pctr = pctr + 1;
+  if (n != 0) {
+    permute(n - 1);
+    for (k = n - 1; k >= 0; k = k - 1) {
+      swap_elems(permarray, n, k);
+      permute(n - 1);
+      swap_elems(permarray, n, k);
+    }
+  }
+}
+
+int main() {
+  int i; int trial; int chk;
+  chk = 0;
+  for (trial = 0; trial < 3; trial = trial + 1) {
+    for (i = 0; i < 8; i = i + 1) {
+      permarray[i] = i;
+    }
+    pctr = 0;
+    permute(6);
+    chk = chk + pctr;
+  }
+  for (i = 0; i < 8; i = i + 1) {
+    chk = chk + permarray[i] * (i + 1);
+  }
+  print_int(chk);
+  return chk;
+}
+|}
+
+let workload =
+  {
+    Workload.name = "perm";
+    suite = Workload.Stanfint;
+    description = "Recursive permutation program.";
+    source;
+  }

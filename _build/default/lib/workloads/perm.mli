@@ -1,0 +1,14 @@
+(** perm — recursive permutation program (Stanford Integer Benchmarks).
+
+    Generates all permutations of a small vector by recursive swapping.
+    The swap routine receives the array and two data-dependent indices:
+    ambiguous WAR/WAW arcs between the element accesses. *)
+
+
+(** perm — recursive permutation program (Stanford Integer Benchmarks).
+
+    Generates all permutations of a small vector by recursive swapping.
+    The swap routine receives the array and two data-dependent indices:
+    ambiguous WAR/WAW arcs between the element accesses. *)
+val source : string
+val workload : Workload.t

@@ -1,0 +1,56 @@
+(** queen — eight queens problem (Stanford Integer Benchmarks).
+
+    Counts all 92 solutions by recursive backtracking over column and
+    diagonal occupancy arrays. *)
+
+let source =
+  {|
+int acol[8];
+int bdiag[15];
+int cdiag[15];
+int solutions = 0;
+
+void try_row(int row) {
+  int col; int free_;
+  for (col = 0; col < 8; col = col + 1) {
+    free_ = acol[col] == 0 && bdiag[row + col] == 0
+            && cdiag[row - col + 7] == 0;
+    if (free_) {
+      acol[col] = 1;
+      bdiag[row + col] = 1;
+      cdiag[row - col + 7] = 1;
+      if (row == 7) {
+        solutions = solutions + 1;
+      } else {
+        try_row(row + 1);
+      }
+      acol[col] = 0;
+      bdiag[row + col] = 0;
+      cdiag[row - col + 7] = 0;
+    }
+  }
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 8; i = i + 1) {
+    acol[i] = 0;
+  }
+  for (i = 0; i < 15; i = i + 1) {
+    bdiag[i] = 0;
+    cdiag[i] = 0;
+  }
+  solutions = 0;
+  try_row(0);
+  print_int(solutions);
+  return solutions;
+}
+|}
+
+let workload =
+  {
+    Workload.name = "queen";
+    suite = Workload.Stanfint;
+    description = "Eight queens problem.";
+    source;
+  }

@@ -1,0 +1,12 @@
+(** queen — eight queens problem (Stanford Integer Benchmarks).
+
+    Counts all 92 solutions by recursive backtracking over column and
+    diagonal occupancy arrays. *)
+
+
+(** queen — eight queens problem (Stanford Integer Benchmarks).
+
+    Counts all 92 solutions by recursive backtracking over column and
+    diagonal occupancy arrays. *)
+val source : string
+val workload : Workload.t

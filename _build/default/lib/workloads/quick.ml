@@ -1,0 +1,59 @@
+(** quick — quicksort (Stanford Integer Benchmarks).
+
+    Recursive quicksort with the classic two-index partition.  The swap
+    writes [v[i]] and [v[j]] with data-dependent indices: an ambiguous
+    WAW arc the static disambiguator can never resolve, yet one that
+    almost never aliases dynamically — the benchmark where the paper's
+    SPEC occasionally beats even PERFECT. *)
+
+let source =
+  {|
+int sortlist[256];
+int seed = 74755;
+
+void quicksort(int l, int r) {
+  int i; int j; int x; int w;
+  i = l;
+  j = r;
+  x = sortlist[(l + r) / 2];
+  while (i <= j) {
+    while (sortlist[i] < x) i = i + 1;
+    while (x < sortlist[j]) j = j - 1;
+    if (i <= j) {
+      w = sortlist[i];
+      sortlist[i] = sortlist[j];
+      sortlist[j] = w;
+      i = i + 1;
+      j = j - 1;
+    }
+  }
+  if (l < j) quicksort(l, j);
+  if (i < r) quicksort(i, r);
+}
+
+int main() {
+  int i; int chk; int sorted;
+  for (i = 0; i < 256; i = i + 1) {
+    seed = (seed * 1309 + 13849) % 65536;
+    sortlist[i] = seed;
+  }
+  quicksort(0, 255);
+  sorted = 1;
+  chk = 0;
+  for (i = 0; i < 256; i = i + 1) {
+    chk = (chk + sortlist[i] * (i % 17)) % 1000000007;
+    if (i > 0 && sortlist[i - 1] > sortlist[i]) sorted = 0;
+  }
+  print_int(sorted);
+  print_int(chk);
+  return chk % 32768;
+}
+|}
+
+let workload =
+  {
+    Workload.name = "quick";
+    suite = Workload.Stanfint;
+    description = "Quicksort.";
+    source;
+  }

@@ -1,0 +1,18 @@
+(** quick — quicksort (Stanford Integer Benchmarks).
+
+    Recursive quicksort with the classic two-index partition.  The swap
+    writes [v[i]] and [v[j]] with data-dependent indices: an ambiguous
+    WAW arc the static disambiguator can never resolve, yet one that
+    almost never aliases dynamically — the benchmark where the paper's
+    SPEC occasionally beats even PERFECT. *)
+
+
+(** quick — quicksort (Stanford Integer Benchmarks).
+
+    Recursive quicksort with the classic two-index partition.  The swap
+    writes [v[i]] and [v[j]] with data-dependent indices: an ambiguous
+    WAW arc the static disambiguator can never resolve, yet one that
+    almost never aliases dynamically — the benchmark where the paper's
+    SPEC occasionally beats even PERFECT. *)
+val source : string
+val workload : Workload.t

@@ -1,0 +1,11 @@
+(** The benchmark registry: Table 6-2 of the paper. *)
+
+
+(** The benchmark registry: Table 6-2 of the paper. *)
+val all : Workload.t list
+val nrc : Workload.t list
+val by_name : string -> Workload.t
+val names : string list
+
+(** Source line count, for the Table 6-2 printout. *)
+val lines : Workload.t -> int

@@ -1,0 +1,68 @@
+(** smooft — smoothing of data (NRC style).
+
+    FFT-based smoothing: transform the padded signal, attenuate high
+    frequencies with a smooth window, transform back and rescale.  Calls
+    the shared FFT kernel; the windowing pass stores into the spectra and
+    then loads the window weights through another parameter. *)
+
+let source_body =
+  {|
+double sr[64];
+double si[64];
+double win[64];
+double orig[64];
+
+/* attenuate; the stores to r[]/q[] are ambiguously aliased with the
+   loads from w[] that follow in the same body */
+void window_pass(double r[], double q[], double w[], int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    r[i] = r[i] * w[i];
+    q[i] = q[i] * w[i];
+  }
+}
+
+void smooft(double r[], double q[], double w[], int n) {
+  int i;
+  fft(r, q, n, 1);
+  window_pass(r, q, w, n);
+  fft(r, q, n, -1);
+  for (i = 0; i < n; i = i + 1) {
+    r[i] = r[i] / n;
+    q[i] = q[i] / n;
+  }
+}
+
+int main() {
+  int i; int f;
+  double chk; double c;
+  for (i = 0; i < 64; i = i + 1) {
+    /* a smooth signal plus alternating "noise" */
+    sr[i] = my_sin(0.2 * i) + 0.3 * (i % 2) - 0.15;
+    si[i] = 0.0;
+    orig[i] = sr[i];
+    /* raised-cosine low-pass window over frequency bins */
+    f = i;
+    if (f > 32) f = 64 - f;
+    c = my_cos(3.141592653589793 * f / 32.0);
+    win[i] = 0.25 * (1.0 + c) * (1.0 + c);
+  }
+  smooft(sr, si, win, 64);
+  chk = 0.0;
+  for (i = 0; i < 64; i = i + 1) {
+    chk = chk + (sr[i] - orig[i]) * (sr[i] - orig[i]) + sr[i] * 0.01 * i;
+  }
+  print_float(chk);
+  return (int)(chk * 10.0);
+}
+|}
+
+let source = Workload.math_helpers ^ Workload.fft_function ^ source_body
+
+let workload =
+  {
+    Workload.name = "smooft";
+    suite = Workload.Nrc;
+    description = "Smoothing of data.";
+    source;
+  }

@@ -1,0 +1,17 @@
+(** smooft — smoothing of data (NRC style).
+
+    FFT-based smoothing: transform the padded signal, attenuate high
+    frequencies with a smooth window, transform back and rescale.  Calls
+    the shared FFT kernel; the windowing pass stores into the spectra and
+    then loads the window weights through another parameter. *)
+
+
+(** smooft — smoothing of data (NRC style).
+
+    FFT-based smoothing: transform the padded signal, attenuate high
+    frequencies with a smooth window, transform back and rescale.  Calls
+    the shared FFT kernel; the windowing pass stores into the spectra and
+    then loads the window weights through another parameter. *)
+val source_body : string
+val source : string
+val workload : Workload.t

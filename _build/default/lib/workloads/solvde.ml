@@ -1,0 +1,95 @@
+(** solvde — relaxation for a two-point boundary value problem (NRC
+    style, simplified).
+
+    Solves the first-order system y0' = y1, y1' = -y0 (harmonic
+    oscillator) on a mesh by repeated relaxation sweeps: residual
+    computation, correction application, and an error reduction pass, all
+    on arrays passed into procedures.  The paper's solvde is a 381-line
+    Newton relaxation; this keeps its memory behaviour — sweeps over
+    several parameter arrays with interleaved stores and loads — at
+    kernel scale (see DESIGN.md). *)
+
+let source =
+  {|
+int M = 32;
+
+double ya[32];
+double yb[32];
+double e0[32];
+double e1[32];
+double scale[32];
+
+/* residuals of the trapezoidal finite-difference equations; stores to
+   r0/r1 are ambiguously aliased with the u/v loads that follow */
+void residuals(double u[], double v[], double r0[], double r1[], int m,
+               double h) {
+  int k;
+  for (k = 1; k < m; k = k + 1) {
+    r0[k] = u[k] - u[k - 1] - 0.5 * h * (v[k] + v[k - 1]);
+    r1[k] = v[k] - v[k - 1] + 0.5 * h * (u[k] + u[k - 1]);
+  }
+}
+
+void apply_corrections(double u[], double v[], double r0[], double r1[],
+                       double sc[], int m, double frac) {
+  int k;
+  for (k = 1; k < m; k = k + 1) {
+    u[k] = u[k] - frac * r0[k] * sc[k];
+    v[k] = v[k] - frac * r1[k] * sc[k];
+  }
+}
+
+double max_residual(double r0[], double r1[], int m) {
+  int k;
+  double err; double a;
+  err = 0.0;
+  for (k = 1; k < m; k = k + 1) {
+    a = r0[k];
+    if (a < 0.0) a = -a;
+    if (a > err) err = a;
+    a = r1[k];
+    if (a < 0.0) a = -a;
+    if (a > err) err = a;
+  }
+  return err;
+}
+
+int main() {
+  int k; int it; int m;
+  double h; double err; double chk;
+  m = M;
+  h = 0.1;
+  /* initial guess: straight lines obeying the boundary conditions */
+  for (k = 0; k < m; k = k + 1) {
+    ya[k] = 0.1 * k * h;
+    yb[k] = 1.0;
+    scale[k] = 1.0 - 0.004 * k;
+    e0[k] = 0.0;
+    e1[k] = 0.0;
+  }
+  err = 1.0;
+  it = 0;
+  while (it < 12 && err > 0.000001) {
+    residuals(ya, yb, e0, e1, m, h);
+    apply_corrections(ya, yb, e0, e1, scale, m, 0.8);
+    err = max_residual(e0, e1, m);
+    it = it + 1;
+  }
+  chk = err * 1000.0;
+  for (k = 0; k < m; k = k + 1) {
+    chk = chk + ya[k] * (k + 1) * 0.125 + yb[k] * 0.0625;
+  }
+  print_float(chk);
+  print_int(it);
+  return (int)chk;
+}
+|}
+
+let workload =
+  {
+    Workload.name = "solvde";
+    suite = Workload.Nrc;
+    description =
+      "Relaxation method for two point boundary value problems.";
+    source;
+  }

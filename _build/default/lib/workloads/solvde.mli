@@ -1,0 +1,24 @@
+(** solvde — relaxation for a two-point boundary value problem (NRC
+    style, simplified).
+
+    Solves the first-order system y0' = y1, y1' = -y0 (harmonic
+    oscillator) on a mesh by repeated relaxation sweeps: residual
+    computation, correction application, and an error reduction pass, all
+    on arrays passed into procedures.  The paper's solvde is a 381-line
+    Newton relaxation; this keeps its memory behaviour — sweeps over
+    several parameter arrays with interleaved stores and loads — at
+    kernel scale (see DESIGN.md). *)
+
+
+(** solvde — relaxation for a two-point boundary value problem (NRC
+    style, simplified).
+
+    Solves the first-order system y0' = y1, y1' = -y0 (harmonic
+    oscillator) on a mesh by repeated relaxation sweeps: residual
+    computation, correction application, and an error reduction pass, all
+    on arrays passed into procedures.  The paper's solvde is a 381-line
+    Newton relaxation; this keeps its memory behaviour — sweeps over
+    several parameter arrays with interleaved stores and loads — at
+    kernel scale (see DESIGN.md). *)
+val source : string
+val workload : Workload.t

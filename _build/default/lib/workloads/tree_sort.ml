@@ -1,0 +1,88 @@
+(** tree — treesort (Stanford Integer Benchmarks).
+
+    Builds a binary search tree in index-array form (the node "pointers"
+    are integers read back out of memory — the paper's "address read out
+    of another memory location" case) and then checksums an in-order
+    traversal driven by an explicit stack.  The node arrays are passed as
+    parameters so the references stay ambiguous. *)
+
+let source =
+  {|
+int key_[300];
+int left_[300];
+int right_[300];
+int stack_[64];
+int nnodes = 0;
+int seed = 33;
+
+void insert_node(int key[], int left[], int right[], int k, int n) {
+  int p; int done;
+  key[n] = k;
+  left[n] = -1;
+  right[n] = -1;
+  if (n > 0) {
+    p = 0;
+    done = 0;
+    while (done == 0) {
+      if (k < key[p]) {
+        if (left[p] < 0) {
+          left[p] = n;
+          done = 1;
+        } else {
+          p = left[p];
+        }
+      } else {
+        if (right[p] < 0) {
+          right[p] = n;
+          done = 1;
+        } else {
+          p = right[p];
+        }
+      }
+    }
+  }
+}
+
+int traverse(int key[], int left[], int right[], int stk[], int n) {
+  int sp; int cur; int chk; int order;
+  if (n == 0) return 0;
+  sp = 0;
+  cur = 0;
+  chk = 0;
+  order = 0;
+  while (cur >= 0 || sp > 0) {
+    while (cur >= 0) {
+      stk[sp] = cur;
+      sp = sp + 1;
+      cur = left[cur];
+    }
+    sp = sp - 1;
+    cur = stk[sp];
+    chk = (chk + key[cur] * (order % 13 + 1)) % 1000000007;
+    order = order + 1;
+    cur = right[cur];
+  }
+  return chk;
+}
+
+int main() {
+  int i; int chk;
+  nnodes = 0;
+  for (i = 0; i < 220; i = i + 1) {
+    seed = (seed * 1309 + 13849) % 65536;
+    insert_node(key_, left_, right_, seed, nnodes);
+    nnodes = nnodes + 1;
+  }
+  chk = traverse(key_, left_, right_, stack_, nnodes);
+  print_int(chk);
+  return chk % 32768;
+}
+|}
+
+let workload =
+  {
+    Workload.name = "tree";
+    suite = Workload.Stanfint;
+    description = "Treesort.";
+    source;
+  }

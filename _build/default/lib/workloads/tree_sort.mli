@@ -1,0 +1,18 @@
+(** tree — treesort (Stanford Integer Benchmarks).
+
+    Builds a binary search tree in index-array form (the node "pointers"
+    are integers read back out of memory — the paper's "address read out
+    of another memory location" case) and then checksums an in-order
+    traversal driven by an explicit stack.  The node arrays are passed as
+    parameters so the references stay ambiguous. *)
+
+
+(** tree — treesort (Stanford Integer Benchmarks).
+
+    Builds a binary search tree in index-array form (the node "pointers"
+    are integers read back out of memory — the paper's "address read out
+    of another memory location" case) and then checksums an in-order
+    traversal driven by an explicit stack.  The node arrays are passed as
+    parameters so the references stay ambiguous. *)
+val source : string
+val workload : Workload.t

@@ -1,0 +1,134 @@
+(** Benchmark workloads (Table 6-2 of the paper).
+
+    Each workload is a mini-C source faithful to the corresponding kernel:
+    six programs in the style of {i Numerical Recipes in C} (arrays passed
+    into procedures — the pointer dereferences that defeat static
+    disambiguation), four Stanford Integer Benchmarks, and the inner
+    cube-cover kernel of espresso (scaled down from the 14,838-line SPEC
+    original; see DESIGN.md).
+
+    Every program prints one or more checksums so that all disambiguation
+    pipelines can be validated against each other and against the OCaml
+    reference implementations in the test suite. *)
+
+type suite = Nrc | Stanfint | Spec
+
+type t = {
+  name : string;
+  suite : suite;
+  description : string;
+  source : string;
+}
+
+let suite_name = function
+  | Nrc -> "NRC"
+  | Stanfint -> "StanfInt"
+  | Spec -> "SPEC"
+
+(** Software math routines shared by the numeric kernels.  The LIFE
+    machine model has no transcendental units; like the paper's platform,
+    sin/sqrt are ordinary compiled code. *)
+let math_helpers =
+  {|
+double reduce_angle(double x) {
+  /* reduce into [-pi, pi] */
+  int k;
+  k = (int)(x / 6.283185307179586);
+  x = x - k * 6.283185307179586;
+  if (x > 3.141592653589793) x = x - 6.283185307179586;
+  if (x < -3.141592653589793) x = x + 6.283185307179586;
+  return x;
+}
+
+double my_sin(double xin) {
+  double x; double x2; double term; double sum;
+  int k;
+  x = reduce_angle(xin);
+  x2 = x * x;
+  term = x;
+  sum = x;
+  for (k = 1; k < 10; k = k + 1) {
+    term = -term * x2 / ((2.0 * k) * (2.0 * k + 1.0));
+    sum = sum + term;
+  }
+  return sum;
+}
+
+double my_cos(double xin) {
+  double x; double x2; double term; double sum;
+  int k;
+  x = reduce_angle(xin);
+  x2 = x * x;
+  term = 1.0;
+  sum = 1.0;
+  for (k = 1; k < 10; k = k + 1) {
+    term = -term * x2 / ((2.0 * k - 1.0) * (2.0 * k));
+    sum = sum + term;
+  }
+  return sum;
+}
+
+double my_sqrt(double x) {
+  double r;
+  int k;
+  if (x <= 0.0) return 0.0;
+  r = x;
+  if (r > 1.0) r = x * 0.5 + 0.5;
+  for (k = 0; k < 30; k = k + 1) {
+    r = 0.5 * (r + x / r);
+  }
+  return r;
+}
+|}
+
+(** The radix-2 FFT kernel shared by the [fft] and [smooft] workloads
+    (NRC [four1] in split real/imaginary form). *)
+let fft_function =
+  {|
+void fft(double xr[], double xi[], int n, int isign) {
+  int i; int j; int k; int m;
+  int mmax; int istep;
+  double tr; double ti; double wr; double wi; double wpr; double wpi;
+  double wtemp; double theta;
+  /* bit reversal */
+  j = 0;
+  for (i = 0; i < n; i = i + 1) {
+    if (i < j) {
+      tr = xr[i]; xr[i] = xr[j]; xr[j] = tr;
+      ti = xi[i]; xi[i] = xi[j]; xi[j] = ti;
+    }
+    k = n / 2;
+    while (k >= 1 && j >= k) {
+      j = j - k;
+      k = k / 2;
+    }
+    j = j + k;
+  }
+  /* Danielson-Lanczos */
+  mmax = 1;
+  while (mmax < n) {
+    istep = mmax * 2;
+    theta = isign * 3.141592653589793 / mmax;
+    wtemp = my_sin(0.5 * theta);
+    wpr = -2.0 * wtemp * wtemp;
+    wpi = my_sin(theta);
+    wr = 1.0;
+    wi = 0.0;
+    for (m = 0; m < mmax; m = m + 1) {
+      for (i = m; i < n; i = i + istep) {
+        j = i + mmax;
+        tr = wr * xr[j] - wi * xi[j];
+        ti = wr * xi[j] + wi * xr[j];
+        xr[j] = xr[i] - tr;
+        xi[j] = xi[i] - ti;
+        xr[i] = xr[i] + tr;
+        xi[i] = xi[i] + ti;
+      }
+      wtemp = wr;
+      wr = wr * wpr - wi * wpi + wr;
+      wi = wi * wpr + wtemp * wpi + wi;
+    }
+    mmax = istep;
+  }
+}
+|}

@@ -1,0 +1,30 @@
+(** Benchmark workloads (Table 6-2 of the paper).
+
+    Each workload is a mini-C source faithful to the corresponding kernel:
+    six programs in the style of {i Numerical Recipes in C} (arrays passed
+    into procedures — the pointer dereferences that defeat static
+    disambiguation), four Stanford Integer Benchmarks, and the inner
+    cube-cover kernel of espresso (scaled down from the 14,838-line SPEC
+    original; see DESIGN.md).
+
+    Every program prints one or more checksums so that all disambiguation
+    pipelines can be validated against each other and against the OCaml
+    reference implementations in the test suite. *)
+
+type suite = Nrc | Stanfint | Spec
+type t = {
+  name : string;
+  suite : suite;
+  description : string;
+  source : string;
+}
+val suite_name : suite -> string
+
+(** Software math routines shared by the numeric kernels.  The LIFE
+    machine model has no transcendental units; like the paper's platform,
+    sin/sqrt are ordinary compiled code. *)
+val math_helpers : string
+
+(** The radix-2 FFT kernel shared by the [fft] and [smooft] workloads
+    (NRC [four1] in split real/imaginary form). *)
+val fft_function : string

@@ -1,0 +1,1 @@
+test/gen_prog.ml: Printf QCheck String

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_analysis Test_disambig Test_harness Test_ir Test_lang Test_machine Test_sim Test_spd Test_workloads

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Fmt Insn Interval List Memdep Opcode Prog QCheck QCheck_alcotest Reg Spd_analysis Spd_harness Spd_ir Spd_sim Spd_workloads Tree Util Value

@@ -1,0 +1,1 @@
+test/test_disambig.ml: Alcotest Insn List Memdep Option Printf Prog QCheck QCheck_alcotest Spd_analysis Spd_disambig Spd_harness Spd_ir Spd_sim Spd_workloads String Tree Util

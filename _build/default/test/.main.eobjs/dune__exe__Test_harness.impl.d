@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Buffer Float Fmt Gen_prog List Printf QCheck QCheck_alcotest Spd_core Spd_harness Spd_ir Spd_machine Spd_workloads String Unix Util

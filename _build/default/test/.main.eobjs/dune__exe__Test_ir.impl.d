@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Fmt Insn Interval Memdep Opcode Option QCheck QCheck_alcotest Reg Spd_ir Tree Util Value

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array List Option Spd_ir Spd_lang Util

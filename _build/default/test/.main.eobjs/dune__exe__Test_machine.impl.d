@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Gen_prog List Opcode Prog QCheck QCheck_alcotest Spd_analysis Spd_harness Spd_ir Spd_machine Spd_workloads Tree Util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array List Memdep Opcode Prog Spd_analysis Spd_ir Spd_machine Spd_sim Tree Util Value

@@ -1,0 +1,1 @@
+test/test_spd.ml: Alcotest Array List Printf Spd_analysis Spd_core Spd_disambig Spd_harness Spd_ir Spd_machine Spd_sim Util

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Filename List Spd_harness Spd_ir Spd_workloads String Sys Util

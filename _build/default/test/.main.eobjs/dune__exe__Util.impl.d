@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Float Spd_ir Spd_lang Spd_sim

@@ -1,0 +1,144 @@
+(** QCheck generator of random mini-C programs.
+
+    The generated programs are terminating by construction (literal loop
+    bounds, no recursion), in-bounds by construction (array subscripts are
+    wrapped modulo the array size), and always include a helper function
+    taking two array parameters that is called once with distinct arrays
+    and once with the same array — so the ambiguous references both do and
+    do not alias dynamically.  They are used for differential testing of
+    the disambiguation pipelines: every pipeline must preserve observable
+    behaviour on every generated program. *)
+
+open QCheck.Gen
+
+let ivars = [ "t0"; "t1"; "t2" ]
+let arrays = [ "ga"; "gb" ]
+let array_size = 24
+
+(* Integer expressions over in-scope variables. [iv] is the loop variable
+   in scope, if any. *)
+let rec gen_iexpr ~iv depth =
+  let leaf =
+    oneof
+      ([
+         map string_of_int (int_range 0 9);
+         oneofl ivars;
+       ]
+      @ match iv with Some v -> [ return v ] | None -> [])
+  in
+  if depth = 0 then leaf
+  else
+    frequency
+      [
+        (2, leaf);
+        ( 3,
+          let* op = oneofl [ "+"; "-"; "*"; "&"; "|"; "^" ] in
+          let* a = gen_iexpr ~iv (depth - 1) in
+          let* b = gen_iexpr ~iv (depth - 1) in
+          return (Printf.sprintf "(%s %s %s)" a op b) );
+        ( 2,
+          let* arr = oneofl arrays in
+          let* idx = gen_iexpr ~iv (depth - 1) in
+          return (Printf.sprintf "%s[((%s) %% %d + %d) %% %d]" arr idx array_size array_size array_size) );
+      ]
+
+let gen_cond ~iv =
+  let* op = oneofl [ "<"; "<="; "=="; "!="; ">" ] in
+  let* a = gen_iexpr ~iv 1 in
+  let* b = gen_iexpr ~iv 1 in
+  return (Printf.sprintf "%s %s %s" a op b)
+
+let indent n = String.make (2 * n) ' '
+
+let rec gen_stmt ~iv ~depth level =
+  let assign =
+    let* v = oneofl ivars in
+    let* e = gen_iexpr ~iv 2 in
+    return (Printf.sprintf "%s%s = %s;\n" (indent level) v e)
+  in
+  let arr_store =
+    let* arr = oneofl arrays in
+    let* idx = gen_iexpr ~iv 1 in
+    let* e = gen_iexpr ~iv 2 in
+    return
+      (Printf.sprintf "%s%s[((%s) %% %d + %d) %% %d] = %s;\n" (indent level)
+         arr idx array_size array_size array_size e)
+  in
+  if depth = 0 then oneof [ assign; arr_store ]
+  else
+    frequency
+      [
+        (3, assign);
+        (3, arr_store);
+        ( 2,
+          let* c = gen_cond ~iv in
+          let* then_ = gen_block ~iv ~depth:(depth - 1) (level + 1) in
+          let* else_ = gen_block ~iv ~depth:(depth - 1) (level + 1) in
+          return
+            (Printf.sprintf "%sif (%s) {\n%s%s} else {\n%s%s}\n"
+               (indent level) c then_ (indent level) else_ (indent level)) );
+        ( 2,
+          (* a literal-bound loop over the variable not already in use *)
+          let var = match iv with None -> "i" | Some _ -> "j" in
+          let* bound = int_range 1 8 in
+          let* body = gen_block ~iv:(Some var) ~depth:(depth - 1) (level + 1) in
+          return
+            (Printf.sprintf "%sfor (%s = 0; %s < %d; %s = %s + 1) {\n%s%s}\n"
+               (indent level) var var bound var var body (indent level)) );
+      ]
+
+and gen_block ~iv ~depth level =
+  let* n = int_range 1 3 in
+  let* stmts = list_repeat n (gen_stmt ~iv ~depth level) in
+  return (String.concat "" stmts)
+
+(* The helper: a loop over two array parameters with a store-then-load
+   pattern, the canonical SpD shape. *)
+let gen_helper =
+  let* body_expr = gen_iexpr ~iv:(Some "k") 2 in
+  return
+    (Printf.sprintf
+       {|
+int helper(int p[], int q[], int n) {
+  int k; int s; int t0; int t1; int t2;
+  s = 0; t0 = 1; t1 = 2; t2 = 3;
+  for (k = 0; k < n; k = k + 1) {
+    p[k] = s + %s;
+    s = s + q[k] - p[k] / 3;
+  }
+  return s;
+}
+|}
+       body_expr)
+
+let gen_source : string t =
+  let* helper = gen_helper in
+  let* body = gen_block ~iv:None ~depth:2 1 in
+  let* n_helper = int_range 1 (array_size - 1) in
+  return
+    (Printf.sprintf
+       {|
+int ga[%d];
+int gb[%d];
+%s
+int main() {
+  int i; int j; int t0; int t1; int t2; int chk;
+  i = 0; j = 0; t0 = 5; t1 = 11; t2 = 17; chk = 0;
+  for (i = 0; i < %d; i = i + 1) {
+    ga[i] = i * 7 %% 13;
+    gb[i] = i * 3 + 1;
+  }
+%s  t0 = helper(ga, gb, %d);
+  t1 = helper(ga, ga, %d);
+  chk = t0 * 31 + t1;
+  for (i = 0; i < %d; i = i + 1) {
+    chk = (chk + ga[i] * (i + 1) + gb[i]) %% 1000003;
+  }
+  return chk;
+}
+|}
+       array_size array_size helper array_size body n_helper n_helper
+       array_size)
+
+let arbitrary_source =
+  QCheck.make ~print:(fun s -> s) gen_source

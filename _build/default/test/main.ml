@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "spd"
+    [
+      ("ir", Test_ir.tests);
+      ("lang", Test_lang.tests);
+      ("sim", Test_sim.tests);
+      ("analysis", Test_analysis.tests);
+      ("disambig", Test_disambig.tests);
+      ("machine", Test_machine.tests);
+      ("spd", Test_spd.tests);
+      ("harness", Test_harness.tests);
+      ("workloads", Test_workloads.tests);
+    ]

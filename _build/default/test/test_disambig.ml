@@ -1,0 +1,193 @@
+(** Disambiguator tests: GCD test (against brute force), Banerjee bounds,
+    the combined alias oracle, and the STATIC / PERFECT pipelines. *)
+
+open Util
+module Ir = Spd_ir
+module D = Spd_disambig
+module A = Spd_analysis
+open Ir
+
+let case name f = Alcotest.test_case name `Quick f
+let qcase = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* GCD test *)
+
+let test_gcd_basics () =
+  check_int "gcd" 6 (D.Gcd_test.gcd 54 24);
+  check_int "gcd neg" 6 (D.Gcd_test.gcd (-54) 24);
+  check_int "gcd zero" 7 (D.Gcd_test.gcd 0 7);
+  check_int "gcd list" 4 (D.Gcd_test.gcd_list [ 8; 12; 20 ]);
+  check_bool "2x + 4y = 3 has no solution" false
+    (D.Gcd_test.may_have_solution ~coeffs:[ 2; 4 ] ~const:3);
+  check_bool "2x + 4y = 6 may" true
+    (D.Gcd_test.may_have_solution ~coeffs:[ 2; 4 ] ~const:6);
+  check_bool "no coeffs, const 0" true
+    (D.Gcd_test.may_have_solution ~coeffs:[] ~const:0);
+  check_bool "no coeffs, const 5" false
+    (D.Gcd_test.may_have_solution ~coeffs:[] ~const:5)
+
+(* Soundness: whenever brute force finds an integer solution in a small
+   box, the GCD test must not have declared independence. *)
+let prop_gcd_sound =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 1 3) (int_range (-6) 6))
+        (int_range (-20) 20))
+  in
+  QCheck.Test.make ~name:"GCD test is sound vs brute force" ~count:500
+    (QCheck.make
+       ~print:(fun (cs, c) ->
+         Printf.sprintf "coeffs=[%s] const=%d"
+           (String.concat ";" (List.map string_of_int cs))
+           c)
+       gen)
+    (fun (coeffs, const) ->
+      let rec solutions acc = function
+        | [] -> List.exists (fun s -> s + const = 0) acc
+        | c :: rest ->
+            let acc' =
+              List.concat_map
+                (fun s -> List.init 21 (fun i -> s + (c * (i - 10))))
+                acc
+            in
+            solutions acc' rest
+      in
+      let brute = solutions [ 0 ] coeffs in
+      (not brute) || D.Gcd_test.may_have_solution ~coeffs ~const)
+
+(* ------------------------------------------------------------------ *)
+(* The alias oracle through the frontend *)
+
+let compile_pair src =
+  let prog = A.Forwarding.run (compile src) in
+  let result = ref None in
+  Prog.iter_trees
+    (fun _ tree ->
+      if !result = None then begin
+        let mems = Tree.mem_insns tree in
+        match
+          (List.filter Insn.is_store mems, List.filter Insn.is_load mems)
+        with
+        | store :: _, load :: _ ->
+            let env = A.Affine.analyze tree in
+            result := Some (D.Alias.query tree env store load)
+        | _ -> ()
+      end)
+    prog;
+  Option.get !result
+
+let oracle_expectations =
+  [
+    ( "never aliases (GCD): a[2i] vs a[2i+1]",
+      "double a[100]; int main() { int i; double y; y = 0.0; for (i = 0; i < 40; i = i + 1) { a[2*i] = y; y = y + a[2*i+1]; } return (int)y; }",
+      D.Alias.No );
+    ( "never aliases (Banerjee bounds): a[i] vs a[i+50], i<40",
+      "double a[100]; int main() { int i; double y; y = 0.0; for (i = 0; i < 40; i = i + 1) { a[i] = y; y = y + a[i+50]; } return (int)y; }",
+      D.Alias.No );
+    ( "must alias: load then store at the same subscript",
+      "double a[100]; int main() { int i; double y; y = 0.0; for (i = 0; i < 40; i = i + 1) { y = y + a[i]; a[i] = y; } return (int)y; }",
+      D.Alias.Must );
+    ( "unknown with probability: a[2i] vs a[i+4], i in [1,100]",
+      "double a[300]; int main() { int i; double y; y = 0.0; for (i = 1; i <= 100; i = i + 1) { a[2*i] = y; y = y + a[i+4]; } return (int)y; }",
+      D.Alias.Unknown (Some (1.0 /. 101.0)) );
+    ( "distinct globals never alias",
+      "double a[50]; double b[50]; int main() { int i; double y; y = 0.0; for (i = 0; i < 50; i = i + 1) { a[i] = y; y = y + b[i]; } return (int)y; }",
+      D.Alias.No );
+    ( "frame vs global never alias",
+      "double b[50]; int main() { double a[50]; int i; double y; y = 0.0; for (i = 0; i < 50; i = i + 1) { a[i] = y; y = y + b[i]; } return (int)y; }",
+      D.Alias.No );
+  ]
+
+let test_oracle_table () =
+  List.iter
+    (fun (name, src, expected) ->
+      let got = compile_pair src in
+      if not (D.Alias.equal_answer expected got) then
+        Alcotest.failf "%s: expected %a, got %a" name D.Alias.pp_answer
+          expected D.Alias.pp_answer got)
+    oracle_expectations
+
+let test_pointer_params_unknown () =
+  let got =
+    compile_pair
+      "double g1[50]; double g2[50]; double f(double p[], double q[], int n) { int i; double y; y = 0.0; for (i = 0; i < n; i = i + 1) { p[i] = y; y = y + q[i]; } return y; } int main() { return (int)f(g1, g2, 50); }"
+  in
+  match got with
+  | D.Alias.Unknown _ -> ()
+  | a -> Alcotest.failf "expected unknown, got %a" D.Alias.pp_answer a
+
+(* Soundness of the whole STATIC pipeline: every arc it removes is indeed
+   never dynamically aliased (checked by profiling the NAIVE program). *)
+let test_static_removals_sound () =
+  List.iter
+    (fun bench ->
+      let w = Spd_workloads.Registry.by_name bench in
+      let lowered = A.Forwarding.run (compile w.source) in
+      let naive = A.Memarcs.annotate lowered in
+      let static = D.Static_disambig.run naive in
+      let profile = Spd_sim.Profile.create () in
+      ignore (Spd_sim.Interp.run ~profile naive);
+      Prog.iter_trees
+        (fun func (t : Tree.t) ->
+          List.iter
+            (fun (arc : Memdep.t) ->
+              match arc.status with
+              | Memdep.Removed Memdep.By_static ->
+                  if
+                    not
+                      (Spd_sim.Profile.superfluous profile ~func
+                         ~tree_id:t.id ~src:arc.src ~dst:arc.dst)
+                  then
+                    Alcotest.failf
+                      "%s %s: STATIC removed an arc that aliased \
+                       dynamically (#%d -> #%d)"
+                      bench t.name arc.src arc.dst
+              | _ -> ())
+            t.arcs)
+        static)
+    [ "adi"; "fft"; "moment"; "quick"; "tree"; "espresso" ]
+
+let test_static_stats () =
+  let w = Spd_workloads.Registry.by_name "adi" in
+  let lowered = A.Forwarding.run (compile w.source) in
+  let naive = A.Memarcs.annotate lowered in
+  let stats =
+    { D.Static_disambig.proven_no = 0; proven_must = 0; unknown = 0 }
+  in
+  ignore (D.Static_disambig.run ~stats naive);
+  check_bool "some proven independent" true (stats.proven_no > 0);
+  check_bool "some unknown remain" true (stats.unknown > 0)
+
+let test_perfect_optimistic () =
+  let w = Spd_workloads.Registry.by_name "fft" in
+  let lowered = compile w.source in
+  let naive =
+    Spd_harness.Pipeline.prepare ~mem_latency:2 Spd_harness.Pipeline.Naive
+      lowered
+  in
+  let perfect =
+    Spd_harness.Pipeline.prepare ~mem_latency:2 Spd_harness.Pipeline.Perfect
+      lowered
+  in
+  let count sel p =
+    let n = ref 0 in
+    Prog.iter_trees
+      (fun _ (t : Tree.t) -> n := !n + List.length (List.filter sel t.arcs))
+      p;
+    !n
+  in
+  check_bool "perfect removed arcs" true
+    (count Memdep.is_active perfect.prog < count Memdep.is_active naive.prog)
+
+let tests =
+  [
+    case "gcd basics" test_gcd_basics;
+    qcase prop_gcd_sound;
+    case "oracle answer table" test_oracle_table;
+    case "pointer params unknown" test_pointer_params_unknown;
+    case "STATIC removals are dynamically sound" test_static_removals_sound;
+    case "STATIC statistics" test_static_stats;
+    case "PERFECT removes superfluous arcs" test_perfect_optimistic;
+  ]

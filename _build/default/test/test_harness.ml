@@ -1,0 +1,145 @@
+(** Harness tests: pipeline ordering guarantees, the differential
+    random-program property (the repository's strongest correctness
+    check), experiment memoization and report rendering. *)
+
+open Util
+module Ir = Spd_ir
+module H = Spd_harness
+module Pipeline = H.Pipeline
+
+let case name f = Alcotest.test_case name `Quick f
+let qcase = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* On an infinite machine, removing dependence arcs can only help, so
+   PERFECT <= STATIC <= NAIVE holds exactly. *)
+
+let test_pipeline_ordering_infinite () =
+  List.iter
+    (fun bench ->
+      let w = Spd_workloads.Registry.by_name bench in
+      let lowered = compile w.source in
+      List.iter
+        (fun mem_latency ->
+          let c kind =
+            Pipeline.cycles
+              (Pipeline.prepare ~mem_latency kind lowered)
+              ~width:Spd_machine.Descr.Infinite
+          in
+          let cn = c Pipeline.Naive in
+          let cst = c Pipeline.Static in
+          let cp = c Pipeline.Perfect in
+          check_bool
+            (Printf.sprintf "%s lat%d: STATIC (%d) <= NAIVE (%d)" bench
+               mem_latency cst cn)
+            true (cst <= cn);
+          check_bool
+            (Printf.sprintf "%s lat%d: PERFECT (%d) <= STATIC (%d)" bench
+               mem_latency cp cst)
+            true (cp <= cst))
+        [ 2; 6 ])
+    [ "adi"; "fft"; "moment"; "tree" ]
+
+(* SPEC on an infinite machine is never slower than STATIC: SpD only
+   removes arcs and adds off-critical-path compensation code. *)
+let test_spec_no_slower_infinite () =
+  List.iter
+    (fun bench ->
+      let w = Spd_workloads.Registry.by_name bench in
+      let lowered = compile w.source in
+      let c kind =
+        Pipeline.cycles
+          (Pipeline.prepare ~mem_latency:6 kind lowered)
+          ~width:Spd_machine.Descr.Infinite
+      in
+      let cst = c Pipeline.Static and csp = c Pipeline.Spec in
+      check_bool
+        (Printf.sprintf "%s: SPEC (%d) <= STATIC (%d) on infinite machine"
+           bench csp cst)
+        true (csp <= cst))
+    [ "adi"; "bcuint"; "fft"; "moment"; "smooft"; "solvde" ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential testing on random programs: every pipeline must preserve
+   behaviour ([prepare] raises Behaviour_mismatch otherwise). *)
+
+let prop_pipelines_preserve_behaviour =
+  QCheck.Test.make ~name:"pipelines preserve behaviour on random programs"
+    ~count:40 Gen_prog.arbitrary_source (fun src ->
+      let lowered = compile src in
+      List.iter
+        (fun kind -> ignore (Pipeline.prepare ~mem_latency:2 kind lowered))
+        Pipeline.all;
+      ignore (Pipeline.prepare ~mem_latency:6 Pipeline.Spec lowered);
+      true)
+
+(* And SpD actually fires on the generated helper (store-then-load on
+   pointer parameters) for most programs. *)
+let prop_spd_finds_the_helper =
+  QCheck.Test.make ~name:"SpD fires on the generated helper" ~count:10
+    Gen_prog.arbitrary_source (fun src ->
+      let spec = Pipeline.prepare ~mem_latency:6 Pipeline.Spec (compile src) in
+      List.exists
+        (fun (a : Spd_core.Heuristic.application) -> a.func = "helper")
+        spec.applications)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment memoization *)
+
+let test_experiment_memoizes () =
+  let t0 = Unix.gettimeofday () in
+  let a = H.Experiment.cycles ~bench:"moment" ~latency:2 Pipeline.Spec
+      ~width:(Spd_machine.Descr.Fus 4) in
+  let t1 = Unix.gettimeofday () in
+  let b = H.Experiment.cycles ~bench:"moment" ~latency:2 Pipeline.Spec
+      ~width:(Spd_machine.Descr.Fus 4) in
+  let t2 = Unix.gettimeofday () in
+  check_int "same result" a b;
+  (* the second call is a table lookup; allow generous slack *)
+  check_bool "second call much faster" true
+    (t2 -. t1 < Float.max 0.05 ((t1 -. t0) /. 2.0))
+
+let test_speedup_metric () =
+  check_close "paper speedup metric" 0.25
+    (Pipeline.speedup ~base:125 ~this:100);
+  check_close "slowdown negative" (-0.2) (Pipeline.speedup ~base:100 ~this:125)
+
+(* ------------------------------------------------------------------ *)
+(* Reports render and mention every benchmark *)
+
+let render f =
+  let buf = Buffer.create 4096 in
+  let ppf = Fmt.with_buffer buf in
+  f ppf ();
+  Fmt.flush ppf ();
+  Buffer.contents buf
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_reports_render () =
+  let t62 = render H.Report.table6_2 in
+  List.iter
+    (fun (w : Spd_workloads.Workload.t) ->
+      check_bool (w.name ^ " listed") true (contains t62 w.name))
+    Spd_workloads.Registry.all;
+  let t64 = render H.Report.table6_4 in
+  List.iter
+    (fun k -> check_bool (k ^ " described") true (contains t64 k))
+    [ "NAIVE"; "STATIC"; "SPEC"; "PERFECT" ];
+  let t61 = render H.Report.table6_1 in
+  check_bool "branch latency shown" true (contains t61 "Branches")
+
+let tests =
+  [
+    case "PERFECT <= STATIC <= NAIVE (infinite machine)"
+      test_pipeline_ordering_infinite;
+    case "SPEC <= STATIC (infinite machine)" test_spec_no_slower_infinite;
+    qcase prop_pipelines_preserve_behaviour;
+    qcase prop_spd_finds_the_helper;
+    case "experiment memoization" test_experiment_memoizes;
+    case "speedup metric" test_speedup_metric;
+    case "reports render" test_reports_render;
+  ]

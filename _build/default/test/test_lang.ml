@@ -1,0 +1,436 @@
+(** Frontend tests: lexer, parser, type checker, normalizer, lowering, all
+    validated end-to-end through the interpreter. *)
+
+open Util
+module Ir = Spd_ir
+module Lang = Spd_lang
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Basic expression and statement semantics *)
+
+let test_return_literal () =
+  check_int "literal" 42 (ret_int "int main() { return 42; }")
+
+let test_arith () =
+  check_int "arith" 17 (ret_int "int main() { return 2 + 3 * 5; }");
+  check_int "paren" 25 (ret_int "int main() { return (2 + 3) * 5; }");
+  check_int "div" 3 (ret_int "int main() { return 10 / 3; }");
+  check_int "mod" 1 (ret_int "int main() { return 10 % 3; }");
+  check_int "neg" (-7) (ret_int "int main() { return -7; }");
+  check_int "shift" 40 (ret_int "int main() { return 5 << 3; }");
+  check_int "bits" 6 (ret_int "int main() { return (12 ^ 10) & 14 | 0; }")
+
+let test_vars () =
+  check_int "assign" 9
+    (ret_int "int main() { int x; x = 4; x = x + 5; return x; }")
+
+let test_float_arith () =
+  check_int "promotion" 3
+    (ret_int "int main() { double x; x = 1.5; return (int)(x * 2.0); }");
+  check_int "itof" 7
+    (ret_int
+       "int main() { double x; int i; i = 3; x = i + 4.25; return (int)x; }")
+
+let test_comparisons () =
+  check_int "lt" 1 (ret_int "int main() { return 3 < 4; }");
+  check_int "ge" 0 (ret_int "int main() { return 3 >= 4; }");
+  check_int "fcmp" 1 (ret_int "int main() { return 1.5 < 2.5; }");
+  check_int "logical" 1
+    (ret_int "int main() { int x; x = 5; return x && 1; }");
+  check_int "lnot" 0 (ret_int "int main() { return !3; }");
+  check_int "lor" 1 (ret_int "int main() { return 0 || 2; }")
+
+let test_if () =
+  check_int "then" 1 (ret_int "int main() { int x; if (2 < 3) x = 1; else x = 2; return x; }");
+  check_int "else" 2 (ret_int "int main() { int x; if (3 < 2) x = 1; else x = 2; return x; }");
+  check_int "nested" 12
+    (ret_int
+       {|
+int main() {
+  int a; int b;
+  a = 10;
+  if (a > 5) { if (a > 20) b = 11; else b = 12; } else b = 13;
+  return b;
+}
+|})
+
+let test_while () =
+  check_int "sum" 55
+    (ret_int
+       "int main() { int i; int s; i = 1; s = 0; while (i <= 10) { s = s + i; i = i + 1; } return s; }")
+
+let test_for () =
+  check_int "sum" 45
+    (ret_int
+       "int main() { int i; int s; s = 0; for (i = 0; i < 10; i = i + 1) s = s + i; return s; }")
+
+let test_arrays () =
+  check_int "local array" 70
+    (ret_int
+       {|
+int main() {
+  int a[10];
+  int i; int s;
+  for (i = 0; i < 10; i = i + 1) a[i] = i * 2;
+  s = 0;
+  for (i = 0; i < 10; i = i + 1) { if (a[i] > 8) s = s + a[i]; }
+  return s;
+}
+|})
+
+let test_global_arrays () =
+  check_int "global array with init" 6
+    (ret_int
+       {|
+double w[4] = {1.0, 2.0, 3.0};
+int main() { return (int)(w[0] + w[1] + w[2] + w[3]); }
+|})
+
+let test_global_scalar () =
+  check_int "global scalar" 11
+    (ret_int
+       {|
+int n = 5;
+int bump() { n = n + 6; return 0; }
+int main() { int x; x = bump(); return n; }
+|})
+
+let test_calls () =
+  check_int "simple call" 7
+    (ret_int
+       "int add(int a, int b) { return a + b; } int main() { int x; x = add(3, 4); return x; }");
+  check_int "nested calls normalized" 21
+    (ret_int
+       {|
+int twice(int a) { return a * 2; }
+int main() { int x; x = twice(3) + twice(twice(3)) + 3; return x; }
+|})
+
+let test_recursion () =
+  check_int "factorial" 120
+    (ret_int
+       "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); } int main() { return fact(5); }");
+  check_int "fib" 55
+    (ret_int
+       {|
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int main() { return fib(10); }
+|})
+
+let test_array_params () =
+  check_int "array param aliasing visible to callee" 99
+    (ret_int
+       {|
+int a[8];
+int set(int v[], int i, int x) { v[i] = x; return 0; }
+int main() { int r; r = set(a, 3, 99); return a[3]; }
+|})
+
+let test_print () =
+  let out = output {|
+int main() {
+  print_int(3);
+  print_float(1.5);
+  print_int(4);
+  return 0;
+}
+|} in
+  Alcotest.(check (list value))
+    "output" [ Ir.Value.Int 3; Ir.Value.Float 1.5; Ir.Value.Int 4 ] out
+
+let test_call_in_loop_condition () =
+  check_int "call in while condition" 4
+    (ret_int
+       {|
+int below(int i, int n) { return i < n; }
+int main() {
+  int i;
+  i = 0;
+  while (below(i, 4)) i = i + 1;
+  return i;
+}
+|})
+
+let test_non_flat_if () =
+  check_int "loop under if" 10
+    (ret_int
+       {|
+int main() {
+  int i; int s; int flag;
+  flag = 1; s = 0;
+  if (flag) { for (i = 0; i < 5; i = i + 1) s = s + i; }
+  else s = 1000;
+  return s;
+}
+|})
+
+let test_return_inside_if () =
+  check_int "early return" 1
+    (ret_int
+       "int main() { int x; x = 3; if (x > 2) return 1; return 0; }")
+
+(* ------------------------------------------------------------------ *)
+(* Error paths *)
+
+let expect_parse_error src () =
+  match Lang.Parser.parse_program src with
+  | exception Lang.Parser.Error _ -> ()
+  | exception Lang.Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected a parse error"
+
+let expect_type_error src () =
+  match Lang.Lower.compile src with
+  | exception Lang.Typecheck.Error _ -> ()
+  | _ -> Alcotest.fail "expected a type error"
+
+let parse_errors =
+  [
+    ("missing semicolon", "int main() { return 1 }");
+    ("bad token", "int main() { return #; }");
+    ("unterminated comment", "int main() { /* return 1; }");
+    ("stray else", "int main() { else; }");
+  ]
+
+let type_errors =
+  [
+    ("undefined variable", "int main() { return x; }");
+    ("array as scalar", "int a[3]; int main() { return a; }");
+    ("scalar indexed", "int x; int main() { return x[0]; }");
+    ("undefined function", "int main() { return f(1); }");
+    ("arity", "int f(int a) { return a; } int main() { return f(1, 2); }");
+    ("no main", "int f() { return 1; }");
+    ("main with params", "int main(int x) { return x; }");
+    ("mod on doubles", "int main() { return (int)(1.5 % 2.0); }");
+    ( "array arg type",
+      "double a[3]; int f(int v[]) { return v[0]; } int main() { return f(a); }"
+    );
+    ("duplicate variable", "int main() { int x; double x; return 0; }");
+    ("void returning value", "void f() { return 1; } int main() { return 0; }");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Structural checks on the lowered IR *)
+
+let test_loop_becomes_single_tree () =
+  let prog =
+    compile
+      {|
+int a[100];
+int main() {
+  int i;
+  for (i = 0; i < 100; i = i + 1) a[i] = i;
+  return a[7];
+}
+|}
+  in
+  let main = Ir.Prog.find_func prog "main" in
+  let loop_trees =
+    List.filter
+      (fun (t : Ir.Tree.t) ->
+        Array.exists
+          (fun (e : Ir.Tree.exit) ->
+            match e.kind with
+            | Ir.Tree.Jump { target; _ } -> target = t.id
+            | _ -> false)
+          t.exits)
+      main.trees
+  in
+  check_int "exactly one self-looping tree" 1 (List.length loop_trees);
+  let loop = List.hd loop_trees in
+  check_bool "loop body store is guarded" true
+    (Array.exists
+       (fun (i : Ir.Insn.t) ->
+         Ir.Insn.is_store i && Option.is_some i.guard)
+       loop.insns)
+
+let test_ranges_attached () =
+  let prog =
+    compile
+      {|
+int a[100];
+int main() {
+  int i;
+  for (i = 2; i < 50; i = i + 1) a[i] = i;
+  return 0;
+}
+|}
+  in
+  let main = Ir.Prog.find_func prog "main" in
+  let has_range =
+    List.exists
+      (fun (t : Ir.Tree.t) ->
+        Ir.Reg.Map.exists
+          (fun _ (iv : Ir.Interval.t) -> iv.lo = Some 2 && iv.hi = Some 50)
+          t.ranges)
+      main.trees
+  in
+  check_bool "loop tree has the induction range [2,50]" true has_range
+
+let test_validated () =
+  let srcs =
+    [
+      "int main() { return 0; }";
+      "int f(int x) { return x; } int main() { return f(3); }";
+      "int a[4]; int main() { int i; for (i=0;i<4;i=i+1) a[i]=i; return a[2]; }";
+    ]
+  in
+  List.iter (fun s -> ignore (compile s)) srcs
+
+let tests =
+  [
+    case "return literal" test_return_literal;
+    case "arithmetic" test_arith;
+    case "variables" test_vars;
+    case "float arithmetic" test_float_arith;
+    case "comparisons and logic" test_comparisons;
+    case "if/else" test_if;
+    case "while" test_while;
+    case "for" test_for;
+    case "arrays" test_arrays;
+    case "global arrays" test_global_arrays;
+    case "global scalars" test_global_scalar;
+    case "calls" test_calls;
+    case "recursion" test_recursion;
+    case "array parameters" test_array_params;
+    case "print builtins" test_print;
+    case "call in loop condition" test_call_in_loop_condition;
+    case "non-flat if" test_non_flat_if;
+    case "return inside if" test_return_inside_if;
+    case "loop becomes single tree" test_loop_becomes_single_tree;
+    case "induction ranges attached" test_ranges_attached;
+    case "validation" test_validated;
+  ]
+  @ List.map (fun (n, s) -> case ("parse error: " ^ n) (expect_parse_error s)) parse_errors
+  @ List.map (fun (n, s) -> case ("type error: " ^ n) (expect_type_error s)) type_errors
+
+(* ------------------------------------------------------------------ *)
+(* Lexer details *)
+
+let test_lexer_tokens () =
+  let toks src = List.map fst (Lang.Lexer.tokenize src) in
+  Alcotest.(check bool)
+    "operators" true
+    (toks "<= >= == != && || << >>"
+    = Lang.Lexer.[ LE; GE; EQ; NE; ANDAND; OROR; SHL; SHR; EOF ]);
+  Alcotest.(check bool)
+    "floats" true
+    (toks "1.5 2. 3e2 4.5e-1 .25"
+    = Lang.Lexer.
+        [
+          FLOAT_LIT 1.5;
+          FLOAT_LIT 2.;
+          FLOAT_LIT 300.;
+          FLOAT_LIT 0.45;
+          FLOAT_LIT 0.25;
+          EOF;
+        ]);
+  Alcotest.(check bool)
+    "comments vanish" true
+    (toks "a /* b c */ d // e\nf" = Lang.Lexer.[ IDENT "a"; IDENT "d"; IDENT "f"; EOF ]);
+  Alcotest.(check bool)
+    "keywords vs identifiers" true
+    (toks "int interior for fortune"
+    = Lang.Lexer.[ KW_INT; IDENT "interior"; KW_FOR; IDENT "fortune"; EOF ])
+
+let test_lexer_line_numbers () =
+  let toks = Lang.Lexer.tokenize "a\nb\n\nc" in
+  let lines = List.map snd toks in
+  Alcotest.(check (list int)) "line numbers" [ 1; 2; 4; 4 ] lines
+
+(* ------------------------------------------------------------------ *)
+(* Parser: precedence and associativity, checked semantically *)
+
+let test_precedence () =
+  check_int "mul before add" 14 (ret_int "int main() { return 2 + 3 * 4; }");
+  check_int "add before shift" 16 (ret_int "int main() { return 1 << 3 + 1; }");
+  check_int "shift before compare" 1 (ret_int "int main() { return 1 << 2 > 3; }");
+  check_int "compare before and" 1 (ret_int "int main() { return 1 < 2 && 3 < 4; }");
+  check_int "band before bor" 6 (ret_int "int main() { return 4 | 6 & 3; }");
+  check_int "bxor between" 6 (ret_int "int main() { return 4 ^ 6 & 3; }");
+  check_int "unary binds tightest" (-5) (ret_int "int main() { return -2 - 3; }");
+  check_int "cast binds before mul" 2
+    (ret_int "int main() { return (int)2.9 * 1; }")
+
+let test_associativity () =
+  check_int "sub left assoc" 5 (ret_int "int main() { return 10 - 3 - 2; }");
+  check_int "div left assoc" 10 (ret_int "int main() { return 100 / 5 / 2; }");
+  check_int "mod left assoc" 1 (ret_int "int main() { return 17 % 7 % 2; }")
+
+let test_dangling_else () =
+  (* else binds to the nearest if *)
+  check_int "dangling else" 3
+    (ret_int
+       {|
+int main() {
+  int x;
+  x = 0;
+  if (1)
+    if (0) x = 2;
+    else x = 3;
+  return x;
+}
+|})
+
+(* ------------------------------------------------------------------ *)
+(* Normalizer structure *)
+
+let test_normalize_flattens_calls () =
+  let src =
+    "int id(int x) { return x; } int main() { return id(id(1) + id(2)); }"
+  in
+  check_int "nested call value" 3 (ret_int src);
+  (* no TCall survives inside another expression *)
+  let tast =
+    Spd_lang.Normalize.run
+      (Spd_lang.Typecheck.check (Spd_lang.Parser.parse_program src))
+  in
+  let ok = ref true in
+  let rec check_expr (e : Spd_lang.Tast.texpr) ~top =
+    match e.node with
+    | Spd_lang.Tast.TCall (_, args) ->
+        if not top then ok := false;
+        List.iter
+          (function
+            | Spd_lang.Tast.Aexpr a -> check_expr a ~top:false
+            | Spd_lang.Tast.Aarray _ -> ())
+          args
+    | TBinop (_, a, b) ->
+        check_expr a ~top:false;
+        check_expr b ~top:false
+    | TUnop (_, a) | TCast (_, a) | TIndex (_, a) -> check_expr a ~top:false
+    | TInt _ | TFloat _ | TVar _ -> ()
+  in
+  let rec check_stmt (s : Spd_lang.Tast.tstmt) =
+    match s with
+    | TAssign (_, e) | TExpr e -> check_expr e ~top:true
+    | TIf (c, a, b) ->
+        check_expr c ~top:false;
+        List.iter check_stmt a;
+        List.iter check_stmt b
+    | TWhile (c, b) ->
+        check_expr c ~top:false;
+        List.iter check_stmt b
+    | TFor { cond; body; _ } ->
+        check_expr cond ~top:false;
+        List.iter check_stmt body
+    | TReturn (Some e) -> check_expr e ~top:false
+    | TReturn None -> ()
+  in
+  List.iter
+    (fun (f : Spd_lang.Tast.tfun) -> List.iter check_stmt f.body)
+    tast.funs;
+  check_bool "calls only in statement position" true !ok
+
+let even_more_tests =
+  [
+    case "lexer tokens" test_lexer_tokens;
+    case "lexer line numbers" test_lexer_line_numbers;
+    case "operator precedence" test_precedence;
+    case "associativity" test_associativity;
+    case "dangling else" test_dangling_else;
+    case "normalizer flattens calls" test_normalize_flattens_calls;
+  ]
+
+let tests = tests @ even_more_tests

@@ -1,0 +1,199 @@
+(** Machine model tests: description, list scheduler correctness
+    (dependences and resources, checked on real and random programs),
+    timing construction. *)
+
+open Util
+module Ir = Spd_ir
+module M = Spd_machine
+module Ddg = Spd_analysis.Ddg
+open Ir
+
+let case name f = Alcotest.test_case name `Quick f
+let qcase = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Description *)
+
+let test_descr_table_matches_opcodes () =
+  (* Table 6-1 as printed must agree with the authoritative encoding *)
+  List.iter
+    (fun mem_latency ->
+      let table = M.Descr.table_6_1 ~mem_latency in
+      let lat = Opcode.latency ~mem_latency in
+      check_int "Integer multiplies"
+        (List.assoc "Integer multiplies" table)
+        (lat (Opcode.Ibin Opcode.Mul));
+      check_int "Integer and FP divides"
+        (List.assoc "Integer and FP divides" table)
+        (lat (Opcode.Ibin Opcode.Div));
+      check_int "FP compares"
+        (List.assoc "FP compares" table)
+        (lat (Opcode.Fcmp Opcode.Feq));
+      check_int "Other ALU operations"
+        (List.assoc "Other ALU operations" table)
+        (lat (Opcode.Ibin Opcode.Add));
+      check_int "Other FPU operations"
+        (List.assoc "Other FPU operations" table)
+        (lat (Opcode.Fbin Opcode.Fmul));
+      check_int "Memory loads and stores"
+        (List.assoc "Memory loads and stores" table)
+        (lat Opcode.Load);
+      check_int "Branches" (List.assoc "Branches" table) Opcode.branch_latency)
+    [ 2; 6 ]
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler *)
+
+let all_trees prog =
+  let acc = ref [] in
+  Prog.iter_trees (fun _ t -> acc := t :: !acc) prog;
+  !acc
+
+let test_schedule_valid_on_workloads () =
+  List.iter
+    (fun bench ->
+      let w = Spd_workloads.Registry.by_name bench in
+      let spec =
+        Spd_harness.Pipeline.prepare ~mem_latency:2
+          Spd_harness.Pipeline.Spec (compile w.source)
+      in
+      List.iter
+        (fun tree ->
+          let g = Ddg.build ~mem_latency:2 tree in
+          List.iter
+            (fun fus ->
+              let s = M.Scheduler.run ~fus g in
+              if not (M.Scheduler.valid ~fus g s) then
+                Alcotest.failf "%s %s: invalid %d-wide schedule" bench
+                  tree.Tree.name fus)
+            [ 1; 2; 5; 8 ])
+        (all_trees spec.prog))
+    [ "adi"; "fft"; "quick" ]
+
+let test_schedule_matches_asap_when_unlimited () =
+  let w = Spd_workloads.Registry.by_name "moment" in
+  let prog = compile w.source in
+  List.iter
+    (fun tree ->
+      let g = Ddg.build ~mem_latency:6 tree in
+      let s = M.Scheduler.run g in
+      let asap = Ddg.asap g in
+      Array.iteri
+        (fun node t ->
+          if s.M.Scheduler.issue.(node) <> t then
+            Alcotest.failf "%s: unlimited schedule differs from ASAP"
+              tree.Tree.name)
+        asap)
+    (all_trees prog)
+
+let test_schedule_length_bounds () =
+  (* schedule length is at least the critical path and at least
+     ceil(ops / width), and a very wide machine meets ASAP *)
+  let w = Spd_workloads.Registry.by_name "bcuint" in
+  let prog = compile w.source in
+  List.iter
+    (fun tree ->
+      let g = Ddg.build ~mem_latency:2 tree in
+      let n = Ddg.n_nodes g in
+      let asap = Ddg.asap g in
+      let crit = Array.fold_left max 0 asap + 1 in
+      List.iter
+        (fun fus ->
+          let s = M.Scheduler.run ~fus g in
+          check_bool "length >= critical path" true (s.M.Scheduler.length >= crit);
+          check_bool "length >= ops/width" true
+            (s.M.Scheduler.length >= (n + fus - 1) / fus))
+        [ 1; 2; 4 ];
+      let s = M.Scheduler.run ~fus:(max 1 n) g in
+      check_int "width n meets the critical path" crit s.M.Scheduler.length)
+    (all_trees prog)
+
+(* Random-program property: schedules at every width respect dependences
+   and resources. *)
+let prop_schedule_valid_random =
+  QCheck.Test.make ~name:"scheduler valid on random programs" ~count:15
+    Gen_prog.arbitrary_source (fun src ->
+      let spec =
+        Spd_harness.Pipeline.prepare ~mem_latency:2
+          Spd_harness.Pipeline.Spec (compile src)
+      in
+      List.for_all
+        (fun tree ->
+          let g = Ddg.build ~mem_latency:2 tree in
+          List.for_all
+            (fun fus ->
+              M.Scheduler.valid ~fus g (M.Scheduler.run ~fus g))
+            [ 1; 3 ])
+        (all_trees spec.prog))
+
+(* ------------------------------------------------------------------ *)
+(* Timing builder *)
+
+let test_cycles_decrease_with_width () =
+  let w = Spd_workloads.Registry.by_name "adi" in
+  let prog = compile w.source in
+  let naive =
+    Spd_harness.Pipeline.prepare ~mem_latency:2 Spd_harness.Pipeline.Naive
+      prog
+  in
+  let c width = Spd_harness.Pipeline.cycles naive ~width in
+  let c1 = c (M.Descr.Fus 1) in
+  let c8 = c (M.Descr.Fus 8) in
+  let cinf = c M.Descr.Infinite in
+  check_bool "8 FUs faster than 1 FU" true (c8 < c1);
+  check_bool "infinite at least as fast as 8" true (cinf <= c8)
+
+let tests =
+  [
+    case "Table 6-1 matches opcode latencies" test_descr_table_matches_opcodes;
+    case "schedules valid on workloads" test_schedule_valid_on_workloads;
+    case "unlimited schedule = ASAP" test_schedule_matches_asap_when_unlimited;
+    case "schedule length bounds" test_schedule_length_bounds;
+    qcase prop_schedule_valid_random;
+    case "cycles decrease with width" test_cycles_decrease_with_width;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Hardware dynamic disambiguation baseline *)
+
+let test_dynamic_bounds () =
+  (* a huge window with dynamic address checks can only relax constraints:
+     cycles(dynamic) <= cycles(static timing); and a window of 0 relaxes
+     nothing: cycles equal the static machine's *)
+  let w = Spd_workloads.Registry.by_name "moment" in
+  let static =
+    Spd_harness.Pipeline.prepare ~mem_latency:6 Spd_harness.Pipeline.Static
+      (compile w.source)
+  in
+  let width = Spd_machine.Descr.Fus 5 in
+  let base = Spd_harness.Pipeline.cycles static ~width in
+  let dyn window =
+    M.Dynamic.cycles ~window ~width ~mem_latency:6 static.prog
+  in
+  check_int "window 0 = static machine" base (dyn 0);
+  check_bool "window 64 no slower" true (dyn 64 <= base);
+  check_bool "monotone in window" true (dyn 64 <= dyn 2)
+
+let test_dynamic_beats_perfect_per_traversal () =
+  (* 'tree' aliases on some traversals but not others: per-traversal
+     adaptivity can beat even the PERFECT static oracle *)
+  let w = Spd_workloads.Registry.by_name "tree" in
+  let lowered = compile w.source in
+  let static =
+    Spd_harness.Pipeline.prepare ~mem_latency:6 Spd_harness.Pipeline.Static lowered
+  in
+  let perfect =
+    Spd_harness.Pipeline.prepare ~mem_latency:6 Spd_harness.Pipeline.Perfect lowered
+  in
+  let width = Spd_machine.Descr.Fus 5 in
+  let hw = M.Dynamic.cycles ~window:32 ~width ~mem_latency:6 static.prog in
+  check_bool "HW window-32 at least matches PERFECT on tree" true
+    (hw <= Spd_harness.Pipeline.cycles perfect ~width)
+
+let more_tests =
+  [
+    case "dynamic baseline bounds" test_dynamic_bounds;
+    case "dynamic adaptivity vs PERFECT" test_dynamic_beats_perfect_per_traversal;
+  ]
+
+let tests = tests @ more_tests

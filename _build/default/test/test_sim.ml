@@ -1,0 +1,230 @@
+(** Simulator tests: pure evaluation, guarded commit semantics, calls and
+    recursion frames, non-faulting speculative loads, timing accumulation
+    and profiling. *)
+
+open Util
+module Ir = Spd_ir
+module Sim = Spd_sim
+open Ir
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Pure evaluation *)
+
+let test_eval_int () =
+  let e op a b = Sim.Eval.eval_pure (Opcode.Ibin op) [ Value.Int a; Value.Int b ] in
+  check_bool "add" true (Value.equal (e Opcode.Add 2 3) (Value.Int 5));
+  check_bool "div trunc" true (Value.equal (e Opcode.Div 7 2) (Value.Int 3));
+  check_bool "neg div" true (Value.equal (e Opcode.Div (-7) 2) (Value.Int (-3)));
+  check_bool "rem sign" true (Value.equal (e Opcode.Rem (-7) 2) (Value.Int (-1)));
+  check_bool "xor" true (Value.equal (e Opcode.Xor 12 10) (Value.Int 6));
+  (match e Opcode.Div 1 0 with
+  | exception Sim.Eval.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "division by zero accepted")
+
+let test_eval_select_not () =
+  let sel p = Sim.Eval.eval_pure Opcode.Select [ p; Value.Int 1; Value.Int 2 ] in
+  check_bool "select true" true (Value.equal (sel (Value.Int 5)) (Value.Int 1));
+  check_bool "select false" true (Value.equal (sel (Value.Int 0)) (Value.Int 2));
+  check_bool "not" true
+    (Value.equal (Sim.Eval.eval_pure Opcode.Not [ Value.Int 7 ]) Value.zero)
+
+(* ------------------------------------------------------------------ *)
+(* Guarded commit semantics through the frontend *)
+
+let test_guarded_store_commit () =
+  (* only the taken branch's store commits *)
+  check_int "guarded stores" 5
+    (ret_int
+       {|
+int a[2];
+int main() {
+  int flag;
+  flag = 1;
+  if (flag) a[0] = 5; else a[0] = 9;
+  return a[0];
+}
+|})
+
+let test_speculative_load_is_harmless () =
+  (* the else-branch load executes speculatively from a wild index but is
+     never observed *)
+  check_int "wild speculative load" 1
+    (ret_int
+       {|
+int a[4];
+int main() {
+  int flag; int x;
+  flag = 1;
+  if (flag) x = 1; else x = a[123456789];
+  return x;
+}
+|})
+
+let test_deep_recursion_frames () =
+  (* each activation gets its own locals; 40 frames deep *)
+  check_int "frame isolation" 820
+    (ret_int
+       {|
+int sum_to(int n) {
+  int local[4];
+  int r;
+  local[0] = n;
+  if (n == 0) return 0;
+  r = sum_to(n - 1);
+  return r + local[0];
+}
+int main() { return sum_to(40); }
+|})
+
+let test_traversal_budget () =
+  match
+    run_src ~mem_words:1024
+      "int main() { int i; i = 0; while (i < 1) { i = i * 1; } return 0; }"
+  with
+  | exception Sim.Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "infinite loop not caught"
+
+(* ------------------------------------------------------------------ *)
+(* Timing: hand-built table, checked against a known trace *)
+
+let test_timing_accumulates () =
+  let prog = compile "int main() { int i; int s; s = 0; for (i = 0; i < 10; i = i + 1) s = s + i; return s; }" in
+  let descr = Spd_machine.Descr.infinite ~mem_latency:2 in
+  let timing = Spd_machine.Timing_builder.program descr prog in
+  let r = Sim.Interp.run ~timing prog in
+  check_int "result" 45 (Value.to_int r.ret);
+  check_bool "cycles positive" true (r.cycles > 0);
+  (* tighter machine cannot be faster *)
+  let narrow =
+    Spd_machine.Timing_builder.program (Spd_machine.Descr.fus 1 ~mem_latency:2) prog
+  in
+  let r1 = Sim.Interp.run ~timing:narrow prog in
+  check_bool "1 FU no faster than infinite" true (r1.cycles >= r.cycles)
+
+let test_memory_latency_hurts () =
+  let prog =
+    compile
+      {|
+double a[64];
+int main() {
+  int i; double s;
+  s = 0.0;
+  for (i = 0; i < 64; i = i + 1) a[i] = i;
+  for (i = 0; i < 64; i = i + 1) s = s + a[i];
+  return (int)s;
+}
+|}
+  in
+  let cycles lat =
+    (Sim.Interp.run
+       ~timing:
+         (Spd_machine.Timing_builder.program
+            (Spd_machine.Descr.infinite ~mem_latency:lat)
+            prog)
+       prog)
+      .cycles
+  in
+  check_bool "6-cycle memory slower than 2-cycle" true (cycles 6 > cycles 2)
+
+(* ------------------------------------------------------------------ *)
+(* Profiling *)
+
+let test_profile_exit_counts () =
+  let prog =
+    compile
+      "int main() { int i; int s; s = 0; for (i = 0; i < 10; i = i + 1) s = s + i; return s; }"
+  in
+  let profile = Sim.Profile.create () in
+  ignore (Sim.Interp.run ~profile prog);
+  (* the loop tree: 10 back-edge traversals, 1 exit *)
+  let main = Prog.find_func prog "main" in
+  let loop =
+    List.find
+      (fun (t : Tree.t) ->
+        Array.exists
+          (fun (e : Tree.exit) ->
+            match e.kind with
+            | Tree.Jump { target; _ } -> target = t.id
+            | _ -> false)
+          t.exits)
+      main.trees
+  in
+  match Sim.Profile.find profile ~func:"main" ~tree_id:loop.id with
+  | None -> Alcotest.fail "loop tree not profiled"
+  | Some stat ->
+      check_int "traversals" 11 stat.traversals;
+      check_int "back edge taken" 10 stat.exit_taken.(0);
+      check_int "fall through taken" 1 stat.exit_taken.(1);
+      check_close "exit probability"
+        (10.0 /. 11.0)
+        (Sim.Profile.exit_probability profile ~func:"main" ~tree:loop 0)
+
+let test_profile_alias_counts () =
+  (* i and j sweep together: a[i] and a[j] alias on every traversal where
+     i = j, i.e. always; a[i] and a[i+1] never *)
+  let prog =
+    compile
+      {|
+int a[40];
+int main() {
+  int i;
+  for (i = 0; i < 20; i = i + 1) {
+    a[i] = i;
+    a[i + 1] = a[i] + 1;
+  }
+  return a[10];
+}
+|}
+  in
+  let prog = Spd_analysis.Memarcs.annotate prog in
+  let profile = Sim.Profile.create () in
+  ignore (Sim.Interp.run ~profile prog);
+  let checked = ref 0 in
+  Prog.iter_trees
+    (fun func (t : Tree.t) ->
+      List.iter
+        (fun (arc : Memdep.t) ->
+          match
+            Sim.Profile.alias_probability profile ~func ~tree_id:t.id
+              ~src:arc.src ~dst:arc.dst
+          with
+          | None -> ()
+          | Some p ->
+              incr checked;
+              check_bool "alias probability in [0,1]" true (p >= 0.0 && p <= 1.0))
+        t.arcs)
+    prog;
+  check_bool "some arcs profiled" true (!checked > 0)
+
+let test_output_order () =
+  let out =
+    output
+      {|
+int main() {
+  int i;
+  for (i = 0; i < 3; i = i + 1) print_int(i * i);
+  return 0;
+}
+|}
+  in
+  Alcotest.(check (list value))
+    "squares in order"
+    [ Value.Int 0; Value.Int 1; Value.Int 4 ]
+    out
+
+let tests =
+  [
+    case "eval int ops" test_eval_int;
+    case "eval select/not" test_eval_select_not;
+    case "guarded store commit" test_guarded_store_commit;
+    case "speculative load non-faulting" test_speculative_load_is_harmless;
+    case "recursion frames" test_deep_recursion_frames;
+    case "traversal budget" test_traversal_budget;
+    case "timing accumulates" test_timing_accumulates;
+    case "memory latency hurts" test_memory_latency_hurts;
+    case "profile exit counts" test_profile_exit_counts;
+    case "profile alias counts" test_profile_alias_counts;
+    case "output order" test_output_order;
+  ]

@@ -1,0 +1,598 @@
+(** Workload tests: every benchmark's simulated output is checked against
+    an independent OCaml reference implementation of the same algorithm,
+    and all four disambiguation pipelines are validated on every
+    benchmark. *)
+
+open Util
+module Ir = Spd_ir
+module W = Spd_workloads
+module Harness = Spd_harness
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* OCaml mirrors of the mini-C math helpers (same series, same order of
+   operations, so results agree bit-for-bit). *)
+
+let reduce_angle x =
+  let k = int_of_float (x /. 6.283185307179586) in
+  let x = x -. (float_of_int k *. 6.283185307179586) in
+  let x = if x > 3.141592653589793 then x -. 6.283185307179586 else x in
+  if x < -3.141592653589793 then x +. 6.283185307179586 else x
+
+let my_sin xin =
+  let x = reduce_angle xin in
+  let x2 = x *. x in
+  let term = ref x and sum = ref x in
+  for k = 1 to 9 do
+    let kf = float_of_int k in
+    term := -. !term *. x2 /. ((2.0 *. kf) *. ((2.0 *. kf) +. 1.0));
+    sum := !sum +. !term
+  done;
+  !sum
+
+let my_cos xin =
+  let x = reduce_angle xin in
+  let x2 = x *. x in
+  let term = ref 1.0 and sum = ref 1.0 in
+  for k = 1 to 9 do
+    let kf = float_of_int k in
+    term := -. !term *. x2 /. (((2.0 *. kf) -. 1.0) *. (2.0 *. kf));
+    sum := !sum +. !term
+  done;
+  !sum
+
+let my_sqrt x =
+  if x <= 0.0 then 0.0
+  else begin
+    let r = ref x in
+    if !r > 1.0 then r := (x *. 0.5) +. 0.5;
+    for _ = 0 to 29 do
+      r := 0.5 *. (!r +. (x /. !r))
+    done;
+    !r
+  end
+
+let fft_ref xr xi n isign =
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    if i < !j then begin
+      let tr = xr.(i) in
+      xr.(i) <- xr.(!j);
+      xr.(!j) <- tr;
+      let ti = xi.(i) in
+      xi.(i) <- xi.(!j);
+      xi.(!j) <- ti
+    end;
+    let k = ref (n / 2) in
+    while !k >= 1 && !j >= !k do
+      j := !j - !k;
+      k := !k / 2
+    done;
+    j := !j + !k
+  done;
+  let mmax = ref 1 in
+  while !mmax < n do
+    let istep = !mmax * 2 in
+    let theta = float_of_int isign *. 3.141592653589793 /. float_of_int !mmax in
+    let wtemp = my_sin (0.5 *. theta) in
+    let wpr = -2.0 *. wtemp *. wtemp in
+    let wpi = my_sin theta in
+    let wr = ref 1.0 and wi = ref 0.0 in
+    for m = 0 to !mmax - 1 do
+      let i = ref m in
+      while !i < n do
+        let j = !i + !mmax in
+        let tr = (!wr *. xr.(j)) -. (!wi *. xi.(j)) in
+        let ti = (!wr *. xi.(j)) +. (!wi *. xr.(j)) in
+        xr.(j) <- xr.(!i) -. tr;
+        xi.(j) <- xi.(!i) -. ti;
+        xr.(!i) <- xr.(!i) +. tr;
+        xi.(!i) <- xi.(!i) +. ti;
+        i := !i + istep
+      done;
+      let wtemp = !wr in
+      wr := (!wr *. wpr) -. (!wi *. wpi) +. !wr;
+      wi := (!wi *. wpr) +. (wtemp *. wpi) +. !wi
+    done;
+    mmax := istep
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Reference implementations, one per workload, producing the expected
+   printed output. *)
+
+let ref_adi () =
+  let n = 12 in
+  let u = Array.make 144 0.0 and tmp = Array.make 144 0.0 in
+  let aa = Array.make 12 0.0
+  and bb = Array.make 12 0.0
+  and cc = Array.make 12 0.0
+  and rr = Array.make 12 0.0
+  and xx = Array.make 12 0.0
+  and gg = Array.make 12 0.0 in
+  let trisolve a b c r x g n =
+    let bet = ref b.(0) in
+    x.(0) <- r.(0) /. !bet;
+    for j = 1 to n - 1 do
+      g.(j) <- c.(j - 1) /. !bet;
+      bet := b.(j) -. (a.(j) *. g.(j));
+      x.(j) <- (r.(j) -. (a.(j) *. x.(j - 1))) /. !bet
+    done;
+    for j = n - 2 downto 0 do
+      x.(j) <- x.(j) -. (g.(j + 1) *. x.(j + 1))
+    done
+  in
+  let fill_coef lam =
+    for j = 0 to n - 1 do
+      aa.(j) <- -.lam;
+      bb.(j) <- 1.0 +. (2.0 *. lam);
+      cc.(j) <- -.lam
+    done
+  in
+  let row_sweep grid next lam =
+    fill_coef lam;
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        rr.(j) <- grid.((i * 12) + j);
+        if i > 0 then rr.(j) <- rr.(j) +. (lam *. grid.(((i - 1) * 12) + j));
+        if i < n - 1 then
+          rr.(j) <- rr.(j) +. (lam *. grid.(((i + 1) * 12) + j));
+        rr.(j) <- rr.(j) -. (2.0 *. lam *. grid.((i * 12) + j))
+      done;
+      trisolve aa bb cc rr xx gg n;
+      for j = 0 to n - 1 do
+        next.((i * 12) + j) <- xx.(j)
+      done
+    done
+  in
+  let col_sweep grid next lam =
+    fill_coef lam;
+    for j = 0 to n - 1 do
+      for i = 0 to n - 1 do
+        rr.(i) <- grid.((i * 12) + j);
+        if j > 0 then rr.(i) <- rr.(i) +. (lam *. grid.((i * 12) + j - 1));
+        if j < n - 1 then
+          rr.(i) <- rr.(i) +. (lam *. grid.((i * 12) + j + 1));
+        rr.(i) <- rr.(i) -. (2.0 *. lam *. grid.((i * 12) + j))
+      done;
+      trisolve aa bb cc rr xx gg n;
+      for i = 0 to n - 1 do
+        next.((i * 12) + j) <- xx.(i)
+      done
+    done
+  in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      u.((i * 12) + j) <- 0.0;
+      if i = 0 then u.((i * 12) + j) <- 1.0;
+      if j = 0 then u.((i * 12) + j) <- 0.5
+    done
+  done;
+  for _ = 0 to 3 do
+    row_sweep u tmp 0.3;
+    col_sweep tmp u 0.3
+  done;
+  let chk = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      chk := !chk +. (u.((i * 12) + j) *. float_of_int (i + (2 * j) + 1))
+    done
+  done;
+  [ Ir.Value.Float !chk ]
+
+let wt_table =
+  [|
+    1; 0; -3; 2; 0; 0; 0; 0; -3; 0; 9; -6; 2; 0; -6; 4;
+    0; 0; 0; 0; 0; 0; 0; 0; 3; 0; -9; 6; -2; 0; 6; -4;
+    0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 9; -6; 0; 0; -6; 4;
+    0; 0; 3; -2; 0; 0; 0; 0; 0; 0; -9; 6; 0; 0; 6; -4;
+    0; 0; 0; 0; 1; 0; -3; 2; -2; 0; 6; -4; 1; 0; -3; 2;
+    0; 0; 0; 0; 0; 0; 0; 0; -1; 0; 3; -2; 1; 0; -3; 2;
+    0; 0; 0; 0; 0; 0; 0; 0; 0; 0; -3; 2; 0; 0; 3; -2;
+    0; 0; 0; 0; 0; 0; 3; -2; 0; 0; -6; 4; 0; 0; 3; -2;
+    0; 1; -2; 1; 0; 0; 0; 0; 0; -3; 6; -3; 0; 2; -4; 2;
+    0; 0; 0; 0; 0; 0; 0; 0; 0; 3; -6; 3; 0; -2; 4; -2;
+    0; 0; 0; 0; 0; 0; 0; 0; 0; 0; -3; 3; 0; 0; 2; -2;
+    0; 0; -1; 1; 0; 0; 0; 0; 0; 0; 3; -3; 0; 0; -2; 2;
+    0; 0; 0; 0; 0; 1; -2; 1; 0; -2; 4; -2; 0; 1; -2; 1;
+    0; 0; 0; 0; 0; 0; 0; 0; 0; -1; 2; -1; 0; 1; -2; 1;
+    0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 1; -1; 0; 0; -1; 1;
+    0; 0; 0; 0; 0; 0; -1; 1; 0; 0; 2; -2; 0; 0; -1; 1;
+  |]
+
+let ref_bcuint () =
+  let yv = [| 0.0; 1.0; 2.0; 1.0 |] in
+  let y1v = [| 0.0; 2.0; 2.0; 0.0 |] in
+  let y2v = [| 1.0; 1.0; 3.0; 3.0 |] in
+  let y12v = [| 0.0; 2.0; 2.0; 0.0 |] in
+  let coef = Array.make 16 0.0 in
+  let bcucof y y1 y2 y12 d1 d2 c =
+    let x = Array.make 16 0.0 in
+    let d1d2 = d1 *. d2 in
+    for i = 0 to 3 do
+      x.(i) <- y.(i);
+      x.(i + 4) <- y1.(i) *. d1;
+      x.(i + 8) <- y2.(i) *. d2;
+      x.(i + 12) <- y12.(i) *. d1d2
+    done;
+    for l = 0 to 15 do
+      let xx = ref 0.0 in
+      for k = 0 to 15 do
+        xx := !xx +. (float_of_int wt_table.((l * 16) + k) *. x.(k))
+      done;
+      c.(l) <- !xx
+    done
+  in
+  let eval c t u =
+    let ans = ref 0.0 in
+    for i = 3 downto 0 do
+      ans :=
+        (t *. !ans)
+        +. ((((c.((i * 4) + 3) *. u) +. c.((i * 4) + 2)) *. u)
+            +. c.((i * 4) + 1))
+           *. u
+        +. c.((i * 4) + 0)
+    done;
+    !ans
+  in
+  let chk = ref 0.0 in
+  for pt = 0 to 23 do
+    bcucof yv y1v y2v y12v 1.0 1.0 coef;
+    let t = float_of_int pt *. (1.0 /. 24.0) in
+    let u = 1.0 -. (t *. 0.5) in
+    let v = eval coef t u in
+    chk := !chk +. (v *. float_of_int (pt + 1));
+    for i = 0 to 3 do
+      yv.(i) <- yv.(i) +. (v *. 0.001)
+    done
+  done;
+  [ Ir.Value.Float !chk ]
+
+let ref_fft () =
+  let re = Array.init 64 (fun i ->
+      my_sin (0.35 *. float_of_int i) +. (0.25 *. my_cos (1.1 *. float_of_int i)))
+  in
+  let im = Array.make 64 0.0 in
+  fft_ref re im 64 1;
+  let chk = ref 0.0 in
+  for i = 0 to 63 do
+    chk :=
+      !chk
+      +. (re.(i) *. float_of_int (i + 1) *. 0.01)
+      +. (im.(i) *. 0.005 *. float_of_int i)
+  done;
+  fft_ref re im 64 (-1);
+  chk := !chk +. (re.(5) /. 64.0) +. (re.(17) /. 64.0);
+  [ Ir.Value.Float !chk ]
+
+let ref_moment () =
+  let data = Array.make 256 0.0 and weight = Array.make 256 0.0 in
+  let seed = ref 13 in
+  for i = 0 to 255 do
+    seed := ((!seed * 1103515245) + 12345) mod 2147483648;
+    data.(i) <- float_of_int (!seed mod 1000) *. 0.001;
+    weight.(i) <- 1.0 +. (float_of_int (i mod 7) *. 0.125)
+  done;
+  let n = 256 in
+  let nf = float_of_int n in
+  let s = ref 0.0 in
+  for j = 0 to n - 1 do
+    s := !s +. data.(j)
+  done;
+  let ave = !s /. nf in
+  let adev = ref 0.0
+  and var = ref 0.0
+  and skew = ref 0.0
+  and curt = ref 0.0
+  and ep = ref 0.0 in
+  for j = 0 to n - 1 do
+    let dev = data.(j) -. ave in
+    ep := !ep +. dev;
+    if dev < 0.0 then adev := !adev -. dev else adev := !adev +. dev;
+    let p = dev *. dev in
+    var := !var +. p;
+    let p = p *. dev in
+    skew := !skew +. p;
+    let p = p *. dev in
+    curt := !curt +. p
+  done;
+  adev := !adev /. nf;
+  var := (!var -. (!ep *. !ep /. nf)) /. float_of_int (n - 1);
+  let o = Array.make 6 0.0 in
+  o.(0) <- ave;
+  o.(1) <- !adev;
+  o.(2) <- my_sqrt !var;
+  o.(3) <- !var;
+  if !var > 0.0 then begin
+    o.(4) <- !skew /. (nf *. !var *. o.(2));
+    o.(5) <- (!curt /. (nf *. !var *. !var)) -. 3.0
+  end;
+  let chk = ref 0.0 in
+  for j = 0 to n - 1 do
+    data.(j) <- (data.(j) -. o.(0)) /. o.(2);
+    chk := !chk +. (data.(j) *. weight.(j))
+  done;
+  [ Ir.Value.Float o.(0); Ir.Value.Float o.(3); Ir.Value.Float !chk ]
+
+let ref_smooft () =
+  let sr = Array.make 64 0.0
+  and si = Array.make 64 0.0
+  and win = Array.make 64 0.0
+  and orig = Array.make 64 0.0 in
+  for i = 0 to 63 do
+    sr.(i) <-
+      my_sin (0.2 *. float_of_int i) +. (0.3 *. float_of_int (i mod 2)) -. 0.15;
+    si.(i) <- 0.0;
+    orig.(i) <- sr.(i);
+    let f = if i > 32 then 64 - i else i in
+    let c = my_cos (3.141592653589793 *. float_of_int f /. 32.0) in
+    win.(i) <- 0.25 *. (1.0 +. c) *. (1.0 +. c)
+  done;
+  fft_ref sr si 64 1;
+  for i = 0 to 63 do
+    sr.(i) <- sr.(i) *. win.(i);
+    si.(i) <- si.(i) *. win.(i)
+  done;
+  fft_ref sr si 64 (-1);
+  for i = 0 to 63 do
+    sr.(i) <- sr.(i) /. 64.0;
+    si.(i) <- si.(i) /. 64.0
+  done;
+  let chk = ref 0.0 in
+  for i = 0 to 63 do
+    chk :=
+      !chk
+      +. ((sr.(i) -. orig.(i)) *. (sr.(i) -. orig.(i)))
+      +. (sr.(i) *. 0.01 *. float_of_int i)
+  done;
+  [ Ir.Value.Float !chk ]
+
+let ref_solvde () =
+  let m = 32 in
+  let ya = Array.make 32 0.0
+  and yb = Array.make 32 0.0
+  and e0 = Array.make 32 0.0
+  and e1 = Array.make 32 0.0
+  and scale = Array.make 32 0.0 in
+  let h = 0.1 in
+  for k = 0 to m - 1 do
+    ya.(k) <- 0.1 *. float_of_int k *. h;
+    yb.(k) <- 1.0;
+    scale.(k) <- 1.0 -. (0.004 *. float_of_int k)
+  done;
+  let err = ref 1.0 and it = ref 0 in
+  while !it < 12 && !err > 0.000001 do
+    for k = 1 to m - 1 do
+      e0.(k) <- ya.(k) -. ya.(k - 1) -. (0.5 *. h *. (yb.(k) +. yb.(k - 1)));
+      e1.(k) <- yb.(k) -. yb.(k - 1) +. (0.5 *. h *. (ya.(k) +. ya.(k - 1)))
+    done;
+    for k = 1 to m - 1 do
+      ya.(k) <- ya.(k) -. (0.8 *. e0.(k) *. scale.(k));
+      yb.(k) <- yb.(k) -. (0.8 *. e1.(k) *. scale.(k))
+    done;
+    let e = ref 0.0 in
+    for k = 1 to m - 1 do
+      let a = if e0.(k) < 0.0 then -.e0.(k) else e0.(k) in
+      if a > !e then e := a;
+      let a = if e1.(k) < 0.0 then -.e1.(k) else e1.(k) in
+      if a > !e then e := a
+    done;
+    err := !e;
+    incr it
+  done;
+  let chk = ref (!err *. 1000.0) in
+  for k = 0 to m - 1 do
+    chk :=
+      !chk
+      +. (ya.(k) *. float_of_int (k + 1) *. 0.125)
+      +. (yb.(k) *. 0.0625)
+  done;
+  [ Ir.Value.Float !chk; Ir.Value.Int !it ]
+
+let ref_perm () =
+  let permarray = Array.make 8 0 in
+  let pctr = ref 0 in
+  let swap a b =
+    let t = permarray.(a) in
+    permarray.(a) <- permarray.(b);
+    permarray.(b) <- t
+  in
+  let rec permute n =
+    incr pctr;
+    if n <> 0 then begin
+      permute (n - 1);
+      for k = n - 1 downto 0 do
+        swap n k;
+        permute (n - 1);
+        swap n k
+      done
+    end
+  in
+  let chk = ref 0 in
+  for _ = 0 to 2 do
+    for i = 0 to 7 do
+      permarray.(i) <- i
+    done;
+    pctr := 0;
+    permute 6;
+    chk := !chk + !pctr
+  done;
+  for i = 0 to 7 do
+    chk := !chk + (permarray.(i) * (i + 1))
+  done;
+  [ Ir.Value.Int !chk ]
+
+let ref_queen () = [ Ir.Value.Int 92 ]
+
+let ref_quick () =
+  let a = Array.make 256 0 in
+  let seed = ref 74755 in
+  for i = 0 to 255 do
+    seed := ((!seed * 1309) + 13849) mod 65536;
+    a.(i) <- !seed
+  done;
+  Array.sort compare a;
+  let chk = ref 0 in
+  for i = 0 to 255 do
+    chk := (!chk + (a.(i) * (i mod 17))) mod 1000000007
+  done;
+  [ Ir.Value.Int 1; Ir.Value.Int !chk ]
+
+let ref_tree () =
+  let a = Array.make 220 0 in
+  let seed = ref 33 in
+  for i = 0 to 219 do
+    seed := ((!seed * 1309) + 13849) mod 65536;
+    a.(i) <- !seed
+  done;
+  (* inorder traversal of a BST built by insertion order = stable sort by
+     key with ties in insertion order *)
+  let items = Array.mapi (fun i k -> (k, i)) a in
+  Array.stable_sort (fun (k1, _) (k2, _) -> compare k1 k2) items;
+  let chk = ref 0 in
+  Array.iteri
+    (fun order (k, _) -> chk := (!chk + (k * ((order mod 13) + 1))) mod 1000000007)
+    items;
+  [ Ir.Value.Int !chk ]
+
+let ref_espresso () =
+  let cover_a = Array.make 192 0 and cover_b = Array.make 192 0 in
+  let seed = ref 99 in
+  for i = 0 to 191 do
+    seed := ((!seed * 1103515245) + 12345) mod 2147483648;
+    cover_a.(i) <- !seed mod 65536;
+    seed := ((!seed * 1103515245) + 12345) mod 2147483648;
+    cover_b.(i) <- !seed mod 65536
+  done;
+  let keep = Array.make 48 1 in
+  let popcount x =
+    let c = ref 0 and x = ref x in
+    while !x <> 0 do
+      x := !x land (!x - 1);
+      incr c
+    done;
+    !c
+  in
+  let contains_cube a b ai bi =
+    let ok = ref true in
+    for w = 0 to 3 do
+      if a.((ai * 4) + w) land b.((bi * 4) + w) <> b.((bi * 4) + w) then
+        ok := false
+    done;
+    !ok
+  in
+  for i = 0 to 47 do
+    for j = 0 to 47 do
+      if i <> j && keep.(i) = 1 then
+        if contains_cube cover_a cover_a i j then keep.(j) <- 0
+    done
+  done;
+  let chk = ref 0 in
+  for i = 0 to 46 do
+    let d = ref 0 in
+    for w = 0 to 3 do
+      let v = cover_a.((i * 4) + w) land cover_b.(((i + 1) * 4) + w) in
+      let v = (v lor (v lsr 1)) land 1431655765 in
+      d := !d + 16 - popcount v
+    done;
+    chk := (!chk + (!d * (i + 3))) mod 1000000007
+  done;
+  let merged = Array.make 192 0 in
+  for i = 0 to 46 do
+    if keep.(i) = 1 then
+      for w = 0 to 3 do
+        merged.((i * 4) + w) <-
+          cover_a.((i * 4) + w) lor cover_b.(((i + 1) * 4) + w);
+        merged.((i * 4) + w) <-
+          merged.((i * 4) + w) land (cover_a.((i * 4) + w) lor 1431655765)
+      done
+  done;
+  for i = 0 to 46 do
+    for w = 0 to 3 do
+      chk := (!chk + merged.((i * 4) + w) + (keep.(i) * 7)) mod 1000000007
+    done
+  done;
+  [ Ir.Value.Int !chk ]
+
+let references =
+  [
+    ("adi", ref_adi);
+    ("bcuint", ref_bcuint);
+    ("fft", ref_fft);
+    ("moment", ref_moment);
+    ("smooft", ref_smooft);
+    ("solvde", ref_solvde);
+    ("perm", ref_perm);
+    ("queen", ref_queen);
+    ("quick", ref_quick);
+    ("tree", ref_tree);
+    ("espresso", ref_espresso);
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let check_against_reference (w : W.Workload.t) () =
+  let expected = (List.assoc w.name references) () in
+  let got = (run_src w.source).output in
+  check_int "output arity" (List.length expected) (List.length got);
+  List.iter2
+    (fun e g ->
+      match (e, g) with
+      | Ir.Value.Int a, Ir.Value.Int b -> check_int "int output" a b
+      | Ir.Value.Float a, Ir.Value.Float b ->
+          check_close (w.name ^ " float output") b a
+      | _ -> Alcotest.failf "%s: output kind mismatch" w.name)
+    expected got
+
+(* All four pipelines behave identically on every workload (prepare's
+   internal check raises on mismatch), and SpD finds opportunities on the
+   NRC suite. *)
+let check_pipelines (w : W.Workload.t) () =
+  let lowered = compile w.source in
+  let spec =
+    Spd_harness.Pipeline.prepare ~mem_latency:2 Spd_harness.Pipeline.Spec
+      lowered
+  in
+  List.iter
+    (fun k -> ignore (Harness.Pipeline.prepare ~mem_latency:2 k lowered))
+    [ Harness.Pipeline.Naive; Harness.Pipeline.Static; Harness.Pipeline.Perfect ];
+  if w.suite = W.Workload.Nrc then
+    check_bool
+      (w.name ^ ": SpD found at least one application")
+      true
+      (spec.applications <> [])
+
+let tests =
+  List.map
+    (fun (w : W.Workload.t) ->
+      case (w.name ^ " matches reference") (check_against_reference w))
+    W.Registry.all
+  @ List.map
+      (fun (w : W.Workload.t) ->
+        case (w.name ^ " pipelines agree") (check_pipelines w))
+      W.Registry.all
+
+(* The exported kernel files in examples/kernels stay in sync with the
+   registry (they carry a comment header, then the exact source). *)
+let test_exported_kernels_in_sync () =
+  let dir = "../../../examples/kernels" in
+  if Sys.file_exists dir then
+    List.iter
+      (fun (w : W.Workload.t) ->
+        let path = Filename.concat dir (w.name ^ ".c") in
+        let ic = open_in_bin path in
+        let contents = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let suffix_ok =
+          String.length contents >= String.length w.source
+          && String.sub contents
+               (String.length contents - String.length w.source)
+               (String.length w.source)
+             = w.source
+        in
+        check_bool (w.name ^ ".c in sync") true suffix_ok)
+      W.Registry.all
+
+let tests =
+  tests @ [ case "exported kernels in sync" test_exported_kernels_in_sync ]

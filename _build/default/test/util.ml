@@ -1,0 +1,28 @@
+(** Shared helpers for the test suites. *)
+
+module Ir = Spd_ir
+
+let compile = Spd_lang.Lower.compile
+
+let run_src ?mem_words src =
+  let prog = compile src in
+  Spd_sim.Interp.run ?mem_words prog
+
+(** Run a source program and return its [main] result as an int. *)
+let ret_int ?mem_words src =
+  Ir.Value.to_int (run_src ?mem_words src).ret
+
+(** Run a source program and return the printed output values. *)
+let output ?mem_words src = (run_src ?mem_words src).output
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let value : Ir.Value.t Alcotest.testable =
+  Alcotest.testable Ir.Value.pp Ir.Value.equal
+
+(** Float comparison with tolerance for simulated numeric kernels. *)
+let close ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. (1.0 +. Float.abs b)
+
+let check_close msg a b =
+  if not (close a b) then Alcotest.failf "%s: %.17g <> %.17g" msg a b
