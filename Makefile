@@ -1,0 +1,25 @@
+# Convenience targets; `make check` is the CI entry point: full build,
+# the test suite, and a table6_3 smoke run twice — the second pass must
+# be served entirely from the warm _spd_cache/.
+
+DUNE ?= dune
+
+.PHONY: all check test bench clean
+
+all:
+	$(DUNE) build
+
+test:
+	$(DUNE) runtest
+
+check: all
+	$(DUNE) runtest
+	$(DUNE) exec bench/main.exe -- table6_3 --jobs 2
+	$(DUNE) exec bench/main.exe -- table6_3 --jobs 2 --timings
+
+bench:
+	$(DUNE) exec bench/main.exe -- all --timings
+
+clean:
+	$(DUNE) clean
+	rm -rf _spd_cache

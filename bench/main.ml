@@ -12,9 +12,18 @@
     - Figure 6-4 code size increase due to SpD
 
     Subcommands select individual artefacts; [micro] additionally runs
-    Bechamel micro-benchmarks of the compiler passes themselves. *)
+    Bechamel micro-benchmarks of the compiler passes themselves.
+
+    Flags (anywhere on the command line):
+    - [--jobs N]   size of the engine's domain pool (default:
+      [Domain.recommended_domain_count ()]); [--jobs 1] is sequential
+      and emits bit-identical numbers
+    - [--no-cache] disable the content-addressed on-disk result cache
+      ([_spd_cache/])
+    - [--timings]  append the engine's per-stage wall-clock report *)
 
 module Report = Spd_harness.Report
+module Engine = Spd_harness.Engine
 
 let ppf = Fmt.stdout
 
@@ -107,19 +116,44 @@ let artefacts =
   ]
 
 let usage () =
-  Fmt.pf ppf "usage: main.exe [all|micro%a]@."
+  Fmt.epr
+    "usage: main.exe [all|micro|timings%a] [--jobs N] [--no-cache] \
+     [--timings]@."
     (Fmt.list ~sep:Fmt.nop (fun ppf (n, _) -> Fmt.pf ppf "|%s" n))
-    artefacts
+    artefacts;
+  exit 1
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [] | [ _; "all" ] ->
+  let jobs = ref None in
+  let disk_cache = ref true in
+  let timings = ref false in
+  let rest = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--jobs" :: n :: tl -> (
+        match int_of_string_opt n with
+        | Some _ as j -> jobs := j; parse tl
+        | None -> usage ())
+    | "--no-cache" :: tl -> disk_cache := false; parse tl
+    | "--timings" :: tl -> timings := true; parse tl
+    | arg :: tl -> rest := arg :: !rest; parse tl
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let session =
+    Engine.Session.create ?jobs:!jobs ~disk_cache:!disk_cache ()
+  in
+  Spd_harness.Experiment.set_default_session session;
+  (match List.rev !rest with
+  | [] | [ "all" ] ->
       Report.all ppf ();
       Spd_harness.Extensions.all ppf ();
       micro ()
-  | [ _; "micro" ] -> micro ()
-  | [ _; name ] -> (
+  | [ "micro" ] -> micro ()
+  | [ "timings" ] -> timings := true
+  | [ name ] -> (
       match List.assoc_opt name artefacts with
       | Some f -> f ppf ()
       | None -> usage ())
-  | _ -> usage ()
+  | _ -> usage ());
+  if !timings then Report.timings ppf ();
+  Engine.Session.close session

@@ -4,7 +4,7 @@
     spd compile FILE [--pipeline P] [--mem-latency N]   dump the decision-tree IR
     spd run     FILE [--pipeline P] [--width W] ...     compile, simulate, time
     spd bench   NAME [--mem-latency N]                  one built-in benchmark, all pipelines
-    spd report  [ARTEFACT]                              regenerate the paper's tables/figures
+    spd report  [ARTEFACT] [--jobs N] [--no-cache]      regenerate the paper's tables/figures
     spd list                                            list built-in benchmarks
     v}
 
@@ -78,7 +78,10 @@ let handle_errors f =
       exit 1
 
 let prepare_src ~mem_latency pipeline src =
-  Pipeline.prepare ~mem_latency pipeline (Spd_lang.Lower.compile src)
+  Pipeline.prepare
+    ~config:(Pipeline.Config.v ~mem_latency ())
+    pipeline
+    (Spd_lang.Lower.compile src)
 
 (* ------------------------------------------------------------------ *)
 
@@ -143,7 +146,11 @@ let bench_cmd =
         let base = ref 0 in
         List.iter
           (fun kind ->
-            let p = Pipeline.prepare ~mem_latency kind lowered in
+            let p =
+              Pipeline.prepare
+                ~config:(Pipeline.Config.v ~mem_latency ())
+                kind lowered
+            in
             let cycles = Pipeline.cycles p ~width in
             if kind = Pipeline.Naive then base := cycles;
             Fmt.pr "%-8s %10d %9.1f%%@." (Pipeline.name kind) cycles
@@ -174,10 +181,15 @@ let report_cmd =
       ("ext_dynamic", Spd_harness.Extensions.ext_dynamic);
       ("ext_grafting", Spd_harness.Extensions.ext_grafting);
       ("ext_params", Spd_harness.Extensions.ext_params);
+      ("timings", Spd_harness.Report.timings);
     ]
   in
-  let run name =
-    match name with
+  let run name jobs no_cache timings =
+    let session =
+      Spd_harness.Engine.Session.create ?jobs ~disk_cache:(not no_cache) ()
+    in
+    Spd_harness.Experiment.set_default_session session;
+    (match name with
     | None -> Spd_harness.Report.all Fmt.stdout ()
     | Some n -> (
         match List.assoc_opt n artefacts with
@@ -185,7 +197,10 @@ let report_cmd =
         | None ->
             Fmt.epr "unknown artefact %s (one of: %s)@." n
               (String.concat ", " (List.map fst artefacts));
-            exit 1)
+            exit 1));
+    if timings && name <> Some "timings" then
+      Spd_harness.Report.timings Fmt.stdout ();
+    Spd_harness.Engine.Session.close session
   in
   let name_arg =
     Arg.(
@@ -194,10 +209,34 @@ let report_cmd =
       & info [] ~docv:"ARTEFACT"
           ~doc:"Table or figure to regenerate (default: all).")
   in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Size of the experiment engine's domain pool (default: the \
+             number of cores).  $(b,--jobs 1) is fully sequential and \
+             emits bit-identical numbers.")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Disable the content-addressed on-disk result cache \
+             ($(b,_spd_cache/)).")
+  in
+  let timings_arg =
+    Arg.(
+      value & flag
+      & info [ "timings" ]
+          ~doc:"Append the engine's per-stage wall-clock report.")
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Regenerate the paper's evaluation tables and figures.")
-    Term.(const run $ name_arg)
+    Term.(const run $ name_arg $ jobs_arg $ no_cache_arg $ timings_arg)
 
 let graph_cmd =
   let run file pipeline mem_latency func tree_id =

@@ -48,8 +48,8 @@ let () =
     (fun mem_latency ->
       Fmt.pr "@.%d-cycle memory latency@." mem_latency;
       Fmt.pr "  %-6s %10s %10s %10s@." "width" "STATIC" "SPEC" "SPEC gain";
-      let static = Pipeline.prepare ~mem_latency Pipeline.Static lowered in
-      let spec = Pipeline.prepare ~mem_latency Pipeline.Spec lowered in
+      let static = Pipeline.prepare ~config:(Pipeline.Config.v ~mem_latency ()) Pipeline.Static lowered in
+      let spec = Pipeline.prepare ~config:(Pipeline.Config.v ~mem_latency ()) Pipeline.Spec lowered in
       let crossover = ref None in
       List.iter
         (fun fus ->

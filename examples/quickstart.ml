@@ -40,12 +40,12 @@ let () =
   let width = Spd_machine.Descr.Fus 5 in
   Fmt.pr "Machine: 5 universal FUs, %d-cycle memory@.@." mem_latency;
   let lowered = Spd_lang.Lower.compile source in
-  let naive = Pipeline.prepare ~mem_latency Pipeline.Naive lowered in
+  let naive = Pipeline.prepare ~config:(Pipeline.Config.v ~mem_latency ()) Pipeline.Naive lowered in
   let base = Pipeline.cycles naive ~width in
   Fmt.pr "%-8s %10s %10s  %s@." "pipeline" "cycles" "speedup" "";
   List.iter
     (fun kind ->
-      let p = Pipeline.prepare ~mem_latency kind lowered in
+      let p = Pipeline.prepare ~config:(Pipeline.Config.v ~mem_latency ()) kind lowered in
       let cycles = Pipeline.cycles p ~width in
       Fmt.pr "%-8s %10d %9.1f%%  %s@." (Pipeline.name kind) cycles
         (100.0 *. Pipeline.speedup ~base ~this:cycles)
@@ -54,7 +54,7 @@ let () =
         | apps -> Fmt.str "(%d SpD applications)" (List.length apps)))
     Pipeline.all;
   (* peek at what SpD did to the loop tree *)
-  let spec = Pipeline.prepare ~mem_latency Pipeline.Spec lowered in
+  let spec = Pipeline.prepare ~config:(Pipeline.Config.v ~mem_latency ()) Pipeline.Spec lowered in
   let scan = Spd_ir.Prog.find_func spec.prog "scan" in
   let transformed =
     List.find

@@ -18,7 +18,7 @@ let () =
   Fmt.pr "stage 1  frontend:   %d trees, %d operations@." !n_trees
     (Spd_ir.Prog.code_size lowered);
   let mem_latency = 6 in
-  let naive = Pipeline.prepare ~mem_latency Pipeline.Naive lowered in
+  let naive = Pipeline.prepare ~config:(Pipeline.Config.v ~mem_latency ()) Pipeline.Naive lowered in
   let count_arcs p sel =
     let n = ref 0 in
     Spd_ir.Prog.iter_trees
@@ -29,11 +29,11 @@ let () =
   in
   Fmt.pr "stage 2  mem arcs:   %d conservative dependence arcs@."
     (count_arcs naive.prog Spd_ir.Memdep.is_active);
-  let static = Pipeline.prepare ~mem_latency Pipeline.Static lowered in
+  let static = Pipeline.prepare ~config:(Pipeline.Config.v ~mem_latency ()) Pipeline.Static lowered in
   Fmt.pr "stage 3  GCD/Banerjee: %d arcs remain (%d ambiguous)@."
     (count_arcs static.prog Spd_ir.Memdep.is_active)
     (count_arcs static.prog Spd_ir.Memdep.is_ambiguous);
-  let spec = Pipeline.prepare ~mem_latency Pipeline.Spec lowered in
+  let spec = Pipeline.prepare ~config:(Pipeline.Config.v ~mem_latency ()) Pipeline.Spec lowered in
   Fmt.pr "stage 4  SpD:        %d applications, %d -> %d operations@."
     (List.length spec.applications)
     (Spd_ir.Prog.code_size static.prog)
@@ -77,7 +77,7 @@ let () =
   let base = Pipeline.cycles naive ~width in
   List.iter
     (fun kind ->
-      let p = Pipeline.prepare ~mem_latency kind lowered in
+      let p = Pipeline.prepare ~config:(Pipeline.Config.v ~mem_latency ()) kind lowered in
       let c = Pipeline.cycles p ~width in
       Fmt.pr "  %-8s %10d cycles  %+6.1f%%@." (Pipeline.name kind) c
         (100.0 *. Pipeline.speedup ~base ~this:c))

@@ -1,0 +1,446 @@
+(** Domain-parallel experiment engine.
+
+    The paper's evaluation is an embarrassingly parallel grid —
+    benchmarks × pipelines × memory latencies × machine widths — and
+    every cell is a pure function of the workload source and the
+    pipeline configuration.  A {!Session} exploits both facts:
+
+    - {b promise-style memoization}: each cell is computed exactly
+      once per session; concurrent requesters block on the promise of
+      the domain already computing it;
+    - {b a fixed-size domain pool}: [jobs] ways of parallelism
+      (including the calling domain, which drains the task queue while
+      it waits, so [jobs = 1] degenerates to plain sequential
+      evaluation and nested fan-out cannot starve the pool);
+    - {b a content-addressed on-disk result cache}: the digest of the
+      workload source, the pipeline fingerprint and the machine
+      description addresses the resulting cycle count / SpD summary
+      under [_spd_cache/], so warm re-runs skip lowering, profiling,
+      SpD and scheduling entirely;
+    - {b per-stage wall-clock instrumentation}, surfaced through
+      {!Session.stats} and rendered by [Report.timings].
+
+    Results are deterministic in [jobs]: cells are pure, so the
+    schedule changes only who computes a value, never the value. *)
+
+module W = Spd_workloads
+
+(* Bumped whenever the compiler, scheduler or simulator change in a way
+   that affects emitted numbers; invalidates every on-disk entry. *)
+let cache_version = "1"
+
+(* ------------------------------------------------------------------ *)
+(* Promise-style memo table, safe for concurrent use from domains.  The
+   first requester of a key installs [Pending] and computes outside the
+   lock; later requesters wait on the condition until the promise is
+   fulfilled (or broken — the exception is replayed to every waiter). *)
+
+module Memo : sig
+  type ('k, 'v) t
+  val create : int -> ('k, 'v) t
+  val get : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+end = struct
+  type 'v state = Pending | Done of 'v | Failed of exn
+
+  type ('k, 'v) t = {
+    mu : Mutex.t;
+    fulfilled : Condition.t;
+    tbl : ('k, 'v state) Hashtbl.t;
+  }
+
+  let create n =
+    { mu = Mutex.create (); fulfilled = Condition.create ();
+      tbl = Hashtbl.create n }
+
+  let get t k f =
+    Mutex.lock t.mu;
+    let rec decide () =
+      match Hashtbl.find_opt t.tbl k with
+      | Some (Done v) -> Mutex.unlock t.mu; v
+      | Some (Failed e) -> Mutex.unlock t.mu; raise e
+      | Some Pending -> Condition.wait t.fulfilled t.mu; decide ()
+      | None ->
+          Hashtbl.replace t.tbl k Pending;
+          Mutex.unlock t.mu;
+          let result = try Ok (f ()) with e -> Error e in
+          Mutex.lock t.mu;
+          Hashtbl.replace t.tbl k
+            (match result with Ok v -> Done v | Error e -> Failed e);
+          Condition.broadcast t.fulfilled;
+          Mutex.unlock t.mu;
+          (match result with Ok v -> v | Error e -> raise e)
+    in
+    decide ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Fixed-size worker pool.  Domains are spawned lazily on the first
+   batch; the caller of [map] participates in draining the queue, so a
+   pool of size [n] runs at most [n] tasks concurrently ([n - 1]
+   spawned domains plus the caller) and a task that itself fans out
+   keeps making progress even when every worker is busy. *)
+
+module Pool : sig
+  type t
+  val create : size:int -> t
+  val map : t -> ('a -> 'b) -> 'a list -> 'b list
+  val close : t -> unit
+end = struct
+  type batch = { mutable remaining : int; mutable failed : exn option }
+  type task = { run : unit -> unit; batch : batch }
+
+  type t = {
+    mu : Mutex.t;
+    work : Condition.t;  (* queue became non-empty, or shutdown *)
+    donec : Condition.t;  (* some batch completed *)
+    queue : task Queue.t;
+    size : int;
+    mutable spawned : bool;
+    mutable shutdown : bool;
+    mutable workers : unit Domain.t list;
+  }
+
+  let create ~size =
+    { mu = Mutex.create (); work = Condition.create ();
+      donec = Condition.create (); queue = Queue.create (); size;
+      spawned = false; shutdown = false; workers = [] }
+
+  let run_task t task =
+    (try task.run ()
+     with e ->
+       Mutex.lock t.mu;
+       if task.batch.failed = None then task.batch.failed <- Some e;
+       Mutex.unlock t.mu);
+    Mutex.lock t.mu;
+    task.batch.remaining <- task.batch.remaining - 1;
+    if task.batch.remaining = 0 then Condition.broadcast t.donec;
+    Mutex.unlock t.mu
+
+  let rec worker t =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.queue && not t.shutdown do
+      Condition.wait t.work t.mu
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.mu (* shutdown *)
+    else begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.mu;
+      run_task t task;
+      worker t
+    end
+
+  let ensure_spawned t =
+    Mutex.lock t.mu;
+    if (not t.spawned) && t.size > 1 then begin
+      t.spawned <- true;
+      t.workers <-
+        List.init (t.size - 1) (fun _ -> Domain.spawn (fun () -> worker t))
+    end;
+    Mutex.unlock t.mu
+
+  let map t f xs =
+    match xs with
+    | [] -> []
+    | [ x ] -> [ f x ]
+    | _ when t.size <= 1 -> List.map f xs
+    | xs ->
+        ensure_spawned t;
+        let arr = Array.of_list xs in
+        let out = Array.make (Array.length arr) None in
+        let batch = { remaining = Array.length arr; failed = None } in
+        Mutex.lock t.mu;
+        Array.iteri
+          (fun i x ->
+            Queue.push { run = (fun () -> out.(i) <- Some (f x)); batch }
+              t.queue)
+          arr;
+        Condition.broadcast t.work;
+        (* the caller is the pool's [size]-th worker until its batch
+           completes *)
+        let rec drain () =
+          if batch.remaining = 0 then Mutex.unlock t.mu
+          else if not (Queue.is_empty t.queue) then begin
+            let task = Queue.pop t.queue in
+            Mutex.unlock t.mu;
+            run_task t task;
+            Mutex.lock t.mu;
+            drain ()
+          end
+          else begin
+            Condition.wait t.donec t.mu;
+            drain ()
+          end
+        in
+        drain ();
+        (match batch.failed with Some e -> raise e | None -> ());
+        Array.to_list (Array.map Option.get out)
+
+  let close t =
+    Mutex.lock t.mu;
+    t.shutdown <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mu;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Stats = struct
+  type t = {
+    jobs : int;  (** pool size of the session *)
+    lowerings : int;  (** source programs compiled to IR *)
+    preparations : int;  (** pipelines actually run (not cache hits) *)
+    simulations : int;  (** schedule+simulate runs actually performed *)
+    disk_hits : int;  (** results served from the on-disk cache *)
+    disk_misses : int;  (** on-disk lookups that fell through *)
+    stage_seconds : (Pipeline.stage * float) list;
+        (** cumulative wall clock per pipeline stage, across all domains *)
+  }
+
+  let pp ppf t =
+    Fmt.pf ppf
+      "jobs %d; lowerings %d; preparations %d; simulations %d; disk \
+       %d hit / %d miss"
+      t.jobs t.lowerings t.preparations t.simulations t.disk_hits
+      t.disk_misses
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Session = struct
+  type key = { bench : string; latency : int; kind : Pipeline.kind }
+
+  (* every on-disk entry is one of these, Marshal'd *)
+  type disk_value =
+    | Cycles of int
+    | Summary of { code_size : int; counts : int * int * int }
+
+  type t = {
+    jobs : int;
+    config : Pipeline.Config.t;  (* user config, timer replaced by ours *)
+    cache_dir : string option;  (* None = on-disk cache disabled *)
+    pool : Pool.t;
+    lowered_memo : (string, Spd_ir.Prog.t) Memo.t;
+    prep_memo : (key, Pipeline.prepared) Memo.t;
+    cycles_memo : (key * Spd_machine.Descr.width, int) Memo.t;
+    summary_memo : (key, int * (int * int * int)) Memo.t;
+    stats_mu : Mutex.t;
+    mutable lowerings : int;
+    mutable preparations : int;
+    mutable simulations : int;
+    mutable disk_hits : int;
+    mutable disk_misses : int;
+    stage_seconds : float array;  (* indexed by Pipeline.stage_index *)
+  }
+
+  let try_prepare_dir dir =
+    try
+      if Sys.file_exists dir then if Sys.is_directory dir then Some dir else None
+      else begin Unix.mkdir dir 0o755; Some dir end
+    with Unix.Unix_error _ | Sys_error _ -> None
+
+  let create ?jobs ?(disk_cache = false) ?(cache_dir = "_spd_cache")
+      ?(config = Pipeline.Config.default) () =
+    let jobs =
+      match jobs with
+      | Some j -> max 1 j
+      | None -> Domain.recommended_domain_count ()
+    in
+    let stats_mu = Mutex.create () in
+    let stage_seconds = Array.make (List.length Pipeline.stages) 0.0 in
+    let user_timer = config.Pipeline.Config.timer in
+    let timer stage dt =
+      Mutex.lock stats_mu;
+      let i = Pipeline.stage_index stage in
+      stage_seconds.(i) <- stage_seconds.(i) +. dt;
+      Mutex.unlock stats_mu;
+      match user_timer with Some f -> f stage dt | None -> ()
+    in
+    {
+      jobs;
+      config = { config with timer = Some timer };
+      cache_dir = (if disk_cache then try_prepare_dir cache_dir else None);
+      pool = Pool.create ~size:jobs;
+      lowered_memo = Memo.create 16;
+      prep_memo = Memo.create 64;
+      cycles_memo = Memo.create 256;
+      summary_memo = Memo.create 64;
+      stats_mu;
+      lowerings = 0;
+      preparations = 0;
+      simulations = 0;
+      disk_hits = 0;
+      disk_misses = 0;
+      stage_seconds;
+    }
+
+  let close t = Pool.close t.pool
+  let jobs t = t.jobs
+
+  let bump t f =
+    Mutex.lock t.stats_mu;
+    f t;
+    Mutex.unlock t.stats_mu
+
+  let stats t : Stats.t =
+    Mutex.lock t.stats_mu;
+    let s =
+      {
+        Stats.jobs = t.jobs;
+        lowerings = t.lowerings;
+        preparations = t.preparations;
+        simulations = t.simulations;
+        disk_hits = t.disk_hits;
+        disk_misses = t.disk_misses;
+        stage_seconds =
+          List.map
+            (fun st -> (st, t.stage_seconds.(Pipeline.stage_index st)))
+            Pipeline.stages;
+      }
+    in
+    Mutex.unlock t.stats_mu;
+    s
+
+  (* ---------------------------------------------------------------- *)
+  (* On-disk cache.  Keys are the MD5 of a canonical payload string;
+     writes go through a unique temporary file and an atomic rename, so
+     concurrent domains (or processes) never observe torn entries. *)
+
+  let write_seq = Atomic.make 0
+
+  let disk_path dir payload =
+    Filename.concat dir (Digest.to_hex (Digest.string payload) ^ ".cache")
+
+  let disk_read t payload : disk_value option =
+    match t.cache_dir with
+    | None -> None
+    | Some dir -> (
+        let path = disk_path dir payload in
+        match In_channel.with_open_bin path In_channel.input_all with
+        | exception Sys_error _ ->
+            bump t (fun t -> t.disk_misses <- t.disk_misses + 1);
+            None
+        | s -> (
+            match (Marshal.from_string s 0 : disk_value) with
+            | v ->
+                bump t (fun t -> t.disk_hits <- t.disk_hits + 1);
+                Some v
+            | exception _ ->
+                bump t (fun t -> t.disk_misses <- t.disk_misses + 1);
+                None))
+
+  let disk_write t payload (v : disk_value) =
+    match t.cache_dir with
+    | None -> ()
+    | Some dir -> (
+        let path = disk_path dir payload in
+        let tmp =
+          Printf.sprintf "%s.%d.%d.%d.tmp" path (Unix.getpid ())
+            (Domain.self () :> int)
+            (Atomic.fetch_and_add write_seq 1)
+        in
+        try
+          Out_channel.with_open_bin tmp (fun oc ->
+              Out_channel.output_string oc (Marshal.to_string v []));
+          Sys.rename tmp path
+        with Sys_error _ | Unix.Unix_error _ -> (
+          try Sys.remove tmp with Sys_error _ -> ()))
+
+  (* The full content address of a grid cell: cache format version,
+     digest of the workload source, pipeline kind and configuration
+     fingerprint (which includes the memory latency). *)
+  let cell_payload t { bench; latency; kind } =
+    let w = W.Registry.by_name bench in
+    String.concat "|"
+      [
+        "spd"; cache_version;
+        Digest.to_hex (Digest.string w.source);
+        Pipeline.name kind;
+        Pipeline.Config.fingerprint
+          { t.config with mem_latency = latency };
+      ]
+
+  let width_tag = function
+    | Spd_machine.Descr.Infinite -> "inf"
+    | Spd_machine.Descr.Fus n -> "fus" ^ string_of_int n
+
+  (* ---------------------------------------------------------------- *)
+
+  let lowered t bench =
+    Memo.get t.lowered_memo bench (fun () ->
+        bump t (fun t -> t.lowerings <- t.lowerings + 1);
+        let t0 = Unix.gettimeofday () in
+        let prog =
+          Spd_lang.Lower.compile (W.Registry.by_name bench).source
+        in
+        (match t.config.timer with
+        | Some cb -> cb Pipeline.Lower (Unix.gettimeofday () -. t0)
+        | None -> ());
+        prog)
+
+  let prepared t ~bench ~latency kind =
+    Memo.get t.prep_memo { bench; latency; kind } (fun () ->
+        let lowered = lowered t bench in
+        bump t (fun t -> t.preparations <- t.preparations + 1);
+        Pipeline.prepare
+          ~config:{ t.config with mem_latency = latency }
+          kind lowered)
+
+  let cycles t ~bench ~latency kind ~width =
+    let key = { bench; latency; kind } in
+    Memo.get t.cycles_memo (key, width) (fun () ->
+        let payload = cell_payload t key ^ "|cycles:" ^ width_tag width in
+        match disk_read t payload with
+        | Some (Cycles n) -> n
+        | Some (Summary _) | None ->
+            bump t (fun t -> t.simulations <- t.simulations + 1);
+            let n =
+              Pipeline.cycles (prepared t ~bench ~latency kind) ~width
+            in
+            disk_write t payload (Cycles n);
+            n)
+
+  (* code size and Table 6-3 counts of a cell, from one preparation *)
+  let summary t ~bench ~latency kind =
+    let key = { bench; latency; kind } in
+    Memo.get t.summary_memo key (fun () ->
+        let payload = cell_payload t key ^ "|summary" in
+        match disk_read t payload with
+        | Some (Summary s) -> (s.code_size, s.counts)
+        | Some (Cycles _) | None ->
+            let p = prepared t ~bench ~latency kind in
+            let code_size = Pipeline.code_size p in
+            let counts =
+              Spd_core.Heuristic.count_by_kind p.applications
+            in
+            disk_write t payload (Summary { code_size; counts });
+            (code_size, counts))
+
+  let code_size t ~bench ~latency kind = fst (summary t ~bench ~latency kind)
+
+  let spd_counts t ~bench ~latency =
+    snd (summary t ~bench ~latency Pipeline.Spec)
+
+  let speedup_over_naive t ~bench ~latency kind ~width =
+    Pipeline.speedup
+      ~base:(cycles t ~bench ~latency Pipeline.Naive ~width)
+      ~this:(cycles t ~bench ~latency kind ~width)
+
+  let spec_over_static t ~bench ~latency ~width =
+    Pipeline.speedup
+      ~base:(cycles t ~bench ~latency Pipeline.Static ~width)
+      ~this:(cycles t ~bench ~latency Pipeline.Spec ~width)
+
+  let code_growth t ~bench ~latency =
+    let base = code_size t ~bench ~latency Pipeline.Static in
+    let spec = code_size t ~bench ~latency Pipeline.Spec in
+    (float_of_int spec /. float_of_int base) -. 1.0
+
+  (* ---------------------------------------------------------------- *)
+
+  let parallel_map t f xs =
+    if t.jobs <= 1 then List.map f xs else Pool.map t.pool f xs
+
+  let parallel_iter t f xs = ignore (parallel_map t (fun x -> f x; ()) xs)
+end

@@ -1,0 +1,122 @@
+(** Domain-parallel experiment engine.
+
+    The paper's evaluation grid — benchmarks × pipelines × memory
+    latencies × machine widths — is embarrassingly parallel and every
+    cell is a pure function of the workload source and the pipeline
+    configuration.  A {!Session} owns all mutable state needed to
+    exploit that: a fixed-size pool of OCaml 5 domains, promise-style
+    per-cell memoization (each cell computed exactly once; concurrent
+    requesters block on its promise), an optional content-addressed
+    on-disk result cache under [_spd_cache/], and per-stage wall-clock
+    instrumentation.
+
+    Results are deterministic in the number of jobs: the schedule
+    changes only who computes a value, never the value. *)
+
+(** Bumped whenever the compiler, scheduler or simulator change in a
+    way that affects emitted numbers; invalidates the on-disk cache. *)
+val cache_version : string
+
+module Stats : sig
+  type t = {
+    jobs : int;  (** pool size of the session *)
+    lowerings : int;  (** source programs compiled to IR *)
+    preparations : int;  (** pipelines actually run (not cache hits) *)
+    simulations : int;  (** schedule+simulate runs actually performed *)
+    disk_hits : int;  (** results served from the on-disk cache *)
+    disk_misses : int;  (** on-disk lookups that fell through *)
+    stage_seconds : (Pipeline.stage * float) list;
+        (** cumulative wall clock per pipeline stage, across all domains *)
+  }
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Session : sig
+  type t
+
+  (** [create ()] makes a fresh session.
+
+      [jobs] bounds the concurrency (spawned domains plus the calling
+      one); it defaults to {!Domain.recommended_domain_count}.  Worker
+      domains are spawned lazily on the first parallel batch, so a
+      session used sequentially costs nothing.
+
+      [disk_cache] (default [false]) enables the content-addressed
+      result cache in [cache_dir] (default ["_spd_cache"], created on
+      demand; silently disabled if the directory cannot be used).
+
+      [config] is the pipeline configuration every cell is built with;
+      its [mem_latency] is overridden per cell and its [timer], if any,
+      is composed with the session's stage instrumentation. *)
+  val create :
+    ?jobs:int ->
+    ?disk_cache:bool ->
+    ?cache_dir:string ->
+    ?config:Pipeline.Config.t ->
+    unit -> t
+
+  (** Join the session's worker domains.  The session remains usable
+      sequentially afterwards. *)
+  val close : t -> unit
+
+  val jobs : t -> int
+  val stats : t -> Stats.t
+
+  (** {1 Memoized grid cells}
+
+    All accessors are safe to call from any domain; each underlying
+    computation happens exactly once per session. *)
+
+  (** Lowered IR of a built-in benchmark. *)
+  val lowered : t -> string -> Spd_ir.Prog.t
+
+  (** Prepared pipeline for a benchmark at a memory latency. *)
+  val prepared :
+    t -> bench:string -> latency:int -> Pipeline.kind -> Pipeline.prepared
+
+  (** Measured cycle count (disk-cacheable: a warm cache serves it
+      without preparing the pipeline at all). *)
+  val cycles :
+    t ->
+    bench:string ->
+    latency:int ->
+    Pipeline.kind ->
+    width:Spd_machine.Descr.width -> int
+
+  (** Static code size in operations (disk-cacheable). *)
+  val code_size :
+    t -> bench:string -> latency:int -> Pipeline.kind -> int
+
+  (** SpD application counts by dependence kind — a Table 6-3 row
+      (disk-cacheable). *)
+  val spd_counts : t -> bench:string -> latency:int -> int * int * int
+
+  (** Speedup of [kind] over NAIVE, the metric of Figure 6-2. *)
+  val speedup_over_naive :
+    t ->
+    bench:string ->
+    latency:int ->
+    Pipeline.kind ->
+    width:Spd_machine.Descr.width -> float
+
+  (** Speedup of SPEC over STATIC, the metric of Figure 6-3. *)
+  val spec_over_static :
+    t ->
+    bench:string -> latency:int -> width:Spd_machine.Descr.width -> float
+
+  (** Code growth of SPEC relative to STATIC (Figure 6-4). *)
+  val code_growth : t -> bench:string -> latency:int -> float
+
+  (** {1 Fan-out}
+
+    [parallel_map t f xs] applies [f] to every element of [xs] on the
+    session's pool, preserving order.  The calling domain participates
+    in draining the queue, so nested fan-out from inside [f] cannot
+    starve the pool.  The first exception raised by any [f x] is
+    re-raised after the whole batch has settled.  With [jobs = 1] this
+    is exactly [List.map]. *)
+
+  val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
+  val parallel_iter : t -> ('a -> unit) -> 'a list -> unit
+end

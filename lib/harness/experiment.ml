@@ -1,59 +1,56 @@
-(** Experiment driver: prepares and measures benchmark/pipeline/machine
-    combinations, memoizing the expensive stages (lowering, profiling,
-    SpD, scheduling, simulation) so the table and figure generators can
-    share work. *)
+(** Experiment driver: the sealed, session-backed façade the table and
+    figure generators share.
 
-module W = Spd_workloads
+    All mutable state (memo tables, the domain pool, the on-disk
+    cache) lives inside an {!Engine.Session}; this module merely
+    maintains the process-wide default session and re-exports its
+    accessors with the historical signatures. *)
 
-type key = { bench : string; latency : int; kind : Pipeline.kind }
+let mu = Mutex.create ()
+let current : Engine.Session.t option ref = ref None
 
-let lowered_cache : (string, Spd_ir.Prog.t) Hashtbl.t = Hashtbl.create 16
-let prep_cache : (key, Pipeline.prepared) Hashtbl.t = Hashtbl.create 64
+let default_session () =
+  Mutex.lock mu;
+  let s =
+    match !current with
+    | Some s -> s
+    | None ->
+        let s = Engine.Session.create () in
+        current := Some s;
+        s
+  in
+  Mutex.unlock mu;
+  s
 
-let cycles_cache : (key * Spd_machine.Descr.width, int) Hashtbl.t =
-  Hashtbl.create 256
+let set_default_session s =
+  Mutex.lock mu;
+  current := Some s;
+  Mutex.unlock mu
 
-let memo tbl key f =
-  match Hashtbl.find_opt tbl key with
-  | Some v -> v
-  | None ->
-      let v = f () in
-      Hashtbl.replace tbl key v;
-      v
-
-let lowered (bench : string) : Spd_ir.Prog.t =
-  memo lowered_cache bench (fun () ->
-      Spd_lang.Lower.compile (W.Registry.by_name bench).source)
+let lowered bench = Engine.Session.lowered (default_session ()) bench
 
 (** Prepared pipeline for a benchmark at a memory latency (memoized). *)
-let prepared ~bench ~latency kind : Pipeline.prepared =
-  memo prep_cache { bench; latency; kind } (fun () ->
-      Pipeline.prepare ~mem_latency:latency kind (lowered bench))
+let prepared ~bench ~latency kind =
+  Engine.Session.prepared (default_session ()) ~bench ~latency kind
 
 (** Measured cycle count (memoized). *)
-let cycles ~bench ~latency kind ~(width : Spd_machine.Descr.width) : int =
-  memo cycles_cache ({ bench; latency; kind }, width) (fun () ->
-      Pipeline.cycles (prepared ~bench ~latency kind) ~width)
+let cycles ~bench ~latency kind ~width =
+  Engine.Session.cycles (default_session ()) ~bench ~latency kind ~width
 
 (** Speedup of [kind] over NAIVE, the metric of Figure 6-2. *)
 let speedup_over_naive ~bench ~latency kind ~width =
-  Pipeline.speedup
-    ~base:(cycles ~bench ~latency Pipeline.Naive ~width)
-    ~this:(cycles ~bench ~latency kind ~width)
+  Engine.Session.speedup_over_naive (default_session ()) ~bench ~latency
+    kind ~width
 
 (** Speedup of SPEC over STATIC, the metric of Figure 6-3. *)
 let spec_over_static ~bench ~latency ~width =
-  Pipeline.speedup
-    ~base:(cycles ~bench ~latency Pipeline.Static ~width)
-    ~this:(cycles ~bench ~latency Pipeline.Spec ~width)
+  Engine.Session.spec_over_static (default_session ()) ~bench ~latency
+    ~width
 
 (** SpD application counts by dependence kind (Table 6-3 row). *)
 let spd_counts ~bench ~latency =
-  Spd_core.Heuristic.count_by_kind
-    (prepared ~bench ~latency Pipeline.Spec).applications
+  Engine.Session.spd_counts (default_session ()) ~bench ~latency
 
 (** Code growth of SPEC relative to STATIC, as a fraction (Figure 6-4). *)
 let code_growth ~bench ~latency =
-  let base = Pipeline.code_size (prepared ~bench ~latency Pipeline.Static) in
-  let spec = Pipeline.code_size (prepared ~bench ~latency Pipeline.Spec) in
-  (float_of_int spec /. float_of_int base) -. 1.0
+  Engine.Session.code_growth (default_session ()) ~bench ~latency

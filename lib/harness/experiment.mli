@@ -1,18 +1,22 @@
-(** Experiment driver: prepares and measures benchmark/pipeline/machine
-    combinations, memoizing the expensive stages (lowering, profiling,
-    SpD, scheduling, simulation) so the table and figure generators can
-    share work. *)
+(** Experiment driver: the sealed, session-backed façade the table and
+    figure generators share.
 
-module W = Spd_workloads
-type key = {
-  bench : string;
-  latency : int;
-  kind : Pipeline.kind;
-}
-val lowered_cache : (string, Spd_ir.Prog.t) Hashtbl.t
-val prep_cache : (key, Pipeline.prepared) Hashtbl.t
-val cycles_cache : (key * Spd_machine.Descr.width, int) Hashtbl.t
-val memo : ('a, 'b) Hashtbl.t -> 'a -> (unit -> 'b) -> 'b
+    All mutable state (memo tables, the domain pool, the on-disk
+    cache) lives inside an {!Engine.Session}; nothing here exposes it.
+    Callers that need explicit control — parallelism, the on-disk
+    cache, isolation between runs — create their own session and
+    either use it directly or install it with
+    {!set_default_session}. *)
+
+(** The process-wide default session (created on first use, with
+    sequential fallback behaviour and no on-disk cache). *)
+val default_session : unit -> Engine.Session.t
+
+(** Replace the default session, e.g. with one created with [~jobs] and
+    [~disk_cache:true] from a [--jobs] command-line flag. *)
+val set_default_session : Engine.Session.t -> unit
+
+(** Lowered IR of a built-in benchmark (memoized). *)
 val lowered : string -> Spd_ir.Prog.t
 
 (** Prepared pipeline for a benchmark at a memory latency (memoized). *)

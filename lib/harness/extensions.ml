@@ -7,12 +7,19 @@
     - {b tree grafting} (section 7): unrolling loop trees to expose more
       ambiguous pairs to SpD;
     - {b guidance-parameter ablation} (section 5.3): how [MaxExpansion]
-      and [MinGain] trade code growth against speedup. *)
+      and [MinGain] trade code growth against speedup.
+
+    Each generator computes its rows on the default session's domain
+    pool and then renders sequentially, so the output is independent of
+    the number of jobs. *)
 
 module W = Spd_workloads
 module H = Spd_core.Heuristic
 
 let hline ppf width = Fmt.pf ppf "%s@." (String.make width '-')
+
+let rows f xs =
+  Engine.Session.parallel_map (Experiment.default_session ()) f xs
 
 (* ------------------------------------------------------------------ *)
 
@@ -29,7 +36,7 @@ let ext_dynamic ppf () =
   hline ppf 78;
   let latency = 6 in
   let width = Spd_machine.Descr.Fus 5 in
-  List.iter
+  rows
     (fun (w : W.Workload.t) ->
       let bench = w.name in
       let static = Experiment.prepared ~bench ~latency Pipeline.Static in
@@ -38,13 +45,13 @@ let ext_dynamic ppf () =
         Spd_machine.Dynamic.cycles ~window ~width ~mem_latency:latency
           static.prog
       in
-      let spec =
-        Experiment.cycles ~bench ~latency Pipeline.Spec ~width
-      in
+      let spec = Experiment.cycles ~bench ~latency Pipeline.Spec ~width in
       let pct c = 100.0 *. Pipeline.speedup ~base ~this:c in
-      Fmt.pf ppf "%-10s %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8.1f%%@." bench
-        (pct (hw 2)) (pct (hw 4)) (pct (hw 8)) (pct (hw 32)) (pct spec))
-    W.Registry.all;
+      (bench, pct (hw 2), pct (hw 4), pct (hw 8), pct (hw 32), pct spec))
+    W.Registry.all
+  |> List.iter (fun (bench, w2, w4, w8, w32, spec) ->
+         Fmt.pf ppf "%-10s %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8.1f%%@." bench
+           w2 w4 w8 w32 spec);
   hline ppf 78
 
 (* ------------------------------------------------------------------ *)
@@ -61,17 +68,13 @@ let ext_grafting ppf () =
   hline ppf 76;
   let latency = 6 in
   let width = Spd_machine.Descr.Fus 5 in
-  List.iter
+  rows
     (fun (w : W.Workload.t) ->
       let lowered = Experiment.lowered w.name in
       let measure ~graft =
-        let static =
-          Pipeline.prepare ~graft ~mem_latency:latency Pipeline.Static
-            lowered
-        in
-        let spec =
-          Pipeline.prepare ~graft ~mem_latency:latency Pipeline.Spec lowered
-        in
+        let config = Pipeline.Config.v ~graft ~mem_latency:latency () in
+        let static = Pipeline.prepare ~config Pipeline.Static lowered in
+        let spec = Pipeline.prepare ~config Pipeline.Spec lowered in
         ( List.length spec.applications,
           Pipeline.speedup
             ~base:(Pipeline.cycles static ~width)
@@ -79,9 +82,11 @@ let ext_grafting ppf () =
       in
       let apps0, s0 = measure ~graft:false in
       let apps1, s1 = measure ~graft:true in
-      Fmt.pf ppf "%-10s | %6d %8.1f%% | %6d %8.1f%%@." w.name apps0
-        (100.0 *. s0) apps1 (100.0 *. s1))
-    W.Registry.all;
+      (w.name, apps0, s0, apps1, s1))
+    W.Registry.all
+  |> List.iter (fun (name, apps0, s0, apps1, s1) ->
+         Fmt.pf ppf "%-10s | %6d %8.1f%% | %6d %8.1f%%@." name apps0
+           (100.0 *. s0) apps1 (100.0 *. s1));
   hline ppf 76
 
 (* ------------------------------------------------------------------ *)
@@ -102,10 +107,15 @@ let ext_params ppf () =
            (fun (w : W.Workload.t) ->
              let lowered = Experiment.lowered w.name in
              let static =
-               Pipeline.prepare ~mem_latency:latency Pipeline.Static lowered
+               Pipeline.prepare
+                 ~config:(Pipeline.Config.v ~mem_latency:latency ())
+                 Pipeline.Static lowered
              in
              let spec =
-               Pipeline.prepare ~spd_params:params ~mem_latency:latency
+               Pipeline.prepare
+                 ~config:
+                   (Pipeline.Config.v ~spd_params:params
+                      ~mem_latency:latency ())
                  Pipeline.Spec lowered
              in
              ( 1.0
@@ -121,25 +131,33 @@ let ext_params ppf () =
     in
     (100.0 *. (geomean speedups -. 1.0), 100.0 *. (geomean growths -. 1.0))
   in
+  let sweep to_params values =
+    rows (fun v -> (v, measure (to_params v))) values
+  in
+  let expansions =
+    sweep
+      (fun me -> { H.default_params with max_expansion = me })
+      [ 1.0; 1.25; 1.5; 2.0; 4.0; 8.0 ]
+  and gains =
+    sweep
+      (fun mg -> { H.default_params with min_gain = mg })
+      [ 0.25; 0.5; 0.75; 1.5; 3.0; 6.0 ]
+  in
   Fmt.pf ppf "@.MaxExpansion sweep (MinGain = %.2f):@." H.default_params.min_gain;
   hline ppf 52;
   Fmt.pf ppf "%-14s %12s %12s@." "MaxExpansion" "speedup" "code growth";
   hline ppf 52;
   List.iter
-    (fun me ->
-      let s, g = measure { H.default_params with max_expansion = me } in
-      Fmt.pf ppf "%-14.2f %11.1f%% %11.1f%%@." me s g)
-    [ 1.0; 1.25; 1.5; 2.0; 4.0; 8.0 ];
+    (fun (me, (s, g)) -> Fmt.pf ppf "%-14.2f %11.1f%% %11.1f%%@." me s g)
+    expansions;
   hline ppf 52;
   Fmt.pf ppf "@.MinGain sweep (MaxExpansion = %.2f):@." H.default_params.max_expansion;
   hline ppf 52;
   Fmt.pf ppf "%-14s %12s %12s@." "MinGain" "speedup" "code growth";
   hline ppf 52;
   List.iter
-    (fun mg ->
-      let s, g = measure { H.default_params with min_gain = mg } in
-      Fmt.pf ppf "%-14.2f %11.1f%% %11.1f%%@." mg s g)
-    [ 0.25; 0.5; 0.75; 1.5; 3.0; 6.0 ];
+    (fun (mg, (s, g)) -> Fmt.pf ppf "%-14.2f %11.1f%% %11.1f%%@." mg s g)
+    gains;
   hline ppf 52
 
 let all ppf () =

@@ -27,8 +27,74 @@ let name = function
 
 let pp ppf k = Fmt.string ppf (name k)
 
+(* ------------------------------------------------------------------ *)
+(* Pipeline stages, for wall-clock instrumentation. *)
+
+type stage = Lower | Profile | Spd | Schedule | Simulate
+
+let stages = [ Lower; Profile; Spd; Schedule; Simulate ]
+
+let stage_name = function
+  | Lower -> "lower"
+  | Profile -> "profile"
+  | Spd -> "spd"
+  | Schedule -> "schedule"
+  | Simulate -> "simulate"
+
+let stage_index = function
+  | Lower -> 0
+  | Profile -> 1
+  | Spd -> 2
+  | Schedule -> 3
+  | Simulate -> 4
+
+(* ------------------------------------------------------------------ *)
+
+module Config = struct
+  type t = {
+    check : bool;  (** verify observable equivalence with NAIVE *)
+    spd_params : Heuristic.params option;
+        (** guidance-heuristic knobs (default: {!Heuristic.default_params}) *)
+    graft : bool;  (** unroll loop trees before disambiguation (section 7) *)
+    mem_latency : int;  (** memory latency in cycles (paper: 2 and 6) *)
+    timer : (stage -> float -> unit) option;
+        (** called with the elapsed seconds of every instrumented stage *)
+  }
+
+  let default =
+    { check = true; spd_params = None; graft = false; mem_latency = 2;
+      timer = None }
+
+  let v ?(check = true) ?spd_params ?(graft = false) ?timer
+      ?(mem_latency = 2) () =
+    { check; spd_params; graft; mem_latency; timer }
+
+  (* The canonical encoding of the semantic fields (everything except
+     [timer]), used by the engine's content-addressed result cache. *)
+  let fingerprint t =
+    let params =
+      match t.spd_params with
+      | None -> "default"
+      | Some (p : Heuristic.params) ->
+          Printf.sprintf "me=%h,mg=%h,ma=%d" p.max_expansion p.min_gain
+            p.max_applications
+    in
+    Printf.sprintf "check=%b;graft=%b;lat=%d;params=%s" t.check t.graft
+      t.mem_latency params
+end
+
+let time (config : Config.t) stage f =
+  match config.timer with
+  | None -> f ()
+  | Some cb ->
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      cb stage (Unix.gettimeofday () -. t0);
+      r
+
 type prepared = {
   kind : kind;
+  config : Config.t;
   mem_latency : int;
   prog : Prog.t;
   applications : Heuristic.application list;
@@ -43,11 +109,13 @@ let profile_of (prog : Prog.t) : Spd_sim.Profile.t =
 
 exception Behaviour_mismatch of string
 
-(** Build pipeline [kind] at [mem_latency] from a lowered program (no arcs
-    yet).  [check] (default true) verifies observable equivalence with the
-    unoptimized program — the paper validated SpD output the same way. *)
-let prepare ?(check = true) ?spd_params ?(graft = false) ~mem_latency
-    (kind : kind) (lowered : Prog.t) : prepared =
+(** Build pipeline [kind] from a lowered program (no arcs yet) under
+    [config] (default {!Config.default}).  [config.check] verifies
+    observable equivalence with the unoptimized program — the paper
+    validated SpD output the same way. *)
+let prepare ?(config = Config.default) (kind : kind) (lowered : Prog.t) :
+    prepared =
+  let { Config.check; spd_params; graft; mem_latency; timer = _ } = config in
   (* scalar cleanup every pipeline gets: store-to-load forwarding and
      redundant-load elimination, as in the paper's optimizing compiler *)
   let cleaned = Spd_analysis.Forwarding.run lowered in
@@ -58,14 +126,15 @@ let prepare ?(check = true) ?spd_params ?(graft = false) ~mem_latency
   let prog, applications =
     match kind with
     | Naive -> (naive, [])
-    | Static -> (Static.run naive, [])
+    | Static -> (time config Spd (fun () -> Static.run naive), [])
     | Spec ->
-        let static = Static.run naive in
-        let profile = profile_of static in
-        Heuristic.run ~profile ?params:spd_params ~mem_latency static
+        let static = time config Spd (fun () -> Static.run naive) in
+        let profile = time config Profile (fun () -> profile_of static) in
+        time config Spd (fun () ->
+            Heuristic.run ~profile ?params:spd_params ~mem_latency static)
     | Perfect ->
-        let profile = profile_of naive in
-        (Static.perfect ~profile naive, [])
+        let profile = time config Profile (fun () -> profile_of naive) in
+        (time config Spd (fun () -> Static.perfect ~profile naive), [])
   in
   Prog.validate prog;
   if check then begin
@@ -76,14 +145,19 @@ let prepare ?(check = true) ?spd_params ?(graft = false) ~mem_latency
         (Behaviour_mismatch
            (Fmt.str "pipeline %s changed program behaviour" (name kind)))
   end;
-  { kind; mem_latency; prog; applications }
+  { kind; config; mem_latency; prog; applications }
 
 (** Cycle count of a prepared program on [width] functional units. *)
 let cycles (p : prepared) ~(width : Spd_machine.Descr.width) : int =
   let descr =
     { Spd_machine.Descr.width; mem_latency = p.mem_latency }
   in
-  Spd_machine.Timing_builder.cycles descr p.prog
+  let timing =
+    time p.config Schedule (fun () ->
+        Spd_machine.Timing_builder.program descr p.prog)
+  in
+  (time p.config Simulate (fun () -> Spd_sim.Interp.run ~timing p.prog))
+    .cycles
 
 (** Static code size in operations (Figure 6-4's metric). *)
 let code_size (p : prepared) : int = Prog.code_size p.prog

@@ -17,8 +17,59 @@ type kind = Naive | Static | Spec | Perfect
 val all : kind list
 val name : kind -> string
 val pp : Format.formatter -> kind -> unit
+
+(** {1 Stages}
+
+    The instrumented stages of a pipeline run, in execution order:
+    lowering (performed by the engine before {!prepare}), profiling,
+    the disambiguation transforms (static tests + SpD), scheduling and
+    timed simulation. *)
+
+type stage = Lower | Profile | Spd | Schedule | Simulate
+val stages : stage list
+val stage_name : stage -> string
+val stage_index : stage -> int
+
+(** {1 Configuration}
+
+    All knobs of [prepare], collapsed into one record so call sites name
+    only what they change and the engine can fingerprint a configuration
+    for its content-addressed result cache. *)
+
+module Config : sig
+  type t = {
+    check : bool;  (** verify observable equivalence with NAIVE *)
+    spd_params : Heuristic.params option;
+        (** guidance-heuristic knobs (default: {!Heuristic.default_params}) *)
+    graft : bool;  (** unroll loop trees before disambiguation (section 7) *)
+    mem_latency : int;  (** memory latency in cycles (paper: 2 and 6) *)
+    timer : (stage -> float -> unit) option;
+        (** called with the elapsed seconds of every instrumented stage *)
+  }
+
+  (** [check = true], no parameter overrides, no grafting, 2-cycle
+      memory, no timer. *)
+  val default : t
+
+  (** Build a configuration naming only the fields that differ from
+      {!default}. *)
+  val v :
+    ?check:bool ->
+    ?spd_params:Heuristic.params ->
+    ?graft:bool ->
+    ?timer:(stage -> float -> unit) ->
+    ?mem_latency:int ->
+    unit -> t
+
+  (** Canonical encoding of the semantic fields (everything except
+      [timer]); two configurations with equal fingerprints prepare
+      identical programs.  Used by {!Engine}'s on-disk cache keys. *)
+  val fingerprint : t -> string
+end
+
 type prepared = {
   kind : kind;
+  config : Config.t;
   mem_latency : int;
   prog : Spd_ir.Prog.t;
   applications : Heuristic.application list;
@@ -28,13 +79,11 @@ type prepared = {
 val profile_of : Spd_ir.Prog.t -> Spd_sim.Profile.t
 exception Behaviour_mismatch of string
 
-(** Build pipeline [kind] at [mem_latency] from a lowered program (no arcs
-    yet).  [check] (default true) verifies observable equivalence with the
-    unoptimized program — the paper validated SpD output the same way. *)
-val prepare :
-  ?check:bool ->
-  ?spd_params:Heuristic.params ->
-  ?graft:bool -> mem_latency:int -> kind -> Spd_ir.Prog.t -> prepared
+(** Build pipeline [kind] from a lowered program (no arcs yet) under
+    [config] (default {!Config.default}).  [config.check] verifies
+    observable equivalence with the unoptimized program — the paper
+    validated SpD output the same way. *)
+val prepare : ?config:Config.t -> kind -> Spd_ir.Prog.t -> prepared
 
 (** Cycle count of a prepared program on [width] functional units. *)
 val cycles : prepared -> width:Spd_machine.Descr.width -> int

@@ -17,6 +17,15 @@ let nrc_benches () =
 
 let hline ppf width = Fmt.pf ppf "%s@." (String.make width '-')
 
+(* Fan the given grid cells out over the default session's domain pool
+   before rendering; the render loops below then only read memoized
+   results, so their output is independent of the number of jobs. *)
+let warm (f : Engine.Session.t -> 'a -> unit) (cells : 'a list) =
+  let s = Experiment.default_session () in
+  Engine.Session.parallel_iter s (f s) cells
+
+let product xs ys = List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
+
 (* ------------------------------------------------------------------ *)
 
 (** Table 6-1: operation latencies (the machine configuration). *)
@@ -50,6 +59,10 @@ let table6_2 ppf () =
 
 (** Table 6-3: frequency of SpD application by dependence type. *)
 let table6_3 ppf () =
+  warm
+    (fun s (bench, latency) ->
+      ignore (Engine.Session.spd_counts s ~bench ~latency))
+    (product (benches ()) latencies);
   Fmt.pf ppf
     "@.Table 6-3: Frequency of SpD application by dependence type@.";
   hline ppf 64;
@@ -98,6 +111,12 @@ let bar ppf frac =
 
 (** Figure 6-2: speedup over NAIVE on a 5-FU machine. *)
 let fig6_2 ppf () =
+  warm
+    (fun s ((bench, latency), kind) ->
+      ignore
+        (Engine.Session.cycles s ~bench ~latency kind
+           ~width:(Spd_machine.Descr.Fus 5)))
+    (product (product (benches ()) latencies) Pipeline.all);
   Fmt.pf ppf "@.Figure 6-2: Speedup over the NAIVE disambiguator (5 FU machine)@.";
   List.iter
     (fun latency ->
@@ -122,6 +141,14 @@ let fig6_2 ppf () =
 
 (** Figure 6-3: speedup of SPEC over STATIC vs machine width (NRC). *)
 let fig6_3 ppf () =
+  warm
+    (fun s (((bench, latency), width), kind) ->
+      ignore
+        (Engine.Session.cycles s ~bench ~latency kind
+           ~width:(Spd_machine.Descr.Fus width)))
+    (product
+       (product (product (nrc_benches ()) latencies) widths)
+       [ Pipeline.Static; Pipeline.Spec ]);
   Fmt.pf ppf "@.Figure 6-3: Speedup of SPEC over STATIC (NRC benchmarks)@.";
   List.iter
     (fun latency ->
@@ -149,6 +176,10 @@ let fig6_3 ppf () =
 
 (** Figure 6-4: code size increase due to SpD (2-cycle memory). *)
 let fig6_4 ppf () =
+  warm
+    (fun s (bench, kind) ->
+      ignore (Engine.Session.code_size s ~bench ~latency:2 kind))
+    (product (benches ()) [ Pipeline.Static; Pipeline.Spec ]);
   Fmt.pf ppf "@.Figure 6-4: Code size increase due to SpD (2 cycle memory latency)@.";
   hline ppf 48;
   Fmt.pf ppf "%-10s %12s@." "Program" "Increase";
@@ -159,6 +190,23 @@ let fig6_4 ppf () =
       Fmt.pf ppf "%-10s %11.1f%%  %a@." bench (100.0 *. g) bar (g *. 4.0))
     (benches ());
   hline ppf 48
+
+(** Engine report: per-stage wall clock and cache statistics of the
+    default session's work so far.  Not part of [all]: its numbers are
+    wall-clock, hence run-dependent, while every other artefact is
+    deterministic. *)
+let timings ppf () =
+  let st = Engine.Session.stats (Experiment.default_session ()) in
+  Fmt.pf ppf "@.Engine: per-stage wall clock (cumulative, all domains)@.";
+  hline ppf 44;
+  Fmt.pf ppf "%-20s %18s@." "Stage" "Seconds";
+  hline ppf 44;
+  List.iter
+    (fun (stage, secs) ->
+      Fmt.pf ppf "%-20s %18.3f@." (Pipeline.stage_name stage) secs)
+    st.stage_seconds;
+  hline ppf 44;
+  Fmt.pf ppf "%a@." Engine.Stats.pp st
 
 let all ppf () =
   table6_1 ppf ();

@@ -33,4 +33,11 @@ val fig6_3 : Format.formatter -> unit -> unit
 
 (** Figure 6-4: code size increase due to SpD (2-cycle memory). *)
 val fig6_4 : Format.formatter -> unit -> unit
+
+(** Engine report: per-stage wall clock and cache statistics of the
+    default session's work so far.  Not part of [all]: its numbers are
+    wall-clock, hence run-dependent, while every other artefact is
+    deterministic. *)
+val timings : Format.formatter -> unit -> unit
+
 val all : Format.formatter -> unit -> unit

@@ -333,7 +333,7 @@ let test_unroll_preserves_workloads () =
     (fun (w : Spd_workloads.Workload.t) ->
       let lowered = compile w.source in
       ignore
-        (Spd_harness.Pipeline.prepare ~graft:true ~mem_latency:2
+        (Spd_harness.Pipeline.prepare ~config:(Spd_harness.Pipeline.Config.v ~graft:true ~mem_latency:2 ())
            Spd_harness.Pipeline.Spec lowered))
     Spd_workloads.Registry.all
 

@@ -164,11 +164,11 @@ let test_perfect_optimistic () =
   let w = Spd_workloads.Registry.by_name "fft" in
   let lowered = compile w.source in
   let naive =
-    Spd_harness.Pipeline.prepare ~mem_latency:2 Spd_harness.Pipeline.Naive
+    Spd_harness.Pipeline.prepare ~config:(Spd_harness.Pipeline.Config.v ~mem_latency:2 ()) Spd_harness.Pipeline.Naive
       lowered
   in
   let perfect =
-    Spd_harness.Pipeline.prepare ~mem_latency:2 Spd_harness.Pipeline.Perfect
+    Spd_harness.Pipeline.prepare ~config:(Spd_harness.Pipeline.Config.v ~mem_latency:2 ()) Spd_harness.Pipeline.Perfect
       lowered
   in
   let count sel p =

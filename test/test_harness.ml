@@ -23,7 +23,7 @@ let test_pipeline_ordering_infinite () =
         (fun mem_latency ->
           let c kind =
             Pipeline.cycles
-              (Pipeline.prepare ~mem_latency kind lowered)
+              (Pipeline.prepare ~config:(Pipeline.Config.v ~mem_latency ()) kind lowered)
               ~width:Spd_machine.Descr.Infinite
           in
           let cn = c Pipeline.Naive in
@@ -49,7 +49,7 @@ let test_spec_no_slower_infinite () =
       let lowered = compile w.source in
       let c kind =
         Pipeline.cycles
-          (Pipeline.prepare ~mem_latency:6 kind lowered)
+          (Pipeline.prepare ~config:(Pipeline.Config.v ~mem_latency:6 ()) kind lowered)
           ~width:Spd_machine.Descr.Infinite
       in
       let cst = c Pipeline.Static and csp = c Pipeline.Spec in
@@ -68,9 +68,9 @@ let prop_pipelines_preserve_behaviour =
     ~count:40 Gen_prog.arbitrary_source (fun src ->
       let lowered = compile src in
       List.iter
-        (fun kind -> ignore (Pipeline.prepare ~mem_latency:2 kind lowered))
+        (fun kind -> ignore (Pipeline.prepare ~config:(Pipeline.Config.v ~mem_latency:2 ()) kind lowered))
         Pipeline.all;
-      ignore (Pipeline.prepare ~mem_latency:6 Pipeline.Spec lowered);
+      ignore (Pipeline.prepare ~config:(Pipeline.Config.v ~mem_latency:6 ()) Pipeline.Spec lowered);
       true)
 
 (* And SpD actually fires on the generated helper (store-then-load on
@@ -78,7 +78,7 @@ let prop_pipelines_preserve_behaviour =
 let prop_spd_finds_the_helper =
   QCheck.Test.make ~name:"SpD fires on the generated helper" ~count:10
     Gen_prog.arbitrary_source (fun src ->
-      let spec = Pipeline.prepare ~mem_latency:6 Pipeline.Spec (compile src) in
+      let spec = Pipeline.prepare ~config:(Pipeline.Config.v ~mem_latency:6 ()) Pipeline.Spec (compile src) in
       List.exists
         (fun (a : Spd_core.Heuristic.application) -> a.func = "helper")
         spec.applications)
@@ -132,6 +132,76 @@ let test_reports_render () =
   let t61 = render H.Report.table6_1 in
   check_bool "branch latency shown" true (contains t61 "Branches")
 
+(* ------------------------------------------------------------------ *)
+(* Engine determinism: a session with jobs=4 must emit bit-identical
+   Table 6-3 / Fig 6-2 / Fig 6-3 numbers to jobs=1, and a warm on-disk
+   cache must reproduce them with zero pipeline recomputations. *)
+
+module Engine = H.Engine
+
+(* the three deterministic grid artefacts, rendered through the default
+   session *)
+let grid_render () =
+  render H.Report.table6_3 ^ render H.Report.fig6_2 ^ render H.Report.fig6_3
+
+let with_session s f =
+  H.Experiment.set_default_session s;
+  Fun.protect ~finally:(fun () -> Engine.Session.close s) f
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let test_engine_determinism () =
+  let seq = with_session (Engine.Session.create ~jobs:1 ()) grid_render in
+  let par = with_session (Engine.Session.create ~jobs:4 ()) grid_render in
+  check_bool "jobs=4 output bit-identical to jobs=1" true (String.equal seq par)
+
+let test_engine_disk_cache () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "spd_cache_test_%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let s1 = Engine.Session.create ~jobs:2 ~disk_cache:true ~cache_dir:dir () in
+  let cold = with_session s1 grid_render in
+  let st1 = Engine.Session.stats s1 in
+  check_bool "cold run prepares pipelines" true
+    (st1.Engine.Stats.preparations > 0);
+  let s2 = Engine.Session.create ~jobs:2 ~disk_cache:true ~cache_dir:dir () in
+  let warm = with_session s2 grid_render in
+  let st2 = Engine.Session.stats s2 in
+  check_int "warm run: zero pipeline recomputations" 0
+    st2.Engine.Stats.preparations;
+  check_int "warm run: zero simulations" 0 st2.Engine.Stats.simulations;
+  check_bool "warm run served from disk" true (st2.Engine.Stats.disk_hits > 0);
+  check_bool "warm output bit-identical to cold" true
+    (String.equal cold warm);
+  (* hygiene: later tests get a fresh default session *)
+  H.Experiment.set_default_session (Engine.Session.create ~jobs:1 ())
+
+let test_parallel_map_order () =
+  let s = Engine.Session.create ~jobs:4 () in
+  Fun.protect ~finally:(fun () -> Engine.Session.close s) @@ fun () ->
+  let xs = List.init 100 Fun.id in
+  let ys = Engine.Session.parallel_map s (fun x -> x * x) xs in
+  check_bool "parallel_map preserves order" true
+    (ys = List.map (fun x -> x * x) xs);
+  (* exceptions surface after the batch settles *)
+  check_bool "parallel_map re-raises" true
+    (match
+       Engine.Session.parallel_map s
+         (fun x -> if x = 17 then failwith "boom" else x)
+         xs
+     with
+    | _ -> false
+    | exception Failure _ -> true)
+
 let tests =
   [
     case "PERFECT <= STATIC <= NAIVE (infinite machine)"
@@ -142,4 +212,7 @@ let tests =
     case "experiment memoization" test_experiment_memoizes;
     case "speedup metric" test_speedup_metric;
     case "reports render" test_reports_render;
+    case "parallel_map: order and exceptions" test_parallel_map_order;
+    case "engine determinism across jobs" test_engine_determinism;
+    case "engine on-disk cache" test_engine_disk_cache;
   ]

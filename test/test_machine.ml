@@ -54,7 +54,7 @@ let test_schedule_valid_on_workloads () =
     (fun bench ->
       let w = Spd_workloads.Registry.by_name bench in
       let spec =
-        Spd_harness.Pipeline.prepare ~mem_latency:2
+        Spd_harness.Pipeline.prepare ~config:(Spd_harness.Pipeline.Config.v ~mem_latency:2 ())
           Spd_harness.Pipeline.Spec (compile w.source)
       in
       List.iter
@@ -114,7 +114,7 @@ let prop_schedule_valid_random =
   QCheck.Test.make ~name:"scheduler valid on random programs" ~count:15
     Gen_prog.arbitrary_source (fun src ->
       let spec =
-        Spd_harness.Pipeline.prepare ~mem_latency:2
+        Spd_harness.Pipeline.prepare ~config:(Spd_harness.Pipeline.Config.v ~mem_latency:2 ())
           Spd_harness.Pipeline.Spec (compile src)
       in
       List.for_all
@@ -133,7 +133,7 @@ let test_cycles_decrease_with_width () =
   let w = Spd_workloads.Registry.by_name "adi" in
   let prog = compile w.source in
   let naive =
-    Spd_harness.Pipeline.prepare ~mem_latency:2 Spd_harness.Pipeline.Naive
+    Spd_harness.Pipeline.prepare ~config:(Spd_harness.Pipeline.Config.v ~mem_latency:2 ()) Spd_harness.Pipeline.Naive
       prog
   in
   let c width = Spd_harness.Pipeline.cycles naive ~width in
@@ -162,7 +162,7 @@ let test_dynamic_bounds () =
      nothing: cycles equal the static machine's *)
   let w = Spd_workloads.Registry.by_name "moment" in
   let static =
-    Spd_harness.Pipeline.prepare ~mem_latency:6 Spd_harness.Pipeline.Static
+    Spd_harness.Pipeline.prepare ~config:(Spd_harness.Pipeline.Config.v ~mem_latency:6 ()) Spd_harness.Pipeline.Static
       (compile w.source)
   in
   let width = Spd_machine.Descr.Fus 5 in
@@ -180,10 +180,10 @@ let test_dynamic_beats_perfect_per_traversal () =
   let w = Spd_workloads.Registry.by_name "tree" in
   let lowered = compile w.source in
   let static =
-    Spd_harness.Pipeline.prepare ~mem_latency:6 Spd_harness.Pipeline.Static lowered
+    Spd_harness.Pipeline.prepare ~config:(Spd_harness.Pipeline.Config.v ~mem_latency:6 ()) Spd_harness.Pipeline.Static lowered
   in
   let perfect =
-    Spd_harness.Pipeline.prepare ~mem_latency:6 Spd_harness.Pipeline.Perfect lowered
+    Spd_harness.Pipeline.prepare ~config:(Spd_harness.Pipeline.Config.v ~mem_latency:6 ()) Spd_harness.Pipeline.Perfect lowered
   in
   let width = Spd_machine.Descr.Fus 5 in
   let hw = M.Dynamic.cycles ~window:32 ~width ~mem_latency:6 static.prog in

@@ -124,7 +124,7 @@ let test_pipelines_agree_and_speed () =
   let lowered = lowered () in
   List.iter
     (fun mem_latency ->
-      let prep k = Harness.Pipeline.prepare ~mem_latency k lowered in
+      let prep k = Harness.Pipeline.prepare ~config:(Harness.Pipeline.Config.v ~mem_latency ()) k lowered in
       let naive = prep Harness.Pipeline.Naive in
       let static = prep Harness.Pipeline.Static in
       let spec = prep Harness.Pipeline.Spec in
@@ -146,7 +146,7 @@ let test_pipelines_agree_and_speed () =
    here we additionally pin the expected output. *)
 let test_alias_path_output () =
   let lowered = lowered () in
-  let spec = Harness.Pipeline.prepare ~mem_latency:2 Harness.Pipeline.Spec lowered in
+  let spec = Harness.Pipeline.prepare ~config:(Harness.Pipeline.Config.v ~mem_latency:2 ()) Harness.Pipeline.Spec lowered in
   let r = Spd_sim.Interp.run spec.prog in
   match r.output with
   | [ Ir.Value.Float a; Ir.Value.Float b ] ->
@@ -215,7 +215,7 @@ let test_waw () =
           (* behaviour is still validated end-to-end *)
           List.iter
             (fun k ->
-              ignore (Harness.Pipeline.prepare ~mem_latency:2 k lowered))
+              ignore (Harness.Pipeline.prepare ~config:(Harness.Pipeline.Config.v ~mem_latency:2 ()) k lowered))
             Harness.Pipeline.all)
 
 (* WAR: store that could clobber a previously loaded location. *)
@@ -273,7 +273,7 @@ let test_war () =
           check_bool "L3 -> S1 must arc present" true has_must_war;
           List.iter
             (fun k ->
-              ignore (Harness.Pipeline.prepare ~mem_latency:2 k lowered))
+              ignore (Harness.Pipeline.prepare ~config:(Harness.Pipeline.Config.v ~mem_latency:2 ()) k lowered))
             Harness.Pipeline.all)
 
 (* The heuristic respects MaxExpansion. *)
@@ -387,7 +387,8 @@ let test_heuristic_exhaustive_still_sound () =
   List.iter
     (fun mem_latency ->
       ignore
-        (Harness.Pipeline.prepare ~spd_params:params ~mem_latency
+        (Harness.Pipeline.prepare
+           ~config:(Harness.Pipeline.Config.v ~spd_params:params ~mem_latency ())
            Harness.Pipeline.Spec lowered))
     [ 2; 6 ]
 

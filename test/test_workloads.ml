@@ -551,11 +551,11 @@ let check_against_reference (w : W.Workload.t) () =
 let check_pipelines (w : W.Workload.t) () =
   let lowered = compile w.source in
   let spec =
-    Spd_harness.Pipeline.prepare ~mem_latency:2 Spd_harness.Pipeline.Spec
+    Spd_harness.Pipeline.prepare ~config:(Spd_harness.Pipeline.Config.v ~mem_latency:2 ()) Spd_harness.Pipeline.Spec
       lowered
   in
   List.iter
-    (fun k -> ignore (Harness.Pipeline.prepare ~mem_latency:2 k lowered))
+    (fun k -> ignore (Harness.Pipeline.prepare ~config:(Harness.Pipeline.Config.v ~mem_latency:2 ()) k lowered))
     [ Harness.Pipeline.Naive; Harness.Pipeline.Static; Harness.Pipeline.Perfect ];
   if w.suite = W.Workload.Nrc then
     check_bool
