@@ -1,10 +1,11 @@
 # Convenience targets; `make check` is the CI entry point: full build,
-# the test suite, and a table6_3 smoke run twice — the second pass must
-# be served entirely from the warm _spd_cache/.
+# the test suite, a 200-seed differential fuzz smoke, and a table6_3
+# smoke run twice — the second pass must be served entirely from the
+# warm _spd_cache/.
 
 DUNE ?= dune
 
-.PHONY: all check test bench clean
+.PHONY: all check test bench fuzz-smoke clean
 
 all:
 	$(DUNE) build
@@ -12,8 +13,14 @@ all:
 test:
 	$(DUNE) runtest
 
+# Differential fuzz oracle: 200 seeded random programs through the
+# plain interpreter vs the SpD-transformed + scheduled pipeline.
+fuzz-smoke:
+	$(DUNE) exec test/fuzz_diff.exe -- --count 200 --seed 42
+
 check: all
 	$(DUNE) runtest
+	$(MAKE) fuzz-smoke
 	$(DUNE) exec bench/main.exe -- table6_3 --jobs 2
 	$(DUNE) exec bench/main.exe -- table6_3 --jobs 2 --timings
 

@@ -15,15 +15,25 @@
     Bechamel micro-benchmarks of the compiler passes themselves.
 
     Flags (anywhere on the command line):
-    - [--jobs N]   size of the engine's domain pool (default:
+    - [--jobs N]     size of the engine's domain pool (default:
       [Domain.recommended_domain_count ()]); [--jobs 1] is sequential
       and emits bit-identical numbers
-    - [--no-cache] disable the content-addressed on-disk result cache
+    - [--no-cache]   disable the content-addressed on-disk result cache
       ([_spd_cache/])
-    - [--timings]  append the engine's per-stage wall-clock report *)
+    - [--timings]    append the engine's per-stage wall-clock report
+    - [--retries N]  attempts per grid cell before recording a failure
+    - [--fuel N]     simulator traversal budget per run
+    - [--deadline S] per-cell wall-clock budget in seconds
+    - [--widths A,B] machine widths for Figure 6-3 (default 1..8)
+    - [--inject-fault SPEC] deterministic fault injection, e.g.
+      [cache-corrupt:1], [cell-raise:adi/2/SPEC], [fuel:1000]
+
+    A run with failed cells renders them as [n/a], appends a failure
+    appendix and exits nonzero. *)
 
 module Report = Spd_harness.Report
 module Engine = Spd_harness.Engine
+module Faults = Spd_harness.Faults
 
 let ppf = Fmt.stdout
 
@@ -118,29 +128,75 @@ let artefacts =
 let usage () =
   Fmt.epr
     "usage: main.exe [all|micro|timings%a] [--jobs N] [--no-cache] \
-     [--timings]@."
+     [--timings] [--retries N] [--fuel N] [--deadline S] [--widths A,B,..] \
+     [--inject-fault SPEC]@."
     (Fmt.list ~sep:Fmt.nop (fun ppf (n, _) -> Fmt.pf ppf "|%s" n))
     artefacts;
   exit 1
+
+(* one-line diagnosis for a malformed flag value; no exception trace *)
+let hint fmt = Fmt.kstr (fun s -> Fmt.epr "main.exe: %s@." s; exit 1) fmt
+
+let int_flag flag n =
+  match int_of_string_opt n with
+  | Some v when v > 0 -> v
+  | _ -> hint "%s expects a positive integer, got %S" flag n
+
+let float_flag flag n =
+  match float_of_string_opt n with
+  | Some v when v > 0.0 -> v
+  | _ -> hint "%s expects a positive number of seconds, got %S" flag n
+
+let widths_flag s =
+  let parts = String.split_on_char ',' s in
+  match
+    List.map
+      (fun p ->
+        match int_of_string_opt (String.trim p) with
+        | Some v when v >= 1 -> v
+        | _ -> raise Exit)
+      parts
+  with
+  | ws -> ws
+  | exception Exit ->
+      hint "--widths expects a comma-separated list of widths >= 1 \
+            (e.g. 1,2,4,8), got %S" s
 
 let () =
   let jobs = ref None in
   let disk_cache = ref true in
   let timings = ref false in
+  let retries = ref None in
+  let fuel = ref None in
+  let deadline = ref None in
+  let faults = ref Faults.none in
   let rest = ref [] in
   let rec parse = function
     | [] -> ()
-    | "--jobs" :: n :: tl -> (
-        match int_of_string_opt n with
-        | Some _ as j -> jobs := j; parse tl
-        | None -> usage ())
+    | "--jobs" :: n :: tl -> jobs := Some (int_flag "--jobs" n); parse tl
     | "--no-cache" :: tl -> disk_cache := false; parse tl
     | "--timings" :: tl -> timings := true; parse tl
+    | "--retries" :: n :: tl ->
+        retries := Some (int_flag "--retries" n); parse tl
+    | "--fuel" :: n :: tl -> fuel := Some (int_flag "--fuel" n); parse tl
+    | "--deadline" :: n :: tl ->
+        deadline := Some (float_flag "--deadline" n); parse tl
+    | "--widths" :: w :: tl -> Report.set_widths (widths_flag w); parse tl
+    | "--inject-fault" :: spec :: tl -> (
+        match Faults.parse spec with
+        | Ok f -> faults := f; parse tl
+        | Error msg -> hint "--inject-fault: %s" msg)
+    | [ flag ]
+      when List.mem flag
+             [ "--jobs"; "--retries"; "--fuel"; "--deadline"; "--widths";
+               "--inject-fault" ] ->
+        hint "%s expects a value" flag
     | arg :: tl -> rest := arg :: !rest; parse tl
   in
   parse (List.tl (Array.to_list Sys.argv));
   let session =
-    Engine.Session.create ?jobs:!jobs ~disk_cache:!disk_cache ()
+    Engine.Session.create ?jobs:!jobs ~disk_cache:!disk_cache
+      ?retries:!retries ?fuel:!fuel ?deadline:!deadline ~faults:!faults ()
   in
   Spd_harness.Experiment.set_default_session session;
   (match List.rev !rest with
@@ -153,7 +209,12 @@ let () =
   | [ name ] -> (
       match List.assoc_opt name artefacts with
       | Some f -> f ppf ()
-      | None -> usage ())
+      | None ->
+          hint "unknown artefact %S (one of: all, micro, timings, %s)" name
+            (String.concat ", " (List.map fst artefacts)))
   | _ -> usage ());
   if !timings then Report.timings ppf ();
-  Engine.Session.close session
+  Report.failure_appendix ppf ();
+  let failed = Spd_harness.Experiment.failures () <> [] in
+  Engine.Session.close session;
+  if failed then exit 2

@@ -73,8 +73,8 @@ let handle_errors f =
   | Spd_lang.Lower.Error msg ->
       Fmt.epr "lowering error: %s@." msg;
       exit 1
-  | Spd_sim.Interp.Runtime_error msg ->
-      Fmt.epr "runtime error: %s@." msg;
+  | Spd_sim.Interp.Sim_error (kind, ctx) ->
+      Fmt.epr "runtime error: %a@." Spd_sim.Interp.pp_error (kind, ctx);
       exit 1
 
 let prepare_src ~mem_latency pipeline src =
@@ -134,6 +134,11 @@ let run_cmd =
 let bench_cmd =
   let run name mem_latency width =
     handle_errors (fun () ->
+        (if not (List.mem name Spd_workloads.Registry.names) then begin
+           Fmt.epr "unknown benchmark %S (one of: %s)@." name
+             (String.concat ", " Spd_workloads.Registry.names);
+           exit 1
+         end);
         let w = Spd_workloads.Registry.by_name name in
         let width =
           match width with
@@ -184,9 +189,14 @@ let report_cmd =
       ("timings", Spd_harness.Report.timings);
     ]
   in
-  let run name jobs no_cache timings =
+  let run name jobs no_cache timings retries fuel deadline widths faults =
+    (match widths with
+    | None -> ()
+    | Some ws -> Spd_harness.Report.set_widths ws);
     let session =
-      Spd_harness.Engine.Session.create ?jobs ~disk_cache:(not no_cache) ()
+      Spd_harness.Engine.Session.create ?jobs ~disk_cache:(not no_cache)
+        ?retries ?fuel ?deadline
+        ?faults:(Option.map Fun.id faults) ()
     in
     Spd_harness.Experiment.set_default_session session;
     (match name with
@@ -200,7 +210,10 @@ let report_cmd =
             exit 1));
     if timings && name <> Some "timings" then
       Spd_harness.Report.timings Fmt.stdout ();
-    Spd_harness.Engine.Session.close session
+    Spd_harness.Report.failure_appendix Fmt.stdout ();
+    let failed = Spd_harness.Experiment.failures () <> [] in
+    Spd_harness.Engine.Session.close session;
+    if failed then exit 2
   in
   let name_arg =
     Arg.(
@@ -233,10 +246,82 @@ let report_cmd =
       & info [ "timings" ]
           ~doc:"Append the engine's per-stage wall-clock report.")
   in
+  let retries_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Attempts per grid cell before a failure is recorded and \
+             the cell renders as n/a (default 1).")
+  in
+  let fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Simulator traversal budget per run (default 60M).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Per-cell wall-clock budget in seconds.")
+  in
+  let widths_conv =
+    let parse s =
+      let parts = String.split_on_char ',' s in
+      try
+        Ok
+          (List.map
+             (fun p ->
+               match int_of_string_opt (String.trim p) with
+               | Some v when v >= 1 -> v
+               | _ -> raise Exit)
+             parts)
+      with Exit ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "expected a comma-separated list of widths >= 1 (e.g. \
+                 1,2,4,8), got %S" s))
+    in
+    Arg.conv (parse, Fmt.(list ~sep:comma int))
+  in
+  let widths_arg =
+    Arg.(
+      value
+      & opt (some widths_conv) None
+      & info [ "widths" ] ~docv:"A,B,.."
+          ~doc:"Machine widths swept by Figure 6-3 (default 1..8).")
+  in
+  let faults_conv =
+    let parse s =
+      match Spd_harness.Faults.parse s with
+      | Ok f -> Ok f
+      | Error msg -> Error (`Msg msg)
+    in
+    Arg.conv (parse, Spd_harness.Faults.pp)
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some faults_conv) None
+      & info [ "inject-fault" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic fault injection: comma-separated \
+             $(b,cache-corrupt:N) (corrupt the Nth cache read), \
+             $(b,cell-raise:KEY[@TIMES]) (raise in cells whose key \
+             starts with KEY, e.g. adi/2/SPEC) and $(b,fuel:N) \
+             (tight simulator budget).")
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Regenerate the paper's evaluation tables and figures.")
-    Term.(const run $ name_arg $ jobs_arg $ no_cache_arg $ timings_arg)
+    Term.(
+      const run $ name_arg $ jobs_arg $ no_cache_arg $ timings_arg
+      $ retries_arg $ fuel_arg $ deadline_arg $ widths_arg $ faults_arg)
 
 let graph_cmd =
   let run file pipeline mem_latency func tree_id =

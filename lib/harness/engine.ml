@@ -25,22 +25,27 @@
 
 module W = Spd_workloads
 
-(* Bumped whenever the compiler, scheduler or simulator change in a way
-   that affects emitted numbers; invalidates every on-disk entry. *)
-let cache_version = "1"
+(* Bumped whenever the compiler, scheduler, simulator or the on-disk
+   entry format change in a way that affects emitted numbers or decoding;
+   invalidates every on-disk entry.  "2": checksummed entry format. *)
+let cache_version = "2"
 
 (* ------------------------------------------------------------------ *)
 (* Promise-style memo table, safe for concurrent use from domains.  The
    first requester of a key installs [Pending] and computes outside the
    lock; later requesters wait on the condition until the promise is
-   fulfilled (or broken — the exception is replayed to every waiter). *)
+   fulfilled (or broken — the exception is replayed, with the original
+   backtrace re-attached, to every waiter). *)
 
 module Memo : sig
   type ('k, 'v) t
   val create : int -> ('k, 'v) t
   val get : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 end = struct
-  type 'v state = Pending | Done of 'v | Failed of exn
+  type 'v state =
+    | Pending
+    | Done of 'v
+    | Broken of exn * Printexc.raw_backtrace
 
   type ('k, 'v) t = {
     mu : Mutex.t;
@@ -57,18 +62,27 @@ end = struct
     let rec decide () =
       match Hashtbl.find_opt t.tbl k with
       | Some (Done v) -> Mutex.unlock t.mu; v
-      | Some (Failed e) -> Mutex.unlock t.mu; raise e
+      | Some (Broken (e, bt)) ->
+          Mutex.unlock t.mu;
+          Printexc.raise_with_backtrace e bt
       | Some Pending -> Condition.wait t.fulfilled t.mu; decide ()
       | None ->
           Hashtbl.replace t.tbl k Pending;
           Mutex.unlock t.mu;
-          let result = try Ok (f ()) with e -> Error e in
+          let result =
+            try Ok (f ())
+            with e -> Error (e, Printexc.get_raw_backtrace ())
+          in
           Mutex.lock t.mu;
           Hashtbl.replace t.tbl k
-            (match result with Ok v -> Done v | Error e -> Failed e);
+            (match result with
+            | Ok v -> Done v
+            | Error (e, bt) -> Broken (e, bt));
           Condition.broadcast t.fulfilled;
           Mutex.unlock t.mu;
-          (match result with Ok v -> v | Error e -> raise e)
+          (match result with
+          | Ok v -> v
+          | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
     in
     decide ()
 end
@@ -185,6 +199,34 @@ end = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Per-cell outcomes.  A failing grid cell no longer aborts a batch:
+   the failure — original exception, backtrace, attempt count, elapsed
+   wall clock — is captured, memoized like any other cell value, and
+   surfaced to renderers as [Failed]. *)
+
+type failure = {
+  key : string;  (** the cell key, [bench/latency/KIND/metric] *)
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+  attempts : int;  (** how many times the cell was attempted *)
+  elapsed : float;  (** wall-clock seconds across all attempts *)
+}
+
+type 'a outcome = Ok of 'a | Failed of failure
+
+(** Raised by the raising accessors when the underlying cell failed. *)
+exception Cell_failed of failure
+
+let pp_failure ppf f =
+  Fmt.pf ppf "%s: %s (attempts %d, %.1fs)" f.key (Printexc.to_string f.exn)
+    f.attempts f.elapsed
+
+let () =
+  Printexc.register_printer (function
+    | Cell_failed f -> Some (Fmt.str "Cell_failed: %a" pp_failure f)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
 
 module Stats = struct
   type t = {
@@ -194,6 +236,9 @@ module Stats = struct
     simulations : int;  (** schedule+simulate runs actually performed *)
     disk_hits : int;  (** results served from the on-disk cache *)
     disk_misses : int;  (** on-disk lookups that fell through *)
+    disk_evictions : int;  (** corrupt on-disk entries evicted and recomputed *)
+    cell_retries : int;  (** failed attempts that were retried *)
+    cell_failures : int;  (** cells that exhausted their attempts *)
     stage_seconds : (Pipeline.stage * float) list;
         (** cumulative wall clock per pipeline stage, across all domains *)
   }
@@ -201,9 +246,9 @@ module Stats = struct
   let pp ppf t =
     Fmt.pf ppf
       "jobs %d; lowerings %d; preparations %d; simulations %d; disk \
-       %d hit / %d miss"
+       %d hit / %d miss / %d evicted; cells %d retried / %d failed"
       t.jobs t.lowerings t.preparations t.simulations t.disk_hits
-      t.disk_misses
+      t.disk_misses t.disk_evictions t.cell_retries t.cell_failures
 end
 
 (* ------------------------------------------------------------------ *)
@@ -218,19 +263,26 @@ module Session = struct
 
   type t = {
     jobs : int;
+    retries : int;  (* attempts per cell before recording a failure *)
+    deadline : float option;  (* per-cell wall-clock budget, seconds *)
+    faults : Faults.t;
     config : Pipeline.Config.t;  (* user config, timer replaced by ours *)
     cache_dir : string option;  (* None = on-disk cache disabled *)
     pool : Pool.t;
     lowered_memo : (string, Spd_ir.Prog.t) Memo.t;
     prep_memo : (key, Pipeline.prepared) Memo.t;
-    cycles_memo : (key * Spd_machine.Descr.width, int) Memo.t;
-    summary_memo : (key, int * (int * int * int)) Memo.t;
+    cycles_memo : (key * Spd_machine.Descr.width, int outcome) Memo.t;
+    summary_memo : (key, (int * (int * int * int)) outcome) Memo.t;
     stats_mu : Mutex.t;
     mutable lowerings : int;
     mutable preparations : int;
     mutable simulations : int;
     mutable disk_hits : int;
     mutable disk_misses : int;
+    mutable disk_evictions : int;
+    mutable cell_retries : int;
+    mutable cell_failures : int;
+    mutable failures : failure list;
     stage_seconds : float array;  (* indexed by Pipeline.stage_index *)
   }
 
@@ -241,6 +293,7 @@ module Session = struct
     with Unix.Unix_error _ | Sys_error _ -> None
 
   let create ?jobs ?(disk_cache = false) ?(cache_dir = "_spd_cache")
+      ?(retries = 1) ?deadline ?fuel ?(faults = Faults.none)
       ?(config = Pipeline.Config.default) () =
     let jobs =
       match jobs with
@@ -257,9 +310,27 @@ module Session = struct
       Mutex.unlock stats_mu;
       match user_timer with Some f -> f stage dt | None -> ()
     in
+    (* an armed fuel fault is the tightest budget; otherwise the session
+       budget; otherwise whatever the user config says *)
+    let fuel =
+      match Faults.fuel faults with
+      | Some _ as f -> f
+      | None -> (
+          match fuel with
+          | Some _ -> fuel
+          | None -> config.Pipeline.Config.fuel)
+    in
+    let deadline =
+      match deadline with
+      | Some _ -> deadline
+      | None -> config.Pipeline.Config.deadline
+    in
     {
       jobs;
-      config = { config with timer = Some timer };
+      retries = max 1 retries;
+      deadline;
+      faults;
+      config = { config with timer = Some timer; fuel; deadline };
       cache_dir = (if disk_cache then try_prepare_dir cache_dir else None);
       pool = Pool.create ~size:jobs;
       lowered_memo = Memo.create 16;
@@ -272,6 +343,10 @@ module Session = struct
       simulations = 0;
       disk_hits = 0;
       disk_misses = 0;
+      disk_evictions = 0;
+      cell_retries = 0;
+      cell_failures = 0;
+      failures = [];
       stage_seconds;
     }
 
@@ -293,6 +368,9 @@ module Session = struct
         simulations = t.simulations;
         disk_hits = t.disk_hits;
         disk_misses = t.disk_misses;
+        disk_evictions = t.disk_evictions;
+        cell_retries = t.cell_retries;
+        cell_failures = t.cell_failures;
         stage_seconds =
           List.map
             (fun st -> (st, t.stage_seconds.(Pipeline.stage_index st)))
@@ -302,15 +380,112 @@ module Session = struct
     Mutex.unlock t.stats_mu;
     s
 
+  let failures t =
+    Mutex.lock t.stats_mu;
+    let fs = t.failures in
+    Mutex.unlock t.stats_mu;
+    List.sort (fun a b -> compare a.key b.key) fs
+
+  (* ---------------------------------------------------------------- *)
+  (* The contained-failure cell runner: every grid-cell computation goes
+     through [protected], which consults the armed faults, retries up to
+     [t.retries] attempts (stopping early once the per-cell wall-clock
+     deadline has passed), and converts the final exception into a
+     recorded [Failed] outcome instead of letting it tear down the
+     batch.  [Sys.Break] (user interrupt) is never contained. *)
+
+  let protected t ~key (f : unit -> 'a) : 'a outcome =
+    let t0 = Unix.gettimeofday () in
+    let rec attempt n =
+      match
+        Faults.cell_raise t.faults ~key;
+        f ()
+      with
+      | v -> Ok v
+      | exception Sys.Break -> raise Sys.Break
+      | exception e ->
+          let backtrace = Printexc.get_raw_backtrace () in
+          let elapsed = Unix.gettimeofday () -. t0 in
+          let out_of_time =
+            match t.deadline with Some d -> elapsed >= d | None -> false
+          in
+          if n < t.retries && not out_of_time then begin
+            bump t (fun t -> t.cell_retries <- t.cell_retries + 1);
+            attempt (n + 1)
+          end
+          else begin
+            let f = { key; exn = e; backtrace; attempts = n; elapsed } in
+            bump t (fun t ->
+                t.cell_failures <- t.cell_failures + 1;
+                t.failures <- f :: t.failures);
+            Failed f
+          end
+    in
+    attempt 1
+
+  let get = function Ok v -> v | Failed f -> raise (Cell_failed f)
+
   (* ---------------------------------------------------------------- *)
   (* On-disk cache.  Keys are the MD5 of a canonical payload string;
      writes go through a unique temporary file and an atomic rename, so
-     concurrent domains (or processes) never observe torn entries. *)
+     concurrent domains (or processes) never observe torn entries.
+
+     The atomic rename cannot protect an entry *after* it landed —
+     truncation, bit rot, a format change.  Every entry therefore
+     carries a one-line header [spd-cache <version> <md5-of-body>
+     <body-length>] ahead of the Marshal'd body; a reader that finds a
+     version mismatch, a short body, a checksum mismatch or an
+     undecodable payload logs the reason, evicts the entry and lets the
+     caller recompute — the cache heals itself instead of crashing. *)
 
   let write_seq = Atomic.make 0
 
   let disk_path dir payload =
     Filename.concat dir (Digest.to_hex (Digest.string payload) ^ ".cache")
+
+  let encode_entry (v : disk_value) =
+    let body = Marshal.to_string v [] in
+    Printf.sprintf "spd-cache %s %s %d\n%s" cache_version
+      (Digest.to_hex (Digest.string body))
+      (String.length body) body
+
+  let decode_entry s : (disk_value, string) result =
+    match String.index_opt s '\n' with
+    | None -> Error "truncated header"
+    | Some i -> (
+        let header = String.sub s 0 i in
+        let body = String.sub s (i + 1) (String.length s - i - 1) in
+        match String.split_on_char ' ' header with
+        | [ "spd-cache"; version; digest; length ] ->
+            if version <> cache_version then
+              Error (Printf.sprintf "version %s, want %s" version cache_version)
+            else if int_of_string_opt length <> Some (String.length body)
+            then Error "body length mismatch (truncated entry)"
+            else if Digest.to_hex (Digest.string body) <> digest then
+              Error "checksum mismatch (corrupt entry)"
+            else (
+              match (Marshal.from_string body 0 : disk_value) with
+              | v -> Ok v
+              | exception _ -> Error "undecodable payload")
+        | _ -> Error "malformed header")
+
+  (* deterministic corruption for the [cache-corrupt] fault: flip a bit
+     in the middle of the entry so the checksum (or header) breaks *)
+  let corrupt_bytes s =
+    if String.length s = 0 then s
+    else begin
+      let b = Bytes.of_string s in
+      let i = Bytes.length b / 2 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+      Bytes.to_string b
+    end
+
+  let evict t path reason =
+    Fmt.epr "[spd] cache: evicting %s: %s@." (Filename.basename path) reason;
+    (try Sys.remove path with Sys_error _ -> ());
+    bump t (fun t ->
+        t.disk_evictions <- t.disk_evictions + 1;
+        t.disk_misses <- t.disk_misses + 1)
 
   let disk_read t payload : disk_value option =
     match t.cache_dir with
@@ -322,13 +497,15 @@ module Session = struct
             bump t (fun t -> t.disk_misses <- t.disk_misses + 1);
             None
         | s -> (
-            match (Marshal.from_string s 0 : disk_value) with
-            | v ->
+            let s =
+              if Faults.corrupt_cache_read t.faults then corrupt_bytes s
+              else s
+            in
+            match decode_entry s with
+            | Ok v ->
                 bump t (fun t -> t.disk_hits <- t.disk_hits + 1);
                 Some v
-            | exception _ ->
-                bump t (fun t -> t.disk_misses <- t.disk_misses + 1);
-                None))
+            | Error reason -> evict t path reason; None))
 
   let disk_write t payload (v : disk_value) =
     match t.cache_dir with
@@ -342,7 +519,7 @@ module Session = struct
         in
         try
           Out_channel.with_open_bin tmp (fun oc ->
-              Out_channel.output_string oc (Marshal.to_string v []));
+              Out_channel.output_string oc (encode_entry v));
           Sys.rename tmp path
         with Sys_error _ | Unix.Unix_error _ -> (
           try Sys.remove tmp with Sys_error _ -> ()))
@@ -364,6 +541,11 @@ module Session = struct
   let width_tag = function
     | Spd_machine.Descr.Infinite -> "inf"
     | Spd_machine.Descr.Fus n -> "fus" ^ string_of_int n
+
+  (* The human-readable cell key: what [cell-raise] faults match against
+     and what the failure appendix prints. *)
+  let cell_key { bench; latency; kind } =
+    Printf.sprintf "%s/%d/%s" bench latency (Pipeline.name kind)
 
   (* ---------------------------------------------------------------- *)
 
@@ -387,55 +569,95 @@ module Session = struct
           ~config:{ t.config with mem_latency = latency }
           kind lowered)
 
-  let cycles t ~bench ~latency kind ~width =
+  let cycles_outcome t ~bench ~latency kind ~width =
     let key = { bench; latency; kind } in
     Memo.get t.cycles_memo (key, width) (fun () ->
-        let payload = cell_payload t key ^ "|cycles:" ^ width_tag width in
-        match disk_read t payload with
-        | Some (Cycles n) -> n
-        | Some (Summary _) | None ->
-            bump t (fun t -> t.simulations <- t.simulations + 1);
-            let n =
-              Pipeline.cycles (prepared t ~bench ~latency kind) ~width
+        protected t ~key:(cell_key key ^ "/cycles/" ^ width_tag width)
+          (fun () ->
+            let payload =
+              cell_payload t key ^ "|cycles:" ^ width_tag width
             in
-            disk_write t payload (Cycles n);
-            n)
+            match disk_read t payload with
+            | Some (Cycles n) -> n
+            | Some (Summary _) | None ->
+                bump t (fun t -> t.simulations <- t.simulations + 1);
+                let n =
+                  Pipeline.cycles (prepared t ~bench ~latency kind) ~width
+                in
+                disk_write t payload (Cycles n);
+                n))
 
   (* code size and Table 6-3 counts of a cell, from one preparation *)
-  let summary t ~bench ~latency kind =
+  let summary_outcome t ~bench ~latency kind =
     let key = { bench; latency; kind } in
     Memo.get t.summary_memo key (fun () ->
-        let payload = cell_payload t key ^ "|summary" in
-        match disk_read t payload with
-        | Some (Summary s) -> (s.code_size, s.counts)
-        | Some (Cycles _) | None ->
-            let p = prepared t ~bench ~latency kind in
-            let code_size = Pipeline.code_size p in
-            let counts =
-              Spd_core.Heuristic.count_by_kind p.applications
-            in
-            disk_write t payload (Summary { code_size; counts });
-            (code_size, counts))
+        protected t ~key:(cell_key key ^ "/summary") (fun () ->
+            let payload = cell_payload t key ^ "|summary" in
+            match disk_read t payload with
+            | Some (Summary s) -> (s.code_size, s.counts)
+            | Some (Cycles _) | None ->
+                let p = prepared t ~bench ~latency kind in
+                let code_size = Pipeline.code_size p in
+                let counts =
+                  Spd_core.Heuristic.count_by_kind p.applications
+                in
+                disk_write t payload (Summary { code_size; counts });
+                (code_size, counts)))
 
-  let code_size t ~bench ~latency kind = fst (summary t ~bench ~latency kind)
+  let map_outcome f = function Ok v -> Ok (f v) | Failed f -> Failed f
+
+  let pair_outcome a b =
+    match (a, b) with
+    | Ok a, Ok b -> Ok (a, b)
+    | Failed f, _ | _, Failed f -> Failed f
+
+  let code_size_outcome t ~bench ~latency kind =
+    map_outcome fst (summary_outcome t ~bench ~latency kind)
+
+  let spd_counts_outcome t ~bench ~latency =
+    map_outcome snd (summary_outcome t ~bench ~latency Pipeline.Spec)
+
+  let speedup_over_naive_outcome t ~bench ~latency kind ~width =
+    map_outcome
+      (fun (base, this) -> Pipeline.speedup ~base ~this)
+      (pair_outcome
+         (cycles_outcome t ~bench ~latency Pipeline.Naive ~width)
+         (cycles_outcome t ~bench ~latency kind ~width))
+
+  let spec_over_static_outcome t ~bench ~latency ~width =
+    map_outcome
+      (fun (base, this) -> Pipeline.speedup ~base ~this)
+      (pair_outcome
+         (cycles_outcome t ~bench ~latency Pipeline.Static ~width)
+         (cycles_outcome t ~bench ~latency Pipeline.Spec ~width))
+
+  let code_growth_outcome t ~bench ~latency =
+    map_outcome
+      (fun (base, spec) ->
+        (float_of_int spec /. float_of_int base) -. 1.0)
+      (pair_outcome
+         (code_size_outcome t ~bench ~latency Pipeline.Static)
+         (code_size_outcome t ~bench ~latency Pipeline.Spec))
+
+  (* raising variants, for callers that treat a failed cell as fatal *)
+
+  let cycles t ~bench ~latency kind ~width =
+    get (cycles_outcome t ~bench ~latency kind ~width)
+
+  let code_size t ~bench ~latency kind =
+    get (code_size_outcome t ~bench ~latency kind)
 
   let spd_counts t ~bench ~latency =
-    snd (summary t ~bench ~latency Pipeline.Spec)
+    get (spd_counts_outcome t ~bench ~latency)
 
   let speedup_over_naive t ~bench ~latency kind ~width =
-    Pipeline.speedup
-      ~base:(cycles t ~bench ~latency Pipeline.Naive ~width)
-      ~this:(cycles t ~bench ~latency kind ~width)
+    get (speedup_over_naive_outcome t ~bench ~latency kind ~width)
 
   let spec_over_static t ~bench ~latency ~width =
-    Pipeline.speedup
-      ~base:(cycles t ~bench ~latency Pipeline.Static ~width)
-      ~this:(cycles t ~bench ~latency Pipeline.Spec ~width)
+    get (spec_over_static_outcome t ~bench ~latency ~width)
 
   let code_growth t ~bench ~latency =
-    let base = code_size t ~bench ~latency Pipeline.Static in
-    let spec = code_size t ~bench ~latency Pipeline.Spec in
-    (float_of_int spec /. float_of_int base) -. 1.0
+    get (code_growth_outcome t ~bench ~latency)
 
   (* ---------------------------------------------------------------- *)
 

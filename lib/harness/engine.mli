@@ -10,12 +10,36 @@
     on-disk result cache under [_spd_cache/], and per-stage wall-clock
     instrumentation.
 
+    Failures are contained per cell: a cell that keeps raising after
+    its retry budget is recorded as a {!failure} and surfaced as a
+    [Failed] {!outcome}; the rest of the batch still completes.  The
+    on-disk cache is self-healing — corrupt or truncated entries are
+    detected by checksum, evicted and recomputed.
+
     Results are deterministic in the number of jobs: the schedule
     changes only who computes a value, never the value. *)
 
-(** Bumped whenever the compiler, scheduler or simulator change in a
-    way that affects emitted numbers; invalidates the on-disk cache. *)
+(** Bumped whenever the compiler, scheduler, simulator or the on-disk
+    entry format change in a way that affects emitted numbers or
+    decoding; invalidates the on-disk cache. *)
 val cache_version : string
+
+(** {1 Per-cell outcomes} *)
+
+type failure = {
+  key : string;  (** the cell key, [bench/latency/KIND/metric] *)
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+  attempts : int;  (** how many times the cell was attempted *)
+  elapsed : float;  (** wall-clock seconds across all attempts *)
+}
+
+type 'a outcome = Ok of 'a | Failed of failure
+
+(** Raised by the raising accessors when the underlying cell failed. *)
+exception Cell_failed of failure
+
+val pp_failure : Format.formatter -> failure -> unit
 
 module Stats : sig
   type t = {
@@ -25,6 +49,10 @@ module Stats : sig
     simulations : int;  (** schedule+simulate runs actually performed *)
     disk_hits : int;  (** results served from the on-disk cache *)
     disk_misses : int;  (** on-disk lookups that fell through *)
+    disk_evictions : int;
+        (** corrupt on-disk entries evicted and recomputed *)
+    cell_retries : int;  (** failed attempts that were retried *)
+    cell_failures : int;  (** cells that exhausted their attempts *)
     stage_seconds : (Pipeline.stage * float) list;
         (** cumulative wall clock per pipeline stage, across all domains *)
   }
@@ -46,6 +74,15 @@ module Session : sig
       result cache in [cache_dir] (default ["_spd_cache"], created on
       demand; silently disabled if the directory cannot be used).
 
+      [retries] (default [1]) is the number of attempts per cell before
+      a failure is recorded.  [deadline] is a per-cell wall-clock budget
+      in seconds: once it has elapsed, a failing cell is not retried.
+      [fuel] bounds the simulator's tree traversals for every run of the
+      session (profiling, checking, timing).
+
+      [faults] arms deterministic fault injection (see {!Faults}); an
+      armed [fuel:<n>] fault overrides [fuel].
+
       [config] is the pipeline configuration every cell is built with;
       its [mem_latency] is overridden per cell and its [timer], if any,
       is composed with the session's stage instrumentation. *)
@@ -53,6 +90,10 @@ module Session : sig
     ?jobs:int ->
     ?disk_cache:bool ->
     ?cache_dir:string ->
+    ?retries:int ->
+    ?deadline:float ->
+    ?fuel:int ->
+    ?faults:Faults.t ->
     ?config:Pipeline.Config.t ->
     unit -> t
 
@@ -63,20 +104,34 @@ module Session : sig
   val jobs : t -> int
   val stats : t -> Stats.t
 
+  (** Every failure recorded so far, sorted by cell key. *)
+  val failures : t -> failure list
+
   (** {1 Memoized grid cells}
 
     All accessors are safe to call from any domain; each underlying
-    computation happens exactly once per session. *)
+    computation (including a failure) happens exactly once per
+    session.  The [_outcome] variants never raise on a failed cell;
+    the plain variants raise {!Cell_failed}. *)
 
-  (** Lowered IR of a built-in benchmark. *)
+  (** Lowered IR of a built-in benchmark.  Not failure-contained: an
+      unknown benchmark or compile error raises. *)
   val lowered : t -> string -> Spd_ir.Prog.t
 
-  (** Prepared pipeline for a benchmark at a memory latency. *)
+  (** Prepared pipeline for a benchmark at a memory latency.  Not
+      failure-contained; cell accessors below wrap it. *)
   val prepared :
     t -> bench:string -> latency:int -> Pipeline.kind -> Pipeline.prepared
 
   (** Measured cycle count (disk-cacheable: a warm cache serves it
       without preparing the pipeline at all). *)
+  val cycles_outcome :
+    t ->
+    bench:string ->
+    latency:int ->
+    Pipeline.kind ->
+    width:Spd_machine.Descr.width -> int outcome
+
   val cycles :
     t ->
     bench:string ->
@@ -85,14 +140,27 @@ module Session : sig
     width:Spd_machine.Descr.width -> int
 
   (** Static code size in operations (disk-cacheable). *)
+  val code_size_outcome :
+    t -> bench:string -> latency:int -> Pipeline.kind -> int outcome
+
   val code_size :
     t -> bench:string -> latency:int -> Pipeline.kind -> int
 
   (** SpD application counts by dependence kind — a Table 6-3 row
       (disk-cacheable). *)
+  val spd_counts_outcome :
+    t -> bench:string -> latency:int -> (int * int * int) outcome
+
   val spd_counts : t -> bench:string -> latency:int -> int * int * int
 
   (** Speedup of [kind] over NAIVE, the metric of Figure 6-2. *)
+  val speedup_over_naive_outcome :
+    t ->
+    bench:string ->
+    latency:int ->
+    Pipeline.kind ->
+    width:Spd_machine.Descr.width -> float outcome
+
   val speedup_over_naive :
     t ->
     bench:string ->
@@ -101,11 +169,20 @@ module Session : sig
     width:Spd_machine.Descr.width -> float
 
   (** Speedup of SPEC over STATIC, the metric of Figure 6-3. *)
+  val spec_over_static_outcome :
+    t ->
+    bench:string ->
+    latency:int ->
+    width:Spd_machine.Descr.width -> float outcome
+
   val spec_over_static :
     t ->
     bench:string -> latency:int -> width:Spd_machine.Descr.width -> float
 
   (** Code growth of SPEC relative to STATIC (Figure 6-4). *)
+  val code_growth_outcome :
+    t -> bench:string -> latency:int -> float outcome
+
   val code_growth : t -> bench:string -> latency:int -> float
 
   (** {1 Fan-out}

@@ -54,3 +54,30 @@ let spd_counts ~bench ~latency =
 (** Code growth of SPEC relative to STATIC, as a fraction (Figure 6-4). *)
 let code_growth ~bench ~latency =
   Engine.Session.code_growth (default_session ()) ~bench ~latency
+
+(* Failure-contained variants: a broken cell comes back as [Failed]
+   instead of raising, so renderers can print [n/a] and move on. *)
+
+let cycles_result ~bench ~latency kind ~width =
+  Engine.Session.cycles_outcome (default_session ()) ~bench ~latency kind
+    ~width
+
+let speedup_over_naive_result ~bench ~latency kind ~width =
+  Engine.Session.speedup_over_naive_outcome (default_session ()) ~bench
+    ~latency kind ~width
+
+let spec_over_static_result ~bench ~latency ~width =
+  Engine.Session.spec_over_static_outcome (default_session ()) ~bench
+    ~latency ~width
+
+let spd_counts_result ~bench ~latency =
+  Engine.Session.spd_counts_outcome (default_session ()) ~bench ~latency
+
+let code_size_result ~bench ~latency kind =
+  Engine.Session.code_size_outcome (default_session ()) ~bench ~latency kind
+
+let code_growth_result ~bench ~latency =
+  Engine.Session.code_growth_outcome (default_session ()) ~bench ~latency
+
+(** Every failure the default session has recorded, sorted by cell key. *)
+let failures () = Engine.Session.failures (default_session ())

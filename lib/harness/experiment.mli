@@ -45,3 +45,34 @@ val spd_counts : bench:string -> latency:int -> int * int * int
 
 (** Code growth of SPEC relative to STATIC, as a fraction (Figure 6-4). *)
 val code_growth : bench:string -> latency:int -> float
+
+(** {1 Failure-contained variants}
+
+    A broken cell comes back as [Failed] instead of raising, so
+    renderers can print [n/a] and keep going. *)
+
+val cycles_result :
+  bench:string ->
+  latency:int ->
+  Pipeline.kind -> width:Spd_machine.Descr.width -> int Engine.outcome
+
+val speedup_over_naive_result :
+  bench:string ->
+  latency:int ->
+  Pipeline.kind -> width:Spd_machine.Descr.width -> float Engine.outcome
+
+val spec_over_static_result :
+  bench:string ->
+  latency:int ->
+  width:Spd_machine.Descr.width -> float Engine.outcome
+
+val spd_counts_result :
+  bench:string -> latency:int -> (int * int * int) Engine.outcome
+
+val code_size_result :
+  bench:string -> latency:int -> Pipeline.kind -> int Engine.outcome
+
+val code_growth_result : bench:string -> latency:int -> float Engine.outcome
+
+(** Every failure the default session has recorded, sorted by cell key. *)
+val failures : unit -> Engine.failure list

@@ -57,20 +57,27 @@ module Config = struct
         (** guidance-heuristic knobs (default: {!Heuristic.default_params}) *)
     graft : bool;  (** unroll loop trees before disambiguation (section 7) *)
     mem_latency : int;  (** memory latency in cycles (paper: 2 and 6) *)
+    fuel : int option;
+        (** traversal budget for every simulator run (profiling, checking,
+            timing); [None] = the simulator's default *)
+    deadline : float option;
+        (** wall-clock budget in seconds for every simulator run *)
     timer : (stage -> float -> unit) option;
         (** called with the elapsed seconds of every instrumented stage *)
   }
 
   let default =
     { check = true; spd_params = None; graft = false; mem_latency = 2;
-      timer = None }
+      fuel = None; deadline = None; timer = None }
 
-  let v ?(check = true) ?spd_params ?(graft = false) ?timer
+  let v ?(check = true) ?spd_params ?(graft = false) ?fuel ?deadline ?timer
       ?(mem_latency = 2) () =
-    { check; spd_params; graft; mem_latency; timer }
+    { check; spd_params; graft; mem_latency; fuel; deadline; timer }
 
   (* The canonical encoding of the semantic fields (everything except
-     [timer]), used by the engine's content-addressed result cache. *)
+     [timer], [fuel] and [deadline] — the budgets can only turn a result
+     into a failure, never change a successfully computed value, so they
+     do not participate in cache addressing). *)
   let fingerprint t =
     let params =
       match t.spd_params with
@@ -102,12 +109,26 @@ type prepared = {
 }
 
 (** Profile a program: run it once with instrumentation. *)
-let profile_of (prog : Prog.t) : Spd_sim.Profile.t =
+let profile_of ?fuel ?deadline (prog : Prog.t) : Spd_sim.Profile.t =
   let profile = Spd_sim.Profile.create () in
-  ignore (Spd_sim.Interp.run ~profile prog);
+  ignore (Spd_sim.Interp.run ~profile ?fuel ?deadline prog);
   profile
 
 exception Behaviour_mismatch of string
+
+(* The per-application transform checker installed when [config.check]
+   holds: every accepted SpD application must leave a structurally valid
+   tree that did not shrink (SpD only adds compensation code).  The
+   whole-program observable-equivalence check below catches semantic
+   drift; this one pins the failure to the exact application. *)
+let transform_checker ~func:_ ~(before : Spd_ir.Tree.t)
+    (app : Heuristic.application) (after : Spd_ir.Tree.t) =
+  Spd_ir.Tree.validate after;
+  if Spd_ir.Tree.size after < Spd_ir.Tree.size before then
+    raise
+      (Behaviour_mismatch
+         (Fmt.str "SpD application on tree %d arc #%d->#%d shrank the tree"
+            app.tree_id (fst app.arc) (snd app.arc)))
 
 (** Build pipeline [kind] from a lowered program (no arcs yet) under
     [config] (default {!Config.default}).  [config.check] verifies
@@ -115,7 +136,10 @@ exception Behaviour_mismatch of string
     validated SpD output the same way. *)
 let prepare ?(config = Config.default) (kind : kind) (lowered : Prog.t) :
     prepared =
-  let { Config.check; spd_params; graft; mem_latency; timer = _ } = config in
+  let { Config.check; spd_params; graft; mem_latency; fuel; deadline;
+        timer = _ } =
+    config
+  in
   (* scalar cleanup every pipeline gets: store-to-load forwarding and
      redundant-load elimination, as in the paper's optimizing compiler *)
   let cleaned = Spd_analysis.Forwarding.run lowered in
@@ -129,17 +153,23 @@ let prepare ?(config = Config.default) (kind : kind) (lowered : Prog.t) :
     | Static -> (time config Spd (fun () -> Static.run naive), [])
     | Spec ->
         let static = time config Spd (fun () -> Static.run naive) in
-        let profile = time config Profile (fun () -> profile_of static) in
+        let profile =
+          time config Profile (fun () -> profile_of ?fuel ?deadline static)
+        in
+        let checker = if check then Some transform_checker else None in
         time config Spd (fun () ->
-            Heuristic.run ~profile ?params:spd_params ~mem_latency static)
+            Heuristic.run ~profile ?checker ?params:spd_params ~mem_latency
+              static)
     | Perfect ->
-        let profile = time config Profile (fun () -> profile_of naive) in
+        let profile =
+          time config Profile (fun () -> profile_of ?fuel ?deadline naive)
+        in
         (time config Spd (fun () -> Static.perfect ~profile naive), [])
   in
   Prog.validate prog;
   if check then begin
-    let expected = Spd_sim.Interp.observe naive in
-    let got = Spd_sim.Interp.observe prog in
+    let expected = Spd_sim.Interp.observe ?fuel ?deadline naive in
+    let got = Spd_sim.Interp.observe ?fuel ?deadline prog in
     if expected <> got then
       raise
         (Behaviour_mismatch
@@ -156,7 +186,9 @@ let cycles (p : prepared) ~(width : Spd_machine.Descr.width) : int =
     time p.config Schedule (fun () ->
         Spd_machine.Timing_builder.program descr p.prog)
   in
-  (time p.config Simulate (fun () -> Spd_sim.Interp.run ~timing p.prog))
+  (time p.config Simulate (fun () ->
+       Spd_sim.Interp.run ~timing ?fuel:p.config.fuel
+         ?deadline:p.config.deadline p.prog))
     .cycles
 
 (** Static code size in operations (Figure 6-4's metric). *)

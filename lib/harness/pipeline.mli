@@ -43,12 +43,17 @@ module Config : sig
         (** guidance-heuristic knobs (default: {!Heuristic.default_params}) *)
     graft : bool;  (** unroll loop trees before disambiguation (section 7) *)
     mem_latency : int;  (** memory latency in cycles (paper: 2 and 6) *)
+    fuel : int option;
+        (** traversal budget for every simulator run (profiling, checking,
+            timing); [None] = the simulator's default *)
+    deadline : float option;
+        (** wall-clock budget in seconds for every simulator run *)
     timer : (stage -> float -> unit) option;
         (** called with the elapsed seconds of every instrumented stage *)
   }
 
   (** [check = true], no parameter overrides, no grafting, 2-cycle
-      memory, no timer. *)
+      memory, no budgets, no timer. *)
   val default : t
 
   (** Build a configuration naming only the fields that differ from
@@ -57,13 +62,17 @@ module Config : sig
     ?check:bool ->
     ?spd_params:Heuristic.params ->
     ?graft:bool ->
+    ?fuel:int ->
+    ?deadline:float ->
     ?timer:(stage -> float -> unit) ->
     ?mem_latency:int ->
     unit -> t
 
   (** Canonical encoding of the semantic fields (everything except
-      [timer]); two configurations with equal fingerprints prepare
-      identical programs.  Used by {!Engine}'s on-disk cache keys. *)
+      [timer], [fuel] and [deadline] — budgets can only turn a result
+      into a failure, never change a successfully computed value); two
+      configurations with equal fingerprints prepare identical
+      programs.  Used by {!Engine}'s on-disk cache keys. *)
   val fingerprint : t -> string
 end
 
@@ -76,7 +85,9 @@ type prepared = {
 }
 
 (** Profile a program: run it once with instrumentation. *)
-val profile_of : Spd_ir.Prog.t -> Spd_sim.Profile.t
+val profile_of :
+  ?fuel:int -> ?deadline:float -> Spd_ir.Prog.t -> Spd_sim.Profile.t
+
 exception Behaviour_mismatch of string
 
 (** Build pipeline [kind] from a lowered program (no arcs yet) under

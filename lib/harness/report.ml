@@ -8,7 +8,22 @@
 module W = Spd_workloads
 
 let latencies = [ 2; 6 ]
-let widths = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+(* Figure 6-3's machine widths; settable from the CLI (--widths). *)
+let default_widths = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+let current_widths = ref default_widths
+
+let set_widths = function
+  | [] -> invalid_arg "Report.set_widths: empty width list"
+  | ws ->
+      List.iter
+        (fun w ->
+          if w < 1 then
+            invalid_arg (Printf.sprintf "Report.set_widths: width %d < 1" w))
+        ws;
+      current_widths := ws
+
+let widths () = !current_widths
 
 let benches () = List.map (fun (w : W.Workload.t) -> w.name) W.Registry.all
 
@@ -25,6 +40,14 @@ let warm (f : Engine.Session.t -> 'a -> unit) (cells : 'a list) =
   Engine.Session.parallel_iter s (f s) cells
 
 let product xs ys = List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
+
+(* n/a-aware cell renderer: a failed cell prints [n/a] in its column
+   instead of aborting the artefact; the details land in
+   [failure_appendix].  [width] is the total column width, including
+   the percent sign. *)
+let pct width ppf = function
+  | Engine.Ok v -> Fmt.pf ppf "%*.1f%%" (width - 1) (100.0 *. v)
+  | Engine.Failed _ -> Fmt.pf ppf "%*s" width "n/a"
 
 (* ------------------------------------------------------------------ *)
 
@@ -61,7 +84,7 @@ let table6_2 ppf () =
 let table6_3 ppf () =
   warm
     (fun s (bench, latency) ->
-      ignore (Engine.Session.spd_counts s ~bench ~latency))
+      ignore (Engine.Session.spd_counts_outcome s ~bench ~latency))
     (product (benches ()) latencies);
   Fmt.pf ppf
     "@.Table 6-3: Frequency of SpD application by dependence type@.";
@@ -72,15 +95,20 @@ let table6_3 ppf () =
     "WAW" "RAW" "WAR" "WAW";
   hline ppf 64;
   let totals = Array.make 6 0 in
+  (* a failed cell renders its three columns as n/a and is excluded
+     from the TOTAL row *)
+  let triple off ppf = function
+    | Engine.Ok (r, w, o) ->
+        List.iteri (fun i v -> totals.(off + i) <- totals.(off + i) + v)
+          [ r; w; o ];
+        Fmt.pf ppf "%6d %6d %6d" r w o
+    | Engine.Failed _ -> Fmt.pf ppf "%6s %6s %6s" "n/a" "n/a" "n/a"
+  in
   List.iter
     (fun bench ->
-      let r2, w2, o2 = Experiment.spd_counts ~bench ~latency:2 in
-      let r6, w6, o6 = Experiment.spd_counts ~bench ~latency:6 in
-      List.iteri
-        (fun i v -> totals.(i) <- totals.(i) + v)
-        [ r2; w2; o2; r6; w6; o6 ];
-      Fmt.pf ppf "%-10s | %6d %6d %6d | %6d %6d %6d@." bench r2 w2 o2 r6 w6
-        o6)
+      let c2 = Experiment.spd_counts_result ~bench ~latency:2 in
+      let c6 = Experiment.spd_counts_result ~bench ~latency:6 in
+      Fmt.pf ppf "%-10s | %a | %a@." bench (triple 0) c2 (triple 3) c6)
     (benches ());
   hline ppf 64;
   Fmt.pf ppf "%-10s | %6d %6d %6d | %6d %6d %6d@." "TOTAL" totals.(0)
@@ -114,7 +142,7 @@ let fig6_2 ppf () =
   warm
     (fun s ((bench, latency), kind) ->
       ignore
-        (Engine.Session.cycles s ~bench ~latency kind
+        (Engine.Session.cycles_outcome s ~bench ~latency kind
            ~width:(Spd_machine.Descr.Fus 5)))
     (product (product (benches ()) latencies) Pipeline.all);
   Fmt.pf ppf "@.Figure 6-2: Speedup over the NAIVE disambiguator (5 FU machine)@.";
@@ -127,24 +155,29 @@ let fig6_2 ppf () =
       List.iter
         (fun bench ->
           let s k =
-            Experiment.speedup_over_naive ~bench ~latency k
+            Experiment.speedup_over_naive_result ~bench ~latency k
               ~width:(Spd_machine.Descr.Fus 5)
           in
           let st = s Pipeline.Static
           and sp = s Pipeline.Spec
           and pf = s Pipeline.Perfect in
-          Fmt.pf ppf "%-10s %8.1f%% %8.1f%% %8.1f%%   SPEC|%a@." bench
-            (100.0 *. st) (100.0 *. sp) (100.0 *. pf) bar sp)
+          let spec_bar ppf = function
+            | Engine.Ok v -> Fmt.pf ppf "   SPEC|%a" bar v
+            | Engine.Failed _ -> ()
+          in
+          Fmt.pf ppf "%-10s %a %a %a%a@." bench (pct 9) st (pct 9) sp
+            (pct 9) pf spec_bar sp)
         (benches ());
       hline ppf 72)
     latencies
 
 (** Figure 6-3: speedup of SPEC over STATIC vs machine width (NRC). *)
 let fig6_3 ppf () =
+  let widths = widths () in
   warm
     (fun s (((bench, latency), width), kind) ->
       ignore
-        (Engine.Session.cycles s ~bench ~latency kind
+        (Engine.Session.cycles_outcome s ~bench ~latency kind
            ~width:(Spd_machine.Descr.Fus width)))
     (product
        (product (product (nrc_benches ()) latencies) widths)
@@ -164,10 +197,10 @@ let fig6_3 ppf () =
           List.iter
             (fun w ->
               let s =
-                Experiment.spec_over_static ~bench ~latency
+                Experiment.spec_over_static_result ~bench ~latency
                   ~width:(Spd_machine.Descr.Fus w)
               in
-              Fmt.pf ppf " %8.1f%%" (100.0 *. s))
+              Fmt.pf ppf " %a" (pct 9) s)
             widths;
           Fmt.pf ppf "@.")
         (nrc_benches ());
@@ -178,7 +211,7 @@ let fig6_3 ppf () =
 let fig6_4 ppf () =
   warm
     (fun s (bench, kind) ->
-      ignore (Engine.Session.code_size s ~bench ~latency:2 kind))
+      ignore (Engine.Session.code_size_outcome s ~bench ~latency:2 kind))
     (product (benches ()) [ Pipeline.Static; Pipeline.Spec ]);
   Fmt.pf ppf "@.Figure 6-4: Code size increase due to SpD (2 cycle memory latency)@.";
   hline ppf 48;
@@ -186,10 +219,26 @@ let fig6_4 ppf () =
   hline ppf 48;
   List.iter
     (fun bench ->
-      let g = Experiment.code_growth ~bench ~latency:2 in
-      Fmt.pf ppf "%-10s %11.1f%%  %a@." bench (100.0 *. g) bar (g *. 4.0))
+      match Experiment.code_growth_result ~bench ~latency:2 with
+      | Engine.Ok g ->
+          Fmt.pf ppf "%-10s %11.1f%%  %a@." bench (100.0 *. g) bar (g *. 4.0)
+      | Engine.Failed _ -> Fmt.pf ppf "%-10s %12s@." bench "n/a")
     (benches ());
   hline ppf 48
+
+(** Failure appendix: every cell the default session failed to compute,
+    with the original exception.  Prints nothing when all cells
+    succeeded — appended to artefact output by the CLIs, which also turn
+    a non-empty appendix into a nonzero exit status. *)
+let failure_appendix ppf () =
+  match Experiment.failures () with
+  | [] -> ()
+  | fs ->
+      Fmt.pf ppf "@.Failed cells (%d) — values above rendered as n/a@."
+        (List.length fs);
+      hline ppf 72;
+      List.iter (fun f -> Fmt.pf ppf "%a@." Engine.pp_failure f) fs;
+      hline ppf 72
 
 (** Engine report: per-stage wall clock and cache statistics of the
     default session's work so far.  Not part of [all]: its numbers are

@@ -7,7 +7,14 @@
 
 module W = Spd_workloads
 val latencies : int list
-val widths : int list
+
+(** Figure 6-3's machine widths (default [1..8]); [set_widths]
+    overrides them process-wide (the CLI's [--widths] flag) and rejects
+    an empty or non-positive list with [Invalid_argument]. *)
+val default_widths : int list
+
+val widths : unit -> int list
+val set_widths : int list -> unit
 val benches : unit -> string list
 val nrc_benches : unit -> string list
 val hline : Format.formatter -> int -> unit
@@ -33,6 +40,12 @@ val fig6_3 : Format.formatter -> unit -> unit
 
 (** Figure 6-4: code size increase due to SpD (2-cycle memory). *)
 val fig6_4 : Format.formatter -> unit -> unit
+
+(** Failure appendix: every cell the default session failed to compute,
+    with the original exception.  Prints nothing when all cells
+    succeeded — appended to artefact output by the CLIs, which also turn
+    a non-empty appendix into a nonzero exit status. *)
+val failure_appendix : Format.formatter -> unit -> unit
 
 (** Engine report: per-stage wall clock and cache statistics of the
     default session's work so far.  Not part of [all]: its numbers are

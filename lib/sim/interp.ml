@@ -18,9 +18,62 @@
 
 open Spd_ir
 
-exception Runtime_error = Eval.Runtime_error
+(* ------------------------------------------------------------------ *)
+(* Structured simulator errors.  Every abnormal termination of a run
+   carries a machine-readable kind plus the execution context (function,
+   tree, faulting operation) at the point of failure, so harness layers
+   can render and classify failures without parsing strings. *)
 
-let errf fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+type error_kind =
+  | Fuel_exhausted of int  (** the traversal budget that ran out *)
+  | Deadline_exceeded of float  (** the wall-clock budget, seconds *)
+  | Call_depth_exceeded of int
+  | Stack_overflow
+  | Store_out_of_bounds of int
+  | Unknown_global of string
+  | Unknown_function of string
+  | No_such_tree of int
+  | Globals_exceed_memory
+  | Eval_error of string  (** a pure-evaluation fault, e.g. division by zero *)
+
+type error_context = {
+  in_func : string option;
+  in_tree : int option;
+  at_op : string option;
+}
+
+let no_context = { in_func = None; in_tree = None; at_op = None }
+
+exception Sim_error of error_kind * error_context
+
+let pp_error_kind ppf = function
+  | Fuel_exhausted n -> Fmt.pf ppf "fuel exhausted (%d traversals)" n
+  | Deadline_exceeded s -> Fmt.pf ppf "deadline exceeded (%.3gs)" s
+  | Call_depth_exceeded n -> Fmt.pf ppf "call depth exceeded (%d frames)" n
+  | Stack_overflow -> Fmt.pf ppf "stack overflow"
+  | Store_out_of_bounds a -> Fmt.pf ppf "store out of bounds: %d" a
+  | Unknown_global g -> Fmt.pf ppf "unknown global %s" g
+  | Unknown_function f -> Fmt.pf ppf "unknown function %s" f
+  | No_such_tree id -> Fmt.pf ppf "no such tree %d" id
+  | Globals_exceed_memory -> Fmt.pf ppf "globals exceed memory"
+  | Eval_error msg -> Fmt.pf ppf "%s" msg
+
+let pp_error ppf (kind, ctx) =
+  pp_error_kind ppf kind;
+  (match ctx.in_func with Some f -> Fmt.pf ppf " in %s" f | None -> ());
+  (match ctx.in_tree with Some t -> Fmt.pf ppf ", tree %d" t | None -> ());
+  match ctx.at_op with Some op -> Fmt.pf ppf ", at %s" op | None -> ()
+
+let () =
+  Printexc.register_printer (function
+    | Sim_error (kind, ctx) ->
+        Some (Fmt.str "Sim_error: %a" pp_error (kind, ctx))
+    | _ -> None)
+
+let fail ?(ctx = no_context) kind = raise (Sim_error (kind, ctx))
+
+(** The default traversal budget of {!run} when no [fuel] is given. *)
+let default_fuel = 60_000_000
 
 type result = {
   ret : Value.t;  (** return value of [main] *)
@@ -73,7 +126,7 @@ let layout (prog : Prog.t) =
   ((fun name ->
      match Hashtbl.find_opt tbl name with
      | Some a -> a
-     | None -> errf "unknown global %s" name),
+     | None -> fail (Unknown_global name)),
    !next)
 
 type traversal_cost =
@@ -92,7 +145,11 @@ type traversal_cost =
 
 let run ?timing ?(traversal_cost : traversal_cost option)
     ?(profile : Profile.t option) ?(mem_words = 1 lsl 20)
-    ?(max_traversals = 60_000_000) (prog : Prog.t) : result =
+    ?(fuel = default_fuel) ?(deadline : float option) (prog : Prog.t) :
+    result =
+  let deadline_abs =
+    Option.map (fun d -> Unix.gettimeofday () +. d) deadline
+  in
   let global_addr, globals_end = layout prog in
   let mem = Array.make mem_words Value.zero in
   List.iter
@@ -100,7 +157,7 @@ let run ?timing ?(traversal_cost : traversal_cost option)
       let base = global_addr g.gname in
       Array.iteri (fun i v -> mem.(base + i) <- v) g.ginit)
     prog.globals;
-  if globals_end >= mem_words then errf "globals exceed memory";
+  if globals_end >= mem_words then fail Globals_exceed_memory;
   let finfos = Hashtbl.create 8 in
   List.iter
     (fun (name, f) -> Hashtbl.replace finfos name (build_finfo f))
@@ -108,7 +165,7 @@ let run ?timing ?(traversal_cost : traversal_cost option)
   let finfo name =
     match Hashtbl.find_opt finfos name with
     | Some fi -> fi
-    | None -> errf "unknown function %s" name
+    | None -> fail (Unknown_function name)
   in
   (* scratch buffers sized to the largest tree *)
   let max_insns =
@@ -130,10 +187,15 @@ let run ?timing ?(traversal_cost : traversal_cost option)
   let sp = ref mem_words in
   let fp = ref (mem_words - !fi.func.frame_words) in
   sp := !fp;
-  if !sp <= globals_end then errf "stack overflow";
+  if !sp <= globals_end then fail Stack_overflow;
   let stack : frame list ref = ref [] in
   let tree_id = ref !fi.func.entry in
   let finished = ref None in
+  (* context-carrying failure for everything inside the traversal loop *)
+  let ctx ?op () =
+    { in_func = Some !fi.func.fname; in_tree = Some !tree_id; at_op = op }
+  in
+  let failc ?op kind = fail ~ctx:(ctx ?op ()) kind in
   (* Loads are non-faulting (the paper's machine model, section 4.6: LIFE
      loads are dismissible): a speculative load from a wild address yields
      zero instead of trapping.  Committed stores are still checked. *)
@@ -141,16 +203,21 @@ let run ?timing ?(traversal_cost : traversal_cost option)
     if addr < 0 || addr >= mem_words then Value.zero else mem.(addr)
   in
   let store addr v =
-    if addr < 0 || addr >= mem_words then errf "store out of bounds: %d" addr
+    if addr < 0 || addr >= mem_words then failc (Store_out_of_bounds addr)
     else mem.(addr) <- v
   in
   while !finished = None do
     incr traversals;
-    if !traversals > max_traversals then errf "traversal budget exhausted";
+    if !traversals > fuel then failc (Fuel_exhausted fuel);
+    (match deadline_abs with
+    | Some dl when !traversals land 0x3fff = 0 && Unix.gettimeofday () > dl
+      ->
+        failc (Deadline_exceeded (Option.get deadline))
+    | _ -> ());
     let tree =
       match !fi.by_id.(!tree_id) with
       | Some t -> t
-      | None -> errf "no tree %d in %s" !tree_id !fi.func.fname
+      | None -> failc (No_such_tree !tree_id)
     in
     let rf = !regs in
     let guard_holds (g : Insn.guard option) =
@@ -179,9 +246,13 @@ let run ?timing ?(traversal_cost : traversal_cost option)
             rf.(Option.get insn.dst) <- Value.Int (global_addr g)
         | Opcode.Addrof (Opcode.Frame off) ->
             rf.(Option.get insn.dst) <- Value.Int (!fp + off)
-        | _ ->
+        | _ -> (
             let srcs = List.map (fun r -> rf.(r)) insn.srcs in
-            rf.(Option.get insn.dst) <- Eval.eval_pure insn.op srcs)
+            match Eval.eval_pure insn.op srcs with
+            | v -> rf.(Option.get insn.dst) <- v
+            | exception Eval.Runtime_error msg ->
+                failc ~op:(Fmt.str "%a" Spd_ir.Opcode.pp insn.op)
+                  (Eval_error msg)))
       tree.insns;
     (* choose the taken exit *)
     let n_exits = Array.length tree.exits in
@@ -251,7 +322,7 @@ let run ?timing ?(traversal_cost : traversal_cost option)
         let tgt =
           match !fi.by_id.(target) with
           | Some t -> t
-          | None -> errf "no tree %d in %s" target !fi.func.fname
+          | None -> failc (No_such_tree target)
         in
         copy_into tgt.params args;
         tree_id := target
@@ -282,7 +353,8 @@ let run ?timing ?(traversal_cost : traversal_cost option)
             resume = return_to;
           }
           :: !stack;
-        if List.length !stack > 100_000 then errf "call stack overflow";
+        if List.length !stack > 100_000 then
+          failc (Call_depth_exceeded 100_000);
         fi := callee_fi;
         regs := Array.make callee_fi.nregs Value.zero;
         List.iter2
@@ -290,7 +362,7 @@ let run ?timing ?(traversal_cost : traversal_cost option)
           callee_fi.func.fparams arg_values;
         fp := !sp - callee_fi.func.frame_words;
         sp := !fp;
-        if !sp <= globals_end then errf "stack overflow";
+        if !sp <= globals_end then failc Stack_overflow;
         tree_id := callee_fi.func.entry
     | Tree.Return { value } -> (
         let v =
@@ -318,6 +390,6 @@ let run ?timing ?(traversal_cost : traversal_cost option)
 
 (** Run and return just the observable behaviour (return value and output),
     used for semantic-equivalence checks between pipelines. *)
-let observe ?mem_words ?max_traversals prog =
-  let r = run ?mem_words ?max_traversals prog in
+let observe ?mem_words ?fuel ?deadline prog =
+  let r = run ?mem_words ?fuel ?deadline prog in
   (r.ret, r.output)

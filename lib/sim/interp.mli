@@ -16,8 +16,41 @@
     dynamic alias counts per memory dependence arc (the PERFECT
     disambiguator's input). *)
 
-exception Runtime_error of string
-val errf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** {1 Structured errors}
+
+    Every abnormal termination raises {!Sim_error} with a
+    machine-readable kind plus the execution context — function, tree
+    and faulting operation — so harness layers can render and classify
+    failures without parsing message strings. *)
+
+type error_kind =
+  | Fuel_exhausted of int  (** the traversal budget that ran out *)
+  | Deadline_exceeded of float  (** the wall-clock budget, seconds *)
+  | Call_depth_exceeded of int
+  | Stack_overflow
+  | Store_out_of_bounds of int
+  | Unknown_global of string
+  | Unknown_function of string
+  | No_such_tree of int
+  | Globals_exceed_memory
+  | Eval_error of string  (** a pure-evaluation fault, e.g. division by zero *)
+
+type error_context = {
+  in_func : string option;
+  in_tree : int option;
+  at_op : string option;
+}
+
+val no_context : error_context
+
+exception Sim_error of error_kind * error_context
+
+val pp_error_kind : Format.formatter -> error_kind -> unit
+val pp_error : Format.formatter -> error_kind * error_context -> unit
+
+(** The default traversal budget of {!run} when no [fuel] is given. *)
+val default_fuel : int
+
 type result = {
   ret : Spd_ir.Value.t;
   output : Spd_ir.Value.t list;
@@ -43,10 +76,6 @@ val build_finfo : Spd_ir.Prog.func -> finfo
     free address.  Address 0 is reserved so that a stray null-ish pointer
     faults loudly in bounds checks of size-0 accesses. *)
 val layout : Spd_ir.Prog.t -> (string -> int) * int
-type traversal_cost =
-    func:string ->
-    tree:Spd_ir.Tree.t ->
-    addrs:int array -> active:bool array -> taken:int -> int
 
 (** Per-traversal cost callback for dynamic timing models: receives the
     traversal's concrete memory addresses ([addrs], indexed by instruction
@@ -54,15 +83,29 @@ type traversal_cost =
     ([active]) and the taken exit, and returns the traversal's cycles.
     Used by the hardware dynamic-disambiguation baseline, which resolves
     aliases with run-time address compares. *)
+type traversal_cost =
+    func:string ->
+    tree:Spd_ir.Tree.t ->
+    addrs:int array -> active:bool array -> taken:int -> int
+
+(** [run prog] interprets [prog] to completion.
+
+    [fuel] bounds the number of tree traversals (default
+    {!default_fuel}); exhausting it raises [Sim_error (Fuel_exhausted
+    fuel, _)].  [deadline] is a wall-clock budget in seconds, checked
+    every few thousand traversals; exceeding it raises
+    [Sim_error (Deadline_exceeded d, _)]. *)
 val run :
   ?timing:Timing.t ->
   ?traversal_cost:traversal_cost ->
   ?profile:Profile.t ->
-  ?mem_words:int -> ?max_traversals:int -> Spd_ir.Prog.t -> result
+  ?mem_words:int ->
+  ?fuel:int -> ?deadline:float -> Spd_ir.Prog.t -> result
 
 (** Run and return just the observable behaviour (return value and output),
     used for semantic-equivalence checks between pipelines. *)
 val observe :
   ?mem_words:int ->
-  ?max_traversals:int ->
+  ?fuel:int ->
+  ?deadline:float ->
   Spd_ir.Prog.t -> Spd_ir.Value.t * Spd_ir.Value.t list

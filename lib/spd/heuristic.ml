@@ -26,8 +26,15 @@ type application = {
   cost : int;  (** operations added, per the paper's cost model *)
 }
 
-let run_tree ?profile ~(params : params) ~mem_latency ~func (tree : Tree.t) :
-    Tree.t * application list =
+(** Per-application verification hook: called with the tree before the
+    transform, the accepted application and the transformed tree.  A
+    checker that raises aborts the whole run — speculative transforms
+    must be machine-checked, not assumed correct. *)
+type checker =
+  func:string -> before:Tree.t -> application -> Tree.t -> unit
+
+let run_tree ?profile ?(checker : checker option) ~(params : params)
+    ~mem_latency ~func (tree : Tree.t) : Tree.t * application list =
   let max_size =
     int_of_float (ceil (float_of_int (Tree.size tree) *. params.max_expansion))
   in
@@ -58,19 +65,24 @@ let run_tree ?profile ~(params : params) ~mem_latency ~func (tree : Tree.t) :
                     cost = Transform.estimated_cost t arc;
                   }
                 in
+                (match checker with
+                | Some check -> check ~func ~before:t app t'
+                | None -> ());
                 step t' (app :: log) (n + 1))
   in
   let t, log = step tree [] 0 in
   (t, List.rev log)
 
 (** Apply the heuristic to every tree of the program. *)
-let run ?profile ?(params = default_params) ~mem_latency (prog : Prog.t) :
-    Prog.t * application list =
+let run ?profile ?checker ?(params = default_params) ~mem_latency
+    (prog : Prog.t) : Prog.t * application list =
   let all = ref [] in
   let prog' =
     Prog.map_trees
       (fun func tree ->
-        let tree', log = run_tree ?profile ~params ~mem_latency ~func tree in
+        let tree', log =
+          run_tree ?profile ?checker ~params ~mem_latency ~func tree
+        in
         all := !all @ log;
         tree')
       prog

@@ -19,8 +19,17 @@ type application = {
   predicted_gain : float;
   cost : int;
 }
+
+(** Per-application verification hook: called with the tree before the
+    transform, the accepted application and the transformed tree.  A
+    checker that raises aborts the whole run — speculative transforms
+    must be machine-checked, not assumed correct. *)
+type checker =
+  func:string -> before:Spd_ir.Tree.t -> application -> Spd_ir.Tree.t -> unit
+
 val run_tree :
   ?profile:Spd_sim.Profile.t ->
+  ?checker:checker ->
   params:params ->
   mem_latency:int ->
   func:string -> Spd_ir.Tree.t -> Spd_ir.Tree.t * application list
@@ -28,6 +37,7 @@ val run_tree :
 (** Apply the heuristic to every tree of the program. *)
 val run :
   ?profile:Spd_sim.Profile.t ->
+  ?checker:checker ->
   ?params:params ->
   mem_latency:int -> Spd_ir.Prog.t -> Spd_ir.Prog.t * application list
 

@@ -1,0 +1,167 @@
+(** Differential fuzz oracle for the SpD pipeline.
+
+    Every case generates a random mini-C program (from a seeded,
+    replayable RNG), runs it through the plain interpreter, and through
+    the SpD-transformed program both untimed and under the 4-FU
+    scheduled machine.  All three observable behaviours (return value
+    and printed output) must be identical; the machine adds timing, not
+    semantics.
+
+    On a mismatch (or a crash in any stage) the failing case is
+    greedily shrunk to a minimal spec, and the seed, case number and
+    minimized source are printed so the failure replays exactly with
+    [--replay CASE --seed SEED].
+
+    {v
+    fuzz_diff [--count N] [--seed S] [--replay CASE] [--fuel N] [--verbose]
+    v}
+
+    [--fuel] tightens the per-case traversal budget (default 2M);
+    exhausting it counts as a stage failure, which also exercises the
+    shrinker on demand. *)
+
+module Pipeline = Spd_harness.Pipeline
+module Interp = Spd_sim.Interp
+
+(* a per-case fuel well under the default: generated programs are tiny,
+   so a runaway traversal count is itself a bug worth failing on *)
+let case_fuel = ref 2_000_000
+
+type mismatch = {
+  stage : string;
+  detail : string;
+}
+
+let pp_observed ppf (ret, output) =
+  Fmt.pf ppf "return %a; output [%a]" Spd_ir.Value.pp ret
+    Fmt.(list ~sep:semi Spd_ir.Value.pp)
+    output
+
+(* The oracle: [Ok ()] when the SpD pipeline preserves the plain
+   interpreter's observable behaviour, [Error m] otherwise.  Any
+   exception out of compilation, transformation or simulation is a
+   failure of that stage. *)
+let check (spec : Gen_prog.spec) : (unit, mismatch) result =
+  let src = Gen_prog.render spec in
+  let stage name f =
+    match f () with
+    | v -> Ok v
+    | exception e ->
+        Error { stage = name; detail = Printexc.to_string e }
+  in
+  let ( let* ) = Result.bind in
+  let* lowered = stage "lower" (fun () -> Spd_lang.Lower.compile src) in
+  let* expected =
+    stage "interpret (plain)" (fun () ->
+        Interp.observe ~fuel:!case_fuel lowered)
+  in
+  let* prepared =
+    stage "transform (SpD)" (fun () ->
+        Pipeline.prepare
+          ~config:(Pipeline.Config.v ~check:false ~fuel:!case_fuel ())
+          Pipeline.Spec lowered)
+  in
+  let* got =
+    stage "interpret (SpD)" (fun () ->
+        Interp.observe ~fuel:!case_fuel prepared.prog)
+  in
+  let* timed =
+    stage "simulate (SpD, 4 FU)" (fun () ->
+        let descr =
+          { Spd_machine.Descr.width = Spd_machine.Descr.Fus 4;
+            mem_latency = 2 }
+        in
+        let timing = Spd_machine.Timing_builder.program descr prepared.prog in
+        let r = Interp.run ~timing ~fuel:!case_fuel prepared.prog in
+        (r.ret, r.output))
+  in
+  if got <> expected then
+    Error
+      {
+        stage = "diff (SpD vs plain)";
+        detail =
+          Fmt.str "plain: %a@.SpD:   %a" pp_observed expected pp_observed got;
+      }
+  else if timed <> expected then
+    Error
+      {
+        stage = "diff (scheduled vs plain)";
+        detail =
+          Fmt.str "plain:     %a@.scheduled: %a" pp_observed expected
+            pp_observed timed;
+      }
+  else Ok ()
+
+let spec_of ~seed ~case =
+  let rand = Random.State.make [| seed; case |] in
+  QCheck.Gen.generate1 ~rand Gen_prog.gen_spec
+
+let report_failure ~seed ~case spec m =
+  Fmt.epr "@.FAIL case %d (seed %d): %s@.%s@." case seed m.stage m.detail;
+  Fmt.epr "@.Shrinking...@.";
+  let still_fails s = Result.is_error (check s) in
+  let small = Gen_prog.shrink ~still_fails spec in
+  let m' =
+    match check small with Error m' -> m' | Ok () -> m (* unreachable *)
+  in
+  Fmt.epr "@.Minimized reproducer (%s):@.%s@." m'.stage
+    (Gen_prog.render small);
+  Fmt.epr "Replay with: fuzz_diff --seed %d --replay %d@." seed case
+
+let () =
+  let count = ref 200 in
+  let seed = ref 42 in
+  let replay = ref None in
+  let verbose = ref false in
+  let usage () =
+    Fmt.epr
+      "usage: fuzz_diff [--count N] [--seed S] [--replay CASE] [--verbose]@.";
+    exit 1
+  in
+  let int_flag flag n =
+    match int_of_string_opt n with
+    | Some v when v >= 0 -> v
+    | _ ->
+        Fmt.epr "fuzz_diff: %s expects a non-negative integer, got %S@." flag
+          n;
+        exit 1
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--count" :: n :: tl -> count := int_flag "--count" n; parse tl
+    | "--seed" :: n :: tl -> seed := int_flag "--seed" n; parse tl
+    | "--replay" :: n :: tl ->
+        replay := Some (int_flag "--replay" n);
+        parse tl
+    | "--fuel" :: n :: tl ->
+        (match int_flag "--fuel" n with
+        | 0 -> Fmt.epr "fuzz_diff: --fuel expects a positive integer@."; exit 1
+        | v -> case_fuel := v);
+        parse tl
+    | "--verbose" :: tl -> verbose := true; parse tl
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let seed = !seed in
+  let cases =
+    match !replay with Some c -> [ c ] | None -> List.init !count Fun.id
+  in
+  let failed = ref 0 in
+  List.iter
+    (fun case ->
+      let spec = spec_of ~seed ~case in
+      match check spec with
+      | Ok () ->
+          if !verbose then Fmt.epr "case %d: ok@." case
+      | Error m ->
+          incr failed;
+          report_failure ~seed ~case spec m)
+    cases;
+  if !failed > 0 then begin
+    Fmt.epr "@.%d of %d differential cases FAILED (seed %d)@." !failed
+      (List.length cases) seed;
+    exit 1
+  end
+  else
+    Fmt.pr "fuzz_diff: %d differential cases passed (seed %d)@."
+      (List.length cases) seed

@@ -7,13 +7,40 @@
     and once with the same array — so the ambiguous references both do and
     do not alias dynamically.  They are used for differential testing of
     the disambiguation pipelines: every pipeline must preserve observable
-    behaviour on every generated program. *)
+    behaviour on every generated program.
+
+    Programs are generated as a structured {!spec} — a statement tree plus
+    the helper's expression — and only then rendered to source.  The
+    structure is what makes counterexamples {e shrinkable}: [candidates]
+    enumerates all one-step reductions of a spec (drop a statement, hoist
+    a branch or loop body, shrink a loop bound, simplify the helper), and
+    a failing oracle can walk them greedily to a minimal reproducer. *)
 
 open QCheck.Gen
 
 let ivars = [ "t0"; "t1"; "t2" ]
 let arrays = [ "ga"; "gb" ]
 let array_size = 24
+
+(* ------------------------------------------------------------------ *)
+(* The shrinkable program shape.  Expressions stay strings — they are
+   cheap to generate and the interesting shrinking dimension is the
+   statement structure, not expression depth. *)
+
+type stmt =
+  | Assign of string * string  (** variable, expression *)
+  | Store of string * string * string  (** array, index expr, value expr *)
+  | If of string * stmt list * stmt list
+  | For of string * int * stmt list  (** loop var, literal bound, body *)
+
+type spec = {
+  helper_expr : string;  (** expression mixed into the helper's store *)
+  body : stmt list;  (** statements of [main], before the helper calls *)
+  n_helper : int;  (** element count passed to the helper (>= 1) *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Generation *)
 
 (* Integer expressions over in-scope variables. [iv] is the loop variable
    in scope, if any. *)
@@ -48,21 +75,17 @@ let gen_cond ~iv =
   let* b = gen_iexpr ~iv 1 in
   return (Printf.sprintf "%s %s %s" a op b)
 
-let indent n = String.make (2 * n) ' '
-
-let rec gen_stmt ~iv ~depth level =
+let rec gen_stmt ~iv ~depth =
   let assign =
     let* v = oneofl ivars in
     let* e = gen_iexpr ~iv 2 in
-    return (Printf.sprintf "%s%s = %s;\n" (indent level) v e)
+    return (Assign (v, e))
   in
   let arr_store =
     let* arr = oneofl arrays in
     let* idx = gen_iexpr ~iv 1 in
     let* e = gen_iexpr ~iv 2 in
-    return
-      (Printf.sprintf "%s%s[((%s) %% %d + %d) %% %d] = %s;\n" (indent level)
-         arr idx array_size array_size array_size e)
+    return (Store (arr, idx, e))
   in
   if depth = 0 then oneof [ assign; arr_store ]
   else
@@ -72,33 +95,54 @@ let rec gen_stmt ~iv ~depth level =
         (3, arr_store);
         ( 2,
           let* c = gen_cond ~iv in
-          let* then_ = gen_block ~iv ~depth:(depth - 1) (level + 1) in
-          let* else_ = gen_block ~iv ~depth:(depth - 1) (level + 1) in
-          return
-            (Printf.sprintf "%sif (%s) {\n%s%s} else {\n%s%s}\n"
-               (indent level) c then_ (indent level) else_ (indent level)) );
+          let* then_ = gen_block ~iv ~depth:(depth - 1) in
+          let* else_ = gen_block ~iv ~depth:(depth - 1) in
+          return (If (c, then_, else_)) );
         ( 2,
           (* a literal-bound loop over the variable not already in use *)
           let var = match iv with None -> "i" | Some _ -> "j" in
           let* bound = int_range 1 8 in
-          let* body = gen_block ~iv:(Some var) ~depth:(depth - 1) (level + 1) in
-          return
-            (Printf.sprintf "%sfor (%s = 0; %s < %d; %s = %s + 1) {\n%s%s}\n"
-               (indent level) var var bound var var body (indent level)) );
+          let* body = gen_block ~iv:(Some var) ~depth:(depth - 1) in
+          return (For (var, bound, body)) );
       ]
 
-and gen_block ~iv ~depth level =
+and gen_block ~iv ~depth =
   let* n = int_range 1 3 in
-  let* stmts = list_repeat n (gen_stmt ~iv ~depth level) in
-  return (String.concat "" stmts)
+  list_repeat n (gen_stmt ~iv ~depth)
 
-(* The helper: a loop over two array parameters with a store-then-load
-   pattern, the canonical SpD shape. *)
-let gen_helper =
-  let* body_expr = gen_iexpr ~iv:(Some "k") 2 in
-  return
-    (Printf.sprintf
-       {|
+let gen_spec : spec t =
+  let* helper_expr = gen_iexpr ~iv:(Some "k") 2 in
+  let* body = gen_block ~iv:None ~depth:2 in
+  let* n_helper = int_range 1 (array_size - 1) in
+  return { helper_expr; body; n_helper }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let indent n = String.make (2 * n) ' '
+
+let rec render_stmt level = function
+  | Assign (v, e) -> Printf.sprintf "%s%s = %s;\n" (indent level) v e
+  | Store (arr, idx, e) ->
+      Printf.sprintf "%s%s[((%s) %% %d + %d) %% %d] = %s;\n" (indent level)
+        arr idx array_size array_size array_size e
+  | If (c, then_, else_) ->
+      Printf.sprintf "%sif (%s) {\n%s%s} else {\n%s%s}\n" (indent level) c
+        (render_block (level + 1) then_)
+        (indent level)
+        (render_block (level + 1) else_)
+        (indent level)
+  | For (var, bound, body) ->
+      Printf.sprintf "%sfor (%s = 0; %s < %d; %s = %s + 1) {\n%s%s}\n"
+        (indent level) var var bound var var
+        (render_block (level + 1) body)
+        (indent level)
+
+and render_block level stmts = String.concat "" (List.map (render_stmt level) stmts)
+
+let render_helper helper_expr =
+  Printf.sprintf
+    {|
 int helper(int p[], int q[], int n) {
   int k; int s; int t0; int t1; int t2;
   s = 0; t0 = 1; t1 = 2; t2 = 3;
@@ -109,15 +153,11 @@ int helper(int p[], int q[], int n) {
   return s;
 }
 |}
-       body_expr)
+    helper_expr
 
-let gen_source : string t =
-  let* helper = gen_helper in
-  let* body = gen_block ~iv:None ~depth:2 1 in
-  let* n_helper = int_range 1 (array_size - 1) in
-  return
-    (Printf.sprintf
-       {|
+let render { helper_expr; body; n_helper } =
+  Printf.sprintf
+    {|
 int ga[%d];
 int gb[%d];
 %s
@@ -137,8 +177,66 @@ int main() {
   return chk;
 }
 |}
-       array_size array_size helper array_size body n_helper n_helper
-       array_size)
+    array_size array_size
+    (render_helper helper_expr)
+    array_size
+    (render_block 1 body)
+    n_helper n_helper array_size
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking: all one-step reductions of a spec, most aggressive first.
+   Hoisting an [If] branch or a [For] body into the enclosing block is
+   safe because every loop variable ([i], [j], [k]) is declared and
+   initialized in the enclosing function regardless of the loop. *)
+
+let rec block_candidates stmts : stmt list list =
+  List.concat
+    (List.mapi
+       (fun i s ->
+         let replace rs =
+           List.concat
+             (List.mapi (fun j s' -> if j = i then rs else [ s' ]) stmts)
+         in
+         replace []
+         ::
+         (match s with
+         | Assign _ | Store _ -> []
+         | If (c, then_, else_) ->
+             [ replace then_; replace else_ ]
+             @ List.map
+                 (fun t' -> replace [ If (c, t', else_) ])
+                 (block_candidates then_)
+             @ List.map
+                 (fun e' -> replace [ If (c, then_, e') ])
+                 (block_candidates else_)
+         | For (var, bound, body) ->
+             replace body
+             :: (if bound > 1 then [ replace [ For (var, 1, body) ] ] else [])
+             @ List.map
+                 (fun b' -> replace [ For (var, bound, b') ])
+                 (block_candidates body)))
+       stmts)
+
+let candidates spec : spec list =
+  List.map (fun body -> { spec with body }) (block_candidates spec.body)
+  @ (if spec.n_helper > 1 then [ { spec with n_helper = 1 } ] else [])
+  @
+  if spec.helper_expr <> "0" then [ { spec with helper_expr = "0" } ]
+  else []
+
+(** Greedy shrink: repeatedly take the first one-step reduction that
+    still fails the oracle, until none does. *)
+let shrink ~(still_fails : spec -> bool) spec =
+  let rec go spec =
+    match List.find_opt still_fails (candidates spec) with
+    | Some smaller -> go smaller
+    | None -> spec
+  in
+  go spec
+
+(* ------------------------------------------------------------------ *)
+
+let gen_source : string t = map render gen_spec
 
 let arbitrary_source =
   QCheck.make ~print:(fun s -> s) gen_source

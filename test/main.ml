@@ -9,5 +9,6 @@ let () =
       ("machine", Test_machine.tests);
       ("spd", Test_spd.tests);
       ("harness", Test_harness.tests);
+      ("faults", Test_faults.tests);
       ("workloads", Test_workloads.tests);
     ]

@@ -79,12 +79,28 @@ int main() { return sum_to(40); }
 |})
 
 let test_traversal_budget () =
-  match
-    run_src ~mem_words:1024
+  let prog =
+    compile
       "int main() { int i; i = 0; while (i < 1) { i = i * 1; } return 0; }"
-  with
-  | exception Sim.Interp.Runtime_error _ -> ()
+  in
+  match Sim.Interp.run ~mem_words:1024 ~fuel:10_000 prog with
+  | exception Sim.Interp.Sim_error (Sim.Interp.Fuel_exhausted 10_000, ctx)
+    ->
+      check_bool "context names the function" true (ctx.in_func = Some "main")
+  | exception e ->
+      Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
   | _ -> Alcotest.fail "infinite loop not caught"
+
+let test_eval_error_context () =
+  (* a division by zero reaches the caller as a structured Sim_error
+     carrying the faulting function and operation *)
+  match run_src "int main() { int x; x = 0; return 1 / x; }" with
+  | exception Sim.Interp.Sim_error (Sim.Interp.Eval_error _, ctx) ->
+      check_bool "context names the function" true (ctx.in_func = Some "main");
+      check_bool "context names the op" true (ctx.at_op <> None)
+  | exception e ->
+      Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "division by zero accepted"
 
 (* ------------------------------------------------------------------ *)
 (* Timing: hand-built table, checked against a known trace *)
@@ -222,6 +238,7 @@ let tests =
     case "speculative load non-faulting" test_speculative_load_is_harmless;
     case "recursion frames" test_deep_recursion_frames;
     case "traversal budget" test_traversal_budget;
+    case "eval error context" test_eval_error_context;
     case "timing accumulates" test_timing_accumulates;
     case "memory latency hurts" test_memory_latency_hurts;
     case "profile exit counts" test_profile_exit_counts;
