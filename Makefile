@@ -1,11 +1,13 @@
 # Convenience targets; `make check` is the CI entry point: full build,
-# the test suite, a 200-seed differential fuzz smoke, and a table6_3
-# smoke run twice — the second pass must be served entirely from the
-# warm _spd_cache/.
+# the test suite, a 200-seed differential fuzz smoke, a table6_3 smoke
+# run twice — the second pass must be served entirely from the warm
+# _spd_cache/ — and a telemetry smoke that lints the trace and JSON
+# report output with the in-repo JSON reader.
 
 DUNE ?= dune
+SMOKE_DIR ?= /tmp
 
-.PHONY: all check test bench fuzz-smoke clean
+.PHONY: all check test bench bench-json fuzz-smoke telemetry-smoke clean
 
 all:
 	$(DUNE) build
@@ -18,14 +20,29 @@ test:
 fuzz-smoke:
 	$(DUNE) exec test/fuzz_diff.exe -- --count 200 --seed 42
 
+# Telemetry smoke: a traced machine-readable run, then both output
+# files validated by test/json_lint.exe.
+telemetry-smoke:
+	$(DUNE) exec bench/main.exe -- table6_3 --jobs 2 --no-cache \
+	  --trace $(SMOKE_DIR)/spd_trace.json --format json \
+	  > $(SMOKE_DIR)/spd_report.json
+	$(DUNE) exec test/json_lint.exe -- \
+	  $(SMOKE_DIR)/spd_trace.json $(SMOKE_DIR)/spd_report.json
+
 check: all
 	$(DUNE) runtest
 	$(MAKE) fuzz-smoke
 	$(DUNE) exec bench/main.exe -- table6_3 --jobs 2
 	$(DUNE) exec bench/main.exe -- table6_3 --jobs 2 --timings
+	$(MAKE) telemetry-smoke
 
 bench:
 	$(DUNE) exec bench/main.exe -- all --timings
+
+# The full report (paper artefacts + extensions) as one spd-report/1
+# JSON document; see EXPERIMENTS.md for the schema.
+bench-json:
+	$(DUNE) exec bench/main.exe -- all --format json > BENCH_REPORT.json
 
 clean:
 	$(DUNE) clean

@@ -21,6 +21,12 @@
     - [--no-cache]   disable the content-addressed on-disk result cache
       ([_spd_cache/])
     - [--timings]    append the engine's per-stage wall-clock report
+    - [--trace FILE] write a Chrome trace-event JSON of the run (spans
+      per grid cell, with pipeline-stage child spans), loadable in
+      Perfetto / chrome://tracing
+    - [--format F]   output format: pretty (default), json (one
+      [spd-report/1] document with every table, the failures and a
+      metrics snapshot) or csv (long format)
     - [--retries N]  attempts per grid cell before recording a failure
     - [--fuel N]     simulator traversal budget per run
     - [--deadline S] per-cell wall-clock budget in seconds
@@ -28,12 +34,14 @@
     - [--inject-fault SPEC] deterministic fault injection, e.g.
       [cache-corrupt:1], [cell-raise:adi/2/SPEC], [fuel:1000]
 
-    A run with failed cells renders them as [n/a], appends a failure
-    appendix and exits nonzero. *)
+    A run with failed cells renders them as [n/a] (JSON [null]), lists
+    them in the failure appendix ([failures] key) and exits nonzero. *)
 
 module Report = Spd_harness.Report
 module Engine = Spd_harness.Engine
 module Faults = Spd_harness.Faults
+module Artefact = Spd_harness.Artefact
+module Trace = Spd_telemetry.Trace
 
 let ppf = Fmt.stdout
 
@@ -111,27 +119,13 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
-let artefacts =
-  [
-    ("table6_1", Report.table6_1);
-    ("table6_2", Report.table6_2);
-    ("table6_3", Report.table6_3);
-    ("table6_4", Report.table6_4);
-    ("fig6_2", Report.fig6_2);
-    ("fig6_3", Report.fig6_3);
-    ("fig6_4", Report.fig6_4);
-    ("ext_dynamic", Spd_harness.Extensions.ext_dynamic);
-    ("ext_grafting", Spd_harness.Extensions.ext_grafting);
-    ("ext_params", Spd_harness.Extensions.ext_params);
-  ]
-
 let usage () =
   Fmt.epr
-    "usage: main.exe [all|micro|timings%a] [--jobs N] [--no-cache] \
-     [--timings] [--retries N] [--fuel N] [--deadline S] [--widths A,B,..] \
-     [--inject-fault SPEC]@."
-    (Fmt.list ~sep:Fmt.nop (fun ppf (n, _) -> Fmt.pf ppf "|%s" n))
-    artefacts;
+    "usage: main.exe [all|micro%a] [--jobs N] [--no-cache] [--timings] \
+     [--trace FILE] [--format pretty|json|csv] [--retries N] [--fuel N] \
+     [--deadline S] [--widths A,B,..] [--inject-fault SPEC]@."
+    (Fmt.list ~sep:Fmt.nop (fun ppf n -> Fmt.pf ppf "|%s" n))
+    (Artefact.names ());
   exit 1
 
 (* one-line diagnosis for a malformed flag value; no exception trace *)
@@ -170,12 +164,19 @@ let () =
   let fuel = ref None in
   let deadline = ref None in
   let faults = ref Faults.none in
+  let trace = ref None in
+  let format = ref Artefact.Pretty in
   let rest = ref [] in
   let rec parse = function
     | [] -> ()
     | "--jobs" :: n :: tl -> jobs := Some (int_flag "--jobs" n); parse tl
     | "--no-cache" :: tl -> disk_cache := false; parse tl
     | "--timings" :: tl -> timings := true; parse tl
+    | "--trace" :: f :: tl -> trace := Some f; parse tl
+    | "--format" :: f :: tl -> (
+        match Artefact.format_of_string f with
+        | Some fm -> format := fm; parse tl
+        | None -> hint "--format expects pretty, json or csv, got %S" f)
     | "--retries" :: n :: tl ->
         retries := Some (int_flag "--retries" n); parse tl
     | "--fuel" :: n :: tl -> fuel := Some (int_flag "--fuel" n); parse tl
@@ -189,32 +190,43 @@ let () =
     | [ flag ]
       when List.mem flag
              [ "--jobs"; "--retries"; "--fuel"; "--deadline"; "--widths";
-               "--inject-fault" ] ->
+               "--inject-fault"; "--trace"; "--format" ] ->
         hint "%s expects a value" flag
     | arg :: tl -> rest := arg :: !rest; parse tl
   in
   parse (List.tl (Array.to_list Sys.argv));
+  if !trace <> None then Trace.start ();
   let session =
     Engine.Session.create ?jobs:!jobs ~disk_cache:!disk_cache
       ?retries:!retries ?fuel:!fuel ?deadline:!deadline ~faults:!faults ()
   in
   Spd_harness.Experiment.set_default_session session;
-  (match List.rev !rest with
-  | [] | [ "all" ] ->
-      Report.all ppf ();
-      Spd_harness.Extensions.all ppf ();
+  let render names = Artefact.render !format ppf (Artefact.of_names names) in
+  (match (List.rev !rest, !format) with
+  | ([] | [ "all" ]), Artefact.Pretty ->
+      render (Artefact.paper_set @ Artefact.extension_set);
       micro ()
-  | [ "micro" ] -> micro ()
-  | [ "timings" ] -> timings := true
-  | [ name ] -> (
-      match List.assoc_opt name artefacts with
-      | Some f -> f ppf ()
+  | ([] | [ "all" ]), _ ->
+      (* micro is interactive-only: its numbers are pure wall clock *)
+      render (Artefact.paper_set @ Artefact.extension_set)
+  | [ "micro" ], Artefact.Pretty -> micro ()
+  | [ "micro" ], _ -> hint "micro supports only --format pretty"
+  | [ "timings" ], Artefact.Pretty -> timings := true
+  | [ name ], _ -> (
+      match Artefact.find name with
+      | Some _ -> render [ name ]
       | None ->
-          hint "unknown artefact %S (one of: all, micro, timings, %s)" name
-            (String.concat ", " (List.map fst artefacts)))
+          hint "unknown artefact %S (one of: all, micro, %s)" name
+            (String.concat ", " (Artefact.names ())))
   | _ -> usage ());
-  if !timings then Report.timings ppf ();
-  Report.failure_appendix ppf ();
+  (match !format with
+  | Artefact.Pretty ->
+      if !timings then Report.timings ppf ();
+      Report.failure_appendix ppf ()
+  | _ -> ());
+  (match !trace with
+  | Some path -> Trace.stop (); Trace.write path
+  | None -> ());
   let failed = Spd_harness.Experiment.failures () <> [] in
   Engine.Session.close session;
   if failed then exit 2

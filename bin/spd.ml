@@ -5,6 +5,7 @@
     spd run     FILE [--pipeline P] [--width W] ...     compile, simulate, time
     spd bench   NAME [--mem-latency N]                  one built-in benchmark, all pipelines
     spd report  [ARTEFACT] [--jobs N] [--no-cache]      regenerate the paper's tables/figures
+                [--trace FILE] [--format pretty|json|csv]
     spd list                                            list built-in benchmarks
     v}
 
@@ -174,25 +175,14 @@ let bench_cmd =
     Term.(const run $ name_arg $ mem_latency_arg $ width_arg)
 
 let report_cmd =
-  let artefacts =
-    [
-      ("table6_1", Spd_harness.Report.table6_1);
-      ("table6_2", Spd_harness.Report.table6_2);
-      ("table6_3", Spd_harness.Report.table6_3);
-      ("table6_4", Spd_harness.Report.table6_4);
-      ("fig6_2", Spd_harness.Report.fig6_2);
-      ("fig6_3", Spd_harness.Report.fig6_3);
-      ("fig6_4", Spd_harness.Report.fig6_4);
-      ("ext_dynamic", Spd_harness.Extensions.ext_dynamic);
-      ("ext_grafting", Spd_harness.Extensions.ext_grafting);
-      ("ext_params", Spd_harness.Extensions.ext_params);
-      ("timings", Spd_harness.Report.timings);
-    ]
-  in
-  let run name jobs no_cache timings retries fuel deadline widths faults =
+  let module Artefact = Spd_harness.Artefact in
+  let module Trace = Spd_telemetry.Trace in
+  let run name jobs no_cache timings retries fuel deadline widths faults
+      trace format =
     (match widths with
     | None -> ()
     | Some ws -> Spd_harness.Report.set_widths ws);
+    if trace <> None then Trace.start ();
     let session =
       Spd_harness.Engine.Session.create ?jobs ~disk_cache:(not no_cache)
         ?retries ?fuel ?deadline
@@ -200,17 +190,23 @@ let report_cmd =
     in
     Spd_harness.Experiment.set_default_session session;
     (match name with
-    | None -> Spd_harness.Report.all Fmt.stdout ()
+    | None -> Artefact.render format Fmt.stdout (Artefact.of_names Artefact.paper_set)
     | Some n -> (
-        match List.assoc_opt n artefacts with
-        | Some f -> f Fmt.stdout ()
+        match Artefact.find n with
+        | Some a -> Artefact.render format Fmt.stdout [ a ]
         | None ->
             Fmt.epr "unknown artefact %s (one of: %s)@." n
-              (String.concat ", " (List.map fst artefacts));
+              (String.concat ", " (Artefact.names ()));
             exit 1));
-    if timings && name <> Some "timings" then
-      Spd_harness.Report.timings Fmt.stdout ();
-    Spd_harness.Report.failure_appendix Fmt.stdout ();
+    (match format with
+    | Artefact.Pretty ->
+        if timings && name <> Some "timings" then
+          Spd_harness.Report.timings Fmt.stdout ();
+        Spd_harness.Report.failure_appendix Fmt.stdout ()
+    | _ -> ());
+    (match trace with
+    | Some path -> Trace.stop (); Trace.write path
+    | None -> ());
     let failed = Spd_harness.Experiment.failures () <> [] in
     Spd_harness.Engine.Session.close session;
     if failed then exit 2
@@ -316,12 +312,49 @@ let report_cmd =
              starts with KEY, e.g. adi/2/SPEC) and $(b,fuel:N) \
              (tight simulator budget).")
   in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON of the run (spans per grid \
+             cell with pipeline-stage child spans), loadable in Perfetto \
+             / chrome://tracing.")
+  in
+  let format_conv =
+    let parse s =
+      match Artefact.format_of_string s with
+      | Some f -> Ok f
+      | None ->
+          Error (`Msg (Printf.sprintf "expected pretty, json or csv, got %S" s))
+    in
+    Arg.conv
+      ( parse,
+        fun ppf f ->
+          Fmt.string ppf
+            (match f with
+            | Artefact.Pretty -> "pretty"
+            | Artefact.Json -> "json"
+            | Artefact.Csv -> "csv") )
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt format_conv Artefact.Pretty
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: $(b,pretty) (default), $(b,json) (one \
+             spd-report/1 document with every table, the failures and a \
+             metrics snapshot) or $(b,csv) (long format).")
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Regenerate the paper's evaluation tables and figures.")
     Term.(
       const run $ name_arg $ jobs_arg $ no_cache_arg $ timings_arg
-      $ retries_arg $ fuel_arg $ deadline_arg $ widths_arg $ faults_arg)
+      $ retries_arg $ fuel_arg $ deadline_arg $ widths_arg $ faults_arg
+      $ trace_arg $ format_arg)
 
 let graph_cmd =
   let run file pipeline mem_latency func tree_id =

@@ -27,8 +27,34 @@ module W = Spd_workloads
 
 (* Bumped whenever the compiler, scheduler, simulator or the on-disk
    entry format change in a way that affects emitted numbers or decoding;
-   invalidates every on-disk entry.  "2": checksummed entry format. *)
-let cache_version = "2"
+   invalidates every on-disk entry.  "2": checksummed entry format.
+   "3": [Dynamics] entries; SpD applications carry their predicate
+   register. *)
+let cache_version = "3"
+
+(* Engine-level metrics, mirrored alongside the per-session [Stats]
+   counters so a metrics snapshot covers multi-session processes too. *)
+module M = Spd_telemetry.Metrics
+
+let m_lowerings = lazy (M.counter "spd.engine.lowerings")
+let m_preparations = lazy (M.counter "spd.engine.preparations")
+let m_simulations = lazy (M.counter "spd.engine.simulations")
+let m_cache_hits = lazy (M.counter "spd.engine.cache.hits")
+let m_cache_misses = lazy (M.counter "spd.engine.cache.misses")
+let m_cache_evictions = lazy (M.counter "spd.engine.cache.evictions")
+let m_cell_retries = lazy (M.counter "spd.engine.cells.retried")
+let m_cell_failures = lazy (M.counter "spd.engine.cells.failed")
+
+let m_stage_seconds =
+  lazy
+    (List.map
+       (fun st ->
+         ( st,
+           M.histogram ~buckets:M.time_buckets
+             ("spd.engine.stage_seconds." ^ Pipeline.stage_name st) ))
+       Pipeline.stages)
+
+let mark c = M.incr (Lazy.force c)
 
 (* ------------------------------------------------------------------ *)
 (* Promise-style memo table, safe for concurrent use from domains.  The
@@ -243,12 +269,28 @@ module Stats = struct
         (** cumulative wall clock per pipeline stage, across all domains *)
   }
 
+  (* Sorted [key=value] rendering.  [jobs] is deliberately excluded:
+     every other counter is a function of the requested grid alone, so
+     the rendered line is bit-identical across job counts (renderers
+     that want the pool size print {!t.jobs} themselves). *)
+  let to_alist t =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      [
+        ("cell_failures", t.cell_failures);
+        ("cell_retries", t.cell_retries);
+        ("disk_evictions", t.disk_evictions);
+        ("disk_hits", t.disk_hits);
+        ("disk_misses", t.disk_misses);
+        ("lowerings", t.lowerings);
+        ("preparations", t.preparations);
+        ("simulations", t.simulations);
+      ]
+
   let pp ppf t =
-    Fmt.pf ppf
-      "jobs %d; lowerings %d; preparations %d; simulations %d; disk \
-       %d hit / %d miss / %d evicted; cells %d retried / %d failed"
-      t.jobs t.lowerings t.preparations t.simulations t.disk_hits
-      t.disk_misses t.disk_evictions t.cell_retries t.cell_failures
+    Fmt.pf ppf "%a"
+      Fmt.(list ~sep:(any "; ") (pair ~sep:(any "=") string int))
+      (to_alist t)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -260,6 +302,7 @@ module Session = struct
   type disk_value =
     | Cycles of int
     | Summary of { code_size : int; counts : int * int * int }
+    | Dynamics of Pipeline.dynamics
 
   type t = {
     jobs : int;
@@ -273,6 +316,7 @@ module Session = struct
     prep_memo : (key, Pipeline.prepared) Memo.t;
     cycles_memo : (key * Spd_machine.Descr.width, int outcome) Memo.t;
     summary_memo : (key, (int * (int * int * int)) outcome) Memo.t;
+    dynamics_memo : (key, Pipeline.dynamics outcome) Memo.t;
     stats_mu : Mutex.t;
     mutable lowerings : int;
     mutable preparations : int;
@@ -308,6 +352,7 @@ module Session = struct
       let i = Pipeline.stage_index stage in
       stage_seconds.(i) <- stage_seconds.(i) +. dt;
       Mutex.unlock stats_mu;
+      M.observe (List.assoc stage (Lazy.force m_stage_seconds)) dt;
       match user_timer with Some f -> f stage dt | None -> ()
     in
     (* an armed fuel fault is the tightest budget; otherwise the session
@@ -337,6 +382,7 @@ module Session = struct
       prep_memo = Memo.create 64;
       cycles_memo = Memo.create 256;
       summary_memo = Memo.create 64;
+      dynamics_memo = Memo.create 64;
       stats_mu;
       lowerings = 0;
       preparations = 0;
@@ -396,6 +442,8 @@ module Session = struct
 
   let protected t ~key (f : unit -> 'a) : 'a outcome =
     let t0 = Unix.gettimeofday () in
+    (* one trace span per attempt, so retries show up individually *)
+    let f () = Spd_telemetry.Trace.with_span ~name:("cell:" ^ key) f in
     let rec attempt n =
       match
         Faults.cell_raise t.faults ~key;
@@ -411,6 +459,7 @@ module Session = struct
           in
           if n < t.retries && not out_of_time then begin
             bump t (fun t -> t.cell_retries <- t.cell_retries + 1);
+            mark m_cell_retries;
             attempt (n + 1)
           end
           else begin
@@ -418,6 +467,7 @@ module Session = struct
             bump t (fun t ->
                 t.cell_failures <- t.cell_failures + 1;
                 t.failures <- f :: t.failures);
+            mark m_cell_failures;
             Failed f
           end
     in
@@ -485,7 +535,9 @@ module Session = struct
     (try Sys.remove path with Sys_error _ -> ());
     bump t (fun t ->
         t.disk_evictions <- t.disk_evictions + 1;
-        t.disk_misses <- t.disk_misses + 1)
+        t.disk_misses <- t.disk_misses + 1);
+    mark m_cache_evictions;
+    mark m_cache_misses
 
   let disk_read t payload : disk_value option =
     match t.cache_dir with
@@ -495,6 +547,7 @@ module Session = struct
         match In_channel.with_open_bin path In_channel.input_all with
         | exception Sys_error _ ->
             bump t (fun t -> t.disk_misses <- t.disk_misses + 1);
+            mark m_cache_misses;
             None
         | s -> (
             let s =
@@ -504,6 +557,7 @@ module Session = struct
             match decode_entry s with
             | Ok v ->
                 bump t (fun t -> t.disk_hits <- t.disk_hits + 1);
+                mark m_cache_hits;
                 Some v
             | Error reason -> evict t path reason; None))
 
@@ -552,6 +606,7 @@ module Session = struct
   let lowered t bench =
     Memo.get t.lowered_memo bench (fun () ->
         bump t (fun t -> t.lowerings <- t.lowerings + 1);
+        mark m_lowerings;
         let t0 = Unix.gettimeofday () in
         let prog =
           Spd_lang.Lower.compile (W.Registry.by_name bench).source
@@ -565,6 +620,7 @@ module Session = struct
     Memo.get t.prep_memo { bench; latency; kind } (fun () ->
         let lowered = lowered t bench in
         bump t (fun t -> t.preparations <- t.preparations + 1);
+        mark m_preparations;
         Pipeline.prepare
           ~config:{ t.config with mem_latency = latency }
           kind lowered)
@@ -579,8 +635,9 @@ module Session = struct
             in
             match disk_read t payload with
             | Some (Cycles n) -> n
-            | Some (Summary _) | None ->
+            | _ ->
                 bump t (fun t -> t.simulations <- t.simulations + 1);
+                mark m_simulations;
                 let n =
                   Pipeline.cycles (prepared t ~bench ~latency kind) ~width
                 in
@@ -595,7 +652,7 @@ module Session = struct
             let payload = cell_payload t key ^ "|summary" in
             match disk_read t payload with
             | Some (Summary s) -> (s.code_size, s.counts)
-            | Some (Cycles _) | None ->
+            | _ ->
                 let p = prepared t ~bench ~latency kind in
                 let code_size = Pipeline.code_size p in
                 let counts =
@@ -603,6 +660,23 @@ module Session = struct
                 in
                 disk_write t payload (Summary { code_size; counts });
                 (code_size, counts)))
+
+  (* run-time dynamics of the SPEC pipeline's SpD applications *)
+  let spd_dynamics_outcome t ~bench ~latency =
+    let key = { bench; latency; kind = Pipeline.Spec } in
+    Memo.get t.dynamics_memo key (fun () ->
+        protected t ~key:(cell_key key ^ "/dynamics") (fun () ->
+            let payload = cell_payload t key ^ "|dynamics" in
+            match disk_read t payload with
+            | Some (Dynamics d) -> d
+            | _ ->
+                bump t (fun t -> t.simulations <- t.simulations + 1);
+                mark m_simulations;
+                let d =
+                  Pipeline.dynamics (prepared t ~bench ~latency Pipeline.Spec)
+                in
+                disk_write t payload (Dynamics d);
+                d))
 
   let map_outcome f = function Ok v -> Ok (f v) | Failed f -> Failed f
 
@@ -649,6 +723,9 @@ module Session = struct
 
   let spd_counts t ~bench ~latency =
     get (spd_counts_outcome t ~bench ~latency)
+
+  let spd_dynamics t ~bench ~latency =
+    get (spd_dynamics_outcome t ~bench ~latency)
 
   let speedup_over_naive t ~bench ~latency kind ~width =
     get (speedup_over_naive_outcome t ~bench ~latency kind ~width)

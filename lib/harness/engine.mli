@@ -57,6 +57,13 @@ module Stats : sig
         (** cumulative wall clock per pipeline stage, across all domains *)
   }
 
+  (** The counters as a sorted association list, [jobs] excluded — every
+      included counter is a function of the requested grid alone, so the
+      list (and {!pp}'s rendering of it) is bit-identical across job
+      counts. *)
+  val to_alist : t -> (string * int) list
+
+  (** Sorted [key=value] pairs separated by ["; "]. *)
   val pp : Format.formatter -> t -> unit
 end
 
@@ -152,6 +159,14 @@ module Session : sig
     t -> bench:string -> latency:int -> (int * int * int) outcome
 
   val spd_counts : t -> bench:string -> latency:int -> int * int * int
+
+  (** Run-time dynamics of the SPEC pipeline's SpD applications:
+      alias/no-alias version commits per transformed region plus
+      squashed guarded operations (disk-cacheable). *)
+  val spd_dynamics_outcome :
+    t -> bench:string -> latency:int -> Pipeline.dynamics outcome
+
+  val spd_dynamics : t -> bench:string -> latency:int -> Pipeline.dynamics
 
   (** Speedup of [kind] over NAIVE, the metric of Figure 6-2. *)
   val speedup_over_naive_outcome :

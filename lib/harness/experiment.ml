@@ -55,6 +55,10 @@ let spd_counts ~bench ~latency =
 let code_growth ~bench ~latency =
   Engine.Session.code_growth (default_session ()) ~bench ~latency
 
+(** Run-time dynamics of the SPEC pipeline's SpD applications. *)
+let spd_dynamics ~bench ~latency =
+  Engine.Session.spd_dynamics (default_session ()) ~bench ~latency
+
 (* Failure-contained variants: a broken cell comes back as [Failed]
    instead of raising, so renderers can print [n/a] and move on. *)
 
@@ -78,6 +82,9 @@ let code_size_result ~bench ~latency kind =
 
 let code_growth_result ~bench ~latency =
   Engine.Session.code_growth_outcome (default_session ()) ~bench ~latency
+
+let spd_dynamics_result ~bench ~latency =
+  Engine.Session.spd_dynamics_outcome (default_session ()) ~bench ~latency
 
 (** Every failure the default session has recorded, sorted by cell key. *)
 let failures () = Engine.Session.failures (default_session ())

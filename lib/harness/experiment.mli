@@ -46,6 +46,9 @@ val spd_counts : bench:string -> latency:int -> int * int * int
 (** Code growth of SPEC relative to STATIC, as a fraction (Figure 6-4). *)
 val code_growth : bench:string -> latency:int -> float
 
+(** Run-time dynamics of the SPEC pipeline's SpD applications. *)
+val spd_dynamics : bench:string -> latency:int -> Pipeline.dynamics
+
 (** {1 Failure-contained variants}
 
     A broken cell comes back as [Failed] instead of raising, so
@@ -73,6 +76,9 @@ val code_size_result :
   bench:string -> latency:int -> Pipeline.kind -> int Engine.outcome
 
 val code_growth_result : bench:string -> latency:int -> float Engine.outcome
+
+val spd_dynamics_result :
+  bench:string -> latency:int -> Pipeline.dynamics Engine.outcome
 
 (** Every failure the default session has recorded, sorted by cell key. *)
 val failures : unit -> Engine.failure list

@@ -9,14 +9,13 @@
     - {b guidance-parameter ablation} (section 5.3): how [MaxExpansion]
       and [MinGain] trade code growth against speedup.
 
-    Each generator computes its rows on the default session's domain
-    pool and then renders sequentially, so the output is independent of
-    the number of jobs. *)
+    Like {!Report}, each experiment computes its rows on the default
+    session's domain pool into {!Table.t} data and renders afterwards,
+    so the output is independent of the number of jobs and identical
+    across output formats. *)
 
 module W = Spd_workloads
 module H = Spd_core.Heuristic
-
-let hline ppf width = Fmt.pf ppf "%s@." (String.make width '-')
 
 let rows f xs =
   Engine.Session.parallel_map (Experiment.default_session ()) f xs
@@ -24,80 +23,90 @@ let rows f xs =
 (* ------------------------------------------------------------------ *)
 
 (** Extension A: SPEC vs hardware dynamic disambiguation windows. *)
-let ext_dynamic ppf () =
-  Fmt.pf ppf
-    "@.Extension A: SpD vs hardware dynamic disambiguation (section 2.3)@.";
-  Fmt.pf ppf
-    "5 FU machine, 6-cycle memory; HW reorders within a W-reference \
-     window on@.the STATIC-disambiguated code; speedups over STATIC.@.@.";
-  hline ppf 78;
-  Fmt.pf ppf "%-10s %9s %9s %9s %9s %9s@." "Program" "HW W=2" "HW W=4"
-    "HW W=8" "HW W=32" "SPEC";
-  hline ppf 78;
+let ext_dynamic_tables () =
   let latency = 6 in
   let width = Spd_machine.Descr.Fus 5 in
-  rows
-    (fun (w : W.Workload.t) ->
-      let bench = w.name in
-      let static = Experiment.prepared ~bench ~latency Pipeline.Static in
-      let base = Pipeline.cycles static ~width in
-      let hw window =
-        Spd_machine.Dynamic.cycles ~window ~width ~mem_latency:latency
-          static.prog
-      in
-      let spec = Experiment.cycles ~bench ~latency Pipeline.Spec ~width in
-      let pct c = 100.0 *. Pipeline.speedup ~base ~this:c in
-      (bench, pct (hw 2), pct (hw 4), pct (hw 8), pct (hw 32), pct spec))
-    W.Registry.all
-  |> List.iter (fun (bench, w2, w4, w8, w32, spec) ->
-         Fmt.pf ppf "%-10s %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8.1f%%@." bench
-           w2 w4 w8 w32 spec);
-  hline ppf 78
+  let data =
+    rows
+      (fun (w : W.Workload.t) ->
+        let bench = w.name in
+        let static = Experiment.prepared ~bench ~latency Pipeline.Static in
+        let base = Pipeline.cycles static ~width in
+        let hw window =
+          Spd_machine.Dynamic.cycles ~window ~width ~mem_latency:latency
+            static.prog
+        in
+        let spec = Experiment.cycles ~bench ~latency Pipeline.Spec ~width in
+        let frac c = Pipeline.speedup ~base ~this:c in
+        ( bench,
+          [ frac (hw 2); frac (hw 4); frac (hw 8); frac (hw 32); frac spec ] ))
+      W.Registry.all
+  in
+  [
+    Table.v ~id:"ext_dynamic"
+      ~title:
+        "Extension A: SpD vs hardware dynamic disambiguation (section 2.3)"
+      ~notes:
+        [
+          "5 FU machine, 6-cycle memory; HW reorders within a W-reference \
+           window on";
+          "the STATIC-disambiguated code; speedups over STATIC.";
+        ]
+      ~label_header:"Program"
+      ~columns:[ "HW W=2"; "HW W=4"; "HW W=8"; "HW W=32"; "SPEC" ]
+      (List.map
+         (fun (bench, fracs) ->
+           Table.row bench (List.map (fun f -> Table.Pct f) fracs))
+         data);
+  ]
 
 (* ------------------------------------------------------------------ *)
 
 (** Extension B: the effect of tree grafting (loop unrolling) on SpD. *)
-let ext_grafting ppf () =
-  Fmt.pf ppf "@.Extension B: tree grafting (section 7 future work)@.";
-  Fmt.pf ppf
-    "5 FU machine, 6-cycle memory; SPEC with and without one round of \
-     loop-tree@.replication; speedups over STATIC of the same code shape.@.@.";
-  hline ppf 76;
-  Fmt.pf ppf "%-10s | %6s %9s | %6s %9s@." "Program" "apps" "SPEC"
-    "apps" "SPEC+graft";
-  hline ppf 76;
+let ext_grafting_tables () =
   let latency = 6 in
   let width = Spd_machine.Descr.Fus 5 in
-  rows
-    (fun (w : W.Workload.t) ->
-      let lowered = Experiment.lowered w.name in
-      let measure ~graft =
-        let config = Pipeline.Config.v ~graft ~mem_latency:latency () in
-        let static = Pipeline.prepare ~config Pipeline.Static lowered in
-        let spec = Pipeline.prepare ~config Pipeline.Spec lowered in
-        ( List.length spec.applications,
-          Pipeline.speedup
-            ~base:(Pipeline.cycles static ~width)
-            ~this:(Pipeline.cycles spec ~width) )
-      in
-      let apps0, s0 = measure ~graft:false in
-      let apps1, s1 = measure ~graft:true in
-      (w.name, apps0, s0, apps1, s1))
-    W.Registry.all
-  |> List.iter (fun (name, apps0, s0, apps1, s1) ->
-         Fmt.pf ppf "%-10s | %6d %8.1f%% | %6d %8.1f%%@." name apps0
-           (100.0 *. s0) apps1 (100.0 *. s1));
-  hline ppf 76
+  let data =
+    rows
+      (fun (w : W.Workload.t) ->
+        let lowered = Experiment.lowered w.name in
+        let measure ~graft =
+          let config = Pipeline.Config.v ~graft ~mem_latency:latency () in
+          let static = Pipeline.prepare ~config Pipeline.Static lowered in
+          let spec = Pipeline.prepare ~config Pipeline.Spec lowered in
+          ( List.length spec.applications,
+            Pipeline.speedup
+              ~base:(Pipeline.cycles static ~width)
+              ~this:(Pipeline.cycles spec ~width) )
+        in
+        let apps0, s0 = measure ~graft:false in
+        let apps1, s1 = measure ~graft:true in
+        (w.name, apps0, s0, apps1, s1))
+      W.Registry.all
+  in
+  [
+    Table.v ~id:"ext_grafting"
+      ~title:"Extension B: tree grafting (section 7 future work)"
+      ~notes:
+        [
+          "5 FU machine, 6-cycle memory; SPEC with and without one round \
+           of loop-tree";
+          "replication; speedups over STATIC of the same code shape.";
+        ]
+      ~label_header:"Program"
+      ~groups:[ ("ungrafted", 2); ("grafted", 2) ]
+      ~columns:[ "apps"; "SPEC"; "apps"; "SPEC+graft" ]
+      (List.map
+         (fun (name, apps0, s0, apps1, s1) ->
+           Table.row name
+             [ Table.Int apps0; Table.Pct s0; Table.Int apps1; Table.Pct s1 ])
+         data);
+  ]
 
 (* ------------------------------------------------------------------ *)
 
 (** Extension C: guidance heuristic parameter ablation. *)
-let ext_params ppf () =
-  Fmt.pf ppf
-    "@.Extension C: guidance heuristic ablation (MaxExpansion / MinGain)@.";
-  Fmt.pf ppf
-    "NRC geometric means at 5 FU, 6-cycle memory: SPEC speedup over \
-     STATIC and@.code growth, as the two knobs of Figure 5-1 vary.@.";
+let ext_params_tables () =
   let latency = 6 in
   let width = Spd_machine.Descr.Fus 5 in
   let measure params =
@@ -127,9 +136,11 @@ let ext_params ppf () =
            W.Registry.nrc)
     in
     let geomean xs =
-      exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))
+      exp
+        (List.fold_left (fun a x -> a +. log x) 0.0 xs
+        /. float_of_int (List.length xs))
     in
-    (100.0 *. (geomean speedups -. 1.0), 100.0 *. (geomean growths -. 1.0))
+    (geomean speedups -. 1.0, geomean growths -. 1.0)
   in
   let sweep to_params values =
     rows (fun v -> (v, measure (to_params v))) values
@@ -143,22 +154,41 @@ let ext_params ppf () =
       (fun mg -> { H.default_params with min_gain = mg })
       [ 0.25; 0.5; 0.75; 1.5; 3.0; 6.0 ]
   in
-  Fmt.pf ppf "@.MaxExpansion sweep (MinGain = %.2f):@." H.default_params.min_gain;
-  hline ppf 52;
-  Fmt.pf ppf "%-14s %12s %12s@." "MaxExpansion" "speedup" "code growth";
-  hline ppf 52;
-  List.iter
-    (fun (me, (s, g)) -> Fmt.pf ppf "%-14.2f %11.1f%% %11.1f%%@." me s g)
-    expansions;
-  hline ppf 52;
-  Fmt.pf ppf "@.MinGain sweep (MaxExpansion = %.2f):@." H.default_params.max_expansion;
-  hline ppf 52;
-  Fmt.pf ppf "%-14s %12s %12s@." "MinGain" "speedup" "code growth";
-  hline ppf 52;
-  List.iter
-    (fun (mg, (s, g)) -> Fmt.pf ppf "%-14.2f %11.1f%% %11.1f%%@." mg s g)
-    gains;
-  hline ppf 52
+  let table ~id ~knob ~fixed data =
+    Table.v ~id
+      ~title:
+        (Printf.sprintf
+           "Extension C: guidance heuristic ablation — %s sweep (%s)" knob
+           fixed)
+      ~notes:
+        [
+          "NRC geometric means at 5 FU, 6-cycle memory: SPEC speedup over \
+           STATIC and";
+          "code growth.";
+        ]
+      ~label_header:knob ~columns:[ "speedup"; "code growth" ]
+      (List.map
+         (fun (v, (s, g)) ->
+           Table.row (Printf.sprintf "%.2f" v) [ Table.Pct s; Table.Pct g ])
+         data)
+  in
+  [
+    table ~id:"ext_params.max_expansion" ~knob:"MaxExpansion"
+      ~fixed:(Printf.sprintf "MinGain = %.2f" H.default_params.min_gain)
+      expansions;
+    table ~id:"ext_params.min_gain" ~knob:"MinGain"
+      ~fixed:
+        (Printf.sprintf "MaxExpansion = %.2f" H.default_params.max_expansion)
+      gains;
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let render_tables tables ppf () = List.iter (Table.pp ppf) (tables ())
+
+let ext_dynamic = render_tables ext_dynamic_tables
+let ext_grafting = render_tables ext_grafting_tables
+let ext_params = render_tables ext_params_tables
 
 let all ppf () =
   ext_dynamic ppf ();

@@ -11,7 +11,13 @@
 
 module W = Spd_workloads
 module H = Spd_core.Heuristic
-val hline : Format.formatter -> int -> unit
+
+(** {1 Experiment data} — one table list per experiment; see {!Report}
+    for the data-then-render convention. *)
+
+val ext_dynamic_tables : unit -> Table.t list
+val ext_grafting_tables : unit -> Table.t list
+val ext_params_tables : unit -> Table.t list
 
 (** Extension A: SPEC vs hardware dynamic disambiguation windows. *)
 val ext_dynamic : Format.formatter -> unit -> unit

@@ -90,14 +90,18 @@ module Config = struct
       t.mem_latency params
 end
 
+(* Every instrumented stage is also a trace span, so a --trace run shows
+   the stage breakdown nested under its grid cell's span. *)
 let time (config : Config.t) stage f =
-  match config.timer with
-  | None -> f ()
-  | Some cb ->
-      let t0 = Unix.gettimeofday () in
-      let r = f () in
-      cb stage (Unix.gettimeofday () -. t0);
-      r
+  Spd_telemetry.Trace.with_span ~name:("stage:" ^ stage_name stage)
+    (fun () ->
+      match config.timer with
+      | None -> f ()
+      | Some cb ->
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          cb stage (Unix.gettimeofday () -. t0);
+          r)
 
 type prepared = {
   kind : kind;
@@ -197,3 +201,60 @@ let code_size (p : prepared) : int = Prog.code_size p.prog
 (** The paper's speedup metric: [cycles_base / cycles_x - 1]. *)
 let speedup ~(base : int) ~(this : int) : float =
   (float_of_int base /. float_of_int this) -. 1.0
+
+(* ------------------------------------------------------------------ *)
+(* SpD run-time dynamics *)
+
+type region_dynamics = {
+  func : string;
+  tree_id : int;
+  dep_kind : Memdep.kind;
+  arc : int * int;
+  alias_commits : int;
+  noalias_commits : int;
+}
+
+type dynamics = {
+  regions : region_dynamics list;
+      (** one row per SpD application, sorted (func, tree, arc) *)
+  squashed : int;  (** guarded stores squashed across all watched trees *)
+}
+
+(** Re-run a prepared program with a watch on every SpD application,
+    attributing each traversal of a transformed region to its alias or
+    no-alias version.  Cheap no-op for pipelines without applications
+    (everything but SPEC). *)
+let dynamics (p : prepared) : dynamics =
+  match p.applications with
+  | [] -> { regions = []; squashed = 0 }
+  | apps ->
+      let spd = Spd_sim.Profile.Spd.create () in
+      let handles =
+        List.map
+          (fun (a : Heuristic.application) ->
+            ( a,
+              Spd_sim.Profile.Spd.watch spd ~func:a.func ~tree_id:a.tree_id
+                ~predicate:a.predicate ))
+          apps
+      in
+      ignore
+        (time p.config Simulate (fun () ->
+             Spd_sim.Interp.run ~spd ?fuel:p.config.fuel
+               ?deadline:p.config.deadline p.prog));
+      let regions =
+        List.map
+          (fun ((a : Heuristic.application), (r : Spd_sim.Profile.Spd.region))
+             ->
+            {
+              func = a.func;
+              tree_id = a.tree_id;
+              dep_kind = a.kind;
+              arc = a.arc;
+              alias_commits = r.alias_commits;
+              noalias_commits = r.noalias_commits;
+            })
+          handles
+        |> List.sort (fun a b ->
+               compare (a.func, a.tree_id, a.arc) (b.func, b.tree_id, b.arc))
+      in
+      { regions; squashed = (Spd_sim.Profile.Spd.totals spd).squashed }

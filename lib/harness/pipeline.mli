@@ -104,3 +104,29 @@ val code_size : prepared -> int
 
 (** The paper's speedup metric: [cycles_base / cycles_x - 1]. *)
 val speedup : base:int -> this:int -> float
+
+(** {1 SpD run-time dynamics}
+
+    How the transformed code actually behaved: per SpD application, how
+    often the alias version vs. the speculative no-alias version
+    committed, and how many guarded operations were squashed. *)
+
+type region_dynamics = {
+  func : string;
+  tree_id : int;
+  dep_kind : Spd_ir.Memdep.kind;
+  arc : int * int;
+  alias_commits : int;
+  noalias_commits : int;
+}
+
+type dynamics = {
+  regions : region_dynamics list;
+      (** one row per SpD application, sorted (func, tree, arc) *)
+  squashed : int;  (** guarded stores squashed across all watched trees *)
+}
+
+(** Re-run a prepared program with a watch on every SpD application.
+    Cheap no-op for pipelines without applications (everything but
+    SPEC). *)
+val dynamics : prepared -> dynamics

@@ -1,7 +1,9 @@
-(** Renderers for the paper's tables and figures.
+(** The paper's tables and figures, built as data.
 
-    Each generator prints the same rows/series the paper reports, computed
-    from our reproduction.  Absolute numbers differ from the paper's
+    Each artefact is computed into {!Table.t} values first (see
+    [*_tables]) and only then rendered; the pretty printers below and
+    the machine-readable emitters in {!Artefact} therefore read the
+    exact same values.  Absolute numbers differ from the paper's
     proprietary LIFE testbed; EXPERIMENTS.md records the shape
     comparison. *)
 
@@ -30,149 +32,151 @@ let benches () = List.map (fun (w : W.Workload.t) -> w.name) W.Registry.all
 let nrc_benches () =
   List.map (fun (w : W.Workload.t) -> w.name) W.Registry.nrc
 
-let hline ppf width = Fmt.pf ppf "%s@." (String.make width '-')
-
 (* Fan the given grid cells out over the default session's domain pool
-   before rendering; the render loops below then only read memoized
-   results, so their output is independent of the number of jobs. *)
+   before rendering; the table builders below then only read memoized
+   results, so their values are independent of the number of jobs. *)
 let warm (f : Engine.Session.t -> 'a -> unit) (cells : 'a list) =
   let s = Experiment.default_session () in
   Engine.Session.parallel_iter s (f s) cells
 
 let product xs ys = List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
 
-(* n/a-aware cell renderer: a failed cell prints [n/a] in its column
-   instead of aborting the artefact; the details land in
-   [failure_appendix].  [width] is the total column width, including
-   the percent sign. *)
-let pct width ppf = function
-  | Engine.Ok v -> Fmt.pf ppf "%*.1f%%" (width - 1) (100.0 *. v)
-  | Engine.Failed _ -> Fmt.pf ppf "%*s" width "n/a"
+(* n/a-aware percentage cell: a failed grid cell renders as [Na] instead
+   of aborting the artefact; the details land in [failure_appendix]. *)
+let pct_cell = function
+  | Engine.Ok v -> Table.Pct v
+  | Engine.Failed _ -> Table.Na
 
 (* ------------------------------------------------------------------ *)
+(* Paper artefacts, as data *)
 
 (** Table 6-1: operation latencies (the machine configuration). *)
-let table6_1 ppf () =
-  Fmt.pf ppf "@.Table 6-1: Operation latencies@.";
-  hline ppf 44;
-  Fmt.pf ppf "%-32s %s@." "Operation" "Latency (cyc)";
-  hline ppf 44;
-  List.iter
-    (fun (name, lat) -> Fmt.pf ppf "%-32s %d@." name lat)
-    (Spd_machine.Descr.table_6_1 ~mem_latency:2
-    |> List.map (fun (n, l) ->
-           if n = "Memory loads and stores" then (n, l) else (n, l)));
-  Fmt.pf ppf "%-32s 2 or 6@." "Memory loads and stores (swept)";
-  hline ppf 44
+let table6_1_tables () =
+  [
+    Table.v ~id:"table6_1" ~title:"Table 6-1: Operation latencies"
+      ~label_header:"Operation" ~columns:[ "Latency (cyc)" ]
+      (List.map
+         (fun (name, lat) -> Table.row name [ Table.Int lat ])
+         (Spd_machine.Descr.table_6_1 ~mem_latency:2)
+      @ [
+          Table.row "Memory loads and stores (swept)" [ Table.Text "2 or 6" ];
+        ]);
+  ]
 
 (** Table 6-2: benchmark descriptions. *)
-let table6_2 ppf () =
-  Fmt.pf ppf "@.Table 6-2: Benchmark descriptions@.";
-  hline ppf 76;
-  Fmt.pf ppf "%-10s %-9s %5s  %s@." "Benchmark" "Suite" "Lines" "Description";
-  hline ppf 76;
-  List.iter
-    (fun (w : W.Workload.t) ->
-      Fmt.pf ppf "%-10s %-9s %5d  %s@." w.name
-        (W.Workload.suite_name w.suite)
-        (W.Registry.lines w)
-        w.description)
-    W.Registry.all;
-  hline ppf 76
+let table6_2_tables () =
+  [
+    Table.v ~id:"table6_2" ~title:"Table 6-2: Benchmark descriptions"
+      ~label_header:"Benchmark" ~columns:[ "Suite"; "Lines"; "Description" ]
+      (List.map
+         (fun (w : W.Workload.t) ->
+           Table.row w.name
+             [
+               Table.Text (W.Workload.suite_name w.suite);
+               Table.Int (W.Registry.lines w);
+               Table.Text w.description;
+             ])
+         W.Registry.all);
+  ]
 
 (** Table 6-3: frequency of SpD application by dependence type. *)
-let table6_3 ppf () =
+let table6_3_tables () =
   warm
     (fun s (bench, latency) ->
       ignore (Engine.Session.spd_counts_outcome s ~bench ~latency))
     (product (benches ()) latencies);
-  Fmt.pf ppf
-    "@.Table 6-3: Frequency of SpD application by dependence type@.";
-  hline ppf 64;
-  Fmt.pf ppf "%-10s | %-21s | %-21s@." ""
-    "2 Cycle Memory Latency" "6 Cycle Memory Latency";
-  Fmt.pf ppf "%-10s | %6s %6s %6s | %6s %6s %6s@." "Program" "RAW" "WAR"
-    "WAW" "RAW" "WAR" "WAW";
-  hline ppf 64;
   let totals = Array.make 6 0 in
   (* a failed cell renders its three columns as n/a and is excluded
      from the TOTAL row *)
-  let triple off ppf = function
+  let triple off = function
     | Engine.Ok (r, w, o) ->
-        List.iteri (fun i v -> totals.(off + i) <- totals.(off + i) + v)
+        List.iteri
+          (fun i v -> totals.(off + i) <- totals.(off + i) + v)
           [ r; w; o ];
-        Fmt.pf ppf "%6d %6d %6d" r w o
-    | Engine.Failed _ -> Fmt.pf ppf "%6s %6s %6s" "n/a" "n/a" "n/a"
+        [ Table.Int r; Table.Int w; Table.Int o ]
+    | Engine.Failed _ -> [ Table.Na; Table.Na; Table.Na ]
   in
-  List.iter
-    (fun bench ->
-      let c2 = Experiment.spd_counts_result ~bench ~latency:2 in
-      let c6 = Experiment.spd_counts_result ~bench ~latency:6 in
-      Fmt.pf ppf "%-10s | %a | %a@." bench (triple 0) c2 (triple 3) c6)
-    (benches ());
-  hline ppf 64;
-  Fmt.pf ppf "%-10s | %6d %6d %6d | %6d %6d %6d@." "TOTAL" totals.(0)
-    totals.(1) totals.(2) totals.(3) totals.(4) totals.(5);
-  hline ppf 64
+  let rows =
+    List.map
+      (fun bench ->
+        let c2 = Experiment.spd_counts_result ~bench ~latency:2 in
+        let c6 = Experiment.spd_counts_result ~bench ~latency:6 in
+        Table.row bench (triple 0 c2 @ triple 3 c6))
+      (benches ())
+  in
+  [
+    Table.v ~id:"table6_3"
+      ~title:"Table 6-3: Frequency of SpD application by dependence type"
+      ~label_header:"Program"
+      ~groups:
+        [ ("2 Cycle Memory Latency", 3); ("6 Cycle Memory Latency", 3) ]
+      ~columns:[ "RAW"; "WAR"; "WAW"; "RAW"; "WAR"; "WAW" ]
+      ~footers:
+        [
+          Table.row "TOTAL"
+            (List.map (fun v -> Table.Int v) (Array.to_list totals));
+        ]
+      rows;
+  ]
 
 (** Table 6-4: the four disambiguators. *)
-let table6_4 ppf () =
-  Fmt.pf ppf "@.Table 6-4: Disambiguators used in experiments@.";
-  hline ppf 60;
-  List.iter
-    (fun (k, d) -> Fmt.pf ppf "%-10s %s@." k d)
-    [
-      ("NAIVE", "None");
-      ("STATIC", "Static (GCD/Banerjee over affine forms)");
-      ("SPEC", "Static followed by SpD");
-      ("PERFECT", "Perfect static (profiled superfluous-arc removal)");
-    ];
-  hline ppf 60
+let table6_4_tables () =
+  [
+    Table.v ~id:"table6_4" ~title:"Table 6-4: Disambiguators used in experiments"
+      ~label_header:"Disambiguator" ~columns:[ "Description" ]
+      (List.map
+         (fun (k, d) -> Table.row k [ Table.Text d ])
+         [
+           ("NAIVE", "None");
+           ("STATIC", "Static (GCD/Banerjee over affine forms)");
+           ("SPEC", "Static followed by SpD");
+           ("PERFECT", "Perfect static (profiled superfluous-arc removal)");
+         ]);
+  ]
 
-(* ------------------------------------------------------------------ *)
-
-let bar ppf frac =
-  (* a signed ASCII bar, 1 character per 2.5% of speedup *)
-  let n = int_of_float (Float.abs frac *. 40.0) in
-  let n = min n 60 in
-  Fmt.pf ppf "%s%s" (if frac < 0.0 then "-" else "") (String.make n '#')
+(* the SPEC column's value, for the figures' ASCII bars *)
+let spec_bar col (r : Table.row) =
+  match List.nth_opt r.cells col with
+  | Some (Table.Pct v) -> Some v
+  | _ -> None
 
 (** Figure 6-2: speedup over NAIVE on a 5-FU machine. *)
-let fig6_2 ppf () =
+let fig6_2_tables () =
   warm
     (fun s ((bench, latency), kind) ->
       ignore
         (Engine.Session.cycles_outcome s ~bench ~latency kind
            ~width:(Spd_machine.Descr.Fus 5)))
     (product (product (benches ()) latencies) Pipeline.all);
-  Fmt.pf ppf "@.Figure 6-2: Speedup over the NAIVE disambiguator (5 FU machine)@.";
-  List.iter
+  List.map
     (fun latency ->
-      Fmt.pf ppf "@.%d cycle memory latency@." latency;
-      hline ppf 72;
-      Fmt.pf ppf "%-10s %9s %9s %9s@." "Program" "STATIC" "SPEC" "PERFECT";
-      hline ppf 72;
-      List.iter
-        (fun bench ->
-          let s k =
-            Experiment.speedup_over_naive_result ~bench ~latency k
-              ~width:(Spd_machine.Descr.Fus 5)
-          in
-          let st = s Pipeline.Static
-          and sp = s Pipeline.Spec
-          and pf = s Pipeline.Perfect in
-          let spec_bar ppf = function
-            | Engine.Ok v -> Fmt.pf ppf "   SPEC|%a" bar v
-            | Engine.Failed _ -> ()
-          in
-          Fmt.pf ppf "%-10s %a %a %a%a@." bench (pct 9) st (pct 9) sp
-            (pct 9) pf spec_bar sp)
-        (benches ());
-      hline ppf 72)
+      Table.v
+        ~id:(Printf.sprintf "fig6_2.lat%d" latency)
+        ~title:
+          (Printf.sprintf
+             "Figure 6-2: Speedup over the NAIVE disambiguator (5 FU \
+              machine, %d cycle memory latency)"
+             latency)
+        ~label_header:"Program"
+        ~columns:[ "STATIC"; "SPEC"; "PERFECT" ]
+        ~bar_of:(spec_bar 1)
+        (List.map
+           (fun bench ->
+             let s k =
+               Experiment.speedup_over_naive_result ~bench ~latency k
+                 ~width:(Spd_machine.Descr.Fus 5)
+             in
+             Table.row bench
+               [
+                 pct_cell (s Pipeline.Static);
+                 pct_cell (s Pipeline.Spec);
+                 pct_cell (s Pipeline.Perfect);
+               ])
+           (benches ())))
     latencies
 
 (** Figure 6-3: speedup of SPEC over STATIC vs machine width (NRC). *)
-let fig6_3 ppf () =
+let fig6_3_tables () =
   let widths = widths () in
   warm
     (fun s (((bench, latency), width), kind) ->
@@ -182,49 +186,174 @@ let fig6_3 ppf () =
     (product
        (product (product (nrc_benches ()) latencies) widths)
        [ Pipeline.Static; Pipeline.Spec ]);
-  Fmt.pf ppf "@.Figure 6-3: Speedup of SPEC over STATIC (NRC benchmarks)@.";
-  List.iter
+  List.map
     (fun latency ->
-      Fmt.pf ppf "@.%d cycle memory latency@." latency;
-      hline ppf 78;
-      Fmt.pf ppf "%-10s" "Program";
-      List.iter (fun w -> Fmt.pf ppf " %6d FU" w) widths;
-      Fmt.pf ppf "@.";
-      hline ppf 78;
-      List.iter
-        (fun bench ->
-          Fmt.pf ppf "%-10s" bench;
-          List.iter
-            (fun w ->
-              let s =
-                Experiment.spec_over_static_result ~bench ~latency
-                  ~width:(Spd_machine.Descr.Fus w)
-              in
-              Fmt.pf ppf " %a" (pct 9) s)
-            widths;
-          Fmt.pf ppf "@.")
-        (nrc_benches ());
-      hline ppf 78)
+      Table.v
+        ~id:(Printf.sprintf "fig6_3.lat%d" latency)
+        ~title:
+          (Printf.sprintf
+             "Figure 6-3: Speedup of SPEC over STATIC (NRC benchmarks, %d \
+              cycle memory latency)"
+             latency)
+        ~label_header:"Program"
+        ~columns:(List.map (fun w -> Printf.sprintf "%d FU" w) widths)
+        (List.map
+           (fun bench ->
+             Table.row bench
+               (List.map
+                  (fun w ->
+                    pct_cell
+                      (Experiment.spec_over_static_result ~bench ~latency
+                         ~width:(Spd_machine.Descr.Fus w)))
+                  widths))
+           (nrc_benches ())))
     latencies
 
 (** Figure 6-4: code size increase due to SpD (2-cycle memory). *)
-let fig6_4 ppf () =
+let fig6_4_tables () =
   warm
     (fun s (bench, kind) ->
       ignore (Engine.Session.code_size_outcome s ~bench ~latency:2 kind))
     (product (benches ()) [ Pipeline.Static; Pipeline.Spec ]);
-  Fmt.pf ppf "@.Figure 6-4: Code size increase due to SpD (2 cycle memory latency)@.";
-  hline ppf 48;
-  Fmt.pf ppf "%-10s %12s@." "Program" "Increase";
-  hline ppf 48;
-  List.iter
-    (fun bench ->
-      match Experiment.code_growth_result ~bench ~latency:2 with
-      | Engine.Ok g ->
-          Fmt.pf ppf "%-10s %11.1f%%  %a@." bench (100.0 *. g) bar (g *. 4.0)
-      | Engine.Failed _ -> Fmt.pf ppf "%-10s %12s@." bench "n/a")
-    (benches ());
-  hline ppf 48
+  [
+    Table.v ~id:"fig6_4"
+      ~title:"Figure 6-4: Code size increase due to SpD (2 cycle memory latency)"
+      ~label_header:"Program" ~columns:[ "Increase" ]
+      ~bar_of:(fun r ->
+        match spec_bar 0 r with Some v -> Some (v *. 4.0) | None -> None)
+      (List.map
+         (fun bench ->
+           Table.row bench
+             [ pct_cell (Experiment.code_growth_result ~bench ~latency:2) ])
+         (benches ()));
+  ]
+
+(** SpD run-time dynamics: how the transformed code actually behaved —
+    per transformed region, how often the alias vs. the speculative
+    no-alias version committed, plus squashed guarded operations. *)
+let spd_dynamics_tables () =
+  warm
+    (fun s (bench, latency) ->
+      ignore (Engine.Session.spd_dynamics_outcome s ~bench ~latency))
+    (product (benches ()) latencies);
+  let regions latency =
+    let total_alias = ref 0 and total_noalias = ref 0 in
+    let rows =
+      List.concat_map
+        (fun bench ->
+          match Experiment.spd_dynamics_result ~bench ~latency with
+          | Engine.Failed _ ->
+              [ Table.row bench [ Table.Na; Table.Na; Table.Na; Table.Na ] ]
+          | Engine.Ok (d : Pipeline.dynamics) ->
+              List.map
+                (fun (r : Pipeline.region_dynamics) ->
+                  total_alias := !total_alias + r.alias_commits;
+                  total_noalias := !total_noalias + r.noalias_commits;
+                  Table.row bench
+                    [
+                      Table.Text
+                        (Printf.sprintf "%s/t%d #%d->%d" r.func r.tree_id
+                           (fst r.arc) (snd r.arc));
+                      Table.Text (Fmt.str "%a" Spd_ir.Memdep.pp_kind r.dep_kind);
+                      Table.Int r.alias_commits;
+                      Table.Int r.noalias_commits;
+                    ])
+                d.regions)
+        (benches ())
+    in
+    Table.v
+      ~id:(Printf.sprintf "spd_dynamics.lat%d" latency)
+      ~title:
+        (Printf.sprintf
+           "SpD run-time dynamics: version commits per transformed region \
+            (%d cycle memory latency)"
+           latency)
+      ~notes:
+        [
+          "Each SPEC traversal of a transformed region commits either its";
+          "alias version (the run-time address compare found a collision)";
+          "or its speculative no-alias version.";
+        ]
+      ~label_header:"Program"
+      ~columns:[ "Region"; "Kind"; "Alias"; "No-alias" ]
+      ~footers:
+        [
+          Table.row "TOTAL"
+            [
+              Table.Text ""; Table.Text "";
+              Table.Int !total_alias; Table.Int !total_noalias;
+            ];
+        ]
+      rows
+  in
+  let totals =
+    Table.v ~id:"spd_dynamics.totals"
+      ~title:"SpD run-time dynamics: per-benchmark totals"
+      ~label_header:"Program"
+      ~columns:[ "Latency"; "Regions"; "Alias"; "No-alias"; "Squashed" ]
+      (List.concat_map
+         (fun bench ->
+           List.filter_map
+             (fun latency ->
+               match Experiment.spd_dynamics_result ~bench ~latency with
+               | Engine.Failed _ -> None
+               | Engine.Ok (d : Pipeline.dynamics) ->
+                   Some
+                     (Table.row bench
+                        [
+                          Table.Int latency;
+                          Table.Int (List.length d.regions);
+                          Table.Int
+                            (List.fold_left
+                               (fun a (r : Pipeline.region_dynamics) ->
+                                 a + r.alias_commits)
+                               0 d.regions);
+                          Table.Int
+                            (List.fold_left
+                               (fun a (r : Pipeline.region_dynamics) ->
+                                 a + r.noalias_commits)
+                               0 d.regions);
+                          Table.Int d.squashed;
+                        ]))
+             latencies)
+         (benches ()))
+  in
+  List.map regions latencies @ [ totals ]
+
+(** Engine report: per-stage wall clock and the session's counters.
+    Seconds are wall-clock, hence run-dependent; the counter table is
+    deterministic (and excludes the job count, see {!Engine.Stats}). *)
+let timings_tables () =
+  let st = Engine.Session.stats (Experiment.default_session ()) in
+  [
+    Table.v ~id:"timings.stages"
+      ~title:"Engine: per-stage wall clock (cumulative, all domains)"
+      ~label_header:"Stage" ~columns:[ "Seconds" ]
+      (List.map
+         (fun (stage, secs) ->
+           Table.row (Pipeline.stage_name stage) [ Table.Num secs ])
+         st.stage_seconds);
+    Table.v ~id:"timings.engine" ~title:"Engine: session counters"
+      ~label_header:"Counter" ~columns:[ "Value" ]
+      (List.map
+         (fun (k, v) -> Table.row k [ Table.Int v ])
+         (Engine.Stats.to_alist st));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pretty wrappers, one per artefact (the historical interface) *)
+
+let render_tables tables ppf () = List.iter (Table.pp ppf) (tables ())
+
+let table6_1 = render_tables table6_1_tables
+let table6_2 = render_tables table6_2_tables
+let table6_3 = render_tables table6_3_tables
+let table6_4 = render_tables table6_4_tables
+let fig6_2 = render_tables fig6_2_tables
+let fig6_3 = render_tables fig6_3_tables
+let fig6_4 = render_tables fig6_4_tables
+let spd_dynamics = render_tables spd_dynamics_tables
+let timings = render_tables timings_tables
 
 (** Failure appendix: every cell the default session failed to compute,
     with the original exception.  Prints nothing when all cells
@@ -236,26 +365,9 @@ let failure_appendix ppf () =
   | fs ->
       Fmt.pf ppf "@.Failed cells (%d) — values above rendered as n/a@."
         (List.length fs);
-      hline ppf 72;
+      Fmt.pf ppf "%s@." (String.make 72 '-');
       List.iter (fun f -> Fmt.pf ppf "%a@." Engine.pp_failure f) fs;
-      hline ppf 72
-
-(** Engine report: per-stage wall clock and cache statistics of the
-    default session's work so far.  Not part of [all]: its numbers are
-    wall-clock, hence run-dependent, while every other artefact is
-    deterministic. *)
-let timings ppf () =
-  let st = Engine.Session.stats (Experiment.default_session ()) in
-  Fmt.pf ppf "@.Engine: per-stage wall clock (cumulative, all domains)@.";
-  hline ppf 44;
-  Fmt.pf ppf "%-20s %18s@." "Stage" "Seconds";
-  hline ppf 44;
-  List.iter
-    (fun (stage, secs) ->
-      Fmt.pf ppf "%-20s %18.3f@." (Pipeline.stage_name stage) secs)
-    st.stage_seconds;
-  hline ppf 44;
-  Fmt.pf ppf "%a@." Engine.Stats.pp st
+      Fmt.pf ppf "%s@." (String.make 72 '-')
 
 let all ppf () =
   table6_1 ppf ();

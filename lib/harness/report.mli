@@ -1,7 +1,9 @@
-(** Renderers for the paper's tables and figures.
+(** The paper's tables and figures, built as data.
 
-    Each generator prints the same rows/series the paper reports, computed
-    from our reproduction.  Absolute numbers differ from the paper's
+    Each artefact is computed into {!Table.t} values first (the
+    [*_tables] functions) and only then rendered, so the pretty
+    printers here and the machine-readable emitters in {!Artefact} read
+    the exact same values.  Absolute numbers differ from the paper's
     proprietary LIFE testbed; EXPERIMENTS.md records the shape
     comparison. *)
 
@@ -17,40 +19,46 @@ val widths : unit -> int list
 val set_widths : int list -> unit
 val benches : unit -> string list
 val nrc_benches : unit -> string list
-val hline : Format.formatter -> int -> unit
 
-(** Table 6-1: operation latencies (the machine configuration). *)
+(** {1 Artefact data}
+
+    Each builder warms the required grid cells on the default session's
+    domain pool, then assembles tables from the memoized results — the
+    values are therefore independent of the number of jobs. *)
+
+val table6_1_tables : unit -> Table.t list
+val table6_2_tables : unit -> Table.t list
+val table6_3_tables : unit -> Table.t list
+val table6_4_tables : unit -> Table.t list
+val fig6_2_tables : unit -> Table.t list
+val fig6_3_tables : unit -> Table.t list
+val fig6_4_tables : unit -> Table.t list
+
+(** SpD run-time dynamics: per transformed region, how often the alias
+    vs. the speculative no-alias version committed, plus squashed
+    guarded operations. *)
+val spd_dynamics_tables : unit -> Table.t list
+
+(** Engine per-stage wall clock and session counters.  Seconds are
+    run-dependent; the counter table is deterministic. *)
+val timings_tables : unit -> Table.t list
+
+(** {1 Pretty renderers} — thin wrappers over the table data above. *)
+
 val table6_1 : Format.formatter -> unit -> unit
-
-(** Table 6-2: benchmark descriptions. *)
 val table6_2 : Format.formatter -> unit -> unit
-
-(** Table 6-3: frequency of SpD application by dependence type. *)
 val table6_3 : Format.formatter -> unit -> unit
-
-(** Table 6-4: the four disambiguators. *)
 val table6_4 : Format.formatter -> unit -> unit
-val bar : Format.formatter -> float -> unit
-
-(** Figure 6-2: speedup over NAIVE on a 5-FU machine. *)
 val fig6_2 : Format.formatter -> unit -> unit
-
-(** Figure 6-3: speedup of SPEC over STATIC vs machine width (NRC). *)
 val fig6_3 : Format.formatter -> unit -> unit
-
-(** Figure 6-4: code size increase due to SpD (2-cycle memory). *)
 val fig6_4 : Format.formatter -> unit -> unit
+val spd_dynamics : Format.formatter -> unit -> unit
+val timings : Format.formatter -> unit -> unit
 
 (** Failure appendix: every cell the default session failed to compute,
     with the original exception.  Prints nothing when all cells
     succeeded — appended to artefact output by the CLIs, which also turn
     a non-empty appendix into a nonzero exit status. *)
 val failure_appendix : Format.formatter -> unit -> unit
-
-(** Engine report: per-stage wall clock and cache statistics of the
-    default session's work so far.  Not part of [all]: its numbers are
-    wall-clock, hence run-dependent, while every other artefact is
-    deterministic. *)
-val timings : Format.formatter -> unit -> unit
 
 val all : Format.formatter -> unit -> unit

@@ -1,0 +1,223 @@
+(** Structured report tables.
+
+    Every artefact (paper table, figure, extension experiment) is built
+    as data — a {!t} — and only then rendered, so the pretty printer,
+    the JSON emitter and the CSV emitter all read the same values and
+    cannot drift apart.
+
+    A table is a labelled grid: one label column followed by [columns]
+    data columns, with optional grouped super-headers (Table 6-3's
+    per-latency column groups), optional footer rows (TOTAL) and
+    optional pretty-only bar decoration (the figures' ASCII bars). *)
+
+type cell =
+  | Int of int
+  | Num of float  (** plain number; pretty-printed with 3 decimals *)
+  | Pct of float  (** a fraction; pretty-printed as [12.3%] *)
+  | Text of string
+  | Na  (** a failed grid cell: [n/a] / JSON [null] *)
+
+type row = { label : string; cells : cell list }
+
+type t = {
+  id : string;  (** stable machine key, e.g. ["fig6_2.lat2"] *)
+  title : string;
+  notes : string list;  (** preamble lines under the title *)
+  label_header : string;  (** header of the label column *)
+  groups : (string * int) list;
+      (** optional super-header: (group label, data columns spanned);
+          spans must sum to [List.length columns] when non-empty *)
+  columns : string list;
+  rows : row list;
+  footers : row list;
+  bar_of : (row -> float option) option;
+      (** pretty-only: per row, the signed fraction to draw as a bar *)
+}
+
+let v ?(notes = []) ?(label_header = "") ?(groups = []) ?(footers = [])
+    ?bar_of ~id ~title ~columns rows =
+  { id; title; notes; label_header; groups; columns; rows; footers; bar_of }
+
+let row label cells = { label; cells }
+
+(* ------------------------------------------------------------------ *)
+(* Pretty rendering *)
+
+let cell_text = function
+  | Int n -> string_of_int n
+  | Num x -> Printf.sprintf "%.3f" x
+  | Pct x -> Printf.sprintf "%.1f%%" (100.0 *. x)
+  | Text s -> s
+  | Na -> "n/a"
+
+let bar frac =
+  (* a signed ASCII bar, 1 character per 2.5% of speedup *)
+  let n = min (int_of_float (Float.abs frac *. 40.0)) 60 in
+  (if frac < 0.0 then "-" else "") ^ String.make n '#'
+
+let is_text = function Text _ -> true | _ -> false
+
+let pp ppf (t : t) =
+  let all_rows = t.rows @ t.footers in
+  let ncols = List.length t.columns in
+  let cells_of r = Array.of_list (List.map cell_text r.cells) in
+  let grid = List.map cells_of all_rows in
+  let label_w =
+    List.fold_left
+      (fun w (r : row) -> max w (String.length r.label))
+      (max 8 (String.length t.label_header))
+      all_rows
+  in
+  let col_w =
+    Array.init ncols (fun i ->
+        List.fold_left
+          (fun w cs -> if i < Array.length cs then max w (String.length cs.(i)) else w)
+          (String.length (List.nth t.columns i))
+          grid)
+  in
+  (* group boundaries get a [" |"] separator, as in the paper's tables *)
+  let boundaries =
+    match t.groups with
+    | [] -> []
+    | gs ->
+        let _, bs =
+          List.fold_left
+            (fun (off, bs) (_, span) -> (off + span, (off + span) :: bs))
+            (0, []) gs
+        in
+        (* no separator after the last column *)
+        List.filter (fun b -> b < ncols) bs
+  in
+  let sep_before i = List.mem i boundaries in
+  (* text columns left-align; numeric columns right-align *)
+  let left_align =
+    Array.init ncols (fun i ->
+        List.exists
+          (fun (r : row) ->
+            match List.nth_opt r.cells i with
+            | Some c -> is_text c
+            | None -> false)
+          all_rows)
+  in
+  let total_width =
+    Array.fold_left ( + ) (label_w + ncols) col_w + (2 * List.length boundaries)
+  in
+  let hline () = Fmt.pf ppf "%s@." (String.make total_width '-') in
+  let print_cells cells =
+    Array.iteri
+      (fun i w ->
+        if sep_before i then Fmt.pf ppf " |";
+        let s = if i < Array.length cells then cells.(i) else "" in
+        if left_align.(i) then Fmt.pf ppf " %-*s" w s
+        else Fmt.pf ppf " %*s" w s)
+      col_w
+  in
+  let print_row (r : row) =
+    Fmt.pf ppf "%-*s" label_w r.label;
+    print_cells (cells_of r);
+    (match t.bar_of with
+    | Some f -> (
+        match f r with
+        | Some frac -> Fmt.pf ppf "  %s" (bar frac)
+        | None -> ())
+    | None -> ());
+    Fmt.pf ppf "@."
+  in
+  Fmt.pf ppf "@.%s@." t.title;
+  List.iter (fun n -> Fmt.pf ppf "%s@." n) t.notes;
+  hline ();
+  (match t.groups with
+  | [] -> ()
+  | gs ->
+      Fmt.pf ppf "%-*s" label_w "";
+      let off = ref 0 in
+      List.iter
+        (fun (g, span) ->
+          if sep_before !off then Fmt.pf ppf " |";
+          (* the group's width: its columns plus the blanks between them *)
+          let w = ref (span - 1) in
+          for i = !off to !off + span - 1 do
+            w := !w + col_w.(i)
+          done;
+          Fmt.pf ppf " %-*s" !w g;
+          off := !off + span)
+        gs;
+      Fmt.pf ppf "@.");
+  Fmt.pf ppf "%-*s" label_w t.label_header;
+  print_cells (Array.of_list t.columns);
+  Fmt.pf ppf "@.";
+  hline ();
+  List.iter print_row t.rows;
+  if t.footers <> [] then begin
+    hline ();
+    List.iter print_row t.footers
+  end;
+  hline ()
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable rendering *)
+
+module Json = Spd_telemetry.Json
+
+let cell_json = function
+  | Int n -> Json.Int n
+  | Num x -> Json.Float x
+  | Pct x -> Json.Float x
+  | Text s -> Json.String s
+  | Na -> Json.Null
+
+let row_json (r : row) =
+  Json.Obj
+    [
+      ("label", Json.String r.label);
+      ("cells", Json.List (List.map cell_json r.cells));
+    ]
+
+(* Grouped tables (Table 6-3's per-latency super-headers) repeat column
+   names across groups; machine-readable output qualifies each column
+   with its group ("2-cycle memory.RAW") so (row, column) stays a key. *)
+let qualified_columns (t : t) : string list =
+  if t.groups = [] then t.columns
+  else
+    let prefixes =
+      List.concat_map (fun (g, span) -> List.init span (fun _ -> g)) t.groups
+    in
+    List.map2 (fun g c -> g ^ "." ^ c) prefixes t.columns
+
+let to_json (t : t) =
+  Json.Obj
+    [
+      ("id", Json.String t.id);
+      ("title", Json.String t.title);
+      ("label", Json.String t.label_header);
+      ("columns", Json.List (List.map (fun c -> Json.String c) (qualified_columns t)));
+      ("rows", Json.List (List.map row_json t.rows));
+      ("footers", Json.List (List.map row_json t.footers));
+    ]
+
+(* CSV long format: one line per cell.  Quoting per RFC 4180. *)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let cell_csv = function
+  | Int n -> string_of_int n
+  | Num x | Pct x -> Printf.sprintf "%.17g" x
+  | Text s -> csv_escape s
+  | Na -> ""
+
+let csv_header = "table,row,column,value"
+
+let to_csv_lines (t : t) : string list =
+  let columns = Array.of_list (qualified_columns t) in
+  List.concat_map
+    (fun (r : row) ->
+      List.mapi
+        (fun i c ->
+          Printf.sprintf "%s,%s,%s,%s" (csv_escape t.id) (csv_escape r.label)
+            (csv_escape columns.(i))
+            (cell_csv c))
+        r.cells)
+    (t.rows @ t.footers)

@@ -1,0 +1,57 @@
+(** Structured report tables.
+
+    Every artefact (paper table, figure, extension experiment) is built
+    as data — a {!t} — and only then rendered, so the pretty printer,
+    the JSON emitter and the CSV emitter all read the same values and
+    cannot drift apart. *)
+
+type cell =
+  | Int of int
+  | Num of float  (** plain number; pretty-printed with 3 decimals *)
+  | Pct of float  (** a fraction; pretty-printed as [12.3%] *)
+  | Text of string
+  | Na  (** a failed grid cell: [n/a] / JSON [null] *)
+
+type row = { label : string; cells : cell list }
+
+type t = {
+  id : string;  (** stable machine key, e.g. ["fig6_2.lat2"] *)
+  title : string;
+  notes : string list;  (** preamble lines under the title *)
+  label_header : string;  (** header of the label column *)
+  groups : (string * int) list;
+      (** optional super-header: (group label, data columns spanned) *)
+  columns : string list;
+  rows : row list;
+  footers : row list;
+  bar_of : (row -> float option) option;
+      (** pretty-only: per row, the signed fraction to draw as a bar *)
+}
+
+val v :
+  ?notes:string list ->
+  ?label_header:string ->
+  ?groups:(string * int) list ->
+  ?footers:row list ->
+  ?bar_of:(row -> float option) ->
+  id:string -> title:string -> columns:string list -> row list -> t
+
+val row : string -> cell list -> row
+
+(** The pretty cell rendering ([n/a] for {!Na}, [12.3%] for {!Pct} ...);
+    exactly what {!pp} puts in the grid. *)
+val cell_text : cell -> string
+
+(** Generic fixed-width pretty rendering: title, notes, optional group
+    header, header, rows, footers, with per-row ASCII bars when
+    [bar_of] is set. *)
+val pp : Format.formatter -> t -> unit
+
+(** The table as JSON (render hints like [bar_of] excluded). *)
+val to_json : t -> Spd_telemetry.Json.t
+
+val csv_header : string
+
+(** CSV long format, one [table,row,column,value] line per cell; no
+    header line.  Floats carry full precision ([%.17g]). *)
+val to_csv_lines : t -> string list

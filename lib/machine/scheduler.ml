@@ -13,6 +13,14 @@ type t = {
   length : int;  (** schedule length: last issue cycle + 1 *)
 }
 
+let m_schedules = lazy (Spd_telemetry.Metrics.counter "spd.scheduler.schedules")
+
+let m_occupancy =
+  lazy
+    (Spd_telemetry.Metrics.histogram
+       ~buckets:Spd_telemetry.Metrics.fraction_buckets
+       "spd.scheduler.fu_occupancy")
+
 (** Schedule [g] on a machine with [fus] universal units.  [fus = None]
     means unlimited (the result then equals ASAP). *)
 let run ?fus (g : Ddg.t) : t =
@@ -66,6 +74,13 @@ let run ?fus (g : Ddg.t) : t =
         incr cycle
       done);
   let length = Array.fold_left max (-1) issue + 1 in
+  Spd_telemetry.Metrics.incr (Lazy.force m_schedules);
+  (match fus with
+  | Some fus when length > 0 ->
+      (* fraction of issue slots the packed schedule actually fills *)
+      Spd_telemetry.Metrics.observe (Lazy.force m_occupancy)
+        (float_of_int n /. float_of_int (fus * length))
+  | _ -> ());
   { issue; length }
 
 (** Convert a schedule into the timing table entry the simulator charges

@@ -143,10 +143,14 @@ type traversal_cost =
     Used by the hardware dynamic-disambiguation baseline, which resolves
     aliases with run-time address compares. *)
 
+(* registered once; sharded, so hot-loop-free bumping is cheap *)
+let m_runs = lazy (Spd_telemetry.Metrics.counter "spd.sim.runs")
+let m_traversals = lazy (Spd_telemetry.Metrics.counter "spd.sim.traversals")
+
 let run ?timing ?(traversal_cost : traversal_cost option)
-    ?(profile : Profile.t option) ?(mem_words = 1 lsl 20)
-    ?(fuel = default_fuel) ?(deadline : float option) (prog : Prog.t) :
-    result =
+    ?(profile : Profile.t option) ?(spd : Profile.Spd.t option)
+    ?(mem_words = 1 lsl 20) ?(fuel = default_fuel)
+    ?(deadline : float option) (prog : Prog.t) : result =
   let deadline_abs =
     Option.map (fun d -> Unix.gettimeofday () +. d) deadline
   in
@@ -282,6 +286,32 @@ let run ?timing ?(traversal_cost : traversal_cost option)
               if addr_buf.(si) = addr_buf.(di) then a.aliased <- a.aliased + 1
             end)
           tree.arcs);
+    (* SpD run-time dynamics: attribute the traversal of each watched
+       region to its alias or no-alias version via the predicate
+       register (single-assignment within the tree, so reading it after
+       instruction evaluation is exact), and count squashed guarded
+       stores.  Must run before the scratch reset below clears
+       [active_buf]. *)
+    (match spd with
+    | None -> ()
+    | Some w -> (
+        match Profile.Spd.find w ~func:!fi.func.fname ~tree_id:tree.id with
+        | None -> ()
+        | Some tw ->
+            tw.traversals <- tw.traversals + 1;
+            List.iter
+              (fun (r : Profile.Spd.region) ->
+                if Value.is_true rf.(r.predicate) then
+                  r.alias_commits <- r.alias_commits + 1
+                else r.noalias_commits <- r.noalias_commits + 1)
+              tw.watched;
+            Array.iteri
+              (fun pos (insn : Insn.t) ->
+                if
+                  Insn.is_store insn && insn.guard <> None
+                  && not active_buf.(pos)
+                then tw.squashed <- tw.squashed + 1)
+              tree.insns));
     (* timing *)
     (match timing with
     | None -> ()
@@ -381,6 +411,8 @@ let run ?timing ?(traversal_cost : traversal_cost option)
             | None -> ());
             tree_id := frame.resume)
   done;
+  Spd_telemetry.Metrics.incr (Lazy.force m_runs);
+  Spd_telemetry.Metrics.incr ~by:!traversals (Lazy.force m_traversals);
   {
     ret = Option.get !finished;
     output = List.rev !output;

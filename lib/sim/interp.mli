@@ -94,11 +94,14 @@ type traversal_cost =
     {!default_fuel}); exhausting it raises [Sim_error (Fuel_exhausted
     fuel, _)].  [deadline] is a wall-clock budget in seconds, checked
     every few thousand traversals; exceeding it raises
-    [Sim_error (Deadline_exceeded d, _)]. *)
+    [Sim_error (Deadline_exceeded d, _)].  [spd] registers watches on
+    SpD-transformed regions; their alias/no-alias commit and squash
+    counters are filled in as the program runs. *)
 val run :
   ?timing:Timing.t ->
   ?traversal_cost:traversal_cost ->
   ?profile:Profile.t ->
+  ?spd:Profile.Spd.t ->
   ?mem_words:int ->
   ?fuel:int -> ?deadline:float -> Spd_ir.Prog.t -> result
 

@@ -76,3 +76,80 @@ let superfluous (p : t) ~func ~tree_id ~src ~dst =
       match Hashtbl.find_opt s.arc_stats (src, dst) with
       | Some a -> a.aliased = 0
       | None -> s.traversals > 0)
+
+(** Run-time dynamics of SpD-transformed regions.
+
+    The SpD transformation materialises, for every transformed arc, an
+    alias predicate register: true exactly when the two references
+    collide at run time, in which case the region's {e alias version}
+    commits; otherwise the speculative {e no-alias version} does.  A
+    watch registers that predicate so the interpreter can attribute each
+    traversal of the transformed tree to one version, and count guarded
+    stores whose guard came out false (squashed operations). *)
+module Spd = struct
+  type region = {
+    func : string;
+    tree_id : int;
+    predicate : Spd_ir.Reg.t;
+    mutable alias_commits : int;
+    mutable noalias_commits : int;
+  }
+
+  type tree_watch = {
+    mutable watched : region list;  (** newest first; see {!regions} *)
+    mutable traversals : int;
+    mutable squashed : int;
+  }
+
+  type t = (string * int, tree_watch) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let watch (w : t) ~func ~tree_id ~predicate : region =
+    let tw =
+      match Hashtbl.find_opt w (func, tree_id) with
+      | Some tw -> tw
+      | None ->
+          let tw = { watched = []; traversals = 0; squashed = 0 } in
+          Hashtbl.add w (func, tree_id) tw;
+          tw
+    in
+    let r =
+      { func; tree_id; predicate; alias_commits = 0; noalias_commits = 0 }
+    in
+    tw.watched <- r :: tw.watched;
+    r
+
+  let find (w : t) ~func ~tree_id = Hashtbl.find_opt w (func, tree_id)
+
+  (** Every watched region, sorted by (function, tree id, predicate) —
+      a deterministic order independent of registration order. *)
+  let regions (w : t) : region list =
+    Hashtbl.fold (fun _ tw acc -> tw.watched @ acc) w []
+    |> List.sort (fun a b ->
+           compare
+             (a.func, a.tree_id, a.predicate)
+             (b.func, b.tree_id, b.predicate))
+
+  type totals = {
+    n_regions : int;
+    alias : int;
+    noalias : int;
+    squashed : int;
+  }
+
+  let totals (w : t) : totals =
+    let alias = ref 0 and noalias = ref 0 and squashed = ref 0 in
+    let n = ref 0 in
+    Hashtbl.iter
+      (fun _ (tw : tree_watch) ->
+        squashed := !squashed + tw.squashed;
+        List.iter
+          (fun r ->
+            incr n;
+            alias := !alias + r.alias_commits;
+            noalias := !noalias + r.noalias_commits)
+          tw.watched)
+      w;
+    { n_regions = !n; alias = !alias; noalias = !noalias; squashed = !squashed }
+end

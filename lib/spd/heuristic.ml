@@ -16,12 +16,15 @@ type params = {
 let default_params =
   { max_expansion = 4.0; min_gain = 0.75; max_applications = 64 }
 
-(** One successful SpD application, for reporting (Table 6-3). *)
+(** One successful SpD application, for reporting (Table 6-3) and for
+    run-time attribution (the [predicate] register selects, per
+    traversal, between the region's alias and no-alias versions). *)
 type application = {
   func : string;
   tree_id : int;
   kind : Memdep.kind;
   arc : int * int;
+  predicate : Reg.t;  (** register holding the alias compare *)
   predicted_gain : float;
   cost : int;  (** operations added, per the paper's cost model *)
 }
@@ -52,15 +55,16 @@ let run_tree ?profile ?(checker : checker option) ~(params : params)
       | (arc, g) :: _ ->
           if g < params.min_gain then (t, log)
           else (
-            match Transform.apply t arc with
+            match Transform.apply_traced t arc with
             | Error _ -> (t, log) (* can_apply filtered; defensive *)
-            | Ok t' ->
+            | Ok (t', predicate) ->
                 let app =
                   {
                     func;
                     tree_id = t.id;
                     kind = arc.kind;
                     arc = (arc.src, arc.dst);
+                    predicate;
                     predicted_gain = g;
                     cost = Transform.estimated_cost t arc;
                   }

@@ -16,6 +16,9 @@ type application = {
   tree_id : int;
   kind : Spd_ir.Memdep.kind;
   arc : int * int;
+  predicate : Spd_ir.Reg.t;
+      (** register holding the alias compare: true at run time exactly
+          when the region's alias version commits *)
   predicted_gain : float;
   cost : int;
 }

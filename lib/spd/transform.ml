@@ -350,7 +350,7 @@ let remove_arc arcs (target : Memdep.t) =
       else a)
     arcs
 
-let apply_raw (tree : Tree.t) (arc : Memdep.t) : Tree.t =
+let apply_raw (tree : Tree.t) (arc : Memdep.t) : Tree.t * Reg.t =
   let s = Tree.insn_by_id tree arc.src in
   let l = Tree.insn_by_id tree arc.dst in
   let l_pos = pos_of tree arc.dst in
@@ -366,9 +366,9 @@ let apply_raw (tree : Tree.t) (arc : Memdep.t) : Tree.t =
     match Reg.Map.find_opt r exit_subst with Some r' -> r' | None -> r
   in
   let exits = Array.map (Slice.subst_exit lookup) tree.exits in
-  finalize buf ~arcs ~exits
+  (finalize buf ~arcs ~exits, p)
 
-let apply_waw (tree : Tree.t) (arc : Memdep.t) : Tree.t =
+let apply_waw (tree : Tree.t) (arc : Memdep.t) : Tree.t * Reg.t =
   let s1 = Tree.insn_by_id tree arc.src in
   let s2 = Tree.insn_by_id tree arc.dst in
   let s1_pos = pos_of tree arc.src in
@@ -384,9 +384,9 @@ let apply_waw (tree : Tree.t) (arc : Memdep.t) : Tree.t =
   in
   buf.replace.(s1_pos) <- Some { s1 with guard = new_guard };
   let arcs = remove_arc tree.arcs arc in
-  finalize buf ~arcs ~exits:tree.exits
+  (finalize buf ~arcs ~exits:tree.exits, p)
 
-let apply_war (tree : Tree.t) (arc : Memdep.t) : Tree.t =
+let apply_war (tree : Tree.t) (arc : Memdep.t) : Tree.t * Reg.t =
   let l1 = Tree.insn_by_id tree arc.src in
   let s1 = Tree.insn_by_id tree arc.dst in
   let l1_pos = pos_of tree arc.src in
@@ -421,22 +421,32 @@ let apply_war (tree : Tree.t) (arc : Memdep.t) : Tree.t =
     match Reg.Map.find_opt r exit_subst with Some r' -> r' | None -> r
   in
   let exits = Array.map (Slice.subst_exit lookup) tree.exits in
-  finalize buf ~arcs ~exits
+  (finalize buf ~arcs ~exits, p)
 
-(** Apply SpD for [arc] in [tree].  Returns the transformed tree, or the
-    reason the transformation is not applicable. *)
-let apply (tree : Tree.t) (arc : Memdep.t) : (Tree.t, not_applicable) result =
+(** Apply SpD for [arc] in [tree].  Returns the transformed tree paired
+    with the register holding the alias predicate [p] — the address
+    compare that selects, at run time, between the alias version
+    (commits when [p] is true) and the no-alias version — or the reason
+    the transformation is not applicable.  The predicate register lets
+    the simulator attribute each traversal to one of the two versions
+    ({!Spd_sim.Profile.Spd}). *)
+let apply_traced (tree : Tree.t) (arc : Memdep.t) :
+    (Tree.t * Reg.t, not_applicable) result =
   match check_applicable tree arc with
   | Error e -> Error e
   | Ok () ->
-      let tree' =
+      let tree', predicate =
         match arc.kind with
         | Memdep.Raw -> apply_raw tree arc
         | Memdep.War -> apply_war tree arc
         | Memdep.Waw -> apply_waw tree arc
       in
       Tree.validate tree';
-      Ok tree'
+      Ok (tree', predicate)
+
+(** [apply_traced] without the predicate register. *)
+let apply (tree : Tree.t) (arc : Memdep.t) : (Tree.t, not_applicable) result =
+  Result.map fst (apply_traced tree arc)
 
 (** Paper cost model: operations added by applying SpD to [arc]
     (1 + n_L for RAW, 2 + n_L for WAR, 1 for WAW). *)

@@ -117,12 +117,21 @@ val check_applicable :
 val can_apply : Spd_ir.Tree.t -> Spd_ir.Memdep.t -> bool
 val remove_arc :
   Spd_ir.Memdep.t list -> Spd_ir.Memdep.t -> Spd_ir.Memdep.t list
-val apply_raw : Spd_ir.Tree.t -> Spd_ir.Memdep.t -> Spd_ir.Tree.t
-val apply_waw : Spd_ir.Tree.t -> Spd_ir.Memdep.t -> Spd_ir.Tree.t
-val apply_war : Spd_ir.Tree.t -> Spd_ir.Memdep.t -> Spd_ir.Tree.t
+val apply_raw : Spd_ir.Tree.t -> Spd_ir.Memdep.t -> Spd_ir.Tree.t * Spd_ir.Reg.t
+val apply_waw : Spd_ir.Tree.t -> Spd_ir.Memdep.t -> Spd_ir.Tree.t * Spd_ir.Reg.t
+val apply_war : Spd_ir.Tree.t -> Spd_ir.Memdep.t -> Spd_ir.Tree.t * Spd_ir.Reg.t
 
-(** Apply SpD for [arc] in [tree].  Returns the transformed tree, or the
-    reason the transformation is not applicable. *)
+(** Apply SpD for [arc] in [tree].  Returns the transformed tree paired
+    with the register holding the alias predicate [p] — true at run
+    time exactly when the references alias, i.e. when the alias version
+    of the region commits — or the reason the transformation is not
+    applicable. *)
+val apply_traced :
+  Spd_ir.Tree.t ->
+  Spd_ir.Memdep.t ->
+  (Spd_ir.Tree.t * Spd_ir.Reg.t, not_applicable) result
+
+(** [apply_traced] without the predicate register. *)
 val apply :
   Spd_ir.Tree.t -> Spd_ir.Memdep.t -> (Spd_ir.Tree.t, not_applicable) result
 

@@ -1,0 +1,222 @@
+(** A process-global metrics registry: named counters and fixed-bucket
+    histograms.
+
+    Designed for simulator and scheduler hot loops: every metric is
+    sharded per domain (the writing domain hashes into one of
+    {!shards} atomic cells, so concurrent writers almost never contend)
+    and shards are merged only on {!snapshot}.  Registration is
+    idempotent — [counter "x"] returns the same counter everywhere —
+    so instrumentation points never need to thread handles around.
+
+    Snapshots are deterministically ordered (sorted by metric name), so
+    rendered output is stable across job counts and platforms. *)
+
+let shards = 64  (* power of two; domains hash into cells *)
+let shard () = (Domain.self () :> int) land (shards - 1)
+
+type counter = { c_cells : int Atomic.t array }
+
+type histogram = {
+  bounds : float array;  (** ascending upper bounds; one overflow bucket *)
+  h_counts : int Atomic.t array array;  (** shard -> bucket *)
+  h_sums : float Atomic.t array;  (** per-shard sum of observations *)
+}
+
+type metric = C of counter | H of histogram
+
+let mu = Mutex.create ()
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 32
+
+let atomic_array n = Array.init n (fun _ -> Atomic.make 0)
+
+(* [check] raises on kind/bucket clashes, so the unlock must be in a
+   [finally] — a bare lock/unlock pair would leave the registry mutex
+   held and poison every later registration. *)
+let register name build check =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) @@ fun () ->
+  match Hashtbl.find_opt registry name with
+  | Some m -> check m
+  | None ->
+      let m = build () in
+      Hashtbl.replace registry name m;
+      m
+
+(** Get-or-register the counter called [name]. *)
+let counter name : counter =
+  match
+    register name
+      (fun () -> C { c_cells = atomic_array shards })
+      (function
+        | C _ as m -> m
+        | H _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is a histogram"))
+  with
+  | C c -> c
+  | H _ -> assert false
+
+(** Get-or-register the histogram called [name] with the given ascending
+    bucket upper bounds (an overflow bucket is implicit). *)
+let histogram ~buckets name : histogram =
+  let sorted = Array.copy buckets in
+  Array.sort compare sorted;
+  if sorted <> buckets || Array.length buckets = 0 then
+    invalid_arg ("Metrics.histogram: " ^ name ^ ": buckets must be \
+                  non-empty and ascending");
+  match
+    register name
+      (fun () ->
+        H
+          {
+            bounds = Array.copy buckets;
+            h_counts =
+              Array.init shards (fun _ ->
+                  atomic_array (Array.length buckets + 1));
+            h_sums = Array.init shards (fun _ -> Atomic.make 0.0);
+          })
+      (function
+        | H h as m ->
+            if h.bounds <> buckets then
+              invalid_arg
+                ("Metrics.histogram: " ^ name
+               ^ " already registered with different buckets");
+            m
+        | C _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is a counter"))
+  with
+  | H h -> h
+  | C _ -> assert false
+
+(** Seconds-scale wall-clock buckets, for stage timers. *)
+let time_buckets =
+  [| 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3; 1.0; 3.0; 10.0 |]
+
+(** Fraction-scale buckets (0..1], for occupancies and hit rates. *)
+let fraction_buckets = [| 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 |]
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.c_cells.(shard ()) by)
+
+let rec atomic_add_float a x =
+  let old = Atomic.get a in
+  if not (Atomic.compare_and_set a old (old +. x)) then atomic_add_float a x
+
+(* linear scan: bucket arrays are tiny and this sits in hot loops *)
+let bucket_of bounds x =
+  let n = Array.length bounds in
+  let rec go i = if i >= n || x <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h x =
+  let s = shard () in
+  ignore (Atomic.fetch_and_add h.h_counts.(s).(bucket_of h.bounds x) 1);
+  atomic_add_float h.h_sums.(s) x
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+type hist = {
+  buckets : float array;  (** upper bounds, ascending *)
+  counts : int array;  (** per bucket, plus one overflow cell *)
+  count : int;  (** total observations *)
+  sum : float;  (** sum of observations *)
+}
+
+type value = Counter of int | Hist of hist
+
+type snapshot = (string * value) list
+
+let counter_value (c : counter) =
+  Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c.c_cells
+
+let hist_of_shard (h : histogram) s : hist =
+  let counts = Array.map Atomic.get h.h_counts.(s) in
+  {
+    buckets = Array.copy h.bounds;
+    counts;
+    count = Array.fold_left ( + ) 0 counts;
+    sum = Atomic.get h.h_sums.(s);
+  }
+
+(** Merge two histogram snapshots over the same buckets (associative and
+    commutative up to float-addition rounding of [sum]). *)
+let merge_hist (a : hist) (b : hist) : hist =
+  if a.buckets <> b.buckets then
+    invalid_arg "Metrics.merge_hist: bucket mismatch";
+  {
+    buckets = a.buckets;
+    counts = Array.init (Array.length a.counts) (fun i -> a.counts.(i) + b.counts.(i));
+    count = a.count + b.count;
+    sum = a.sum +. b.sum;
+  }
+
+let hist_value (h : histogram) : hist =
+  let acc = ref (hist_of_shard h 0) in
+  for s = 1 to shards - 1 do
+    acc := merge_hist !acc (hist_of_shard h s)
+  done;
+  !acc
+
+(** Merged view of every registered metric, sorted by name. *)
+let snapshot () : snapshot =
+  Mutex.lock mu;
+  let entries = Hashtbl.fold (fun k m acc -> (k, m) :: acc) registry [] in
+  Mutex.unlock mu;
+  entries
+  |> List.map (fun (name, m) ->
+         ( name,
+           match m with
+           | C c -> Counter (counter_value c)
+           | H h -> Hist (hist_value h) ))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(** Zero every registered metric (the registry itself is kept, so
+    existing handles stay valid).  Test isolation helper. *)
+let reset () =
+  Mutex.lock mu;
+  Hashtbl.iter
+    (fun _ -> function
+      | C c -> Array.iter (fun a -> Atomic.set a 0) c.c_cells
+      | H h ->
+          Array.iter (Array.iter (fun a -> Atomic.set a 0)) h.h_counts;
+          Array.iter (fun a -> Atomic.set a 0.0) h.h_sums)
+    registry;
+  Mutex.unlock mu
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let pp_value ppf = function
+  | Counter n -> Fmt.pf ppf "%d" n
+  | Hist h -> Fmt.pf ppf "count=%d sum=%.6g" h.count h.sum
+
+(** One [name=value] line per metric, sorted by name — deterministic
+    rendering for logs and the [timings] artefact. *)
+let pp_snapshot ppf (s : snapshot) =
+  List.iter (fun (name, v) -> Fmt.pf ppf "%s=%a@." name pp_value v) s
+
+let hist_json (h : hist) =
+  Json.Obj
+    [
+      ("buckets", Json.List (Array.to_list (Array.map (fun b -> Json.Float b) h.buckets)));
+      ("counts", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) h.counts)));
+      ("count", Json.Int h.count);
+      ("sum", Json.Float h.sum);
+    ]
+
+(** Schema-versioned JSON rendering of a snapshot: counters and
+    histograms under separate keys, each sorted by name. *)
+let snapshot_json (s : snapshot) =
+  let counters =
+    List.filter_map
+      (function name, Counter n -> Some (name, Json.Int n) | _ -> None)
+      s
+  in
+  let hists =
+    List.filter_map
+      (function name, Hist h -> Some (name, hist_json h) | _ -> None)
+      s
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "spd-metrics/1");
+      ("counters", Json.Obj counters);
+      ("histograms", Json.Obj hists);
+    ]

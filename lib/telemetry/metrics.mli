@@ -1,0 +1,65 @@
+(** A process-global metrics registry: named counters and fixed-bucket
+    histograms.
+
+    Metrics are sharded per domain (writers hash into one of {!shards}
+    atomic cells) and merged only on {!snapshot}, so instrumented hot
+    loops pay one uncontended atomic add per event.  Registration is
+    idempotent: [counter "x"] returns the same counter at every call
+    site.  Snapshots are sorted by name, so rendered output is
+    deterministic. *)
+
+val shards : int
+
+type counter
+type histogram
+
+(** Get-or-register the counter called [name].  Raises
+    [Invalid_argument] if [name] is already a histogram. *)
+val counter : string -> counter
+
+(** Get-or-register the histogram called [name] with the given
+    ascending bucket upper bounds (an implicit overflow bucket is
+    added).  Raises [Invalid_argument] on empty/unsorted buckets or a
+    redefinition with different buckets. *)
+val histogram : buckets:float array -> string -> histogram
+
+(** Seconds-scale wall-clock buckets, for stage timers. *)
+val time_buckets : float array
+
+(** Fraction-scale buckets (0..1], for occupancies and hit rates. *)
+val fraction_buckets : float array
+
+val incr : ?by:int -> counter -> unit
+val observe : histogram -> float -> unit
+
+(** {1 Snapshots} *)
+
+type hist = {
+  buckets : float array;  (** upper bounds, ascending *)
+  counts : int array;  (** per bucket, plus one overflow cell *)
+  count : int;  (** total observations *)
+  sum : float;  (** sum of observations *)
+}
+
+type value = Counter of int | Hist of hist
+type snapshot = (string * value) list
+
+(** Merge two histogram snapshots over the same buckets — associative
+    and commutative (up to float-addition rounding of [sum]); this is
+    exactly the operation {!snapshot} folds over the per-domain
+    shards.  Raises [Invalid_argument] on a bucket mismatch. *)
+val merge_hist : hist -> hist -> hist
+
+(** Merged view of every registered metric, sorted by name. *)
+val snapshot : unit -> snapshot
+
+(** Zero every registered metric; handles stay valid. *)
+val reset : unit -> unit
+
+(** One [name=value] line per metric, sorted by name. *)
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+val hist_json : hist -> Json.t
+
+(** Schema-versioned JSON ([spd-metrics/1]) rendering of a snapshot. *)
+val snapshot_json : snapshot -> Json.t

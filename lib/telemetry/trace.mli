@@ -1,0 +1,38 @@
+(** Span-based tracing with Chrome trace-event output.
+
+    Process-global, off by default; a disabled {!with_span} costs one
+    atomic load.  Recording is safe from any domain — each event
+    carries the recording domain's id as its [tid], so Perfetto renders
+    one track per domain. *)
+
+type event = {
+  name : string;
+  ts : float;  (** begin, microseconds since [start] *)
+  dur : float;  (** duration, microseconds *)
+  tid : int;  (** id of the domain that ran the span *)
+  args : (string * Json.t) list;
+}
+
+val enabled : unit -> bool
+
+(** Clear recorded events, reset the clock epoch and enable tracing. *)
+val start : unit -> unit
+
+val stop : unit -> unit
+
+(** [with_span ~name f] runs [f]; when tracing is enabled, records a
+    complete trace event for it (also when [f] raises). *)
+val with_span : ?args:(string * Json.t) list -> name:string -> (unit -> 'a) -> 'a
+
+(** Mark an instantaneous event (duration 0). *)
+val instant : ?args:(string * Json.t) list -> string -> unit
+
+(** All events recorded since [start], in begin-timestamp order. *)
+val events : unit -> event list
+
+(** The Chrome trace-event document for everything recorded so far. *)
+val to_json : unit -> Json.t
+
+(** Write the trace to [path] (Chrome trace-event JSON, loadable in
+    Perfetto / chrome://tracing). *)
+val write : string -> unit

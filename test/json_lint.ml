@@ -1,0 +1,25 @@
+(** Validate that each file named on the command line is a complete
+    JSON document, using the repository's own parser — the same one the
+    test suite uses on trace and report output.  Exits nonzero on the
+    first malformed file (see [make check]). *)
+
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: json_lint FILE...";
+    exit 2
+  end;
+  List.iter
+    (fun path ->
+      match Spd_telemetry.Json.of_string (slurp path) with
+      | Ok _ -> Printf.printf "json_lint: %s ok\n" path
+      | Error e ->
+          Printf.eprintf "json_lint: %s: %s\n" path e;
+          exit 1)
+    files

@@ -11,4 +11,5 @@ let () =
       ("harness", Test_harness.tests);
       ("faults", Test_faults.tests);
       ("workloads", Test_workloads.tests);
+      ("telemetry", Test_telemetry.tests);
     ]

@@ -161,6 +161,72 @@ let test_engine_determinism () =
   let par = with_session (Engine.Session.create ~jobs:4 ()) grid_render in
   check_bool "jobs=4 output bit-identical to jobs=1" true (String.equal seq par)
 
+(* The machine-readable rendering must be as deterministic as the
+   pretty one: the same artefact rendered through a 1-job and a 4-job
+   session serialises to bit-identical JSON.  (Only the artefact tables
+   are compared — the process-global metrics snapshot accumulates
+   across the whole test binary and is deliberately excluded.) *)
+let artefact_json name =
+  let a =
+    match H.Artefact.find name with
+    | Some a -> a
+    | None -> Alcotest.failf "artefact %s not registered" name
+  in
+  String.concat "\n"
+    (List.map
+       (fun t -> Spd_telemetry.Json.to_string (H.Table.to_json t))
+       (a.H.Artefact.tables ()))
+
+let test_artefact_json_jobs_invariant () =
+  let j1 =
+    with_session (Engine.Session.create ~jobs:1 ()) (fun () ->
+        artefact_json "table6_3")
+  in
+  let j4 =
+    with_session (Engine.Session.create ~jobs:4 ()) (fun () ->
+        artefact_json "table6_3")
+  in
+  check_bool "table6_3 JSON bit-identical across jobs" true
+    (String.equal j1 j4)
+
+(* Engine counters (minus wall clock and [jobs]) are themselves
+   deterministic: memoization computes each cell exactly once, however
+   many domains race for it. *)
+let stats_line s =
+  Fmt.str "%a" Engine.Stats.pp (Engine.Session.stats s)
+
+let test_stats_pp_stable_across_jobs () =
+  let run jobs =
+    let s = Engine.Session.create ~jobs () in
+    let line = with_session s (fun () -> ignore (grid_render ()); stats_line s) in
+    line
+  in
+  let l1 = run 1 and l4 = run 4 in
+  check_bool "Stats.pp sorted key=value" true
+    (String.length l1 > 0 && l1.[0] <> ' ');
+  check_bool "Stats.pp identical across jobs" true (String.equal l1 l4)
+
+(* SpD run-time dynamics: the interpreter attributes commits to the
+   transformed regions.  The profiled arcs SpD picks (low alias
+   probability by construction) commit overwhelmingly on the no-alias
+   version, and alias-version stores squash. *)
+let test_spd_dynamics_counts () =
+  let d = H.Experiment.spd_dynamics ~bench:"perm" ~latency:2 in
+  check_bool "perm has transformed regions" true (d.Pipeline.regions <> []);
+  check_bool "no-alias commits observed" true
+    (List.exists
+       (fun (r : Pipeline.region_dynamics) -> r.noalias_commits > 0)
+       d.Pipeline.regions);
+  let adi = H.Experiment.spd_dynamics ~bench:"adi" ~latency:2 in
+  check_bool "adi squashes alias-version stores" true
+    (adi.Pipeline.squashed > 0);
+  (* every traversal of a region commits exactly one of its versions *)
+  List.iter
+    (fun (r : Pipeline.region_dynamics) ->
+      check_bool "commit counts non-negative" true
+        (r.alias_commits >= 0 && r.noalias_commits >= 0))
+    d.Pipeline.regions
+
 let test_engine_disk_cache () =
   let dir =
     Filename.concat (Filename.get_temp_dir_name ())
@@ -214,5 +280,8 @@ let tests =
     case "reports render" test_reports_render;
     case "parallel_map: order and exceptions" test_parallel_map_order;
     case "engine determinism across jobs" test_engine_determinism;
+    case "artefact JSON invariant across jobs" test_artefact_json_jobs_invariant;
+    case "Stats.pp stable across jobs" test_stats_pp_stable_across_jobs;
+    case "spd-dynamics counters" test_spd_dynamics_counts;
     case "engine on-disk cache" test_engine_disk_cache;
   ]
