@@ -7,7 +7,8 @@
 DUNE ?= dune
 SMOKE_DIR ?= /tmp
 
-.PHONY: all check test bench bench-json fuzz-smoke telemetry-smoke clean
+.PHONY: all check test bench bench-json fuzz-smoke telemetry-smoke \
+	bench-diff-smoke clean
 
 all:
 	$(DUNE) build
@@ -26,8 +27,33 @@ telemetry-smoke:
 	$(DUNE) exec bench/main.exe -- table6_3 --jobs 2 --no-cache \
 	  --trace $(SMOKE_DIR)/spd_trace.json --format json \
 	  > $(SMOKE_DIR)/spd_report.json
+	$(DUNE) exec bin/spd.exe -- explain matmul300 --format json \
+	  > $(SMOKE_DIR)/spd_explain.json
 	$(DUNE) exec test/json_lint.exe -- \
-	  $(SMOKE_DIR)/spd_trace.json $(SMOKE_DIR)/spd_report.json
+	  $(SMOKE_DIR)/spd_trace.json $(SMOKE_DIR)/spd_report.json \
+	  $(SMOKE_DIR)/spd_explain.json
+
+# Regression-tracker smoke: generate the cycles artefact twice (the
+# second run is served from the warm cache, so the reports agree and
+# `spd bench diff` must exit 0), then inject a deterministic 10% cycle
+# inflation via the Faults hooks and require diff to exit 2.  The diff
+# JSON is linted against the spd-bench-diff/1 schema.
+bench-diff-smoke:
+	$(DUNE) exec bin/spd.exe -- report cycles --jobs 2 --format json \
+	  > $(SMOKE_DIR)/spd_bench_a.json
+	$(DUNE) exec bin/spd.exe -- report cycles --jobs 2 --format json \
+	  > $(SMOKE_DIR)/spd_bench_b.json
+	$(DUNE) exec bin/spd.exe -- bench diff \
+	  $(SMOKE_DIR)/spd_bench_a.json $(SMOKE_DIR)/spd_bench_b.json
+	$(DUNE) exec bin/spd.exe -- report cycles --jobs 2 --format json \
+	  --inject-fault cycles-inflate:10 > $(SMOKE_DIR)/spd_bench_slow.json
+	$(DUNE) exec bin/spd.exe -- bench diff --format json \
+	  $(SMOKE_DIR)/spd_bench_a.json $(SMOKE_DIR)/spd_bench_slow.json \
+	  > $(SMOKE_DIR)/spd_bench_diff.json; \
+	  status=$$?; if [ $$status -ne 2 ]; then \
+	    echo "bench-diff-smoke: expected exit 2 on injected slowdown, got $$status"; \
+	    exit 1; fi
+	$(DUNE) exec test/json_lint.exe -- $(SMOKE_DIR)/spd_bench_diff.json
 
 check: all
 	$(DUNE) runtest
@@ -35,6 +61,7 @@ check: all
 	$(DUNE) exec bench/main.exe -- table6_3 --jobs 2
 	$(DUNE) exec bench/main.exe -- table6_3 --jobs 2 --timings
 	$(MAKE) telemetry-smoke
+	$(MAKE) bench-diff-smoke
 
 bench:
 	$(DUNE) exec bench/main.exe -- all --timings

@@ -195,38 +195,42 @@ let () =
     | arg :: tl -> rest := arg :: !rest; parse tl
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !trace <> None then Trace.start ();
-  let session =
-    Engine.Session.create ?jobs:!jobs ~disk_cache:!disk_cache
-      ?retries:!retries ?fuel:!fuel ?deadline:!deadline ~faults:!faults ()
+  let failed =
+    (* [capture] writes the trace file even when a grid cell raises *)
+    Trace.capture !trace (fun () ->
+        let session =
+          Engine.Session.create ?jobs:!jobs ~disk_cache:!disk_cache
+            ?retries:!retries ?fuel:!fuel ?deadline:!deadline
+            ~faults:!faults ()
+        in
+        Spd_harness.Experiment.set_default_session session;
+        let render names =
+          Artefact.render !format ppf (Artefact.of_names names)
+        in
+        (match (List.rev !rest, !format) with
+        | ([] | [ "all" ]), Artefact.Pretty ->
+            render (Artefact.paper_set @ Artefact.extension_set);
+            micro ()
+        | ([] | [ "all" ]), _ ->
+            (* micro is interactive-only: its numbers are pure wall clock *)
+            render (Artefact.paper_set @ Artefact.extension_set)
+        | [ "micro" ], Artefact.Pretty -> micro ()
+        | [ "micro" ], _ -> hint "micro supports only --format pretty"
+        | [ "timings" ], Artefact.Pretty -> timings := true
+        | [ name ], _ -> (
+            match Artefact.find name with
+            | Some _ -> render [ name ]
+            | None ->
+                hint "unknown artefact %S (one of: all, micro, %s)" name
+                  (String.concat ", " (Artefact.names ())))
+        | _ -> usage ());
+        (match !format with
+        | Artefact.Pretty ->
+            if !timings then Report.timings ppf ();
+            Report.failure_appendix ppf ()
+        | _ -> ());
+        let failed = Spd_harness.Experiment.failures () <> [] in
+        Engine.Session.close session;
+        failed)
   in
-  Spd_harness.Experiment.set_default_session session;
-  let render names = Artefact.render !format ppf (Artefact.of_names names) in
-  (match (List.rev !rest, !format) with
-  | ([] | [ "all" ]), Artefact.Pretty ->
-      render (Artefact.paper_set @ Artefact.extension_set);
-      micro ()
-  | ([] | [ "all" ]), _ ->
-      (* micro is interactive-only: its numbers are pure wall clock *)
-      render (Artefact.paper_set @ Artefact.extension_set)
-  | [ "micro" ], Artefact.Pretty -> micro ()
-  | [ "micro" ], _ -> hint "micro supports only --format pretty"
-  | [ "timings" ], Artefact.Pretty -> timings := true
-  | [ name ], _ -> (
-      match Artefact.find name with
-      | Some _ -> render [ name ]
-      | None ->
-          hint "unknown artefact %S (one of: all, micro, %s)" name
-            (String.concat ", " (Artefact.names ())))
-  | _ -> usage ());
-  (match !format with
-  | Artefact.Pretty ->
-      if !timings then Report.timings ppf ();
-      Report.failure_appendix ppf ()
-  | _ -> ());
-  (match !trace with
-  | Some path -> Trace.stop (); Trace.write path
-  | None -> ());
-  let failed = Spd_harness.Experiment.failures () <> [] in
-  Engine.Session.close session;
   if failed then exit 2

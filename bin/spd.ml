@@ -4,6 +4,9 @@
     spd compile FILE [--pipeline P] [--mem-latency N]   dump the decision-tree IR
     spd run     FILE [--pipeline P] [--width W] ...     compile, simulate, time
     spd bench   NAME [--mem-latency N]                  one built-in benchmark, all pipelines
+    spd bench   diff OLD NEW [--threshold PCT]          compare two bench reports
+    spd bench   snapshot [--from FILE]                  timestamped copy into bench/history/
+    spd explain WORKLOAD [--fn F] [--tree T]            occupancy grids + critical paths
     spd report  [ARTEFACT] [--jobs N] [--no-cache]      regenerate the paper's tables/figures
                 [--trace FILE] [--format pretty|json|csv]
     spd list                                            list built-in benchmarks
@@ -84,6 +87,63 @@ let prepare_src ~mem_latency pipeline src =
     pipeline
     (Spd_lang.Lower.compile src)
 
+(* shared flags *)
+
+let format_conv =
+  let module Artefact = Spd_harness.Artefact in
+  let parse s =
+    match Artefact.format_of_string s with
+    | Some f -> Ok f
+    | None ->
+        Error (`Msg (Printf.sprintf "expected pretty, json or csv, got %S" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf f ->
+        Fmt.string ppf
+          (match f with
+          | Artefact.Pretty -> "pretty"
+          | Artefact.Json -> "json"
+          | Artefact.Csv -> "csv") )
+
+let format_arg ~doc =
+  Arg.(
+    value
+    & opt format_conv Spd_harness.Artefact.Pretty
+    & info [ "format" ] ~docv:"FORMAT" ~doc)
+
+let faults_conv =
+  let parse s =
+    match Spd_harness.Faults.parse s with
+    | Ok f -> Ok f
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Spd_harness.Faults.pp)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some faults_conv) None
+    & info [ "inject-fault" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault injection: comma-separated \
+           $(b,cache-corrupt:N) (corrupt the Nth cache read), \
+           $(b,cell-raise:KEY[@TIMES]) (raise in cells whose key \
+           starts with KEY, e.g. adi/2/SPEC), $(b,fuel:N) (tight \
+           simulator budget) and $(b,cycles-inflate:PCT) (inflate \
+           reported cycle counts — for exercising the regression \
+           tracker).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON of the run (spans per grid \
+           cell with pipeline-stage child spans), loadable in Perfetto \
+           / chrome://tracing.  Written even when the run aborts.")
+
 (* ------------------------------------------------------------------ *)
 
 let compile_cmd =
@@ -132,12 +192,18 @@ let run_cmd =
        ~doc:"Compile, disambiguate, schedule and simulate a mini-C file.")
     Term.(const run $ file_arg $ pipeline_arg $ mem_latency_arg $ width_arg)
 
-let bench_cmd =
+let workload_names () =
+  Spd_workloads.Registry.names
+  @ List.map
+      (fun (w : Spd_workloads.Workload.t) -> w.name)
+      Spd_workloads.Registry.extras
+
+let bench_run_cmd =
   let run name mem_latency width =
     handle_errors (fun () ->
-        (if not (List.mem name Spd_workloads.Registry.names) then begin
+        (if not (List.mem name (workload_names ())) then begin
            Fmt.epr "unknown benchmark %S (one of: %s)@." name
-             (String.concat ", " Spd_workloads.Registry.names);
+             (String.concat ", " (workload_names ()));
            exit 1
          end);
         let w = Spd_workloads.Registry.by_name name in
@@ -169,47 +235,186 @@ let bench_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"NAME" ~doc:"Benchmark name (see $(b,spd list)).")
   in
+  Term.(const run $ name_arg $ mem_latency_arg $ width_arg)
+
+let bench_diff_cmd =
+  let module Artefact = Spd_harness.Artefact in
+  let module Benchdiff = Spd_harness.Benchdiff in
+  let run old_file new_file threshold format =
+    match
+      Benchdiff.diff_strings ~threshold ~old_report:(read_file old_file)
+        ~new_report:(read_file new_file) ()
+    with
+    | Error msg ->
+        Fmt.epr "bench diff: %s@." msg;
+        exit 1
+    | Ok d ->
+        Benchdiff.render format Fmt.stdout d;
+        if d.Benchdiff.regressions > 0 then exit 2
+  in
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD"
+          ~doc:"Baseline spd-report/1 document (e.g. a bench/history/ \
+                snapshot).")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW"
+          ~doc:"Candidate spd-report/1 document (e.g. BENCH_REPORT.json).")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:
+            "Tolerated relative change in percent; a cell regresses only \
+             when it moves in the bad direction by more than this \
+             (default 0: any worsening counts).")
+  in
   Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two bench reports cell by cell; exits 2 when any \
+          tracked value regresses beyond the threshold.")
+    Term.(
+      const run $ old_arg $ new_arg $ threshold_arg
+      $ format_arg
+          ~doc:
+            "Output format: $(b,pretty) (default), $(b,json) (one \
+             spd-bench-diff/1 document) or $(b,csv).")
+
+let bench_snapshot_cmd =
+  let run from dir =
+    let doc = read_file from in
+    (match Spd_telemetry.Json.of_string doc with
+    | Error msg ->
+        Fmt.epr "bench snapshot: %s is not valid JSON: %s@." from msg;
+        exit 1
+    | Ok json -> (
+        match
+          Option.bind
+            (Spd_telemetry.Json.member "schema" json)
+            Spd_telemetry.Json.to_string_opt
+        with
+        | Some s when s = Spd_harness.Artefact.report_schema -> ()
+        | _ ->
+            Fmt.epr "bench snapshot: %s is not an %s document@." from
+              Spd_harness.Artefact.report_schema;
+            exit 1));
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let tm = Unix.localtime (Unix.gettimeofday ()) in
+    let stamp =
+      Printf.sprintf "%04d%02d%02d-%02d%02d%02d" (tm.Unix.tm_year + 1900)
+        (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+        tm.Unix.tm_sec
+    in
+    let rec fresh n =
+      let path =
+        Filename.concat dir
+          (if n = 0 then stamp ^ ".json"
+           else Printf.sprintf "%s-%d.json" stamp n)
+      in
+      if Sys.file_exists path then fresh (n + 1) else path
+    in
+    let path = fresh 0 in
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc doc);
+    Fmt.pr "%s@." path
+  in
+  let from_arg =
+    Arg.(
+      value
+      & opt file "BENCH_REPORT.json"
+      & info [ "from" ] ~docv:"FILE"
+          ~doc:"Report to snapshot (default BENCH_REPORT.json).")
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt string "bench/history"
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"History directory (default bench/history).")
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Validate a bench report and copy it into the history directory \
+          under a timestamped name, printing the path written.")
+    Term.(const run $ from_arg $ dir_arg)
+
+(* [spd bench NAME] predates the diff/snapshot subcommands; the main
+   entry point rewrites it to [spd bench run NAME] so both forms work. *)
+let bench_subcommands = [ "run"; "diff"; "snapshot" ]
+
+let bench_cmd =
+  Cmd.group ~default:bench_run_cmd
     (Cmd.info "bench"
-       ~doc:"Run one built-in benchmark under all four pipelines.")
-    Term.(const run $ name_arg $ mem_latency_arg $ width_arg)
+       ~doc:
+         "Run one built-in benchmark under all four pipelines; \
+          $(b,diff)/$(b,snapshot) track bench reports over time.")
+    [
+      Cmd.v
+        (Cmd.info "run"
+           ~doc:"Run one built-in benchmark under all four pipelines.")
+        bench_run_cmd;
+      bench_diff_cmd;
+      bench_snapshot_cmd;
+    ]
 
 let report_cmd =
   let module Artefact = Spd_harness.Artefact in
   let module Trace = Spd_telemetry.Trace in
-  let run name jobs no_cache timings retries fuel deadline widths faults
-      trace format =
-    (match widths with
-    | None -> ()
-    | Some ws -> Spd_harness.Report.set_widths ws);
-    if trace <> None then Trace.start ();
-    let session =
-      Spd_harness.Engine.Session.create ?jobs ~disk_cache:(not no_cache)
-        ?retries ?fuel ?deadline
-        ?faults:(Option.map Fun.id faults) ()
-    in
-    Spd_harness.Experiment.set_default_session session;
-    (match name with
-    | None -> Artefact.render format Fmt.stdout (Artefact.of_names Artefact.paper_set)
-    | Some n -> (
-        match Artefact.find n with
-        | Some a -> Artefact.render format Fmt.stdout [ a ]
-        | None ->
-            Fmt.epr "unknown artefact %s (one of: %s)@." n
-              (String.concat ", " (Artefact.names ()));
-            exit 1));
-    (match format with
-    | Artefact.Pretty ->
-        if timings && name <> Some "timings" then
-          Spd_harness.Report.timings Fmt.stdout ();
-        Spd_harness.Report.failure_appendix Fmt.stdout ()
-    | _ -> ());
-    (match trace with
-    | Some path -> Trace.stop (); Trace.write path
-    | None -> ());
-    let failed = Spd_harness.Experiment.failures () <> [] in
-    Spd_harness.Engine.Session.close session;
-    if failed then exit 2
+  let run list_only name jobs no_cache timings retries fuel deadline widths
+      faults trace format =
+    if list_only then Artefact.pp_list Fmt.stdout ()
+    else begin
+      (match widths with
+      | None -> ()
+      | Some ws -> Spd_harness.Report.set_widths ws);
+      let failed =
+        (* [capture] writes the trace file even when a cell raises *)
+        Trace.capture trace (fun () ->
+            let session =
+              Spd_harness.Engine.Session.create ?jobs
+                ~disk_cache:(not no_cache) ?retries ?fuel ?deadline
+                ?faults:(Option.map Fun.id faults) ()
+            in
+            Spd_harness.Experiment.set_default_session session;
+            (match name with
+            | None ->
+                Artefact.render format Fmt.stdout
+                  (Artefact.of_names Artefact.paper_set)
+            | Some n -> (
+                match Artefact.find n with
+                | Some a -> Artefact.render format Fmt.stdout [ a ]
+                | None ->
+                    Fmt.epr "unknown artefact %s (one of: %s)@." n
+                      (String.concat ", " (Artefact.names ()));
+                    exit 1));
+            (match format with
+            | Artefact.Pretty ->
+                if timings && name <> Some "timings" then
+                  Spd_harness.Report.timings Fmt.stdout ();
+                Spd_harness.Report.failure_appendix Fmt.stdout ()
+            | _ -> ());
+            let failed = Spd_harness.Experiment.failures () <> [] in
+            Spd_harness.Engine.Session.close session;
+            failed)
+      in
+      if failed then exit 2
+    end
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:"List the artefact registry with one-line descriptions.")
   in
   let name_arg =
     Arg.(
@@ -292,69 +497,93 @@ let report_cmd =
       & info [ "widths" ] ~docv:"A,B,.."
           ~doc:"Machine widths swept by Figure 6-3 (default 1..8).")
   in
-  let faults_conv =
-    let parse s =
-      match Spd_harness.Faults.parse s with
-      | Ok f -> Ok f
-      | Error msg -> Error (`Msg msg)
-    in
-    Arg.conv (parse, Spd_harness.Faults.pp)
-  in
-  let faults_arg =
-    Arg.(
-      value
-      & opt (some faults_conv) None
-      & info [ "inject-fault" ] ~docv:"SPEC"
-          ~doc:
-            "Deterministic fault injection: comma-separated \
-             $(b,cache-corrupt:N) (corrupt the Nth cache read), \
-             $(b,cell-raise:KEY[@TIMES]) (raise in cells whose key \
-             starts with KEY, e.g. adi/2/SPEC) and $(b,fuel:N) \
-             (tight simulator budget).")
-  in
-  let trace_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace" ] ~docv:"FILE"
-          ~doc:
-            "Write a Chrome trace-event JSON of the run (spans per grid \
-             cell with pipeline-stage child spans), loadable in Perfetto \
-             / chrome://tracing.")
-  in
-  let format_conv =
-    let parse s =
-      match Artefact.format_of_string s with
-      | Some f -> Ok f
-      | None ->
-          Error (`Msg (Printf.sprintf "expected pretty, json or csv, got %S" s))
-    in
-    Arg.conv
-      ( parse,
-        fun ppf f ->
-          Fmt.string ppf
-            (match f with
-            | Artefact.Pretty -> "pretty"
-            | Artefact.Json -> "json"
-            | Artefact.Csv -> "csv") )
-  in
-  let format_arg =
-    Arg.(
-      value
-      & opt format_conv Artefact.Pretty
-      & info [ "format" ] ~docv:"FORMAT"
-          ~doc:
-            "Output format: $(b,pretty) (default), $(b,json) (one \
-             spd-report/1 document with every table, the failures and a \
-             metrics snapshot) or $(b,csv) (long format).")
-  in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Regenerate the paper's evaluation tables and figures.")
     Term.(
-      const run $ name_arg $ jobs_arg $ no_cache_arg $ timings_arg
-      $ retries_arg $ fuel_arg $ deadline_arg $ widths_arg $ faults_arg
-      $ trace_arg $ format_arg)
+      const run $ list_arg $ name_arg $ jobs_arg $ no_cache_arg
+      $ timings_arg $ retries_arg $ fuel_arg $ deadline_arg $ widths_arg
+      $ faults_arg $ trace_arg
+      $ format_arg
+          ~doc:
+            "Output format: $(b,pretty) (default), $(b,json) (one \
+             spd-report/1 document with every table, the failures and a \
+             metrics snapshot) or $(b,csv) (long format).")
+
+let explain_cmd =
+  let module Explain = Spd_harness.Explain in
+  let run list_only name fn tree width mem_latency format =
+    if list_only then Spd_harness.Artefact.pp_list Fmt.stdout ()
+    else
+      match name with
+      | None ->
+          Fmt.epr "spd explain: missing WORKLOAD (one of: %s)@."
+            (String.concat ", " (workload_names ()));
+          exit 1
+      | Some name ->
+          if not (List.mem name (workload_names ())) then begin
+            Fmt.epr "unknown workload %S (one of: %s)@." name
+              (String.concat ", " (workload_names ()));
+            exit 1
+          end;
+          handle_errors (fun () ->
+              let t = Explain.analyze ~width ~mem_latency name in
+              (match (fn, tree) with
+              | None, None -> ()
+              | _ ->
+                  if Explain.selected ?fn ?tree t = [] then begin
+                    Fmt.epr "no tree matches the --fn/--tree filters@.";
+                    exit 1
+                  end);
+              Explain.render ?fn ?tree format Fmt.stdout t)
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:"List the artefact registry with one-line descriptions.")
+  in
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Workload name (the built-in benchmarks plus extras such \
+                as $(b,matmul300)).")
+  in
+  let fn_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "fn" ] ~docv:"NAME" ~doc:"Restrict to a function.")
+  in
+  let tree_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "t"; "tree" ] ~docv:"ID" ~doc:"Restrict to a tree id.")
+  in
+  let width_arg =
+    Arg.(
+      value
+      & opt int 5
+      & info [ "w"; "width" ] ~docv:"FUS"
+          ~doc:"Number of universal functional units (default 5).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain a workload's schedules: cycle-by-FU occupancy grids \
+          with SpD version annotations, critical-path cycle attribution \
+          per tree, and a per-region table whose cycles sum exactly to \
+          the simulated total.")
+    Term.(
+      const run $ list_arg $ name_arg $ fn_arg $ tree_arg $ width_arg
+      $ mem_latency_arg
+      $ format_arg
+          ~doc:
+            "Output format: $(b,pretty) (default), $(b,json) (one \
+             spd-explain/1 document) or $(b,csv).")
 
 let graph_cmd =
   let run file pipeline mem_latency func tree_id =
@@ -420,4 +649,25 @@ let () =
         "Speculative disambiguation for a guarded VLIW: compiler, \
          scheduler, simulator and the ISCA'94 experiments."
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; bench_cmd; report_cmd; graph_cmd; list_cmd ]))
+  (* keep the historical [spd bench NAME] spelling working alongside
+     the bench subcommands *)
+  let argv =
+    let a = Sys.argv in
+    if
+      Array.length a >= 3
+      && a.(1) = "bench"
+      && (not (List.mem a.(2) bench_subcommands))
+      && String.length a.(2) > 0
+      && a.(2).[0] <> '-'
+    then
+      Array.concat
+        [ [| a.(0); "bench"; "run" |]; Array.sub a 2 (Array.length a - 2) ]
+    else a
+  in
+  exit
+    (Cmd.eval ~argv
+       (Cmd.group info
+          [
+            compile_cmd; run_cmd; bench_cmd; explain_cmd; report_cmd;
+            graph_cmd; list_cmd;
+          ]))

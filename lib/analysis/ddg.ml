@@ -26,6 +26,10 @@ type t = {
   preds : (int * int) list array;
       (** per node: (predecessor node, edge weight) *)
   succs : (int * int) list array;
+  mem_edges : (int * int, Memdep.t) Hashtbl.t;
+      (** the memory dependence arcs that constrain this graph, keyed by
+          (src node, dst node) — lets consumers tell a memory edge apart
+          from a register-flow edge with the same endpoints *)
 }
 
 let n_nodes g = g.n_insns + g.n_exits
@@ -46,6 +50,7 @@ let build ?(arc_active = Memdep.is_active) ~mem_latency (tree : Tree.t) : t =
       n_exits;
       preds = Array.make (n_insns + n_exits) [];
       succs = Array.make (n_insns + n_exits) [];
+      mem_edges = Hashtbl.create 8;
     }
   in
   let add_edge src dst w =
@@ -79,10 +84,12 @@ let build ?(arc_active = Memdep.is_active) ~mem_latency (tree : Tree.t) : t =
   (* memory dependence arcs *)
   List.iter
     (fun (arc : Memdep.t) ->
-      if arc_active arc then
+      if arc_active arc then begin
         let si = Tree.insn_index tree arc.src
         and di = Tree.insn_index tree arc.dst in
-        add_edge (insn_node si) (insn_node di) (Memdep.weight ~mem_latency arc))
+        add_edge (insn_node si) (insn_node di) (Memdep.weight ~mem_latency arc);
+        Hashtbl.replace g.mem_edges (insn_node si, insn_node di) arc
+      end)
     tree.arcs;
   (* exit priority chain *)
   for k = 1 to n_exits - 1 do
@@ -120,6 +127,41 @@ let height (g : t) : int array =
       g.succs.(node)
   done;
   h
+
+(** Lookup the memory dependence arc constraining edge (src, dst), if
+    that edge is a memory arc rather than register flow or exit chain. *)
+let mem_arc (g : t) ~src ~dst = Hashtbl.find_opt g.mem_edges (src, dst)
+
+(** Length of the unbounded-machine critical path: the largest completion
+    time over all nodes when every node issues ASAP. *)
+let span (g : t) : int =
+  let issue = asap g in
+  let s = ref 0 in
+  for node = 0 to n_nodes g - 1 do
+    s := max !s (issue.(node) + node_latency g node)
+  done;
+  !s
+
+(** Latest issue time of every node such that, obeying every dependence
+    edge, no completion exceeds [span] (resource limits ignored — the
+    classic ALAP pass). *)
+let alap (g : t) ~span : int array =
+  let issue = Array.make (n_nodes g) 0 in
+  for node = n_nodes g - 1 downto 0 do
+    issue.(node) <- span - node_latency g node;
+    List.iter
+      (fun (s, w) -> issue.(node) <- min issue.(node) (issue.(s) - w))
+      g.succs.(node)
+  done;
+  issue
+
+(** Per-node scheduling freedom on the unbounded machine: [alap - asap]
+    against this graph's own critical-path span.  Zero-slack nodes lie on
+    a critical path. *)
+let slack (g : t) : int array =
+  let late = alap g ~span:(span g) in
+  let early = asap g in
+  Array.init (n_nodes g) (fun node -> late.(node) - early.(node))
 
 (** Completion times on the unbounded machine, directly consumable as a
     timing table entry: instruction completions by position, exit
@@ -160,15 +202,6 @@ let pp_dot ppf (g : t) =
         (String.map (function '"' -> '\'' | c -> c)
            (Fmt.str "%a" Tree.pp_exit e)))
     tree.exits;
-  let mem_edges = Hashtbl.create 8 in
-  List.iter
-    (fun (arc : Memdep.t) ->
-      if Memdep.is_active arc then begin
-        let sp = Tree.insn_index tree arc.src
-        and dp = Tree.insn_index tree arc.dst in
-        Hashtbl.replace mem_edges (sp, dp) arc
-      end)
-    tree.arcs;
   let node_name n = if n < g.n_insns then Fmt.str "n%d" n else Fmt.str "x%d" (n - g.n_insns) in
   Array.iteri
     (fun src succs ->
@@ -176,7 +209,7 @@ let pp_dot ppf (g : t) =
         (fun (dst, w) ->
           let attrs =
             if src < g.n_insns && dst < g.n_insns then
-              match Hashtbl.find_opt mem_edges (src, dst) with
+              match Hashtbl.find_opt g.mem_edges (src, dst) with
               | Some arc ->
                   Fmt.str
                     "color=red, penwidth=2%s, label=\"%a w=%d\""

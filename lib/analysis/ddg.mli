@@ -23,6 +23,7 @@ type t = {
   n_exits : int;
   preds : (int * int) list array;
   succs : (int * int) list array;
+  mem_edges : (int * int, Spd_ir.Memdep.t) Hashtbl.t;
 }
 val n_nodes : t -> int
 val insn_node : 'a -> 'a
@@ -46,6 +47,24 @@ val asap : t -> int array
 (** Longest path from each node to the end of the tree (used as the list
     scheduler's priority: schedule critical nodes first). *)
 val height : t -> int array
+
+(** Lookup the memory dependence arc constraining edge (src, dst), if
+    that edge is a memory arc rather than register flow or exit chain. *)
+val mem_arc : t -> src:int -> dst:int -> Spd_ir.Memdep.t option
+
+(** Length of the unbounded-machine critical path: the largest completion
+    time over all nodes when every node issues ASAP. *)
+val span : t -> int
+
+(** Latest issue time of every node such that, obeying every dependence
+    edge, no completion exceeds [span] (resource limits ignored — the
+    classic ALAP pass). *)
+val alap : t -> span:int -> int array
+
+(** Per-node scheduling freedom on the unbounded machine: [alap - asap]
+    against this graph's own critical-path span.  Zero-slack nodes lie on
+    a critical path. *)
+val slack : t -> int array
 
 (** Completion times on the unbounded machine, directly consumable as a
     timing table entry: instruction completions by position, exit

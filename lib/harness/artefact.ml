@@ -48,6 +48,8 @@ let registry : t list =
       tables = Report.table6_4_tables };
     { name = "fig6_2"; title = "Speedup over NAIVE (5 FU)";
       tables = Report.fig6_2_tables };
+    { name = "cycles"; title = "Raw simulated cycle counts (5 FU)";
+      tables = Report.cycles_tables };
     { name = "fig6_3"; title = "SPEC over STATIC vs machine width";
       tables = Report.fig6_3_tables };
     { name = "fig6_4"; title = "Code size increase due to SpD";
@@ -67,6 +69,15 @@ let registry : t list =
 
 let names () = List.map (fun a -> a.name) registry
 let find name = List.find_opt (fun a -> a.name = name) registry
+
+(** One registry line per artefact — the CLIs' [--list] output. *)
+let pp_list ppf () =
+  let width =
+    List.fold_left (fun w a -> max w (String.length a.name)) 0 registry
+  in
+  List.iter
+    (fun a -> Fmt.pf ppf "%-*s  %s@." width a.name a.title)
+    registry
 
 (* the default artefact set: the paper's tables and figures, in the
    paper's order, as the historical [all] renderers printed them *)

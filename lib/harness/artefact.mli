@@ -24,6 +24,9 @@ val registry : t list
 val names : unit -> string list
 val find : string -> t option
 
+(** One registry line per artefact — the CLIs' [--list] output. *)
+val pp_list : Format.formatter -> unit -> unit
+
 (** The paper's tables and figures in the historical [all] order. *)
 val paper_set : string list
 

@@ -630,11 +630,15 @@ module Session = struct
     Memo.get t.cycles_memo (key, width) (fun () ->
         protected t ~key:(cell_key key ^ "/cycles/" ^ width_tag width)
           (fun () ->
+            (* an armed cycles-inflate fault perturbs what we report but
+               never what we persist, so the cache stays truthful and
+               the slowdown applies to cache hits too *)
+            let inflate = Faults.inflate_cycles t.faults in
             let payload =
               cell_payload t key ^ "|cycles:" ^ width_tag width
             in
             match disk_read t payload with
-            | Some (Cycles n) -> n
+            | Some (Cycles n) -> inflate n
             | _ ->
                 bump t (fun t -> t.simulations <- t.simulations + 1);
                 mark m_simulations;
@@ -642,7 +646,7 @@ module Session = struct
                   Pipeline.cycles (prepared t ~bench ~latency kind) ~width
                 in
                 disk_write t payload (Cycles n);
-                n))
+                inflate n))
 
   (* code size and Table 6-3 counts of a cell, from one preparation *)
   let summary_outcome t ~bench ~latency kind =

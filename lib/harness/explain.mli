@@ -1,0 +1,67 @@
+(** Schedule introspection and cycle attribution ([spd explain]).
+
+    For one workload, prepares the STATIC and SPEC pipelines, schedules
+    every SPEC tree on the requested machine, simulates with a profile,
+    and renders cycle-by-FU occupancy grids, critical-path attributions
+    ({!Spd_machine.Critpath}) and a program-wide per-region table whose
+    cycle column sums exactly to the simulator's reported total. *)
+
+module Schedule = Spd_machine.Schedule
+module Critpath = Spd_machine.Critpath
+
+(** Schema identifier of the JSON document: ["spd-explain/1"]. *)
+val schema : string
+
+(** One scheduled-and-analyzed SPEC tree. *)
+type tree_view = {
+  func : string;
+  tree : Spd_ir.Tree.t;
+  schedule : Schedule.t;
+  critpath : Critpath.t;
+  static_span : int option;  (** same tree's makespan under STATIC *)
+  static_ambig : int option;
+      (** STATIC makespan cycles attributed to ambiguous arcs *)
+  traversals : int;
+  cycles : int;  (** simulated cycles attributed to this tree *)
+}
+
+type t = {
+  workload : string;
+  width : int;
+  mem_latency : int;
+  total_cycles : int;  (** the simulator's reported cycle count *)
+  total_traversals : int;
+  applications : Spd_core.Heuristic.application list;
+  trees : tree_view list;  (** every tree of the program, in order *)
+}
+
+(** Analyze [workload] on a [width]-unit machine (default 5 FUs,
+    2-cycle memory).  Raises [Invalid_argument] for an unknown workload
+    name. *)
+val analyze : ?width:int -> ?mem_latency:int -> string -> t
+
+(** The trees matching the [--fn] / [--tree] filters. *)
+val selected : ?fn:string -> ?tree:int -> t -> tree_view list
+
+(** The cycle-by-FU occupancy grid of one tree, SpD versions
+    annotated. *)
+val grid_table : t -> tree_view -> Table.t
+
+(** The critical-path attribution of one tree; category totals sum to
+    the makespan. *)
+val critpath_table : tree_view -> Table.t
+
+(** The program-wide per-region attribution; the cycles column sums
+    exactly to [total_cycles] (asserted by the test suite). *)
+val regions_table : t -> Table.t
+
+(** Every table of an explain run: per selected tree the occupancy grid
+    and critical path, then the program-wide region attribution. *)
+val tables : ?fn:string -> ?tree:int -> t -> Table.t list
+
+(** The [spd-explain/1] JSON document. *)
+val to_json : ?fn:string -> ?tree:int -> t -> Spd_telemetry.Json.t
+
+val render :
+  ?fn:string ->
+  ?tree:int -> Artefact.format -> Format.formatter -> t -> unit

@@ -13,6 +13,9 @@
     cell-raise:<key>[@<n>]   raise from matching cells ([n] first hits
                              only; default every hit)
     fuel:<n>                 cap every simulation at n tree traversals
+    cycles-inflate:<pct>     inflate every reported cycle count by pct%
+                             (an injected slowdown for regression-tracker
+                             tests; never written to the cache)
     v}
 
     [<key>] selects cells by prefix of the engine's cell key,
@@ -30,17 +33,34 @@ type t = {
   cache_corrupt : int option;  (** which cache read to corrupt, 1-based *)
   cell : (string * int) option;  (** key prefix, number of hits armed *)
   fuel : int option;  (** simulator fuel override *)
+  inflate : float option;  (** cycle-count inflation, in percent *)
   reads : int Atomic.t;  (** on-disk cache reads observed so far *)
   raises : int Atomic.t;  (** cell-raise faults fired so far *)
 }
 
 let none =
-  { cache_corrupt = None; cell = None; fuel = None;
+  { cache_corrupt = None; cell = None; fuel = None; inflate = None;
     reads = Atomic.make 0; raises = Atomic.make 0 }
 
-let is_none t = t.cache_corrupt = None && t.cell = None && t.fuel = None
+let is_none t =
+  t.cache_corrupt = None && t.cell = None && t.fuel = None
+  && t.inflate = None
 
 let fuel t = t.fuel
+
+(** Apply the armed cycle inflation to a measured cycle count.  The
+    result is what the engine reports upwards; the truthful value is
+    what goes to (and comes from) the on-disk cache, so an armed
+    inflation acts as a pure, deterministic slowdown of the current run
+    only. *)
+let inflate_cycles t cycles =
+  match t.inflate with
+  | None -> cycles
+  | Some pct ->
+      (* fractional cycles round up; the epsilon keeps an exact product
+         like 100 * 1.1 from ceiling into the next integer *)
+      int_of_float
+        (ceil ((float_of_int cycles *. (1.0 +. (pct /. 100.0))) -. 1e-9))
 
 let corrupt_cache_read t =
   match t.cache_corrupt with
@@ -94,6 +114,13 @@ let parse_one acc spec =
                   (parse_int "cell-raise count" times))
       | "fuel" ->
           Result.map (fun n -> { acc with fuel = Some n }) (parse_int "fuel" arg)
+      | "cycles-inflate" -> (
+          match float_of_string_opt arg with
+          | Some pct when pct > 0.0 -> Ok { acc with inflate = Some pct }
+          | _ ->
+              Error
+                (Printf.sprintf
+                   "cycles-inflate wants a positive percentage, got %S" arg))
       | _ -> Error (Printf.sprintf "unknown fault %S" name))
 
 let parse s =
@@ -115,6 +142,7 @@ let pp ppf t =
             else Printf.sprintf "cell-raise:%s@%d" k n)
           t.cell;
         Option.map (Printf.sprintf "fuel:%d") t.fuel;
+        Option.map (Printf.sprintf "cycles-inflate:%g") t.inflate;
       ]
   in
   Fmt.string ppf

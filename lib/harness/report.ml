@@ -175,6 +175,41 @@ let fig6_2_tables () =
            (benches ())))
     latencies
 
+(** Raw cycle counts on the 5-FU machine — the regression tracker's
+    primary input ([spd bench diff]); not part of the paper set. *)
+let cycles_tables () =
+  let int_cell = function
+    | Engine.Ok v -> Table.Int v
+    | Engine.Failed _ -> Table.Na
+  in
+  warm
+    (fun s ((bench, latency), kind) ->
+      ignore
+        (Engine.Session.cycles_outcome s ~bench ~latency kind
+           ~width:(Spd_machine.Descr.Fus 5)))
+    (product (product (benches ()) latencies) Pipeline.all);
+  List.map
+    (fun latency ->
+      Table.v
+        ~id:(Printf.sprintf "cycles.lat%d" latency)
+        ~title:
+          (Printf.sprintf
+             "Simulated cycles (5 FU machine, %d cycle memory latency)"
+             latency)
+        ~label_header:"Program"
+        ~columns:(List.map Pipeline.name Pipeline.all)
+        (List.map
+           (fun bench ->
+             Table.row bench
+               (List.map
+                  (fun kind ->
+                    int_cell
+                      (Experiment.cycles_result ~bench ~latency kind
+                         ~width:(Spd_machine.Descr.Fus 5)))
+                  Pipeline.all))
+           (benches ())))
+    latencies
+
 (** Figure 6-3: speedup of SPEC over STATIC vs machine width (NRC). *)
 let fig6_3_tables () =
   let widths = widths () in

@@ -31,6 +31,11 @@ val table6_2_tables : unit -> Table.t list
 val table6_3_tables : unit -> Table.t list
 val table6_4_tables : unit -> Table.t list
 val fig6_2_tables : unit -> Table.t list
+
+(** Raw cycle counts on the 5-FU machine, one table per memory latency
+    ([cycles.lat2], …) — the regression tracker's primary lower-is-better
+    input ([spd bench diff]).  Not part of the paper set. *)
+val cycles_tables : unit -> Table.t list
 val fig6_3_tables : unit -> Table.t list
 val fig6_4_tables : unit -> Table.t list
 

@@ -1,0 +1,35 @@
+(** Critical-path extraction and cycle attribution.
+
+    Walks a schedule backwards from its last-completing node and
+    partitions the makespan [0, span) into disjoint intervals, each
+    charged to one category.  Because the intervals tile [0, span)
+    exactly, the per-category totals always sum to the schedule's
+    makespan — the invariant the test suite asserts and the per-region
+    report relies on. *)
+
+type category =
+  | Ambiguous_mem
+      (** wait imposed by an ambiguous memory dependence arc — the
+          cycles SpD removes *)
+  | Dataflow  (** an operation executing, register flow, or a must arc *)
+  | Resource  (** a data-ready operation held back for lack of a unit *)
+  | Branch  (** exit branches resolving, and the exit priority chain *)
+
+val categories : category list
+val category_name : category -> string
+
+type step = {
+  node : int;  (** the node whose wait/execution this interval covers *)
+  lo : int;
+  hi : int;  (** interval [lo, hi); always [lo < hi] *)
+  category : category;
+}
+
+type t = {
+  span : int;
+  path : int list;  (** the critical path, entry first *)
+  steps : step list;  (** intervals tiling [0, span), latest first *)
+  by_category : (category * int) list;  (** cycle totals, all categories *)
+}
+
+val analyze : Schedule.t -> t

@@ -1,0 +1,82 @@
+(** Reusable schedule event record.
+
+    The list scheduler's output ({!Scheduler.t}) only carries issue
+    cycles; this module pairs it with the dependence graph it was
+    scheduled from and derives, per node, the complete event record the
+    introspection tools consume: issue cycle, completion cycle,
+    functional-unit slot and dependence slack.  Building the record never
+    re-runs or perturbs the scheduler — the same decisions that timed the
+    simulation are the ones rendered. *)
+
+open Spd_ir
+module Ddg = Spd_analysis.Ddg
+
+type op = {
+  node : int;  (** DDG node: insn position, or [n_insns + exit index] *)
+  issue : int;
+  complete : int;  (** [issue] + node latency *)
+  fu : int;  (** functional-unit slot within the issue cycle *)
+  slack : int;  (** dependence slack ({!Spd_analysis.Ddg.slack}) *)
+}
+
+type t = {
+  ddg : Ddg.t;
+  width : Descr.width;
+  length : int;  (** schedule length: last issue cycle + 1 *)
+  span : int;  (** makespan: largest completion cycle over all nodes *)
+  ops : op array;  (** indexed by DDG node *)
+}
+
+let of_ddg ~(width : Descr.width) (g : Ddg.t) : t =
+  let sched =
+    match width with
+    | Descr.Infinite -> Scheduler.run g
+    | Descr.Fus n -> Scheduler.run ~fus:n g
+  in
+  let slack = Ddg.slack g in
+  let n = Ddg.n_nodes g in
+  let ops =
+    Array.init n (fun node ->
+        {
+          node;
+          issue = sched.issue.(node);
+          complete = sched.issue.(node) + Ddg.node_latency g node;
+          fu = sched.fu.(node);
+          slack = slack.(node);
+        })
+  in
+  let span = Array.fold_left (fun acc op -> max acc op.complete) 0 ops in
+  { ddg = g; width; length = sched.length; span; ops }
+
+let of_tree ~(descr : Descr.t) (tree : Tree.t) : t =
+  of_ddg ~width:descr.width (Ddg.build ~mem_latency:descr.mem_latency tree)
+
+(** Number of FU columns the occupancy grid needs: the machine width, or
+    the widest cycle when units are unlimited. *)
+let n_fus (t : t) : int =
+  match t.width with
+  | Descr.Fus n -> n
+  | Descr.Infinite ->
+      1 + Array.fold_left (fun acc op -> max acc op.fu) 0 t.ops
+
+(** Cycle-by-FU occupancy grid: [grid.(cycle).(fu)] is the node issuing
+    there, if any. *)
+let occupancy (t : t) : int option array array =
+  let grid = Array.make_matrix t.length (n_fus t) None in
+  Array.iter (fun op -> grid.(op.issue).(op.fu) <- Some op.node) t.ops;
+  grid
+
+let is_exit (t : t) node = node >= t.ddg.Ddg.n_insns
+
+(** Short human-readable label for a node: ["#12 store"] for the
+    instruction with id 12, ["exit0"] for an exit branch. *)
+let node_label (t : t) node : string =
+  if is_exit t node then Fmt.str "exit%d" (node - t.ddg.Ddg.n_insns)
+  else
+    let insn = t.ddg.Ddg.tree.Tree.insns.(node) in
+    Fmt.str "#%d %a" insn.Insn.id Opcode.pp insn.Insn.op
+
+(** Instruction id of a node, when it is an instruction. *)
+let insn_id (t : t) node : int option =
+  if is_exit t node then None
+  else Some t.ddg.Ddg.tree.Tree.insns.(node).Insn.id

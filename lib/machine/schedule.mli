@@ -1,0 +1,46 @@
+(** Reusable schedule event record.
+
+    Pairs a scheduler run with the dependence graph it was scheduled
+    from and derives, per node, the event record the introspection tools
+    consume: issue cycle, completion cycle, functional-unit slot and
+    dependence slack.  Building the record never re-runs or perturbs the
+    scheduler — the same decisions that timed the simulation are the
+    ones rendered. *)
+
+module Ddg = Spd_analysis.Ddg
+
+type op = {
+  node : int;  (** DDG node: insn position, or [n_insns + exit index] *)
+  issue : int;
+  complete : int;  (** [issue] + node latency *)
+  fu : int;  (** functional-unit slot within the issue cycle *)
+  slack : int;  (** dependence slack ({!Spd_analysis.Ddg.slack}) *)
+}
+
+type t = {
+  ddg : Ddg.t;
+  width : Descr.width;
+  length : int;  (** schedule length: last issue cycle + 1 *)
+  span : int;  (** makespan: largest completion cycle over all nodes *)
+  ops : op array;  (** indexed by DDG node *)
+}
+
+val of_ddg : width:Descr.width -> Ddg.t -> t
+val of_tree : descr:Descr.t -> Spd_ir.Tree.t -> t
+
+(** Number of FU columns the occupancy grid needs: the machine width, or
+    the widest cycle when units are unlimited. *)
+val n_fus : t -> int
+
+(** Cycle-by-FU occupancy grid: [grid.(cycle).(fu)] is the node issuing
+    there, if any. *)
+val occupancy : t -> int option array array
+
+val is_exit : t -> int -> bool
+
+(** Short human-readable label for a node: ["#12 store"] for the
+    instruction with id 12, ["exit0"] for an exit branch. *)
+val node_label : t -> int -> string
+
+(** Instruction id of a node, when it is an instruction. *)
+val insn_id : t -> int -> int option

@@ -10,6 +10,11 @@ module Ddg = Spd_analysis.Ddg
 
 type t = {
   issue : int array;  (** per node, the cycle it issues *)
+  fu : int array;
+      (** per node, the functional-unit slot (0-based) it occupies within
+          its issue cycle — distinct nodes issuing the same cycle get
+          distinct slots.  Purely descriptive: recording slots does not
+          alter any scheduling decision. *)
   length : int;  (** schedule length: last issue cycle + 1 *)
 }
 
@@ -26,10 +31,21 @@ let m_occupancy =
 let run ?fus (g : Ddg.t) : t =
   let n = Ddg.n_nodes g in
   let issue = Array.make n (-1) in
+  let fu = Array.make n 0 in
   (match fus with
   | None ->
       let asap = Ddg.asap g in
-      Array.blit asap 0 issue 0 n
+      Array.blit asap 0 issue 0 n;
+      (* unlimited units: slot = rank among same-cycle issuers, in node
+         order *)
+      let per_cycle = Hashtbl.create 16 in
+      for node = 0 to n - 1 do
+        let k =
+          try Hashtbl.find per_cycle issue.(node) with Not_found -> 0
+        in
+        fu.(node) <- k;
+        Hashtbl.replace per_cycle issue.(node) (k + 1)
+      done
   | Some fus ->
       if fus <= 0 then invalid_arg "Scheduler.run: fus must be positive";
       let height = Ddg.height g in
@@ -59,6 +75,7 @@ let run ?fus (g : Ddg.t) : t =
           List.iter
             (fun node ->
               if !slots > 0 then begin
+                fu.(node) <- fus - !slots;
                 decr slots;
                 progress := true;
                 issue.(node) <- !cycle;
@@ -81,7 +98,7 @@ let run ?fus (g : Ddg.t) : t =
       Spd_telemetry.Metrics.observe (Lazy.force m_occupancy)
         (float_of_int n /. float_of_int (fus * length))
   | _ -> ());
-  { issue; length }
+  { issue; fu; length }
 
 (** Convert a schedule into the timing table entry the simulator charges
     traversals with. *)
@@ -119,4 +136,17 @@ let valid ?fus (g : Ddg.t) (s : t) : bool =
             k <= fus)
           s.issue
   in
-  !deps_ok && resources_ok
+  (* slot assignment: within bounds and unique per (cycle, fu) pair *)
+  let slots_ok = ref (Array.length s.fu = Array.length s.issue) in
+  let seen = Hashtbl.create 16 in
+  Array.iteri
+    (fun node c ->
+      let slot = s.fu.(node) in
+      if slot < 0 then slots_ok := false;
+      (match fus with
+      | Some fus when slot >= fus -> slots_ok := false
+      | _ -> ());
+      if Hashtbl.mem seen (c, slot) then slots_ok := false;
+      Hashtbl.replace seen (c, slot) ())
+    s.issue;
+  !deps_ok && resources_ok && !slots_ok

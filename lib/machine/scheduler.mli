@@ -7,7 +7,14 @@
     remaining dependence chain issue first. *)
 
 module Ddg = Spd_analysis.Ddg
-type t = { issue : int array; length : int; }
+
+type t = {
+  issue : int array;  (** per node, the cycle it issues *)
+  fu : int array;
+      (** per node, the functional-unit slot (0-based) it occupies within
+          its issue cycle; descriptive only, never alters a decision *)
+  length : int;  (** schedule length: last issue cycle + 1 *)
+}
 
 (** Schedule [g] on a machine with [fus] universal units.  [fus = None]
     means unlimited (the result then equals ASAP). *)

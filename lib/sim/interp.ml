@@ -323,7 +323,14 @@ let run ?timing ?(traversal_cost : traversal_cost option)
             if Insn.is_store insn && active_buf.(pos) then
               t := max !t tt.insn_completion.(pos))
           tree.insns;
-        cycles := !cycles + !t);
+        cycles := !cycles + !t;
+        (* attribute the traversal's cost to its tree, so per-region
+           cycle accounting sums exactly to the run total *)
+        match profile with
+        | None -> ()
+        | Some p ->
+            let stat = Profile.tree_stat p ~func:!fi.func.fname ~tree in
+            stat.cycles <- stat.cycles + !t);
     (match traversal_cost with
     | None -> ()
     | Some cost ->

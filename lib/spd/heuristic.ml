@@ -27,6 +27,10 @@ type application = {
   predicate : Reg.t;  (** register holding the alias compare *)
   predicted_gain : float;
   cost : int;  (** operations added, per the paper's cost model *)
+  alias_insns : int list;
+      (** ids of the ops committing on the alias outcome *)
+  noalias_insns : int list;
+      (** ids of the original side effects, now no-alias-guarded *)
 }
 
 (** Per-application verification hook: called with the tree before the
@@ -57,7 +61,7 @@ let run_tree ?profile ?(checker : checker option) ~(params : params)
           else (
             match Transform.apply_traced t arc with
             | Error _ -> (t, log) (* can_apply filtered; defensive *)
-            | Ok (t', predicate) ->
+            | Ok (t', predicate, prov) ->
                 let app =
                   {
                     func;
@@ -67,6 +71,8 @@ let run_tree ?profile ?(checker : checker option) ~(params : params)
                     predicate;
                     predicted_gain = g;
                     cost = Transform.estimated_cost t arc;
+                    alias_insns = prov.Transform.alias_ids;
+                    noalias_insns = prov.Transform.noalias_ids;
                   }
                 in
                 (match checker with

@@ -21,6 +21,10 @@ type application = {
           when the region's alias version commits *)
   predicted_gain : float;
   cost : int;
+  alias_insns : int list;
+      (** ids of the ops committing on the alias outcome *)
+  noalias_insns : int list;
+      (** ids of the original side effects, now no-alias-guarded *)
 }
 
 (** Per-application verification hook: called with the tree before the

@@ -43,6 +43,14 @@ let pp_not_applicable ppf r =
     | Intervening_reference -> "intervening ambiguous reference"
     | Address_unavailable -> "address unavailable early enough")
 
+(** Which guarded copies of the region the transformation produced, by
+    instruction id: [alias_ids] are the operations that commit (or whose
+    values are selected) when the references collide — the duplicated
+    slice plus any compensation load — and [noalias_ids] are the original
+    side effects re-guarded to commit only when they do not.  Lets the
+    schedule viewer label each SpD op with its version. *)
+type provenance = { alias_ids : int list; noalias_ids : int list }
+
 (* ------------------------------------------------------------------ *)
 (* Rewrite buffer *)
 
@@ -55,6 +63,8 @@ type buf = {
   post : Insn.t list array;  (** reversed; emitted after position k *)
   tail : Insn.t list ref;  (** reversed; emitted after all insns *)
   dropped : bool array;  (** positions whose instruction moved elsewhere *)
+  mutable alias_ids : int list;  (** provenance: alias-version insn ids *)
+  mutable noalias_ids : int list;  (** provenance: no-alias-version ids *)
 }
 
 let make_buf (tree : Tree.t) =
@@ -68,6 +78,14 @@ let make_buf (tree : Tree.t) =
     post = Array.make n [];
     tail = ref [];
     dropped = Array.make n false;
+    alias_ids = [];
+    noalias_ids = [];
+  }
+
+let provenance_of buf =
+  {
+    alias_ids = List.sort_uniq compare buf.alias_ids;
+    noalias_ids = List.sort_uniq compare buf.noalias_ids;
   }
 
 let fresh_id buf =
@@ -208,6 +226,7 @@ let duplicate_slice buf ~(p : Reg.t) ~(root_reg : Reg.t) ~(fwd_reg : Reg.t) :
               ~polarity:false
           in
           buf.replace.(pos) <- Some { orig with guard = orig_guard };
+          buf.noalias_ids <- orig.id :: buf.noalias_ids;
           dup_guard
         end
         else None
@@ -220,6 +239,7 @@ let duplicate_slice buf ~(p : Reg.t) ~(root_reg : Reg.t) ~(fwd_reg : Reg.t) :
       in
       let dup = Insn.make ~id:(fresh_id buf) ?guard orig.op ~dst ~srcs in
       emit_after buf pos dup;
+      buf.alias_ids <- dup.id :: buf.alias_ids;
       Hashtbl.replace dup_id_of orig.id dup.id;
       (match (orig.dst, dst) with
       | Some d, Some d' -> subst := Reg.Map.add d d' !subst
@@ -350,7 +370,8 @@ let remove_arc arcs (target : Memdep.t) =
       else a)
     arcs
 
-let apply_raw (tree : Tree.t) (arc : Memdep.t) : Tree.t * Reg.t =
+let apply_raw (tree : Tree.t) (arc : Memdep.t) : Tree.t * Reg.t * provenance
+    =
   let s = Tree.insn_by_id tree arc.src in
   let l = Tree.insn_by_id tree arc.dst in
   let l_pos = pos_of tree arc.dst in
@@ -366,9 +387,10 @@ let apply_raw (tree : Tree.t) (arc : Memdep.t) : Tree.t * Reg.t =
     match Reg.Map.find_opt r exit_subst with Some r' -> r' | None -> r
   in
   let exits = Array.map (Slice.subst_exit lookup) tree.exits in
-  (finalize buf ~arcs ~exits, p)
+  (finalize buf ~arcs ~exits, p, provenance_of buf)
 
-let apply_waw (tree : Tree.t) (arc : Memdep.t) : Tree.t * Reg.t =
+let apply_waw (tree : Tree.t) (arc : Memdep.t) : Tree.t * Reg.t * provenance
+    =
   let s1 = Tree.insn_by_id tree arc.src in
   let s2 = Tree.insn_by_id tree arc.dst in
   let s1_pos = pos_of tree arc.src in
@@ -383,10 +405,12 @@ let apply_waw (tree : Tree.t) (arc : Memdep.t) : Tree.t * Reg.t =
     conj_guard buf ~emit:(emit_before buf s1_pos) s1.guard ~p ~polarity:false
   in
   buf.replace.(s1_pos) <- Some { s1 with guard = new_guard };
+  buf.noalias_ids <- s1.id :: buf.noalias_ids;
   let arcs = remove_arc tree.arcs arc in
-  (finalize buf ~arcs ~exits:tree.exits, p)
+  (finalize buf ~arcs ~exits:tree.exits, p, provenance_of buf)
 
-let apply_war (tree : Tree.t) (arc : Memdep.t) : Tree.t * Reg.t =
+let apply_war (tree : Tree.t) (arc : Memdep.t) : Tree.t * Reg.t * provenance
+    =
   let l1 = Tree.insn_by_id tree arc.src in
   let s1 = Tree.insn_by_id tree arc.dst in
   let l1_pos = pos_of tree arc.src in
@@ -395,6 +419,8 @@ let apply_war (tree : Tree.t) (arc : Memdep.t) : Tree.t * Reg.t =
   (* compensation load from S1's address, at L1's point *)
   let l3 = mk_insn buf Opcode.Load [ Insn.addr s1 ] in
   emit_before buf l1_pos l3;
+  (* L3's value is the one the alias version consumes *)
+  buf.alias_ids <- l3.id :: buf.alias_ids;
   let p =
     alias_predicate buf ~pos:l1_pos None (Insn.addr l1) (Insn.addr s1)
   in
@@ -421,32 +447,34 @@ let apply_war (tree : Tree.t) (arc : Memdep.t) : Tree.t * Reg.t =
     match Reg.Map.find_opt r exit_subst with Some r' -> r' | None -> r
   in
   let exits = Array.map (Slice.subst_exit lookup) tree.exits in
-  (finalize buf ~arcs ~exits, p)
+  (finalize buf ~arcs ~exits, p, provenance_of buf)
 
 (** Apply SpD for [arc] in [tree].  Returns the transformed tree paired
     with the register holding the alias predicate [p] — the address
     compare that selects, at run time, between the alias version
-    (commits when [p] is true) and the no-alias version — or the reason
-    the transformation is not applicable.  The predicate register lets
-    the simulator attribute each traversal to one of the two versions
-    ({!Spd_sim.Profile.Spd}). *)
+    (commits when [p] is true) and the no-alias version — and the
+    version provenance of the rewritten operations, or the reason the
+    transformation is not applicable.  The predicate register lets the
+    simulator attribute each traversal to one of the two versions
+    ({!Spd_sim.Profile.Spd}); the provenance lets the schedule viewer
+    label each guarded op. *)
 let apply_traced (tree : Tree.t) (arc : Memdep.t) :
-    (Tree.t * Reg.t, not_applicable) result =
+    (Tree.t * Reg.t * provenance, not_applicable) result =
   match check_applicable tree arc with
   | Error e -> Error e
   | Ok () ->
-      let tree', predicate =
+      let tree', predicate, prov =
         match arc.kind with
         | Memdep.Raw -> apply_raw tree arc
         | Memdep.War -> apply_war tree arc
         | Memdep.Waw -> apply_waw tree arc
       in
       Tree.validate tree';
-      Ok (tree', predicate)
+      Ok (tree', predicate, prov)
 
-(** [apply_traced] without the predicate register. *)
+(** [apply_traced] without the predicate register or provenance. *)
 let apply (tree : Tree.t) (arc : Memdep.t) : (Tree.t, not_applicable) result =
-  Result.map fst (apply_traced tree arc)
+  Result.map (fun (t, _, _) -> t) (apply_traced tree arc)
 
 (** Paper cost model: operations added by applying SpD to [arc]
     (1 + n_L for RAW, 2 + n_L for WAR, 1 for WAW). *)

@@ -33,6 +33,13 @@ type not_applicable =
 (** an address (or guard) is not computed early enough to place the
           compare/compensation load *)
 val pp_not_applicable : Format.formatter -> not_applicable -> unit
+
+(** Which guarded copies of the region the transformation produced, by
+    instruction id: [alias_ids] commit (or feed the selected value) when
+    the references collide; [noalias_ids] are the original side effects
+    re-guarded to commit only when they do not. *)
+type provenance = { alias_ids : int list; noalias_ids : int list }
+
 type buf = {
   tree : Spd_ir.Tree.t;
   gen : Spd_ir.Reg.Gen.t;
@@ -42,6 +49,8 @@ type buf = {
   post : Spd_ir.Insn.t list array;
   tail : Spd_ir.Insn.t list ref;
   dropped : bool array;
+  mutable alias_ids : int list;
+  mutable noalias_ids : int list;
 }
 val make_buf : Spd_ir.Tree.t -> buf
 val fresh_id : buf -> int
@@ -117,21 +126,27 @@ val check_applicable :
 val can_apply : Spd_ir.Tree.t -> Spd_ir.Memdep.t -> bool
 val remove_arc :
   Spd_ir.Memdep.t list -> Spd_ir.Memdep.t -> Spd_ir.Memdep.t list
-val apply_raw : Spd_ir.Tree.t -> Spd_ir.Memdep.t -> Spd_ir.Tree.t * Spd_ir.Reg.t
-val apply_waw : Spd_ir.Tree.t -> Spd_ir.Memdep.t -> Spd_ir.Tree.t * Spd_ir.Reg.t
-val apply_war : Spd_ir.Tree.t -> Spd_ir.Memdep.t -> Spd_ir.Tree.t * Spd_ir.Reg.t
+val apply_raw :
+  Spd_ir.Tree.t ->
+  Spd_ir.Memdep.t -> Spd_ir.Tree.t * Spd_ir.Reg.t * provenance
+val apply_waw :
+  Spd_ir.Tree.t ->
+  Spd_ir.Memdep.t -> Spd_ir.Tree.t * Spd_ir.Reg.t * provenance
+val apply_war :
+  Spd_ir.Tree.t ->
+  Spd_ir.Memdep.t -> Spd_ir.Tree.t * Spd_ir.Reg.t * provenance
 
 (** Apply SpD for [arc] in [tree].  Returns the transformed tree paired
     with the register holding the alias predicate [p] — true at run
     time exactly when the references alias, i.e. when the alias version
-    of the region commits — or the reason the transformation is not
-    applicable. *)
+    of the region commits — and the version provenance of the rewritten
+    operations, or the reason the transformation is not applicable. *)
 val apply_traced :
   Spd_ir.Tree.t ->
   Spd_ir.Memdep.t ->
-  (Spd_ir.Tree.t * Spd_ir.Reg.t, not_applicable) result
+  (Spd_ir.Tree.t * Spd_ir.Reg.t * provenance, not_applicable) result
 
-(** [apply_traced] without the predicate register. *)
+(** [apply_traced] without the predicate register or provenance. *)
 val apply :
   Spd_ir.Tree.t -> Spd_ir.Memdep.t -> (Spd_ir.Tree.t, not_applicable) result
 

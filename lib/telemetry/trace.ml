@@ -110,3 +110,18 @@ let write path =
   Out_channel.with_open_bin path (fun oc ->
       Out_channel.output_string oc (Json.to_string (to_json ()));
       Out_channel.output_char oc '\n')
+
+(** [capture path f] runs [f] with tracing enabled when [path] is
+    [Some file], writing the trace to [file] even when [f] raises —
+    the crash-safe form of [start]/[stop]/[write] used by the CLIs'
+    [--trace] flag. *)
+let capture path f =
+  match path with
+  | None -> f ()
+  | Some file ->
+      start ();
+      Fun.protect
+        ~finally:(fun () ->
+          stop ();
+          write file)
+        f

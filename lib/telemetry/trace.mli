@@ -36,3 +36,9 @@ val to_json : unit -> Json.t
 (** Write the trace to [path] (Chrome trace-event JSON, loadable in
     Perfetto / chrome://tracing). *)
 val write : string -> unit
+
+(** [capture path f] runs [f] with tracing enabled when [path] is
+    [Some file], writing the trace to [file] even when [f] raises —
+    the crash-safe form of [start]/[stop]/[write] used by the CLIs'
+    [--trace] flag. *)
+val capture : string option -> (unit -> 'a) -> 'a

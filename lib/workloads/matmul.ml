@@ -1,0 +1,65 @@
+(** matmul300 — dense matrix multiply over 300 words of matrix data.
+
+    Three 10x10 matrices held in flat arrays passed as parameters (the
+    NRC idiom that defeats static disambiguation).  The inner product
+    updates [c] in place, so every innermost traversal carries ambiguous
+    WAR arcs from the [a]/[b] loads to the [c] store; the checksum pass
+    then stores to [c] and immediately loads [b] — the ambiguous RAW
+    pattern SpD's forwarding transformation targets.  Small enough to
+    simulate instantly, which makes it the reference workload for
+    [spd explain]. *)
+
+let source_body =
+  {|
+double ma[100];
+double mb[100];
+double mc[100];
+
+void matmul(double a[], double b[], double c[], int n) {
+  int i; int j; int k;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      c[i * n + j] = 0.0;
+      for (k = 0; k < n; k = k + 1) {
+        c[i * n + j] = c[i * n + j] + a[i * n + k] * b[k * n + j];
+      }
+    }
+  }
+}
+
+/* scale the product in place; the store to c[i] is ambiguously aliased
+   with the load from b[i] that follows it (RAW on alias) */
+double scale(double c[], double b[], int nn) {
+  int i;
+  double chk;
+  chk = 0.0;
+  for (i = 0; i < nn; i = i + 1) {
+    c[i] = c[i] * 0.5 + 1.0;
+    chk = chk + c[i] * b[i];
+  }
+  return chk;
+}
+
+int main() {
+  int i;
+  double chk;
+  for (i = 0; i < 100; i = i + 1) {
+    ma[i] = (i % 9) * 0.125 + 0.25;
+    mb[i] = (i % 7) * 0.25 - 0.5;
+  }
+  matmul(ma, mb, mc, 10);
+  chk = scale(mc, mb, 100);
+  print_float(chk);
+  return (int)(chk * 0.01);
+}
+|}
+
+let source = source_body
+
+let workload =
+  {
+    Workload.name = "matmul300";
+    suite = Workload.Nrc;
+    description = "Dense 10x10 matrix multiply (300 words of data).";
+    source;
+  }

@@ -1,0 +1,11 @@
+(** matmul300 — dense matrix multiply over 300 words of matrix data.
+
+    Three 10x10 matrices held in flat arrays passed as parameters (the
+    NRC idiom that defeats static disambiguation), with an in-place
+    inner-product update and a checksum pass carrying the ambiguous
+    store-then-load pattern SpD targets.  The reference workload for
+    [spd explain]; not part of the paper's Table 6-2 set. *)
+
+val source_body : string
+val source : string
+val workload : Workload.t

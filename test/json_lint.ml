@@ -1,13 +1,103 @@
 (** Validate that each file named on the command line is a complete
     JSON document, using the repository's own parser — the same one the
-    test suite uses on trace and report output.  Exits nonzero on the
-    first malformed file (see [make check]). *)
+    test suite uses on trace and report output.  Documents carrying a
+    known [schema] key ([spd-explain/1], [spd-bench-diff/1]) are
+    additionally checked structurally.  Exits nonzero on the first
+    malformed file (see [make check]). *)
+
+module Json = Spd_telemetry.Json
 
 let slurp path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* Structural checks for the schema-versioned documents *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let require_member name json =
+  match Json.member name json with
+  | Some v -> v
+  | None -> bad "missing %S member" name
+
+let require_int name json =
+  match Json.to_number (require_member name json) with
+  | Some v when Float.is_integer v -> int_of_float v
+  | _ -> bad "%S is not an integer" name
+
+let require_number name json =
+  match Json.to_number (require_member name json) with
+  | Some v -> v
+  | None -> bad "%S is not a number" name
+
+let require_string name json =
+  match Json.to_string_opt (require_member name json) with
+  | Some s -> s
+  | None -> bad "%S is not a string" name
+
+let require_list name json =
+  match Json.to_list (require_member name json) with
+  | Some l -> l
+  | None -> bad "%S is not a list" name
+
+(* the shared Table.to_json shape: id/title/columns/rows(+footers) *)
+let check_table tbl =
+  let (_ : string) = require_string "id" tbl in
+  let columns = require_list "columns" tbl in
+  let n = List.length columns in
+  List.iter
+    (fun row ->
+      let (_ : string) = require_string "label" row in
+      let cells = require_list "cells" row in
+      if List.length cells <> n then
+        bad "row %S has %d cells for %d columns"
+          (require_string "label" row)
+          (List.length cells) n)
+    (require_list "rows" tbl
+    @ Option.value ~default:[]
+        (Option.bind (Json.member "footers" tbl) Json.to_list))
+
+let check_explain doc =
+  let (_ : string) = require_string "workload" doc in
+  let (_ : int) = require_int "width" doc in
+  let (_ : int) = require_int "mem_latency" doc in
+  let (_ : int) = require_int "cycles" doc in
+  let (_ : int) = require_int "traversals" doc in
+  let tables = require_list "tables" doc in
+  if tables = [] then bad "empty \"tables\" list";
+  List.iter check_table tables
+
+let check_bench_diff doc =
+  let (_ : float) = require_number "threshold_pct" doc in
+  let compared = require_int "compared" doc in
+  let regressions = require_int "regressions" doc in
+  let improvements = require_int "improvements" doc in
+  if compared < 0 || regressions < 0 || improvements < 0 then
+    bad "negative counter";
+  let changes = require_list "changes" doc in
+  if regressions + improvements > List.length changes then
+    bad "more regressions+improvements than changes";
+  List.iter
+    (fun c ->
+      let (_ : string) = require_string "table" c in
+      let (_ : string) = require_string "row" c in
+      let (_ : string) = require_string "column" c in
+      let (_ : string) = require_string "polarity" c in
+      match (require_member "regression" c, require_member "improvement" c) with
+      | Json.Bool _, Json.Bool _ -> ()
+      | _ -> bad "regression/improvement are not booleans")
+    changes
+
+let check_schema doc =
+  match Option.bind (Json.member "schema" doc) Json.to_string_opt with
+  | Some "spd-explain/1" -> check_explain doc; Some "spd-explain/1"
+  | Some "spd-bench-diff/1" -> check_bench_diff doc; Some "spd-bench-diff/1"
+  | _ -> None
 
 let () =
   let files = List.tl (Array.to_list Sys.argv) in
@@ -18,8 +108,14 @@ let () =
   List.iter
     (fun path ->
       match Spd_telemetry.Json.of_string (slurp path) with
-      | Ok _ -> Printf.printf "json_lint: %s ok\n" path
       | Error e ->
           Printf.eprintf "json_lint: %s: %s\n" path e;
-          exit 1)
+          exit 1
+      | Ok doc -> (
+          match check_schema doc with
+          | Some schema -> Printf.printf "json_lint: %s ok (%s)\n" path schema
+          | None -> Printf.printf "json_lint: %s ok\n" path
+          | exception Bad msg ->
+              Printf.eprintf "json_lint: %s: %s\n" path msg;
+              exit 1))
     files

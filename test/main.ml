@@ -12,4 +12,5 @@ let () =
       ("faults", Test_faults.tests);
       ("workloads", Test_workloads.tests);
       ("telemetry", Test_telemetry.tests);
+      ("explain", Test_explain.tests);
     ]
