@@ -8,7 +8,7 @@ DUNE ?= dune
 SMOKE_DIR ?= /tmp
 
 .PHONY: all check test bench bench-json fuzz-smoke telemetry-smoke \
-	bench-diff-smoke clean
+	bench-diff-smoke perf-smoke golden-promote clean
 
 all:
 	$(DUNE) build
@@ -55,6 +55,23 @@ bench-diff-smoke:
 	    exit 1; fi
 	$(DUNE) exec test/json_lint.exe -- $(SMOKE_DIR)/spd_bench_diff.json
 
+# Hot-path throughput gate: measure matmul300 and fail (exit 2) if
+# simulate throughput drops more than 25% below the committed
+# spd-micro/1 baseline snapshot.  The emitted document is linted
+# against the schema.  Re-bless with:
+#   dune exec bin/spd.exe -- bench micro matmul300 --format json \
+#     > bench/history/micro-baseline.json
+perf-smoke:
+	$(DUNE) exec bin/spd.exe -- bench micro matmul300 --format json \
+	  --baseline bench/history/micro-baseline.json --max-drop 25 \
+	  > $(SMOKE_DIR)/spd_micro.json
+	$(DUNE) exec test/json_lint.exe -- $(SMOKE_DIR)/spd_micro.json
+
+# Regenerate the golden-schedule corpus under test/golden/ after an
+# intentional scheduler or DDG change; review the grid diff and commit.
+golden-promote:
+	$(DUNE) exec test/golden_promote.exe
+
 check: all
 	$(DUNE) runtest
 	$(MAKE) fuzz-smoke
@@ -62,6 +79,7 @@ check: all
 	$(DUNE) exec bench/main.exe -- table6_3 --jobs 2 --timings
 	$(MAKE) telemetry-smoke
 	$(MAKE) bench-diff-smoke
+	$(MAKE) perf-smoke
 
 bench:
 	$(DUNE) exec bench/main.exe -- all --timings

@@ -302,10 +302,14 @@ let bench_snapshot_cmd =
             (Spd_telemetry.Json.member "schema" json)
             Spd_telemetry.Json.to_string_opt
         with
-        | Some s when s = Spd_harness.Artefact.report_schema -> ()
+        | Some s
+          when s = Spd_harness.Artefact.report_schema
+               || s = Spd_harness.Microbench.schema ->
+            ()
         | _ ->
-            Fmt.epr "bench snapshot: %s is not an %s document@." from
-              Spd_harness.Artefact.report_schema;
+            Fmt.epr "bench snapshot: %s is not an %s or %s document@." from
+              Spd_harness.Artefact.report_schema
+              Spd_harness.Microbench.schema;
             exit 1));
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     let tm = Unix.localtime (Unix.gettimeofday ()) in
@@ -348,16 +352,127 @@ let bench_snapshot_cmd =
           under a timestamped name, printing the path written.")
     Term.(const run $ from_arg $ dir_arg)
 
+let bench_micro_cmd =
+  let module Microbench = Spd_harness.Microbench in
+  let run names mem_latency width min_time baseline max_drop format =
+    handle_errors (fun () ->
+        let known = workload_names () in
+        List.iter
+          (fun n ->
+            if not (List.mem n known) then begin
+              Fmt.epr "unknown workload %S (one of: %s)@." n
+                (String.concat ", " known);
+              exit 1
+            end)
+          names;
+        let workloads = match names with [] -> None | ns -> Some ns in
+        let t = Microbench.run ~mem_latency ~width ~min_time ?workloads () in
+        Microbench.render format Fmt.stdout t;
+        match baseline with
+        | None -> ()
+        | Some file -> (
+            match Spd_telemetry.Json.of_string (read_file file) with
+            | Error msg ->
+                Fmt.epr "bench micro: baseline %s is not valid JSON: %s@."
+                  file msg;
+                exit 1
+            | Ok doc ->
+                let dropped = ref false in
+                List.iter
+                  (fun (s : Microbench.sample) ->
+                    match
+                      Microbench.simulate_per_sec doc ~workload:s.workload
+                    with
+                    | None -> ()
+                    | Some base ->
+                        let cur = s.simulate.Microbench.per_sec in
+                        let drop_pct =
+                          if base > 0.0 then (base -. cur) /. base *. 100.0
+                          else 0.0
+                        in
+                        Fmt.epr
+                          "perf: %-10s simulate %13.0f trav/s, baseline \
+                           %13.0f (%+.1f%%)@."
+                          s.workload cur base (-.drop_pct);
+                        if drop_pct > max_drop then begin
+                          dropped := true;
+                          Fmt.epr
+                            "perf: %s simulate throughput dropped %.1f%% \
+                             (budget %.0f%%)@."
+                            s.workload drop_pct max_drop
+                        end)
+                  t.Microbench.samples;
+                if !dropped then exit 2))
+  in
+  let names_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"WORKLOAD"
+          ~doc:
+            "Workloads to benchmark (default: the paper's Table 6-2 set \
+             plus the extras, e.g. $(b,matmul300)).")
+  in
+  let min_time_arg =
+    Arg.(
+      value
+      & opt float 0.3
+      & info [ "min-time" ] ~docv:"SECONDS"
+          ~doc:
+            "Minimum wall clock accumulated per measured stage (default \
+             0.3).")
+  in
+  let width_arg =
+    Arg.(
+      value
+      & opt int 5
+      & info [ "w"; "width" ] ~docv:"FUS"
+          ~doc:"Number of universal functional units (default 5).")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Committed spd-micro/1 snapshot to compare simulate \
+             throughput against (see $(b,make perf-smoke)); exits 2 \
+             when a measured workload drops more than $(b,--max-drop) \
+             percent below it.")
+  in
+  let max_drop_arg =
+    Arg.(
+      value
+      & opt float 25.0
+      & info [ "max-drop" ] ~docv:"PCT"
+          ~doc:
+            "Tolerated simulate-throughput drop vs $(b,--baseline), in \
+             percent (default 25).")
+  in
+  Cmd.v
+    (Cmd.info "micro"
+       ~doc:
+         "Measure compile/schedule/simulate throughput per workload and \
+          emit an spd-micro/1 document; optionally gate against a \
+          committed baseline snapshot.")
+    Term.(
+      const run $ names_arg $ mem_latency_arg $ width_arg $ min_time_arg
+      $ baseline_arg $ max_drop_arg
+      $ format_arg
+          ~doc:
+            "Output format: $(b,pretty) (default), $(b,json) (one \
+             spd-micro/1 document) or $(b,csv).")
+
 (* [spd bench NAME] predates the diff/snapshot subcommands; the main
    entry point rewrites it to [spd bench run NAME] so both forms work. *)
-let bench_subcommands = [ "run"; "diff"; "snapshot" ]
+let bench_subcommands = [ "run"; "diff"; "snapshot"; "micro" ]
 
 let bench_cmd =
   Cmd.group ~default:bench_run_cmd
     (Cmd.info "bench"
        ~doc:
          "Run one built-in benchmark under all four pipelines; \
-          $(b,diff)/$(b,snapshot) track bench reports over time.")
+          $(b,diff)/$(b,snapshot)/$(b,micro) track bench reports and \
+          hot-path throughput over time.")
     [
       Cmd.v
         (Cmd.info "run"
@@ -365,6 +480,7 @@ let bench_cmd =
         bench_run_cmd;
       bench_diff_cmd;
       bench_snapshot_cmd;
+      bench_micro_cmd;
     ]
 
 let report_cmd =

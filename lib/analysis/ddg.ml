@@ -30,6 +30,10 @@ type t = {
       (** the memory dependence arcs that constrain this graph, keyed by
           (src node, dst node) — lets consumers tell a memory edge apart
           from a register-flow edge with the same endpoints *)
+  node_lat : int array;
+      (** per-node latency, filled once at build time so the hot
+          scheduling and critical-path loops never re-derive it from the
+          opcode *)
 }
 
 let n_nodes g = g.n_insns + g.n_exits
@@ -38,41 +42,61 @@ let insn_node pos = pos
 let exit_node g k = g.n_insns + k
 
 (** Build the dependence graph.  Only arcs for which [arc_active] holds
-    constrain the graph; by default that is {!Spd_ir.Memdep.is_active}. *)
+    constrain the graph; by default that is {!Spd_ir.Memdep.is_active}.
+
+    The build is a constant number of linear passes: node latencies are
+    computed once into [node_lat]; register def sites live in an array
+    indexed by register number (trees are single-assignment, so one slot
+    per register suffices); memory arcs resolve their endpoints through
+    an id→position array instead of scanning the instruction vector per
+    arc.  Edge insertion order is identical to the historical all-pairs
+    build, so [preds]/[succs] lists — and every schedule derived from
+    them — are bit-identical to {!Spd_machine.Scheduler.Reference}. *)
 let build ?(arc_active = Memdep.is_active) ~mem_latency (tree : Tree.t) : t =
   let n_insns = Array.length tree.insns in
   let n_exits = Array.length tree.exits in
+  let n = n_insns + n_exits in
+  let node_lat = Array.make n Opcode.branch_latency in
+  for pos = 0 to n_insns - 1 do
+    node_lat.(pos) <- Opcode.latency ~mem_latency tree.insns.(pos).Insn.op
+  done;
   let g =
     {
       tree;
       mem_latency;
       n_insns;
       n_exits;
-      preds = Array.make (n_insns + n_exits) [];
-      succs = Array.make (n_insns + n_exits) [];
+      preds = Array.make n [];
+      succs = Array.make n [];
       mem_edges = Hashtbl.create 8;
+      node_lat;
     }
   in
   let add_edge src dst w =
     g.preds.(dst) <- (src, w) :: g.preds.(dst);
     g.succs.(src) <- (dst, w) :: g.succs.(src)
   in
-  (* register flow *)
-  let def_pos = Hashtbl.create 16 in
+  (* register flow: def sites indexed by register number.  Registers
+     defined by no instruction (tree parameters) keep -1 and contribute
+     no edge — they are available at cycle 0. *)
+  let max_reg = ref (-1) in
+  let note r = if r > !max_reg then max_reg := r in
+  Array.iter
+    (fun (insn : Insn.t) ->
+      List.iter note (Insn.defs insn);
+      List.iter note (Insn.uses insn))
+    tree.insns;
+  Array.iter (fun e -> List.iter note (Tree.exit_uses e)) tree.exits;
+  let def_pos = Array.make (!max_reg + 1) (-1) in
   Array.iteri
     (fun pos (insn : Insn.t) ->
-      List.iter (fun d -> Hashtbl.replace def_pos d pos) (Insn.defs insn))
+      List.iter (fun d -> def_pos.(d) <- pos) (Insn.defs insn))
     tree.insns;
   let flow_into node uses =
     List.iter
       (fun r ->
-        match Hashtbl.find_opt def_pos r with
-        | Some p ->
-            let w =
-              Opcode.latency ~mem_latency tree.insns.(p).Insn.op
-            in
-            add_edge (insn_node p) node w
-        | None -> () (* parameter: available at cycle 0 *))
+        let p = def_pos.(r) in
+        if p >= 0 then add_edge (insn_node p) node node_lat.(p))
       uses
   in
   Array.iteri
@@ -81,12 +105,18 @@ let build ?(arc_active = Memdep.is_active) ~mem_latency (tree : Tree.t) : t =
   Array.iteri
     (fun k e -> flow_into (exit_node g k) (Tree.exit_uses e))
     tree.exits;
-  (* memory dependence arcs *)
+  (* memory dependence arcs, endpoints via the id→position index *)
+  let pos_of_id = Array.make (Tree.max_insn_id tree + 1) (-1) in
+  Array.iteri
+    (fun pos (insn : Insn.t) -> pos_of_id.(insn.id) <- pos)
+    tree.insns;
   List.iter
     (fun (arc : Memdep.t) ->
       if arc_active arc then begin
-        let si = Tree.insn_index tree arc.src
-        and di = Tree.insn_index tree arc.dst in
+        let si = pos_of_id.(arc.src) and di = pos_of_id.(arc.dst) in
+        if si < 0 || di < 0 then
+          invalid_arg
+            (Fmt.str "Ddg.build: arc endpoint not in tree %S" tree.name);
         add_edge (insn_node si) (insn_node di) (Memdep.weight ~mem_latency arc);
         Hashtbl.replace g.mem_edges (insn_node si, insn_node di) arc
       end)
@@ -99,10 +129,7 @@ let build ?(arc_active = Memdep.is_active) ~mem_latency (tree : Tree.t) : t =
 
 (** Latency of a node: its opcode latency, or the branch latency for
     exits. *)
-let node_latency g node =
-  if node < g.n_insns then
-    Opcode.latency ~mem_latency:g.mem_latency g.tree.insns.(node).Insn.op
-  else Opcode.branch_latency
+let node_latency g node = g.node_lat.(node)
 
 (** Earliest issue time of every node on an unbounded machine.  Node order
     is topological by construction (definitions precede uses, arcs point

@@ -24,6 +24,8 @@ type t = {
   preds : (int * int) list array;
   succs : (int * int) list array;
   mem_edges : (int * int, Spd_ir.Memdep.t) Hashtbl.t;
+  node_lat : int array;
+      (** per-node latency, computed once at build time *)
 }
 val n_nodes : t -> int
 val insn_node : 'a -> 'a

@@ -1,20 +1,22 @@
 (** Bench-report regression tracking ([spd bench diff]).
 
-    Compares two [spd-report/1] documents (e.g. {e BENCH_REPORT.json}
-    and a snapshot from {e bench/history/}) cell by cell, using each
-    table's id to decide what a worsening means:
+    Compares two [spd-report/1] (or [spd-micro/1]) documents (e.g.
+    {e BENCH_REPORT.json} and a snapshot from {e bench/history/}) cell
+    by cell, using each table's id to decide what a worsening means:
 
     - {b lower is better}: [cycles*] (raw cycle counts) and [fig6_4*]
       (code growth);
-    - {b higher is better}: [fig6_2*], [fig6_3*] (speedups) and the
-      [ext_*] extension experiments;
+    - {b higher is better}: [fig6_2*], [fig6_3*] (speedups), [micro*]
+      (throughput) and the [ext_*] extension experiments;
     - {b informational}: everything else ([table6_*], [spd_dynamics*],
       …) — changes are reported but never count as regressions;
     - {b skipped}: [timings*] — wall clock is run-dependent by nature.
 
     A cell {e regresses} when it moves in the bad direction by more than
-    the threshold (percent, default 0 — any worsening counts), or when a
-    tracked value disappears.  The CLI exits 2 when any cell regresses. *)
+    the threshold (percent, default 0 — any worsening counts), when a
+    tracked value disappears, or when a number turns into [n/a] (the
+    cell failed).  An [n/a] turning into a number is an improvement.
+    The CLI exits 2 when any cell regresses. *)
 
 module Json = Spd_telemetry.Json
 
@@ -27,6 +29,7 @@ let polarity_of_table id =
   if has_prefix "timings" then Skip
   else if has_prefix "cycles" || has_prefix "fig6_4" then Lower_better
   else if has_prefix "fig6_2" || has_prefix "fig6_3" || has_prefix "ext_"
+          || has_prefix "micro"
   then Higher_better
   else Informational
 
@@ -56,9 +59,11 @@ type t = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Report parsing: (table id, row label, column) -> numeric value *)
+(* Report parsing: (table id, row label, column) -> cell value.
+   [Some v] is a numeric cell, [None] an explicitly-present n/a cell
+   (JSON null — a failed cell).  Text cells are not tracked. *)
 
-type cells = (string * string * string, float) Hashtbl.t
+type cells = (string * string * string, float option) Hashtbl.t
 
 let parse_error what = Error (Printf.sprintf "malformed report: %s" what)
 
@@ -88,54 +93,65 @@ let table_cells (acc : cells) tbl =
           | Some label, Some cells ->
               List.iteri
                 (fun i cell ->
-                  match (List.nth_opt columns i, Json.to_number cell) with
-                  | Some col, Some v -> Hashtbl.replace acc (id, label, col) v
-                  | _ -> ())
+                  match (List.nth_opt columns i, cell) with
+                  | Some col, Json.Null ->
+                      (* a failed (n/a) cell: present but valueless *)
+                      Hashtbl.replace acc (id, label, col) None
+                  | Some col, cell -> (
+                      match Json.to_number cell with
+                      | Some v -> Hashtbl.replace acc (id, label, col) (Some v)
+                      | None -> ())
+                  | None, _ -> ())
                 cells
           | _ -> ())
         rows;
       Ok ()
   | _ -> parse_error "table without id/columns"
 
-(** Flatten a parsed [spd-report/1] document into its numeric cells,
-    remembering table order for deterministic diff output. *)
+(** Flatten a parsed [spd-report/1] or [spd-micro/1] document into its
+    tracked cells, remembering table order for deterministic diff
+    output. *)
 let report_cells (doc : Json.t) : (cells * string list, string) result =
+  let acc : cells = Hashtbl.create 256 in
+  let order = ref [] in
+  let fold_tables rc tables =
+    List.fold_left
+      (fun rc tbl ->
+        Result.bind rc (fun () ->
+            (match Option.bind (Json.member "id" tbl) Json.to_string_opt with
+            | Some id when not (List.mem id !order) -> order := id :: !order
+            | _ -> ());
+            table_cells acc tbl))
+      rc tables
+  in
+  let finish = function
+    | Ok () -> Ok (acc, List.rev !order)
+    | Error e -> Error e
+  in
   match Option.bind (Json.member "schema" doc) Json.to_string_opt with
   | Some s when s = Artefact.report_schema -> (
       match Option.bind (Json.member "artefacts" doc) Json.to_list with
       | None -> parse_error "no artefacts list"
-      | Some artefacts -> (
-          let acc : cells = Hashtbl.create 256 in
-          let order = ref [] in
-          let rc =
-            List.fold_left
-              (fun rc artefact ->
-                Result.bind rc (fun () ->
-                    let tables =
-                      Option.value ~default:[]
-                        (Option.bind
-                           (Json.member "tables" artefact)
-                           Json.to_list)
-                    in
-                    List.fold_left
-                      (fun rc tbl ->
-                        Result.bind rc (fun () ->
-                            (match
-                               Option.bind (Json.member "id" tbl)
-                                 Json.to_string_opt
-                             with
-                            | Some id when not (List.mem id !order) ->
-                                order := id :: !order
-                            | _ -> ());
-                            table_cells acc tbl))
-                      rc tables))
-              (Ok ()) artefacts
-          in
-          match rc with
-          | Ok () -> Ok (acc, List.rev !order)
-          | Error e -> Error e))
-  | Some s -> parse_error (Printf.sprintf "expected schema %s, got %s"
-                             Artefact.report_schema s)
+      | Some artefacts ->
+          finish
+            (List.fold_left
+               (fun rc artefact ->
+                 Result.bind rc (fun () ->
+                     fold_tables (Ok ())
+                       (Option.value ~default:[]
+                          (Option.bind
+                             (Json.member "tables" artefact)
+                             Json.to_list))))
+               (Ok ()) artefacts))
+  | Some "spd-micro/1" -> (
+      (* microbenchmark documents carry their tables at top level *)
+      match Option.bind (Json.member "tables" doc) Json.to_list with
+      | None -> parse_error "no tables list"
+      | Some tables -> finish (fold_tables (Ok ()) tables))
+  | Some s ->
+      parse_error
+        (Printf.sprintf "expected schema %s or spd-micro/1, got %s"
+           Artefact.report_schema s)
   | None -> parse_error "no schema field"
 
 (* ------------------------------------------------------------------ *)
@@ -171,9 +187,19 @@ let diff ?(threshold = 0.0) (old_doc : Json.t) (new_doc : Json.t) :
             (fun ((table, row, column) as key) ->
               let polarity = polarity_of_table table in
               if polarity <> Skip then begin
+                let tracked =
+                  match polarity with
+                  | Lower_better | Higher_better -> true
+                  | Informational | Skip -> false
+                in
                 let old_value = Hashtbl.find old_cells key in
-                match Hashtbl.find_opt new_cells key with
-                | Some new_value ->
+                let new_value =
+                  (* [None]: the key vanished; [Some None]: an explicit
+                     n/a cell — both mean the value is gone *)
+                  Option.join (Hashtbl.find_opt new_cells key)
+                in
+                match (old_value, new_value) with
+                | Some old_value, Some new_value ->
                     incr compared;
                     if new_value <> old_value then begin
                       let pct = pct_change ~old_value ~new_value in
@@ -199,9 +225,10 @@ let diff ?(threshold = 0.0) (old_doc : Json.t) (new_doc : Json.t) :
                         }
                         :: !changes
                     end
-                | None ->
-                    (* a tracked value disappeared: regression in
-                       polarity tables, informational otherwise *)
+                | Some old_value, None ->
+                    (* a tracked value disappeared or failed (n/a):
+                       regression in polarity tables, informational
+                       otherwise *)
                     changes :=
                       {
                         table;
@@ -210,13 +237,26 @@ let diff ?(threshold = 0.0) (old_doc : Json.t) (new_doc : Json.t) :
                         old_value = Some old_value;
                         new_value = None;
                         polarity;
-                        regression =
-                          (match polarity with
-                          | Lower_better | Higher_better -> true
-                          | _ -> false);
+                        regression = tracked;
                         improvement = false;
                       }
                       :: !changes
+                | None, Some new_value ->
+                    (* an n/a cell now carries a number: the cell was
+                       fixed — an improvement in polarity tables *)
+                    changes :=
+                      {
+                        table;
+                        row;
+                        column;
+                        old_value = None;
+                        new_value = Some new_value;
+                        polarity;
+                        regression = false;
+                        improvement = tracked;
+                      }
+                      :: !changes
+                | None, None -> () (* n/a on both sides: no movement *)
               end)
             keys;
           let changes = List.rev !changes in

@@ -1,11 +1,13 @@
 (** Bench-report regression tracking ([spd bench diff]).
 
-    Compares two [spd-report/1] documents cell by cell; each table's id
-    decides the polarity of a change ([cycles*]/[fig6_4*] lower-better,
-    [fig6_2*]/[fig6_3*]/[ext_*] higher-better, [timings*] skipped,
-    everything else informational).  A cell regresses when it moves in
-    the bad direction by more than the threshold (percent), or when a
-    tracked value disappears. *)
+    Compares two [spd-report/1] or [spd-micro/1] documents cell by
+    cell; each table's id decides the polarity of a change
+    ([cycles*]/[fig6_4*] lower-better, [fig6_2*]/[fig6_3*]/[ext_*]/
+    [micro*] higher-better, [timings*] skipped, everything else
+    informational).  A cell regresses when it moves in the bad
+    direction by more than the threshold (percent), when a tracked
+    value disappears, or when a number turns into an [n/a] cell; an
+    [n/a] cell turning into a number counts as an improvement. *)
 
 (** Schema identifier of the JSON document: ["spd-bench-diff/1"]. *)
 val schema : string
@@ -19,7 +21,7 @@ type change = {
   table : string;
   row : string;
   column : string;
-  old_value : float option;  (** [None]: missing or non-numeric *)
+  old_value : float option;  (** [None]: missing, [n/a] or non-numeric *)
   new_value : float option;
   polarity : polarity;
   regression : bool;

@@ -206,7 +206,10 @@ let cell_csv = function
   | Int n -> string_of_int n
   | Num x | Pct x -> Printf.sprintf "%.17g" x
   | Text s -> csv_escape s
-  | Na -> ""
+  | Na -> "n/a"
+      (* the one [n/a] encoding, shared with {!cell_text} — the CSV used
+         to emit an empty field here, which the bench-diff reader could
+         not tell apart from a genuinely absent cell *)
 
 let csv_header = "table,row,column,value"
 

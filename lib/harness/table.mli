@@ -53,5 +53,8 @@ val to_json : t -> Spd_telemetry.Json.t
 val csv_header : string
 
 (** CSV long format, one [table,row,column,value] line per cell; no
-    header line.  Floats carry full precision ([%.17g]). *)
+    header line.  Floats carry full precision ([%.17g]); failed cells
+    render as [n/a] — the same encoding {!cell_text} uses, so the CSV
+    and pretty renderings agree and a reader can tell a failed cell
+    from an empty one. *)
 val to_csv_lines : t -> string list

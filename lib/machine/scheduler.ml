@@ -4,7 +4,16 @@
     branches) into VLIW instruction words of at most [fus] operations per
     cycle, all functional units being universal and fully pipelined.
     Priority is the classic critical-path height: nodes with the longest
-    remaining dependence chain issue first. *)
+    remaining dependence chain issue first.
+
+    The ready set is a binary max-heap keyed on (height, node index):
+    higher height pops first, ties pop the lower node index.  That order
+    is exactly the (height-descending, node-ascending stable sort) the
+    historical ready-list scan used, so schedules are bit-identical to
+    {!Reference.run} — and, being a pure function of the graph, identical
+    across [--jobs] domain counts.  Nodes whose operands complete in a
+    future cycle wait in a release queue (a min-heap on ready cycle)
+    instead of being re-scanned every cycle. *)
 
 module Ddg = Spd_analysis.Ddg
 
@@ -26,8 +35,100 @@ let m_occupancy =
        ~buckets:Spd_telemetry.Metrics.fraction_buckets
        "spd.scheduler.fu_occupancy")
 
+(* ------------------------------------------------------------------ *)
+(* Priority heap *)
+
+(** Array-backed binary max-heap of (priority, node) pairs with a
+    deterministic total order: higher priority first, equal priorities
+    broken by the {e lower} node index.  Exposed so the property tests
+    can check the pop order directly. *)
+module Heap = struct
+  type t = {
+    mutable prio : int array;
+    mutable node : int array;
+    mutable size : int;
+  }
+
+  let create cap =
+    let cap = max cap 1 in
+    { prio = Array.make cap 0; node = Array.make cap 0; size = 0 }
+
+  let is_empty h = h.size = 0
+  let size h = h.size
+
+  (* strict "pops before": the heap invariant's order *)
+  let before h i j =
+    h.prio.(i) > h.prio.(j)
+    || (h.prio.(i) = h.prio.(j) && h.node.(i) < h.node.(j))
+
+  let swap h i j =
+    let p = h.prio.(i) and n = h.node.(i) in
+    h.prio.(i) <- h.prio.(j);
+    h.node.(i) <- h.node.(j);
+    h.prio.(j) <- p;
+    h.node.(j) <- n
+
+  let push h ~prio node =
+    if h.size = Array.length h.prio then begin
+      let cap = 2 * h.size in
+      let prio' = Array.make cap 0 and node' = Array.make cap 0 in
+      Array.blit h.prio 0 prio' 0 h.size;
+      Array.blit h.node 0 node' 0 h.size;
+      h.prio <- prio';
+      h.node <- node'
+    end;
+    h.prio.(h.size) <- prio;
+    h.node.(h.size) <- node;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while !i > 0 && before h !i ((!i - 1) / 2) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let peek h = if h.size = 0 then None else Some (h.prio.(0), h.node.(0))
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.node.(0) in
+      h.size <- h.size - 1;
+      if h.size > 0 then begin
+        h.prio.(0) <- h.prio.(h.size);
+        h.node.(0) <- h.node.(h.size);
+        let i = ref 0 in
+        let sifting = ref true in
+        while !sifting do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let best = ref !i in
+          if l < h.size && before h l !best then best := l;
+          if r < h.size && before h r !best then best := r;
+          if !best <> !i then begin
+            swap h !i !best;
+            i := !best
+          end
+          else sifting := false
+        done
+      end;
+      Some top
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling *)
+
 (** Schedule [g] on a machine with [fus] universal units.  [fus = None]
-    means unlimited (the result then equals ASAP). *)
+    means unlimited (the result then equals ASAP).
+
+    Resource-constrained case: the ready heap holds data-ready nodes;
+    the release queue (min-heap on ready cycle, priorities negated)
+    holds nodes whose predecessors have all issued but whose operands
+    complete in a future cycle.  Within a cycle the heap drains in
+    priority order as a {e generation}: nodes enabled mid-cycle by a
+    zero-weight edge (the prioritized exit chain) collect in [deferred]
+    and only enter the heap once the current generation has drained
+    with slots to spare — reproducing the historical scan's
+    snapshot-then-rescan semantics exactly. *)
 let run ?fus (g : Ddg.t) : t =
   let n = Ddg.n_nodes g in
   let issue = Array.make n (-1) in
@@ -50,45 +151,66 @@ let run ?fus (g : Ddg.t) : t =
       if fus <= 0 then invalid_arg "Scheduler.run: fus must be positive";
       let height = Ddg.height g in
       let n_preds_left = Array.make n 0 in
-      for node = 0 to n - 1 do
-        n_preds_left.(node) <- List.length g.preds.(node)
-      done;
       (* earliest data-ready cycle, updated as predecessors schedule *)
       let ready_at = Array.make n 0 in
+      let ready = Heap.create n in
+      let release = Heap.create n in
+      for node = 0 to n - 1 do
+        n_preds_left.(node) <- List.length g.preds.(node);
+        if n_preds_left.(node) = 0 then Heap.push release ~prio:0 node
+      done;
       let remaining = ref n in
       let cycle = ref 0 in
       while !remaining > 0 do
-        (* fill the cycle's slots, re-scanning so that zero-weight chains
-           (prioritized exit branches) may issue in the same word *)
-        let slots = ref fus in
-        let progress = ref true in
-        while !slots > 0 && !progress do
-          let ready =
-            List.init n Fun.id
-            |> List.filter (fun node ->
-                   issue.(node) < 0
-                   && n_preds_left.(node) = 0
-                   && ready_at.(node) <= !cycle)
-            |> List.sort (fun a b -> compare height.(b) height.(a))
-          in
-          progress := false;
-          List.iter
-            (fun node ->
-              if !slots > 0 then begin
-                fu.(node) <- fus - !slots;
-                decr slots;
-                progress := true;
-                issue.(node) <- !cycle;
-                decr remaining;
-                List.iter
-                  (fun (s, w) ->
-                    n_preds_left.(s) <- n_preds_left.(s) - 1;
-                    ready_at.(s) <- max ready_at.(s) (!cycle + w))
-                  g.succs.(node)
-              end)
-            ready
+        (* admit every node whose operands are ready this cycle *)
+        let admitting = ref true in
+        while !admitting do
+          match Heap.peek release with
+          | Some (p, _) when -p <= !cycle -> (
+              match Heap.pop release with
+              | Some node -> Heap.push ready ~prio:height.(node) node
+              | None -> assert false)
+          | _ -> admitting := false
         done;
-        incr cycle
+        let slots = ref fus in
+        let deferred = ref [] in
+        let exhausted = ref false in
+        while (not !exhausted) && !slots > 0 do
+          match Heap.pop ready with
+          | Some node ->
+              fu.(node) <- fus - !slots;
+              decr slots;
+              issue.(node) <- !cycle;
+              decr remaining;
+              List.iter
+                (fun (s, w) ->
+                  n_preds_left.(s) <- n_preds_left.(s) - 1;
+                  ready_at.(s) <- max ready_at.(s) (!cycle + w);
+                  if n_preds_left.(s) = 0 then
+                    if ready_at.(s) <= !cycle then deferred := s :: !deferred
+                    else Heap.push release ~prio:(-ready_at.(s)) s)
+                g.succs.(node)
+          | None -> (
+              (* generation drained with slots left: the nodes it
+                 enabled this cycle form the next generation *)
+              match !deferred with
+              | [] -> exhausted := true
+              | ds ->
+                  List.iter
+                    (fun s -> Heap.push ready ~prio:height.(s) s)
+                    ds;
+                  deferred := [])
+        done;
+        (* slots gone: anything enabled this cycle waits for the next *)
+        List.iter (fun s -> Heap.push ready ~prio:height.(s) s) !deferred;
+        if !remaining > 0 then
+          cycle :=
+            if Heap.is_empty ready then
+              (* idle until the next operand completes *)
+              match Heap.peek release with
+              | Some (p, _) -> max (!cycle + 1) (-p)
+              | None -> !cycle + 1 (* unreachable: the graph is a DAG *)
+            else !cycle + 1
       done);
   let length = Array.fold_left max (-1) issue + 1 in
   Spd_telemetry.Metrics.incr (Lazy.force m_schedules);
@@ -150,3 +272,148 @@ let valid ?fus (g : Ddg.t) (s : t) : bool =
       Hashtbl.replace seen (c, slot) ())
     s.issue;
   !deps_ok && resources_ok && !slots_ok
+
+(* ------------------------------------------------------------------ *)
+(* Historical reference implementations *)
+
+(** The pre-heap scheduler and pre-indexed DDG build, preserved verbatim
+    as a differential oracle.  Production code never calls these; the
+    fuzz and property tests schedule every graph through both paths and
+    require bit-identical results. *)
+module Reference = struct
+  open Spd_ir
+
+  (** The historical all-pairs DDG build: def sites in a hashtable,
+      memory-arc endpoints through {!Spd_ir.Tree.insn_index}'s linear
+      scan.  Same edge multiset (and, by construction, the same edge
+      insertion order) as {!Spd_analysis.Ddg.build}. *)
+  let build_ddg ?(arc_active = Memdep.is_active) ~mem_latency
+      (tree : Tree.t) : Ddg.t =
+    let n_insns = Array.length tree.insns in
+    let n_exits = Array.length tree.exits in
+    let n = n_insns + n_exits in
+    let node_lat =
+      Array.init n (fun node ->
+          if node < n_insns then
+            Opcode.latency ~mem_latency tree.insns.(node).Insn.op
+          else Opcode.branch_latency)
+    in
+    let g =
+      {
+        Ddg.tree;
+        mem_latency;
+        n_insns;
+        n_exits;
+        preds = Array.make n [];
+        succs = Array.make n [];
+        mem_edges = Hashtbl.create 8;
+        node_lat;
+      }
+    in
+    let add_edge src dst w =
+      g.Ddg.preds.(dst) <- (src, w) :: g.Ddg.preds.(dst);
+      g.Ddg.succs.(src) <- (dst, w) :: g.Ddg.succs.(src)
+    in
+    let def_pos = Hashtbl.create 16 in
+    Array.iteri
+      (fun pos (insn : Insn.t) ->
+        List.iter (fun d -> Hashtbl.replace def_pos d pos) (Insn.defs insn))
+      tree.insns;
+    let flow_into node uses =
+      List.iter
+        (fun r ->
+          match Hashtbl.find_opt def_pos r with
+          | Some p ->
+              let w = Opcode.latency ~mem_latency tree.insns.(p).Insn.op in
+              add_edge (Ddg.insn_node p) node w
+          | None -> ())
+        uses
+    in
+    Array.iteri
+      (fun pos insn -> flow_into (Ddg.insn_node pos) (Insn.uses insn))
+      tree.insns;
+    Array.iteri
+      (fun k e -> flow_into (Ddg.exit_node g k) (Tree.exit_uses e))
+      tree.exits;
+    List.iter
+      (fun (arc : Memdep.t) ->
+        if arc_active arc then begin
+          let si = Tree.insn_index tree arc.src
+          and di = Tree.insn_index tree arc.dst in
+          add_edge (Ddg.insn_node si) (Ddg.insn_node di)
+            (Memdep.weight ~mem_latency arc);
+          Hashtbl.replace g.Ddg.mem_edges
+            (Ddg.insn_node si, Ddg.insn_node di)
+            arc
+        end)
+      tree.arcs;
+    for k = 1 to n_exits - 1 do
+      add_edge (Ddg.exit_node g (k - 1)) (Ddg.exit_node g k) 0
+    done;
+    g
+
+  (** The historical scheduler: every cycle re-scans all nodes for the
+      ready set and sorts it (stable, so ties keep node order).  Does not
+      touch the telemetry counters — it exists only to be diffed
+      against. *)
+  let run ?fus (g : Ddg.t) : t =
+    let n = Ddg.n_nodes g in
+    let issue = Array.make n (-1) in
+    let fu = Array.make n 0 in
+    (match fus with
+    | None ->
+        let asap = Ddg.asap g in
+        Array.blit asap 0 issue 0 n;
+        let per_cycle = Hashtbl.create 16 in
+        for node = 0 to n - 1 do
+          let k =
+            try Hashtbl.find per_cycle issue.(node) with Not_found -> 0
+          in
+          fu.(node) <- k;
+          Hashtbl.replace per_cycle issue.(node) (k + 1)
+        done
+    | Some fus ->
+        if fus <= 0 then
+          invalid_arg "Scheduler.Reference.run: fus must be positive";
+        let height = Ddg.height g in
+        let n_preds_left = Array.make n 0 in
+        for node = 0 to n - 1 do
+          n_preds_left.(node) <- List.length g.Ddg.preds.(node)
+        done;
+        let ready_at = Array.make n 0 in
+        let remaining = ref n in
+        let cycle = ref 0 in
+        while !remaining > 0 do
+          let slots = ref fus in
+          let progress = ref true in
+          while !slots > 0 && !progress do
+            let ready =
+              List.init n Fun.id
+              |> List.filter (fun node ->
+                     issue.(node) < 0
+                     && n_preds_left.(node) = 0
+                     && ready_at.(node) <= !cycle)
+              |> List.sort (fun a b -> compare height.(b) height.(a))
+            in
+            progress := false;
+            List.iter
+              (fun node ->
+                if !slots > 0 then begin
+                  fu.(node) <- fus - !slots;
+                  decr slots;
+                  progress := true;
+                  issue.(node) <- !cycle;
+                  decr remaining;
+                  List.iter
+                    (fun (s, w) ->
+                      n_preds_left.(s) <- n_preds_left.(s) - 1;
+                      ready_at.(s) <- max ready_at.(s) (!cycle + w))
+                    g.Ddg.succs.(node)
+                end)
+              ready
+          done;
+          incr cycle
+        done);
+    let length = Array.fold_left max (-1) issue + 1 in
+    { issue; fu; length }
+end

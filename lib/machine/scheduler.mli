@@ -4,7 +4,10 @@
     branches) into VLIW instruction words of at most [fus] operations per
     cycle, all functional units being universal and fully pipelined.
     Priority is the classic critical-path height: nodes with the longest
-    remaining dependence chain issue first. *)
+    remaining dependence chain issue first.  The ready set is a priority
+    heap with deterministic tie-breaking (equal heights pop the lower
+    node index), so schedules are bit-identical to {!Reference.run} and
+    across [--jobs] domain counts. *)
 
 module Ddg = Spd_analysis.Ddg
 
@@ -15,6 +18,29 @@ type t = {
           its issue cycle; descriptive only, never alters a decision *)
   length : int;  (** schedule length: last issue cycle + 1 *)
 }
+
+(** Array-backed binary max-heap of (priority, node) pairs with a
+    deterministic total order: higher priority first, equal priorities
+    broken by the {e lower} node index.  Exposed for the property
+    tests. *)
+module Heap : sig
+  type t
+
+  (** [create cap] allocates a heap with initial capacity [cap] (grows
+      as needed). *)
+  val create : int -> t
+
+  val is_empty : t -> bool
+  val size : t -> int
+  val push : t -> prio:int -> int -> unit
+
+  (** Highest-priority (priority, node) pair, without removing it. *)
+  val peek : t -> (int * int) option
+
+  (** Remove and return the highest-priority node; ties yield the lowest
+      node index. *)
+  val pop : t -> int option
+end
 
 (** Schedule [g] on a machine with [fus] universal units.  [fus = None]
     means unlimited (the result then equals ASAP). *)
@@ -27,3 +53,19 @@ val timing : Ddg.t -> t -> Spd_sim.Timing.tree_timing
 (** Check that a schedule respects every dependence edge and the [fus]
     resource bound; used by the property tests. *)
 val valid : ?fus:int -> Ddg.t -> t -> bool
+
+(** The pre-heap scheduler and pre-indexed DDG build, preserved verbatim
+    as a differential oracle for the fuzz and property tests.  Production
+    code must not call these. *)
+module Reference : sig
+  (** Historical all-pairs DDG build (hashtable def sites, linear-scan
+      arc endpoints).  Same edges, in the same order, as
+      {!Spd_analysis.Ddg.build}. *)
+  val build_ddg :
+    ?arc_active:(Spd_ir.Memdep.t -> bool) ->
+    mem_latency:int -> Spd_ir.Tree.t -> Ddg.t
+
+  (** Historical ready-list scan scheduler.  Bit-identical schedules to
+      {!run}; does not touch telemetry. *)
+  val run : ?fus:int -> Ddg.t -> t
+end

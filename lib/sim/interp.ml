@@ -14,7 +14,16 @@
 
     The interpreter also fills in a {!Profile}: exit frequencies and
     dynamic alias counts per memory dependence arc (the PERFECT
-    disambiguator's input). *)
+    disambiguator's input).
+
+    Internally each tree is compiled once per run into a flat array of
+    specialized operations (register numbers resolved, store guards
+    encoded as ints, memory/store positions pre-indexed) so the traversal
+    loop allocates nothing and dispatches one shallow match per
+    instruction.  Per-tree bookkeeping — cycle charge, committed-arc
+    profile walk, squash count — is memoized in a {!Replay} cache keyed
+    on the traversal's guard outcomes; see that module for the exactness
+    argument. *)
 
 open Spd_ir
 
@@ -143,22 +152,371 @@ type traversal_cost =
     Used by the hardware dynamic-disambiguation baseline, which resolves
     aliases with run-time address compares. *)
 
+(* ------------------------------------------------------------------ *)
+(* Compiled trees.
+
+   Register numbers, guard polarities and memory-op positions are
+   resolved once per run so the traversal loop is allocation free.  A
+   guard is one int: 0 = unguarded, [g+1] = positive on register [g],
+   [-(g+1)] = negative.  Any instruction or exit whose shape falls
+   outside the specialized constructors compiles to a [CGen]/[XGen]
+   fallback that interprets the original form with the historical code
+   path, byte for byte. *)
+
+type cop =
+  | CLoad of { pos : int; addr : int; dst : int }
+  | CStore of {
+      pos : int;
+      addr : int;
+      src : int;
+      guard : int;
+      gidx : int;  (** index into the guarded-store mask; -1 unguarded *)
+    }
+  | CAddr_global of { dst : int; name : string; mutable cached : int }
+  | CAddr_frame of { dst : int; off : int }
+  | CConst of { dst : int; v : Value.t }
+  | CMov of { dst : int; a : int }
+  | CIbin of { op : Opcode.ibin; dst : int; a : int; b : int }
+  | CIdiv of { op : Opcode.ibin; pos : int; dst : int; a : int; b : int }
+      (** Div/Rem: the only pure ops that can fault, kept apart so the
+          others dispatch without an exception handler *)
+  | CIcmp of { op : Opcode.icmp; dst : int; a : int; b : int }
+  | CFbin of { op : Opcode.fbin; dst : int; a : int; b : int }
+  | CFcmp of { op : Opcode.fcmp; dst : int; a : int; b : int }
+  | CNot of { dst : int; a : int }
+  | CIneg of { dst : int; a : int }
+  | CFneg of { dst : int; a : int }
+  | CSelect of { dst : int; p : int; a : int; b : int }
+  | CItof of { dst : int; a : int }
+  | CFtoi of { dst : int; a : int }
+  | CGen of { pos : int }  (** generic fallback *)
+
+type cexit =
+  | XJump of {
+      target : int;
+      dsts : int array;  (** target params, truncated to the args *)
+      srcs : int array;
+      scratch : Value.t array;  (** staging for the parallel copy *)
+    }
+  | XPrint of {
+      as_float : bool;
+      arg : int;
+      return_to : int;
+      dsts : int array;
+      srcs : int array;
+      scratch : Value.t array;
+    }
+  | XCall of {
+      callee : string;
+      call_srcs : int array;
+      ret : int;  (** receiving register; -1 none *)
+      return_to : int;
+      dsts : int array;
+      srcs : int array;
+      scratch : Value.t array;
+    }
+  | XRet of { value : int (** -1 none *) }
+  | XGen  (** generic fallback: interpret the source exit *)
+
+type carc = {
+  arc : Memdep.t;
+  spos : int;  (** source position in the tree *)
+  dpos : int;
+}
+
+type ctree = {
+  tree : Tree.t;
+  code : cop array;
+  xguards : int array;  (** per exit, encoded guard *)
+  cexits : cexit array;
+  store_pos : int array;  (** positions of stores, for the timing walk *)
+  gstore_pos : int array;  (** positions of guarded stores *)
+  mem_pos : int array;  (** positions of memory ops, for scratch resets *)
+  n_gstores : int;
+  carcs : carc array;  (** the tree's memory dependence arcs, indexed *)
+  parc : Profile.arc_stat option array;
+      (** per arc, its profile counters once first resolved — created on
+          demand exactly like the historical hashtable path *)
+  mutable pstat : Profile.tree_stat option;  (** resolved on first use *)
+  mutable watch : Profile.Spd.tree_watch option;
+  mutable watch_resolved : bool;
+  mutable ttime : Timing.tree_timing option;  (** resolved on first use *)
+  replay : Replay.t;
+}
+
+let enc_guard = function
+  | None -> 0
+  | Some { Insn.greg; positive } -> if positive then greg + 1 else -(greg + 1)
+
+let guard_ok (rf : Value.t array) g =
+  g = 0
+  ||
+  let v = Value.is_true rf.(abs g - 1) in
+  if g > 0 then v else not v
+
+let compile_exit (fi : finfo) (e : Tree.exit) : cexit =
+  let params_of target =
+    if target >= 0 && target < Array.length fi.by_id then
+      match fi.by_id.(target) with
+      | Some (t : Tree.t) -> Some t.params
+      | None -> None
+    else None
+  in
+  (* the historical copy pairs each arg with the target param of the
+     same rank; more args than params is a runtime error the generic
+     path reproduces *)
+  let copy_pairs params args =
+    let n = List.length args in
+    if n <= List.length params then begin
+      let dsts = Array.make n 0 and srcs = Array.make n 0 in
+      List.iteri (fun i p -> if i < n then dsts.(i) <- p) params;
+      List.iteri (fun i r -> srcs.(i) <- r) args;
+      Some (dsts, srcs, Array.make n Value.zero)
+    end
+    else None
+  in
+  match e.kind with
+  | Tree.Jump { target; args } -> (
+      match params_of target with
+      | Some params -> (
+          match copy_pairs params args with
+          | Some (dsts, srcs, scratch) -> XJump { target; dsts; srcs; scratch }
+          | None -> XGen)
+      | None -> XGen)
+  | Tree.Call
+      {
+        callee = ("print_int" | "print_float") as callee;
+        call_args;
+        return_to;
+        cont_args;
+        _;
+      } -> (
+      match (call_args, params_of return_to) with
+      | arg :: _, Some params -> (
+          match copy_pairs params cont_args with
+          | Some (dsts, srcs, scratch) ->
+              XPrint
+                {
+                  as_float = String.equal callee "print_float";
+                  arg;
+                  return_to;
+                  dsts;
+                  srcs;
+                  scratch;
+                }
+          | None -> XGen)
+      | _ -> XGen)
+  | Tree.Call { callee; call_args; ret; return_to; cont_args } -> (
+      match params_of return_to with
+      | Some params -> (
+          match copy_pairs params cont_args with
+          | Some (dsts, srcs, scratch) ->
+              XCall
+                {
+                  callee;
+                  call_srcs = Array.of_list call_args;
+                  ret = (match ret with Some r -> r | None -> -1);
+                  return_to;
+                  dsts;
+                  srcs;
+                  scratch;
+                }
+          | None -> XGen)
+      | None -> XGen)
+  | Tree.Return { value } ->
+      XRet { value = (match value with Some r -> r | None -> -1) }
+
+let compile_tree (fi : finfo) (tree : Tree.t) : ctree =
+  let gctr = ref 0 in
+  let gen_gstore = ref false in
+  let stores = ref [] and gstores = ref [] and mems = ref [] in
+  let compile_insn pos (insn : Insn.t) : cop =
+    match (insn.op, insn.srcs, insn.dst) with
+    | Opcode.Load, [ a ], Some dst ->
+        mems := pos :: !mems;
+        CLoad { pos; addr = a; dst }
+    | Opcode.Store, [ a; v ], None ->
+        mems := pos :: !mems;
+        stores := pos :: !stores;
+        let guard = enc_guard insn.guard in
+        let gidx =
+          if guard = 0 then -1
+          else begin
+            gstores := pos :: !gstores;
+            let i = !gctr in
+            incr gctr;
+            i
+          end
+        in
+        CStore { pos; addr = a; src = v; guard; gidx }
+    | Opcode.Addrof (Opcode.Global g), [], Some dst ->
+        CAddr_global { dst; name = g; cached = -1 }
+    | Opcode.Addrof (Opcode.Frame off), [], Some dst ->
+        CAddr_frame { dst; off }
+    | Opcode.Const v, [], Some dst -> CConst { dst; v }
+    | Opcode.Mov, [ a ], Some dst -> CMov { dst; a }
+    | Opcode.Ibin ((Opcode.Div | Opcode.Rem) as op), [ a; b ], Some dst ->
+        CIdiv { op; pos; dst; a; b }
+    | Opcode.Ibin op, [ a; b ], Some dst -> CIbin { op; dst; a; b }
+    | Opcode.Icmp op, [ a; b ], Some dst -> CIcmp { op; dst; a; b }
+    | Opcode.Fbin op, [ a; b ], Some dst -> CFbin { op; dst; a; b }
+    | Opcode.Fcmp op, [ a; b ], Some dst -> CFcmp { op; dst; a; b }
+    | Opcode.Not, [ a ], Some dst -> CNot { dst; a }
+    | Opcode.Ineg, [ a ], Some dst -> CIneg { dst; a }
+    | Opcode.Fneg, [ a ], Some dst -> CFneg { dst; a }
+    | Opcode.Select, [ p; a; b ], Some dst -> CSelect { dst; p; a; b }
+    | Opcode.Itof, [ a ], Some dst -> CItof { dst; a }
+    | Opcode.Ftoi, [ a ], Some dst -> CFtoi { dst; a }
+    | _ ->
+        if Insn.is_mem insn then mems := pos :: !mems;
+        if Insn.is_store insn then begin
+          stores := pos :: !stores;
+          if insn.guard <> None then begin
+            (* a guarded store on the generic path never reaches the
+               commit mask, so the tree must not use the replay cache *)
+            gen_gstore := true;
+            gstores := pos :: !gstores;
+            incr gctr
+          end
+        end;
+        CGen { pos }
+  in
+  let code = Array.mapi compile_insn tree.insns in
+  (* positions were consed in reverse *)
+  let rev_array l = Array.of_list (List.rev l) in
+  let pos_of_id = Array.make (Tree.max_insn_id tree + 1) (-1) in
+  Array.iteri (fun pos (i : Insn.t) -> pos_of_id.(i.id) <- pos) tree.insns;
+  let carcs =
+    Array.of_list
+      (List.map
+         (fun (arc : Memdep.t) ->
+           { arc; spos = pos_of_id.(arc.src); dpos = pos_of_id.(arc.dst) })
+         tree.arcs)
+  in
+  {
+    tree;
+    code;
+    xguards = Array.map (fun (e : Tree.exit) -> enc_guard e.xguard) tree.exits;
+    cexits = Array.map (compile_exit fi) tree.exits;
+    store_pos = rev_array !stores;
+    gstore_pos = rev_array !gstores;
+    mem_pos = rev_array !mems;
+    n_gstores = !gctr;
+    carcs;
+    parc = Array.make (Array.length carcs) None;
+    pstat = None;
+    watch = None;
+    watch_resolved = false;
+    ttime = None;
+    replay =
+      Replay.create
+        ~n_guarded_stores:(if !gen_gstore then max_int else !gctr)
+        ();
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Pooled memory images.
+
+   Allocating and zeroing a megaword [Value.t array] dominated the cost
+   of short runs.  Each domain instead keeps a pool of cleared images,
+   keyed by size; a run checks one out, records every word it dirties
+   (global initialization as contiguous ranges, committed stores as
+   single addresses) and the release hook re-zeroes exactly those words.
+   If a run dirties too many individual words to be worth tracking, the
+   image is re-zeroed wholesale — never worse than the historical
+   allocate-per-run.  Checkout removes the image from the pool, so
+   re-entrant or concurrent runs in one domain each get their own. *)
+
+module Mempool = struct
+  type image = {
+    mem : Value.t array;
+    mutable dirty : int array;  (** dirtied single addresses *)
+    mutable n_dirty : int;
+    mutable ranges : (int * int) list;  (** dirtied (base, len) spans *)
+    mutable overflow : bool;  (** too many to track: full re-zero *)
+  }
+
+  let pool : (int, image) Hashtbl.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+  let acquire words : image =
+    let tbl = Domain.DLS.get pool in
+    match Hashtbl.find_opt tbl words with
+    | Some img ->
+        Hashtbl.remove tbl words;
+        img
+    | None ->
+        {
+          mem = Array.make words Value.zero;
+          dirty = Array.make 256 0;
+          n_dirty = 0;
+          ranges = [];
+          overflow = false;
+        }
+
+  let touch img addr =
+    if not img.overflow then begin
+      let cap = Array.length img.dirty in
+      if img.n_dirty = cap then
+        if cap >= Array.length img.mem / 8 then img.overflow <- true
+        else begin
+          let d = Array.make (2 * cap) 0 in
+          Array.blit img.dirty 0 d 0 cap;
+          img.dirty <- d
+        end;
+      if not img.overflow then begin
+        img.dirty.(img.n_dirty) <- addr;
+        img.n_dirty <- img.n_dirty + 1
+      end
+    end
+
+  let touch_range img base len =
+    if len > 0 then img.ranges <- (base, len) :: img.ranges
+
+  let release img =
+    (if img.overflow then Array.fill img.mem 0 (Array.length img.mem) Value.zero
+     else begin
+       for i = 0 to img.n_dirty - 1 do
+         img.mem.(img.dirty.(i)) <- Value.zero
+       done;
+       List.iter
+         (fun (base, len) -> Array.fill img.mem base len Value.zero)
+         img.ranges
+     end);
+    img.n_dirty <- 0;
+    img.ranges <- [];
+    img.overflow <- false;
+    let tbl = Domain.DLS.get pool in
+    Hashtbl.replace tbl (Array.length img.mem) img
+end
+
 (* registered once; sharded, so hot-loop-free bumping is cheap *)
 let m_runs = lazy (Spd_telemetry.Metrics.counter "spd.sim.runs")
 let m_traversals = lazy (Spd_telemetry.Metrics.counter "spd.sim.traversals")
 
+let m_replay_hits =
+  lazy (Spd_telemetry.Metrics.counter "spd.sim.replay_hits")
+
+let m_replay_misses =
+  lazy (Spd_telemetry.Metrics.counter "spd.sim.replay_misses")
+
 let run ?timing ?(traversal_cost : traversal_cost option)
     ?(profile : Profile.t option) ?(spd : Profile.Spd.t option)
     ?(mem_words = 1 lsl 20) ?(fuel = default_fuel)
-    ?(deadline : float option) (prog : Prog.t) : result =
+    ?(deadline : float option) ?(replay = true) (prog : Prog.t) : result =
   let deadline_abs =
     Option.map (fun d -> Unix.gettimeofday () +. d) deadline
   in
   let global_addr, globals_end = layout prog in
-  let mem = Array.make mem_words Value.zero in
+  let image = Mempool.acquire mem_words in
+  let mem = image.mem in
+  Fun.protect ~finally:(fun () -> Mempool.release image) @@ fun () ->
   List.iter
     (fun (g : Prog.global) ->
       let base = global_addr g.gname in
+      if base < mem_words then
+        Mempool.touch_range image base
+          (min (Array.length g.ginit) (mem_words - base));
       Array.iteri (fun i v -> mem.(base + i) <- v) g.ginit)
     prog.globals;
   if globals_end >= mem_words then fail Globals_exceed_memory;
@@ -171,6 +529,16 @@ let run ?timing ?(traversal_cost : traversal_cost option)
     | Some fi -> fi
     | None -> fail (Unknown_function name)
   in
+  (* compile every tree once for this run *)
+  let cts_of : (string, ctree option array) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _) ->
+      let fi = Hashtbl.find finfos name in
+      let arr =
+        Array.map (Option.map (fun t -> compile_tree fi t)) fi.by_id
+      in
+      Hashtbl.replace cts_of name arr)
+    prog.funcs;
   (* scratch buffers sized to the largest tree *)
   let max_insns =
     List.fold_left
@@ -185,8 +553,11 @@ let run ?timing ?(traversal_cost : traversal_cost option)
   let output = ref [] in
   let cycles = ref 0 in
   let traversals = ref 0 in
+  let replay_hits = ref 0 in
+  let replay_misses = ref 0 in
   (* current activation *)
   let fi = ref (finfo prog.main) in
+  let cts = ref (Hashtbl.find cts_of prog.main) in
   let regs = ref (Array.make !fi.nregs Value.zero) in
   let sp = ref mem_words in
   let fp = ref (mem_words - !fi.func.frame_words) in
@@ -208,145 +579,47 @@ let run ?timing ?(traversal_cost : traversal_cost option)
   in
   let store addr v =
     if addr < 0 || addr >= mem_words then failc (Store_out_of_bounds addr)
-    else mem.(addr) <- v
+    else begin
+      Mempool.touch image addr;
+      mem.(addr) <- v
+    end
   in
-  while !finished = None do
-    incr traversals;
-    if !traversals > fuel then failc (Fuel_exhausted fuel);
-    (match deadline_abs with
-    | Some dl when !traversals land 0x3fff = 0 && Unix.gettimeofday () > dl
-      ->
-        failc (Deadline_exceeded (Option.get deadline))
-    | _ -> ());
-    let tree =
-      match !fi.by_id.(!tree_id) with
-      | Some t -> t
-      | None -> failc (No_such_tree !tree_id)
-    in
-    let rf = !regs in
-    let guard_holds (g : Insn.guard option) =
-      match g with
-      | None -> true
-      | Some { greg; positive } ->
-          let v = Value.is_true rf.(greg) in
-          if positive then v else not v
-    in
-    (* evaluate instructions in program order *)
-    Array.iteri
-      (fun pos (insn : Insn.t) ->
-        match insn.op with
-        | Opcode.Load ->
-            let a = Value.to_int rf.(Insn.addr insn) in
-            addr_buf.(pos) <- a;
-            active_buf.(pos) <- true;
-            rf.(Option.get insn.dst) <- load a
-        | Opcode.Store ->
-            let a = Value.to_int rf.(Insn.addr insn) in
-            addr_buf.(pos) <- a;
-            let active = guard_holds insn.guard in
-            active_buf.(pos) <- active;
-            if active then store a rf.(Insn.store_value insn)
-        | Opcode.Addrof (Opcode.Global g) ->
-            rf.(Option.get insn.dst) <- Value.Int (global_addr g)
-        | Opcode.Addrof (Opcode.Frame off) ->
-            rf.(Option.get insn.dst) <- Value.Int (!fp + off)
-        | _ -> (
-            let srcs = List.map (fun r -> rf.(r)) insn.srcs in
-            match Eval.eval_pure insn.op srcs with
-            | v -> rf.(Option.get insn.dst) <- v
-            | exception Eval.Runtime_error msg ->
-                failc ~op:(Fmt.str "%a" Spd_ir.Opcode.pp insn.op)
-                  (Eval_error msg)))
-      tree.insns;
-    (* choose the taken exit *)
-    let n_exits = Array.length tree.exits in
-    let taken = ref (n_exits - 1) in
-    (try
-       for k = 0 to n_exits - 1 do
-         if guard_holds tree.exits.(k).xguard then begin
-           taken := k;
-           raise Exit
-         end
-       done
-     with Exit -> ());
-    (* profile *)
-    (match profile with
-    | None -> ()
-    | Some p ->
-        let stat = Profile.tree_stat p ~func:!fi.func.fname ~tree in
-        stat.traversals <- stat.traversals + 1;
-        stat.exit_taken.(!taken) <- stat.exit_taken.(!taken) + 1;
-        List.iter
-          (fun (arc : Memdep.t) ->
-            let si = Tree.insn_index tree arc.src
-            and di = Tree.insn_index tree arc.dst in
-            if active_buf.(si) && active_buf.(di) then begin
-              let a = Profile.arc_stat stat ~src:arc.src ~dst:arc.dst in
-              a.both_active <- a.both_active + 1;
-              if addr_buf.(si) = addr_buf.(di) then a.aliased <- a.aliased + 1
-            end)
-          tree.arcs);
-    (* SpD run-time dynamics: attribute the traversal of each watched
-       region to its alias or no-alias version via the predicate
-       register (single-assignment within the tree, so reading it after
-       instruction evaluation is exact), and count squashed guarded
-       stores.  Must run before the scratch reset below clears
-       [active_buf]. *)
-    (match spd with
-    | None -> ()
-    | Some w -> (
-        match Profile.Spd.find w ~func:!fi.func.fname ~tree_id:tree.id with
-        | None -> ()
-        | Some tw ->
-            tw.traversals <- tw.traversals + 1;
-            List.iter
-              (fun (r : Profile.Spd.region) ->
-                if Value.is_true rf.(r.predicate) then
-                  r.alias_commits <- r.alias_commits + 1
-                else r.noalias_commits <- r.noalias_commits + 1)
-              tw.watched;
-            Array.iteri
-              (fun pos (insn : Insn.t) ->
-                if
-                  Insn.is_store insn && insn.guard <> None
-                  && not active_buf.(pos)
-                then tw.squashed <- tw.squashed + 1)
-              tree.insns));
-    (* timing *)
-    (match timing with
-    | None -> ()
-    | Some tbl ->
-        let tt = Timing.find tbl ~func:!fi.func.fname ~tree_id:tree.id in
-        let t = ref tt.exit_completion.(!taken) in
-        Array.iteri
-          (fun pos (insn : Insn.t) ->
-            if Insn.is_store insn && active_buf.(pos) then
-              t := max !t tt.insn_completion.(pos))
-          tree.insns;
-        cycles := !cycles + !t;
-        (* attribute the traversal's cost to its tree, so per-region
-           cycle accounting sums exactly to the run total *)
-        match profile with
-        | None -> ()
-        | Some p ->
-            let stat = Profile.tree_stat p ~func:!fi.func.fname ~tree in
-            stat.cycles <- stat.cycles + !t);
-    (match traversal_cost with
-    | None -> ()
-    | Some cost ->
-        cycles :=
-          !cycles
-          + cost ~func:!fi.func.fname ~tree ~addrs:addr_buf
-              ~active:active_buf ~taken:!taken);
-    (* reset scratch *)
-    Array.iteri
-      (fun pos (insn : Insn.t) ->
-        if Insn.is_mem insn then begin
-          addr_buf.(pos) <- -1;
-          active_buf.(pos) <- false
-        end)
-      tree.insns;
-    (* transition *)
+  (* per-tree lazily resolved bookkeeping handles *)
+  let pstat (ct : ctree) p =
+    match ct.pstat with
+    | Some s -> s
+    | None ->
+        let s = Profile.tree_stat p ~func:!fi.func.fname ~tree:ct.tree in
+        ct.pstat <- Some s;
+        s
+  in
+  let watch (ct : ctree) w =
+    if not ct.watch_resolved then begin
+      ct.watch <-
+        Profile.Spd.find w ~func:!fi.func.fname ~tree_id:ct.tree.id;
+      ct.watch_resolved <- true
+    end;
+    ct.watch
+  in
+  let ttime (ct : ctree) tbl =
+    match ct.ttime with
+    | Some tt -> tt
+    | None ->
+        let tt = Timing.find tbl ~func:!fi.func.fname ~tree_id:ct.tree.id in
+        ct.ttime <- Some tt;
+        tt
+  in
+  let attribute_regions rf (tw : Profile.Spd.tree_watch) =
+    List.iter
+      (fun (r : Profile.Spd.region) ->
+        if Value.is_true rf.(r.predicate) then
+          r.alias_commits <- r.alias_commits + 1
+        else r.noalias_commits <- r.noalias_commits + 1)
+      tw.watched
+  in
+  (* the historical parallel-copy and transition code, used by the XGen
+     fallback for exits whose shape the compiler does not specialize *)
+  let generic_transition (tree : Tree.t) rf taken =
     let copy_into target_params args =
       let values = List.map (fun r -> rf.(r)) args in
       List.iter2
@@ -354,7 +627,7 @@ let run ?timing ?(traversal_cost : traversal_cost option)
         (List.filteri (fun i _ -> i < List.length values) target_params)
         values
     in
-    match tree.exits.(!taken).kind with
+    match tree.exits.(taken).Tree.kind with
     | Tree.Jump { target; args } ->
         let tgt =
           match !fi.by_id.(target) with
@@ -363,7 +636,8 @@ let run ?timing ?(traversal_cost : traversal_cost option)
         in
         copy_into tgt.params args;
         tree_id := target
-    | Tree.Call { callee = "print_int"; call_args; return_to; cont_args; _ } ->
+    | Tree.Call { callee = "print_int"; call_args; return_to; cont_args; _ }
+      ->
         output := Value.Int (Value.to_int rf.(List.hd call_args)) :: !output;
         let tgt = Option.get !fi.by_id.(return_to) in
         copy_into tgt.params cont_args;
@@ -393,6 +667,7 @@ let run ?timing ?(traversal_cost : traversal_cost option)
         if List.length !stack > 100_000 then
           failc (Call_depth_exceeded 100_000);
         fi := callee_fi;
+        cts := Hashtbl.find cts_of callee;
         regs := Array.make callee_fi.nregs Value.zero;
         List.iter2
           (fun p v -> !regs.(p) <- v)
@@ -402,9 +677,7 @@ let run ?timing ?(traversal_cost : traversal_cost option)
         if !sp <= globals_end then failc Stack_overflow;
         tree_id := callee_fi.func.entry
     | Tree.Return { value } -> (
-        let v =
-          match value with Some r -> rf.(r) | None -> Value.zero
-        in
+        let v = match value with Some r -> rf.(r) | None -> Value.zero in
         match !stack with
         | [] -> finished := Some v
         | frame :: rest ->
@@ -413,13 +686,331 @@ let run ?timing ?(traversal_cost : traversal_cost option)
             fp := frame.saved_fp;
             sp := frame.saved_sp;
             fi := frame.saved_fi;
+            cts := Hashtbl.find cts_of frame.saved_fi.func.fname;
             (match frame.ret_reg with
             | Some r -> !regs.(r) <- v
             | None -> ());
             tree_id := frame.resume)
+  in
+  (* staged parallel copy: read every source, then write every target *)
+  let do_copy rf dsts srcs scratch =
+    let n = Array.length srcs in
+    for i = 0 to n - 1 do
+      scratch.(i) <- rf.(srcs.(i))
+    done;
+    for i = 0 to n - 1 do
+      rf.(dsts.(i)) <- scratch.(i)
+    done
+  in
+  while !finished = None do
+    incr traversals;
+    if !traversals > fuel then failc (Fuel_exhausted fuel);
+    (match deadline_abs with
+    | Some dl when !traversals land 0x3fff = 0 && Unix.gettimeofday () > dl
+      ->
+        failc (Deadline_exceeded (Option.get deadline))
+    | _ -> ());
+    let ct =
+      match !cts.(!tree_id) with
+      | Some ct -> ct
+      | None -> failc (No_such_tree !tree_id)
+    in
+    let rf = !regs in
+    (* evaluate instructions in program order *)
+    let gmask = ref 0 in
+    let code = ct.code in
+    for i = 0 to Array.length code - 1 do
+      match Array.unsafe_get code i with
+      | CIbin { op; dst; a; b } -> rf.(dst) <- Eval.eval_ibin op rf.(a) rf.(b)
+      | CIcmp { op; dst; a; b } -> rf.(dst) <- Eval.eval_icmp op rf.(a) rf.(b)
+      | CFbin { op; dst; a; b } -> rf.(dst) <- Eval.eval_fbin op rf.(a) rf.(b)
+      | CFcmp { op; dst; a; b } -> rf.(dst) <- Eval.eval_fcmp op rf.(a) rf.(b)
+      | CLoad { pos; addr; dst } ->
+          let a = Value.to_int rf.(addr) in
+          addr_buf.(pos) <- a;
+          active_buf.(pos) <- true;
+          rf.(dst) <- load a
+      | CStore { pos; addr; src; guard; gidx } ->
+          let a = Value.to_int rf.(addr) in
+          addr_buf.(pos) <- a;
+          let active = guard_ok rf guard in
+          active_buf.(pos) <- active;
+          if active then begin
+            if gidx >= 0 then gmask := !gmask lor (1 lsl gidx);
+            store a rf.(src)
+          end
+      | CConst { dst; v } -> rf.(dst) <- v
+      | CMov { dst; a } -> rf.(dst) <- rf.(a)
+      | CSelect { dst; p; a; b } ->
+          rf.(dst) <- (if Value.is_true rf.(p) then rf.(a) else rf.(b))
+      | CNot { dst; a } -> rf.(dst) <- Value.of_bool (not (Value.is_true rf.(a)))
+      | CIneg { dst; a } -> rf.(dst) <- Value.Int (-Value.to_int rf.(a))
+      | CFneg { dst; a } -> rf.(dst) <- Value.Float (-.Value.to_float rf.(a))
+      | CItof { dst; a } -> rf.(dst) <- Value.Float (Value.to_float rf.(a))
+      | CFtoi { dst; a } -> rf.(dst) <- Value.Int (Value.to_int rf.(a))
+      | CAddr_frame { dst; off } -> rf.(dst) <- Value.Int (!fp + off)
+      | CAddr_global g ->
+          if g.cached < 0 then g.cached <- global_addr g.name;
+          rf.(g.dst) <- Value.Int g.cached
+      | CIdiv { op; pos; dst; a; b } -> (
+          match Eval.eval_ibin op rf.(a) rf.(b) with
+          | v -> rf.(dst) <- v
+          | exception Eval.Runtime_error msg ->
+              failc
+                ~op:(Fmt.str "%a" Opcode.pp ct.tree.insns.(pos).Insn.op)
+                (Eval_error msg))
+      | CGen { pos } -> (
+          let insn = ct.tree.insns.(pos) in
+          let guard_holds (g : Insn.guard option) =
+            match g with
+            | None -> true
+            | Some { greg; positive } ->
+                let v = Value.is_true rf.(greg) in
+                if positive then v else not v
+          in
+          match insn.op with
+          | Opcode.Load ->
+              let a = Value.to_int rf.(Insn.addr insn) in
+              addr_buf.(pos) <- a;
+              active_buf.(pos) <- true;
+              rf.(Option.get insn.dst) <- load a
+          | Opcode.Store ->
+              let a = Value.to_int rf.(Insn.addr insn) in
+              addr_buf.(pos) <- a;
+              let active = guard_holds insn.guard in
+              active_buf.(pos) <- active;
+              if active then store a rf.(Insn.store_value insn)
+          | Opcode.Addrof (Opcode.Global g) ->
+              rf.(Option.get insn.dst) <- Value.Int (global_addr g)
+          | Opcode.Addrof (Opcode.Frame off) ->
+              rf.(Option.get insn.dst) <- Value.Int (!fp + off)
+          | _ -> (
+              let srcs = List.map (fun r -> rf.(r)) insn.srcs in
+              match Eval.eval_pure insn.op srcs with
+              | v -> rf.(Option.get insn.dst) <- v
+              | exception Eval.Runtime_error msg ->
+                  failc
+                    ~op:(Fmt.str "%a" Spd_ir.Opcode.pp insn.op)
+                    (Eval_error msg)))
+    done;
+    (* choose the taken exit *)
+    let n_exits = Array.length ct.xguards in
+    let taken = ref (n_exits - 1) in
+    (try
+       for k = 0 to n_exits - 1 do
+         if guard_ok rf ct.xguards.(k) then begin
+           taken := k;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* per-traversal bookkeeping: replay a cached summary when this
+       (exit, guard outcomes) combination has been walked before *)
+    let key =
+      if Replay.cacheable ct.replay then
+        Replay.key ~taken:!taken ~gmask:!gmask
+          ~n_guarded_stores:ct.n_gstores
+      else 0
+    in
+    (match if replay then Replay.find ct.replay key else None with
+    | Some s ->
+        incr replay_hits;
+        (match profile with
+        | None -> ()
+        | Some p ->
+            let stat = pstat ct p in
+            stat.traversals <- stat.traversals + 1;
+            stat.exit_taken.(!taken) <- stat.exit_taken.(!taken) + 1;
+            Array.iter
+              (fun (aa : Replay.active_arc) ->
+                aa.stat.both_active <- aa.stat.both_active + 1;
+                if addr_buf.(aa.spos) = addr_buf.(aa.dpos) then
+                  aa.stat.aliased <- aa.stat.aliased + 1)
+              s.active_arcs);
+        (match spd with
+        | None -> ()
+        | Some w -> (
+            match watch ct w with
+            | None -> ()
+            | Some tw ->
+                tw.traversals <- tw.traversals + 1;
+                attribute_regions rf tw;
+                tw.squashed <- tw.squashed + s.squashed));
+        (match timing with
+        | None -> ()
+        | Some _ -> (
+            cycles := !cycles + s.cost;
+            match profile with
+            | None -> ()
+            | Some p ->
+                let stat = pstat ct p in
+                stat.cycles <- stat.cycles + s.cost))
+    | None ->
+        incr replay_misses;
+        let cache = replay && Replay.cacheable ct.replay in
+        (* profile *)
+        let actives = ref [] in
+        (match profile with
+        | None -> ()
+        | Some p ->
+            let stat = pstat ct p in
+            stat.traversals <- stat.traversals + 1;
+            stat.exit_taken.(!taken) <- stat.exit_taken.(!taken) + 1;
+            Array.iteri
+              (fun i (ca : carc) ->
+                if active_buf.(ca.spos) && active_buf.(ca.dpos) then begin
+                  let a =
+                    match ct.parc.(i) with
+                    | Some a -> a
+                    | None ->
+                        let a =
+                          Profile.arc_stat stat ~src:ca.arc.src
+                            ~dst:ca.arc.dst
+                        in
+                        ct.parc.(i) <- Some a;
+                        a
+                  in
+                  a.both_active <- a.both_active + 1;
+                  if addr_buf.(ca.spos) = addr_buf.(ca.dpos) then
+                    a.aliased <- a.aliased + 1;
+                  if cache then
+                    actives :=
+                      { Replay.stat = a; spos = ca.spos; dpos = ca.dpos }
+                      :: !actives
+                end)
+              ct.carcs);
+        (* SpD run-time dynamics: attribute the traversal of each watched
+           region to its alias or no-alias version via the predicate
+           register (single-assignment within the tree, so reading it
+           after instruction evaluation is exact), and count squashed
+           guarded stores. *)
+        let squashed = ref 0 in
+        Array.iter
+          (fun pos -> if not active_buf.(pos) then incr squashed)
+          ct.gstore_pos;
+        let squashed = !squashed in
+        (match spd with
+        | None -> ()
+        | Some w -> (
+            match watch ct w with
+            | None -> ()
+            | Some tw ->
+                tw.traversals <- tw.traversals + 1;
+                attribute_regions rf tw;
+                tw.squashed <- tw.squashed + squashed));
+        (* timing *)
+        let cost = ref 0 in
+        (match timing with
+        | None -> ()
+        | Some tbl ->
+            let tt = ttime ct tbl in
+            let t = ref tt.exit_completion.(!taken) in
+            Array.iter
+              (fun pos ->
+                if active_buf.(pos) then
+                  t := max !t tt.insn_completion.(pos))
+              ct.store_pos;
+            cost := !t;
+            cycles := !cycles + !t;
+            (* attribute the traversal's cost to its tree, so per-region
+               cycle accounting sums exactly to the run total *)
+            match profile with
+            | None -> ()
+            | Some p ->
+                let stat = pstat ct p in
+                stat.cycles <- stat.cycles + !t);
+        if cache then
+          Replay.add ct.replay key
+            {
+              Replay.cost = !cost;
+              squashed;
+              active_arcs = Array.of_list (List.rev !actives);
+            });
+    (match traversal_cost with
+    | None -> ()
+    | Some cost ->
+        cycles :=
+          !cycles
+          + cost ~func:!fi.func.fname ~tree:ct.tree ~addrs:addr_buf
+              ~active:active_buf ~taken:!taken;
+        (* the callback contract promises -1/false outside this tree's
+           memory ops, so restore the buffers to their pristine state *)
+        Array.iter
+          (fun pos ->
+            addr_buf.(pos) <- -1;
+            active_buf.(pos) <- false)
+          ct.mem_pos);
+    (* transition *)
+    match ct.cexits.(!taken) with
+    | XJump { target; dsts; srcs; scratch } ->
+        do_copy rf dsts srcs scratch;
+        tree_id := target
+    | XPrint { as_float; arg; return_to; dsts; srcs; scratch } ->
+        output :=
+          (if as_float then Value.Float (Value.to_float rf.(arg))
+           else Value.Int (Value.to_int rf.(arg)))
+          :: !output;
+        do_copy rf dsts srcs scratch;
+        tree_id := return_to
+    | XCall { callee; call_srcs; ret; return_to; dsts; srcs; scratch } ->
+        do_copy rf dsts srcs scratch;
+        let callee_fi = finfo callee in
+        stack :=
+          {
+            saved_regs = rf;
+            saved_fp = !fp;
+            saved_sp = !sp;
+            saved_fi = !fi;
+            ret_reg = (if ret < 0 then None else Some ret);
+            resume = return_to;
+          }
+          :: !stack;
+        if List.length !stack > 100_000 then
+          failc (Call_depth_exceeded 100_000);
+        let newregs = Array.make callee_fi.nregs Value.zero in
+        (let rec fill ps i =
+           match ps with
+           | [] ->
+               if i <> Array.length call_srcs then invalid_arg "List.iter2"
+           | p :: tl ->
+               if i >= Array.length call_srcs then invalid_arg "List.iter2"
+               else begin
+                 newregs.(p) <- rf.(call_srcs.(i));
+                 fill tl (i + 1)
+               end
+         in
+         fill callee_fi.func.fparams 0);
+        fi := callee_fi;
+        cts := Hashtbl.find cts_of callee;
+        regs := newregs;
+        fp := !sp - callee_fi.func.frame_words;
+        sp := !fp;
+        if !sp <= globals_end then failc Stack_overflow;
+        tree_id := callee_fi.func.entry
+    | XRet { value } -> (
+        let v = if value < 0 then Value.zero else rf.(value) in
+        match !stack with
+        | [] -> finished := Some v
+        | frame :: rest ->
+            stack := rest;
+            regs := frame.saved_regs;
+            fp := frame.saved_fp;
+            sp := frame.saved_sp;
+            fi := frame.saved_fi;
+            cts := Hashtbl.find cts_of frame.saved_fi.func.fname;
+            (match frame.ret_reg with
+            | Some r -> !regs.(r) <- v
+            | None -> ());
+            tree_id := frame.resume)
+    | XGen -> generic_transition ct.tree rf !taken
   done;
   Spd_telemetry.Metrics.incr (Lazy.force m_runs);
   Spd_telemetry.Metrics.incr ~by:!traversals (Lazy.force m_traversals);
+  if !replay_hits > 0 then
+    Spd_telemetry.Metrics.incr ~by:!replay_hits (Lazy.force m_replay_hits);
+  if !replay_misses > 0 then
+    Spd_telemetry.Metrics.incr ~by:!replay_misses
+      (Lazy.force m_replay_misses);
   {
     ret = Option.get !finished;
     output = List.rev !output;

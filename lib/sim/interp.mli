@@ -96,14 +96,23 @@ type traversal_cost =
     every few thousand traversals; exceeding it raises
     [Sim_error (Deadline_exceeded d, _)].  [spd] registers watches on
     SpD-transformed regions; their alias/no-alias commit and squash
-    counters are filled in as the program runs. *)
+    counters are filled in as the program runs.
+
+    [replay] (default true) enables the per-tree {!Replay} cache:
+    traversals repeating an already-seen (taken exit, guarded-store
+    commit outcome) combination replay the cached cycle charge and
+    committed-arc summary instead of re-walking the tree.  Results are
+    bit-identical either way — alias address compares always run against
+    live addresses, and any guard difference falls back to the full
+    walk — so [~replay:false] exists only for the differential tests. *)
 val run :
   ?timing:Timing.t ->
   ?traversal_cost:traversal_cost ->
   ?profile:Profile.t ->
   ?spd:Profile.Spd.t ->
   ?mem_words:int ->
-  ?fuel:int -> ?deadline:float -> Spd_ir.Prog.t -> result
+  ?fuel:int ->
+  ?deadline:float -> ?replay:bool -> Spd_ir.Prog.t -> result
 
 (** Run and return just the observable behaviour (return value and output),
     used for semantic-equivalence checks between pipelines. *)

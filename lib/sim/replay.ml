@@ -1,0 +1,75 @@
+(** Exact-replay memoization of per-traversal bookkeeping.
+
+    A traversal's {e bookkeeping} — its cycle charge, which memory
+    dependence arcs had both endpoints committed, and how many guarded
+    stores were squashed — is a pure function of the tree, the exit it
+    took and the set of guarded stores whose guards held.  The
+    interpreter therefore keys a per-tree cache on
+    [(taken exit, guarded-store commit mask)] and, on a hit, replays the
+    cached summary instead of re-walking the tree's instructions.
+
+    Whenever a guard outcome differs — in particular when an
+    SpD-transformed region's alias predicate flips, changing which
+    version's guarded stores commit — the key differs and the traversal
+    falls back to full interpretation, so every [Profile] and
+    [Profile.Spd] counter stays exact.  Concrete memory addresses are
+    {e not} part of the key: alias hits ([Profile.arc_stat.aliased]) are
+    recounted on every traversal from the live address buffer, over the
+    summary's committed-arc list.
+
+    The cache is private to one interpreter run (timing tables, profiles
+    and fault configuration are fixed for a run, so a summary can never
+    leak across configurations), and entry count is capped — pathological
+    trees with many independent guards degrade to full interpretation
+    rather than unbounded memory. *)
+
+type active_arc = {
+  stat : Profile.arc_stat;  (** the arc's profile counters *)
+  spos : int;  (** source position in the tree, for address compares *)
+  dpos : int;
+}
+
+type summary = {
+  cost : int;
+      (** the traversal's cycle charge under the run's timing table;
+          0 when the run has no timing table *)
+  squashed : int;  (** guarded stores whose guard came out false *)
+  active_arcs : active_arc array;
+      (** memory dependence arcs with both endpoints committed; empty
+          when the run collects no profile *)
+}
+
+type t = {
+  cacheable : bool;
+      (** false when the tree has too many guarded stores to pack the
+          commit mask into an int key — every traversal then takes the
+          cold path *)
+  table : (int, summary) Hashtbl.t;
+  max_entries : int;
+}
+
+(** Guarded stores representable in the packed key, leaving room for the
+    taken-exit index in the upper bits of a 63-bit int. *)
+let max_guarded_stores = 40
+
+let default_max_entries = 1024
+
+let create ?(max_entries = default_max_entries) ~n_guarded_stores () =
+  let cacheable = n_guarded_stores <= max_guarded_stores in
+  {
+    cacheable;
+    table = Hashtbl.create (if cacheable then 16 else 1);
+    max_entries;
+  }
+
+let cacheable t = t.cacheable
+
+(** Pack a traversal outcome into a cache key.  Only meaningful when
+    [cacheable]. *)
+let key ~taken ~gmask ~n_guarded_stores = (taken lsl n_guarded_stores) lor gmask
+
+let find t k = if t.cacheable then Hashtbl.find_opt t.table k else None
+
+let add t k summary =
+  if t.cacheable && Hashtbl.length t.table < t.max_entries then
+    Hashtbl.add t.table k summary

@@ -1,0 +1,44 @@
+(** Exact-replay memoization of per-traversal bookkeeping.
+
+    Per-tree cache keyed on [(taken exit, guarded-store commit mask)]:
+    on a hit the interpreter replays the cached cycle charge, squash
+    count and committed-arc list instead of re-walking the tree's
+    instructions.  Any guard outcome difference — e.g. an SpD alias
+    predicate flipping — changes the key, forcing full interpretation,
+    so profile and SpD counters stay exact.  Alias hits are recounted
+    from live addresses on every traversal; they are never cached.
+    Caches are private to one interpreter run and capped in size. *)
+
+type active_arc = {
+  stat : Profile.arc_stat;  (** the arc's profile counters *)
+  spos : int;  (** source position in the tree, for address compares *)
+  dpos : int;
+}
+
+type summary = {
+  cost : int;  (** cycle charge; 0 when the run has no timing table *)
+  squashed : int;  (** guarded stores whose guard came out false *)
+  active_arcs : active_arc array;
+      (** arcs with both endpoints committed; empty without a profile *)
+}
+
+type t
+
+(** Guarded stores representable in the packed key (40): trees beyond
+    this are never cached. *)
+val max_guarded_stores : int
+
+val default_max_entries : int
+
+val create : ?max_entries:int -> n_guarded_stores:int -> unit -> t
+
+(** False when the tree has more than {!max_guarded_stores} guarded
+    stores; every lookup then misses and no summary is stored. *)
+val cacheable : t -> bool
+
+(** Pack a traversal outcome into a cache key.  Only meaningful when
+    {!cacheable} holds. *)
+val key : taken:int -> gmask:int -> n_guarded_stores:int -> int
+
+val find : t -> int -> summary option
+val add : t -> int -> summary -> unit

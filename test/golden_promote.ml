@@ -1,0 +1,34 @@
+(** Regenerate the golden-schedule corpus ([make golden-promote]).
+
+    Renders every (workload, width) document with the same
+    {!Golden_render} the test suite diffs against, and writes the files
+    into the directory named on the command line (default
+    [test/golden]).  Run it after an {e intentional} scheduler or DDG
+    change, eyeball the git diff of the grids, and commit. *)
+
+let () =
+  let dir =
+    match Array.to_list Sys.argv with
+    | [ _ ] -> Filename.concat "test" "golden"
+    | [ _; dir ] -> dir
+    | _ ->
+        prerr_endline "usage: golden_promote [DIR]";
+        exit 2
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun workload ->
+      List.iter
+        (fun width ->
+          let path =
+            Filename.concat dir (Golden_render.file_name ~workload ~width)
+          in
+          let doc = Golden_render.render ~workload ~width in
+          let oc = open_out_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc doc);
+          Printf.printf "golden_promote: wrote %s (%d bytes)\n%!" path
+            (String.length doc))
+        Golden_render.widths)
+    Spd_workloads.Registry.names

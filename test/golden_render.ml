@@ -1,0 +1,79 @@
+(** Shared renderer for the golden-schedule corpus.
+
+    One text document per (workload, width): every tree of the SPEC
+    pipeline's program rendered as a cycle-by-FU occupancy grid.  The
+    test suite ([test_golden]) diffs fresh renderings against the files
+    committed under [test/golden/]; [make golden-promote] regenerates
+    the files with the same renderer, so an intentional scheduler change
+    is a one-command re-bless while an accidental one fails [dune
+    runtest] with a readable grid diff.
+
+    The rendering must stay byte-deterministic: trees in program order,
+    fixed-width columns sized from the grid's own labels, no timestamps
+    or floats. *)
+
+module Pipeline = Spd_harness.Pipeline
+module Schedule = Spd_machine.Schedule
+module Descr = Spd_machine.Descr
+
+(** The corpus parameters: every paper workload, at a narrow and the
+    paper's 5-FU width, 2-cycle memory. *)
+let widths = [ 2; 5 ]
+
+let mem_latency = 2
+let file_name ~workload ~width = Printf.sprintf "%s.w%d.txt" workload width
+
+let render_tree buf ~func (s : Schedule.t) =
+  let tree = s.Schedule.ddg.Spd_analysis.Ddg.tree in
+  Printf.bprintf buf "== %s / tree %d (%s): length %d, span %d\n" func
+    tree.Spd_ir.Tree.id tree.Spd_ir.Tree.name s.Schedule.length
+    s.Schedule.span;
+  let grid = Schedule.occupancy s in
+  let n_fus = Schedule.n_fus s in
+  let label = function
+    | None -> "."
+    | Some node -> Schedule.node_label s node
+  in
+  (* column width: widest label in this grid, so the file is stable
+     under unrelated edits and readable as-is *)
+  let w =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left
+          (fun acc cell -> max acc (String.length (label cell)))
+          acc row)
+      1 grid
+  in
+  Array.iteri
+    (fun cycle row ->
+      let line = Buffer.create 80 in
+      Printf.bprintf line "%4d |" cycle;
+      for fu = 0 to n_fus - 1 do
+        let cell = if fu < Array.length row then row.(fu) else None in
+        Printf.bprintf line " %-*s" w (label cell)
+      done;
+      (* trailing spaces would be invisible in diffs; trim them *)
+      let s = Buffer.contents line in
+      let n = String.length s in
+      let rec last i = if i > 0 && s.[i - 1] = ' ' then last (i - 1) else i in
+      Buffer.add_string buf (String.sub s 0 (last n));
+      Buffer.add_char buf '\n')
+    grid
+
+let render ~workload ~width : string =
+  let w = Spd_workloads.Registry.by_name workload in
+  let prepared =
+    Pipeline.prepare
+      ~config:(Pipeline.Config.v ~check:false ~mem_latency ())
+      Pipeline.Spec
+      (Spd_lang.Lower.compile w.Spd_workloads.Workload.source)
+  in
+  let descr = { Descr.width = Descr.Fus width; mem_latency } in
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf
+    "# golden schedule: %s, %d FUs, mem latency %d, SPEC pipeline\n"
+    workload width mem_latency;
+  Spd_ir.Prog.iter_trees
+    (fun func tree -> render_tree buf ~func (Schedule.of_tree ~descr tree))
+    prepared.Pipeline.prog;
+  Buffer.contents buf

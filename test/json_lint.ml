@@ -1,9 +1,9 @@
 (** Validate that each file named on the command line is a complete
     JSON document, using the repository's own parser — the same one the
     test suite uses on trace and report output.  Documents carrying a
-    known [schema] key ([spd-explain/1], [spd-bench-diff/1]) are
-    additionally checked structurally.  Exits nonzero on the first
-    malformed file (see [make check]). *)
+    known [schema] key ([spd-explain/1], [spd-bench-diff/1],
+    [spd-micro/1]) are additionally checked structurally.  Exits
+    nonzero on the first malformed file (see [make check]). *)
 
 module Json = Spd_telemetry.Json
 
@@ -93,10 +93,39 @@ let check_bench_diff doc =
       | _ -> bad "regression/improvement are not booleans")
     changes
 
+let check_micro doc =
+  let (_ : int) = require_int "mem_latency" doc in
+  let (_ : int) = require_int "width" doc in
+  let (_ : float) = require_number "min_time" doc in
+  let tables = require_list "tables" doc in
+  if tables = [] then bad "empty \"tables\" list";
+  List.iter check_table tables;
+  let workloads = require_list "workloads" doc in
+  if workloads = [] then bad "empty \"workloads\" list";
+  List.iter
+    (fun w ->
+      let name = require_string "name" w in
+      if require_int "cycles" w < 0 then bad "%s: negative cycles" name;
+      if require_int "traversals" w <= 0 then bad "%s: no traversals" name;
+      List.iter
+        (fun stage ->
+          let s = require_member stage w in
+          let (_ : string) = require_string "units" s in
+          let (_ : int) = require_int "units_per_iter" s in
+          if require_int "iters" s <= 0 then
+            bad "%s.%s: no iterations" name stage;
+          if require_number "secs" s < 0.0 then
+            bad "%s.%s: negative wall clock" name stage;
+          if require_number "per_sec" s <= 0.0 then
+            bad "%s.%s: non-positive throughput" name stage)
+        [ "compile"; "schedule"; "simulate"; "e2e" ])
+    workloads
+
 let check_schema doc =
   match Option.bind (Json.member "schema" doc) Json.to_string_opt with
   | Some "spd-explain/1" -> check_explain doc; Some "spd-explain/1"
   | Some "spd-bench-diff/1" -> check_bench_diff doc; Some "spd-bench-diff/1"
+  | Some "spd-micro/1" -> check_micro doc; Some "spd-micro/1"
   | _ -> None
 
 let () =

@@ -13,4 +13,5 @@ let () =
       ("workloads", Test_workloads.tests);
       ("telemetry", Test_telemetry.tests);
       ("explain", Test_explain.tests);
+      ("golden", Test_golden.tests);
     ]

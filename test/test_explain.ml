@@ -231,8 +231,9 @@ let test_grid_marks_spd_versions () =
 (* ------------------------------------------------------------------ *)
 (* Benchdiff *)
 
-(* a minimal spd-report/1 document with one table *)
-let report ~table_id rows =
+(* a minimal spd-report/1 document with one table; cells are raw JSON
+   values so the n/a ([null]) encoding is testable too *)
+let report_cells ~table_id rows =
   Json.to_string
     (Json.Obj
        [
@@ -258,8 +259,7 @@ let report ~table_id rows =
                                       Json.Obj
                                         [
                                           ("label", Json.String label);
-                                          ( "cells",
-                                            Json.List [ Json.Float v ] );
+                                          ("cells", Json.List [ v ]);
                                         ])
                                     rows) );
                            ];
@@ -267,6 +267,10 @@ let report ~table_id rows =
                  ];
              ] );
        ])
+
+let report ~table_id rows =
+  report_cells ~table_id
+    (List.map (fun (label, v) -> (label, Json.Float v)) rows)
 
 let diff_exn ?threshold ~table_id old_rows new_rows =
   match
@@ -322,6 +326,36 @@ let test_benchdiff_missing_value () =
       [ ("a", 100.0) ]
   in
   check_int "a vanished tracked value regresses" 1 d.Benchdiff.regressions
+
+let test_benchdiff_na_transitions () =
+  (* the Table CSV/JSON n/a encoding ([null] cells) must agree with the
+     tracker: a cell coming back to life is an improvement, a cell dying
+     is a regression, and n/a on both sides is no change at all *)
+  let diff old_cell new_cell =
+    match
+      Benchdiff.diff_strings
+        ~old_report:(report_cells ~table_id:"cycles.lat2" [ ("a", old_cell) ])
+        ~new_report:(report_cells ~table_id:"cycles.lat2" [ ("a", new_cell) ])
+        ()
+    with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "diff failed: %s" e
+  in
+  let d = diff Json.Null (Json.Float 100.0) in
+  check_int "n/a -> number is no regression" 0 d.Benchdiff.regressions;
+  check_int "n/a -> number improves" 1 d.Benchdiff.improvements;
+  (match d.Benchdiff.changes with
+  | [ c ] ->
+      check_bool "old side reported as n/a" true (c.Benchdiff.old_value = None);
+      check_bool "new side carries the number" true
+        (c.Benchdiff.new_value = Some 100.0)
+  | cs -> Alcotest.failf "expected one change, got %d" (List.length cs));
+  let d = diff (Json.Float 100.0) Json.Null in
+  check_int "number -> n/a regresses" 1 d.Benchdiff.regressions;
+  check_int "number -> n/a is no improvement" 0 d.Benchdiff.improvements;
+  let d = diff Json.Null Json.Null in
+  check_int "n/a -> n/a is no change" 0 (List.length d.Benchdiff.changes);
+  check_int "n/a -> n/a never regresses" 0 d.Benchdiff.regressions
 
 let test_benchdiff_rejects_garbage () =
   (match Benchdiff.diff_strings ~old_report:"{}" ~new_report:"{}" () with
@@ -422,6 +456,24 @@ let test_csv_round_trip () =
       | r -> Alcotest.failf "record %d has %d fields" i (List.length r))
     records
 
+let test_csv_na_cell () =
+  (* a failed grid cell must render as n/a in the CSV — identically to
+     the pretty grid — so a reader can tell it from an empty string, and
+     so `spd bench diff` sees the same encoding in both formats *)
+  let tbl =
+    Table.v ~id:"na" ~title:"unit" ~columns:[ "v" ]
+      [ Table.row "dead" [ Table.Na ]; Table.row "live" [ Table.Num 1.5 ] ]
+  in
+  match parse_csv (String.concat "\n" (Table.to_csv_lines tbl)) with
+  | [ [ _; "dead"; "v"; na ]; [ _; "live"; "v"; live ] ] ->
+      Alcotest.(check string) "Na encodes as n/a in CSV" "n/a" na;
+      Alcotest.(check string)
+        "CSV n/a matches the pretty rendering"
+        (Table.cell_text Table.Na) na;
+      Alcotest.(check string) "numbers keep full precision" "1.5" live
+  | records -> Alcotest.failf "unexpected CSV shape (%d records)"
+                 (List.length records)
+
 (* ------------------------------------------------------------------ *)
 (* Crash-safe tracing *)
 
@@ -460,9 +512,11 @@ let tests =
     case "benchdiff: polarity by table id" test_benchdiff_polarity;
     case "benchdiff: threshold" test_benchdiff_threshold;
     case "benchdiff: missing value regresses" test_benchdiff_missing_value;
+    case "benchdiff: n/a transitions" test_benchdiff_na_transitions;
     case "benchdiff: malformed reports rejected" test_benchdiff_rejects_garbage;
     case "benchdiff: relative change at zero base" test_pct_change_zero_base;
     case "faults: cycles-inflate" test_cycles_inflate_fault;
     case "table: CSV round-trips per RFC 4180" test_csv_round_trip;
+    case "table: CSV n/a encoding matches the grid" test_csv_na_cell;
     case "trace: capture survives a crash" test_trace_capture_on_raise;
   ]

@@ -1,6 +1,8 @@
 (** Machine model tests: description, list scheduler correctness
     (dependences and resources, checked on real and random programs),
-    timing construction. *)
+    the ready heap's deterministic total order, bit-identity of the
+    indexed DDG + heap scheduler with their preserved references,
+    critical-path tiling across widths, timing construction. *)
 
 open Util
 module Ir = Spd_ir
@@ -127,6 +129,209 @@ let prop_schedule_valid_random =
         (all_trees spec.prog))
 
 (* ------------------------------------------------------------------ *)
+(* Ready heap: deterministic total order *)
+
+(* pop a heap dry, returning the node sequence *)
+let drain h =
+  let rec go acc =
+    match M.Scheduler.Heap.pop h with
+    | None -> List.rev acc
+    | Some node -> go (node :: acc)
+  in
+  go []
+
+let prop_heap_pop_order =
+  QCheck.Test.make ~name:"heap pops (priority desc, node asc)" ~count:200
+    QCheck.(list (pair (int_bound 20) (int_bound 1000)))
+    (fun pairs ->
+      let h = M.Scheduler.Heap.create 4 in
+      List.iter (fun (prio, node) -> M.Scheduler.Heap.push h ~prio node) pairs;
+      (* the heap is a bag: popping must enumerate exactly the pushed
+         multiset, sorted by the deterministic total order *)
+      let expect =
+        List.sort
+          (fun (p1, n1) (p2, n2) ->
+            if p1 <> p2 then compare p2 p1 else compare n1 n2)
+          pairs
+        |> List.map snd
+      in
+      let got = drain h in
+      got = expect)
+
+let prop_heap_interleaved =
+  (* interleaved pushes and pops agree with a sorted-list model *)
+  QCheck.Test.make ~name:"heap agrees with model under interleaving"
+    ~count:200
+    QCheck.(list (option (pair (int_bound 10) (int_bound 100))))
+    (fun ops ->
+      let h = M.Scheduler.Heap.create 1 in
+      let model = ref [] in
+      let order (p1, n1) (p2, n2) =
+        if p1 <> p2 then compare p2 p1 else compare n1 n2
+      in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some (prio, node) ->
+              M.Scheduler.Heap.push h ~prio node;
+              model := List.merge order [ (prio, node) ] (List.sort order !model);
+              true
+          | None -> (
+              match (M.Scheduler.Heap.pop h, !model) with
+              | None, [] -> true
+              | Some node, (p, n) :: tl ->
+                  model := tl;
+                  ignore p;
+                  node = n
+              | _ -> false))
+        ops
+      && M.Scheduler.Heap.size h = List.length !model)
+
+let test_heap_deterministic_ties () =
+  (* equal priorities yield ascending node indices, whatever the push
+     order *)
+  let h = M.Scheduler.Heap.create 2 in
+  List.iter
+    (fun node -> M.Scheduler.Heap.push h ~prio:7 node)
+    [ 9; 3; 11; 1; 5 ];
+  M.Scheduler.Heap.push h ~prio:9 4;
+  (match M.Scheduler.Heap.peek h with
+  | Some (9, 4) -> ()
+  | _ -> Alcotest.fail "peek must see the highest-priority node");
+  let popped = drain h in
+  Alcotest.(check (list int)) "ties pop in node order" [ 4; 1; 3; 5; 9; 11 ]
+    popped
+
+(* ------------------------------------------------------------------ *)
+(* Rewritten hot paths vs their preserved references *)
+
+let ddg_equal (a : Ddg.t) (b : Ddg.t) =
+  a.Ddg.preds = b.Ddg.preds
+  && a.Ddg.succs = b.Ddg.succs
+  && a.Ddg.node_lat = b.Ddg.node_lat
+  && a.Ddg.n_insns = b.Ddg.n_insns
+  && a.Ddg.n_exits = b.Ddg.n_exits
+
+let schedule_equal (a : M.Scheduler.t) (b : M.Scheduler.t) =
+  a.M.Scheduler.issue = b.M.Scheduler.issue
+  && a.M.Scheduler.fu = b.M.Scheduler.fu
+  && a.M.Scheduler.length = b.M.Scheduler.length
+
+let prop_indexed_ddg_matches_reference =
+  QCheck.Test.make ~name:"indexed DDG = reference all-pairs DDG" ~count:15
+    Gen_prog.arbitrary_source (fun src ->
+      let spec =
+        Spd_harness.Pipeline.prepare
+          ~config:(Spd_harness.Pipeline.Config.v ~mem_latency:2 ())
+          Spd_harness.Pipeline.Spec (compile src)
+      in
+      List.for_all
+        (fun tree ->
+          List.for_all
+            (fun mem_latency ->
+              ddg_equal
+                (Ddg.build ~mem_latency tree)
+                (M.Scheduler.Reference.build_ddg ~mem_latency tree))
+            [ 2; 6 ])
+        (all_trees spec.prog))
+
+let prop_heap_schedule_matches_reference =
+  QCheck.Test.make ~name:"heap schedule = reference scan schedule" ~count:15
+    Gen_prog.arbitrary_source (fun src ->
+      let spec =
+        Spd_harness.Pipeline.prepare
+          ~config:(Spd_harness.Pipeline.Config.v ~mem_latency:2 ())
+          Spd_harness.Pipeline.Spec (compile src)
+      in
+      List.for_all
+        (fun tree ->
+          let g = Ddg.build ~mem_latency:2 tree in
+          List.for_all
+            (fun fus ->
+              schedule_equal (M.Scheduler.run ~fus g)
+                (M.Scheduler.Reference.run ~fus g))
+            [ 1; 2; 5 ])
+        (all_trees spec.prog))
+
+let test_heap_schedule_matches_reference_on_workloads () =
+  List.iter
+    (fun bench ->
+      let w = Spd_workloads.Registry.by_name bench in
+      let spec =
+        Spd_harness.Pipeline.prepare
+          ~config:(Spd_harness.Pipeline.Config.v ~mem_latency:2 ())
+          Spd_harness.Pipeline.Spec (compile w.source)
+      in
+      List.iter
+        (fun tree ->
+          if
+            not
+              (ddg_equal
+                 (Ddg.build ~mem_latency:2 tree)
+                 (M.Scheduler.Reference.build_ddg ~mem_latency:2 tree))
+          then
+            Alcotest.failf "%s %s: indexed DDG differs from reference" bench
+              tree.Tree.name;
+          let g = Ddg.build ~mem_latency:2 tree in
+          List.iter
+            (fun fus ->
+              if
+                not
+                  (schedule_equal (M.Scheduler.run ~fus g)
+                     (M.Scheduler.Reference.run ~fus g))
+              then
+                Alcotest.failf "%s %s: %d-wide schedule differs from reference"
+                  bench tree.Tree.name fus)
+            [ 1; 2; 5; 8 ])
+        (all_trees spec.prog))
+    [ "adi"; "espresso"; "tree" ]
+
+(* ------------------------------------------------------------------ *)
+(* Critical-path attribution across widths *)
+
+let test_critpath_tiles_across_widths () =
+  (* Critpath.steps must tile [0, span) exactly at every width, not only
+     the width spd explain uses *)
+  let w = Spd_workloads.Registry.by_name "quick" in
+  let spec =
+    Spd_harness.Pipeline.prepare
+      ~config:(Spd_harness.Pipeline.Config.v ~mem_latency:2 ())
+      Spd_harness.Pipeline.Spec (compile w.source)
+  in
+  List.iter
+    (fun tree ->
+      let g = Ddg.build ~mem_latency:2 tree in
+      List.iter
+        (fun width ->
+          let s = M.Schedule.of_ddg ~width g in
+          let cp = M.Critpath.analyze s in
+          let steps =
+            List.sort
+              (fun (a : M.Critpath.step) b -> compare a.lo b.lo)
+              cp.M.Critpath.steps
+          in
+          let last =
+            List.fold_left
+              (fun edge (st : M.Critpath.step) ->
+                check_int
+                  (Printf.sprintf "%s width step contiguous" tree.Tree.name)
+                  edge st.lo;
+                st.hi)
+              0 steps
+          in
+          check_int
+            (Printf.sprintf "%s: steps tile the makespan" tree.Tree.name)
+            cp.M.Critpath.span last;
+          check_int
+            (Printf.sprintf "%s: category totals sum to makespan"
+               tree.Tree.name)
+            cp.M.Critpath.span
+            (List.fold_left (fun acc (_, n) -> acc + n) 0
+               cp.M.Critpath.by_category))
+        [ M.Descr.Fus 1; M.Descr.Fus 3; M.Descr.Fus 8; M.Descr.Infinite ])
+    (all_trees spec.prog)
+
+(* ------------------------------------------------------------------ *)
 (* Timing builder *)
 
 let test_cycles_decrease_with_width () =
@@ -150,6 +355,15 @@ let tests =
     case "unlimited schedule = ASAP" test_schedule_matches_asap_when_unlimited;
     case "schedule length bounds" test_schedule_length_bounds;
     qcase prop_schedule_valid_random;
+    qcase prop_heap_pop_order;
+    qcase prop_heap_interleaved;
+    case "heap breaks ties deterministically" test_heap_deterministic_ties;
+    qcase prop_indexed_ddg_matches_reference;
+    qcase prop_heap_schedule_matches_reference;
+    case "heap schedules match reference on workloads"
+      test_heap_schedule_matches_reference_on_workloads;
+    case "critical path tiles the makespan at every width"
+      test_critpath_tiles_across_widths;
     case "cycles decrease with width" test_cycles_decrease_with_width;
   ]
 
