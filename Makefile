@@ -8,7 +8,7 @@ DUNE ?= dune
 SMOKE_DIR ?= /tmp
 
 .PHONY: all check test bench bench-json fuzz-smoke telemetry-smoke \
-	bench-diff-smoke perf-smoke golden-promote clean
+	bench-diff-smoke perf-smoke serve-smoke golden-promote clean
 
 all:
 	$(DUNE) build
@@ -67,6 +67,17 @@ perf-smoke:
 	  > $(SMOKE_DIR)/spd_micro.json
 	$(DUNE) exec test/json_lint.exe -- $(SMOKE_DIR)/spd_micro.json
 
+# Daemon smoke: start a real `spd serve`, check that a served report is
+# byte-identical to the CLI's JSON output and that a 100-request
+# duplicate burst records exactly one simulation, exercise `spd call`
+# and `shutdown`, then lint the saved spd-serve/1 documents.
+serve-smoke:
+	$(DUNE) exec test/serve_smoke.exe -- $(SMOKE_DIR)
+	$(DUNE) exec test/json_lint.exe -- \
+	  $(SMOKE_DIR)/spd_serve_ping.json $(SMOKE_DIR)/spd_serve_query.json \
+	  $(SMOKE_DIR)/spd_serve_run.json $(SMOKE_DIR)/spd_serve_stats.json \
+	  $(SMOKE_DIR)/spd_serve_shutdown.json
+
 # Regenerate the golden-schedule corpus under test/golden/ after an
 # intentional scheduler or DDG change; review the grid diff and commit.
 golden-promote:
@@ -80,6 +91,7 @@ check: all
 	$(MAKE) telemetry-smoke
 	$(MAKE) bench-diff-smoke
 	$(MAKE) perf-smoke
+	$(MAKE) serve-smoke
 
 bench:
 	$(DUNE) exec bench/main.exe -- all --timings

@@ -128,33 +128,14 @@ let usage () =
     (Artefact.names ());
   exit 1
 
-(* one-line diagnosis for a malformed flag value; no exception trace *)
+(* one-line diagnosis for a malformed flag value; no exception trace.
+   The parsers themselves live in Cliflags, shared with bin/spd. *)
 let hint fmt = Fmt.kstr (fun s -> Fmt.epr "main.exe: %s@." s; exit 1) fmt
 
-let int_flag flag n =
-  match int_of_string_opt n with
-  | Some v when v > 0 -> v
-  | _ -> hint "%s expects a positive integer, got %S" flag n
-
-let float_flag flag n =
-  match float_of_string_opt n with
-  | Some v when v > 0.0 -> v
-  | _ -> hint "%s expects a positive number of seconds, got %S" flag n
-
-let widths_flag s =
-  let parts = String.split_on_char ',' s in
-  match
-    List.map
-      (fun p ->
-        match int_of_string_opt (String.trim p) with
-        | Some v when v >= 1 -> v
-        | _ -> raise Exit)
-      parts
-  with
-  | ws -> ws
-  | exception Exit ->
-      hint "--widths expects a comma-separated list of widths >= 1 \
-            (e.g. 1,2,4,8), got %S" s
+let or_hint = function Ok v -> v | Error msg -> hint "%s" msg
+let int_flag flag n = or_hint (Spd_harness.Cliflags.pos_int ~flag n)
+let float_flag flag n = or_hint (Spd_harness.Cliflags.pos_float ~flag n)
+let widths_flag s = or_hint (Spd_harness.Cliflags.widths s)
 
 let () =
   let jobs = ref None in
@@ -198,39 +179,37 @@ let () =
   let failed =
     (* [capture] writes the trace file even when a grid cell raises *)
     Trace.capture !trace (fun () ->
-        let session =
-          Engine.Session.create ?jobs:!jobs ~disk_cache:!disk_cache
-            ?retries:!retries ?fuel:!fuel ?deadline:!deadline
-            ~faults:!faults ()
-        in
-        Spd_harness.Experiment.set_default_session session;
-        let render names =
-          Artefact.render !format ppf (Artefact.of_names names)
-        in
-        (match (List.rev !rest, !format) with
-        | ([] | [ "all" ]), Artefact.Pretty ->
-            render (Artefact.paper_set @ Artefact.extension_set);
-            micro ()
-        | ([] | [ "all" ]), _ ->
-            (* micro is interactive-only: its numbers are pure wall clock *)
-            render (Artefact.paper_set @ Artefact.extension_set)
-        | [ "micro" ], Artefact.Pretty -> micro ()
-        | [ "micro" ], _ -> hint "micro supports only --format pretty"
-        | [ "timings" ], Artefact.Pretty -> timings := true
-        | [ name ], _ -> (
-            match Artefact.find name with
-            | Some _ -> render [ name ]
-            | None ->
-                hint "unknown artefact %S (one of: all, micro, %s)" name
-                  (String.concat ", " (Artefact.names ())))
-        | _ -> usage ());
-        (match !format with
-        | Artefact.Pretty ->
-            if !timings then Report.timings ppf ();
-            Report.failure_appendix ppf ()
-        | _ -> ());
-        let failed = Spd_harness.Experiment.failures () <> [] in
-        Engine.Session.close session;
-        failed)
+        Spd_harness.Experiment.with_session
+          (Engine.Session.create ?jobs:!jobs ~disk_cache:!disk_cache
+             ?retries:!retries ?fuel:!fuel ?deadline:!deadline
+             ~faults:!faults ())
+          (fun session ->
+            let render names =
+              Artefact.render ~session !format ppf (Artefact.of_names names)
+            in
+            (match (List.rev !rest, !format) with
+            | ([] | [ "all" ]), Artefact.Pretty ->
+                render (Artefact.paper_set @ Artefact.extension_set);
+                micro ()
+            | ([] | [ "all" ]), _ ->
+                (* micro is interactive-only: its numbers are pure wall
+                   clock *)
+                render (Artefact.paper_set @ Artefact.extension_set)
+            | [ "micro" ], Artefact.Pretty -> micro ()
+            | [ "micro" ], _ -> hint "micro supports only --format pretty"
+            | [ "timings" ], Artefact.Pretty -> timings := true
+            | [ name ], _ -> (
+                match Artefact.find name with
+                | Some _ -> render [ name ]
+                | None ->
+                    hint "unknown artefact %S (one of: all, micro, %s)" name
+                      (String.concat ", " (Artefact.names ())))
+            | _ -> usage ());
+            (match !format with
+            | Artefact.Pretty ->
+                if !timings then Report.timings session ppf ();
+                Report.failure_appendix session ppf ()
+            | _ -> ());
+            Spd_harness.Experiment.failures session <> []))
   in
   if failed then exit 2

@@ -9,6 +9,8 @@
     spd explain WORKLOAD [--fn F] [--tree T]            occupancy grids + critical paths
     spd report  [ARTEFACT] [--jobs N] [--no-cache]      regenerate the paper's tables/figures
                 [--trace FILE] [--format pretty|json|csv]
+    spd serve   [--socket PATH | --tcp HOST:PORT]       experiment daemon (framed JSON-RPC)
+    spd call    METHOD [PARAMS] [--socket PATH]         one request against a running daemon
     spd list                                            list built-in benchmarks
     v}
 
@@ -133,6 +135,67 @@ let faults_arg =
            simulator budget) and $(b,cycles-inflate:PCT) (inflate \
            reported cycle counts — for exercising the regression \
            tracker).")
+
+(* budget/pool flags shared by [spd report] and [spd serve]; parsing
+   lives in Cliflags so bench/main rejects the same spellings with the
+   same wording *)
+
+let pos_int_conv flag =
+  Arg.conv
+    ( (fun s ->
+        Result.map_error
+          (fun e -> `Msg e)
+          (Spd_harness.Cliflags.pos_int ~flag s)),
+      Fmt.int )
+
+let pos_float_conv flag =
+  Arg.conv
+    ( (fun s ->
+        Result.map_error
+          (fun e -> `Msg e)
+          (Spd_harness.Cliflags.pos_float ~flag s)),
+      Fmt.float )
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some (pos_int_conv "--jobs")) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Size of the experiment engine's domain pool (default: the \
+           number of cores).  $(b,--jobs 1) is fully sequential and \
+           emits bit-identical numbers.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the content-addressed on-disk result cache \
+           ($(b,_spd_cache/)).")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt (some (pos_int_conv "--retries")) None
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Attempts per grid cell before a failure is recorded and the \
+           cell renders as n/a (default 1).")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some (pos_int_conv "--fuel")) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:"Simulator traversal budget per run (default 60M).")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some (pos_float_conv "--deadline")) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:"Per-cell wall-clock budget in seconds.")
 
 let trace_arg =
   Arg.(
@@ -496,32 +559,29 @@ let report_cmd =
       let failed =
         (* [capture] writes the trace file even when a cell raises *)
         Trace.capture trace (fun () ->
-            let session =
-              Spd_harness.Engine.Session.create ?jobs
-                ~disk_cache:(not no_cache) ?retries ?fuel ?deadline
-                ?faults:(Option.map Fun.id faults) ()
-            in
-            Spd_harness.Experiment.set_default_session session;
-            (match name with
-            | None ->
-                Artefact.render format Fmt.stdout
-                  (Artefact.of_names Artefact.paper_set)
-            | Some n -> (
-                match Artefact.find n with
-                | Some a -> Artefact.render format Fmt.stdout [ a ]
+            Spd_harness.Experiment.with_session
+              (Spd_harness.Engine.Session.create ?jobs
+                 ~disk_cache:(not no_cache) ?retries ?fuel ?deadline
+                 ?faults:(Option.map Fun.id faults) ())
+              (fun session ->
+                (match name with
                 | None ->
-                    Fmt.epr "unknown artefact %s (one of: %s)@." n
-                      (String.concat ", " (Artefact.names ()));
-                    exit 1));
-            (match format with
-            | Artefact.Pretty ->
-                if timings && name <> Some "timings" then
-                  Spd_harness.Report.timings Fmt.stdout ();
-                Spd_harness.Report.failure_appendix Fmt.stdout ()
-            | _ -> ());
-            let failed = Spd_harness.Experiment.failures () <> [] in
-            Spd_harness.Engine.Session.close session;
-            failed)
+                    Artefact.render ~session format Fmt.stdout
+                      (Artefact.of_names Artefact.paper_set)
+                | Some n -> (
+                    match Artefact.find n with
+                    | Some a -> Artefact.render ~session format Fmt.stdout [ a ]
+                    | None ->
+                        Fmt.epr "unknown artefact %s (one of: %s)@." n
+                          (String.concat ", " (Artefact.names ()));
+                        exit 1));
+                (match format with
+                | Artefact.Pretty ->
+                    if timings && name <> Some "timings" then
+                      Spd_harness.Report.timings session Fmt.stdout ();
+                    Spd_harness.Report.failure_appendix session Fmt.stdout ()
+                | _ -> ());
+                Spd_harness.Experiment.failures session <> []))
       in
       if failed then exit 2
     end
@@ -539,72 +599,19 @@ let report_cmd =
       & info [] ~docv:"ARTEFACT"
           ~doc:"Table or figure to regenerate (default: all).")
   in
-  let jobs_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "j"; "jobs" ] ~docv:"N"
-          ~doc:
-            "Size of the experiment engine's domain pool (default: the \
-             number of cores).  $(b,--jobs 1) is fully sequential and \
-             emits bit-identical numbers.")
-  in
-  let no_cache_arg =
-    Arg.(
-      value & flag
-      & info [ "no-cache" ]
-          ~doc:
-            "Disable the content-addressed on-disk result cache \
-             ($(b,_spd_cache/)).")
-  in
   let timings_arg =
     Arg.(
       value & flag
       & info [ "timings" ]
           ~doc:"Append the engine's per-stage wall-clock report.")
   in
-  let retries_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "retries" ] ~docv:"N"
-          ~doc:
-            "Attempts per grid cell before a failure is recorded and \
-             the cell renders as n/a (default 1).")
-  in
-  let fuel_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "fuel" ] ~docv:"N"
-          ~doc:"Simulator traversal budget per run (default 60M).")
-  in
-  let deadline_arg =
-    Arg.(
-      value
-      & opt (some float) None
-      & info [ "deadline" ] ~docv:"SECONDS"
-          ~doc:"Per-cell wall-clock budget in seconds.")
-  in
   let widths_conv =
-    let parse s =
-      let parts = String.split_on_char ',' s in
-      try
-        Ok
-          (List.map
-             (fun p ->
-               match int_of_string_opt (String.trim p) with
-               | Some v when v >= 1 -> v
-               | _ -> raise Exit)
-             parts)
-      with Exit ->
-        Error
-          (`Msg
-             (Printf.sprintf
-                "expected a comma-separated list of widths >= 1 (e.g. \
-                 1,2,4,8), got %S" s))
-    in
-    Arg.conv (parse, Fmt.(list ~sep:comma int))
+    Arg.conv
+      ( (fun s ->
+          Result.map_error
+            (fun e -> `Msg e)
+            (Spd_harness.Cliflags.widths s)),
+        Fmt.(list ~sep:comma int) )
   in
   let widths_arg =
     Arg.(
@@ -745,6 +752,135 @@ let graph_cmd =
       const run $ file_arg $ pipeline_arg $ mem_latency_arg $ func_arg
       $ tree_arg)
 
+(* ------------------------------------------------------------------ *)
+(* The daemon and its one-shot client *)
+
+let default_socket = "_spd_serve.sock"
+
+let resolve_addr ~socket ~tcp =
+  match tcp with
+  | None -> Spd_serve.Protocol.Unix_path socket
+  | Some spec -> (
+      match Spd_serve.Protocol.addr_of_string ("tcp:" ^ spec) with
+      | Ok a -> a
+      | Error msg ->
+          Fmt.epr "spd: %s@." msg;
+          exit 1)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string default_socket
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          (Printf.sprintf "Unix-domain socket path (default %s)."
+             default_socket))
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:"Listen on / connect to TCP instead of the Unix socket.")
+
+let serve_cmd =
+  let run socket tcp workers jobs no_cache retries fuel deadline faults =
+    let addr = resolve_addr ~socket ~tcp in
+    let session =
+      Spd_harness.Engine.Session.create ?jobs ~disk_cache:(not no_cache)
+        ?retries ?fuel ?deadline ?faults:(Option.map Fun.id faults) ()
+    in
+    let server =
+      try
+        Spd_serve.Server.start ~workers ?run_fuel:fuel ?run_deadline:deadline
+          ~session addr
+      with Failure msg ->
+        Spd_harness.Engine.Session.close session;
+        Fmt.epr "%s@." msg;
+        exit 1
+    in
+    let stop _signum = Spd_serve.Server.stop server in
+    (try ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop))
+     with Invalid_argument _ | Sys_error _ -> ());
+    (try ignore (Sys.signal Sys.sigterm (Sys.Signal_handle stop))
+     with Invalid_argument _ | Sys_error _ -> ());
+    Fmt.pr "spd serve: listening on %a, %d worker domains@."
+      Spd_serve.Protocol.pp_addr addr (max 1 workers);
+    Fmt.pr "spd serve: stop with SIGINT or the shutdown method@.";
+    Spd_serve.Server.wait server;
+    Fmt.pr "spd serve: stopped after %d requests@."
+      (Spd_serve.Server.served server);
+    Spd_harness.Engine.Session.close session
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt (pos_int_conv "--workers") 4
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Accept/serve domains (default 4).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the experiment daemon: framed JSON-RPC over a socket, one \
+          shared engine session, so concurrent identical requests \
+          deduplicate onto one computation.  $(b,--fuel) and \
+          $(b,--deadline) bound every tenant's per-request quotas.")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ workers_arg $ jobs_arg
+      $ no_cache_arg $ retries_arg $ fuel_arg $ deadline_arg $ faults_arg)
+
+let call_cmd =
+  let run meth params socket tcp =
+    let addr = resolve_addr ~socket ~tcp in
+    let params_json =
+      match params with
+      | None -> Spd_telemetry.Json.Obj []
+      | Some s -> (
+          match Spd_telemetry.Json.of_string s with
+          | Ok j -> j
+          | Error e ->
+              Fmt.epr "spd call: PARAMS is not valid JSON: %s@." e;
+              exit 1)
+    in
+    match Spd_serve.Protocol.connect addr with
+    | Error e ->
+        Fmt.epr "spd call: %s@." e;
+        exit 1
+    | Ok c ->
+        let r = Spd_serve.Protocol.call c meth params_json in
+        Spd_serve.Protocol.close c;
+        (match r with
+        | Ok result ->
+            print_string (Spd_telemetry.Json.to_string result);
+            print_newline ()
+        | Error e ->
+            Fmt.epr "spd call: %s@." e;
+            exit 1)
+  in
+  let meth_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"METHOD"
+          ~doc:
+            "Daemon method: ping, query, report, explain, micro, run, \
+             metrics, stats or shutdown.")
+  in
+  let params_arg =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"PARAMS"
+          ~doc:"Request parameters as one JSON object (default {}).")
+  in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:
+         "Send one JSON-RPC request to a running $(b,spd serve) daemon \
+          and print the JSON result on stdout.")
+    Term.(const run $ meth_arg $ params_arg $ socket_arg $ tcp_arg)
+
 let list_cmd =
   let run () =
     List.iter
@@ -785,5 +921,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; run_cmd; bench_cmd; explain_cmd; report_cmd;
-            graph_cmd; list_cmd;
+            serve_cmd; call_cmd; graph_cmd; list_cmd;
           ]))

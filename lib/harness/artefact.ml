@@ -29,7 +29,7 @@ let format_of_string = function
 type t = {
   name : string;  (** CLI name, e.g. ["table6_3"] *)
   title : string;  (** one-line description for [--list] *)
-  tables : unit -> Table.t list;
+  tables : Engine.Session.t -> Table.t list;
       (** warms the required grid cells, then builds the data *)
 }
 
@@ -110,11 +110,11 @@ let failure_json (f : Engine.failure) =
 (** The whole report as one JSON document.  Building the artefact
     tables first (warming every grid cell) and snapshotting metrics and
     failures last, so both cover all the work done. *)
-let to_json (arts : t list) : Json.t =
+let to_json ~session (arts : t list) : Json.t =
   let artefacts =
     List.map
       (fun a ->
-        let tables = a.tables () in
+        let tables = a.tables session in
         Json.Obj
           [
             ("name", Json.String a.name);
@@ -127,17 +127,18 @@ let to_json (arts : t list) : Json.t =
       ("schema", Json.String report_schema);
       ("artefacts", Json.List artefacts);
       ( "failures",
-        Json.List (List.map failure_json (Experiment.failures ())) );
+        Json.List
+          (List.map failure_json (Engine.Session.failures session)) );
       ("metrics", Metrics.snapshot_json (Metrics.snapshot ()));
     ]
 
-let render_csv ppf (arts : t list) =
+let render_csv ~session ppf (arts : t list) =
   Fmt.pf ppf "%s@." Table.csv_header;
   List.iter
     (fun a ->
       List.iter
         (fun t -> List.iter (Fmt.pf ppf "%s@.") (Table.to_csv_lines t))
-        (a.tables ()))
+        (a.tables session))
     arts;
   (* metrics counters as a pseudo-table; histograms are summarised by
      their count and sum *)
@@ -153,9 +154,9 @@ let render_csv ppf (arts : t list) =
 (** Render the given artefacts.  [Pretty] appends nothing extra (the
     CLIs add the failure appendix); [Json] emits one document, [Csv]
     one header plus data lines. *)
-let render (format : format) ppf (arts : t list) =
+let render ~session (format : format) ppf (arts : t list) =
   match format with
   | Pretty ->
-      List.iter (fun a -> List.iter (Table.pp ppf) (a.tables ())) arts
-  | Json -> Fmt.pf ppf "%s@." (Json.to_string (to_json arts))
-  | Csv -> render_csv ppf arts
+      List.iter (fun a -> List.iter (Table.pp ppf) (a.tables session)) arts
+  | Json -> Fmt.pf ppf "%s@." (Json.to_string (to_json ~session arts))
+  | Csv -> render_csv ~session ppf arts

@@ -16,7 +16,7 @@ val format_of_string : string -> format option
 type t = {
   name : string;  (** CLI name, e.g. ["table6_3"] *)
   title : string;  (** one-line description for [--list] *)
-  tables : unit -> Table.t list;
+  tables : Engine.Session.t -> Table.t list;
       (** warms the required grid cells, then builds the data *)
 }
 
@@ -39,10 +39,11 @@ val of_names : string list -> t list
 (** The whole report as one [spd-report/1] JSON document: every table
     of every artefact, the recorded cell failures, and a metrics
     snapshot taken after all tables were built. *)
-val to_json : t list -> Spd_telemetry.Json.t
+val to_json : session:Engine.Session.t -> t list -> Spd_telemetry.Json.t
 
 (** Render the given artefacts.  [Pretty] appends nothing extra (the
     CLIs add the failure appendix); [Json] emits one document, [Csv]
     one header plus data lines with metrics appended under the
     pseudo-table [metrics]. *)
-val render : format -> Format.formatter -> t list -> unit
+val render :
+  session:Engine.Session.t -> format -> Format.formatter -> t list -> unit

@@ -1,0 +1,51 @@
+(** Shared command-line flag parsers.
+
+    [bin/spd] (cmdliner) and [bench/main] (hand-rolled) historically
+    rejected a malformed [--fuel] or [--deadline] with different
+    messages; both now route through these parsers, so a bad flag gets
+    the same friendly one-line hint everywhere (including the daemon's
+    per-request quota errors, which reuse the wording). *)
+
+let pos_int ~flag s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Ok n
+  | Some n ->
+      Error (Printf.sprintf "%s expects a positive integer, got %d" flag n)
+  | None ->
+      Error (Printf.sprintf "%s expects a positive integer, got %S" flag s)
+
+let pos_float ~flag s =
+  match float_of_string_opt (String.trim s) with
+  | Some v when v > 0.0 && Float.is_finite v -> Ok v
+  | Some v ->
+      Error
+        (Printf.sprintf "%s expects a positive number of seconds, got %g"
+           flag v)
+  | None ->
+      Error
+        (Printf.sprintf "%s expects a positive number of seconds, got %S"
+           flag s)
+
+let widths ?(flag = "--widths") s =
+  let parts =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  if parts = [] then
+    Error
+      (Printf.sprintf "%s expects a comma-separated list of widths, got %S"
+         flag s)
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+          match pos_int ~flag p with
+          | Ok n -> go (n :: acc) rest
+          | Error _ ->
+              Error
+                (Printf.sprintf
+                   "%s expects a comma-separated list of positive widths, \
+                    got %S"
+                   flag s))
+    in
+    go [] parts

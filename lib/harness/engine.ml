@@ -44,6 +44,7 @@ let m_cache_misses = lazy (M.counter "spd.engine.cache.misses")
 let m_cache_evictions = lazy (M.counter "spd.engine.cache.evictions")
 let m_cell_retries = lazy (M.counter "spd.engine.cells.retried")
 let m_cell_failures = lazy (M.counter "spd.engine.cells.failed")
+let m_queries = lazy (M.counter "spd.engine.queries")
 
 let m_stage_seconds =
   lazy
@@ -253,6 +254,126 @@ let () =
     | _ -> None)
 
 (* ------------------------------------------------------------------ *)
+(* Typed queries: the one request shape the engine accepts.  A query
+   names an artefact of a (bench, latency) cell plus optional
+   per-request budgets.  Budgets only *tighten* the session's own
+   budgets, and a budgeted query memoizes under its own cell — a
+   quota-starved request can fail without poisoning the unbudgeted
+   cell, while N identical budgeted requests still cost one
+   computation. *)
+
+let width_tag = function
+  | Spd_machine.Descr.Infinite -> "inf"
+  | Spd_machine.Descr.Fus n -> "fus" ^ string_of_int n
+
+module Query = struct
+  type artefact =
+    | Cycles of { kind : Pipeline.kind; width : Spd_machine.Descr.width }
+    | Code_size of Pipeline.kind
+    | Spd_counts
+    | Spd_dynamics
+    | Speedup_over_naive of {
+        kind : Pipeline.kind;
+        width : Spd_machine.Descr.width;
+      }
+    | Spec_over_static of { width : Spd_machine.Descr.width }
+    | Code_growth
+
+  type t = {
+    bench : string;
+    latency : int;
+    artefact : artefact;
+    fuel : int option;
+    deadline : float option;
+  }
+
+  let artefact_name = function
+    | Cycles _ -> "cycles"
+    | Code_size _ -> "code-size"
+    | Spd_counts -> "spd-counts"
+    | Spd_dynamics -> "spd-dynamics"
+    | Speedup_over_naive _ -> "speedup-over-naive"
+    | Spec_over_static _ -> "spec-over-static"
+    | Code_growth -> "code-growth"
+
+  let artefact_names =
+    [
+      "cycles"; "code-size"; "spd-counts"; "spd-dynamics";
+      "speedup-over-naive"; "spec-over-static"; "code-growth";
+    ]
+
+  let v ?fuel ?deadline ~bench ~latency artefact =
+    if latency < 1 then
+      invalid_arg
+        (Printf.sprintf "Engine.Query.v: latency must be positive, got %d"
+           latency);
+    (match fuel with
+    | Some n when n < 1 ->
+        invalid_arg
+          (Printf.sprintf "Engine.Query.v: fuel must be positive, got %d" n)
+    | _ -> ());
+    (match deadline with
+    | Some d when d <= 0.0 ->
+        invalid_arg
+          (Printf.sprintf "Engine.Query.v: deadline must be positive, got %g"
+             d)
+    | _ -> ());
+    { bench; latency; artefact; fuel; deadline }
+
+  let key (q : t) =
+    let detail =
+      match q.artefact with
+      | Cycles { kind; width } ->
+          Printf.sprintf "/%s/%s" (Pipeline.name kind) (width_tag width)
+      | Code_size kind -> "/" ^ Pipeline.name kind
+      | Spd_counts | Spd_dynamics | Code_growth -> ""
+      | Speedup_over_naive { kind; width } ->
+          Printf.sprintf "/%s/%s" (Pipeline.name kind) (width_tag width)
+      | Spec_over_static { width } -> "/" ^ width_tag width
+    in
+    let budget =
+      (match q.fuel with
+      | None -> ""
+      | Some n -> Printf.sprintf "+fuel=%d" n)
+      ^
+      match q.deadline with
+      | None -> ""
+      | Some d -> Printf.sprintf "+deadline=%g" d
+    in
+    Printf.sprintf "%s/%d/%s%s%s" q.bench q.latency
+      (artefact_name q.artefact)
+      detail budget
+end
+
+type value =
+  | Int of int
+  | Float of float
+  | Counts of int * int * int
+  | Dynamics of Pipeline.dynamics
+
+let value_kind = function
+  | Int _ -> "Int"
+  | Float _ -> "Float"
+  | Counts _ -> "Counts"
+  | Dynamics _ -> "Dynamics"
+
+let project what f : value outcome -> _ outcome = function
+  | Failed fl -> Failed fl
+  | Ok v -> (
+      match f v with
+      | Some x -> Ok x
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Engine.to_%s: value is %s" what (value_kind v)))
+
+let to_int o = project "int" (function Int n -> Some n | _ -> None) o
+let to_float o = project "float" (function Float x -> Some x | _ -> None) o
+let to_counts o = project "counts" (function Counts (a, b, c) -> Some (a, b, c) | _ -> None) o
+
+let to_dynamics o =
+  project "dynamics" (function Dynamics d -> Some d | _ -> None) o
+
+(* ------------------------------------------------------------------ *)
 
 module Stats = struct
   type t = {
@@ -296,13 +417,24 @@ end
 (* ------------------------------------------------------------------ *)
 
 module Session = struct
-  type key = { bench : string; latency : int; kind : Pipeline.kind }
+  (* The internal memo key: cell coordinates plus the per-request
+     budget.  Budgeted queries memoize under their own cells; the
+     common unbudgeted case is [q_fuel = None; q_deadline = None]. *)
+  type key = {
+    bench : string;
+    latency : int;
+    kind : Pipeline.kind;
+    q_fuel : int option;
+    q_deadline : float option;
+  }
 
-  (* every on-disk entry is one of these, Marshal'd *)
+  (* every on-disk entry is one of these, Marshal'd; constructor names
+     are irrelevant to Marshal (tags are positional) but their order is
+     part of the on-disk format *)
   type disk_value =
-    | Cycles of int
-    | Summary of { code_size : int; counts : int * int * int }
-    | Dynamics of Pipeline.dynamics
+    | D_cycles of int
+    | D_summary of { code_size : int; counts : int * int * int }
+    | D_dynamics of Pipeline.dynamics
 
   type t = {
     jobs : int;
@@ -440,7 +572,7 @@ module Session = struct
      recorded [Failed] outcome instead of letting it tear down the
      batch.  [Sys.Break] (user interrupt) is never contained. *)
 
-  let protected t ~key (f : unit -> 'a) : 'a outcome =
+  let protected t ~deadline ~key (f : unit -> 'a) : 'a outcome =
     let t0 = Unix.gettimeofday () in
     (* one trace span per attempt, so retries show up individually *)
     let f () = Spd_telemetry.Trace.with_span ~name:("cell:" ^ key) f in
@@ -455,7 +587,7 @@ module Session = struct
           let backtrace = Printexc.get_raw_backtrace () in
           let elapsed = Unix.gettimeofday () -. t0 in
           let out_of_time =
-            match t.deadline with Some d -> elapsed >= d | None -> false
+            match deadline with Some d -> elapsed >= d | None -> false
           in
           if n < t.retries && not out_of_time then begin
             bump t (fun t -> t.cell_retries <- t.cell_retries + 1);
@@ -580,26 +712,60 @@ module Session = struct
 
   (* The full content address of a grid cell: cache format version,
      digest of the workload source, pipeline kind and configuration
-     fingerprint (which includes the memory latency). *)
-  let cell_payload t { bench; latency; kind } =
-    let w = W.Registry.by_name bench in
+     fingerprint (which includes the memory latency).  Budgets are
+     deliberately excluded, like they are from the fingerprint: a
+     budget can only turn a result into a failure, never change a
+     successfully computed value, so budgeted successes share their
+     disk entry with the unbudgeted cell. *)
+  let cell_payload t (k : key) =
+    let w = W.Registry.by_name k.bench in
     String.concat "|"
       [
         "spd"; cache_version;
         Digest.to_hex (Digest.string w.source);
-        Pipeline.name kind;
+        Pipeline.name k.kind;
         Pipeline.Config.fingerprint
-          { t.config with mem_latency = latency };
+          { t.config with mem_latency = k.latency };
       ]
-
-  let width_tag = function
-    | Spd_machine.Descr.Infinite -> "inf"
-    | Spd_machine.Descr.Fus n -> "fus" ^ string_of_int n
 
   (* The human-readable cell key: what [cell-raise] faults match against
      and what the failure appendix prints. *)
-  let cell_key { bench; latency; kind } =
-    Printf.sprintf "%s/%d/%s" bench latency (Pipeline.name kind)
+  let cell_key (k : key) =
+    Printf.sprintf "%s/%d/%s" k.bench k.latency (Pipeline.name k.kind)
+
+  (* appended at the END of the full metric key, so [cell-raise]
+     prefixes over unbudgeted keys keep matching exactly as before *)
+  let budget_tag (k : key) =
+    (match k.q_fuel with
+    | None -> ""
+    | Some n -> Printf.sprintf "+fuel=%d" n)
+    ^
+    match k.q_deadline with
+    | None -> ""
+    | Some d -> Printf.sprintf "+deadline=%g" d
+
+  let opt_min_int a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (min a b)
+
+  let opt_min_float a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (Float.min a b)
+
+  (* the pipeline configuration of one cell: per-cell memory latency,
+     session budgets tightened by the request's quotas *)
+  let config_for t (k : key) =
+    {
+      t.config with
+      Pipeline.Config.mem_latency = k.latency;
+      fuel = opt_min_int t.config.Pipeline.Config.fuel k.q_fuel;
+      deadline =
+        opt_min_float t.config.Pipeline.Config.deadline k.q_deadline;
+    }
+
+  let eff_deadline t (k : key) = opt_min_float t.deadline k.q_deadline
 
   (* ---------------------------------------------------------------- *)
 
@@ -616,70 +782,69 @@ module Session = struct
         | None -> ());
         prog)
 
-  let prepared t ~bench ~latency kind =
-    Memo.get t.prep_memo { bench; latency; kind } (fun () ->
-        let lowered = lowered t bench in
+  let prepared_cell t (k : key) =
+    Memo.get t.prep_memo k (fun () ->
+        let lowered = lowered t k.bench in
         bump t (fun t -> t.preparations <- t.preparations + 1);
         mark m_preparations;
-        Pipeline.prepare
-          ~config:{ t.config with mem_latency = latency }
-          kind lowered)
+        Pipeline.prepare ~config:(config_for t k) k.kind lowered)
 
-  let cycles_outcome t ~bench ~latency kind ~width =
-    let key = { bench; latency; kind } in
-    Memo.get t.cycles_memo (key, width) (fun () ->
-        protected t ~key:(cell_key key ^ "/cycles/" ^ width_tag width)
+  let prepared t ~bench ~latency kind =
+    prepared_cell t { bench; latency; kind; q_fuel = None; q_deadline = None }
+
+  let cycles_cell t (k : key) ~width =
+    Memo.get t.cycles_memo (k, width) (fun () ->
+        protected t ~deadline:(eff_deadline t k)
+          ~key:(cell_key k ^ "/cycles/" ^ width_tag width ^ budget_tag k)
           (fun () ->
             (* an armed cycles-inflate fault perturbs what we report but
                never what we persist, so the cache stays truthful and
                the slowdown applies to cache hits too *)
             let inflate = Faults.inflate_cycles t.faults in
             let payload =
-              cell_payload t key ^ "|cycles:" ^ width_tag width
+              cell_payload t k ^ "|cycles:" ^ width_tag width
             in
             match disk_read t payload with
-            | Some (Cycles n) -> inflate n
+            | Some (D_cycles n) -> inflate n
             | _ ->
                 bump t (fun t -> t.simulations <- t.simulations + 1);
                 mark m_simulations;
-                let n =
-                  Pipeline.cycles (prepared t ~bench ~latency kind) ~width
-                in
-                disk_write t payload (Cycles n);
+                let n = Pipeline.cycles (prepared_cell t k) ~width in
+                disk_write t payload (D_cycles n);
                 inflate n))
 
   (* code size and Table 6-3 counts of a cell, from one preparation *)
-  let summary_outcome t ~bench ~latency kind =
-    let key = { bench; latency; kind } in
-    Memo.get t.summary_memo key (fun () ->
-        protected t ~key:(cell_key key ^ "/summary") (fun () ->
-            let payload = cell_payload t key ^ "|summary" in
+  let summary_cell t (k : key) =
+    Memo.get t.summary_memo k (fun () ->
+        protected t ~deadline:(eff_deadline t k)
+          ~key:(cell_key k ^ "/summary" ^ budget_tag k)
+          (fun () ->
+            let payload = cell_payload t k ^ "|summary" in
             match disk_read t payload with
-            | Some (Summary s) -> (s.code_size, s.counts)
+            | Some (D_summary s) -> (s.code_size, s.counts)
             | _ ->
-                let p = prepared t ~bench ~latency kind in
+                let p = prepared_cell t k in
                 let code_size = Pipeline.code_size p in
                 let counts =
                   Spd_core.Heuristic.count_by_kind p.applications
                 in
-                disk_write t payload (Summary { code_size; counts });
+                disk_write t payload (D_summary { code_size; counts });
                 (code_size, counts)))
 
   (* run-time dynamics of the SPEC pipeline's SpD applications *)
-  let spd_dynamics_outcome t ~bench ~latency =
-    let key = { bench; latency; kind = Pipeline.Spec } in
-    Memo.get t.dynamics_memo key (fun () ->
-        protected t ~key:(cell_key key ^ "/dynamics") (fun () ->
-            let payload = cell_payload t key ^ "|dynamics" in
+  let dynamics_cell t (k : key) =
+    Memo.get t.dynamics_memo k (fun () ->
+        protected t ~deadline:(eff_deadline t k)
+          ~key:(cell_key k ^ "/dynamics" ^ budget_tag k)
+          (fun () ->
+            let payload = cell_payload t k ^ "|dynamics" in
             match disk_read t payload with
-            | Some (Dynamics d) -> d
+            | Some (D_dynamics d) -> d
             | _ ->
                 bump t (fun t -> t.simulations <- t.simulations + 1);
                 mark m_simulations;
-                let d =
-                  Pipeline.dynamics (prepared t ~bench ~latency Pipeline.Spec)
-                in
-                disk_write t payload (Dynamics d);
+                let d = Pipeline.dynamics (prepared_cell t k) in
+                disk_write t payload (D_dynamics d);
                 d))
 
   let map_outcome f = function Ok v -> Ok (f v) | Failed f -> Failed f
@@ -689,56 +854,83 @@ module Session = struct
     | Ok a, Ok b -> Ok (a, b)
     | Failed f, _ | _, Failed f -> Failed f
 
-  let code_size_outcome t ~bench ~latency kind =
-    map_outcome fst (summary_outcome t ~bench ~latency kind)
+  (* ---------------------------------------------------------------- *)
+  (* The one request path.  Everything above is addressed by [Query.t]:
+     derived artefacts (speedups, code growth) fan out to their operand
+     cells under the same budget, and all sharing — concurrent
+     deduplication included — falls out of the per-cell promises. *)
 
-  let spd_counts_outcome t ~bench ~latency =
-    map_outcome snd (summary_outcome t ~bench ~latency Pipeline.Spec)
+  let submit t (q : Query.t) : value outcome =
+    mark m_queries;
+    let k kind =
+      {
+        bench = q.Query.bench;
+        latency = q.Query.latency;
+        kind;
+        q_fuel = q.Query.fuel;
+        q_deadline = q.Query.deadline;
+      }
+    in
+    match q.Query.artefact with
+    | Query.Cycles { kind; width } ->
+        map_outcome (fun n -> Int n) (cycles_cell t (k kind) ~width)
+    | Query.Code_size kind ->
+        map_outcome (fun (code_size, _) -> Int code_size)
+          (summary_cell t (k kind))
+    | Query.Spd_counts ->
+        map_outcome
+          (fun (_, (raw, war, waw)) -> Counts (raw, war, waw))
+          (summary_cell t (k Pipeline.Spec))
+    | Query.Spd_dynamics ->
+        map_outcome (fun d -> Dynamics d) (dynamics_cell t (k Pipeline.Spec))
+    | Query.Speedup_over_naive { kind; width } ->
+        map_outcome
+          (fun (base, this) -> Float (Pipeline.speedup ~base ~this))
+          (pair_outcome
+             (cycles_cell t (k Pipeline.Naive) ~width)
+             (cycles_cell t (k kind) ~width))
+    | Query.Spec_over_static { width } ->
+        map_outcome
+          (fun (base, this) -> Float (Pipeline.speedup ~base ~this))
+          (pair_outcome
+             (cycles_cell t (k Pipeline.Static) ~width)
+             (cycles_cell t (k Pipeline.Spec) ~width))
+    | Query.Code_growth ->
+        map_outcome
+          (fun ((base, _), (spec, _)) ->
+            Float ((float_of_int spec /. float_of_int base) -. 1.0))
+          (pair_outcome
+             (summary_cell t (k Pipeline.Static))
+             (summary_cell t (k Pipeline.Spec)))
 
-  let speedup_over_naive_outcome t ~bench ~latency kind ~width =
-    map_outcome
-      (fun (base, this) -> Pipeline.speedup ~base ~this)
-      (pair_outcome
-         (cycles_outcome t ~bench ~latency Pipeline.Naive ~width)
-         (cycles_outcome t ~bench ~latency kind ~width))
+  (* deprecated raising shims: the historical per-artefact accessors,
+     each one [submit] plus a projection *)
 
-  let spec_over_static_outcome t ~bench ~latency ~width =
-    map_outcome
-      (fun (base, this) -> Pipeline.speedup ~base ~this)
-      (pair_outcome
-         (cycles_outcome t ~bench ~latency Pipeline.Static ~width)
-         (cycles_outcome t ~bench ~latency Pipeline.Spec ~width))
-
-  let code_growth_outcome t ~bench ~latency =
-    map_outcome
-      (fun (base, spec) ->
-        (float_of_int spec /. float_of_int base) -. 1.0)
-      (pair_outcome
-         (code_size_outcome t ~bench ~latency Pipeline.Static)
-         (code_size_outcome t ~bench ~latency Pipeline.Spec))
-
-  (* raising variants, for callers that treat a failed cell as fatal *)
+  let shim t ~bench ~latency artefact =
+    submit t (Query.v ~bench ~latency artefact)
 
   let cycles t ~bench ~latency kind ~width =
-    get (cycles_outcome t ~bench ~latency kind ~width)
+    get (to_int (shim t ~bench ~latency (Query.Cycles { kind; width })))
 
   let code_size t ~bench ~latency kind =
-    get (code_size_outcome t ~bench ~latency kind)
+    get (to_int (shim t ~bench ~latency (Query.Code_size kind)))
 
   let spd_counts t ~bench ~latency =
-    get (spd_counts_outcome t ~bench ~latency)
+    get (to_counts (shim t ~bench ~latency Query.Spd_counts))
 
   let spd_dynamics t ~bench ~latency =
-    get (spd_dynamics_outcome t ~bench ~latency)
+    get (to_dynamics (shim t ~bench ~latency Query.Spd_dynamics))
 
   let speedup_over_naive t ~bench ~latency kind ~width =
-    get (speedup_over_naive_outcome t ~bench ~latency kind ~width)
+    get
+      (to_float
+         (shim t ~bench ~latency (Query.Speedup_over_naive { kind; width })))
 
   let spec_over_static t ~bench ~latency ~width =
-    get (spec_over_static_outcome t ~bench ~latency ~width)
+    get (to_float (shim t ~bench ~latency (Query.Spec_over_static { width })))
 
   let code_growth t ~bench ~latency =
-    get (code_growth_outcome t ~bench ~latency)
+    get (to_float (shim t ~bench ~latency Query.Code_growth))
 
   (* ---------------------------------------------------------------- *)
 

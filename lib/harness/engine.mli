@@ -10,6 +10,16 @@
     on-disk result cache under [_spd_cache/], and per-stage wall-clock
     instrumentation.
 
+    Work is requested through one typed entry point:
+    {!Session.submit} takes a {!Query.t} — artefact kind, cell
+    coordinates, optional per-request budgets — and returns a
+    {!value} {!outcome}.  Every consumer (the CLIs, the report
+    builders, the [spd serve] daemon) goes through this single path,
+    so a served request and the equivalent CLI invocation read the
+    same memoized cell and emit identical values.  The historical
+    per-artefact accessors survive as deprecated raising shims over
+    [submit].
+
     Failures are contained per cell: a cell that keeps raising after
     its retry budget is recorded as a {!failure} and surfaced as a
     [Failed] {!outcome}; the rest of the batch still completes.  The
@@ -40,6 +50,84 @@ type 'a outcome = Ok of 'a | Failed of failure
 exception Cell_failed of failure
 
 val pp_failure : Format.formatter -> failure -> unit
+
+(** {1 Typed queries}
+
+    A {!Query.t} names one grid cell's artefact — the only request
+    shape the engine accepts.  Optional [fuel]/[deadline] budgets act
+    as per-request quotas: they can only {e tighten} the session's own
+    budgets, and a budget-carrying query gets its own memo cell (so a
+    quota-starved tenant's failure never poisons the unbudgeted cell,
+    and N identical budgeted queries still cost one computation). *)
+
+module Query : sig
+  (** What to compute for the (bench, latency) cell. *)
+  type artefact =
+    | Cycles of { kind : Pipeline.kind; width : Spd_machine.Descr.width }
+        (** measured cycle count (disk-cacheable) *)
+    | Code_size of Pipeline.kind
+        (** static code size in operations (disk-cacheable) *)
+    | Spd_counts
+        (** SpD applications by dependence kind — a Table 6-3 row *)
+    | Spd_dynamics
+        (** run-time alias/no-alias commit counts of the SPEC pipeline *)
+    | Speedup_over_naive of {
+        kind : Pipeline.kind;
+        width : Spd_machine.Descr.width;
+      }  (** the metric of Figure 6-2 *)
+    | Spec_over_static of { width : Spd_machine.Descr.width }
+        (** the metric of Figure 6-3 *)
+    | Code_growth  (** SPEC code size relative to STATIC (Figure 6-4) *)
+
+  type t = private {
+    bench : string;  (** built-in workload name *)
+    latency : int;  (** memory latency in cycles (paper: 2 and 6) *)
+    artefact : artefact;
+    fuel : int option;
+        (** per-request traversal quota; tightens the session budget *)
+    deadline : float option;
+        (** per-request wall-clock quota in seconds; tightens the
+            session budget *)
+  }
+
+  (** Build a query.  Raises [Invalid_argument] on a non-positive
+      [latency], [fuel] or [deadline]. *)
+  val v :
+    ?fuel:int ->
+    ?deadline:float ->
+    bench:string -> latency:int -> artefact -> t
+
+  (** Stable lowercase artefact-kind name ([cycles], [code-size],
+      [spd-counts], [spd-dynamics], [speedup-over-naive],
+      [spec-over-static], [code-growth]) — the wire spelling of the
+      [spd serve] protocol. *)
+  val artefact_name : artefact -> string
+
+  (** All artefact-kind names, for diagnostics. *)
+  val artefact_names : string list
+
+  (** Canonical human-readable request key,
+      [bench/latency/artefact[/KIND][/width][+fuel=N][+deadline=S]]. *)
+  val key : t -> string
+end
+
+(** The result of a query: what kind of value it carries follows the
+    query's {!Query.artefact} (asserted by the [to_*] projections). *)
+type value =
+  | Int of int  (** [Cycles], [Code_size] *)
+  | Float of float
+      (** [Speedup_over_naive], [Spec_over_static], [Code_growth] *)
+  | Counts of int * int * int  (** [Spd_counts]: RAW, WAR, WAW *)
+  | Dynamics of Pipeline.dynamics  (** [Spd_dynamics] *)
+
+(** Projections out of a {!value} outcome; raise [Invalid_argument]
+    when the value kind does not match (a caller bug — [submit] always
+    returns the kind implied by the artefact). *)
+
+val to_int : value outcome -> int outcome
+val to_float : value outcome -> float outcome
+val to_counts : value outcome -> (int * int * int) outcome
+val to_dynamics : value outcome -> Pipeline.dynamics outcome
 
 module Stats : sig
   type t = {
@@ -85,7 +173,8 @@ module Session : sig
       a failure is recorded.  [deadline] is a per-cell wall-clock budget
       in seconds: once it has elapsed, a failing cell is not retried.
       [fuel] bounds the simulator's tree traversals for every run of the
-      session (profiling, checking, timing).
+      session (profiling, checking, timing).  Both act as caps on
+      per-request {!Query.t} budgets.
 
       [faults] arms deterministic fault injection (see {!Faults}); an
       armed [fuel:<n>] fault overrides [fuel].
@@ -114,30 +203,37 @@ module Session : sig
   (** Every failure recorded so far, sorted by cell key. *)
   val failures : t -> failure list
 
-  (** {1 Memoized grid cells}
+  (** {1 The request path}
 
-    All accessors are safe to call from any domain; each underlying
-    computation (including a failure) happens exactly once per
-    session.  The [_outcome] variants never raise on a failed cell;
-    the plain variants raise {!Cell_failed}. *)
+    [submit] is safe to call from any domain; each underlying
+    computation (including a failure) happens exactly once per session
+    and budget — concurrent identical queries piggyback on the promise
+    of whoever got there first, so a burst of N duplicates costs one
+    computation.  A failed cell comes back as [Failed] (renderers
+    print [n/a]); [submit] itself never raises on a contained cell
+    failure. *)
 
-  (** Lowered IR of a built-in benchmark.  Not failure-contained: an
-      unknown benchmark or compile error raises. *)
+  val submit : t -> Query.t -> value outcome
+
+  (** {1 Pipeline materialization}
+
+    The two compile-stage accessors that return in-memory artefacts
+    rather than {!value}s — used by {!Explain} and the extension
+    experiments, and not servable over the wire.  Not
+    failure-contained: an unknown benchmark or compile error raises. *)
+
+  (** Lowered IR of a built-in benchmark. *)
   val lowered : t -> string -> Spd_ir.Prog.t
 
-  (** Prepared pipeline for a benchmark at a memory latency.  Not
-      failure-contained; cell accessors below wrap it. *)
+  (** Prepared pipeline for a benchmark at a memory latency. *)
   val prepared :
     t -> bench:string -> latency:int -> Pipeline.kind -> Pipeline.prepared
 
-  (** Measured cycle count (disk-cacheable: a warm cache serves it
-      without preparing the pipeline at all). *)
-  val cycles_outcome :
-    t ->
-    bench:string ->
-    latency:int ->
-    Pipeline.kind ->
-    width:Spd_machine.Descr.width -> int outcome
+  (** {1 Deprecated raising shims}
+
+    One per artefact kind, each a thin wrapper over {!submit} with the
+    historical signature; they raise {!Cell_failed} on a failed cell.
+    New code should build a {!Query.t} and call {!submit}. *)
 
   val cycles :
     t ->
@@ -146,35 +242,12 @@ module Session : sig
     Pipeline.kind ->
     width:Spd_machine.Descr.width -> int
 
-  (** Static code size in operations (disk-cacheable). *)
-  val code_size_outcome :
-    t -> bench:string -> latency:int -> Pipeline.kind -> int outcome
-
   val code_size :
     t -> bench:string -> latency:int -> Pipeline.kind -> int
 
-  (** SpD application counts by dependence kind — a Table 6-3 row
-      (disk-cacheable). *)
-  val spd_counts_outcome :
-    t -> bench:string -> latency:int -> (int * int * int) outcome
-
   val spd_counts : t -> bench:string -> latency:int -> int * int * int
 
-  (** Run-time dynamics of the SPEC pipeline's SpD applications:
-      alias/no-alias version commits per transformed region plus
-      squashed guarded operations (disk-cacheable). *)
-  val spd_dynamics_outcome :
-    t -> bench:string -> latency:int -> Pipeline.dynamics outcome
-
   val spd_dynamics : t -> bench:string -> latency:int -> Pipeline.dynamics
-
-  (** Speedup of [kind] over NAIVE, the metric of Figure 6-2. *)
-  val speedup_over_naive_outcome :
-    t ->
-    bench:string ->
-    latency:int ->
-    Pipeline.kind ->
-    width:Spd_machine.Descr.width -> float outcome
 
   val speedup_over_naive :
     t ->
@@ -183,20 +256,9 @@ module Session : sig
     Pipeline.kind ->
     width:Spd_machine.Descr.width -> float
 
-  (** Speedup of SPEC over STATIC, the metric of Figure 6-3. *)
-  val spec_over_static_outcome :
-    t ->
-    bench:string ->
-    latency:int ->
-    width:Spd_machine.Descr.width -> float outcome
-
   val spec_over_static :
     t ->
     bench:string -> latency:int -> width:Spd_machine.Descr.width -> float
-
-  (** Code growth of SPEC relative to STATIC (Figure 6-4). *)
-  val code_growth_outcome :
-    t -> bench:string -> latency:int -> float outcome
 
   val code_growth : t -> bench:string -> latency:int -> float
 

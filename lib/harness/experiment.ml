@@ -1,90 +1,17 @@
-(** Experiment driver: the sealed, session-backed façade the table and
-    figure generators share.
+(** Experiment driver: a thin, deprecated façade over
+    {!Engine.Session}.  The process-wide default session is gone;
+    every entry point takes the session explicitly (see the .mli). *)
 
-    All mutable state (memo tables, the domain pool, the on-disk
-    cache) lives inside an {!Engine.Session}; this module merely
-    maintains the process-wide default session and re-exports its
-    accessors with the historical signatures. *)
+let with_session s f =
+  Fun.protect ~finally:(fun () -> Engine.Session.close s) (fun () -> f s)
 
-let mu = Mutex.create ()
-let current : Engine.Session.t option ref = ref None
-
-let default_session () =
-  Mutex.lock mu;
-  let s =
-    match !current with
-    | Some s -> s
-    | None ->
-        let s = Engine.Session.create () in
-        current := Some s;
-        s
-  in
-  Mutex.unlock mu;
-  s
-
-let set_default_session s =
-  Mutex.lock mu;
-  current := Some s;
-  Mutex.unlock mu
-
-let lowered bench = Engine.Session.lowered (default_session ()) bench
-
-(** Prepared pipeline for a benchmark at a memory latency (memoized). *)
-let prepared ~bench ~latency kind =
-  Engine.Session.prepared (default_session ()) ~bench ~latency kind
-
-(** Measured cycle count (memoized). *)
-let cycles ~bench ~latency kind ~width =
-  Engine.Session.cycles (default_session ()) ~bench ~latency kind ~width
-
-(** Speedup of [kind] over NAIVE, the metric of Figure 6-2. *)
-let speedup_over_naive ~bench ~latency kind ~width =
-  Engine.Session.speedup_over_naive (default_session ()) ~bench ~latency
-    kind ~width
-
-(** Speedup of SPEC over STATIC, the metric of Figure 6-3. *)
-let spec_over_static ~bench ~latency ~width =
-  Engine.Session.spec_over_static (default_session ()) ~bench ~latency
-    ~width
-
-(** SpD application counts by dependence kind (Table 6-3 row). *)
-let spd_counts ~bench ~latency =
-  Engine.Session.spd_counts (default_session ()) ~bench ~latency
-
-(** Code growth of SPEC relative to STATIC, as a fraction (Figure 6-4). *)
-let code_growth ~bench ~latency =
-  Engine.Session.code_growth (default_session ()) ~bench ~latency
-
-(** Run-time dynamics of the SPEC pipeline's SpD applications. *)
-let spd_dynamics ~bench ~latency =
-  Engine.Session.spd_dynamics (default_session ()) ~bench ~latency
-
-(* Failure-contained variants: a broken cell comes back as [Failed]
-   instead of raising, so renderers can print [n/a] and move on. *)
-
-let cycles_result ~bench ~latency kind ~width =
-  Engine.Session.cycles_outcome (default_session ()) ~bench ~latency kind
-    ~width
-
-let speedup_over_naive_result ~bench ~latency kind ~width =
-  Engine.Session.speedup_over_naive_outcome (default_session ()) ~bench
-    ~latency kind ~width
-
-let spec_over_static_result ~bench ~latency ~width =
-  Engine.Session.spec_over_static_outcome (default_session ()) ~bench
-    ~latency ~width
-
-let spd_counts_result ~bench ~latency =
-  Engine.Session.spd_counts_outcome (default_session ()) ~bench ~latency
-
-let code_size_result ~bench ~latency kind =
-  Engine.Session.code_size_outcome (default_session ()) ~bench ~latency kind
-
-let code_growth_result ~bench ~latency =
-  Engine.Session.code_growth_outcome (default_session ()) ~bench ~latency
-
-let spd_dynamics_result ~bench ~latency =
-  Engine.Session.spd_dynamics_outcome (default_session ()) ~bench ~latency
-
-(** Every failure the default session has recorded, sorted by cell key. *)
-let failures () = Engine.Session.failures (default_session ())
+let submit = Engine.Session.submit
+let lowered = Engine.Session.lowered
+let prepared = Engine.Session.prepared
+let cycles = Engine.Session.cycles
+let speedup_over_naive = Engine.Session.speedup_over_naive
+let spec_over_static = Engine.Session.spec_over_static
+let spd_counts = Engine.Session.spd_counts
+let code_growth = Engine.Session.code_growth
+let spd_dynamics = Engine.Session.spd_dynamics
+let failures = Engine.Session.failures

@@ -1,84 +1,66 @@
-(** Experiment driver: the sealed, session-backed façade the table and
-    figure generators share.
+(** Experiment driver: a thin, deprecated façade over
+    {!Engine.Session}.
 
-    All mutable state (memo tables, the domain pool, the on-disk
-    cache) lives inside an {!Engine.Session}; nothing here exposes it.
-    Callers that need explicit control — parallelism, the on-disk
-    cache, isolation between runs — create their own session and
-    either use it directly or install it with
-    {!set_default_session}. *)
+    Historically this module held a process-wide default session behind
+    [default_session]/[set_default_session].  That hidden mutable
+    global is gone — a concurrent daemon cannot tolerate it — and every
+    entry point now takes the session explicitly.  New code should
+    build an {!Engine.Query.t} and call {!Engine.Session.submit}
+    directly; these wrappers only keep the historical raising
+    signatures alive for scripts and tests. *)
 
-(** The process-wide default session (created on first use, with
-    sequential fallback behaviour and no on-disk cache). *)
-val default_session : unit -> Engine.Session.t
+(** [with_session s f] runs [f s] and closes [s] afterwards, whether
+    [f] returns or raises.  The scoped replacement for the old
+    [set_default_session]. *)
+val with_session : Engine.Session.t -> (Engine.Session.t -> 'a) -> 'a
 
-(** Replace the default session, e.g. with one created with [~jobs] and
-    [~disk_cache:true] from a [--jobs] command-line flag. *)
-val set_default_session : Engine.Session.t -> unit
+(** The one request path, re-exported: [submit s q] is
+    {!Engine.Session.submit}. *)
+val submit : Engine.Session.t -> Engine.Query.t -> Engine.value Engine.outcome
 
 (** Lowered IR of a built-in benchmark (memoized). *)
-val lowered : string -> Spd_ir.Prog.t
+val lowered : Engine.Session.t -> string -> Spd_ir.Prog.t
 
 (** Prepared pipeline for a benchmark at a memory latency (memoized). *)
 val prepared :
+  Engine.Session.t ->
   bench:string ->
   latency:int -> Pipeline.kind -> Pipeline.prepared
 
+(** {1 Deprecated raising shims}
+
+    Each is {!Engine.Session.submit} plus a projection; they raise
+    {!Engine.Cell_failed} on a failed cell. *)
+
 (** Measured cycle count (memoized). *)
 val cycles :
+  Engine.Session.t ->
   bench:string ->
   latency:int ->
   Pipeline.kind -> width:Spd_machine.Descr.width -> int
 
 (** Speedup of [kind] over NAIVE, the metric of Figure 6-2. *)
 val speedup_over_naive :
+  Engine.Session.t ->
   bench:string ->
   latency:int ->
   Pipeline.kind -> width:Spd_machine.Descr.width -> float
 
 (** Speedup of SPEC over STATIC, the metric of Figure 6-3. *)
 val spec_over_static :
+  Engine.Session.t ->
   bench:string -> latency:int -> width:Spd_machine.Descr.width -> float
 
 (** SpD application counts by dependence kind (Table 6-3 row). *)
-val spd_counts : bench:string -> latency:int -> int * int * int
+val spd_counts :
+  Engine.Session.t -> bench:string -> latency:int -> int * int * int
 
 (** Code growth of SPEC relative to STATIC, as a fraction (Figure 6-4). *)
-val code_growth : bench:string -> latency:int -> float
+val code_growth : Engine.Session.t -> bench:string -> latency:int -> float
 
 (** Run-time dynamics of the SPEC pipeline's SpD applications. *)
-val spd_dynamics : bench:string -> latency:int -> Pipeline.dynamics
+val spd_dynamics :
+  Engine.Session.t -> bench:string -> latency:int -> Pipeline.dynamics
 
-(** {1 Failure-contained variants}
-
-    A broken cell comes back as [Failed] instead of raising, so
-    renderers can print [n/a] and keep going. *)
-
-val cycles_result :
-  bench:string ->
-  latency:int ->
-  Pipeline.kind -> width:Spd_machine.Descr.width -> int Engine.outcome
-
-val speedup_over_naive_result :
-  bench:string ->
-  latency:int ->
-  Pipeline.kind -> width:Spd_machine.Descr.width -> float Engine.outcome
-
-val spec_over_static_result :
-  bench:string ->
-  latency:int ->
-  width:Spd_machine.Descr.width -> float Engine.outcome
-
-val spd_counts_result :
-  bench:string -> latency:int -> (int * int * int) Engine.outcome
-
-val code_size_result :
-  bench:string -> latency:int -> Pipeline.kind -> int Engine.outcome
-
-val code_growth_result : bench:string -> latency:int -> float Engine.outcome
-
-val spd_dynamics_result :
-  bench:string -> latency:int -> Pipeline.dynamics Engine.outcome
-
-(** Every failure the default session has recorded, sorted by cell key. *)
-val failures : unit -> Engine.failure list
+(** Every failure the session has recorded, sorted by cell key. *)
+val failures : Engine.Session.t -> Engine.failure list

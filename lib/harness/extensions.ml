@@ -9,34 +9,38 @@
     - {b guidance-parameter ablation} (section 5.3): how [MaxExpansion]
       and [MinGain] trade code growth against speedup.
 
-    Like {!Report}, each experiment computes its rows on the default
-    session's domain pool into {!Table.t} data and renders afterwards,
-    so the output is independent of the number of jobs and identical
-    across output formats. *)
+    Like {!Report}, each experiment takes its {!Engine.Session.t}
+    explicitly, computes its rows on the session's domain pool into
+    {!Table.t} data and renders afterwards, so the output is
+    independent of the number of jobs and identical across output
+    formats. *)
 
 module W = Spd_workloads
 module H = Spd_core.Heuristic
 
-let rows f xs =
-  Engine.Session.parallel_map (Experiment.default_session ()) f xs
+let rows s f xs = Engine.Session.parallel_map s f xs
 
 (* ------------------------------------------------------------------ *)
 
 (** Extension A: SPEC vs hardware dynamic disambiguation windows. *)
-let ext_dynamic_tables () =
+let ext_dynamic_tables s =
   let latency = 6 in
   let width = Spd_machine.Descr.Fus 5 in
   let data =
-    rows
+    rows s
       (fun (w : W.Workload.t) ->
         let bench = w.name in
-        let static = Experiment.prepared ~bench ~latency Pipeline.Static in
+        let static =
+          Engine.Session.prepared s ~bench ~latency Pipeline.Static
+        in
         let base = Pipeline.cycles static ~width in
         let hw window =
           Spd_machine.Dynamic.cycles ~window ~width ~mem_latency:latency
             static.prog
         in
-        let spec = Experiment.cycles ~bench ~latency Pipeline.Spec ~width in
+        let spec =
+          Engine.Session.cycles s ~bench ~latency Pipeline.Spec ~width
+        in
         let frac c = Pipeline.speedup ~base ~this:c in
         ( bench,
           [ frac (hw 2); frac (hw 4); frac (hw 8); frac (hw 32); frac spec ] ))
@@ -63,13 +67,13 @@ let ext_dynamic_tables () =
 (* ------------------------------------------------------------------ *)
 
 (** Extension B: the effect of tree grafting (loop unrolling) on SpD. *)
-let ext_grafting_tables () =
+let ext_grafting_tables s =
   let latency = 6 in
   let width = Spd_machine.Descr.Fus 5 in
   let data =
-    rows
+    rows s
       (fun (w : W.Workload.t) ->
-        let lowered = Experiment.lowered w.name in
+        let lowered = Engine.Session.lowered s w.name in
         let measure ~graft =
           let config = Pipeline.Config.v ~graft ~mem_latency:latency () in
           let static = Pipeline.prepare ~config Pipeline.Static lowered in
@@ -106,7 +110,7 @@ let ext_grafting_tables () =
 (* ------------------------------------------------------------------ *)
 
 (** Extension C: guidance heuristic parameter ablation. *)
-let ext_params_tables () =
+let ext_params_tables s =
   let latency = 6 in
   let width = Spd_machine.Descr.Fus 5 in
   let measure params =
@@ -114,7 +118,7 @@ let ext_params_tables () =
       List.split
         (List.map
            (fun (w : W.Workload.t) ->
-             let lowered = Experiment.lowered w.name in
+             let lowered = Engine.Session.lowered s w.name in
              let static =
                Pipeline.prepare
                  ~config:(Pipeline.Config.v ~mem_latency:latency ())
@@ -143,7 +147,7 @@ let ext_params_tables () =
     (geomean speedups -. 1.0, geomean growths -. 1.0)
   in
   let sweep to_params values =
-    rows (fun v -> (v, measure (to_params v))) values
+    rows s (fun v -> (v, measure (to_params v))) values
   in
   let expansions =
     sweep
@@ -184,13 +188,13 @@ let ext_params_tables () =
 
 (* ------------------------------------------------------------------ *)
 
-let render_tables tables ppf () = List.iter (Table.pp ppf) (tables ())
+let render_tables tables s ppf () = List.iter (Table.pp ppf) (tables s)
 
 let ext_dynamic = render_tables ext_dynamic_tables
 let ext_grafting = render_tables ext_grafting_tables
 let ext_params = render_tables ext_params_tables
 
-let all ppf () =
-  ext_dynamic ppf ();
-  ext_grafting ppf ();
-  ext_params ppf ()
+let all s ppf () =
+  ext_dynamic s ppf ();
+  ext_grafting s ppf ();
+  ext_params s ppf ()

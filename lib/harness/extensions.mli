@@ -12,19 +12,20 @@
 module W = Spd_workloads
 module H = Spd_core.Heuristic
 
-(** {1 Experiment data} — one table list per experiment; see {!Report}
-    for the data-then-render convention. *)
+(** {1 Experiment data} — one table list per experiment, each taking
+    its session explicitly; see {!Report} for the data-then-render
+    convention. *)
 
-val ext_dynamic_tables : unit -> Table.t list
-val ext_grafting_tables : unit -> Table.t list
-val ext_params_tables : unit -> Table.t list
+val ext_dynamic_tables : Engine.Session.t -> Table.t list
+val ext_grafting_tables : Engine.Session.t -> Table.t list
+val ext_params_tables : Engine.Session.t -> Table.t list
 
 (** Extension A: SPEC vs hardware dynamic disambiguation windows. *)
-val ext_dynamic : Format.formatter -> unit -> unit
+val ext_dynamic : Engine.Session.t -> Format.formatter -> unit -> unit
 
 (** Extension B: the effect of tree grafting (loop unrolling) on SpD. *)
-val ext_grafting : Format.formatter -> unit -> unit
+val ext_grafting : Engine.Session.t -> Format.formatter -> unit -> unit
 
 (** Extension C: guidance heuristic parameter ablation. *)
-val ext_params : Format.formatter -> unit -> unit
-val all : Format.formatter -> unit -> unit
+val ext_params : Engine.Session.t -> Format.formatter -> unit -> unit
+val all : Engine.Session.t -> Format.formatter -> unit -> unit

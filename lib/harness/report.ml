@@ -3,15 +3,20 @@
     Each artefact is computed into {!Table.t} values first (see
     [*_tables]) and only then rendered; the pretty printers below and
     the machine-readable emitters in {!Artefact} therefore read the
-    exact same values.  Absolute numbers differ from the paper's
-    proprietary LIFE testbed; EXPERIMENTS.md records the shape
-    comparison. *)
+    exact same values.  Every builder takes its {!Engine.Session.t}
+    explicitly and reads cells through {!Engine.Session.submit}, the
+    same path the CLIs and the [spd serve] daemon use.  Absolute
+    numbers differ from the paper's proprietary LIFE testbed;
+    EXPERIMENTS.md records the shape comparison. *)
 
 module W = Spd_workloads
+module Query = Engine.Query
 
 let latencies = [ 2; 6 ]
 
-(* Figure 6-3's machine widths; settable from the CLI (--widths). *)
+(* Figure 6-3's machine widths; settable from the CLI (--widths).  This
+   is the one process-wide rendering knob left: the CLIs set it once at
+   startup, before any session work, and the daemon never touches it. *)
 let default_widths = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
 let current_widths = ref default_widths
 
@@ -32,12 +37,15 @@ let benches () = List.map (fun (w : W.Workload.t) -> w.name) W.Registry.all
 let nrc_benches () =
   List.map (fun (w : W.Workload.t) -> w.name) W.Registry.nrc
 
-(* Fan the given grid cells out over the default session's domain pool
-   before rendering; the table builders below then only read memoized
-   results, so their values are independent of the number of jobs. *)
-let warm (f : Engine.Session.t -> 'a -> unit) (cells : 'a list) =
-  let s = Experiment.default_session () in
-  Engine.Session.parallel_iter s (f s) cells
+(* one grid cell through the engine's single request path *)
+let submit s ~bench ~latency artefact =
+  Engine.Session.submit s (Query.v ~bench ~latency artefact)
+
+(* Fan the given grid cells out over the session's domain pool before
+   rendering; the table builders below then only read memoized results,
+   so their values are independent of the number of jobs. *)
+let warm s (f : 'a -> unit) (cells : 'a list) =
+  Engine.Session.parallel_iter s f cells
 
 let product xs ys = List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
 
@@ -51,7 +59,7 @@ let pct_cell = function
 (* Paper artefacts, as data *)
 
 (** Table 6-1: operation latencies (the machine configuration). *)
-let table6_1_tables () =
+let table6_1_tables (_ : Engine.Session.t) =
   [
     Table.v ~id:"table6_1" ~title:"Table 6-1: Operation latencies"
       ~label_header:"Operation" ~columns:[ "Latency (cyc)" ]
@@ -64,7 +72,7 @@ let table6_1_tables () =
   ]
 
 (** Table 6-2: benchmark descriptions. *)
-let table6_2_tables () =
+let table6_2_tables (_ : Engine.Session.t) =
   [
     Table.v ~id:"table6_2" ~title:"Table 6-2: Benchmark descriptions"
       ~label_header:"Benchmark" ~columns:[ "Suite"; "Lines"; "Description" ]
@@ -80,10 +88,10 @@ let table6_2_tables () =
   ]
 
 (** Table 6-3: frequency of SpD application by dependence type. *)
-let table6_3_tables () =
-  warm
-    (fun s (bench, latency) ->
-      ignore (Engine.Session.spd_counts_outcome s ~bench ~latency))
+let table6_3_tables s =
+  warm s
+    (fun (bench, latency) ->
+      ignore (submit s ~bench ~latency Query.Spd_counts))
     (product (benches ()) latencies);
   let totals = Array.make 6 0 in
   (* a failed cell renders its three columns as n/a and is excluded
@@ -99,9 +107,10 @@ let table6_3_tables () =
   let rows =
     List.map
       (fun bench ->
-        let c2 = Experiment.spd_counts_result ~bench ~latency:2 in
-        let c6 = Experiment.spd_counts_result ~bench ~latency:6 in
-        Table.row bench (triple 0 c2 @ triple 3 c6))
+        let counts latency =
+          Engine.to_counts (submit s ~bench ~latency Query.Spd_counts)
+        in
+        Table.row bench (triple 0 (counts 2) @ triple 3 (counts 6)))
       (benches ())
   in
   [
@@ -120,7 +129,7 @@ let table6_3_tables () =
   ]
 
 (** Table 6-4: the four disambiguators. *)
-let table6_4_tables () =
+let table6_4_tables (_ : Engine.Session.t) =
   [
     Table.v ~id:"table6_4" ~title:"Table 6-4: Disambiguators used in experiments"
       ~label_header:"Disambiguator" ~columns:[ "Description" ]
@@ -141,12 +150,12 @@ let spec_bar col (r : Table.row) =
   | _ -> None
 
 (** Figure 6-2: speedup over NAIVE on a 5-FU machine. *)
-let fig6_2_tables () =
-  warm
-    (fun s ((bench, latency), kind) ->
+let fig6_2_tables s =
+  warm s
+    (fun ((bench, latency), kind) ->
       ignore
-        (Engine.Session.cycles_outcome s ~bench ~latency kind
-           ~width:(Spd_machine.Descr.Fus 5)))
+        (submit s ~bench ~latency
+           (Query.Cycles { kind; width = Spd_machine.Descr.Fus 5 })))
     (product (product (benches ()) latencies) Pipeline.all);
   List.map
     (fun latency ->
@@ -162,31 +171,33 @@ let fig6_2_tables () =
         ~bar_of:(spec_bar 1)
         (List.map
            (fun bench ->
-             let s k =
-               Experiment.speedup_over_naive_result ~bench ~latency k
-                 ~width:(Spd_machine.Descr.Fus 5)
+             let sp kind =
+               Engine.to_float
+                 (submit s ~bench ~latency
+                    (Query.Speedup_over_naive
+                       { kind; width = Spd_machine.Descr.Fus 5 }))
              in
              Table.row bench
                [
-                 pct_cell (s Pipeline.Static);
-                 pct_cell (s Pipeline.Spec);
-                 pct_cell (s Pipeline.Perfect);
+                 pct_cell (sp Pipeline.Static);
+                 pct_cell (sp Pipeline.Spec);
+                 pct_cell (sp Pipeline.Perfect);
                ])
            (benches ())))
     latencies
 
 (** Raw cycle counts on the 5-FU machine — the regression tracker's
     primary input ([spd bench diff]); not part of the paper set. *)
-let cycles_tables () =
+let cycles_tables s =
   let int_cell = function
     | Engine.Ok v -> Table.Int v
     | Engine.Failed _ -> Table.Na
   in
-  warm
-    (fun s ((bench, latency), kind) ->
+  warm s
+    (fun ((bench, latency), kind) ->
       ignore
-        (Engine.Session.cycles_outcome s ~bench ~latency kind
-           ~width:(Spd_machine.Descr.Fus 5)))
+        (submit s ~bench ~latency
+           (Query.Cycles { kind; width = Spd_machine.Descr.Fus 5 })))
     (product (product (benches ()) latencies) Pipeline.all);
   List.map
     (fun latency ->
@@ -204,20 +215,22 @@ let cycles_tables () =
                (List.map
                   (fun kind ->
                     int_cell
-                      (Experiment.cycles_result ~bench ~latency kind
-                         ~width:(Spd_machine.Descr.Fus 5)))
+                      (Engine.to_int
+                         (submit s ~bench ~latency
+                            (Query.Cycles
+                               { kind; width = Spd_machine.Descr.Fus 5 }))))
                   Pipeline.all))
            (benches ())))
     latencies
 
 (** Figure 6-3: speedup of SPEC over STATIC vs machine width (NRC). *)
-let fig6_3_tables () =
+let fig6_3_tables s =
   let widths = widths () in
-  warm
-    (fun s (((bench, latency), width), kind) ->
+  warm s
+    (fun (((bench, latency), width), kind) ->
       ignore
-        (Engine.Session.cycles_outcome s ~bench ~latency kind
-           ~width:(Spd_machine.Descr.Fus width)))
+        (submit s ~bench ~latency
+           (Query.Cycles { kind; width = Spd_machine.Descr.Fus width })))
     (product
        (product (product (nrc_benches ()) latencies) widths)
        [ Pipeline.Static; Pipeline.Spec ]);
@@ -238,17 +251,19 @@ let fig6_3_tables () =
                (List.map
                   (fun w ->
                     pct_cell
-                      (Experiment.spec_over_static_result ~bench ~latency
-                         ~width:(Spd_machine.Descr.Fus w)))
+                      (Engine.to_float
+                         (submit s ~bench ~latency
+                            (Query.Spec_over_static
+                               { width = Spd_machine.Descr.Fus w }))))
                   widths))
            (nrc_benches ())))
     latencies
 
 (** Figure 6-4: code size increase due to SpD (2-cycle memory). *)
-let fig6_4_tables () =
-  warm
-    (fun s (bench, kind) ->
-      ignore (Engine.Session.code_size_outcome s ~bench ~latency:2 kind))
+let fig6_4_tables s =
+  warm s
+    (fun (bench, kind) ->
+      ignore (submit s ~bench ~latency:2 (Query.Code_size kind)))
     (product (benches ()) [ Pipeline.Static; Pipeline.Spec ]);
   [
     Table.v ~id:"fig6_4"
@@ -259,24 +274,31 @@ let fig6_4_tables () =
       (List.map
          (fun bench ->
            Table.row bench
-             [ pct_cell (Experiment.code_growth_result ~bench ~latency:2) ])
+             [
+               pct_cell
+                 (Engine.to_float
+                    (submit s ~bench ~latency:2 Query.Code_growth));
+             ])
          (benches ()));
   ]
 
 (** SpD run-time dynamics: how the transformed code actually behaved —
     per transformed region, how often the alias vs. the speculative
     no-alias version committed, plus squashed guarded operations. *)
-let spd_dynamics_tables () =
-  warm
-    (fun s (bench, latency) ->
-      ignore (Engine.Session.spd_dynamics_outcome s ~bench ~latency))
+let spd_dynamics_tables s =
+  warm s
+    (fun (bench, latency) ->
+      ignore (submit s ~bench ~latency Query.Spd_dynamics))
     (product (benches ()) latencies);
+  let dynamics ~bench ~latency =
+    Engine.to_dynamics (submit s ~bench ~latency Query.Spd_dynamics)
+  in
   let regions latency =
     let total_alias = ref 0 and total_noalias = ref 0 in
     let rows =
       List.concat_map
         (fun bench ->
-          match Experiment.spd_dynamics_result ~bench ~latency with
+          match dynamics ~bench ~latency with
           | Engine.Failed _ ->
               [ Table.row bench [ Table.Na; Table.Na; Table.Na; Table.Na ] ]
           | Engine.Ok (d : Pipeline.dynamics) ->
@@ -330,7 +352,7 @@ let spd_dynamics_tables () =
          (fun bench ->
            List.filter_map
              (fun latency ->
-               match Experiment.spd_dynamics_result ~bench ~latency with
+               match dynamics ~bench ~latency with
                | Engine.Failed _ -> None
                | Engine.Ok (d : Pipeline.dynamics) ->
                    Some
@@ -358,8 +380,8 @@ let spd_dynamics_tables () =
 (** Engine report: per-stage wall clock and the session's counters.
     Seconds are wall-clock, hence run-dependent; the counter table is
     deterministic (and excludes the job count, see {!Engine.Stats}). *)
-let timings_tables () =
-  let st = Engine.Session.stats (Experiment.default_session ()) in
+let timings_tables s =
+  let st = Engine.Session.stats s in
   [
     Table.v ~id:"timings.stages"
       ~title:"Engine: per-stage wall clock (cumulative, all domains)"
@@ -378,7 +400,7 @@ let timings_tables () =
 (* ------------------------------------------------------------------ *)
 (* Pretty wrappers, one per artefact (the historical interface) *)
 
-let render_tables tables ppf () = List.iter (Table.pp ppf) (tables ())
+let render_tables tables s ppf () = List.iter (Table.pp ppf) (tables s)
 
 let table6_1 = render_tables table6_1_tables
 let table6_2 = render_tables table6_2_tables
@@ -390,12 +412,12 @@ let fig6_4 = render_tables fig6_4_tables
 let spd_dynamics = render_tables spd_dynamics_tables
 let timings = render_tables timings_tables
 
-(** Failure appendix: every cell the default session failed to compute,
-    with the original exception.  Prints nothing when all cells
-    succeeded — appended to artefact output by the CLIs, which also turn
-    a non-empty appendix into a nonzero exit status. *)
-let failure_appendix ppf () =
-  match Experiment.failures () with
+(** Failure appendix: every cell the session failed to compute, with
+    the original exception.  Prints nothing when all cells succeeded —
+    appended to artefact output by the CLIs, which also turn a
+    non-empty appendix into a nonzero exit status. *)
+let failure_appendix s ppf () =
+  match Engine.Session.failures s with
   | [] -> ()
   | fs ->
       Fmt.pf ppf "@.Failed cells (%d) — values above rendered as n/a@."
@@ -404,11 +426,11 @@ let failure_appendix ppf () =
       List.iter (fun f -> Fmt.pf ppf "%a@." Engine.pp_failure f) fs;
       Fmt.pf ppf "%s@." (String.make 72 '-')
 
-let all ppf () =
-  table6_1 ppf ();
-  table6_2 ppf ();
-  table6_4 ppf ();
-  table6_3 ppf ();
-  fig6_2 ppf ();
-  fig6_3 ppf ();
-  fig6_4 ppf ()
+let all s ppf () =
+  table6_1 s ppf ();
+  table6_2 s ppf ();
+  table6_4 s ppf ();
+  table6_3 s ppf ();
+  fig6_2 s ppf ();
+  fig6_3 s ppf ();
+  fig6_4 s ppf ()

@@ -3,7 +3,11 @@
     Each artefact is computed into {!Table.t} values first (the
     [*_tables] functions) and only then rendered, so the pretty
     printers here and the machine-readable emitters in {!Artefact} read
-    the exact same values.  Absolute numbers differ from the paper's
+    the exact same values.  Every builder takes its
+    {!Engine.Session.t} explicitly and reads grid cells through
+    {!Engine.Session.submit} — the same path the CLIs and the
+    [spd serve] daemon use, which is what makes served and CLI JSON
+    byte-identical.  Absolute numbers differ from the paper's
     proprietary LIFE testbed; EXPERIMENTS.md records the shape
     comparison. *)
 
@@ -12,7 +16,9 @@ val latencies : int list
 
 (** Figure 6-3's machine widths (default [1..8]); [set_widths]
     overrides them process-wide (the CLI's [--widths] flag) and rejects
-    an empty or non-positive list with [Invalid_argument]. *)
+    an empty or non-positive list with [Invalid_argument].  This is the
+    one process-wide rendering knob: the CLIs set it once at startup,
+    and the daemon never touches it. *)
 val default_widths : int list
 
 val widths : unit -> int list
@@ -22,48 +28,48 @@ val nrc_benches : unit -> string list
 
 (** {1 Artefact data}
 
-    Each builder warms the required grid cells on the default session's
-    domain pool, then assembles tables from the memoized results — the
-    values are therefore independent of the number of jobs. *)
+    Each builder warms the required grid cells on the session's domain
+    pool, then assembles tables from the memoized results — the values
+    are therefore independent of the number of jobs. *)
 
-val table6_1_tables : unit -> Table.t list
-val table6_2_tables : unit -> Table.t list
-val table6_3_tables : unit -> Table.t list
-val table6_4_tables : unit -> Table.t list
-val fig6_2_tables : unit -> Table.t list
+val table6_1_tables : Engine.Session.t -> Table.t list
+val table6_2_tables : Engine.Session.t -> Table.t list
+val table6_3_tables : Engine.Session.t -> Table.t list
+val table6_4_tables : Engine.Session.t -> Table.t list
+val fig6_2_tables : Engine.Session.t -> Table.t list
 
 (** Raw cycle counts on the 5-FU machine, one table per memory latency
     ([cycles.lat2], …) — the regression tracker's primary lower-is-better
     input ([spd bench diff]).  Not part of the paper set. *)
-val cycles_tables : unit -> Table.t list
-val fig6_3_tables : unit -> Table.t list
-val fig6_4_tables : unit -> Table.t list
+val cycles_tables : Engine.Session.t -> Table.t list
+val fig6_3_tables : Engine.Session.t -> Table.t list
+val fig6_4_tables : Engine.Session.t -> Table.t list
 
 (** SpD run-time dynamics: per transformed region, how often the alias
     vs. the speculative no-alias version committed, plus squashed
     guarded operations. *)
-val spd_dynamics_tables : unit -> Table.t list
+val spd_dynamics_tables : Engine.Session.t -> Table.t list
 
 (** Engine per-stage wall clock and session counters.  Seconds are
     run-dependent; the counter table is deterministic. *)
-val timings_tables : unit -> Table.t list
+val timings_tables : Engine.Session.t -> Table.t list
 
 (** {1 Pretty renderers} — thin wrappers over the table data above. *)
 
-val table6_1 : Format.formatter -> unit -> unit
-val table6_2 : Format.formatter -> unit -> unit
-val table6_3 : Format.formatter -> unit -> unit
-val table6_4 : Format.formatter -> unit -> unit
-val fig6_2 : Format.formatter -> unit -> unit
-val fig6_3 : Format.formatter -> unit -> unit
-val fig6_4 : Format.formatter -> unit -> unit
-val spd_dynamics : Format.formatter -> unit -> unit
-val timings : Format.formatter -> unit -> unit
+val table6_1 : Engine.Session.t -> Format.formatter -> unit -> unit
+val table6_2 : Engine.Session.t -> Format.formatter -> unit -> unit
+val table6_3 : Engine.Session.t -> Format.formatter -> unit -> unit
+val table6_4 : Engine.Session.t -> Format.formatter -> unit -> unit
+val fig6_2 : Engine.Session.t -> Format.formatter -> unit -> unit
+val fig6_3 : Engine.Session.t -> Format.formatter -> unit -> unit
+val fig6_4 : Engine.Session.t -> Format.formatter -> unit -> unit
+val spd_dynamics : Engine.Session.t -> Format.formatter -> unit -> unit
+val timings : Engine.Session.t -> Format.formatter -> unit -> unit
 
-(** Failure appendix: every cell the default session failed to compute,
-    with the original exception.  Prints nothing when all cells
-    succeeded — appended to artefact output by the CLIs, which also turn
-    a non-empty appendix into a nonzero exit status. *)
-val failure_appendix : Format.formatter -> unit -> unit
+(** Failure appendix: every cell the session failed to compute, with
+    the original exception.  Prints nothing when all cells succeeded —
+    appended to artefact output by the CLIs, which also turn a
+    non-empty appendix into a nonzero exit status. *)
+val failure_appendix : Engine.Session.t -> Format.formatter -> unit -> unit
 
-val all : Format.formatter -> unit -> unit
+val all : Engine.Session.t -> Format.formatter -> unit -> unit

@@ -1,0 +1,207 @@
+(** Wire protocol of the [spd serve] daemon: LSP-style
+    [Content-Length] framing around JSON-RPC 2.0 envelopes (see the
+    .mli for the layout). *)
+
+module Json = Spd_telemetry.Json
+
+let schema = "spd-serve/1"
+
+(* ------------------------------------------------------------------ *)
+(* Addresses *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+let addr_of_string s =
+  if s = "" then Error "empty address"
+  else if String.length s >= 4 && String.sub s 0 4 = "tcp:" then begin
+    let rest = String.sub s 4 (String.length s - 4) in
+    match String.rindex_opt rest ':' with
+    | None ->
+        Error
+          (Printf.sprintf "TCP address must be tcp:HOST:PORT, got %S" s)
+    | Some i -> (
+        let host = String.sub rest 0 i in
+        let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 1 && p <= 65535 -> Ok (Tcp (host, p))
+        | _ -> Error (Printf.sprintf "invalid TCP port %S" port))
+  end
+  else Ok (Unix_path s)
+
+let pp_addr ppf = function
+  | Unix_path p -> Fmt.pf ppf "unix:%s" p
+  | Tcp (h, p) -> Fmt.pf ppf "tcp:%s:%d" h p
+
+(* ------------------------------------------------------------------ *)
+(* Framing *)
+
+let max_frame = 64 * 1024 * 1024
+
+let write_frame oc (j : Json.t) =
+  let body = Json.to_string j in
+  Printf.fprintf oc "Content-Length: %d\r\n\r\n%s" (String.length body) body;
+  flush oc
+
+(* Header lines are CRLF-terminated; [input_line] strips the LF, we
+   trim the CR.  Only Content-Length is meaningful; unknown headers are
+   skipped for forward compatibility. *)
+let read_frame ic : (Json.t option, string) result =
+  let header_line () =
+    match input_line ic with
+    | line ->
+        let n = String.length line in
+        Some (if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1)
+              else line)
+    | exception End_of_file -> None
+  in
+  let rec headers seen_any len =
+    match header_line () with
+    | None ->
+        if seen_any then Error "connection closed inside a frame header"
+        else Ok None  (* clean end-of-stream between messages *)
+    | Some "" -> (
+        match len with
+        | None -> Error "frame missing Content-Length header"
+        | Some n -> body n)
+    | Some line -> (
+        match String.index_opt line ':' with
+        | Some i
+          when String.lowercase_ascii (String.trim (String.sub line 0 i))
+               = "content-length" -> (
+            let v =
+              String.trim
+                (String.sub line (i + 1) (String.length line - i - 1))
+            in
+            match int_of_string_opt v with
+            | Some n when n >= 0 && n <= max_frame ->
+                headers true (Some n)
+            | Some n ->
+                Error (Printf.sprintf "unreasonable Content-Length %d" n)
+            | None -> Error (Printf.sprintf "invalid Content-Length %S" v))
+        | _ -> headers true len)
+  and body n =
+    match really_input_string ic n with
+    | exception End_of_file -> Error "connection closed inside a frame body"
+    | s -> (
+        match Json.of_string s with
+        | Ok j -> Ok (Some j)
+        | Error e -> Error (Printf.sprintf "malformed frame body: %s" e))
+  in
+  headers false None
+
+(* ------------------------------------------------------------------ *)
+(* JSON-RPC envelopes *)
+
+let parse_error = -32700
+let invalid_request = -32600
+let method_not_found = -32601
+let invalid_params = -32602
+let server_error = -32000
+
+let request ~id ~meth ~params =
+  Json.Obj
+    [
+      ("jsonrpc", Json.String "2.0");
+      ("id", Json.Int id);
+      ("method", Json.String meth);
+      ("params", params);
+    ]
+
+let response_ok ~id result =
+  Json.Obj
+    [ ("jsonrpc", Json.String "2.0"); ("id", id); ("result", result) ]
+
+let response_error ~id ~code message =
+  Json.Obj
+    [
+      ("jsonrpc", Json.String "2.0");
+      ("id", id);
+      ( "error",
+        Json.Obj
+          [ ("code", Json.Int code); ("message", Json.String message) ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Client *)
+
+type client = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable next_id : int;
+}
+
+let connect addr =
+  try
+    let fd =
+      match addr with
+      | Unix_path path ->
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          (try Unix.connect fd (Unix.ADDR_UNIX path)
+           with e -> Unix.close fd; raise e);
+          fd
+      | Tcp (host, port) ->
+          let inet =
+            try Unix.inet_addr_of_string host
+            with Failure _ -> (
+              match Unix.gethostbyname host with
+              | { Unix.h_addr_list = [||]; _ } ->
+                  failwith ("cannot resolve host " ^ host)
+              | h -> h.Unix.h_addr_list.(0)
+              | exception Not_found ->
+                  failwith ("cannot resolve host " ^ host))
+          in
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          (try Unix.connect fd (Unix.ADDR_INET (inet, port))
+           with e -> Unix.close fd; raise e);
+          fd
+    in
+    Ok
+      {
+        fd;
+        ic = Unix.in_channel_of_descr fd;
+        oc = Unix.out_channel_of_descr fd;
+        next_id = 1;
+      }
+  with
+  | Unix.Unix_error (e, _, _) ->
+      Error
+        (Fmt.str "cannot connect to %a: %s" pp_addr addr
+           (Unix.error_message e))
+  | Failure msg -> Error msg
+
+let call c meth params =
+  let id = c.next_id in
+  c.next_id <- id + 1;
+  match write_frame c.oc (request ~id ~meth ~params) with
+  | exception Sys_error e -> Error ("send failed: " ^ e)
+  | () -> (
+      match read_frame c.ic with
+      | Error e -> Error e
+      | Ok None -> Error "connection closed by server"
+      | Ok (Some resp) -> (
+          match Json.member "error" resp with
+          | Some err ->
+              let code =
+                match
+                  Option.bind (Json.member "code" err) Json.to_number
+                with
+                | Some c -> int_of_float c
+                | None -> 0
+              in
+              let msg =
+                match
+                  Option.bind (Json.member "message" err) Json.to_string_opt
+                with
+                | Some m -> m
+                | None -> "unknown error"
+              in
+              Error (Printf.sprintf "server error %d: %s" code msg)
+          | None -> (
+              match Json.member "result" resp with
+              | Some r -> Ok r
+              | None -> Error "malformed response: neither result nor error")))
+
+let close c =
+  (try flush c.oc with Sys_error _ -> ());
+  try Unix.close c.fd with Unix.Unix_error _ -> ()

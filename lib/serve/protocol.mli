@@ -1,0 +1,84 @@
+(** Wire protocol of the [spd serve] daemon.
+
+    Requests and responses are JSON-RPC 2.0 envelopes carried over a
+    byte stream (Unix-domain socket by default, TCP optionally) with
+    LSP-style framing: each message is preceded by a
+    [Content-Length: N] header line and a blank line, both
+    CRLF-terminated —
+
+    {v
+Content-Length: 68\r\n
+\r\n
+{"jsonrpc":"2.0","id":1,"method":"ping","params":{}}
+    v}
+
+    Unknown header lines are ignored, so the framing is forward
+    compatible.  Response [result]s are documents in the repository's
+    existing schemas ([spd-report/1], [spd-explain/1], [spd-micro/1],
+    [spd-metrics/1]) or the daemon's own [spd-serve/1]. *)
+
+(** Schema identifier of the daemon's own response documents:
+    ["spd-serve/1"]. *)
+val schema : string
+
+(** {1 Addresses} *)
+
+type addr =
+  | Unix_path of string  (** Unix-domain socket at this path *)
+  | Tcp of string * int  (** host, port *)
+
+(** [addr_of_string s] parses ["tcp:HOST:PORT"] into [Tcp] and any
+    other non-empty string into [Unix_path]. *)
+val addr_of_string : string -> (addr, string) result
+
+val pp_addr : Format.formatter -> addr -> unit
+
+(** {1 Framing} *)
+
+(** Refuse frames larger than this (64 MiB) rather than attempting the
+    allocation. *)
+val max_frame : int
+
+(** Write one framed JSON message and flush. *)
+val write_frame : out_channel -> Spd_telemetry.Json.t -> unit
+
+(** Read one framed JSON message.  [Ok None] on a clean end-of-stream
+    (the peer closed between messages); [Error] on a truncated frame,
+    an oversized or missing [Content-Length], or malformed JSON. *)
+val read_frame :
+  in_channel -> (Spd_telemetry.Json.t option, string) result
+
+(** {1 JSON-RPC envelopes} *)
+
+(** Standard JSON-RPC 2.0 error codes used by the daemon. *)
+val parse_error : int         (* -32700 *)
+val invalid_request : int     (* -32600 *)
+val method_not_found : int    (* -32601 *)
+val invalid_params : int      (* -32602 *)
+val server_error : int        (* -32000 *)
+
+val request :
+  id:int -> meth:string -> params:Spd_telemetry.Json.t -> Spd_telemetry.Json.t
+
+val response_ok :
+  id:Spd_telemetry.Json.t -> Spd_telemetry.Json.t -> Spd_telemetry.Json.t
+
+val response_error :
+  id:Spd_telemetry.Json.t -> code:int -> string -> Spd_telemetry.Json.t
+
+(** {1 Client} *)
+
+type client
+
+(** Connect to a listening daemon. *)
+val connect : addr -> (client, string) result
+
+(** [call c meth params] sends one request and waits for its response.
+    [Ok result] on success; [Error] describes either a transport
+    problem or the server's JSON-RPC error ("server error -32601:
+    ..."). *)
+val call :
+  client -> string -> Spd_telemetry.Json.t ->
+  (Spd_telemetry.Json.t, string) result
+
+val close : client -> unit

@@ -1,0 +1,613 @@
+(** The [spd serve] daemon (see the .mli).
+
+    Concurrency model: [workers] OCaml 5 domains share one listening
+    socket; each blocks in [accept], serves its connection to
+    completion (requests on one connection are sequential, as JSON-RPC
+    over a stream implies), and loops.  All artefact work funnels into
+    the one shared {!Engine.Session}, whose promise-table memoization
+    is what deduplicates concurrent identical requests across
+    connections and domains.
+
+    Shutdown: a [stop] (signal handler, or the [shutdown] method) sets
+    the stop flag and then dials one dummy connection per worker, so
+    every domain blocked in [accept] wakes, observes the flag and
+    exits.  [wait] then joins the workers and removes the socket. *)
+
+module W = Spd_workloads
+module Json = Spd_telemetry.Json
+module Metrics = Spd_telemetry.Metrics
+module Trace = Spd_telemetry.Trace
+module Engine = Spd_harness.Engine
+module Query = Spd_harness.Engine.Query
+module Pipeline = Spd_harness.Pipeline
+module Artefact = Spd_harness.Artefact
+module Explain = Spd_harness.Explain
+module Microbench = Spd_harness.Microbench
+
+let version = "1.0"
+
+let methods =
+  [
+    "ping"; "query"; "report"; "explain"; "micro"; "run"; "metrics";
+    "stats"; "shutdown";
+  ]
+
+let m_requests = lazy (Metrics.counter "spd.serve.requests")
+let m_errors = lazy (Metrics.counter "spd.serve.errors")
+
+let m_request_seconds =
+  lazy
+    (Metrics.histogram ~buckets:Metrics.time_buckets
+       "spd.serve.request_seconds")
+
+type t = {
+  addr : Protocol.addr;
+  listen_fd : Unix.file_descr;
+  session : Engine.Session.t;
+  run_fuel : int option;  (* cap on inline-run fuel requests *)
+  run_deadline : float option;
+  stopping : bool Atomic.t;
+  served : int Atomic.t;
+  nworkers : int;
+  mutable workers : unit Domain.t list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Request parameter decoding.  [Bad_params] maps to JSON-RPC error
+   -32602 (invalid params); compile/simulate exceptions map to -32000
+   (server error). *)
+
+exception Bad_params of string
+exception Unknown_method of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad_params s)) fmt
+
+let obj_params = function
+  | None | Some Json.Null -> Json.Obj []
+  | Some (Json.Obj _ as o) -> o
+  | Some _ -> raise (Bad_params "\"params\" must be an object")
+
+let opt_string name p =
+  match Json.member name p with
+  | None | Some Json.Null -> None
+  | Some (Json.String s) -> Some s
+  | Some _ -> bad "%S must be a string" name
+
+let req_string name p =
+  match opt_string name p with
+  | Some s -> s
+  | None -> bad "missing required parameter %S" name
+
+(* positive integer, with the same hint wording as the CLIs' --fuel /
+   --jobs flags (Cliflags) *)
+let opt_pos_int name p =
+  match Json.member name p with
+  | None | Some Json.Null -> None
+  | Some j -> (
+      match Json.to_number j with
+      | Some v when Float.is_integer v && v >= 1.0 ->
+          Some (int_of_float v)
+      | Some v -> bad "%S expects a positive integer, got %g" name v
+      | None -> bad "%S expects a positive integer" name)
+
+let opt_nat name p =
+  match Json.member name p with
+  | None | Some Json.Null -> None
+  | Some j -> (
+      match Json.to_number j with
+      | Some v when Float.is_integer v && v >= 0.0 ->
+          Some (int_of_float v)
+      | _ -> bad "%S expects a non-negative integer" name)
+
+let opt_pos_float name p =
+  match Json.member name p with
+  | None | Some Json.Null -> None
+  | Some j -> (
+      match Json.to_number j with
+      | Some v when v > 0.0 -> Some v
+      | Some v ->
+          bad "%S expects a positive number of seconds, got %g" name v
+      | None -> bad "%S expects a positive number of seconds" name)
+
+let opt_string_list name p =
+  match Json.member name p with
+  | None | Some Json.Null -> None
+  | Some (Json.List l) ->
+      Some
+        (List.map
+           (fun j ->
+             match Json.to_string_opt j with
+             | Some s -> s
+             | None -> bad "%S must be a list of strings" name)
+           l)
+  | Some _ -> bad "%S must be a list of strings" name
+
+let workload_names () =
+  W.Registry.names
+  @ List.map (fun (w : W.Workload.t) -> w.name) W.Registry.extras
+
+let require_workload name =
+  if not (List.mem name (workload_names ())) then
+    bad "unknown workload %S (one of: %s)" name
+      (String.concat ", " (workload_names ()))
+
+let pipeline_of_string s =
+  match String.lowercase_ascii s with
+  | "naive" -> Pipeline.Naive
+  | "static" -> Pipeline.Static
+  | "spec" -> Pipeline.Spec
+  | "perfect" -> Pipeline.Perfect
+  | _ -> bad "unknown pipeline %S (one of: naive, static, spec, perfect)" s
+
+(* machine width: a positive integer number of FUs, or "inf" *)
+let opt_width p =
+  match Json.member "width" p with
+  | None | Some Json.Null -> None
+  | Some (Json.String "inf") -> Some Spd_machine.Descr.Infinite
+  | Some j -> (
+      match Json.to_number j with
+      | Some v when Float.is_integer v && v >= 1.0 ->
+          Some (Spd_machine.Descr.Fus (int_of_float v))
+      | _ -> bad "\"width\" expects a positive integer or \"inf\"")
+
+let opt_min_int a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (min a b)
+
+let opt_min_float a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (Float.min a b)
+
+(* ------------------------------------------------------------------ *)
+(* Building engine queries from request parameters *)
+
+let query_of_params p =
+  let bench = req_string "bench" p in
+  require_workload bench;
+  let latency = Option.value ~default:2 (opt_pos_int "latency" p) in
+  let fuel = opt_pos_int "fuel" p in
+  let deadline = opt_pos_float "deadline" p in
+  let kind_for art =
+    match opt_string "pipeline" p with
+    | Some s -> pipeline_of_string s
+    | None -> bad "artefact %S needs a \"pipeline\"" art
+  in
+  let width_for art =
+    match opt_width p with
+    | Some w -> w
+    | None -> bad "artefact %S needs a \"width\"" art
+  in
+  let artefact =
+    match req_string "artefact" p with
+    | "cycles" ->
+        Query.Cycles { kind = kind_for "cycles"; width = width_for "cycles" }
+    | "code-size" -> Query.Code_size (kind_for "code-size")
+    | "spd-counts" -> Query.Spd_counts
+    | "spd-dynamics" -> Query.Spd_dynamics
+    | "speedup-over-naive" ->
+        Query.Speedup_over_naive
+          {
+            kind = kind_for "speedup-over-naive";
+            width = width_for "speedup-over-naive";
+          }
+    | "spec-over-static" ->
+        Query.Spec_over_static { width = width_for "spec-over-static" }
+    | "code-growth" -> Query.Code_growth
+    | s ->
+        bad "unknown artefact %S (one of: %s)" s
+          (String.concat ", " Query.artefact_names)
+  in
+  Query.v ?fuel ?deadline ~bench ~latency artefact
+
+let dynamics_json (d : Pipeline.dynamics) =
+  Json.Obj
+    [
+      ( "regions",
+        Json.List
+          (List.map
+             (fun (r : Pipeline.region_dynamics) ->
+               Json.Obj
+                 [
+                   ("func", Json.String r.func);
+                   ("tree", Json.Int r.tree_id);
+                   ( "kind",
+                     Json.String
+                       (Fmt.str "%a" Spd_ir.Memdep.pp_kind r.dep_kind) );
+                   ( "arc",
+                     Json.List [ Json.Int (fst r.arc); Json.Int (snd r.arc) ]
+                   );
+                   ("alias_commits", Json.Int r.alias_commits);
+                   ("noalias_commits", Json.Int r.noalias_commits);
+                 ])
+             d.regions) );
+      ("squashed", Json.Int d.squashed);
+    ]
+
+let value_json : Engine.value -> Json.t = function
+  | Engine.Int n -> Json.Int n
+  | Engine.Float x -> Json.Float x
+  | Engine.Counts (raw, war, waw) ->
+      Json.Obj
+        [ ("raw", Json.Int raw); ("war", Json.Int war); ("waw", Json.Int waw) ]
+  | Engine.Dynamics d -> dynamics_json d
+
+(* ------------------------------------------------------------------ *)
+(* Method dispatch.  Every result is either one of the repository's
+   existing schema documents (spd-report/1, spd-explain/1, spd-micro/1,
+   spd-metrics/1) or an spd-serve/1 object tagged with its "kind". *)
+
+let serve_doc kind fields =
+  Json.Obj
+    (("schema", Json.String Protocol.schema)
+    :: ("kind", Json.String kind)
+    :: fields)
+
+let dispatch t meth params : Json.t =
+  let p = obj_params params in
+  match meth with
+  | "ping" ->
+      serve_doc "ping"
+        [
+          ("server", Json.String "spd-serve");
+          ("version", Json.String version);
+          ("methods", Json.List (List.map (fun m -> Json.String m) methods));
+          ( "workloads",
+            Json.List
+              (List.map (fun w -> Json.String w) (workload_names ())) );
+          ( "artefacts",
+            Json.List
+              (List.map (fun a -> Json.String a) Query.artefact_names) );
+        ]
+  | "query" -> (
+      let q = query_of_params p in
+      let base = [ ("key", Json.String (Query.key q)) ] in
+      match Engine.Session.submit t.session q with
+      | Engine.Ok v ->
+          serve_doc "query"
+            (base @ [ ("ok", Json.Bool true); ("value", value_json v) ])
+      | Engine.Failed f ->
+          (* a failed cell is a successful RPC: the renderers' n/a,
+             machine-readable *)
+          serve_doc "query"
+            (base
+            @ [
+                ("ok", Json.Bool false);
+                ("error", Json.String (Printexc.to_string f.Engine.exn));
+                ("attempts", Json.Int f.Engine.attempts);
+              ]))
+  | "report" ->
+      let names =
+        match Json.member "artefacts" p with
+        | None | Some Json.Null -> Artefact.paper_set
+        | Some (Json.List l) ->
+            List.map
+              (fun j ->
+                match Json.to_string_opt j with
+                | Some s -> s
+                | None -> bad "\"artefacts\" must be a list of names")
+              l
+        | Some _ -> bad "\"artefacts\" must be a list of names"
+      in
+      let arts =
+        List.map
+          (fun n ->
+            match Artefact.find n with
+            | Some a -> a
+            | None ->
+                bad "unknown artefact %S (one of: %s)" n
+                  (String.concat ", " (Artefact.names ())))
+          names
+      in
+      Artefact.to_json ~session:t.session arts
+  | "explain" ->
+      let workload = req_string "workload" p in
+      require_workload workload;
+      let width = Option.value ~default:5 (opt_pos_int "width" p) in
+      let mem_latency =
+        Option.value ~default:2 (opt_pos_int "mem_latency" p)
+      in
+      let fn = opt_string "fn" p in
+      let tree = opt_nat "tree" p in
+      let e = Explain.analyze ~width ~mem_latency workload in
+      if Explain.selected ?fn ?tree e = [] then
+        bad "no tree of %S matches the fn/tree filter" workload;
+      Explain.to_json ?fn ?tree e
+  | "micro" ->
+      let workloads = opt_string_list "workloads" p in
+      Option.iter (List.iter require_workload) workloads;
+      let mem_latency =
+        Option.value ~default:2 (opt_pos_int "mem_latency" p)
+      in
+      let width = Option.value ~default:5 (opt_pos_int "width" p) in
+      let min_time =
+        Option.value ~default:0.02 (opt_pos_float "min_time" p)
+      in
+      if min_time > 5.0 then
+        bad "\"min_time\" is capped at 5 seconds on a shared daemon";
+      Microbench.to_json
+        (Microbench.run ~mem_latency ~width ~min_time ?workloads ())
+  | "run" ->
+      let source = req_string "source" p in
+      let kind =
+        match opt_string "pipeline" p with
+        | None -> Pipeline.Spec
+        | Some s -> pipeline_of_string s
+      in
+      let mem_latency =
+        Option.value ~default:2 (opt_pos_int "mem_latency" p)
+      in
+      let width =
+        Option.value ~default:(Spd_machine.Descr.Fus 5) (opt_width p)
+      in
+      (* inline source bypasses the session's grid cells, so the
+         daemon's own caps bound these budgets instead *)
+      let fuel = opt_min_int t.run_fuel (opt_pos_int "fuel" p) in
+      let deadline =
+        opt_min_float t.run_deadline (opt_pos_float "deadline" p)
+      in
+      let prog = Spd_lang.Lower.compile source in
+      let config = Pipeline.Config.v ?fuel ?deadline ~mem_latency () in
+      let prepared = Pipeline.prepare ~config kind prog in
+      let descr = { Spd_machine.Descr.width; mem_latency } in
+      let timing = Spd_machine.Timing_builder.program descr prepared.prog in
+      let r : Spd_sim.Interp.result =
+        Spd_sim.Interp.run ~timing ?fuel ?deadline prepared.prog
+      in
+      serve_doc "run"
+        [
+          ("pipeline", Json.String (Pipeline.name kind));
+          ("machine", Json.String (Fmt.str "%a" Spd_machine.Descr.pp descr));
+          ("cycles", Json.Int r.cycles);
+          ("traversals", Json.Int r.traversals);
+          ("return", Json.String (Fmt.str "%a" Spd_ir.Value.pp r.ret));
+          ( "output",
+            Json.List
+              (List.map
+                 (fun v -> Json.String (Fmt.str "%a" Spd_ir.Value.pp v))
+                 r.output) );
+          ("code_size", Json.Int (Pipeline.code_size prepared));
+          ("applications", Json.Int (List.length prepared.applications));
+        ]
+  | "metrics" -> Metrics.snapshot_json (Metrics.snapshot ())
+  | "stats" ->
+      let st = Engine.Session.stats t.session in
+      serve_doc "stats"
+        [
+          ("jobs", Json.Int st.Engine.Stats.jobs);
+          ( "counters",
+            Json.Obj
+              (List.map
+                 (fun (k, v) -> (k, Json.Int v))
+                 (Engine.Stats.to_alist st)) );
+          ( "stage_seconds",
+            Json.Obj
+              (List.map
+                 (fun (stage, secs) ->
+                   (Pipeline.stage_name stage, Json.Float secs))
+                 st.Engine.Stats.stage_seconds) );
+          ( "failures",
+            Json.List
+              (List.map
+                 (fun (f : Engine.failure) -> Json.String f.Engine.key)
+                 (Engine.Session.failures t.session)) );
+          ("served", Json.Int (Atomic.get t.served));
+        ]
+  | "shutdown" -> serve_doc "shutdown" [ ("stopping", Json.Bool true) ]
+  | m -> raise (Unknown_method m)
+
+(* the compile/simulate exceptions a [run] request can surface; wording
+   matches the spd CLI's handle_errors *)
+let app_error_message = function
+  | Spd_lang.Lexer.Error (msg, line) ->
+      Some (Printf.sprintf "lexical error, line %d: %s" line msg)
+  | Spd_lang.Parser.Error (msg, line) ->
+      Some (Printf.sprintf "syntax error, line %d: %s" line msg)
+  | Spd_lang.Typecheck.Error msg -> Some ("type error: " ^ msg)
+  | Spd_lang.Lower.Error msg -> Some ("lowering error: " ^ msg)
+  | Spd_sim.Interp.Sim_error (k, ctx) ->
+      Some (Fmt.str "runtime error: %a" Spd_sim.Interp.pp_error (k, ctx))
+  | _ -> None
+
+let respond t ~id req : Json.t * bool =
+  match Option.bind (Json.member "method" req) Json.to_string_opt with
+  | None ->
+      Metrics.incr (Lazy.force m_errors);
+      ( Protocol.response_error ~id ~code:Protocol.invalid_request
+          "request has no \"method\" member",
+        false )
+  | Some meth ->
+      Metrics.incr (Lazy.force m_requests);
+      let t0 = Unix.gettimeofday () in
+      let err code msg =
+        Metrics.incr (Lazy.force m_errors);
+        Protocol.response_error ~id ~code msg
+      in
+      let params = Json.member "params" req in
+      let resp =
+        match
+          Trace.with_span ~name:("rpc:" ^ meth) (fun () ->
+              dispatch t meth params)
+        with
+        | result -> Protocol.response_ok ~id result
+        | exception Bad_params msg -> err Protocol.invalid_params msg
+        | exception Unknown_method m ->
+            err Protocol.method_not_found
+              (Printf.sprintf "unknown method %S (one of: %s)" m
+                 (String.concat ", " methods))
+        | exception Invalid_argument msg -> err Protocol.invalid_params msg
+        | exception e -> (
+            match app_error_message e with
+            | Some msg -> err Protocol.server_error msg
+            | None -> err Protocol.server_error (Printexc.to_string e))
+      in
+      Metrics.observe
+        (Lazy.force m_request_seconds)
+        (Unix.gettimeofday () -. t0);
+      let ok = Json.member "result" resp <> None in
+      (resp, meth = "shutdown" && ok)
+
+(* ------------------------------------------------------------------ *)
+(* Connections and workers *)
+
+(* wake one domain blocked in [accept] with a throwaway connection *)
+let poke addr =
+  let target =
+    match addr with
+    | Protocol.Unix_path _ -> addr
+    | Protocol.Tcp (host, port) ->
+        let host =
+          match host with "" | "*" | "0.0.0.0" -> "127.0.0.1" | h -> h
+        in
+        Protocol.Tcp (host, port)
+  in
+  match Protocol.connect target with
+  | Ok c -> Protocol.close c
+  | Error _ -> ()
+
+let initiate_stop t =
+  if not (Atomic.exchange t.stopping true) then
+    for _ = 1 to t.nworkers do
+      poke t.addr
+    done
+
+let handle_conn t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let finished = ref false in
+  (try
+     while (not !finished) && not (Atomic.get t.stopping) do
+       match Protocol.read_frame ic with
+       | Ok None -> finished := true
+       | Error e ->
+           (* unframeable input: answer once, then drop the peer *)
+           (try
+              Protocol.write_frame oc
+                (Protocol.response_error ~id:Json.Null
+                   ~code:Protocol.parse_error e)
+            with Sys_error _ -> ());
+           finished := true
+       | Ok (Some req) ->
+           let id =
+             Option.value ~default:Json.Null (Json.member "id" req)
+           in
+           let resp, quit = respond t ~id req in
+           Atomic.incr t.served;
+           (try Protocol.write_frame oc resp
+            with Sys_error _ -> finished := true);
+           if quit then begin
+             finished := true;
+             initiate_stop t
+           end
+     done
+   with Sys_error _ | End_of_file -> ());
+  (try flush oc with Sys_error _ -> ());
+  (* ic and oc share fd; close the descriptor exactly once *)
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let rec worker t =
+  match Unix.accept t.listen_fd with
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+      if Atomic.get t.stopping then () else worker t
+  | exception Unix.Unix_error (_, _, _) ->
+      (* EBADF and friends: the listening socket is gone *)
+      ()
+  | fd, _ ->
+      if Atomic.get t.stopping then begin
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      end
+      else begin
+        handle_conn t fd;
+        if Atomic.get t.stopping then () else worker t
+      end
+
+(* ------------------------------------------------------------------ *)
+
+let listen addr =
+  match addr with
+  | Protocol.Unix_path path ->
+      (if Sys.file_exists path then
+         match (Unix.stat path).Unix.st_kind with
+         | Unix.S_SOCK ->
+             (* a stale socket from a dead daemon; replace it *)
+             (try Unix.unlink path with Unix.Unix_error _ -> ())
+         | _ ->
+             failwith
+               (Printf.sprintf
+                  "spd serve: %s exists and is not a socket; refusing to \
+                   replace it"
+                  path));
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try
+         Unix.bind fd (Unix.ADDR_UNIX path);
+         Unix.listen fd 64
+       with Unix.Unix_error (e, _, _) ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         failwith
+           (Fmt.str "spd serve: cannot listen on %a: %s" Protocol.pp_addr
+              addr (Unix.error_message e)));
+      fd
+  | Protocol.Tcp (host, port) ->
+      let inet =
+        match host with
+        | "" | "*" | "0.0.0.0" -> Unix.inet_addr_any
+        | h -> (
+            try Unix.inet_addr_of_string h
+            with Failure _ -> (
+              match Unix.gethostbyname h with
+              | { Unix.h_addr_list = [||]; _ } ->
+                  failwith ("spd serve: cannot resolve host " ^ h)
+              | info -> info.Unix.h_addr_list.(0)
+              | exception Not_found ->
+                  failwith ("spd serve: cannot resolve host " ^ h)))
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd (Unix.ADDR_INET (inet, port));
+         Unix.listen fd 64
+       with Unix.Unix_error (e, _, _) ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         failwith
+           (Fmt.str "spd serve: cannot listen on %a: %s" Protocol.pp_addr
+              addr (Unix.error_message e)));
+      fd
+
+let start ?(workers = 4) ?run_fuel ?run_deadline ~session addr =
+  (* a peer that disconnects mid-response must surface as EPIPE, not
+     kill the daemon *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+   with Invalid_argument _ | Sys_error _ -> ());
+  let nworkers = max 1 workers in
+  let t =
+    {
+      addr;
+      listen_fd = listen addr;
+      session;
+      run_fuel;
+      run_deadline;
+      stopping = Atomic.make false;
+      served = Atomic.make 0;
+      nworkers;
+      workers = [];
+    }
+  in
+  t.workers <- List.init nworkers (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let stop = initiate_stop
+
+let wait t =
+  while not (Atomic.get t.stopping) do
+    try Unix.sleepf 0.25 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  List.iter Domain.join t.workers;
+  t.workers <- [];
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  match t.addr with
+  | Protocol.Unix_path path -> (
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+  | Protocol.Tcp _ -> ()
+
+let served t = Atomic.get t.served

@@ -1,0 +1,53 @@
+(** The [spd serve] daemon: an always-on, multi-tenant front end to one
+    shared {!Spd_harness.Engine.Session}.
+
+    A fixed crew of OCaml 5 domains accepts connections on one
+    listening socket and serves framed JSON-RPC requests
+    (see {!Protocol}); every artefact request becomes an
+    {!Spd_harness.Engine.Query.t} submitted through
+    [Engine.Session.submit], so
+
+    - concurrent identical requests deduplicate onto one computation
+      (the engine's per-cell promises), and
+    - per-request [fuel]/[deadline] quotas isolate tenants: a
+      quota-starved request fails with an [ok:false] response while
+      the shared cells stay intact.
+
+    Methods: [ping], [query], [report], [explain], [micro], [run],
+    [metrics], [stats], [shutdown].  [report] responses reuse
+    {!Spd_harness.Artefact.to_json} verbatim, which is what makes a
+    served report byte-identical to [spd report --format json]
+    (modulo the run-dependent ["metrics"] member). *)
+
+type t
+
+(** Daemon version string, reported by [ping]. *)
+val version : string
+
+(** The methods the daemon understands, reported by [ping]. *)
+val methods : string list
+
+(** [start ~session addr] binds [addr], spawns [workers] accept/serve
+    domains (default 4) and returns immediately.  [run_fuel] and
+    [run_deadline] cap the budgets of inline-source [run] requests the
+    same way the session's own budgets cap [query] quotas.  Raises
+    [Failure] if the address cannot be bound (e.g. the socket path
+    exists and is not a stale socket). *)
+val start :
+  ?workers:int ->
+  ?run_fuel:int ->
+  ?run_deadline:float ->
+  session:Spd_harness.Engine.Session.t ->
+  Protocol.addr -> t
+
+(** Ask the daemon to stop: subsequent accepts are refused and workers
+    wind down.  Idempotent, safe from any domain and from signal
+    handlers (also triggered by the [shutdown] method). *)
+val stop : t -> unit
+
+(** Block until {!stop} was requested, then join the workers, close
+    the listening socket and unlink a Unix-domain socket path. *)
+val wait : t -> unit
+
+(** Requests answered so far (all methods, errors included). *)
+val served : t -> int

@@ -121,11 +121,52 @@ let check_micro doc =
         [ "compile"; "schedule"; "simulate"; "e2e" ])
     workloads
 
+(* spd-serve/1: the daemon's own response documents, discriminated by
+   their "kind" member *)
+let check_serve doc =
+  match require_string "kind" doc with
+  | "ping" ->
+      let (_ : string) = require_string "server" doc in
+      let (_ : string) = require_string "version" doc in
+      if require_list "methods" doc = [] then bad "empty \"methods\" list";
+      if require_list "workloads" doc = [] then
+        bad "empty \"workloads\" list";
+      if require_list "artefacts" doc = [] then
+        bad "empty \"artefacts\" list"
+  | "query" -> (
+      let (_ : string) = require_string "key" doc in
+      match require_member "ok" doc with
+      | Json.Bool true ->
+          if Json.member "value" doc = None then
+            bad "ok query without a \"value\""
+      | Json.Bool false ->
+          let (_ : string) = require_string "error" doc in
+          if require_int "attempts" doc < 1 then bad "attempts < 1"
+      | _ -> bad "\"ok\" is not a boolean")
+  | "run" ->
+      let (_ : string) = require_string "pipeline" doc in
+      let (_ : string) = require_string "machine" doc in
+      if require_int "cycles" doc < 0 then bad "negative cycles";
+      if require_int "traversals" doc <= 0 then bad "no traversals";
+      let (_ : string) = require_string "return" doc in
+      if require_int "code_size" doc <= 0 then bad "no code"
+  | "stats" ->
+      if require_int "jobs" doc < 1 then bad "jobs < 1";
+      let (_ : Json.t) = require_member "counters" doc in
+      let (_ : Json.t list) = require_list "failures" doc in
+      if require_int "served" doc < 0 then bad "negative served count"
+  | "shutdown" -> (
+      match require_member "stopping" doc with
+      | Json.Bool _ -> ()
+      | _ -> bad "\"stopping\" is not a boolean")
+  | kind -> bad "unknown spd-serve/1 kind %S" kind
+
 let check_schema doc =
   match Option.bind (Json.member "schema" doc) Json.to_string_opt with
   | Some "spd-explain/1" -> check_explain doc; Some "spd-explain/1"
   | Some "spd-bench-diff/1" -> check_bench_diff doc; Some "spd-bench-diff/1"
   | Some "spd-micro/1" -> check_micro doc; Some "spd-micro/1"
+  | Some "spd-serve/1" -> check_serve doc; Some "spd-serve/1"
   | _ -> None
 
 let () =

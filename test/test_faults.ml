@@ -13,11 +13,6 @@ let parse_ok spec =
   | Ok f -> f
   | Error msg -> Alcotest.failf "Faults.parse %S: %s" spec msg
 
-(* fresh default session so a failed test cannot leak faults into later
-   suites *)
-let reset_default () =
-  H.Experiment.set_default_session (Engine.Session.create ~jobs:1 ())
-
 (* ------------------------------------------------------------------ *)
 
 let test_faults_parse () =
@@ -73,7 +68,10 @@ let test_contained_failure () =
   let faults = parse_ok "cell-raise:moment/2/SPEC/summary" in
   let s = Engine.Session.create ~jobs:1 ~faults () in
   Fun.protect ~finally:(fun () -> Engine.Session.close s) @@ fun () ->
-  (match Engine.Session.spd_counts_outcome s ~bench:"moment" ~latency:2 with
+  (match
+     Engine.Session.submit s
+       (Engine.Query.v ~bench:"moment" ~latency:2 Engine.Query.Spd_counts)
+   with
   | Engine.Failed f ->
       check_bool "failure key names the cell" true
         (f.Engine.key = "moment/2/SPEC/summary")
@@ -95,17 +93,19 @@ let test_contained_failure () =
    every other cell still carries its value. *)
 
 let test_report_renders_na () =
-  Fun.protect ~finally:reset_default @@ fun () ->
   let clean =
-    Test_harness.with_session (Engine.Session.create ~jobs:1 ()) (fun () ->
-        Test_harness.render H.Report.table6_3)
+    Test_harness.with_session (Engine.Session.create ~jobs:1 ()) (fun s ->
+        Test_harness.render (H.Report.table6_3 s))
   in
   let faults = parse_ok "cell-raise:moment/2/SPEC" in
-  let s = Engine.Session.create ~jobs:2 ~faults () in
   let faulted, appendix =
-    Test_harness.with_session s (fun () ->
-        let table = Test_harness.render H.Report.table6_3 in
-        let appendix = Test_harness.render H.Report.failure_appendix in
+    Test_harness.with_session
+      (Engine.Session.create ~jobs:2 ~faults ())
+      (fun s ->
+        let table = Test_harness.render (H.Report.table6_3 s) in
+        let appendix =
+          Test_harness.render (H.Report.failure_appendix s)
+        in
         (table, appendix))
   in
   check_bool "faulted table renders n/a" true
@@ -152,14 +152,13 @@ let truncate_file path =
         (String.sub s 0 (String.length s / 2)))
 
 let test_cache_self_healing () =
-  Fun.protect ~finally:reset_default @@ fun () ->
   let dir =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "spd_heal_test_%d" (Unix.getpid ()))
   in
   Test_harness.rm_rf dir;
   Fun.protect ~finally:(fun () -> Test_harness.rm_rf dir) @@ fun () ->
-  let render () = Test_harness.render H.Report.table6_3 in
+  let render s = Test_harness.render (H.Report.table6_3 s) in
   let cold =
     Test_harness.with_session
       (Engine.Session.create ~jobs:2 ~disk_cache:true ~cache_dir:dir ())
@@ -175,7 +174,7 @@ let test_cache_self_healing () =
   truncate_file (List.nth entries 0);
   flip_byte (List.nth entries 1);
   let s = Engine.Session.create ~jobs:2 ~disk_cache:true ~cache_dir:dir () in
-  let warm = Test_harness.with_session s (fun () -> render ()) in
+  let warm = Test_harness.with_session s render in
   let st = Engine.Session.stats s in
   check_int "both corrupt entries evicted" 2 st.Engine.Stats.disk_evictions;
   check_bool "evicted cells recomputed" true
@@ -184,7 +183,7 @@ let test_cache_self_healing () =
     (String.equal cold warm);
   (* third run: fully healed, nothing to evict or recompute *)
   let s3 = Engine.Session.create ~jobs:2 ~disk_cache:true ~cache_dir:dir () in
-  let again = Test_harness.with_session s3 (fun () -> render ()) in
+  let again = Test_harness.with_session s3 render in
   let st3 = Engine.Session.stats s3 in
   check_int "healed cache: no evictions" 0 st3.Engine.Stats.disk_evictions;
   check_int "healed cache: no recomputation" 0 st3.Engine.Stats.preparations;
@@ -194,14 +193,13 @@ let test_cache_self_healing () =
    heals exactly that one entry. *)
 
 let test_cache_corrupt_fault () =
-  Fun.protect ~finally:reset_default @@ fun () ->
   let dir =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "spd_corrupt_fault_test_%d" (Unix.getpid ()))
   in
   Test_harness.rm_rf dir;
   Fun.protect ~finally:(fun () -> Test_harness.rm_rf dir) @@ fun () ->
-  let render () = Test_harness.render H.Report.table6_3 in
+  let render s = Test_harness.render (H.Report.table6_3 s) in
   let cold =
     Test_harness.with_session
       (Engine.Session.create ~jobs:1 ~disk_cache:true ~cache_dir:dir ())
@@ -211,7 +209,7 @@ let test_cache_corrupt_fault () =
     Engine.Session.create ~jobs:1 ~disk_cache:true ~cache_dir:dir
       ~faults:(parse_ok "cache-corrupt:1") ()
   in
-  let warm = Test_harness.with_session s (fun () -> render ()) in
+  let warm = Test_harness.with_session s render in
   let st = Engine.Session.stats s in
   check_int "exactly one eviction" 1 st.Engine.Stats.disk_evictions;
   check_bool "output unaffected" true (String.equal cold warm)

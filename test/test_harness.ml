@@ -86,12 +86,15 @@ let prop_spd_finds_the_helper =
 (* ------------------------------------------------------------------ *)
 (* Experiment memoization *)
 
+let with_session = H.Experiment.with_session
+
 let test_experiment_memoizes () =
+  with_session (H.Engine.Session.create ~jobs:1 ()) @@ fun s ->
   let t0 = Unix.gettimeofday () in
-  let a = H.Experiment.cycles ~bench:"moment" ~latency:2 Pipeline.Spec
+  let a = H.Experiment.cycles s ~bench:"moment" ~latency:2 Pipeline.Spec
       ~width:(Spd_machine.Descr.Fus 4) in
   let t1 = Unix.gettimeofday () in
-  let b = H.Experiment.cycles ~bench:"moment" ~latency:2 Pipeline.Spec
+  let b = H.Experiment.cycles s ~bench:"moment" ~latency:2 Pipeline.Spec
       ~width:(Spd_machine.Descr.Fus 4) in
   let t2 = Unix.gettimeofday () in
   check_int "same result" a b;
@@ -120,16 +123,17 @@ let contains hay needle =
   go 0
 
 let test_reports_render () =
-  let t62 = render H.Report.table6_2 in
+  with_session (H.Engine.Session.create ~jobs:1 ()) @@ fun s ->
+  let t62 = render (H.Report.table6_2 s) in
   List.iter
     (fun (w : Spd_workloads.Workload.t) ->
       check_bool (w.name ^ " listed") true (contains t62 w.name))
     Spd_workloads.Registry.all;
-  let t64 = render H.Report.table6_4 in
+  let t64 = render (H.Report.table6_4 s) in
   List.iter
     (fun k -> check_bool (k ^ " described") true (contains t64 k))
     [ "NAIVE"; "STATIC"; "SPEC"; "PERFECT" ];
-  let t61 = render H.Report.table6_1 in
+  let t61 = render (H.Report.table6_1 s) in
   check_bool "branch latency shown" true (contains t61 "Branches")
 
 (* ------------------------------------------------------------------ *)
@@ -138,15 +142,14 @@ let test_reports_render () =
    cache must reproduce them with zero pipeline recomputations. *)
 
 module Engine = H.Engine
+module Query = H.Engine.Query
 
-(* the three deterministic grid artefacts, rendered through the default
-   session *)
-let grid_render () =
-  render H.Report.table6_3 ^ render H.Report.fig6_2 ^ render H.Report.fig6_3
-
-let with_session s f =
-  H.Experiment.set_default_session s;
-  Fun.protect ~finally:(fun () -> Engine.Session.close s) f
+(* the three deterministic grid artefacts, rendered through one
+   explicit session *)
+let grid_render s =
+  render (H.Report.table6_3 s)
+  ^ render (H.Report.fig6_2 s)
+  ^ render (H.Report.fig6_3 s)
 
 let rm_rf dir =
   if Sys.file_exists dir then begin
@@ -166,7 +169,7 @@ let test_engine_determinism () =
    session serialises to bit-identical JSON.  (Only the artefact tables
    are compared — the process-global metrics snapshot accumulates
    across the whole test binary and is deliberately excluded.) *)
-let artefact_json name =
+let artefact_json s name =
   let a =
     match H.Artefact.find name with
     | Some a -> a
@@ -175,16 +178,16 @@ let artefact_json name =
   String.concat "\n"
     (List.map
        (fun t -> Spd_telemetry.Json.to_string (H.Table.to_json t))
-       (a.H.Artefact.tables ()))
+       (a.H.Artefact.tables s))
 
 let test_artefact_json_jobs_invariant () =
   let j1 =
-    with_session (Engine.Session.create ~jobs:1 ()) (fun () ->
-        artefact_json "table6_3")
+    with_session (Engine.Session.create ~jobs:1 ()) (fun s ->
+        artefact_json s "table6_3")
   in
   let j4 =
-    with_session (Engine.Session.create ~jobs:4 ()) (fun () ->
-        artefact_json "table6_3")
+    with_session (Engine.Session.create ~jobs:4 ()) (fun s ->
+        artefact_json s "table6_3")
   in
   check_bool "table6_3 JSON bit-identical across jobs" true
     (String.equal j1 j4)
@@ -198,7 +201,9 @@ let stats_line s =
 let test_stats_pp_stable_across_jobs () =
   let run jobs =
     let s = Engine.Session.create ~jobs () in
-    let line = with_session s (fun () -> ignore (grid_render ()); stats_line s) in
+    let line =
+      with_session s (fun s -> ignore (grid_render s); stats_line s)
+    in
     line
   in
   let l1 = run 1 and l4 = run 4 in
@@ -211,13 +216,14 @@ let test_stats_pp_stable_across_jobs () =
    probability by construction) commit overwhelmingly on the no-alias
    version, and alias-version stores squash. *)
 let test_spd_dynamics_counts () =
-  let d = H.Experiment.spd_dynamics ~bench:"perm" ~latency:2 in
+  with_session (Engine.Session.create ~jobs:2 ()) @@ fun s ->
+  let d = H.Experiment.spd_dynamics s ~bench:"perm" ~latency:2 in
   check_bool "perm has transformed regions" true (d.Pipeline.regions <> []);
   check_bool "no-alias commits observed" true
     (List.exists
        (fun (r : Pipeline.region_dynamics) -> r.noalias_commits > 0)
        d.Pipeline.regions);
-  let adi = H.Experiment.spd_dynamics ~bench:"adi" ~latency:2 in
+  let adi = H.Experiment.spd_dynamics s ~bench:"adi" ~latency:2 in
   check_bool "adi squashes alias-version stores" true
     (adi.Pipeline.squashed > 0);
   (* every traversal of a region commits exactly one of its versions *)
@@ -247,9 +253,7 @@ let test_engine_disk_cache () =
   check_int "warm run: zero simulations" 0 st2.Engine.Stats.simulations;
   check_bool "warm run served from disk" true (st2.Engine.Stats.disk_hits > 0);
   check_bool "warm output bit-identical to cold" true
-    (String.equal cold warm);
-  (* hygiene: later tests get a fresh default session *)
-  H.Experiment.set_default_session (Engine.Session.create ~jobs:1 ())
+    (String.equal cold warm)
 
 let test_parallel_map_order () =
   let s = Engine.Session.create ~jobs:4 () in
@@ -268,6 +272,105 @@ let test_parallel_map_order () =
     | _ -> false
     | exception Failure _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* The Query API: one typed request path behind every accessor *)
+
+let cycles_q ?fuel ?deadline () =
+  Query.v ?fuel ?deadline ~bench:"moment" ~latency:2
+    (Query.Cycles { kind = Pipeline.Spec; width = Spd_machine.Descr.Fus 4 })
+
+let get = function
+  | Engine.Ok v -> v
+  | Engine.Failed f -> raise (Engine.Cell_failed f)
+
+let test_query_submit () =
+  with_session (Engine.Session.create ~jobs:1 ()) @@ fun s ->
+  (* submit and the deprecated shim answer identically *)
+  let via_query =
+    Engine.to_int (Engine.Session.submit s (cycles_q ()))
+  in
+  let via_shim =
+    H.Experiment.cycles s ~bench:"moment" ~latency:2 Pipeline.Spec
+      ~width:(Spd_machine.Descr.Fus 4)
+  in
+  check_int "submit = shim" (get via_query) via_shim;
+  (* keys are stable, human-readable coordinates *)
+  check_bool "key spells the cell" true
+    (Query.key (cycles_q ()) = "moment/2/cycles/SPEC/fus4");
+  check_bool "budgets are part of the key" true
+    (Query.key (cycles_q ~fuel:7 ()) = "moment/2/cycles/SPEC/fus4+fuel=7");
+  (* wrong-kind projections fail loudly, not silently *)
+  check_bool "to_float on an Int value raises" true
+    (match Engine.to_float (Engine.Session.submit s (cycles_q ())) with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  (* the smart constructor refuses nonsense budgets *)
+  check_bool "fuel must be positive" true
+    (match Query.v ~fuel:0 ~bench:"moment" ~latency:2 Query.Spd_counts with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* The acceptance property of the daemon API: a burst of identical
+   concurrent requests funnels onto ONE cell computation.  Eight
+   domains submit the same query 100 times in total; the engine's
+   counters must record exactly one preparation and one simulation. *)
+let test_submit_dedup_concurrent () =
+  with_session (Engine.Session.create ~jobs:2 ~disk_cache:false ())
+  @@ fun s ->
+  let per_domain = 100 / 8 and extra = 100 mod 8 in
+  let domains =
+    List.init 8 (fun i ->
+        let n = per_domain + if i < extra then 1 else 0 in
+        Domain.spawn (fun () ->
+            List.init n (fun _ ->
+                Engine.to_int (Engine.Session.submit s (cycles_q ())))))
+  in
+  let answers = List.concat_map Domain.join domains in
+  check_int "100 requests answered" 100 (List.length answers);
+  let first = get (List.hd answers) in
+  List.iter (fun o -> check_int "all answers equal" first (get o)) answers;
+  let st = Engine.Session.stats s in
+  check_int "exactly one preparation" 1 st.Engine.Stats.preparations;
+  check_int "exactly one simulation" 1 st.Engine.Stats.simulations
+
+(* Per-request budgets are tenant quotas: a fuel-starved request fails
+   alone, and the same coordinates without a budget still succeed. *)
+let test_query_quota_isolation () =
+  with_session (Engine.Session.create ~jobs:1 ~disk_cache:false ())
+  @@ fun s ->
+  (match Engine.Session.submit s (cycles_q ~fuel:1 ()) with
+  | Engine.Failed _ -> ()
+  | Engine.Ok _ -> Alcotest.fail "fuel=1 should exhaust the simulator");
+  (match Engine.Session.submit s (cycles_q ()) with
+  | Engine.Ok _ -> ()
+  | Engine.Failed f ->
+      Alcotest.failf "unbudgeted neighbour failed: %s"
+        (Printexc.to_string f.Engine.exn));
+  (* the starved request is recorded under its own budgeted key *)
+  check_bool "failure recorded under the budgeted key" true
+    (List.exists
+       (fun (f : Engine.failure) ->
+         f.Engine.key = "moment/2/SPEC/cycles/fus4+fuel=1")
+       (Engine.Session.failures s))
+
+(* the flag parsers shared by bin/spd, bench/main and the daemon *)
+let test_cliflags () =
+  let module C = H.Cliflags in
+  check_bool "pos_int ok" true (C.pos_int ~flag:"--fuel" "42" = Ok 42);
+  (match C.pos_int ~flag:"--fuel" "0" with
+  | Error msg ->
+      check_bool "pos_int names the flag" true (contains msg "--fuel")
+  | Ok _ -> Alcotest.fail "0 is not a positive integer");
+  check_bool "pos_float ok" true
+    (C.pos_float ~flag:"--deadline" "1.5" = Ok 1.5);
+  check_bool "pos_float rejects nan" true
+    (Result.is_error (C.pos_float ~flag:"--deadline" "nan"));
+  check_bool "widths ok" true (C.widths "1, 2,8" = Ok [ 1; 2; 8 ]);
+  (match C.widths "1,zero" with
+  | Error msg ->
+      check_bool "widths names the flag" true (contains msg "--widths")
+  | Ok _ -> Alcotest.fail "widths should reject non-integers")
+
 let tests =
   [
     case "PERFECT <= STATIC <= NAIVE (infinite machine)"
@@ -276,6 +379,10 @@ let tests =
     qcase prop_pipelines_preserve_behaviour;
     qcase prop_spd_finds_the_helper;
     case "experiment memoization" test_experiment_memoizes;
+    case "query submit: one request path" test_query_submit;
+    case "query submit: concurrent burst deduplicates" test_submit_dedup_concurrent;
+    case "query quotas isolate tenants" test_query_quota_isolation;
+    case "cliflags: shared flag parsers" test_cliflags;
     case "speedup metric" test_speedup_metric;
     case "reports render" test_reports_render;
     case "parallel_map: order and exceptions" test_parallel_map_order;

@@ -1,0 +1,227 @@
+(** Daemon tests: an in-process [Spd_serve.Server] on a temp Unix
+    socket, exercised through the framed JSON-RPC client.
+
+    The two acceptance properties of the serve API live here:
+    - a burst of 100 identical concurrent [query] requests records
+      exactly one cell computation in the engine's counters, and
+    - a served [report] is byte-identical to [Artefact.to_json] on the
+      same session (modulo the run-dependent metrics snapshot). *)
+
+open Util
+module H = Spd_harness
+module Engine = H.Engine
+module Json = Spd_telemetry.Json
+module Protocol = Spd_serve.Protocol
+module Server = Spd_serve.Server
+
+let case name f = Alcotest.test_case name `Quick f
+let uniq = Atomic.make 0
+
+let tmp_socket () =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "spd_serve_test_%d_%d.sock" (Unix.getpid ())
+       (Atomic.fetch_and_add uniq 1))
+
+(* start a fresh daemon on a fresh session; always stopped and cleaned
+   up, even when the test body raises *)
+let with_server ?(workers = 2) ?(jobs = 2) f =
+  let path = tmp_socket () in
+  let addr = Protocol.Unix_path path in
+  let session = Engine.Session.create ~jobs ~disk_cache:false () in
+  let server = Server.start ~workers ~session addr in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Server.wait server;
+      Engine.Session.close session;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f ~addr ~session ~server)
+
+let connect addr =
+  match Protocol.connect addr with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect: %s" e
+
+let call_ok addr meth params =
+  let c = connect addr in
+  Fun.protect
+    ~finally:(fun () -> Protocol.close c)
+    (fun () ->
+      match Protocol.call c meth params with
+      | Ok r -> r
+      | Error e -> Alcotest.failf "%s: %s" meth e)
+
+let member name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks %S: %s" name (Json.to_string j)
+
+let str j =
+  match Json.to_string_opt j with
+  | Some s -> s
+  | None -> Alcotest.fail "expected a JSON string"
+
+let num j =
+  match Json.to_number j with
+  | Some v -> v
+  | None -> Alcotest.fail "expected a JSON number"
+
+let query_params =
+  Json.Obj
+    [
+      ("bench", Json.String "moment");
+      ("latency", Json.Int 2);
+      ("artefact", Json.String "cycles");
+      ("pipeline", Json.String "spec");
+      ("width", Json.Int 4);
+    ]
+
+let with_member params name v =
+  match params with
+  | Json.Obj kvs ->
+      Json.Obj (List.filter (fun (k, _) -> k <> name) kvs @ [ (name, v) ])
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+
+let test_ping () =
+  with_server @@ fun ~addr ~session:_ ~server:_ ->
+  let r = call_ok addr "ping" (Json.Obj []) in
+  check_string "schema" Protocol.schema (str (member "schema" r));
+  let methods =
+    match Json.to_list (member "methods" r) with
+    | Some l -> List.map str l
+    | None -> Alcotest.fail "methods should be a list"
+  in
+  List.iter
+    (fun m -> check_bool (m ^ " advertised") true (List.mem m methods))
+    Server.methods
+
+(* one request path: the served value equals a direct submit on the
+   same session, and the reported key is the query's key *)
+let test_query_matches_direct () =
+  with_server @@ fun ~addr ~session ~server:_ ->
+  let r = call_ok addr "query" query_params in
+  check_bool "ok" true (member "ok" r = Json.Bool true);
+  let q =
+    Engine.Query.v ~bench:"moment" ~latency:2
+      (Engine.Query.Cycles
+         { kind = H.Pipeline.Spec; width = Spd_machine.Descr.Fus 4 })
+  in
+  check_string "key" (Engine.Query.key q) (str (member "key" r));
+  match Engine.Session.submit session q with
+  | Engine.Ok v ->
+      check_int "served value = direct submit"
+        (int_of_float (num (member "value" r)))
+        (match v with
+        | Engine.Int n -> n
+        | _ -> Alcotest.fail "cycles should be an Int value")
+  | Engine.Failed _ -> Alcotest.fail "direct submit failed"
+
+(* ACCEPTANCE: 100 identical concurrent requests, from 10 client
+   domains with their own connections, cost exactly one preparation and
+   one simulation in the shared engine *)
+let test_concurrent_burst_dedup () =
+  with_server ~workers:4 @@ fun ~addr ~session ~server:_ ->
+  let domains =
+    List.init 10 (fun _ ->
+        Domain.spawn (fun () ->
+            let c = connect addr in
+            Fun.protect
+              ~finally:(fun () -> Protocol.close c)
+              (fun () ->
+                List.init 10 (fun _ ->
+                    match Protocol.call c "query" query_params with
+                    | Ok r -> int_of_float (num (member "value" r))
+                    | Error e -> Alcotest.failf "burst query: %s" e))))
+  in
+  let answers = List.concat_map Domain.join domains in
+  check_int "100 answers" 100 (List.length answers);
+  let first = List.hd answers in
+  List.iter (fun v -> check_int "all answers equal" first v) answers;
+  let st = Engine.Session.stats session in
+  check_int "one preparation" 1 st.Engine.Stats.preparations;
+  check_int "one simulation" 1 st.Engine.Stats.simulations;
+  (* the stats method reports the same counters over the wire *)
+  let counters = member "counters" (call_ok addr "stats" (Json.Obj [])) in
+  check_int "stats RPC agrees" 1
+    (int_of_float (num (member "simulations" counters)))
+
+(* a quota-starved tenant gets ok:false; the same cell without a budget
+   still succeeds afterwards (the failure never poisons the clean cell) *)
+let test_quota_isolation () =
+  with_server @@ fun ~addr ~session:_ ~server:_ ->
+  let starved =
+    call_ok addr "query" (with_member query_params "fuel" (Json.Int 1))
+  in
+  check_bool "starved request fails" true
+    (member "ok" starved = Json.Bool false);
+  check_bool "failure carries an error string" true
+    (String.length (str (member "error" starved)) > 0);
+  let clean = call_ok addr "query" query_params in
+  check_bool "unbudgeted neighbour succeeds" true
+    (member "ok" clean = Json.Bool true)
+
+let drop_member name = function
+  | Json.Obj kvs -> Json.Obj (List.filter (fun (k, _) -> k <> name) kvs)
+  | j -> j
+
+(* ACCEPTANCE: the served report is the same document [Artefact.to_json]
+   builds — one code path, so byte-identical JSON (metrics excluded:
+   the process-global snapshot moves between the two calls) *)
+let test_report_byte_identical () =
+  with_server @@ fun ~addr ~session ~server:_ ->
+  let artefacts = Json.List [ Json.String "table6_3" ] in
+  let served =
+    call_ok addr "report" (Json.Obj [ ("artefacts", artefacts) ])
+  in
+  let direct =
+    H.Artefact.to_json ~session (H.Artefact.of_names [ "table6_3" ])
+  in
+  check_string "served report = direct to_json"
+    (Json.to_string (drop_member "metrics" direct))
+    (Json.to_string (drop_member "metrics" served))
+
+let test_errors () =
+  with_server @@ fun ~addr ~session:_ ~server:_ ->
+  let c = connect addr in
+  Fun.protect ~finally:(fun () -> Protocol.close c) @@ fun () ->
+  (match Protocol.call c "frobnicate" (Json.Obj []) with
+  | Error e ->
+      check_bool "unknown method is -32601" true
+        (Test_harness.contains e "-32601")
+  | Ok _ -> Alcotest.fail "frobnicate should not resolve");
+  (match
+     Protocol.call c "query"
+       (with_member query_params "bench" (Json.String "nosuch"))
+   with
+  | Error e ->
+      check_bool "unknown bench is -32602 invalid params" true
+        (Test_harness.contains e "-32602"
+        && Test_harness.contains e "nosuch")
+  | Ok _ -> Alcotest.fail "unknown bench should be rejected");
+  (* the connection survives errors: a good request still works *)
+  match Protocol.call c "ping" (Json.Obj []) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "ping after errors: %s" e
+
+let test_shutdown_method () =
+  with_server @@ fun ~addr ~session:_ ~server ->
+  let r = call_ok addr "shutdown" (Json.Obj []) in
+  check_bool "shutdown acknowledged" true
+    (member "stopping" r = Json.Bool true);
+  (* wait must return promptly now that the daemon is stopping *)
+  Server.wait server;
+  check_bool "requests were served" true (Server.served server >= 1)
+
+let tests =
+  [
+    case "ping over a unix socket" test_ping;
+    case "query = direct submit" test_query_matches_direct;
+    case "100-request burst = one computation" test_concurrent_burst_dedup;
+    case "fuel quota isolates a tenant" test_quota_isolation;
+    case "served report is byte-identical" test_report_byte_identical;
+    case "JSON-RPC errors and recovery" test_errors;
+    case "shutdown method stops the daemon" test_shutdown_method;
+  ]

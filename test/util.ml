@@ -17,6 +17,7 @@ let output ?mem_words src = (run_src ?mem_words src).output
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
 
 let value : Ir.Value.t Alcotest.testable =
   Alcotest.testable Ir.Value.pp Ir.Value.equal
