@@ -8,7 +8,7 @@ DUNE ?= dune
 SMOKE_DIR ?= /tmp
 
 .PHONY: all check test bench bench-json fuzz-smoke telemetry-smoke \
-	bench-diff-smoke perf-smoke serve-smoke golden-promote clean
+	bench-diff-smoke perf-smoke serve-smoke chaos-smoke golden-promote clean
 
 all:
 	$(DUNE) build
@@ -78,6 +78,18 @@ serve-smoke:
 	  $(SMOKE_DIR)/spd_serve_run.json $(SMOKE_DIR)/spd_serve_stats.json \
 	  $(SMOKE_DIR)/spd_serve_shutdown.json
 
+# Crash-only chaos smoke: a real `spd serve` under torn frames, garbage
+# headers, stalled connections and an injected worker-raise fault.
+# Good requests must get byte-identical answers, the worker crew must
+# recover (restart counter > 0, workers-alive back to full), SIGTERM
+# must drain the in-flight request before exit 0, and a saturated
+# daemon must refuse with `server busy` + retry_after_ms.
+chaos-smoke:
+	$(DUNE) exec test/chaos_smoke.exe -- $(SMOKE_DIR)
+	$(DUNE) exec test/json_lint.exe -- \
+	  $(SMOKE_DIR)/spd_chaos_health.json $(SMOKE_DIR)/spd_chaos_refused.json \
+	  $(SMOKE_DIR)/spd_chaos_busy.json
+
 # Regenerate the golden-schedule corpus under test/golden/ after an
 # intentional scheduler or DDG change; review the grid diff and commit.
 golden-promote:
@@ -92,6 +104,7 @@ check: all
 	$(MAKE) bench-diff-smoke
 	$(MAKE) perf-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) chaos-smoke
 
 bench:
 	$(DUNE) exec bench/main.exe -- all --timings

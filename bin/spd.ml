@@ -132,9 +132,12 @@ let faults_arg =
            $(b,cache-corrupt:N) (corrupt the Nth cache read), \
            $(b,cell-raise:KEY[@TIMES]) (raise in cells whose key \
            starts with KEY, e.g. adi/2/SPEC), $(b,fuel:N) (tight \
-           simulator budget) and $(b,cycles-inflate:PCT) (inflate \
+           simulator budget), $(b,cycles-inflate:PCT) (inflate \
            reported cycle counts — for exercising the regression \
-           tracker).")
+           tracker), $(b,worker-raise:N) (crash the daemon worker on \
+           the first N connections — for exercising supervision) and \
+           the chaos-client budgets $(b,conn-torn-frame:N), \
+           $(b,conn-garbage-header:N), $(b,conn-stall:N).")
 
 (* budget/pool flags shared by [spd report] and [spd serve]; parsing
    lives in Cliflags so bench/main rejects the same spellings with the
@@ -784,7 +787,8 @@ let tcp_arg =
         ~doc:"Listen on / connect to TCP instead of the Unix socket.")
 
 let serve_cmd =
-  let run socket tcp workers jobs no_cache retries fuel deadline faults =
+  let run socket tcp workers conn_timeout drain_deadline max_pending jobs
+      no_cache retries fuel deadline faults =
     let addr = resolve_addr ~socket ~tcp in
     let session =
       Spd_harness.Engine.Session.create ?jobs ~disk_cache:(not no_cache)
@@ -792,13 +796,17 @@ let serve_cmd =
     in
     let server =
       try
-        Spd_serve.Server.start ~workers ?run_fuel:fuel ?run_deadline:deadline
-          ~session addr
+        Spd_serve.Server.start ~workers ~conn_timeout ~drain_deadline
+          ~max_pending
+          ?faults:(Option.map Fun.id faults)
+          ?run_fuel:fuel ?run_deadline:deadline ~session addr
       with Failure msg ->
         Spd_harness.Engine.Session.close session;
         Fmt.epr "%s@." msg;
         exit 1
     in
+    (* SIGINT/SIGTERM start the same graceful drain as the shutdown
+       method: [stop] is idempotent and signal-safe *)
     let stop _signum = Spd_serve.Server.stop server in
     (try ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop))
      with Invalid_argument _ | Sys_error _ -> ());
@@ -806,7 +814,7 @@ let serve_cmd =
      with Invalid_argument _ | Sys_error _ -> ());
     Fmt.pr "spd serve: listening on %a, %d worker domains@."
       Spd_serve.Protocol.pp_addr addr (max 1 workers);
-    Fmt.pr "spd serve: stop with SIGINT or the shutdown method@.";
+    Fmt.pr "spd serve: stop with SIGINT/SIGTERM or the shutdown method@.";
     Spd_serve.Server.wait server;
     Fmt.pr "spd serve: stopped after %d requests@."
       (Spd_serve.Server.served server);
@@ -817,7 +825,36 @@ let serve_cmd =
       value
       & opt (pos_int_conv "--workers") 4
       & info [ "workers" ] ~docv:"N"
-          ~doc:"Accept/serve domains (default 4).")
+          ~doc:"Serve domains (default 4).")
+  in
+  let conn_timeout_arg =
+    Arg.(
+      value
+      & opt (pos_float_conv "--conn-timeout") 30.0
+      & info [ "conn-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-connection frame deadline: a peer that takes longer \
+             than this to deliver one complete request (or to accept \
+             one response) is evicted (default 30).")
+  in
+  let drain_deadline_arg =
+    Arg.(
+      value
+      & opt (pos_float_conv "--drain-deadline") 10.0
+      & info [ "drain-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "On shutdown, let in-flight requests finish for up to this \
+             long before stopping hard (default 10).")
+  in
+  let max_pending_arg =
+    Arg.(
+      value
+      & opt (pos_int_conv "--max-pending") 64
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "Admission control: connections queued beyond the worker \
+             count before new ones are refused with a $(b,server busy) \
+             error (default 64).")
   in
   Cmd.v
     (Cmd.info "serve"
@@ -825,13 +862,17 @@ let serve_cmd =
          "Run the experiment daemon: framed JSON-RPC over a socket, one \
           shared engine session, so concurrent identical requests \
           deduplicate onto one computation.  $(b,--fuel) and \
-          $(b,--deadline) bound every tenant's per-request quotas.")
+          $(b,--deadline) bound every tenant's per-request quotas; \
+          $(b,--conn-timeout), $(b,--max-pending) and \
+          $(b,--drain-deadline) bound what misbehaving clients and \
+          shutdowns can cost.")
     Term.(
-      const run $ socket_arg $ tcp_arg $ workers_arg $ jobs_arg
-      $ no_cache_arg $ retries_arg $ fuel_arg $ deadline_arg $ faults_arg)
+      const run $ socket_arg $ tcp_arg $ workers_arg $ conn_timeout_arg
+      $ drain_deadline_arg $ max_pending_arg $ jobs_arg $ no_cache_arg
+      $ retries_arg $ fuel_arg $ deadline_arg $ faults_arg)
 
 let call_cmd =
-  let run meth params socket tcp =
+  let run meth params socket tcp retries =
     let addr = resolve_addr ~socket ~tcp in
     let params_json =
       match params with
@@ -843,20 +884,22 @@ let call_cmd =
               Fmt.epr "spd call: PARAMS is not valid JSON: %s@." e;
               exit 1)
     in
-    match Spd_serve.Protocol.connect addr with
+    match
+      Spd_serve.Protocol.call_with_retries ~retries addr meth params_json
+    with
     | Error e ->
         Fmt.epr "spd call: %s@." e;
         exit 1
-    | Ok c ->
-        let r = Spd_serve.Protocol.call c meth params_json in
-        Spd_serve.Protocol.close c;
-        (match r with
-        | Ok result ->
-            print_string (Spd_telemetry.Json.to_string result);
-            print_newline ()
-        | Error e ->
-            Fmt.epr "spd call: %s@." e;
-            exit 1)
+    | Ok result ->
+        print_string (Spd_telemetry.Json.to_string result);
+        print_newline ();
+        (* readiness-probe contract: health against a draining daemon
+           answers, but the exit code says "not ready" *)
+        if
+          meth = "health"
+          && Spd_telemetry.Json.member "draining" result
+             = Some (Spd_telemetry.Json.Bool true)
+        then exit 3
   in
   let meth_arg =
     Arg.(
@@ -864,8 +907,8 @@ let call_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"METHOD"
           ~doc:
-            "Daemon method: ping, query, report, explain, micro, run, \
-             metrics, stats or shutdown.")
+            "Daemon method: ping, health, query, report, explain, micro, \
+             run, metrics, stats or shutdown.")
   in
   let params_arg =
     Arg.(
@@ -874,12 +917,27 @@ let call_cmd =
       & info [] ~docv:"PARAMS"
           ~doc:"Request parameters as one JSON object (default {}).")
   in
+  let retries_arg =
+    Arg.(
+      value
+      & opt (pos_int_conv "--retries") 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Attempts before giving up (default 1).  Transport failures \
+             and $(b,server busy)/$(b,shutting down) errors are retried \
+             with exponential backoff, honoring the daemon's \
+             $(b,retry_after_ms) hint — enough to ride through a \
+             restart.")
+  in
   Cmd.v
     (Cmd.info "call"
        ~doc:
          "Send one JSON-RPC request to a running $(b,spd serve) daemon \
-          and print the JSON result on stdout.")
-    Term.(const run $ meth_arg $ params_arg $ socket_arg $ tcp_arg)
+          and print the JSON result on stdout.  $(b,spd call health) \
+          exits 3 when the daemon answers but is draining.")
+    Term.(
+      const run $ meth_arg $ params_arg $ socket_arg $ tcp_arg
+      $ retries_arg)
 
 let list_cmd =
   let run () =

@@ -9,18 +9,29 @@
     The spec grammar accepted by {!parse} is a comma-separated list of
 
     {v
-    cache-corrupt:<n>        corrupt the n-th on-disk cache read (1-based)
-    cell-raise:<key>[@<n>]   raise from matching cells ([n] first hits
-                             only; default every hit)
-    fuel:<n>                 cap every simulation at n tree traversals
-    cycles-inflate:<pct>     inflate every reported cycle count by pct%
-                             (an injected slowdown for regression-tracker
-                             tests; never written to the cache)
+    cache-corrupt:<n>         corrupt the n-th on-disk cache read (1-based)
+    cell-raise:<key>[@<n>]    raise from matching cells ([n] first hits
+                              only; default every hit)
+    fuel:<n>                  cap every simulation at n tree traversals
+    cycles-inflate:<pct>      inflate every reported cycle count by pct%
+                              (an injected slowdown for regression-tracker
+                              tests; never written to the cache)
+    conn-torn-frame:<n>       chaos clients: send n frames truncated
+                              mid-body, then disconnect
+    conn-garbage-header:<n>   chaos clients: send n unframeable header
+                              sections
+    conn-stall:<n>            chaos clients: open n connections that go
+                              silent mid-frame (slow-loris)
+    worker-raise:<n>          daemon: raise from the first n accepted
+                              connections, exercising worker supervision
     v}
 
     [<key>] selects cells by prefix of the engine's cell key,
     [bench/latency/KIND/...] — e.g. [adi/2/SPEC] hits the preparation,
-    the summary and every cycle measurement of that grid cell. *)
+    the summary and every cycle measurement of that grid cell.  The
+    [conn-*] counts are budgets read by the chaos harness's clients
+    rather than hooks the engine consults; [worker-raise] is consulted
+    by the serve daemon's workers. *)
 
 exception Injected of string
 
@@ -34,17 +45,25 @@ type t = {
   cell : (string * int) option;  (** key prefix, number of hits armed *)
   fuel : int option;  (** simulator fuel override *)
   inflate : float option;  (** cycle-count inflation, in percent *)
+  conn_torn : int option;  (** chaos budget: torn frames to send *)
+  conn_garbage : int option;  (** chaos budget: garbage headers to send *)
+  conn_stall : int option;  (** chaos budget: stalled connections *)
+  worker : int option;  (** connections whose worker should raise *)
   reads : int Atomic.t;  (** on-disk cache reads observed so far *)
   raises : int Atomic.t;  (** cell-raise faults fired so far *)
+  worker_hits : int Atomic.t;  (** worker-raise faults fired so far *)
 }
 
 let none =
   { cache_corrupt = None; cell = None; fuel = None; inflate = None;
-    reads = Atomic.make 0; raises = Atomic.make 0 }
+    conn_torn = None; conn_garbage = None; conn_stall = None; worker = None;
+    reads = Atomic.make 0; raises = Atomic.make 0;
+    worker_hits = Atomic.make 0 }
 
 let is_none t =
   t.cache_corrupt = None && t.cell = None && t.fuel = None
-  && t.inflate = None
+  && t.inflate = None && t.conn_torn = None && t.conn_garbage = None
+  && t.conn_stall = None && t.worker = None
 
 let fuel t = t.fuel
 
@@ -75,6 +94,17 @@ let cell_raise t ~key =
       if Atomic.fetch_and_add t.raises 1 < times then
         raise (Injected (Printf.sprintf "cell-raise:%s" key))
   | _ -> ()
+
+let conn_torn_frames t = Option.value ~default:0 t.conn_torn
+let conn_garbage_headers t = Option.value ~default:0 t.conn_garbage
+let conn_stalls t = Option.value ~default:0 t.conn_stall
+
+let worker_raise t =
+  match t.worker with
+  | None -> ()
+  | Some times ->
+      if Atomic.fetch_and_add t.worker_hits 1 < times then
+        raise (Injected "worker-raise")
 
 (* ------------------------------------------------------------------ *)
 
@@ -121,6 +151,22 @@ let parse_one acc spec =
               Error
                 (Printf.sprintf
                    "cycles-inflate wants a positive percentage, got %S" arg))
+      | "conn-torn-frame" ->
+          Result.map
+            (fun n -> { acc with conn_torn = Some n })
+            (parse_int "conn-torn-frame" arg)
+      | "conn-garbage-header" ->
+          Result.map
+            (fun n -> { acc with conn_garbage = Some n })
+            (parse_int "conn-garbage-header" arg)
+      | "conn-stall" ->
+          Result.map
+            (fun n -> { acc with conn_stall = Some n })
+            (parse_int "conn-stall" arg)
+      | "worker-raise" ->
+          Result.map
+            (fun n -> { acc with worker = Some n })
+            (parse_int "worker-raise" arg)
       | _ -> Error (Printf.sprintf "unknown fault %S" name))
 
 let parse s =
@@ -129,7 +175,9 @@ let parse s =
   |> List.fold_left
        (fun acc part ->
          Result.bind acc (fun t -> parse_one t (String.trim part)))
-       (Ok { none with reads = Atomic.make 0; raises = Atomic.make 0 })
+       (Ok
+          { none with reads = Atomic.make 0; raises = Atomic.make 0;
+            worker_hits = Atomic.make 0 })
 
 let pp ppf t =
   let parts =
@@ -143,6 +191,10 @@ let pp ppf t =
           t.cell;
         Option.map (Printf.sprintf "fuel:%d") t.fuel;
         Option.map (Printf.sprintf "cycles-inflate:%g") t.inflate;
+        Option.map (Printf.sprintf "conn-torn-frame:%d") t.conn_torn;
+        Option.map (Printf.sprintf "conn-garbage-header:%d") t.conn_garbage;
+        Option.map (Printf.sprintf "conn-stall:%d") t.conn_stall;
+        Option.map (Printf.sprintf "worker-raise:%d") t.worker;
       ]
   in
   Fmt.string ppf

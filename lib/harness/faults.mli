@@ -8,20 +8,32 @@
     The spec grammar accepted by {!parse} is a comma-separated list of
 
     {v
-    cache-corrupt:<n>        corrupt the n-th on-disk cache read (1-based)
-    cell-raise:<key>[@<n>]   raise from matching cells ([n] first hits
-                             only; default every hit)
-    fuel:<n>                 cap every simulation at n tree traversals
-    cycles-inflate:<pct>     inflate every reported cycle count by pct%
-                             (an injected slowdown for regression-tracker
-                             tests; never written to the cache)
+    cache-corrupt:<n>         corrupt the n-th on-disk cache read (1-based)
+    cell-raise:<key>[@<n>]    raise from matching cells ([n] first hits
+                              only; default every hit)
+    fuel:<n>                  cap every simulation at n tree traversals
+    cycles-inflate:<pct>      inflate every reported cycle count by pct%
+                              (an injected slowdown for regression-tracker
+                              tests; never written to the cache)
+    conn-torn-frame:<n>       chaos clients: send n frames truncated
+                              mid-body, then disconnect
+    conn-garbage-header:<n>   chaos clients: send n unframeable header
+                              sections
+    conn-stall:<n>            chaos clients: open n connections that go
+                              silent mid-frame (slow-loris)
+    worker-raise:<n>          daemon: raise from the first n accepted
+                              connections, exercising worker supervision
     v}
 
     [<key>] selects cells by prefix of the engine's cell key,
     [bench/latency/KIND/...] — e.g. [adi/2/SPEC] hits the preparation,
-    the summary and every cycle measurement of that grid cell. *)
+    the summary and every cycle measurement of that grid cell.  The
+    [conn-*] counts are budgets for the chaos harness's synthetic
+    clients; [worker-raise] is a hook the serve daemon's workers
+    consult once per accepted connection. *)
 
-(** Raised by {!cell_raise} when an armed [cell-raise] fault fires. *)
+(** Raised by {!cell_raise} / {!worker_raise} when an armed fault
+    fires. *)
 exception Injected of string
 
 type t
@@ -56,3 +68,20 @@ val fuel : t -> int option
     values it persists, so the slowdown is confined to the current
     run. *)
 val inflate_cycles : t -> int -> int
+
+(** {1 Daemon hooks} *)
+
+(** [worker_raise t] raises {!Injected} while the armed [worker-raise]
+    fault still has hits left.  The serve daemon calls it once per
+    accepted connection; its worker supervisor must contain the raise
+    and respawn the serving loop. *)
+val worker_raise : t -> unit
+
+(** {1 Chaos-client budgets}
+
+    Read by the chaos harness to decide how many misbehaving clients of
+    each flavor to run; 0 when the fault is not armed. *)
+
+val conn_torn_frames : t -> int
+val conn_garbage_headers : t -> int
+val conn_stalls : t -> int

@@ -1,6 +1,7 @@
 (** Wire protocol of the [spd serve] daemon: LSP-style
     [Content-Length] framing around JSON-RPC 2.0 envelopes (see the
-    .mli for the layout). *)
+    .mli for the layout), plus the framed client and its retry
+    policy. *)
 
 module Json = Spd_telemetry.Json
 
@@ -36,58 +37,143 @@ let pp_addr ppf = function
 (* Framing *)
 
 let max_frame = 64 * 1024 * 1024
+let max_header_bytes = 16 * 1024
+let max_headers = 100
+
+exception Timeout
 
 let write_frame oc (j : Json.t) =
   let body = Json.to_string j in
   Printf.fprintf oc "Content-Length: %d\r\n\r\n%s" (String.length body) body;
   flush oc
 
-(* Header lines are CRLF-terminated; [input_line] strips the LF, we
-   trim the CR.  Only Content-Length is meaningful; unknown headers are
-   skipped for forward compatibility. *)
-let read_frame ic : (Json.t option, string) result =
-  let header_line () =
-    match input_line ic with
-    | line ->
-        let n = String.length line in
-        Some (if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1)
-              else line)
-    | exception End_of_file -> None
+(* A buffered byte source.  [fill] follows the [Unix.read] contract
+   (0 means end of stream) and is where deadline enforcement lives:
+   the server's fill [select]s on the connection and raises {!Timeout}
+   when the peer stalls. *)
+type reader = {
+  fill : bytes -> int -> int -> int;
+  rbuf : Bytes.t;
+  mutable rpos : int;
+  mutable rlen : int;  (* -1 once [fill] returned 0: sticky EOF *)
+}
+
+let reader fill = { fill; rbuf = Bytes.create 8192; rpos = 0; rlen = 0 }
+let channel_reader ic = reader (fun b off len -> input ic b off len)
+
+(* refill the buffer if empty; false on end of stream *)
+let refill r =
+  if r.rlen < 0 then false
+  else begin
+    (if r.rpos >= r.rlen then begin
+       let n = r.fill r.rbuf 0 (Bytes.length r.rbuf) in
+       r.rpos <- 0;
+       r.rlen <- (if n = 0 then -1 else n)
+     end);
+    r.rlen > 0
+  end
+
+let read_byte r =
+  if refill r then begin
+    let c = Bytes.get r.rbuf r.rpos in
+    r.rpos <- r.rpos + 1;
+    Some c
+  end
+  else None
+
+let read_exact r n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off = n then Some (Bytes.unsafe_to_string b)
+    else if r.rpos < r.rlen then begin
+      let k = min (n - off) (r.rlen - r.rpos) in
+      Bytes.blit r.rbuf r.rpos b off k;
+      r.rpos <- r.rpos + k;
+      go (off + k)
+    end
+    else if refill r then go off
+    else None
   in
-  let rec headers seen_any len =
-    match header_line () with
-    | None ->
-        if seen_any then Error "connection closed inside a frame header"
-        else Ok None  (* clean end-of-stream between messages *)
+  go 0
+
+exception Frame_error of string
+
+let frame_err fmt = Printf.ksprintf (fun s -> raise (Frame_error s)) fmt
+
+(* Header lines are CRLF-terminated; we accept bare LF too and trim the
+   CR.  Only Content-Length is meaningful; unknown headers are skipped
+   for forward compatibility, but the whole header section is bounded —
+   at most [max_headers] lines and [max_header_bytes] bytes — so a
+   header flood errors out instead of growing memory. *)
+let read_frame_r r : (Json.t option, string) result =
+  let total = ref 0 in
+  (* one header line, CR stripped; [None] only on a clean end-of-stream
+     before the first byte of the frame *)
+  let read_line ~first =
+    let buf = Buffer.create 80 in
+    let rec go () =
+      match read_byte r with
+      | None ->
+          if first && Buffer.length buf = 0 then None
+          else frame_err "connection closed inside a frame header"
+      | Some c ->
+          incr total;
+          if !total > max_header_bytes then
+            frame_err "frame header exceeds %d bytes" max_header_bytes;
+          if c = '\n' then begin
+            let s = Buffer.contents buf in
+            let n = String.length s in
+            Some
+              (if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1)
+               else s)
+          end
+          else begin
+            Buffer.add_char buf c;
+            go ()
+          end
+    in
+    go ()
+  in
+  let rec headers nlines len =
+    match read_line ~first:(nlines = 0 && !total = 0) with
+    | None -> `Clean_eof
     | Some "" -> (
         match len with
-        | None -> Error "frame missing Content-Length header"
-        | Some n -> body n)
-    | Some line -> (
-        match String.index_opt line ':' with
-        | Some i
-          when String.lowercase_ascii (String.trim (String.sub line 0 i))
-               = "content-length" -> (
-            let v =
-              String.trim
-                (String.sub line (i + 1) (String.length line - i - 1))
-            in
-            match int_of_string_opt v with
-            | Some n when n >= 0 && n <= max_frame ->
-                headers true (Some n)
-            | Some n ->
-                Error (Printf.sprintf "unreasonable Content-Length %d" n)
-            | None -> Error (Printf.sprintf "invalid Content-Length %S" v))
-        | _ -> headers true len)
-  and body n =
-    match really_input_string ic n with
-    | exception End_of_file -> Error "connection closed inside a frame body"
-    | s -> (
-        match Json.of_string s with
-        | Ok j -> Ok (Some j)
-        | Error e -> Error (Printf.sprintf "malformed frame body: %s" e))
+        | None -> frame_err "frame missing Content-Length header"
+        | Some n -> `Body n)
+    | Some line ->
+        if nlines + 1 > max_headers then
+          frame_err "frame has more than %d header lines" max_headers;
+        let len =
+          match String.index_opt line ':' with
+          | Some i
+            when String.lowercase_ascii (String.trim (String.sub line 0 i))
+                 = "content-length" -> (
+              let v =
+                String.trim
+                  (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              match int_of_string_opt v with
+              | Some n when n >= 0 && n <= max_frame -> Some n
+              | Some n -> frame_err "unreasonable Content-Length %d" n
+              | None -> frame_err "invalid Content-Length %S" v)
+          | _ -> len
+        in
+        headers (nlines + 1) len
   in
-  headers false None
+  match
+    match headers 0 None with
+    | `Clean_eof -> Ok None
+    | `Body n -> (
+        match read_exact r n with
+        | None -> frame_err "connection closed inside a frame body"
+        | Some s -> (
+            match Json.of_string s with
+            | Ok j -> Ok (Some j)
+            | Error e -> frame_err "malformed frame body: %s" e))
+  with
+  | v -> v
+  | exception Frame_error e -> Error e
 
 (* ------------------------------------------------------------------ *)
 (* JSON-RPC envelopes *)
@@ -97,6 +183,8 @@ let invalid_request = -32600
 let method_not_found = -32601
 let invalid_params = -32602
 let server_error = -32000
+let server_busy = -32001
+let server_shutting_down = -32002
 
 let request ~id ~meth ~params =
   Json.Obj
@@ -111,27 +199,63 @@ let response_ok ~id result =
   Json.Obj
     [ ("jsonrpc", Json.String "2.0"); ("id", id); ("result", result) ]
 
-let response_error ~id ~code message =
+let response_error ?data ~id ~code message =
+  let err =
+    [ ("code", Json.Int code); ("message", Json.String message) ]
+    @ match data with None -> [] | Some d -> [ ("data", d) ]
+  in
   Json.Obj
-    [
-      ("jsonrpc", Json.String "2.0");
-      ("id", id);
-      ( "error",
-        Json.Obj
-          [ ("code", Json.Int code); ("message", Json.String message) ] );
-    ]
+    [ ("jsonrpc", Json.String "2.0"); ("id", id); ("error", Json.Obj err) ]
 
 (* ------------------------------------------------------------------ *)
 (* Client *)
 
+type rpc_error = {
+  code : int;
+  message : string;
+  retry_after_ms : int option;
+}
+
+type call_error = Rpc of rpc_error | Transport of string
+
+let error_to_string = function
+  | Transport e -> e
+  | Rpc { code; message; _ } ->
+      Printf.sprintf "server error %d: %s" code message
+
+let rpc_error_of_json err =
+  let code =
+    match Option.bind (Json.member "code" err) Json.to_number with
+    | Some c -> int_of_float c
+    | None -> 0
+  in
+  let message =
+    match Option.bind (Json.member "message" err) Json.to_string_opt with
+    | Some m -> m
+    | None -> "unknown error"
+  in
+  let retry_after_ms =
+    match
+      Option.bind (Json.member "data" err) (fun d ->
+          Option.bind (Json.member "retry_after_ms" d) Json.to_number)
+    with
+    | Some ms when ms >= 0.0 -> Some (int_of_float ms)
+    | _ -> None
+  in
+  { code; message; retry_after_ms }
+
 type client = {
   fd : Unix.file_descr;
-  ic : in_channel;
+  r : reader;
   oc : out_channel;
   mutable next_id : int;
 }
 
 let connect addr =
+  (* a daemon that refuses or drops us mid-write must surface as a
+     broken pipe, not kill the client process *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+   with Invalid_argument _ | Sys_error _ -> ());
   try
     let fd =
       match addr with
@@ -159,7 +283,7 @@ let connect addr =
     Ok
       {
         fd;
-        ic = Unix.in_channel_of_descr fd;
+        r = channel_reader (Unix.in_channel_of_descr fd);
         oc = Unix.out_channel_of_descr fd;
         next_id = 1;
       }
@@ -170,38 +294,86 @@ let connect addr =
            (Unix.error_message e))
   | Failure msg -> Error msg
 
-let call c meth params =
+let call_ex c meth params : (Json.t, call_error) result =
   let id = c.next_id in
   c.next_id <- id + 1;
+  let read_response () =
+    match read_frame_r c.r with
+    | exception Sys_error e -> Error (Transport e)
+    | exception End_of_file ->
+        Error (Transport "connection closed by server")
+    | Error e -> Error (Transport e)
+    | Ok None -> Error (Transport "connection closed by server")
+    | Ok (Some resp) -> (
+        match Json.member "error" resp with
+        | Some err -> Error (Rpc (rpc_error_of_json err))
+        | None -> (
+            match Json.member "result" resp with
+            | Some r -> Ok r
+            | None ->
+                Error
+                  (Transport
+                     "malformed response: neither result nor error")))
+  in
   match write_frame c.oc (request ~id ~meth ~params) with
-  | exception Sys_error e -> Error ("send failed: " ^ e)
-  | () -> (
-      match read_frame c.ic with
-      | Error e -> Error e
-      | Ok None -> Error "connection closed by server"
-      | Ok (Some resp) -> (
-          match Json.member "error" resp with
-          | Some err ->
-              let code =
-                match
-                  Option.bind (Json.member "code" err) Json.to_number
-                with
-                | Some c -> int_of_float c
-                | None -> 0
-              in
-              let msg =
-                match
-                  Option.bind (Json.member "message" err) Json.to_string_opt
-                with
-                | Some m -> m
-                | None -> "unknown error"
-              in
-              Error (Printf.sprintf "server error %d: %s" code msg)
-          | None -> (
-              match Json.member "result" resp with
-              | Some r -> Ok r
-              | None -> Error "malformed response: neither result nor error")))
+  | exception ((Sys_error _ | Sys_blocked_io) as e) -> (
+      (* an admission refusal closes the connection right after its
+         error envelope, racing our send — the refusal may already be
+         waiting in the receive buffer *)
+      let send_err =
+        match e with
+        | Sys_error msg -> "send failed: " ^ msg
+        | _ -> "send failed: write would block"
+      in
+      match read_response () with
+      | Error (Rpc _) as refusal -> refusal
+      | _ -> Error (Transport send_err))
+  | () -> read_response ()
+
+let call c meth params =
+  Result.map_error error_to_string (call_ex c meth params)
 
 let close c =
   (try flush c.oc with Sys_error _ -> ());
   try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+(* Transport failures and the two load-shedding errors are worth a
+   fresh connection: the daemon may be draining for a restart, a
+   supervised worker may have been respawned mid-conversation, or the
+   pending queue may simply be full for a moment. *)
+let retryable = function
+  | Transport _ -> true
+  | Rpc { code; _ } -> code = server_busy || code = server_shutting_down
+
+let call_with_retries ?(retries = 1) ?(base_delay = 0.05) addr meth params =
+  let attempts = max 1 retries in
+  let rec go attempt =
+    let outcome =
+      match connect addr with
+      | Error e -> Error (Transport e)
+      | Ok c ->
+          Fun.protect
+            ~finally:(fun () -> close c)
+            (fun () -> call_ex c meth params)
+    in
+    match outcome with
+    | Ok r -> Ok r
+    | Error err ->
+        if attempt >= attempts || not (retryable err) then
+          Error (error_to_string err)
+        else begin
+          let backoff =
+            base_delay *. (2.0 ** float_of_int (attempt - 1))
+          in
+          let hinted =
+            match err with
+            | Rpc { retry_after_ms = Some ms; _ } ->
+                float_of_int ms /. 1000.0
+            | _ -> 0.0
+          in
+          (try Unix.sleepf (Float.max backoff hinted)
+           with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          go (attempt + 1)
+        end
+  in
+  go 1

@@ -1,17 +1,33 @@
 (** The [spd serve] daemon (see the .mli).
 
-    Concurrency model: [workers] OCaml 5 domains share one listening
-    socket; each blocks in [accept], serves its connection to
-    completion (requests on one connection are sequential, as JSON-RPC
-    over a stream implies), and loops.  All artefact work funnels into
-    the one shared {!Engine.Session}, whose promise-table memoization
-    is what deduplicates concurrent identical requests across
-    connections and domains.
+    Concurrency model: one acceptor domain multiplexes the listening
+    socket; accepted connections go through admission control into a
+    bounded queue drained by [workers] supervised OCaml 5 domains.
+    Each worker serves its connection to completion (requests on one
+    connection are sequential, as JSON-RPC over a stream implies) and
+    loops.  All artefact work funnels into the one shared
+    {!Engine.Session}, whose promise-table memoization is what
+    deduplicates concurrent identical requests across connections and
+    domains.
 
-    Shutdown: a [stop] (signal handler, or the [shutdown] method) sets
-    the stop flag and then dials one dummy connection per worker, so
-    every domain blocked in [accept] wakes, observes the flag and
-    exits.  [wait] then joins the workers and removes the socket. *)
+    Crash-only discipline: every way a client can misbehave has a
+    bounded, recoverable cost.  A peer that stalls mid-frame is
+    evicted when its per-frame deadline expires; a header flood or
+    oversized frame is a framing error answered once and dropped; a
+    worker that dies on an unexpected exception is logged, counted and
+    respawned by its own supervision loop, so the serving crew never
+    shrinks; a full pending queue refuses new connections with a
+    structured [server busy] error carrying a [retry_after_ms] hint
+    instead of letting latency grow without bound.
+
+    Shutdown is a drain, not a kill: [stop] (idempotent — signal
+    handler, CLI, or the [shutdown] method) flips the state to
+    [Draining] and writes the wake pipe; new requests other than
+    [health]/[ping] are refused with [server shutting down] while
+    in-flight requests finish under the drain deadline; then [wait]
+    broadcasts on the "dead" pipe — written once, never drained, so
+    every [select] in the process wakes — joins the domains and
+    removes the socket. *)
 
 module W = Spd_workloads
 module Json = Spd_telemetry.Json
@@ -23,22 +39,31 @@ module Pipeline = Spd_harness.Pipeline
 module Artefact = Spd_harness.Artefact
 module Explain = Spd_harness.Explain
 module Microbench = Spd_harness.Microbench
+module Faults = Spd_harness.Faults
 
-let version = "1.0"
+let version = "1.1"
 
 let methods =
   [
-    "ping"; "query"; "report"; "explain"; "micro"; "run"; "metrics";
-    "stats"; "shutdown";
+    "ping"; "health"; "query"; "report"; "explain"; "micro"; "run";
+    "metrics"; "stats"; "shutdown";
   ]
 
 let m_requests = lazy (Metrics.counter "spd.serve.requests")
 let m_errors = lazy (Metrics.counter "spd.serve.errors")
+let m_conn_timeout = lazy (Metrics.counter "spd.serve.conn.timeout")
+let m_worker_restart = lazy (Metrics.counter "spd.serve.worker.restart")
+let m_rejected = lazy (Metrics.counter "spd.serve.admission.rejected")
 
 let m_request_seconds =
   lazy
     (Metrics.histogram ~buckets:Metrics.time_buckets
        "spd.serve.request_seconds")
+
+(* backoff hint carried in the [server busy] error's data *)
+let retry_after_ms = 100
+
+type state = Running | Draining | Stopped
 
 type t = {
   addr : Protocol.addr;
@@ -46,10 +71,33 @@ type t = {
   session : Engine.Session.t;
   run_fuel : int option;  (* cap on inline-run fuel requests *)
   run_deadline : float option;
-  stopping : bool Atomic.t;
+  conn_timeout : float;  (* per-frame read + per-write deadline *)
+  drain_deadline : float;  (* grace for in-flight requests on stop *)
+  max_pending : int;  (* admission: queue slots beyond the workers *)
+  faults : Faults.t;
+  state : state Atomic.t;
   served : int Atomic.t;
+  in_flight : int Atomic.t;  (* requests between decode and response *)
+  active_conns : int Atomic.t;  (* connections claimed by a worker *)
+  alive : int Atomic.t;  (* worker domains inside their supervisor *)
+  restarts : int Atomic.t;
+  timeouts : int Atomic.t;
+  rejected : int Atomic.t;
+  started_at : float;
+  queue : Unix.file_descr Queue.t;  (* accepted, not yet claimed *)
+  qmu : Mutex.t;
+  qcond : Condition.t;
+  (* [stop] -> [wait] handshake; written (one byte) at most once *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  (* final-shutdown broadcast: written once, never drained, so every
+     select in the process stays woken *)
+  dead_r : Unix.file_descr;
+  dead_w : Unix.file_descr;
   nworkers : int;
+  mutable acceptor : unit Domain.t option;
   mutable workers : unit Domain.t list;
+  mutable torn_down : bool;  (* [wait] teardown already ran *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -244,6 +292,28 @@ let serve_doc kind fields =
     :: ("kind", Json.String kind)
     :: fields)
 
+let pending_conns t =
+  Mutex.lock t.qmu;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.qmu;
+  n
+
+let health_doc t =
+  serve_doc "health"
+    [
+      ("uptime_seconds", Json.Float (Unix.gettimeofday () -. t.started_at));
+      ("workers", Json.Int t.nworkers);
+      ("workers_alive", Json.Int (Atomic.get t.alive));
+      ("worker_restarts", Json.Int (Atomic.get t.restarts));
+      ("in_flight", Json.Int (Atomic.get t.in_flight));
+      ("active_connections", Json.Int (Atomic.get t.active_conns));
+      ("pending_connections", Json.Int (pending_conns t));
+      ("conn_timeouts", Json.Int (Atomic.get t.timeouts));
+      ("admission_rejected", Json.Int (Atomic.get t.rejected));
+      ("draining", Json.Bool (Atomic.get t.state <> Running));
+      ("served", Json.Int (Atomic.get t.served));
+    ]
+
 let dispatch t meth params : Json.t =
   let p = obj_params params in
   match meth with
@@ -260,6 +330,7 @@ let dispatch t meth params : Json.t =
             Json.List
               (List.map (fun a -> Json.String a) Query.artefact_names) );
         ]
+  | "health" -> health_doc t
   | "query" -> (
       let q = query_of_params p in
       let base = [ ("key", Json.String (Query.key q)) ] in
@@ -449,78 +520,248 @@ let respond t ~id req : Json.t * bool =
       (resp, meth = "shutdown" && ok)
 
 (* ------------------------------------------------------------------ *)
-(* Connections and workers *)
+(* Connection supervision *)
 
-(* wake one domain blocked in [accept] with a throwaway connection *)
-let poke addr =
-  let target =
-    match addr with
-    | Protocol.Unix_path _ -> addr
-    | Protocol.Tcp (host, port) ->
-        let host =
-          match host with "" | "*" | "0.0.0.0" -> "127.0.0.1" | h -> h
-        in
-        Protocol.Tcp (host, port)
-  in
-  match Protocol.connect target with
-  | Ok c -> Protocol.close c
-  | Error _ -> ()
+(* the process is going down hard: the dead pipe became readable while
+   this connection was waiting for bytes *)
+exception Conn_shutdown
 
 let initiate_stop t =
-  if not (Atomic.exchange t.stopping true) then
-    for _ = 1 to t.nworkers do
-      poke t.addr
-    done
+  (* idempotent and safe inside a signal handler: one CAS, one
+     nonblocking write *)
+  if Atomic.compare_and_set t.state Running Draining then
+    try ignore (Unix.write t.wake_w (Bytes.make 1 'w') 0 1)
+    with Unix.Unix_error _ -> ()
+
+(* A deadline-enforcing byte source over the connection.  The deadline
+   is per frame, not per read: it is reset after each completed
+   request, so a legitimate slow consumer stays connected while a
+   slow-loris that dribbles bytes forever is still evicted. *)
+let conn_reader t fd =
+  let deadline = ref (Unix.gettimeofday () +. t.conn_timeout) in
+  let fill buf off len =
+    let rec wait () =
+      let remaining = !deadline -. Unix.gettimeofday () in
+      if remaining <= 0.0 then raise Protocol.Timeout;
+      match Unix.select [ fd; t.dead_r ] [] [] remaining with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      | [], _, _ -> raise Protocol.Timeout
+      | ready, _, _ ->
+          if List.mem t.dead_r ready then raise Conn_shutdown
+          else Unix.read fd buf off len
+    in
+    wait ()
+  in
+  (Protocol.reader fill, deadline)
+
+let is_probe = function Some ("ping" | "health") -> true | _ -> false
 
 let handle_conn t fd =
-  let ic = Unix.in_channel_of_descr fd in
+  (* writes are bounded too: a peer that stops reading surfaces as
+     Sys_blocked_io through the channel, not a pinned worker *)
+  (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.conn_timeout
+   with Unix.Unix_error _ -> ());
   let oc = Unix.out_channel_of_descr fd in
+  let r, deadline = conn_reader t fd in
   let finished = ref false in
+  let write_resp resp =
+    try
+      Protocol.write_frame oc resp;
+      true
+    with Sys_error _ | Sys_blocked_io -> false
+  in
   (try
-     while (not !finished) && not (Atomic.get t.stopping) do
-       match Protocol.read_frame ic with
+     while not !finished do
+       match Protocol.read_frame_r r with
        | Ok None -> finished := true
        | Error e ->
            (* unframeable input: answer once, then drop the peer *)
-           (try
-              Protocol.write_frame oc
+           ignore
+             (write_resp
                 (Protocol.response_error ~id:Json.Null
-                   ~code:Protocol.parse_error e)
-            with Sys_error _ -> ());
+                   ~code:Protocol.parse_error e));
            finished := true
        | Ok (Some req) ->
            let id =
              Option.value ~default:Json.Null (Json.member "id" req)
            in
-           let resp, quit = respond t ~id req in
-           Atomic.incr t.served;
-           (try Protocol.write_frame oc resp
-            with Sys_error _ -> finished := true);
-           if quit then begin
-             finished := true;
-             initiate_stop t
+           let draining = Atomic.get t.state <> Running in
+           let meth =
+             Option.bind (Json.member "method" req) Json.to_string_opt
+           in
+           if draining && not (is_probe meth) then begin
+             (* readiness probes still answer during the drain; real
+                work is refused so clients fail over promptly *)
+             ignore
+               (write_resp
+                  (Protocol.response_error ~id
+                     ~code:Protocol.server_shutting_down
+                     "server shutting down"));
+             finished := true
+           end
+           else begin
+             Atomic.incr t.in_flight;
+             (* in_flight covers the response write as well, so the
+                drain waits for answers to reach the wire *)
+             let quit =
+               Fun.protect
+                 ~finally:(fun () -> Atomic.decr t.in_flight)
+                 (fun () ->
+                   let resp, quit = respond t ~id req in
+                   if not (write_resp resp) then finished := true;
+                   quit)
+             in
+             Atomic.incr t.served;
+             deadline := Unix.gettimeofday () +. t.conn_timeout;
+             if quit then begin
+               finished := true;
+               initiate_stop t
+             end;
+             if draining then finished := true
            end
      done
-   with Sys_error _ | End_of_file -> ());
-  (try flush oc with Sys_error _ -> ());
-  (* ic and oc share fd; close the descriptor exactly once *)
+   with
+  | Protocol.Timeout ->
+      (* slow-loris eviction: no response, the peer used up its frame
+         deadline *)
+      Atomic.incr t.timeouts;
+      Metrics.incr (Lazy.force m_conn_timeout)
+  | Conn_shutdown -> ()
+  | End_of_file | Sys_error _ | Sys_blocked_io -> ()
+  | Unix.Unix_error
+      ( ( Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF | Unix.EAGAIN
+        | Unix.EWOULDBLOCK ),
+        _,
+        _ ) ->
+      ());
+  try flush oc with Sys_error _ | Sys_blocked_io -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Worker domains *)
+
+(* block until a connection is available; None when the server stopped *)
+let next_conn t =
+  Mutex.lock t.qmu;
+  let rec go () =
+    if Atomic.get t.state = Stopped then None
+    else
+      match Queue.take_opt t.queue with
+      | Some fd ->
+          Atomic.incr t.active_conns;
+          Some fd
+      | None ->
+          Condition.wait t.qcond t.qmu;
+          go ()
+  in
+  let r = go () in
+  Mutex.unlock t.qmu;
+  r
+
+let rec worker_loop t =
+  match next_conn t with
+  | None -> ()
+  | Some fd ->
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.decr t.active_conns;
+          (* in and out channels share fd; close it exactly once *)
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* the worker-raise fault escapes to the supervisor below:
+             the connection is lost (crash-only), the worker is not *)
+          Faults.worker_raise t.faults;
+          handle_conn t fd);
+      worker_loop t
+
+(* Supervision: [worker_loop] returning is a normal exit; an exception
+   is a crash.  The connection that killed it is already closed by the
+   [Fun.protect] above, so the supervisor just logs, counts and
+   re-enters the loop — the serving crew never shrinks. *)
+let worker_main t =
+  Atomic.incr t.alive;
+  Fun.protect
+    ~finally:(fun () -> Atomic.decr t.alive)
+    (fun () ->
+      let rec supervise () =
+        match worker_loop t with
+        | () -> ()
+        | exception e when Atomic.get t.state <> Stopped ->
+            Atomic.incr t.restarts;
+            Metrics.incr (Lazy.force m_worker_restart);
+            Printf.eprintf "spd serve: worker restarted after: %s\n%!"
+              (Printexc.to_string e);
+            supervise ()
+        | exception _ -> ()
+      in
+      supervise ())
+
+(* ------------------------------------------------------------------ *)
+(* Acceptor and admission control *)
+
+let refuse_busy t fd =
+  Atomic.incr t.rejected;
+  Metrics.incr (Lazy.force m_rejected);
+  (try
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0;
+     let oc = Unix.out_channel_of_descr fd in
+     Protocol.write_frame oc
+       (Protocol.response_error
+          ~data:(Json.Obj [ ("retry_after_ms", Json.Int retry_after_ms) ])
+          ~id:Json.Null ~code:Protocol.server_busy "server busy")
+   with Sys_error _ | Sys_blocked_io | Unix.Unix_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
-let rec worker t =
-  match Unix.accept t.listen_fd with
-  | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
-      if Atomic.get t.stopping then () else worker t
-  | exception Unix.Unix_error (_, _, _) ->
-      (* EBADF and friends: the listening socket is gone *)
-      ()
-  | fd, _ ->
-      if Atomic.get t.stopping then begin
-        (try Unix.close fd with Unix.Unix_error _ -> ())
-      end
-      else begin
-        handle_conn t fd;
-        if Atomic.get t.stopping then () else worker t
-      end
+(* Admission control: a connection is admitted while the workers plus
+   the pending queue have room, otherwise it is answered [server busy]
+   (with a retry hint) and closed — latency stays bounded instead of
+   the queue growing without bound. *)
+let admit t fd =
+  Mutex.lock t.qmu;
+  let overloaded =
+    Atomic.get t.active_conns + Queue.length t.queue
+    >= t.nworkers + t.max_pending
+  in
+  if overloaded then begin
+    Mutex.unlock t.qmu;
+    refuse_busy t fd
+  end
+  else begin
+    Queue.push fd t.queue;
+    Condition.signal t.qcond;
+    Mutex.unlock t.qmu
+  end
+
+(* The acceptor multiplexes the (nonblocking) listening socket against
+   the dead pipe, so closing time needs no dummy wake-up connections. *)
+let acceptor_main t =
+  let rec loop () =
+    if Atomic.get t.state = Stopped then ()
+    else
+      match Unix.select [ t.listen_fd; t.dead_r ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | ready, _, _ ->
+          if List.mem t.dead_r ready then ()
+          else begin
+            (match Unix.accept t.listen_fd with
+            | exception
+                Unix.Unix_error
+                  ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
+                    | Unix.ECONNABORTED ),
+                    _,
+                    _ ) ->
+                ()
+            | exception Unix.Unix_error _ ->
+                (* transient resource trouble (e.g. fd exhaustion):
+                   back off instead of spinning *)
+                (try Unix.sleepf 0.05
+                 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+            | fd, _ ->
+                Unix.clear_nonblock fd;
+                admit t fd);
+            loop ()
+          end
+  in
+  loop ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -574,40 +815,125 @@ let listen addr =
               addr (Unix.error_message e)));
       fd
 
-let start ?(workers = 4) ?run_fuel ?run_deadline ~session addr =
+let start ?(workers = 4) ?(conn_timeout = 30.0) ?(drain_deadline = 10.0)
+    ?(max_pending = 64) ?(faults = Faults.none) ?run_fuel ?run_deadline
+    ~session addr =
   (* a peer that disconnects mid-response must surface as EPIPE, not
      kill the daemon *)
   (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
    with Invalid_argument _ | Sys_error _ -> ());
   let nworkers = max 1 workers in
+  let listen_fd = listen addr in
+  Unix.set_nonblock listen_fd;
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  let dead_r, dead_w = Unix.pipe ~cloexec:true () in
+  (* [stop] may run inside a signal handler: its pipe writes must not
+     block *)
+  Unix.set_nonblock wake_w;
+  Unix.set_nonblock dead_w;
+  (* register every serve metric up front, so a metrics snapshot
+     carries the counters whether or not they have fired *)
+  ignore (Lazy.force m_requests);
+  ignore (Lazy.force m_errors);
+  ignore (Lazy.force m_request_seconds);
+  ignore (Lazy.force m_conn_timeout);
+  ignore (Lazy.force m_worker_restart);
+  ignore (Lazy.force m_rejected);
   let t =
     {
       addr;
-      listen_fd = listen addr;
+      listen_fd;
       session;
       run_fuel;
       run_deadline;
-      stopping = Atomic.make false;
+      conn_timeout;
+      drain_deadline;
+      max_pending;
+      faults;
+      state = Atomic.make Running;
       served = Atomic.make 0;
+      in_flight = Atomic.make 0;
+      active_conns = Atomic.make 0;
+      alive = Atomic.make 0;
+      restarts = Atomic.make 0;
+      timeouts = Atomic.make 0;
+      rejected = Atomic.make 0;
+      started_at = Unix.gettimeofday ();
+      queue = Queue.create ();
+      qmu = Mutex.create ();
+      qcond = Condition.create ();
+      wake_r;
+      wake_w;
+      dead_r;
+      dead_w;
       nworkers;
+      acceptor = None;
       workers = [];
+      torn_down = false;
     }
   in
-  t.workers <- List.init nworkers (fun _ -> Domain.spawn (fun () -> worker t));
+  t.workers <-
+    List.init nworkers (fun _ -> Domain.spawn (fun () -> worker_main t));
+  t.acceptor <- Some (Domain.spawn (fun () -> acceptor_main t));
   t
 
 let stop = initiate_stop
 
 let wait t =
-  while not (Atomic.get t.stopping) do
-    try Unix.sleepf 0.25 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
-  done;
-  List.iter Domain.join t.workers;
-  t.workers <- [];
-  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  match t.addr with
-  | Protocol.Unix_path path -> (
-      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
-  | Protocol.Tcp _ -> ()
+  (* block until [stop] runs (signal handler, CLI, shutdown method) *)
+  let rec await () =
+    if Atomic.get t.state = Running then
+      match Unix.select [ t.wake_r ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> await ()
+      | _ -> ()
+  in
+  await ();
+  if not t.torn_down then begin
+    t.torn_down <- true;
+    (* graceful drain: let in-flight requests finish writing, bounded
+       by the drain deadline *)
+    let drain_until = Unix.gettimeofday () +. t.drain_deadline in
+    while
+      Atomic.get t.in_flight > 0 && Unix.gettimeofday () < drain_until
+    do
+      try Unix.sleepf 0.01 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    (* hard stop: the dead pipe wakes every select in the process and
+       stays readable *)
+    (try ignore (Unix.write t.dead_w (Bytes.make 1 'd') 0 1)
+     with Unix.Unix_error _ -> ());
+    Mutex.lock t.qmu;
+    Atomic.set t.state Stopped;
+    Condition.broadcast t.qcond;
+    Mutex.unlock t.qmu;
+    (match t.acceptor with
+    | Some d ->
+        Domain.join d;
+        t.acceptor <- None
+    | None -> ());
+    List.iter Domain.join t.workers;
+    t.workers <- [];
+    (* connections admitted but never claimed by a worker *)
+    Mutex.lock t.qmu;
+    Queue.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      t.queue;
+    Queue.clear t.queue;
+    Mutex.unlock t.qmu;
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      [ t.listen_fd; t.wake_r; t.wake_w; t.dead_r; t.dead_w ];
+    match t.addr with
+    | Protocol.Unix_path path -> (
+        try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    | Protocol.Tcp _ -> ()
+  end
 
 let served t = Atomic.get t.served
+let draining t = Atomic.get t.state <> Running
+let workers_alive t = Atomic.get t.alive
+let worker_restarts t = Atomic.get t.restarts
+let conn_timeouts t = Atomic.get t.timeouts
+let admission_rejected t = Atomic.get t.rejected
+let active_conns t = Atomic.get t.active_conns
+let in_flight t = Atomic.get t.in_flight

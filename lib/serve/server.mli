@@ -1,10 +1,10 @@
 (** The [spd serve] daemon: an always-on, multi-tenant front end to one
     shared {!Spd_harness.Engine.Session}.
 
-    A fixed crew of OCaml 5 domains accepts connections on one
-    listening socket and serves framed JSON-RPC requests
-    (see {!Protocol}); every artefact request becomes an
-    {!Spd_harness.Engine.Query.t} submitted through
+    One acceptor domain multiplexes the listening socket; admitted
+    connections are served by a fixed crew of supervised OCaml 5
+    domains speaking framed JSON-RPC (see {!Protocol}); every artefact
+    request becomes an {!Spd_harness.Engine.Query.t} submitted through
     [Engine.Session.submit], so
 
     - concurrent identical requests deduplicate onto one computation
@@ -13,8 +13,18 @@
       quota-starved request fails with an [ok:false] response while
       the shared cells stay intact.
 
-    Methods: [ping], [query], [report], [explain], [micro], [run],
-    [metrics], [stats], [shutdown].  [report] responses reuse
+    The daemon is crash-only: a connection that stalls past its
+    per-frame deadline is evicted (counted in
+    [spd.serve.conn.timeout]); a worker that dies on an unexpected
+    exception is respawned by its supervisor (counted in
+    [spd.serve.worker.restart]); a connection arriving while workers
+    and the pending queue are full is refused with a structured
+    [server busy] error carrying [retry_after_ms] (counted in
+    [spd.serve.admission.rejected]); {!stop} drains in-flight requests
+    under a deadline instead of dropping them.
+
+    Methods: [ping], [health], [query], [report], [explain], [micro],
+    [run], [metrics], [stats], [shutdown].  [report] responses reuse
     {!Spd_harness.Artefact.to_json} verbatim, which is what makes a
     served report byte-identical to [spd report --format json]
     (modulo the run-dependent ["metrics"] member). *)
@@ -27,27 +37,64 @@ val version : string
 (** The methods the daemon understands, reported by [ping]. *)
 val methods : string list
 
-(** [start ~session addr] binds [addr], spawns [workers] accept/serve
-    domains (default 4) and returns immediately.  [run_fuel] and
-    [run_deadline] cap the budgets of inline-source [run] requests the
-    same way the session's own budgets cap [query] quotas.  Raises
-    [Failure] if the address cannot be bound (e.g. the socket path
-    exists and is not a stale socket). *)
+(** [start ~session addr] binds [addr], spawns the acceptor and
+    [workers] serve domains (default 4) and returns immediately.
+
+    [conn_timeout] (default 30s) bounds both how long a connection may
+    take to deliver one complete frame and how long a response write
+    may block.  [drain_deadline] (default 10s) bounds how long {!wait}
+    lets in-flight requests finish after {!stop}.  [max_pending]
+    (default 64) sets the admission-control queue depth beyond the
+    worker count.  [faults] arms {!Spd_harness.Faults.worker_raise}
+    for supervision tests.  [run_fuel] and [run_deadline] cap the
+    budgets of inline-source [run] requests the same way the session's
+    own budgets cap [query] quotas.  Raises [Failure] if the address
+    cannot be bound (e.g. the socket path exists and is not a stale
+    socket). *)
 val start :
   ?workers:int ->
+  ?conn_timeout:float ->
+  ?drain_deadline:float ->
+  ?max_pending:int ->
+  ?faults:Spd_harness.Faults.t ->
   ?run_fuel:int ->
   ?run_deadline:float ->
   session:Spd_harness.Engine.Session.t ->
   Protocol.addr -> t
 
-(** Ask the daemon to stop: subsequent accepts are refused and workers
-    wind down.  Idempotent, safe from any domain and from signal
-    handlers (also triggered by the [shutdown] method). *)
+(** Begin a graceful drain: new non-probe requests are refused with a
+    [server shutting down] error while in-flight requests finish.
+    Idempotent, safe from any domain and from signal handlers (also
+    triggered by the [shutdown] method). *)
 val stop : t -> unit
 
-(** Block until {!stop} was requested, then join the workers, close
-    the listening socket and unlink a Unix-domain socket path. *)
+(** Block until {!stop} was requested, give in-flight requests up to
+    the drain deadline to finish, then join the domains, close the
+    listening socket and unlink a Unix-domain socket path. *)
 val wait : t -> unit
 
 (** Requests answered so far (all methods, errors included). *)
 val served : t -> int
+
+(** {1 Introspection} (also served by the [health] method) *)
+
+(** Whether {!stop} has been requested. *)
+val draining : t -> bool
+
+(** Worker domains currently inside their supervision loop. *)
+val workers_alive : t -> int
+
+(** Times a worker was respawned after an unexpected exception. *)
+val worker_restarts : t -> int
+
+(** Connections evicted for stalling past the per-frame deadline. *)
+val conn_timeouts : t -> int
+
+(** Connections refused with [server busy]. *)
+val admission_rejected : t -> int
+
+(** Connections currently claimed by a worker. *)
+val active_conns : t -> int
+
+(** Requests currently between decode and response write. *)
+val in_flight : t -> int

@@ -159,7 +159,38 @@ let check_serve doc =
       match require_member "stopping" doc with
       | Json.Bool _ -> ()
       | _ -> bad "\"stopping\" is not a boolean")
+  | "health" ->
+      if require_int "workers" doc < 1 then bad "workers < 1";
+      List.iter
+        (fun key ->
+          if require_int key doc < 0 then bad "negative %S" key)
+        [
+          "workers_alive"; "worker_restarts"; "in_flight";
+          "active_connections"; "pending_connections"; "conn_timeouts";
+          "admission_rejected"; "served";
+        ];
+      if require_number "uptime_seconds" doc < 0.0 then
+        bad "negative uptime";
+      (match require_member "draining" doc with
+      | Json.Bool _ -> ()
+      | _ -> bad "\"draining\" is not a boolean")
   | kind -> bad "unknown spd-serve/1 kind %S" kind
+
+(* A raw JSON-RPC error envelope, as the daemon's load-shedding paths
+   emit it: the [server busy] refusal must carry its retry hint, the
+   [server shutting down] refusal must not claim success. *)
+let check_rpc_error doc =
+  if require_string "jsonrpc" doc <> "2.0" then bad "jsonrpc is not 2.0";
+  if Json.member "result" doc <> None then
+    bad "error envelope also carries a result";
+  let err = require_member "error" doc in
+  let code = require_int "code" err in
+  let (_ : string) = require_string "message" err in
+  if code = -32001 then begin
+    let data = require_member "data" err in
+    if require_int "retry_after_ms" data < 1 then
+      bad "server busy without a usable retry_after_ms"
+  end
 
 let check_schema doc =
   match Option.bind (Json.member "schema" doc) Json.to_string_opt with
@@ -167,7 +198,13 @@ let check_schema doc =
   | Some "spd-bench-diff/1" -> check_bench_diff doc; Some "spd-bench-diff/1"
   | Some "spd-micro/1" -> check_micro doc; Some "spd-micro/1"
   | Some "spd-serve/1" -> check_serve doc; Some "spd-serve/1"
-  | _ -> None
+  | _ ->
+      if Json.member "jsonrpc" doc <> None && Json.member "error" doc <> None
+      then begin
+        check_rpc_error doc;
+        Some "jsonrpc error"
+      end
+      else None
 
 let () =
   let files = List.tl (Array.to_list Sys.argv) in

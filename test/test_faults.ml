@@ -28,7 +28,31 @@ let test_faults_parse () =
       | Ok _ -> Alcotest.failf "Faults.parse %S unexpectedly succeeded" bad
       | Error _ -> ())
     [ "bogus"; "cache-corrupt:x"; "cache-corrupt:0"; "fuel:"; "cell-raise:";
-      "cell-raise:k@x" ]
+      "cell-raise:k@x"; "conn-torn-frame:"; "conn-torn-frame:0";
+      "conn-garbage-header:x"; "conn-stall:-1"; "worker-raise:0" ]
+
+let test_conn_faults_parse () =
+  let f =
+    parse_ok "conn-torn-frame:4,conn-garbage-header:3,conn-stall:2"
+  in
+  check_bool "chaos budgets arm the spec" false (Faults.is_none f);
+  check_int "torn budget" 4 (Faults.conn_torn_frames f);
+  check_int "garbage budget" 3 (Faults.conn_garbage_headers f);
+  check_int "stall budget" 2 (Faults.conn_stalls f);
+  check_int "unarmed budget is zero" 0 (Faults.conn_torn_frames Faults.none)
+
+let test_worker_raise_hook () =
+  let f = parse_ok "worker-raise:2" in
+  check_bool "worker-raise arms the spec" false (Faults.is_none f);
+  let fired = ref 0 in
+  for _ = 1 to 5 do
+    match Faults.worker_raise f with
+    | () -> ()
+    | exception Faults.Injected _ -> incr fired
+  done;
+  check_int "fires exactly its budget" 2 !fired;
+  (* a no-fault spec never fires *)
+  Faults.worker_raise Faults.none
 
 let test_cell_raise_matching () =
   let f = parse_ok "cell-raise:adi/2/SPEC" in
@@ -218,6 +242,8 @@ let tests =
   [
     case "faults: parse and reject" test_faults_parse;
     case "faults: cell-raise key matching" test_cell_raise_matching;
+    case "faults: chaos-client budgets" test_conn_faults_parse;
+    case "faults: worker-raise budget" test_worker_raise_hook;
     case "engine: retry then succeed" test_retry_then_succeed;
     case "engine: contained cell failure" test_contained_failure;
     case "report: n/a cells and failure appendix" test_report_renders_na;

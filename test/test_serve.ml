@@ -25,11 +25,15 @@ let tmp_socket () =
 
 (* start a fresh daemon on a fresh session; always stopped and cleaned
    up, even when the test body raises *)
-let with_server ?(workers = 2) ?(jobs = 2) f =
+let with_server ?(workers = 2) ?(jobs = 2) ?conn_timeout ?drain_deadline
+    ?max_pending ?faults f =
   let path = tmp_socket () in
   let addr = Protocol.Unix_path path in
   let session = Engine.Session.create ~jobs ~disk_cache:false () in
-  let server = Server.start ~workers ~session addr in
+  let server =
+    Server.start ~workers ?conn_timeout ?drain_deadline ?max_pending ?faults
+      ~session addr
+  in
   Fun.protect
     ~finally:(fun () ->
       Server.stop server;
@@ -82,6 +86,60 @@ let with_member params name v =
   | Json.Obj kvs ->
       Json.Obj (List.filter (fun (k, _) -> k <> name) kvs @ [ (name, v) ])
   | _ -> assert false
+
+(* raw-socket access, for speaking broken protocol on purpose *)
+
+let raw_connect addr =
+  match addr with
+  | Protocol.Unix_path path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+  | Protocol.Tcp _ -> assert false
+
+let raw_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let raw_send fd s =
+  try ignore (Unix.write_substring fd s 0 (String.length s))
+  with Unix.Unix_error _ -> ()
+
+(* everything the server says until it closes the connection (or a
+   5-second safety net trips) *)
+let raw_recv_all fd =
+  let buf = Buffer.create 256 in
+  let b = Bytes.create 4096 in
+  let rec go () =
+    match Unix.select [ fd ] [] [] 5.0 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.read fd b 0 4096 with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf b 0 n;
+            go ()
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ())
+  in
+  go ();
+  Buffer.contents buf
+
+let eventually ?(timeout = 5.0) pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    pred ()
+    || Unix.gettimeofday () -. t0 < timeout
+       && begin
+            Unix.sleepf 0.02;
+            go ()
+          end
+  in
+  go ()
+
+(* the worker must still serve a fresh connection after whatever the
+   previous test paragraph did to its sibling *)
+let assert_still_serving addr =
+  match Protocol.call_with_retries ~retries:5 addr "ping" (Json.Obj []) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "daemon stopped serving: %s" e
 
 (* ------------------------------------------------------------------ *)
 
@@ -215,6 +273,189 @@ let test_shutdown_method () =
   Server.wait server;
   check_bool "requests were served" true (Server.served server >= 1)
 
+(* ------------------------------------------------------------------ *)
+(* Crash-only serving: malformed input, supervision, admission, drain *)
+
+(* a Content-Length past the 64 MiB cap is answered with a structured
+   parse error, and the worker goes on serving other connections *)
+let test_oversized_content_length () =
+  with_server @@ fun ~addr ~session:_ ~server:_ ->
+  let fd = raw_connect addr in
+  raw_send fd "Content-Length: 999999999\r\n\r\n";
+  let resp = raw_recv_all fd in
+  raw_close fd;
+  check_bool "parse error -32700" true (Test_harness.contains resp "-32700");
+  check_bool "names the bad length" true
+    (Test_harness.contains resp "unreasonable Content-Length");
+  assert_still_serving addr
+
+(* disconnect mid-body: no response possible, the worker just drops the
+   torn connection and serves the next one *)
+let test_torn_frame () =
+  with_server @@ fun ~addr ~session:_ ~server:_ ->
+  let fd = raw_connect addr in
+  raw_send fd "Content-Length: 4096\r\n\r\n{\"jsonrpc\":";
+  raw_close fd;
+  assert_still_serving addr
+
+(* an unparsable Content-Length value is a framing error with the
+   structured wording, answered once *)
+let test_garbage_header () =
+  with_server @@ fun ~addr ~session:_ ~server:_ ->
+  let fd = raw_connect addr in
+  raw_send fd "Content-Length: banana\r\n\r\n";
+  let resp = raw_recv_all fd in
+  raw_close fd;
+  check_bool "parse error -32700" true (Test_harness.contains resp "-32700");
+  check_bool "names the bad value" true
+    (Test_harness.contains resp "invalid Content-Length");
+  assert_still_serving addr
+
+(* an endless header section trips the byte cap instead of growing
+   memory *)
+let test_header_flood () =
+  with_server @@ fun ~addr ~session:_ ~server:_ ->
+  let fd = raw_connect addr in
+  let line = "X-Flood: " ^ String.make 500 'a' ^ "\r\n" in
+  (try
+     for _ = 1 to 100 do
+       raw_send fd line
+     done
+   with _ -> ());
+  let resp = raw_recv_all fd in
+  raw_close fd;
+  check_bool "parse error -32700" true (Test_harness.contains resp "-32700");
+  check_bool "names the header cap" true
+    (Test_harness.contains resp "frame header exceeds");
+  assert_still_serving addr
+
+(* peer sends a request and vanishes before the answer: the response
+   write fails (EPIPE/ECONNRESET), the worker shrugs and serves on *)
+let test_epipe_on_write () =
+  with_server @@ fun ~addr ~session:_ ~server:_ ->
+  let fd = raw_connect addr in
+  let body = {|{"jsonrpc":"2.0","id":1,"method":"ping","params":{}}|} in
+  raw_send fd
+    (Printf.sprintf "Content-Length: %d\r\n\r\n%s" (String.length body) body);
+  raw_close fd;
+  assert_still_serving addr
+
+(* slow-loris: a connection dribbling no bytes past the frame deadline
+   is evicted and counted *)
+let test_conn_timeout_eviction () =
+  with_server ~conn_timeout:0.2 @@ fun ~addr ~session:_ ~server ->
+  let fd = raw_connect addr in
+  raw_send fd "Content-Len";
+  (* never finishes the header *)
+  check_bool "stalled connection evicted" true
+    (eventually (fun () -> Server.conn_timeouts server >= 1));
+  raw_close fd;
+  assert_still_serving addr
+
+(* admission control: with every worker pinned and no queue, the next
+   connection is refused with server busy + retry_after_ms; retries ride
+   through once capacity frees up *)
+let test_admission_busy () =
+  with_server ~workers:1 ~max_pending:0 ~conn_timeout:30.0
+  @@ fun ~addr ~session:_ ~server ->
+  let hog = raw_connect addr in
+  raw_send hog "Content-";
+  (* pins the only worker mid-frame *)
+  check_bool "worker claimed the hog" true
+    (eventually (fun () -> Server.active_conns server >= 1));
+  (match Protocol.connect addr with
+  | Error e -> Alcotest.failf "connect while busy: %s" e
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Protocol.close c) @@ fun () ->
+      (match Protocol.call_ex c "ping" (Json.Obj []) with
+      | Error (Protocol.Rpc e) ->
+          check_int "server busy code" Protocol.server_busy e.Protocol.code;
+          check_bool "carries retry_after_ms" true
+            (e.Protocol.retry_after_ms <> None)
+      | Error (Protocol.Transport e) ->
+          Alcotest.failf "expected a busy error, got transport: %s" e
+      | Ok _ -> Alcotest.fail "expected a busy refusal"));
+  check_bool "refusal counted" true (Server.admission_rejected server >= 1);
+  (* free the worker; a retrying client must get through *)
+  raw_close hog;
+  assert_still_serving addr
+
+(* a worker that dies on an unexpected exception is respawned: the
+   poisoned connection is lost, the crew is not *)
+let test_worker_supervision () =
+  let faults =
+    match H.Faults.parse "worker-raise:1" with
+    | Ok f -> f
+    | Error e -> Alcotest.fail e
+  in
+  with_server ~workers:2 ~faults @@ fun ~addr ~session:_ ~server ->
+  (match Protocol.connect addr with
+  | Error e -> Alcotest.failf "connect: %s" e
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Protocol.close c) @@ fun () ->
+      (* the fault kills this connection's worker before any response *)
+      (match Protocol.call_ex c "ping" (Json.Obj []) with
+      | Error (Protocol.Transport _) -> ()
+      | Error (Protocol.Rpc e) ->
+          Alcotest.failf "expected a torn connection, got rpc error %d"
+            e.Protocol.code
+      | Ok _ -> Alcotest.fail "poisoned connection should not answer"));
+  check_bool "restart counted" true
+    (eventually (fun () -> Server.worker_restarts server >= 1));
+  check_bool "crew back to full strength" true
+    (eventually (fun () -> Server.workers_alive server = 2));
+  assert_still_serving addr
+
+let test_health () =
+  with_server @@ fun ~addr ~session:_ ~server ->
+  check_bool "both workers up" true
+    (eventually (fun () -> Server.workers_alive server = 2));
+  let r = call_ok addr "health" (Json.Obj []) in
+  check_string "kind" "health" (str (member "kind" r));
+  check_int "workers" 2 (int_of_float (num (member "workers" r)));
+  check_int "workers_alive" 2
+    (int_of_float (num (member "workers_alive" r)));
+  check_bool "not draining" true (member "draining" r = Json.Bool false);
+  check_bool "health counts itself in flight" true
+    (num (member "in_flight" r) >= 1.0);
+  check_bool "uptime ticks" true (num (member "uptime_seconds" r) >= 0.0)
+
+(* drain semantics: during the drain, health still answers (and says
+   draining) while real work is refused with -32002 *)
+let test_drain_refuses_work () =
+  with_server @@ fun ~addr ~session:_ ~server ->
+  Server.stop server;
+  Server.stop server;
+  (* idempotent: second stop is a no-op *)
+  check_bool "draining" true (Server.draining server);
+  let h = call_ok addr "health" (Json.Obj []) in
+  check_bool "health reports draining" true
+    (member "draining" h = Json.Bool true);
+  match Protocol.connect addr with
+  | Error e -> Alcotest.failf "connect while draining: %s" e
+  | Ok c -> (
+      Fun.protect ~finally:(fun () -> Protocol.close c) @@ fun () ->
+      match Protocol.call_ex c "query" query_params with
+      | Error (Protocol.Rpc e) ->
+          check_int "shutting-down code" Protocol.server_shutting_down
+            e.Protocol.code
+      | Error (Protocol.Transport e) ->
+          Alcotest.failf "expected a structured refusal, got: %s" e
+      | Ok _ -> Alcotest.fail "draining daemon should refuse a query")
+
+(* the serve counters are registered up front: a metrics snapshot
+   carries them even before any fault fires *)
+let test_metrics_snapshot_keys () =
+  with_server @@ fun ~addr ~session:_ ~server:_ ->
+  let counters = member "counters" (call_ok addr "metrics" (Json.Obj [])) in
+  List.iter
+    (fun key ->
+      check_bool (key ^ " registered") true (Json.member key counters <> None))
+    [
+      "spd.serve.requests"; "spd.serve.errors"; "spd.serve.conn.timeout";
+      "spd.serve.worker.restart"; "spd.serve.admission.rejected";
+    ]
+
 let tests =
   [
     case "ping over a unix socket" test_ping;
@@ -224,4 +465,15 @@ let tests =
     case "served report is byte-identical" test_report_byte_identical;
     case "JSON-RPC errors and recovery" test_errors;
     case "shutdown method stops the daemon" test_shutdown_method;
+    case "oversized Content-Length is refused" test_oversized_content_length;
+    case "torn frame leaves the worker alive" test_torn_frame;
+    case "garbage header is a framing error" test_garbage_header;
+    case "header flood trips the cap" test_header_flood;
+    case "EPIPE on response write is contained" test_epipe_on_write;
+    case "slow-loris eviction" test_conn_timeout_eviction;
+    case "admission control refuses with busy" test_admission_busy;
+    case "worker supervision respawns" test_worker_supervision;
+    case "health method" test_health;
+    case "drain refuses work, answers health" test_drain_refuses_work;
+    case "metrics carries the serve counters" test_metrics_snapshot_keys;
   ]
