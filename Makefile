@@ -8,7 +8,8 @@ DUNE ?= dune
 SMOKE_DIR ?= /tmp
 
 .PHONY: all check test bench bench-json fuzz-smoke telemetry-smoke \
-	bench-diff-smoke perf-smoke serve-smoke chaos-smoke golden-promote clean
+	bench-diff-smoke perf-smoke serve-smoke chaos-smoke obs-smoke \
+	golden-promote clean
 
 all:
 	$(DUNE) build
@@ -90,6 +91,19 @@ chaos-smoke:
 	  $(SMOKE_DIR)/spd_chaos_health.json $(SMOKE_DIR)/spd_chaos_refused.json \
 	  $(SMOKE_DIR)/spd_chaos_busy.json
 
+# Observability smoke: a real `spd serve --log --trace --slow-ms`
+# under a mixed RPC burst.  Asserts rid echoing on every envelope,
+# exact per-method latency histogram counts with a sane p95, a
+# monotone Prometheus exposition whose +Inf bucket equals _count, one
+# `spd top` frame, and a structured log + trace profile that agree
+# with the responses; then lints the spd-log/1 lines, the trace and
+# the saved envelope with the in-repo reader.
+obs-smoke:
+	$(DUNE) exec test/obs_smoke.exe -- $(SMOKE_DIR)
+	$(DUNE) exec test/json_lint.exe -- \
+	  $(SMOKE_DIR)/spd_obs_log.jsonl $(SMOKE_DIR)/spd_obs_trace.json \
+	  $(SMOKE_DIR)/spd_obs_envelope.json
+
 # Regenerate the golden-schedule corpus under test/golden/ after an
 # intentional scheduler or DDG change; review the grid diff and commit.
 golden-promote:
@@ -105,6 +119,7 @@ check: all
 	$(MAKE) perf-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) obs-smoke
 
 bench:
 	$(DUNE) exec bench/main.exe -- all --timings

@@ -10,7 +10,10 @@
     spd report  [ARTEFACT] [--jobs N] [--no-cache]      regenerate the paper's tables/figures
                 [--trace FILE] [--format pretty|json|csv]
     spd serve   [--socket PATH | --tcp HOST:PORT]       experiment daemon (framed JSON-RPC)
+                [--log FILE] [--trace FILE] [--slow-ms MS]
     spd call    METHOD [PARAMS] [--socket PATH]         one request against a running daemon
+                [--format json|prometheus]
+    spd top     [--socket PATH | --tcp HOST:PORT]       live daemon dashboard (polls health+metrics)
     spd list                                            list built-in benchmarks
     v}
 
@@ -787,38 +790,54 @@ let tcp_arg =
         ~doc:"Listen on / connect to TCP instead of the Unix socket.")
 
 let serve_cmd =
+  let module Log = Spd_telemetry.Log in
+  let module Trace = Spd_telemetry.Trace in
   let run socket tcp workers conn_timeout drain_deadline max_pending jobs
-      no_cache retries fuel deadline faults =
+      no_cache retries fuel deadline faults log log_level slow_ms trace =
     let addr = resolve_addr ~socket ~tcp in
+    (* --log without --log-level defaults to info: a file sink wants the
+       request log, not just the warnings the stderr default shows *)
+    (match (log_level, log) with
+    | Some lvl, _ -> Log.set_level lvl
+    | None, Some _ -> Log.set_level Log.Info
+    | None, None -> ());
     let session =
       Spd_harness.Engine.Session.create ?jobs ~disk_cache:(not no_cache)
         ?retries ?fuel ?deadline ?faults:(Option.map Fun.id faults) ()
     in
-    let server =
-      try
-        Spd_serve.Server.start ~workers ~conn_timeout ~drain_deadline
-          ~max_pending
-          ?faults:(Option.map Fun.id faults)
-          ?run_fuel:fuel ?run_deadline:deadline ~session addr
-      with Failure msg ->
-        Spd_harness.Engine.Session.close session;
-        Fmt.epr "%s@." msg;
-        exit 1
+    let serve () =
+      let server =
+        try
+          Spd_serve.Server.start ~workers ~conn_timeout ~drain_deadline
+            ~max_pending
+            ?faults:(Option.map Fun.id faults)
+            ?run_fuel:fuel ?run_deadline:deadline ?slow_ms ~session addr
+        with Failure msg ->
+          Spd_harness.Engine.Session.close session;
+          Fmt.epr "%s@." msg;
+          exit 1
+      in
+      (* SIGINT/SIGTERM start the same graceful drain as the shutdown
+         method: [stop] is idempotent and signal-safe *)
+      let stop _signum = Spd_serve.Server.stop server in
+      (try ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop))
+       with Invalid_argument _ | Sys_error _ -> ());
+      (try ignore (Sys.signal Sys.sigterm (Sys.Signal_handle stop))
+       with Invalid_argument _ | Sys_error _ -> ());
+      Fmt.pr "spd serve: listening on %a, %d worker domains@."
+        Spd_serve.Protocol.pp_addr addr (max 1 workers);
+      Fmt.pr "spd serve: stop with SIGINT/SIGTERM or the shutdown method@.";
+      Spd_serve.Server.wait server;
+      Fmt.pr "spd serve: stopped after %d requests@."
+        (Spd_serve.Server.served server);
+      Spd_harness.Engine.Session.close session
     in
-    (* SIGINT/SIGTERM start the same graceful drain as the shutdown
-       method: [stop] is idempotent and signal-safe *)
-    let stop _signum = Spd_serve.Server.stop server in
-    (try ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop))
-     with Invalid_argument _ | Sys_error _ -> ());
-    (try ignore (Sys.signal Sys.sigterm (Sys.Signal_handle stop))
-     with Invalid_argument _ | Sys_error _ -> ());
-    Fmt.pr "spd serve: listening on %a, %d worker domains@."
-      Spd_serve.Protocol.pp_addr addr (max 1 workers);
-    Fmt.pr "spd serve: stop with SIGINT/SIGTERM or the shutdown method@.";
-    Spd_serve.Server.wait server;
-    Fmt.pr "spd serve: stopped after %d requests@."
-      (Spd_serve.Server.served server);
-    Spd_harness.Engine.Session.close session
+    (* [capture] writes the trace even when serving aborts; [with_file]
+       closes (and flushes) the log sink the same way *)
+    try Log.with_file log (fun () -> Trace.capture trace serve)
+    with Failure msg ->
+      Fmt.epr "spd serve: %s@." msg;
+      exit 1
   in
   let workers_arg =
     Arg.(
@@ -856,6 +875,55 @@ let serve_cmd =
              count before new ones are refused with a $(b,server busy) \
              error (default 64).")
   in
+  let log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:
+            "Append structured $(b,spd-log/1) JSON-lines records to \
+             FILE (default: stderr at level warn).  Implies \
+             $(b,--log-level info) unless a level is given \
+             explicitly.")
+  in
+  let log_level_conv =
+    Arg.conv
+      ( (fun s ->
+          Result.map_error
+            (fun e -> `Msg e)
+            (Spd_telemetry.Log.level_of_string s)),
+        fun ppf l -> Fmt.string ppf (Spd_telemetry.Log.level_to_string l) )
+  in
+  let log_level_arg =
+    Arg.(
+      value
+      & opt (some log_level_conv) None
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Log threshold: $(b,error), $(b,warn), $(b,info) or \
+             $(b,debug).")
+  in
+  let slow_ms_arg =
+    Arg.(
+      value
+      & opt (some (pos_float_conv "--slow-ms")) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Log an $(b,rpc.slow) record, with a per-stage wall-clock \
+             breakdown, for every request at least this many \
+             milliseconds long.")
+  in
+  let serve_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON of the daemon's lifetime: \
+             one $(b,rpc:METHOD) span per request (tagged with its \
+             $(b,rid)) with the engine's cell and stage spans nested \
+             inside.  Written even when serving aborts.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -865,15 +933,31 @@ let serve_cmd =
           $(b,--deadline) bound every tenant's per-request quotas; \
           $(b,--conn-timeout), $(b,--max-pending) and \
           $(b,--drain-deadline) bound what misbehaving clients and \
-          shutdowns can cost.")
+          shutdowns can cost; $(b,--log), $(b,--trace) and \
+          $(b,--slow-ms) make it observable.")
     Term.(
       const run $ socket_arg $ tcp_arg $ workers_arg $ conn_timeout_arg
       $ drain_deadline_arg $ max_pending_arg $ jobs_arg $ no_cache_arg
-      $ retries_arg $ fuel_arg $ deadline_arg $ faults_arg)
+      $ retries_arg $ fuel_arg $ deadline_arg $ faults_arg $ log_arg
+      $ log_level_arg $ slow_ms_arg $ serve_trace_arg)
 
 let call_cmd =
-  let run meth params socket tcp retries =
+  let run meth params socket tcp retries format =
     let addr = resolve_addr ~socket ~tcp in
+    (* --format prometheus is sugar for the metrics_prom method plus
+       printing its "text" member raw, ready for a scraper *)
+    let meth =
+      match format with
+      | `Json -> meth
+      | `Prometheus -> (
+          match meth with
+          | "metrics" | "metrics_prom" -> "metrics_prom"
+          | _ ->
+              Fmt.epr
+                "spd call: --format prometheus only applies to the \
+                 metrics method@.";
+              exit 1)
+    in
     let params_json =
       match params with
       | None -> Spd_telemetry.Json.Obj []
@@ -891,8 +975,20 @@ let call_cmd =
         Fmt.epr "spd call: %s@." e;
         exit 1
     | Ok result ->
-        print_string (Spd_telemetry.Json.to_string result);
-        print_newline ();
+        (match format with
+        | `Prometheus -> (
+            match
+              Option.bind
+                (Spd_telemetry.Json.member "text" result)
+                Spd_telemetry.Json.to_string_opt
+            with
+            | Some text -> print_string text
+            | None ->
+                Fmt.epr "spd call: malformed metrics_prom response@.";
+                exit 1)
+        | `Json ->
+            print_string (Spd_telemetry.Json.to_string result);
+            print_newline ());
         (* readiness-probe contract: health against a draining daemon
            answers, but the exit code says "not ready" *)
         if
@@ -908,7 +1004,7 @@ let call_cmd =
       & info [] ~docv:"METHOD"
           ~doc:
             "Daemon method: ping, health, query, report, explain, micro, \
-             run, metrics, stats or shutdown.")
+             run, metrics, metrics_prom, stats or shutdown.")
   in
   let params_arg =
     Arg.(
@@ -929,6 +1025,16 @@ let call_cmd =
              $(b,retry_after_ms) hint — enough to ride through a \
              restart.")
   in
+  let call_format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("json", `Json); ("prometheus", `Prometheus) ]) `Json
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "$(b,json) (default) prints the result document; \
+             $(b,prometheus) (metrics method only) prints the text \
+             exposition format, ready for a scraper.")
+  in
   Cmd.v
     (Cmd.info "call"
        ~doc:
@@ -937,7 +1043,74 @@ let call_cmd =
           exits 3 when the daemon answers but is draining.")
     Term.(
       const run $ meth_arg $ params_arg $ socket_arg $ tcp_arg
-      $ retries_arg)
+      $ retries_arg $ call_format_arg)
+
+let top_cmd =
+  let module Top = Spd_serve.Top in
+  let run socket tcp interval count =
+    let addr = resolve_addr ~socket ~tcp in
+    match Spd_serve.Protocol.connect addr with
+    | Error e ->
+        Fmt.epr "spd top: %s@." e;
+        exit 1
+    | Ok c ->
+        let tty = Unix.isatty Unix.stdout in
+        let stop = ref false in
+        (try
+           ignore
+             (Sys.signal Sys.sigint
+                (Sys.Signal_handle (fun _ -> stop := true)))
+         with Invalid_argument _ | Sys_error _ -> ());
+        let prev = ref None in
+        let frames = ref 0 in
+        let rc = ref 0 in
+        (try
+           while (not !stop) && (count = 0 || !frames < count) do
+             (match Top.fetch c with
+             | Error e ->
+                 Fmt.epr "spd top: %s@." e;
+                 rc := 1;
+                 raise Exit
+             | Ok s ->
+                 if tty then print_string "\027[H\027[2J";
+                 print_string (Top.render ?prev:!prev s);
+                 flush stdout;
+                 prev := Some s);
+             incr frames;
+             if (count = 0 || !frames < count) && not !stop then
+               Unix.sleepf interval
+           done
+         with Exit -> ());
+        Spd_serve.Protocol.close c;
+        if !rc <> 0 then exit !rc
+  in
+  let interval_arg =
+    Arg.(
+      value
+      & opt (pos_float_conv "--interval") 2.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Seconds between refreshes (default 2).")
+  in
+  let count_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:
+            "Stop after N frames (default 0: refresh until \
+             interrupted).  $(b,--count 1) prints one snapshot and \
+             exits — cron-friendly.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard over a running $(b,spd serve) daemon: polls \
+          $(b,health) and $(b,metrics), differences consecutive \
+          samples, and shows RPS, in-flight requests, worker state, \
+          cache hit rate and per-method p50/p95/p99 latency, \
+          refreshing in place on a terminal.")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ interval_arg $ count_arg)
 
 let list_cmd =
   let run () =
@@ -979,5 +1152,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; run_cmd; bench_cmd; explain_cmd; report_cmd;
-            serve_cmd; call_cmd; graph_cmd; list_cmd;
+            serve_cmd; call_cmd; top_cmd; graph_cmd; list_cmd;
           ]))

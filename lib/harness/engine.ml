@@ -35,6 +35,8 @@ let cache_version = "3"
 (* Engine-level metrics, mirrored alongside the per-session [Stats]
    counters so a metrics snapshot covers multi-session processes too. *)
 module M = Spd_telemetry.Metrics
+module Log = Spd_telemetry.Log
+module Clock = Spd_telemetry.Clock
 
 let m_lowerings = lazy (M.counter "spd.engine.lowerings")
 let m_preparations = lazy (M.counter "spd.engine.preparations")
@@ -573,7 +575,8 @@ module Session = struct
      batch.  [Sys.Break] (user interrupt) is never contained. *)
 
   let protected t ~deadline ~key (f : unit -> 'a) : 'a outcome =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now () in
+    Log.debug "engine.cell.start" [ ("key", Spd_telemetry.Json.String key) ];
     (* one trace span per attempt, so retries show up individually *)
     let f () = Spd_telemetry.Trace.with_span ~name:("cell:" ^ key) f in
     let rec attempt n =
@@ -581,17 +584,30 @@ module Session = struct
         Faults.cell_raise t.faults ~key;
         f ()
       with
-      | v -> Ok v
+      | v ->
+          Log.debug "engine.cell.finish"
+            [
+              ("key", Spd_telemetry.Json.String key);
+              ("attempts", Spd_telemetry.Json.Int n);
+              ("seconds", Spd_telemetry.Json.Float (Clock.now () -. t0));
+            ];
+          Ok v
       | exception Sys.Break -> raise Sys.Break
       | exception e ->
           let backtrace = Printexc.get_raw_backtrace () in
-          let elapsed = Unix.gettimeofday () -. t0 in
+          let elapsed = Clock.now () -. t0 in
           let out_of_time =
             match deadline with Some d -> elapsed >= d | None -> false
           in
           if n < t.retries && not out_of_time then begin
             bump t (fun t -> t.cell_retries <- t.cell_retries + 1);
             mark m_cell_retries;
+            Log.info "engine.cell.retry"
+              [
+                ("key", Spd_telemetry.Json.String key);
+                ("attempt", Spd_telemetry.Json.Int n);
+                ("error", Spd_telemetry.Json.String (Printexc.to_string e));
+              ];
             attempt (n + 1)
           end
           else begin
@@ -600,6 +616,13 @@ module Session = struct
                 t.cell_failures <- t.cell_failures + 1;
                 t.failures <- f :: t.failures);
             mark m_cell_failures;
+            Log.warn "engine.cell.fail"
+              [
+                ("key", Spd_telemetry.Json.String key);
+                ("attempts", Spd_telemetry.Json.Int n);
+                ("seconds", Spd_telemetry.Json.Float elapsed);
+                ("error", Spd_telemetry.Json.String (Printexc.to_string e));
+              ];
             Failed f
           end
     in
@@ -663,7 +686,11 @@ module Session = struct
     end
 
   let evict t path reason =
-    Fmt.epr "[spd] cache: evicting %s: %s@." (Filename.basename path) reason;
+    Log.warn "engine.cache.evict"
+      [
+        ("entry", Spd_telemetry.Json.String (Filename.basename path));
+        ("reason", Spd_telemetry.Json.String reason);
+      ];
     (try Sys.remove path with Sys_error _ -> ());
     bump t (fun t ->
         t.disk_evictions <- t.disk_evictions + 1;
@@ -773,12 +800,12 @@ module Session = struct
     Memo.get t.lowered_memo bench (fun () ->
         bump t (fun t -> t.lowerings <- t.lowerings + 1);
         mark m_lowerings;
-        let t0 = Unix.gettimeofday () in
+        let t0 = Clock.now () in
         let prog =
           Spd_lang.Lower.compile (W.Registry.by_name bench).source
         in
         (match t.config.timer with
-        | Some cb -> cb Pipeline.Lower (Unix.gettimeofday () -. t0)
+        | Some cb -> cb Pipeline.Lower (Clock.now () -. t0)
         | None -> ());
         prog)
 

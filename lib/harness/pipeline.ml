@@ -98,9 +98,9 @@ let time (config : Config.t) stage f =
       match config.timer with
       | None -> f ()
       | Some cb ->
-          let t0 = Unix.gettimeofday () in
+          let t0 = Spd_telemetry.Clock.now () in
           let r = f () in
-          cb stage (Unix.gettimeofday () -. t0);
+          cb stage (Spd_telemetry.Clock.now () -. t0);
           r)
 
 type prepared = {

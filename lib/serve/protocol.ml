@@ -195,17 +195,30 @@ let request ~id ~meth ~params =
       ("params", params);
     ]
 
-let response_ok ~id result =
-  Json.Obj
-    [ ("jsonrpc", Json.String "2.0"); ("id", id); ("result", result) ]
+(* every server-originated envelope can carry the request id the
+   daemon assigned, for correlation with its log and trace output *)
+let rid_member = function
+  | None -> []
+  | Some rid -> [ ("rid", Json.String rid) ]
 
-let response_error ?data ~id ~code message =
+let response_ok ?rid ~id result =
+  Json.Obj
+    ([ ("jsonrpc", Json.String "2.0"); ("id", id) ]
+    @ rid_member rid
+    @ [ ("result", result) ])
+
+let response_error ?rid ?data ~id ~code message =
   let err =
     [ ("code", Json.Int code); ("message", Json.String message) ]
     @ match data with None -> [] | Some d -> [ ("data", d) ]
   in
   Json.Obj
-    [ ("jsonrpc", Json.String "2.0"); ("id", id); ("error", Json.Obj err) ]
+    ([ ("jsonrpc", Json.String "2.0"); ("id", id) ]
+    @ rid_member rid
+    @ [ ("error", Json.Obj err) ])
+
+let response_rid resp =
+  Option.bind (Json.member "rid" resp) Json.to_string_opt
 
 (* ------------------------------------------------------------------ *)
 (* Client *)
@@ -249,6 +262,8 @@ type client = {
   r : reader;
   oc : out_channel;
   mutable next_id : int;
+  mutable last_rid : string option;
+      (* the server-assigned request id echoed on the last response *)
 }
 
 let connect addr =
@@ -286,6 +301,7 @@ let connect addr =
         r = channel_reader (Unix.in_channel_of_descr fd);
         oc = Unix.out_channel_of_descr fd;
         next_id = 1;
+        last_rid = None;
       }
   with
   | Unix.Unix_error (e, _, _) ->
@@ -305,6 +321,7 @@ let call_ex c meth params : (Json.t, call_error) result =
     | Error e -> Error (Transport e)
     | Ok None -> Error (Transport "connection closed by server")
     | Ok (Some resp) -> (
+        c.last_rid <- response_rid resp;
         match Json.member "error" resp with
         | Some err -> Error (Rpc (rpc_error_of_json err))
         | None -> (
@@ -332,6 +349,8 @@ let call_ex c meth params : (Json.t, call_error) result =
 
 let call c meth params =
   Result.map_error error_to_string (call_ex c meth params)
+
+let last_rid c = c.last_rid
 
 let close c =
   (try flush c.oc with Sys_error _ -> ());

@@ -95,14 +95,24 @@ val server_shutting_down : int  (* -32002 *)
 val request :
   id:int -> meth:string -> params:Spd_telemetry.Json.t -> Spd_telemetry.Json.t
 
+(** [response_ok ?rid ~id result] builds a success envelope.  [rid] is
+    the server-assigned request id, echoed as a top-level ["rid"]
+    member so a client can correlate the response with the daemon's
+    log records and trace spans. *)
 val response_ok :
+  ?rid:string ->
   id:Spd_telemetry.Json.t -> Spd_telemetry.Json.t -> Spd_telemetry.Json.t
 
-(** [response_error ?data ~id ~code msg] builds an error envelope;
-    [data] becomes the error object's "data" member when present. *)
+(** [response_error ?rid ?data ~id ~code msg] builds an error
+    envelope; [data] becomes the error object's "data" member when
+    present, [rid] the top-level ["rid"] member. *)
 val response_error :
+  ?rid:string ->
   ?data:Spd_telemetry.Json.t ->
   id:Spd_telemetry.Json.t -> code:int -> string -> Spd_telemetry.Json.t
+
+(** The ["rid"] member of a response envelope, if any. *)
+val response_rid : Spd_telemetry.Json.t -> string option
 
 (** {1 Client} *)
 
@@ -137,6 +147,11 @@ val call_ex :
 val call :
   client -> string -> Spd_telemetry.Json.t ->
   (Spd_telemetry.Json.t, string) result
+
+(** The server-assigned request id echoed on the last response this
+    client received ([None] before the first response, or when the
+    server predates rid echoing). *)
+val last_rid : client -> string option
 
 val close : client -> unit
 

@@ -33,6 +33,9 @@ module W = Spd_workloads
 module Json = Spd_telemetry.Json
 module Metrics = Spd_telemetry.Metrics
 module Trace = Spd_telemetry.Trace
+module Log = Spd_telemetry.Log
+module Clock = Spd_telemetry.Clock
+module Context = Spd_telemetry.Context
 module Engine = Spd_harness.Engine
 module Query = Spd_harness.Engine.Query
 module Pipeline = Spd_harness.Pipeline
@@ -46,7 +49,7 @@ let version = "1.1"
 let methods =
   [
     "ping"; "health"; "query"; "report"; "explain"; "micro"; "run";
-    "metrics"; "stats"; "shutdown";
+    "metrics"; "metrics_prom"; "stats"; "shutdown";
   ]
 
 let m_requests = lazy (Metrics.counter "spd.serve.requests")
@@ -59,6 +62,32 @@ let m_request_seconds =
   lazy
     (Metrics.histogram ~buckets:Metrics.time_buckets
        "spd.serve.request_seconds")
+
+(* Per-method latency histograms, one per known method plus "other"
+   for garbage method names — a fixed set, so a client inventing
+   method names cannot grow the registry without bound. *)
+let m_rpc_latency =
+  lazy
+    (List.map
+       (fun m ->
+         ( m,
+           Metrics.histogram ~buckets:Metrics.time_buckets
+             ("spd.serve.rpc.latency." ^ m) ))
+       ("other" :: methods))
+
+let rpc_latency meth =
+  let hists = Lazy.force m_rpc_latency in
+  match List.assoc_opt meth hists with
+  | Some h -> h
+  | None -> List.assoc "other" hists
+
+(* Request ids: unique for a daemon's lifetime, prefixed with the pid
+   so ids stay distinguishable when several daemons' logs are
+   aggregated. *)
+let rid_seq = Atomic.make 0
+
+let fresh_rid () =
+  Printf.sprintf "r%d-%d" (Unix.getpid ()) (Atomic.fetch_and_add rid_seq 1)
 
 (* backoff hint carried in the [server busy] error's data *)
 let retry_after_ms = 100
@@ -73,6 +102,7 @@ type t = {
   run_deadline : float option;
   conn_timeout : float;  (* per-frame read + per-write deadline *)
   drain_deadline : float;  (* grace for in-flight requests on stop *)
+  slow_ms : float option;  (* slow-request log threshold, milliseconds *)
   max_pending : int;  (* admission: queue slots beyond the workers *)
   faults : Faults.t;
   state : state Atomic.t;
@@ -83,7 +113,7 @@ type t = {
   restarts : int Atomic.t;
   timeouts : int Atomic.t;
   rejected : int Atomic.t;
-  started_at : float;
+  started_at : float;  (* monotonic (Clock.now), so uptime never jumps *)
   queue : Unix.file_descr Queue.t;  (* accepted, not yet claimed *)
   qmu : Mutex.t;
   qcond : Condition.t;
@@ -301,7 +331,8 @@ let pending_conns t =
 let health_doc t =
   serve_doc "health"
     [
-      ("uptime_seconds", Json.Float (Unix.gettimeofday () -. t.started_at));
+      (* monotonic difference: survives wall-clock adjustments *)
+      ("uptime_seconds", Json.Float (Clock.now () -. t.started_at));
       ("workers", Json.Int t.nworkers);
       ("workers_alive", Json.Int (Atomic.get t.alive));
       ("worker_restarts", Json.Int (Atomic.get t.restarts));
@@ -310,6 +341,8 @@ let health_doc t =
       ("pending_connections", Json.Int (pending_conns t));
       ("conn_timeouts", Json.Int (Atomic.get t.timeouts));
       ("admission_rejected", Json.Int (Atomic.get t.rejected));
+      ("log_records", Json.Int (Log.records ()));
+      ("log_dropped", Json.Int (Log.dropped ()));
       ("draining", Json.Bool (Atomic.get t.state <> Running));
       ("served", Json.Int (Atomic.get t.served));
     ]
@@ -442,6 +475,15 @@ let dispatch t meth params : Json.t =
           ("applications", Json.Int (List.length prepared.applications));
         ]
   | "metrics" -> Metrics.snapshot_json (Metrics.snapshot ())
+  | "metrics_prom" ->
+      (* the Prometheus text exposition, wrapped in a JSON envelope the
+         same way every other method answers; `spd call metrics
+         --format prometheus` unwraps the "text" member *)
+      serve_doc "metrics_prom"
+        [
+          ("content_type", Json.String "text/plain; version=0.0.4");
+          ("text", Json.String (Metrics.prometheus (Metrics.snapshot ())));
+        ]
   | "stats" ->
       let st = Engine.Session.stats t.session in
       serve_doc "stats"
@@ -481,19 +523,45 @@ let app_error_message = function
       Some (Fmt.str "runtime error: %a" Spd_sim.Interp.pp_error (k, ctx))
   | _ -> None
 
+(* cumulative per-stage wall clock of the shared session; two
+   snapshots bracket a request for the slow-request breakdown *)
+let stage_totals t =
+  (Engine.Session.stats t.session).Engine.Stats.stage_seconds
+
+let stage_delta before after =
+  List.filter_map
+    (fun (stage, secs) ->
+      let b =
+        match List.assoc_opt stage before with Some x -> x | None -> 0.0
+      in
+      let d = secs -. b in
+      if d > 1e-9 then Some (Pipeline.stage_name stage, Json.Float d)
+      else None)
+    after
+
+(* Every request runs under its freshly assigned rid as the ambient
+   Context, so the rpc trace span, the engine's cell/stage spans and
+   every log record emitted on this domain carry it — and the response
+   envelope echoes it back to the client. *)
 let respond t ~id req : Json.t * bool =
+  let rid = fresh_rid () in
+  Context.with_id rid @@ fun () ->
   match Option.bind (Json.member "method" req) Json.to_string_opt with
   | None ->
       Metrics.incr (Lazy.force m_errors);
-      ( Protocol.response_error ~id ~code:Protocol.invalid_request
+      Log.warn "rpc.invalid" [];
+      ( Protocol.response_error ~rid ~id ~code:Protocol.invalid_request
           "request has no \"method\" member",
         false )
   | Some meth ->
       Metrics.incr (Lazy.force m_requests);
-      let t0 = Unix.gettimeofday () in
+      let t0 = Clock.now () in
+      let stages0 =
+        match t.slow_ms with None -> [] | Some _ -> stage_totals t
+      in
       let err code msg =
         Metrics.incr (Lazy.force m_errors);
-        Protocol.response_error ~id ~code msg
+        Protocol.response_error ~rid ~id ~code msg
       in
       let params = Json.member "params" req in
       let resp =
@@ -501,7 +569,7 @@ let respond t ~id req : Json.t * bool =
           Trace.with_span ~name:("rpc:" ^ meth) (fun () ->
               dispatch t meth params)
         with
-        | result -> Protocol.response_ok ~id result
+        | result -> Protocol.response_ok ~rid ~id result
         | exception Bad_params msg -> err Protocol.invalid_params msg
         | exception Unknown_method m ->
             err Protocol.method_not_found
@@ -513,10 +581,29 @@ let respond t ~id req : Json.t * bool =
             | Some msg -> err Protocol.server_error msg
             | None -> err Protocol.server_error (Printexc.to_string e))
       in
-      Metrics.observe
-        (Lazy.force m_request_seconds)
-        (Unix.gettimeofday () -. t0);
+      let dt = Clock.now () -. t0 in
+      Metrics.observe (Lazy.force m_request_seconds) dt;
+      Metrics.observe (rpc_latency meth) dt;
       let ok = Json.member "result" resp <> None in
+      Log.info "rpc"
+        [
+          ("method", Json.String meth);
+          ("ok", Json.Bool ok);
+          ("ms", Json.Float (dt *. 1000.0));
+        ];
+      (match t.slow_ms with
+      | Some slow when dt *. 1000.0 >= slow ->
+          (* stage deltas are session-wide, so under concurrency they
+             include work other requests did in the window — an
+             attribution hint, not an exact profile *)
+          Log.warn "rpc.slow"
+            [
+              ("method", Json.String meth);
+              ("ms", Json.Float (dt *. 1000.0));
+              ("threshold_ms", Json.Float slow);
+              ("stages", Json.Obj (stage_delta stages0 (stage_totals t)));
+            ]
+      | _ -> ());
       (resp, meth = "shutdown" && ok)
 
 (* ------------------------------------------------------------------ *)
@@ -538,10 +625,10 @@ let initiate_stop t =
    request, so a legitimate slow consumer stays connected while a
    slow-loris that dribbles bytes forever is still evicted. *)
 let conn_reader t fd =
-  let deadline = ref (Unix.gettimeofday () +. t.conn_timeout) in
+  let deadline = ref (Clock.now () +. t.conn_timeout) in
   let fill buf off len =
     let rec wait () =
-      let remaining = !deadline -. Unix.gettimeofday () in
+      let remaining = !deadline -. Clock.now () in
       if remaining <= 0.0 then raise Protocol.Timeout;
       match Unix.select [ fd; t.dead_r ] [] [] remaining with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
@@ -554,7 +641,12 @@ let conn_reader t fd =
   in
   (Protocol.reader fill, deadline)
 
-let is_probe = function Some ("ping" | "health") -> true | _ -> false
+(* Probes and metrics scrapes still answer during a drain: they are
+   cheap, read-only, and exactly what an operator watches while the
+   daemon goes down. *)
+let is_probe = function
+  | Some ("ping" | "health" | "metrics" | "metrics_prom") -> true
+  | _ -> false
 
 let handle_conn t fd =
   (* writes are bounded too: a peer that stops reading surfaces as
@@ -576,9 +668,12 @@ let handle_conn t fd =
        | Ok None -> finished := true
        | Error e ->
            (* unframeable input: answer once, then drop the peer *)
+           let rid = fresh_rid () in
+           Log.warn "conn.parse_error"
+             [ ("rid", Json.String rid); ("error", Json.String e) ];
            ignore
              (write_resp
-                (Protocol.response_error ~id:Json.Null
+                (Protocol.response_error ~rid ~id:Json.Null
                    ~code:Protocol.parse_error e));
            finished := true
        | Ok (Some req) ->
@@ -592,9 +687,15 @@ let handle_conn t fd =
            if draining && not (is_probe meth) then begin
              (* readiness probes still answer during the drain; real
                 work is refused so clients fail over promptly *)
+             let rid = fresh_rid () in
+             Log.info "rpc.refused"
+               [
+                 ("rid", Json.String rid);
+                 ("reason", Json.String "draining");
+               ];
              ignore
                (write_resp
-                  (Protocol.response_error ~id
+                  (Protocol.response_error ~rid ~id
                      ~code:Protocol.server_shutting_down
                      "server shutting down"));
              finished := true
@@ -612,7 +713,7 @@ let handle_conn t fd =
                    quit)
              in
              Atomic.incr t.served;
-             deadline := Unix.gettimeofday () +. t.conn_timeout;
+             deadline := Clock.now () +. t.conn_timeout;
              if quit then begin
                finished := true;
                initiate_stop t
@@ -625,7 +726,12 @@ let handle_conn t fd =
       (* slow-loris eviction: no response, the peer used up its frame
          deadline *)
       Atomic.incr t.timeouts;
-      Metrics.incr (Lazy.force m_conn_timeout)
+      Metrics.incr (Lazy.force m_conn_timeout);
+      Log.warn "conn.evicted"
+        [
+          ("reason", Json.String "frame deadline");
+          ("timeout_seconds", Json.Float t.conn_timeout);
+        ]
   | Conn_shutdown -> ()
   | End_of_file | Sys_error _ | Sys_blocked_io -> ()
   | Unix.Unix_error
@@ -688,8 +794,11 @@ let worker_main t =
         | exception e when Atomic.get t.state <> Stopped ->
             Atomic.incr t.restarts;
             Metrics.incr (Lazy.force m_worker_restart);
-            Printf.eprintf "spd serve: worker restarted after: %s\n%!"
-              (Printexc.to_string e);
+            Log.err "worker.restart"
+              [
+                ("error", Json.String (Printexc.to_string e));
+                ("restarts", Json.Int (Atomic.get t.restarts));
+              ];
             supervise ()
         | exception _ -> ()
       in
@@ -701,11 +810,18 @@ let worker_main t =
 let refuse_busy t fd =
   Atomic.incr t.rejected;
   Metrics.incr (Lazy.force m_rejected);
+  let rid = fresh_rid () in
+  Log.warn "conn.refused"
+    [
+      ("rid", Json.String rid);
+      ("reason", Json.String "busy");
+      ("retry_after_ms", Json.Int retry_after_ms);
+    ];
   (try
      Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0;
      let oc = Unix.out_channel_of_descr fd in
      Protocol.write_frame oc
-       (Protocol.response_error
+       (Protocol.response_error ~rid
           ~data:(Json.Obj [ ("retry_after_ms", Json.Int retry_after_ms) ])
           ~id:Json.Null ~code:Protocol.server_busy "server busy")
    with Sys_error _ | Sys_blocked_io | Unix.Unix_error _ -> ());
@@ -728,7 +844,8 @@ let admit t fd =
   else begin
     Queue.push fd t.queue;
     Condition.signal t.qcond;
-    Mutex.unlock t.qmu
+    Mutex.unlock t.qmu;
+    Log.debug "conn.accept" []
   end
 
 (* The acceptor multiplexes the (nonblocking) listening socket against
@@ -817,7 +934,7 @@ let listen addr =
 
 let start ?(workers = 4) ?(conn_timeout = 30.0) ?(drain_deadline = 10.0)
     ?(max_pending = 64) ?(faults = Faults.none) ?run_fuel ?run_deadline
-    ~session addr =
+    ?slow_ms ~session addr =
   (* a peer that disconnects mid-response must surface as EPIPE, not
      kill the daemon *)
   (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
@@ -839,6 +956,7 @@ let start ?(workers = 4) ?(conn_timeout = 30.0) ?(drain_deadline = 10.0)
   ignore (Lazy.force m_conn_timeout);
   ignore (Lazy.force m_worker_restart);
   ignore (Lazy.force m_rejected);
+  ignore (Lazy.force m_rpc_latency);
   let t =
     {
       addr;
@@ -848,6 +966,7 @@ let start ?(workers = 4) ?(conn_timeout = 30.0) ?(drain_deadline = 10.0)
       run_deadline;
       conn_timeout;
       drain_deadline;
+      slow_ms;
       max_pending;
       faults;
       state = Atomic.make Running;
@@ -858,7 +977,7 @@ let start ?(workers = 4) ?(conn_timeout = 30.0) ?(drain_deadline = 10.0)
       restarts = Atomic.make 0;
       timeouts = Atomic.make 0;
       rejected = Atomic.make 0;
-      started_at = Unix.gettimeofday ();
+      started_at = Clock.now ();
       queue = Queue.create ();
       qmu = Mutex.create ();
       qcond = Condition.create ();
@@ -875,6 +994,12 @@ let start ?(workers = 4) ?(conn_timeout = 30.0) ?(drain_deadline = 10.0)
   t.workers <-
     List.init nworkers (fun _ -> Domain.spawn (fun () -> worker_main t));
   t.acceptor <- Some (Domain.spawn (fun () -> acceptor_main t));
+  Log.info "server.start"
+    [
+      ("addr", Json.String (Fmt.str "%a" Protocol.pp_addr addr));
+      ("workers", Json.Int nworkers);
+      ("max_pending", Json.Int max_pending);
+    ];
   t
 
 let stop = initiate_stop
@@ -890,12 +1015,17 @@ let wait t =
   await ();
   if not t.torn_down then begin
     t.torn_down <- true;
+    (* the drain transition is logged here, not in [stop]: [stop] must
+       stay signal-handler-safe, and a mutex-taking log call is not *)
+    Log.info "server.drain"
+      [
+        ("in_flight", Json.Int (Atomic.get t.in_flight));
+        ("drain_deadline_seconds", Json.Float t.drain_deadline);
+      ];
     (* graceful drain: let in-flight requests finish writing, bounded
        by the drain deadline *)
-    let drain_until = Unix.gettimeofday () +. t.drain_deadline in
-    while
-      Atomic.get t.in_flight > 0 && Unix.gettimeofday () < drain_until
-    do
+    let drain_until = Clock.now () +. t.drain_deadline in
+    while Atomic.get t.in_flight > 0 && Clock.now () < drain_until do
       try Unix.sleepf 0.01 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
     done;
     (* hard stop: the dead pipe wakes every select in the process and
@@ -923,10 +1053,16 @@ let wait t =
     List.iter
       (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
       [ t.listen_fd; t.wake_r; t.wake_w; t.dead_r; t.dead_w ];
-    match t.addr with
+    (match t.addr with
     | Protocol.Unix_path path -> (
         try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
-    | Protocol.Tcp _ -> ()
+    | Protocol.Tcp _ -> ());
+    Log.info "server.stop"
+      [
+        ("served", Json.Int (Atomic.get t.served));
+        ("uptime_seconds", Json.Float (Clock.now () -. t.started_at));
+      ];
+    Log.flush ()
   end
 
 let served t = Atomic.get t.served

@@ -24,10 +24,22 @@
     under a deadline instead of dropping them.
 
     Methods: [ping], [health], [query], [report], [explain], [micro],
-    [run], [metrics], [stats], [shutdown].  [report] responses reuse
-    {!Spd_harness.Artefact.to_json} verbatim, which is what makes a
-    served report byte-identical to [spd report --format json]
-    (modulo the run-dependent ["metrics"] member). *)
+    [run], [metrics], [metrics_prom], [stats], [shutdown].  [report]
+    responses reuse {!Spd_harness.Artefact.to_json} verbatim, which is
+    what makes a served report byte-identical to [spd report --format
+    json] (modulo the run-dependent ["metrics"] member).
+
+    Observability: the daemon assigns every RPC a request id, runs its
+    dispatch under that id as the ambient {!Spd_telemetry.Context}
+    (so log records and trace spans carry it) and echoes it as the
+    response envelope's top-level ["rid"] member.  Request latency is
+    observed both in the global [spd.serve.request_seconds] histogram
+    and per method in [spd.serve.rpc.latency.<method>]; structured
+    [spd-log/1] records (see {!Spd_telemetry.Log}) cover accept,
+    admission refusal, timeout eviction, worker restart, the drain
+    transitions and every request.  During a drain, [ping]/[health]
+    and the metrics methods still answer, so probes and scrapers keep
+    working while real work is refused. *)
 
 type t
 
@@ -48,9 +60,11 @@ val methods : string list
     worker count.  [faults] arms {!Spd_harness.Faults.worker_raise}
     for supervision tests.  [run_fuel] and [run_deadline] cap the
     budgets of inline-source [run] requests the same way the session's
-    own budgets cap [query] quotas.  Raises [Failure] if the address
-    cannot be bound (e.g. the socket path exists and is not a stale
-    socket). *)
+    own budgets cap [query] quotas.  [slow_ms] arms the slow-request
+    log: any request taking at least that many milliseconds logs an
+    [rpc.slow] record with a per-stage wall-clock breakdown.  Raises
+    [Failure] if the address cannot be bound (e.g. the socket path
+    exists and is not a stale socket). *)
 val start :
   ?workers:int ->
   ?conn_timeout:float ->
@@ -59,6 +73,7 @@ val start :
   ?faults:Spd_harness.Faults.t ->
   ?run_fuel:int ->
   ?run_deadline:float ->
+  ?slow_ms:float ->
   session:Spd_harness.Engine.Session.t ->
   Protocol.addr -> t
 

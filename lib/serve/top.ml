@@ -1,0 +1,177 @@
+(* The data and rendering layer behind `spd top`: poll one daemon's
+   [health] + [metrics] methods, difference consecutive samples, and
+   render a fixed-width status frame.  Kept CLI-free so the tests can
+   exercise sampling and rendering against a local server without a
+   terminal. *)
+
+module Json = Spd_telemetry.Json
+module Metrics = Spd_telemetry.Metrics
+module Clock = Spd_telemetry.Clock
+
+type sample = {
+  at : float;  (* monotonic, for rate windows *)
+  health : (string * Json.t) list;
+  counters : (string * int) list;
+  hists : (string * Metrics.hist) list;
+}
+
+let fetch (c : Protocol.client) : (sample, string) result =
+  match Protocol.call c "health" (Json.Obj []) with
+  | Error e -> Error e
+  | Ok h -> (
+      match Protocol.call c "metrics" (Json.Obj []) with
+      | Error e -> Error e
+      | Ok m ->
+          let health = match h with Json.Obj kvs -> kvs | _ -> [] in
+          let counters =
+            match Json.member "counters" m with
+            | Some (Json.Obj kvs) ->
+                List.filter_map
+                  (fun (k, v) ->
+                    match v with Json.Int n -> Some (k, n) | _ -> None)
+                  kvs
+            | _ -> []
+          in
+          let hists =
+            match Json.member "histograms" m with
+            | Some (Json.Obj kvs) ->
+                List.filter_map
+                  (fun (k, v) ->
+                    Option.map (fun h -> (k, h)) (Metrics.hist_of_json v))
+                  kvs
+            | _ -> []
+          in
+          Ok { at = Clock.now (); health; counters; hists })
+
+let counter s name =
+  match List.assoc_opt name s.counters with Some n -> n | None -> 0
+
+let hist s name = List.assoc_opt name s.hists
+
+(* Health-doc accessors, defensive about shape so a frame never dies on
+   a daemon running a different version. *)
+let h_int s name =
+  match List.assoc_opt name s.health with
+  | Some (Json.Int n) -> n
+  | Some (Json.Float f) -> int_of_float f
+  | _ -> 0
+
+let h_float s name =
+  match Option.bind (List.assoc_opt name s.health) Json.to_number with
+  | Some f -> f
+  | None -> 0.0
+
+let h_bool s name =
+  match List.assoc_opt name s.health with
+  | Some (Json.Bool b) -> b
+  | _ -> false
+
+(* [window prev cur] is the histogram of observations made between the
+   two samples: a bucket-wise subtraction.  Falls back to the cumulative
+   [cur] when there is no previous sample or when any count went
+   backwards (daemon restart, metrics reset). *)
+let window (prev : sample option) (cur : sample) name : Metrics.hist option =
+  match hist cur name with
+  | None -> None
+  | Some h -> (
+      match Option.bind prev (fun p -> hist p name) with
+      | None -> Some h
+      | Some p ->
+          if
+            Array.length p.buckets <> Array.length h.buckets
+            || h.count < p.count
+          then Some h
+          else
+            let counts =
+              Array.init (Array.length h.counts) (fun i ->
+                  h.counts.(i) - p.counts.(i))
+            in
+            if Array.exists (fun c -> c < 0) counts then Some h
+            else
+              Some
+                {
+                  Metrics.buckets = h.buckets;
+                  counts;
+                  count = h.count - p.count;
+                  sum = h.sum -. p.sum;
+                })
+
+let rate (prev : sample option) (cur : sample) name : float option =
+  match prev with
+  | None -> None
+  | Some p ->
+      let dt = cur.at -. p.at in
+      if dt <= 0.0 then None
+      else Some (float_of_int (counter cur name - counter p name) /. dt)
+
+let latency_prefix = "spd.serve.rpc.latency."
+
+(* Per-method latency rows for the current window, busiest first;
+   methods with no traffic yet are dropped. *)
+let latency_rows (prev : sample option) (cur : sample) :
+    (string * Metrics.hist) list =
+  List.filter_map
+    (fun (name, _) ->
+      if String.starts_with ~prefix:latency_prefix name then
+        let meth =
+          String.sub name (String.length latency_prefix)
+            (String.length name - String.length latency_prefix)
+        in
+        match window prev cur name with
+        | Some h when h.Metrics.count > 0 -> Some (meth, h)
+        | _ -> None
+      else None)
+    cur.hists
+  |> List.sort (fun (_, a) (_, b) ->
+         compare b.Metrics.count a.Metrics.count)
+
+let pct h q =
+  match Metrics.quantile h q with
+  | Some s -> Printf.sprintf "%8.2f" (s *. 1000.0)
+  | None -> Printf.sprintf "%8s" "-"
+
+let render ?prev (s : sample) : string =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  let uptime = h_float s "uptime_seconds" in
+  line "spd top — uptime %.0fs   workers %d/%d (restarts %d)%s" uptime
+    (h_int s "workers_alive") (h_int s "workers")
+    (h_int s "worker_restarts")
+    (if h_bool s "draining" then "   DRAINING" else "");
+  line "requests  served %d   in-flight %d   conns %d active / %d pending"
+    (h_int s "served") (h_int s "in_flight")
+    (h_int s "active_connections")
+    (h_int s "pending_connections");
+  (match prev with
+  | Some p ->
+      let dt = s.at -. p.at in
+      let r name = Option.value ~default:0.0 (rate prev s name) in
+      line "window    %.1fs   %.1f rps   %.1f err/s   refused %d   evicted %d"
+        dt
+        (r "spd.serve.requests")
+        (r "spd.serve.errors")
+        (counter s "spd.serve.admission.rejected"
+        - counter p "spd.serve.admission.rejected")
+        (counter s "spd.serve.conn.timeout"
+        - counter p "spd.serve.conn.timeout")
+  | None ->
+      line "window    —  (first sample: totals below are cumulative)");
+  let hits = counter s "spd.engine.cache.hits" in
+  let misses = counter s "spd.engine.cache.misses" in
+  (if hits + misses > 0 then
+     line "cache     %.1f%% hit (%d hits / %d misses)"
+       (100.0 *. float_of_int hits /. float_of_int (hits + misses))
+       hits misses);
+  line "log       %d records, %d dropped" (h_int s "log_records")
+    (h_int s "log_dropped");
+  let rows = latency_rows prev s in
+  if rows <> [] then begin
+    line "";
+    line "%-14s %8s %8s %8s %8s" "latency (ms)" "p50" "p95" "p99" "count";
+    List.iter
+      (fun (meth, h) ->
+        line "  %-12s %s %s %s %8d" meth (pct h 0.50) (pct h 0.95)
+          (pct h 0.99) h.Metrics.count)
+      rows
+  end;
+  Buffer.contents b

@@ -1,0 +1,41 @@
+(** Sampling and rendering behind [spd top ADDR]: a polling terminal
+    dashboard over a live daemon's [health] and [metrics] methods.
+
+    The CLI loop lives in [bin/spd.ml]; this module is deliberately
+    terminal-free so tests can drive it.  Each poll produces a
+    {!sample}; differencing two samples yields per-window rates and
+    per-window latency histograms (bucket-count subtraction), from
+    which {!render} derives RPS, error rate, cache hit rate and
+    p50/p95/p99 per RPC method via {!Spd_telemetry.Metrics.quantile}.
+    When counters went backwards between samples (daemon restart or
+    metrics reset) the window falls back to cumulative totals instead
+    of printing negatives. *)
+
+type sample = {
+  at : float;  (** monotonic fetch time, for rate windows *)
+  health : (string * Spd_telemetry.Json.t) list;
+      (** members of the [health] document *)
+  counters : (string * int) list;
+  hists : (string * Spd_telemetry.Metrics.hist) list;
+}
+
+(** One round trip: call [health] then [metrics] on an established
+    client connection and decode both. *)
+val fetch : Protocol.client -> (sample, string) result
+
+(** Counter value by full metric name, 0 when absent. *)
+val counter : sample -> string -> int
+
+(** [window prev cur name] is the histogram of observations between
+    the two samples ([None] if the metric is absent); with no [prev],
+    or after a reset, the cumulative histogram. *)
+val window :
+  sample option -> sample -> string -> Spd_telemetry.Metrics.hist option
+
+(** Events per second of a counter across the window; [None] without a
+    previous sample. *)
+val rate : sample option -> sample -> string -> float option
+
+(** One dashboard frame as a string (trailing newline included).
+    [prev] enables the window line and per-window latency rows. *)
+val render : ?prev:sample -> sample -> string

@@ -1,0 +1,7 @@
+(** Monotonic time (see the .mli).  The stub reads [CLOCK_MONOTONIC];
+    platforms without it fall back to [gettimeofday] inside the stub,
+    so [now] is always safe to call. *)
+
+external now : unit -> float = "spd_clock_monotonic"
+
+let wall = Unix.gettimeofday

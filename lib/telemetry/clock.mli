@@ -1,0 +1,19 @@
+(** Monotonic time for deadlines, uptimes and latency measurement.
+
+    [Unix.gettimeofday] follows the system wall clock, which steps
+    under NTP corrections and manual adjustment — a deadline computed
+    against it can fire years early or never.  {!now} reads
+    [CLOCK_MONOTONIC] instead: its epoch is arbitrary (only
+    differences are meaningful), but it never jumps.
+
+    Rule of thumb: use {!now} whenever two readings are subtracted
+    (timeouts, histograms, uptime) and {!wall} when a timestamp has to
+    name a calendar moment (log records, snapshot file names). *)
+
+(** Seconds on the process's monotonic clock.  The epoch is arbitrary;
+    only differences between two readings are meaningful. *)
+val now : unit -> float
+
+(** Seconds since the Unix epoch ([Unix.gettimeofday]), for timestamps
+    that must name a calendar moment. *)
+val wall : unit -> float

@@ -1,0 +1,27 @@
+/* Monotonic clock primitive for Telemetry.Clock.
+
+   CLOCK_MONOTONIC never jumps when the system wall clock is stepped
+   (NTP, manual adjustment), which is what deadlines, uptimes and
+   latency measurements need.  The gettimeofday fallback only exists
+   for platforms without clock_gettime; on those, Clock.now degrades
+   to a wall clock. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value spd_clock_monotonic(value unit)
+{
+#ifdef CLOCK_MONOTONIC
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+  }
+  (void)unit;
+}

@@ -1,0 +1,11 @@
+(** Ambient per-domain request context (see the .mli). *)
+
+let key : string option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let get () = Domain.DLS.get key
+
+let with_id rid f =
+  let prev = Domain.DLS.get key in
+  Domain.DLS.set key (Some rid);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) f

@@ -1,0 +1,22 @@
+(** Ambient per-domain request context.
+
+    The serving path assigns every RPC a request id and runs its
+    dispatch under {!with_id}; anything that executes downstream in the
+    same domain — engine cells, pipeline stages, trace spans, log
+    records — can read the id back with {!get} without the id being
+    threaded through every signature.  {!Trace} and {!Log} do exactly
+    that, which is how one request id correlates a JSON-RPC response,
+    its log lines and its trace spans.
+
+    The context is domain-local storage: a value set in one domain is
+    invisible to others.  A computation whose result is shared across
+    requests (the engine's promise-table dedup) records the id of the
+    request that actually computed it; piggybacking requests keep
+    their own id on their response envelope. *)
+
+(** The ambient request id of the calling domain, if any. *)
+val get : unit -> string option
+
+(** [with_id rid f] runs [f] with [rid] as the ambient request id,
+    restoring the previous value afterwards (also on raise). *)
+val with_id : string -> (unit -> 'a) -> 'a

@@ -1,0 +1,128 @@
+(** Leveled structured logging (see the .mli for the spd-log/1 record
+    layout and the buffering contract). *)
+
+let schema = "spd-log/1"
+
+type level = Error | Warn | Info | Debug
+
+let severity = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+let level_to_string = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "error" -> Ok Error
+  | "warn" | "warning" -> Ok Warn
+  | "info" -> Ok Info
+  | "debug" -> Ok Debug
+  | _ ->
+      Stdlib.Error
+        (Printf.sprintf "unknown log level %S (one of: error, warn, info, \
+                         debug)" s)
+
+(* ------------------------------------------------------------------ *)
+(* State.  The threshold is an atomic so the level gate on a disabled
+   record is one load; the sink itself is guarded by [mu]. *)
+
+let threshold = Atomic.make (severity Warn)
+
+let set_level l = Atomic.set threshold (severity l)
+
+let level () =
+  match Atomic.get threshold with
+  | 0 -> Error
+  | 1 -> Warn
+  | 2 -> Info
+  | _ -> Debug
+
+let enabled l = severity l <= Atomic.get threshold
+
+type sink = { oc : out_channel; owned : bool }
+
+let mu = Mutex.create ()
+let sink = ref { oc = stderr; owned = false }
+let n_records = Atomic.make 0
+let n_dropped = Atomic.make 0
+
+let records () = Atomic.get n_records
+let dropped () = Atomic.get n_dropped
+
+let flush_sink () = try Stdlib.flush !sink.oc with Sys_error _ -> ()
+
+let flush () =
+  Mutex.lock mu;
+  flush_sink ();
+  Mutex.unlock mu
+
+let () = at_exit flush
+
+let close_locked () =
+  flush_sink ();
+  if !sink.owned then (try close_out_noerr !sink.oc with Sys_error _ -> ());
+  sink := { oc = stderr; owned = false }
+
+let close () =
+  Mutex.lock mu;
+  close_locked ();
+  Mutex.unlock mu
+
+let to_file path =
+  match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+  | exception Sys_error e -> Stdlib.Error e
+  | oc ->
+      Mutex.lock mu;
+      close_locked ();
+      sink := { oc; owned = true };
+      Mutex.unlock mu;
+      Ok ()
+
+let with_file path f =
+  match path with
+  | None -> f ()
+  | Some file -> (
+      match to_file file with
+      | Stdlib.Error e ->
+          failwith (Printf.sprintf "cannot open log %s: %s" file e)
+      | Ok () -> Fun.protect ~finally:close f)
+
+(* ------------------------------------------------------------------ *)
+(* Emission.  The record is rendered by the calling domain outside the
+   lock; only the append to the (buffered) channel is serialized. *)
+
+let log lvl event fields =
+  if severity lvl <= Atomic.get threshold then begin
+    Atomic.incr n_records;
+    let base =
+      [
+        ("schema", Json.String schema);
+        ("ts", Json.Float (Clock.wall ()));
+        ("level", Json.String (level_to_string lvl));
+        ("event", Json.String event);
+        ("domain", Json.Int (Domain.self () :> int));
+      ]
+    in
+    let rid =
+      match Context.get () with
+      | Some r -> [ ("rid", Json.String r) ]
+      | None -> []
+    in
+    let line = Json.to_string (Json.Obj (base @ rid @ fields)) in
+    Mutex.lock mu;
+    (try
+       output_string !sink.oc line;
+       output_char !sink.oc '\n';
+       (* diagnostics must reach the OS before a crash; bulk records
+          ride the channel buffer *)
+       if severity lvl <= severity Warn then Stdlib.flush !sink.oc
+     with Sys_error _ -> Atomic.incr n_dropped);
+    Mutex.unlock mu
+  end
+
+let err event fields = log Error event fields
+let warn event fields = log Warn event fields
+let info event fields = log Info event fields
+let debug event fields = log Debug event fields

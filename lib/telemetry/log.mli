@@ -1,0 +1,89 @@
+(** Leveled structured logging: JSON-lines records under the
+    [spd-log/1] schema.
+
+    Each record is one compact JSON object per line:
+
+    {v
+    {"schema":"spd-log/1","ts":1754650000.123,"level":"info",
+     "event":"rpc","domain":3,"rid":"r812-42","method":"query",...}
+    v}
+
+    Reserved members, present on every record:
+    - ["schema"]: always ["spd-log/1"]
+    - ["ts"]: wall-clock seconds since the Unix epoch (float)
+    - ["level"]: one of ["error"], ["warn"], ["info"], ["debug"]
+    - ["event"]: a stable dot-separated event name, e.g. ["rpc.slow"]
+    - ["domain"]: the id of the domain that emitted the record
+    - ["rid"]: the ambient {!Context} request id, when one is set
+
+    Caller-supplied fields follow; they must not reuse the reserved
+    names.
+
+    The logger is process-global.  A record below the current level
+    costs one atomic load.  An emitted record is rendered to its line
+    by the emitting domain, outside any lock; the only shared step is
+    one locked append to the sink's buffered channel — hot paths pay
+    one enqueue.  [error]/[warn] records are flushed through to the OS
+    immediately; [info]/[debug] ride the channel buffer until
+    {!flush}/{!close} (or process exit — an [at_exit] hook flushes).
+
+    The default sink is [stderr] at level {!Warn}, so subsystems that
+    replaced ad-hoc [eprintf] diagnostics with [Log] calls stay
+    visible without configuration. *)
+
+type level = Error | Warn | Info | Debug
+
+val level_to_string : level -> string
+
+(** Case-insensitive; accepts the {!level_to_string} spellings plus
+    ["warning"]. *)
+val level_of_string : string -> (level, string) result
+
+(** {1 Configuration} *)
+
+(** Records strictly below this severity are dropped.  Default
+    {!Warn}. *)
+val set_level : level -> unit
+
+val level : unit -> level
+
+(** Whether a record at this level would currently be emitted. *)
+val enabled : level -> bool
+
+(** Route records to [path] (append mode, created if missing), owned
+    by the logger: {!close} closes it.  Replaces (and closes) a
+    previously owned sink. *)
+val to_file : string -> (unit, string) result
+
+(** Flush the sink, close it if owned, and revert to [stderr]. *)
+val close : unit -> unit
+
+(** Flush the sink's channel buffer. *)
+val flush : unit -> unit
+
+(** [with_file path f] runs [f] logging to [path] when it is
+    [Some file], closing the sink afterwards even when [f] raises —
+    the crash-safe form the daemon's [--log] flag uses.  Raises
+    [Failure] if the file cannot be opened. *)
+val with_file : string option -> (unit -> 'a) -> 'a
+
+(** {1 Emission} *)
+
+(** [log level event fields] appends one record.  [fields] must not
+    use the reserved member names (see above). *)
+val log : level -> string -> (string * Json.t) list -> unit
+
+val err : string -> (string * Json.t) list -> unit
+val warn : string -> (string * Json.t) list -> unit
+val info : string -> (string * Json.t) list -> unit
+val debug : string -> (string * Json.t) list -> unit
+
+(** {1 Introspection} *)
+
+(** Records emitted (passed the level gate) since process start. *)
+val records : unit -> int
+
+(** Records lost to sink write failures (e.g. a full disk). *)
+val dropped : unit -> int
+
+val schema : string

@@ -180,6 +180,63 @@ let reset () =
     registry;
   Mutex.unlock mu
 
+(** Quantile estimate from bucket counts, Prometheus-style: find the
+    bucket where the cumulative count crosses [q * count] and
+    interpolate linearly inside it (the first bucket's lower bound is
+    0).  The overflow bucket has no upper bound, so a quantile landing
+    there reports the last finite bound — a known underestimate, the
+    standard convention.  [None] on an empty histogram. *)
+let quantile (h : hist) q : float option =
+  if h.count = 0 then None
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = q *. float_of_int h.count in
+    let n = Array.length h.buckets in
+    let rec go i cum =
+      let c = h.counts.(i) in
+      let cum' = cum +. float_of_int c in
+      if (cum' >= target && c > 0) || i = n then
+        if i = n then Some h.buckets.(n - 1)
+        else begin
+          let lo = if i = 0 then 0.0 else h.buckets.(i - 1) in
+          let hi = h.buckets.(i) in
+          Some (lo +. ((hi -. lo) *. ((target -. cum) /. float_of_int c)))
+        end
+      else go (i + 1) cum'
+    in
+    go 0 0.0
+  end
+
+(** Parse a {!hist_json} rendering back into a {!hist} — what [spd top]
+    does to a served [spd-metrics/1] document.  [None] when the shape
+    is wrong (missing members, counts/buckets length mismatch). *)
+let hist_of_json (j : Json.t) : hist option =
+  let numbers name =
+    match Option.bind (Json.member name j) Json.to_list with
+    | None -> None
+    | Some l ->
+        let xs = List.filter_map Json.to_number l in
+        if List.length xs = List.length l then Some xs else None
+  in
+  match (numbers "buckets", numbers "counts") with
+  | Some bs, Some cs when List.length cs = List.length bs + 1 ->
+      let counts = Array.of_list (List.map int_of_float cs) in
+      if Array.exists (fun c -> c < 0) counts then None
+      else
+        Some
+          {
+            buckets = Array.of_list bs;
+            counts;
+            count = Array.fold_left ( + ) 0 counts;
+            sum =
+              (match
+                 Option.bind (Json.member "sum" j) Json.to_number
+               with
+              | Some s -> s
+              | None -> 0.0);
+          }
+  | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* Rendering *)
 
@@ -220,3 +277,52 @@ let snapshot_json (s : snapshot) =
       ("counters", Json.Obj counters);
       ("histograms", Json.Obj hists);
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition (version 0.0.4): what `spd call metrics
+   --format prometheus` and the daemon's [metrics_prom] method serve.
+   Metric names mangle every character outside [a-zA-Z0-9_:] to '_'
+   (so "spd.serve.rpc.latency.query" scrapes as
+   "spd_serve_rpc_latency_query"); histograms render cumulatively with
+   the mandatory "+Inf" bucket, _sum and _count. *)
+
+let prom_name name =
+  let mangled =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+        | _ -> '_')
+      name
+  in
+  match mangled.[0] with '0' .. '9' -> "_" ^ mangled | _ -> mangled
+
+(* shortest float rendering Prometheus parses back exactly *)
+let prom_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+(** Render a snapshot in the Prometheus text exposition format. *)
+let prometheus (s : snapshot) : string =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let pn = prom_name name in
+      match v with
+      | Counter n ->
+          Printf.bprintf b "# TYPE %s counter\n%s %d\n" pn pn n
+      | Hist h ->
+          Printf.bprintf b "# TYPE %s histogram\n" pn;
+          let cum = ref 0 in
+          Array.iteri
+            (fun i bound ->
+              cum := !cum + h.counts.(i);
+              Printf.bprintf b "%s_bucket{le=\"%s\"} %d\n" pn
+                (prom_float bound) !cum)
+            h.buckets;
+          Printf.bprintf b "%s_bucket{le=\"+Inf\"} %d\n" pn h.count;
+          Printf.bprintf b "%s_sum %s\n" pn (prom_float h.sum);
+          Printf.bprintf b "%s_count %d\n" pn h.count)
+    s;
+  Buffer.contents b

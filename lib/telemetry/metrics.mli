@@ -50,6 +50,18 @@ type snapshot = (string * value) list
     shards.  Raises [Invalid_argument] on a bucket mismatch. *)
 val merge_hist : hist -> hist -> hist
 
+(** [quantile h q] estimates the [q]-quantile (clamped to [0..1]) of a
+    histogram from its bucket counts: linear interpolation inside the
+    bucket where the cumulative count crosses [q * count], with 0 as
+    the first bucket's lower bound.  A quantile landing in the
+    overflow bucket reports the last finite bound (the standard
+    underestimate).  [None] on an empty histogram. *)
+val quantile : hist -> float -> float option
+
+(** Parse a {!hist_json} rendering back into a {!hist}; [None] when
+    the shape is wrong. *)
+val hist_of_json : Json.t -> hist option
+
 (** Merged view of every registered metric, sorted by name. *)
 val snapshot : unit -> snapshot
 
@@ -63,3 +75,9 @@ val hist_json : hist -> Json.t
 
 (** Schema-versioned JSON ([spd-metrics/1]) rendering of a snapshot. *)
 val snapshot_json : snapshot -> Json.t
+
+(** Render a snapshot in the Prometheus text exposition format
+    (version 0.0.4): dots in metric names mangle to underscores,
+    histograms render as cumulative [_bucket{le="..."}] series with
+    the mandatory [+Inf] bucket, [_sum] and [_count]. *)
+val prometheus : snapshot -> string

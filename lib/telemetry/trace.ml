@@ -22,15 +22,29 @@ type event = {
 let enabled_flag = Atomic.make false
 let mu = Mutex.create ()
 let events_rev : event list ref = ref []
+let n_events = ref 0
 let epoch = ref 0.0
 
-let now_us () = Unix.gettimeofday () *. 1e6
+(* An always-on daemon traces for its whole lifetime, so the event
+   store is bounded: past [capacity], new events are counted in
+   [n_dropped] instead of growing memory without bound. *)
+let capacity = Atomic.make 1_000_000
+let n_dropped = Atomic.make 0
+
+let set_capacity n = Atomic.set capacity (max 0 n)
+let dropped () = Atomic.get n_dropped
+
+(* the monotonic clock: span durations and deadlines must not jump
+   when the system wall clock is adjusted *)
+let now_us () = Clock.now () *. 1e6
 
 let enabled () = Atomic.get enabled_flag
 
 let start () =
   Mutex.lock mu;
   events_rev := [];
+  n_events := 0;
+  Atomic.set n_dropped 0;
   epoch := now_us ();
   Mutex.unlock mu;
   Atomic.set enabled_flag true
@@ -39,8 +53,21 @@ let stop () = Atomic.set enabled_flag false
 
 let record e =
   Mutex.lock mu;
-  events_rev := e :: !events_rev;
+  if !n_events < Atomic.get capacity then begin
+    events_rev := e :: !events_rev;
+    incr n_events
+  end
+  else Atomic.incr n_dropped;
   Mutex.unlock mu
+
+(* the ambient request id rides on every span recorded while a request
+   is being served (see Context), unless the caller set its own *)
+let with_rid args =
+  if List.mem_assoc "rid" args then args
+  else
+    match Context.get () with
+    | Some rid -> ("rid", Json.String rid) :: args
+    | None -> args
 
 let with_span ?(args = []) ~name f =
   if not (Atomic.get enabled_flag) then f ()
@@ -53,7 +80,7 @@ let with_span ?(args = []) ~name f =
           ts = t0 -. !epoch;
           dur = now_us () -. t0;
           tid = (Domain.self () :> int);
-          args;
+          args = with_rid args;
         }
     in
     match f () with
@@ -73,7 +100,7 @@ let instant ?(args = []) name =
         ts = now_us () -. !epoch;
         dur = 0.0;
         tid = (Domain.self () :> int);
-        args;
+        args = with_rid args;
       }
 
 (** All events recorded since [start], in begin-timestamp order. *)
@@ -100,10 +127,15 @@ let event_json pid (e : event) =
 let to_json () =
   let pid = Unix.getpid () in
   Json.Obj
-    [
-      ("traceEvents", Json.List (List.map (event_json pid) (events ())));
-      ("displayTimeUnit", Json.String "ms");
-    ]
+    ([
+       ("traceEvents", Json.List (List.map (event_json pid) (events ())));
+       ("displayTimeUnit", Json.String "ms");
+     ]
+    @
+    match Atomic.get n_dropped with
+    | 0 -> []
+    | n ->
+        [ ("otherData", Json.Obj [ ("droppedEvents", Json.Int n) ]) ])
 
 (** Write the trace to [path] (Chrome trace-event JSON). *)
 let write path =

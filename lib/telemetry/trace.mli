@@ -15,13 +15,29 @@ type event = {
 
 val enabled : unit -> bool
 
-(** Clear recorded events, reset the clock epoch and enable tracing. *)
+(** Bound the in-memory event store (default 1,000,000) — an always-on
+    daemon traces for its whole lifetime, so past the cap new events
+    are counted in {!dropped} instead of growing memory.  The trace
+    document reports a nonzero drop count under
+    [otherData.droppedEvents]. *)
+val set_capacity : int -> unit
+
+(** Events lost to the capacity cap since {!start}. *)
+val dropped : unit -> int
+
+(** Clear recorded events (and the drop counter), reset the clock
+    epoch and enable tracing.  Timestamps use the monotonic
+    {!Clock}. *)
 val start : unit -> unit
 
 val stop : unit -> unit
 
 (** [with_span ~name f] runs [f]; when tracing is enabled, records a
-    complete trace event for it (also when [f] raises). *)
+    complete trace event for it (also when [f] raises).  When the
+    calling domain has an ambient {!Context} request id and [args]
+    does not already carry a ["rid"], the id is attached — this is
+    what correlates engine cell/stage spans with the server-side
+    request span that caused them. *)
 val with_span : ?args:(string * Json.t) list -> name:string -> (unit -> 'a) -> 'a
 
 (** Mark an instantaneous event (duration 0). *)

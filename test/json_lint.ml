@@ -167,13 +167,19 @@ let check_serve doc =
         [
           "workers_alive"; "worker_restarts"; "in_flight";
           "active_connections"; "pending_connections"; "conn_timeouts";
-          "admission_rejected"; "served";
+          "admission_rejected"; "log_records"; "log_dropped"; "served";
         ];
       if require_number "uptime_seconds" doc < 0.0 then
         bad "negative uptime";
       (match require_member "draining" doc with
       | Json.Bool _ -> ()
       | _ -> bad "\"draining\" is not a boolean")
+  | "metrics_prom" ->
+      let ct = require_string "content_type" doc in
+      if ct <> "text/plain; version=0.0.4" then
+        bad "unexpected content_type %S" ct;
+      if String.length (require_string "text" doc) = 0 then
+        bad "empty exposition text"
   | kind -> bad "unknown spd-serve/1 kind %S" kind
 
 (* A raw JSON-RPC error envelope, as the daemon's load-shedding paths
@@ -192,17 +198,59 @@ let check_rpc_error doc =
       bad "server busy without a usable retry_after_ms"
   end
 
+(* Any JSON-RPC envelope a live daemon emitted (success or error) must
+   echo a server-assigned request id. *)
+let check_rpc_envelope doc =
+  if require_string "jsonrpc" doc <> "2.0" then bad "jsonrpc is not 2.0";
+  if String.length (require_string "rid" doc) = 0 then bad "empty rid";
+  if Json.member "error" doc <> None then check_rpc_error doc
+  else if Json.member "result" doc = None then
+    bad "envelope has neither result nor error"
+
+(* One spd-log/1 record: the reserved members, with a sane level and a
+   plausible wall-clock timestamp. *)
+let log_levels = [ "error"; "warn"; "info"; "debug" ]
+
+let check_log_record doc =
+  if require_string "schema" doc <> "spd-log/1" then
+    bad "schema is not spd-log/1";
+  if require_number "ts" doc < 1e9 then bad "implausible \"ts\"";
+  let level = require_string "level" doc in
+  if not (List.mem level log_levels) then bad "unknown level %S" level;
+  if String.length (require_string "event" doc) = 0 then bad "empty event";
+  if require_int "domain" doc < 0 then bad "negative domain id"
+
+(* A .jsonl file is a stream of spd-log/1 records, one per line. *)
+let check_log_lines path text =
+  let n = ref 0 in
+  List.iteri
+    (fun i line ->
+      if String.trim line <> "" then begin
+        incr n;
+        match Json.of_string line with
+        | Error e -> bad "line %d: %s" (i + 1) e
+        | Ok doc -> (
+            try check_log_record doc
+            with Bad msg -> bad "line %d: %s" (i + 1) msg)
+      end)
+    (String.split_on_char '\n' text);
+  if !n = 0 then bad "%s: no log records" path
+
 let check_schema doc =
   match Option.bind (Json.member "schema" doc) Json.to_string_opt with
   | Some "spd-explain/1" -> check_explain doc; Some "spd-explain/1"
   | Some "spd-bench-diff/1" -> check_bench_diff doc; Some "spd-bench-diff/1"
   | Some "spd-micro/1" -> check_micro doc; Some "spd-micro/1"
   | Some "spd-serve/1" -> check_serve doc; Some "spd-serve/1"
+  | Some "spd-log/1" -> check_log_record doc; Some "spd-log/1"
   | _ ->
-      if Json.member "jsonrpc" doc <> None && Json.member "error" doc <> None
+      if
+        Json.member "jsonrpc" doc <> None
+        && (Json.member "result" doc <> None
+           || Json.member "error" doc <> None)
       then begin
-        check_rpc_error doc;
-        Some "jsonrpc error"
+        check_rpc_envelope doc;
+        Some "jsonrpc envelope"
       end
       else None
 
@@ -214,15 +262,25 @@ let () =
   end;
   List.iter
     (fun path ->
-      match Spd_telemetry.Json.of_string (slurp path) with
-      | Error e ->
-          Printf.eprintf "json_lint: %s: %s\n" path e;
-          exit 1
-      | Ok doc -> (
-          match check_schema doc with
-          | Some schema -> Printf.printf "json_lint: %s ok (%s)\n" path schema
-          | None -> Printf.printf "json_lint: %s ok\n" path
-          | exception Bad msg ->
-              Printf.eprintf "json_lint: %s: %s\n" path msg;
-              exit 1))
+      (* .jsonl files are structured-log streams: validate every line *)
+      if Filename.check_suffix path ".jsonl" then begin
+        match check_log_lines path (slurp path) with
+        | () -> Printf.printf "json_lint: %s ok (spd-log/1 lines)\n" path
+        | exception Bad msg ->
+            Printf.eprintf "json_lint: %s: %s\n" path msg;
+            exit 1
+      end
+      else
+        match Spd_telemetry.Json.of_string (slurp path) with
+        | Error e ->
+            Printf.eprintf "json_lint: %s: %s\n" path e;
+            exit 1
+        | Ok doc -> (
+            match check_schema doc with
+            | Some schema ->
+                Printf.printf "json_lint: %s ok (%s)\n" path schema
+            | None -> Printf.printf "json_lint: %s ok\n" path
+            | exception Bad msg ->
+                Printf.eprintf "json_lint: %s: %s\n" path msg;
+                exit 1))
     files

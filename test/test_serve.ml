@@ -26,13 +26,13 @@ let tmp_socket () =
 (* start a fresh daemon on a fresh session; always stopped and cleaned
    up, even when the test body raises *)
 let with_server ?(workers = 2) ?(jobs = 2) ?conn_timeout ?drain_deadline
-    ?max_pending ?faults f =
+    ?max_pending ?faults ?slow_ms f =
   let path = tmp_socket () in
   let addr = Protocol.Unix_path path in
   let session = Engine.Session.create ~jobs ~disk_cache:false () in
   let server =
     Server.start ~workers ?conn_timeout ?drain_deadline ?max_pending ?faults
-      ~session addr
+      ?slow_ms ~session addr
   in
   Fun.protect
     ~finally:(fun () ->
@@ -456,6 +456,157 @@ let test_metrics_snapshot_keys () =
       "spd.serve.worker.restart"; "spd.serve.admission.rejected";
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Observability: rid echo, metrics_prom, latency histograms, slow log *)
+
+(* every response envelope echoes a server-assigned rid, and distinct
+   requests get distinct rids *)
+let test_rid_echo () =
+  with_server @@ fun ~addr ~session:_ ~server:_ ->
+  let c = connect addr in
+  Fun.protect ~finally:(fun () -> Protocol.close c) @@ fun () ->
+  check_bool "no rid before any call" true (Protocol.last_rid c = None);
+  ignore (Protocol.call c "ping" (Json.Obj []));
+  let r1 = Protocol.last_rid c in
+  ignore (Protocol.call c "ping" (Json.Obj []));
+  let r2 = Protocol.last_rid c in
+  check_bool "rid echoed" true (r1 <> None && r2 <> None);
+  check_bool "rids distinct per request" true (r1 <> r2);
+  (* error envelopes carry one too *)
+  ignore (Protocol.call c "frobnicate" (Json.Obj []));
+  check_bool "rid on error envelope" true
+    (Protocol.last_rid c <> None && Protocol.last_rid c <> r2)
+
+let test_metrics_prom_method () =
+  with_server @@ fun ~addr ~session:_ ~server:_ ->
+  ignore (call_ok addr "ping" (Json.Obj []));
+  let r = call_ok addr "metrics_prom" (Json.Obj []) in
+  check_string "kind" "metrics_prom" (str (member "kind" r));
+  check_bool "content type versioned" true
+    (Test_harness.contains (str (member "content_type" r)) "0.0.4");
+  let text = str (member "text" r) in
+  check_bool "serve counter exported" true
+    (Test_harness.contains text "spd_serve_requests");
+  check_bool "histogram has +Inf bucket" true
+    (Test_harness.contains text "le=\"+Inf\"")
+
+(* each RPC lands in its per-method latency histogram, and the merged
+   histogram yields sane quantiles *)
+let test_per_method_latency () =
+  with_server @@ fun ~addr ~session:_ ~server:_ ->
+  let n_pings = 5 in
+  let c = connect addr in
+  Fun.protect ~finally:(fun () -> Protocol.close c) @@ fun () ->
+  for _ = 1 to n_pings do
+    ignore (Protocol.call c "ping" (Json.Obj []))
+  done;
+  let module Metrics = Spd_telemetry.Metrics in
+  let hists =
+    member "histograms" (call_ok addr "metrics" (Json.Obj []))
+  in
+  match
+    Option.bind
+      (Json.member "spd.serve.rpc.latency.ping" hists)
+      Metrics.hist_of_json
+  with
+  | None -> Alcotest.fail "no ping latency histogram"
+  | Some h ->
+      check_bool "all pings observed" true (h.Metrics.count >= n_pings);
+      (match Metrics.quantile h 0.95 with
+      | Some p95 -> check_bool "p95 sane" true (p95 >= 0.0 && p95 < 30.0)
+      | None -> Alcotest.fail "p95 missing")
+
+(* --slow-ms 0 flags every request: the rpc.slow record lands in the
+   log file with the request's rid and a stage breakdown member *)
+let test_slow_request_log () =
+  let module Log = Spd_telemetry.Log in
+  let path = Filename.temp_file "spd_slow" ".jsonl" in
+  let prev_level = Log.level () in
+  Fun.protect ~finally:(fun () ->
+      Log.close ();
+      Log.set_level prev_level;
+      Sys.remove path)
+  @@ fun () ->
+  Log.set_level Log.Info;
+  (match Log.to_file path with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "to_file: %s" e);
+  ( with_server ~slow_ms:0.0001 @@ fun ~addr ~session:_ ~server:_ ->
+    let c = connect addr in
+    Fun.protect ~finally:(fun () -> Protocol.close c) @@ fun () ->
+    (match Protocol.call c "query" query_params with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "query: %s" e);
+    Log.flush ();
+    let lines = In_channel.with_open_text path In_channel.input_lines in
+    let slow =
+      List.filter_map
+        (fun l ->
+          match Json.of_string l with
+          | Ok d
+            when Option.bind (Json.member "event" d) Json.to_string_opt
+                 = Some "rpc.slow" ->
+              Some d
+          | _ -> None)
+        lines
+    in
+    match
+      List.find_opt
+        (fun d ->
+          Option.bind (Json.member "method" d) Json.to_string_opt
+          = Some "query")
+        slow
+    with
+    | None -> Alcotest.fail "no rpc.slow record for the query"
+    | Some d ->
+        check_bool "slow record carries the echoed rid" true
+          (Option.bind (Json.member "rid" d) Json.to_string_opt
+          = Protocol.last_rid c);
+        check_bool "stage breakdown present" true
+          (match Json.member "stages" d with
+          | Some (Json.Obj _) -> true
+          | _ -> false);
+        check_bool "ms recorded" true
+          (match Option.bind (Json.member "ms" d) Json.to_number with
+          | Some ms -> ms >= 0.0
+          | None -> false) )
+
+(* the spd top data layer over a live daemon: sampling, windowing,
+   rendering *)
+let test_top_sampling () =
+  let module Top = Spd_serve.Top in
+  with_server @@ fun ~addr ~session:_ ~server:_ ->
+  let c = connect addr in
+  Fun.protect ~finally:(fun () -> Protocol.close c) @@ fun () ->
+  let fetch () =
+    match Top.fetch c with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "top fetch: %s" e
+  in
+  let s0 = fetch () in
+  ignore (call_ok addr "ping" (Json.Obj []));
+  let s1 = fetch () in
+  check_bool "request counter advanced" true
+    (Top.counter s1 "spd.serve.requests" > Top.counter s0 "spd.serve.requests");
+  (* windowed histogram counts only the new requests *)
+  (match Top.window (Some s0) s1 "spd.serve.rpc.latency.ping" with
+  | Some h -> check_bool "window counts the new ping" true (h.Spd_telemetry.Metrics.count >= 1)
+  | None -> Alcotest.fail "no windowed ping histogram");
+  let frame = Top.render ~prev:s0 s1 in
+  check_bool "frame names the dashboard" true
+    (Test_harness.contains frame "spd top");
+  check_bool "frame has the latency table" true
+    (Test_harness.contains frame "latency (ms)");
+  check_bool "first frame renders too" true
+    (String.length (Top.render s0) > 0)
+
+(* health gained the log counters *)
+let test_health_log_counters () =
+  with_server @@ fun ~addr ~session:_ ~server:_ ->
+  let r = call_ok addr "health" (Json.Obj []) in
+  check_bool "log_records" true (num (member "log_records" r) >= 0.0);
+  check_bool "log_dropped" true (num (member "log_dropped" r) >= 0.0)
+
 let tests =
   [
     case "ping over a unix socket" test_ping;
@@ -476,4 +627,10 @@ let tests =
     case "health method" test_health;
     case "drain refuses work, answers health" test_drain_refuses_work;
     case "metrics carries the serve counters" test_metrics_snapshot_keys;
+    case "rid echoed on every envelope" test_rid_echo;
+    case "metrics_prom method" test_metrics_prom_method;
+    case "per-method latency histograms" test_per_method_latency;
+    case "slow-request log with stage breakdown" test_slow_request_log;
+    case "spd top sampling and rendering" test_top_sampling;
+    case "health carries log counters" test_health_log_counters;
   ]

@@ -227,6 +227,210 @@ let test_disabled_span_overhead () =
     true
     (per_call < 2e-6)
 
+(* ------------------------------------------------------------------ *)
+(* Quantiles, Prometheus exposition, the monotonic clock, logging *)
+
+module Clock = Spd_telemetry.Clock
+module Log = Spd_telemetry.Log
+module Context = Spd_telemetry.Context
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_quantile () =
+  let h counts sum =
+    {
+      Metrics.buckets = [| 1.0; 2.0; 4.0 |];
+      counts;
+      count = Array.fold_left ( + ) 0 counts;
+      sum;
+    }
+  in
+  check_bool "empty histogram has no quantiles" true
+    (Metrics.quantile (h [| 0; 0; 0; 0 |] 0.0) 0.5 = None);
+  (* 10 observations, all in (1,2]: interpolation inside that bucket *)
+  let one = h [| 0; 10; 0; 0 |] 15.0 in
+  (match Metrics.quantile one 0.5 with
+  | Some v -> check_close "p50 interpolates" 1.5 v
+  | None -> Alcotest.fail "p50 missing");
+  (match Metrics.quantile one 1.0 with
+  | Some v -> check_close "p100 is the bucket's top edge" 2.0 v
+  | None -> Alcotest.fail "p100 missing");
+  (* q is clamped, not rejected *)
+  check_bool "q clamps" true
+    (Metrics.quantile one 2.0 = Metrics.quantile one 1.0);
+  (* exact bucket edge: 4 obs <= 1.0, 6 above; p40 = right edge of b0 *)
+  let edge = h [| 4; 6; 0; 0 |] 10.0 in
+  (match Metrics.quantile edge 0.4 with
+  | Some v -> check_close "exact edge" 1.0 v
+  | None -> Alcotest.fail "edge missing");
+  (* everything in the overflow bucket: clamp to the last finite bound *)
+  match Metrics.quantile (h [| 0; 0; 0; 5 |] 500.0) 0.99 with
+  | Some v -> check_close "overflow clamps to last bound" 4.0 v
+  | None -> Alcotest.fail "overflow missing"
+
+(* [snapshot] folds [merge_hist] over the per-domain shards; with
+   concurrent writers the merged histogram must neither lose
+   observations nor produce an out-of-range quantile. *)
+let test_quantile_under_concurrent_observe () =
+  let h =
+    Metrics.histogram ~buckets:Metrics.time_buckets
+      "test.telemetry.hist.concurrent"
+  in
+  let per_domain = 10_000 in
+  let ds =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              (* deterministic spread over (0, 0.1] *)
+              let v =
+                1e-4 *. float_of_int (1 + (((d * per_domain) + i) mod 1000))
+              in
+              Metrics.observe h v
+            done))
+  in
+  List.iter Domain.join ds;
+  match
+    List.assoc_opt "test.telemetry.hist.concurrent" (Metrics.snapshot ())
+  with
+  | Some (Metrics.Hist s) ->
+      check_int "no lost observations" (4 * per_domain) s.count;
+      (match Metrics.quantile s 0.5 with
+      | Some v -> check_bool "median in range" true (v > 0.0 && v <= 0.1)
+      | None -> Alcotest.fail "median missing");
+      (match Metrics.quantile s 0.95 with
+      | Some v -> check_bool "p95 >= p50" true
+          (Some v >= Metrics.quantile s 0.5)
+      | None -> Alcotest.fail "p95 missing")
+  | _ -> Alcotest.fail "histogram missing from snapshot"
+
+let test_hist_json_roundtrip () =
+  let h =
+    { Metrics.buckets = [| 0.5; 1.0 |]; counts = [| 2; 3; 1 |];
+      count = 6; sum = 4.5 }
+  in
+  (match Metrics.hist_of_json (Metrics.hist_json h) with
+  | Some h' -> check_bool "roundtrip" true (h = h')
+  | None -> Alcotest.fail "hist_of_json rejected hist_json output");
+  check_bool "rejects wrong shape" true
+    (Metrics.hist_of_json (Json.Obj []) = None);
+  check_bool "rejects count/bucket length mismatch" true
+    (Metrics.hist_of_json
+       (Json.Obj
+          [
+            ("buckets", Json.List [ Json.Float 1.0 ]);
+            ("counts", Json.List [ Json.Int 1 ]);
+          ])
+    = None)
+
+let test_prometheus_render () =
+  let snap =
+    [
+      ("test.prom.counter", Metrics.Counter 7);
+      ( "test.prom.lat",
+        Metrics.Hist
+          { Metrics.buckets = [| 0.5; 1.0 |]; counts = [| 2; 3; 1 |];
+            count = 6; sum = 4.5 } );
+    ]
+  in
+  let text = Metrics.prometheus snap in
+  List.iter
+    (fun needle ->
+      check_bool (Printf.sprintf "contains %S" needle) true
+        (contains ~needle text))
+    [
+      "# TYPE test_prom_counter counter\ntest_prom_counter 7\n";
+      "# TYPE test_prom_lat histogram\n";
+      (* cumulative buckets, mandatory +Inf *)
+      "test_prom_lat_bucket{le=\"0.5\"} 2\n";
+      "test_prom_lat_bucket{le=\"1\"} 5\n";
+      "test_prom_lat_bucket{le=\"+Inf\"} 6\n";
+      "test_prom_lat_sum 4.5\n";
+      "test_prom_lat_count 6\n";
+    ];
+  (* dots mangle to underscores; nothing outside [a-zA-Z0-9_:] survives *)
+  check_bool "no raw dots in names" true
+    (not (contains ~needle:"test.prom" text))
+
+let test_clock_monotonic () =
+  let a = Clock.now () in
+  let b = Clock.now () in
+  check_bool "non-decreasing" true (b >= a);
+  (* the wall clock is epoch-based, the monotonic one is not
+     necessarily; only the former should look like a modern date *)
+  check_bool "wall clock plausible" true (Clock.wall () > 1e9)
+
+let test_context_scoping () =
+  check_bool "no ambient rid" true (Context.get () = None);
+  let a, b, c =
+    Context.with_id "outer" (fun () ->
+        let a = Context.get () in
+        let b = Context.with_id "inner" (fun () -> Context.get ()) in
+        (a, b, Context.get ()))
+  in
+  check_bool "set inside" true (a = Some "outer");
+  check_bool "nested override" true (b = Some "inner");
+  check_bool "restored after nesting" true (c = Some "outer");
+  check_bool "cleared after" true (Context.get () = None);
+  (* restored even when the body raises *)
+  (try Context.with_id "boom" (fun () -> failwith "x") with Failure _ -> ());
+  check_bool "cleared after raise" true (Context.get () = None)
+
+let test_log_sink () =
+  let path = Filename.temp_file "spd_log" ".jsonl" in
+  let prev_level = Log.level () in
+  Fun.protect ~finally:(fun () ->
+      Log.close ();
+      Log.set_level prev_level;
+      Sys.remove path)
+  @@ fun () ->
+  Log.set_level Log.Info;
+  (match Log.to_file path with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "to_file: %s" e);
+  let n0 = Log.records () in
+  Log.debug "test.below.threshold" [];
+  Context.with_id "r-test-1" (fun () ->
+      Log.info "test.event" [ ("k", Json.Int 3) ]);
+  Log.flush ();
+  check_int "only the in-level record counted" (n0 + 1) (Log.records ());
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  let line =
+    match List.rev lines with
+    | l :: _ -> l
+    | [] -> Alcotest.fail "log file empty"
+  in
+  let doc =
+    match Json.of_string line with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "log line is not JSON: %s" e
+  in
+  let str name = Option.bind (Json.member name doc) Json.to_string_opt in
+  check_bool "schema" true (str "schema" = Some Log.schema);
+  check_bool "level" true (str "level" = Some "info");
+  check_bool "event" true (str "event" = Some "test.event");
+  check_bool "ambient rid attached" true (str "rid" = Some "r-test-1");
+  check_bool "domain tagged" true
+    (Option.is_some (Json.member "domain" doc));
+  check_bool "ts present" true
+    (match Option.bind (Json.member "ts" doc) Json.to_number with
+    | Some ts -> ts > 1e9
+    | None -> false);
+  check_bool "caller field kept" true
+    (Json.member "k" doc = Some (Json.Int 3));
+  check_bool "debug below threshold not written" true
+    (not (List.exists (contains ~needle:"test.below.threshold") lines))
+
+let test_log_level_parse () =
+  check_bool "warn" true (Log.level_of_string "warn" = Ok Log.Warn);
+  check_bool "WARNING spelling" true
+    (Log.level_of_string "WARNING" = Ok Log.Warn);
+  check_bool "debug" true (Log.level_of_string "debug" = Ok Log.Debug);
+  check_bool "unknown rejected" true
+    (match Log.level_of_string "loud" with Error _ -> true | Ok _ -> false)
+
 let tests =
   [
     case "json roundtrip" test_json_roundtrip;
@@ -242,4 +446,13 @@ let tests =
     case "histogram observe" test_histogram_observe;
     case "snapshot json schema" test_snapshot_json_schema;
     case "disabled span overhead" test_disabled_span_overhead;
+    case "quantile edges" test_quantile;
+    case "quantile under concurrent observe"
+      test_quantile_under_concurrent_observe;
+    case "hist json roundtrip" test_hist_json_roundtrip;
+    case "prometheus exposition" test_prometheus_render;
+    case "monotonic clock" test_clock_monotonic;
+    case "context scoping" test_context_scoping;
+    case "log sink" test_log_sink;
+    case "log level parse" test_log_level_parse;
   ]
