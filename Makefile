@@ -30,9 +30,14 @@ telemetry-smoke:
 	  > $(SMOKE_DIR)/spd_report.json
 	$(DUNE) exec bin/spd.exe -- explain matmul300 --format json \
 	  > $(SMOKE_DIR)/spd_explain.json
+	$(DUNE) exec bin/spd.exe -- why matmul300 --format json \
+	  > $(SMOKE_DIR)/spd_why.json
+	$(DUNE) exec bin/spd.exe -- cache stats --json \
+	  > $(SMOKE_DIR)/spd_cache.json
 	$(DUNE) exec test/json_lint.exe -- \
 	  $(SMOKE_DIR)/spd_trace.json $(SMOKE_DIR)/spd_report.json \
-	  $(SMOKE_DIR)/spd_explain.json
+	  $(SMOKE_DIR)/spd_explain.json $(SMOKE_DIR)/spd_why.json \
+	  $(SMOKE_DIR)/spd_cache.json
 
 # Regression-tracker smoke: generate the cycles artefact twice (the
 # second run is served from the warm cache, so the reports agree and
@@ -94,15 +99,17 @@ chaos-smoke:
 # Observability smoke: a real `spd serve --log --trace --slow-ms`
 # under a mixed RPC burst.  Asserts rid echoing on every envelope,
 # exact per-method latency histogram counts with a sane p95, a
-# monotone Prometheus exposition whose +Inf bucket equals _count, one
-# `spd top` frame, and a structured log + trace profile that agree
-# with the responses; then lints the spd-log/1 lines, the trace and
-# the saved envelope with the in-repo reader.
+# monotone Prometheus exposition whose +Inf bucket equals _count, a
+# served `why` decision ledger byte-identical to the `spd why` CLI
+# document, one `spd top` frame, and a structured log + trace profile
+# that agree with the responses; then lints the spd-log/1 lines, the
+# trace, the saved envelope and the spd-decisions/1 ledger with the
+# in-repo reader.
 obs-smoke:
 	$(DUNE) exec test/obs_smoke.exe -- $(SMOKE_DIR)
 	$(DUNE) exec test/json_lint.exe -- \
 	  $(SMOKE_DIR)/spd_obs_log.jsonl $(SMOKE_DIR)/spd_obs_trace.json \
-	  $(SMOKE_DIR)/spd_obs_envelope.json
+	  $(SMOKE_DIR)/spd_obs_envelope.json $(SMOKE_DIR)/spd_obs_why.json
 
 # Regenerate the golden-schedule corpus under test/golden/ after an
 # intentional scheduler or DDG change; review the grid diff and commit.

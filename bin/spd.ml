@@ -7,6 +7,9 @@
     spd bench   diff OLD NEW [--threshold PCT]          compare two bench reports
     spd bench   snapshot [--from FILE]                  timestamped copy into bench/history/
     spd explain WORKLOAD [--fn F] [--tree T]            occupancy grids + critical paths
+    spd why     WORKLOAD [--fn F] [--tree T]            the heuristic's decision ledger
+                [--format pretty|json|csv]
+    spd cache   stats [--dir _spd_cache] [--json]       on-disk result cache statistics
     spd report  [ARTEFACT] [--jobs N] [--no-cache]      regenerate the paper's tables/figures
                 [--trace FILE] [--format pretty|json|csv]
     spd serve   [--socket PATH | --tcp HOST:PORT]       experiment daemon (framed JSON-RPC)
@@ -714,6 +717,154 @@ let explain_cmd =
             "Output format: $(b,pretty) (default), $(b,json) (one \
              spd-explain/1 document) or $(b,csv).")
 
+let why_cmd =
+  let module Why = Spd_harness.Why in
+  let run name fn tree mem_latency jobs no_cache format =
+    match name with
+    | None ->
+        Fmt.epr "spd why: missing WORKLOAD (one of: %s)@."
+          (String.concat ", " (workload_names ()));
+        exit 1
+    | Some name ->
+        if not (List.mem name (workload_names ())) then begin
+          Fmt.epr "unknown workload %S (one of: %s)@." name
+            (String.concat ", " (workload_names ()));
+          exit 1
+        end;
+        handle_errors (fun () ->
+            Spd_harness.Experiment.with_session
+              (Spd_harness.Engine.Session.create ?jobs
+                 ~disk_cache:(not no_cache) ())
+              (fun session ->
+                match Why.analyze ~mem_latency session name with
+                | exception Spd_harness.Engine.Cell_failed f ->
+                    Fmt.epr "%a@." Spd_harness.Engine.pp_failure f;
+                    exit 2
+                | t ->
+                    (match (fn, tree) with
+                    | None, None -> ()
+                    | _ ->
+                        if Why.selected ?fn ?tree t = [] then begin
+                          Fmt.epr
+                            "no ledger entry matches the --fn/--tree \
+                             filters@.";
+                          exit 1
+                        end);
+                    Why.render ?fn ?tree format Fmt.stdout t))
+  in
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Workload name (the built-in benchmarks plus extras such \
+                as $(b,matmul300)).")
+  in
+  let fn_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "fn" ] ~docv:"NAME" ~doc:"Restrict to a function.")
+  in
+  let tree_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "t"; "tree" ] ~docv:"ID" ~doc:"Restrict to a tree id.")
+  in
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:
+         "Explain the SpD guidance heuristic's decisions for a \
+          workload: per tree, every candidate ambiguous arc with its \
+          predicted gain, the static test that left it ambiguous, the \
+          budgets in force and the applied/rejected verdict, plus the \
+          rejection-reason histogram.")
+    Term.(
+      const run $ name_arg $ fn_arg $ tree_arg $ mem_latency_arg
+      $ jobs_arg $ no_cache_arg
+      $ format_arg
+          ~doc:
+            "Output format: $(b,pretty) (default), $(b,json) (one \
+             spd-decisions/1 document) or $(b,csv).")
+
+let cache_cmd =
+  let module Json = Spd_telemetry.Json in
+  let module Metrics = Spd_telemetry.Metrics in
+  let stats_run dir json =
+    (* register the cache counter family so the snapshot carries the
+       spd.cache.* names even before any cell fires them *)
+    Spd_harness.Engine.register_metrics ();
+    let entries = ref 0 and bytes = ref 0 in
+    (match Sys.readdir dir with
+    | names ->
+        Array.iter
+          (fun n ->
+            if Filename.check_suffix n ".cache" then begin
+              incr entries;
+              match Unix.stat (Filename.concat dir n) with
+              | st -> bytes := !bytes + st.Unix.st_size
+              | exception Unix.Unix_error _ -> ()
+            end)
+          names
+    | exception Sys_error _ -> ());
+    let counter name =
+      match List.assoc_opt name (Metrics.snapshot ()) with
+      | Some (Metrics.Counter n) -> n
+      | _ -> 0
+    in
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("schema", Json.String "spd-cache/1");
+                ("dir", Json.String dir);
+                ("entries", Json.Int !entries);
+                ("bytes", Json.Int !bytes);
+                ( "version",
+                  Json.String Spd_harness.Engine.cache_version );
+                ("hits", Json.Int (counter "spd.cache.hit"));
+                ("misses", Json.Int (counter "spd.cache.miss"));
+                ("evictions", Json.Int (counter "spd.cache.evict"));
+              ]))
+    else begin
+      Fmt.pr "dir        %s@." dir;
+      Fmt.pr "entries    %d@." !entries;
+      Fmt.pr "bytes      %d@." !bytes;
+      Fmt.pr "version    %s@." Spd_harness.Engine.cache_version;
+      Fmt.pr "hits       %d@." (counter "spd.cache.hit");
+      Fmt.pr "misses     %d@." (counter "spd.cache.miss");
+      Fmt.pr "evictions  %d@." (counter "spd.cache.evict")
+    end
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt string "_spd_cache"
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Cache directory (default $(b,_spd_cache)).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit one spd-cache/1 JSON object.")
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect the content-addressed on-disk result cache \
+          ($(b,_spd_cache/)).")
+    [
+      Cmd.v
+        (Cmd.info "stats"
+           ~doc:
+             "Entry count, total bytes, cache format version and the \
+              process's live $(b,spd.cache.hit)/$(b,miss)/$(b,evict) \
+              counters (also part of the Prometheus exposition).")
+        Term.(const stats_run $ dir_arg $ json_arg);
+    ]
+
 let graph_cmd =
   let run file pipeline mem_latency func tree_id =
     handle_errors (fun () ->
@@ -1003,8 +1154,8 @@ let call_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"METHOD"
           ~doc:
-            "Daemon method: ping, health, query, report, explain, micro, \
-             run, metrics, metrics_prom, stats or shutdown.")
+            "Daemon method: ping, health, query, report, explain, why, \
+             micro, run, metrics, metrics_prom, stats or shutdown.")
   in
   let params_arg =
     Arg.(
@@ -1151,6 +1302,7 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group info
           [
-            compile_cmd; run_cmd; bench_cmd; explain_cmd; report_cmd;
-            serve_cmd; call_cmd; top_cmd; graph_cmd; list_cmd;
+            compile_cmd; run_cmd; bench_cmd; explain_cmd; why_cmd;
+            report_cmd; serve_cmd; call_cmd; top_cmd; cache_cmd;
+            graph_cmd; list_cmd;
           ]))

@@ -24,6 +24,7 @@ let build_tree (tree : Tree.t) : Tree.t =
                     Memdep.kind_of_ops ~src_is_store:(Insn.is_store x)
                       ~dst_is_store:(Insn.is_store y);
                   status = Memdep.Ambiguous None;
+                  why = None;
                 }
                 :: acc
               else acc)

@@ -17,8 +17,25 @@ val pp_answer : Format.formatter -> answer -> unit
 (** Compare two affine address forms within a tree. *)
 val query_forms : Spd_ir.Tree.t -> Affine.t -> Affine.t -> answer
 
+(** Like {!query_forms}, but when the answer is [Unknown] also report
+    which test left the pair ambiguous (the decision ledger's
+    provenance): [Opaque_base] on the distinct-base fallthrough,
+    [Banerjee_inconclusive] when neither GCD nor the Banerjee bounds
+    could decide, [Solution_counted] when an alias probability was
+    estimated by counting subscript solutions. *)
+val query_forms_why :
+  Spd_ir.Tree.t ->
+  Affine.t -> Affine.t -> answer * Spd_ir.Memdep.ambiguity option
+
 (** Compare the addresses of two memory instructions of [tree] under the
     affine environment [env] (from {!Spd_analysis.Affine.analyze}). *)
 val query :
   Spd_ir.Tree.t ->
   Affine.t Spd_ir.Reg.Map.t -> Spd_ir.Insn.t -> Spd_ir.Insn.t -> answer
+
+(** {!query} with the ambiguity provenance of {!query_forms_why}. *)
+val query_why :
+  Spd_ir.Tree.t ->
+  Affine.t Spd_ir.Reg.Map.t ->
+  Spd_ir.Insn.t ->
+  Spd_ir.Insn.t -> answer * Spd_ir.Memdep.ambiguity option

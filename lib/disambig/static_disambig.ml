@@ -27,16 +27,16 @@ let refine_tree ?stats (tree : Tree.t) : Tree.t =
         | Memdep.Ambiguous _ -> (
             let a = Tree.insn_by_id tree arc.src
             and b = Tree.insn_by_id tree arc.dst in
-            match Alias.query tree env a b with
-            | Alias.No ->
+            match Alias.query_why tree env a b with
+            | Alias.No, _ ->
                 bump (fun s -> s.proven_no <- s.proven_no + 1);
                 { arc with status = Memdep.Removed Memdep.By_static }
-            | Alias.Must ->
+            | Alias.Must, _ ->
                 bump (fun s -> s.proven_must <- s.proven_must + 1);
                 { arc with status = Memdep.Must }
-            | Alias.Unknown p ->
+            | Alias.Unknown p, why ->
                 bump (fun s -> s.unknown <- s.unknown + 1);
-                { arc with status = Memdep.Ambiguous p }))
+                { arc with status = Memdep.Ambiguous p; why }))
       tree.arcs
   in
   { tree with arcs }

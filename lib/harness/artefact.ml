@@ -57,6 +57,9 @@ let registry : t list =
     { name = "spd-dynamics";
       title = "SpD run-time dynamics (alias/no-alias commits, squashes)";
       tables = Report.spd_dynamics_tables };
+    { name = "spd-decisions";
+      title = "SpD opportunity statistics (heuristic decision ledger rollup)";
+      tables = Report.spd_decisions_tables };
     { name = "ext_dynamic"; title = "SpD vs hardware dynamic disambiguation";
       tables = Extensions.ext_dynamic_tables };
     { name = "ext_grafting"; title = "Tree grafting";

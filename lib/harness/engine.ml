@@ -29,8 +29,9 @@ module W = Spd_workloads
    entry format change in a way that affects emitted numbers or decoding;
    invalidates every on-disk entry.  "2": checksummed entry format.
    "3": [Dynamics] entries; SpD applications carry their predicate
-   register. *)
-let cache_version = "3"
+   register.  "4": [Decisions] entries; memory arcs carry their
+   ambiguity provenance. *)
+let cache_version = "4"
 
 (* Engine-level metrics, mirrored alongside the per-session [Stats]
    counters so a metrics snapshot covers multi-session processes too. *)
@@ -44,6 +45,13 @@ let m_simulations = lazy (M.counter "spd.engine.simulations")
 let m_cache_hits = lazy (M.counter "spd.engine.cache.hits")
 let m_cache_misses = lazy (M.counter "spd.engine.cache.misses")
 let m_cache_evictions = lazy (M.counter "spd.engine.cache.evictions")
+
+(* the short [spd.cache.*] names surfaced by `spd cache stats` and the
+   Prometheus exposition, fired alongside the [spd.engine.cache.*]
+   counters above *)
+let m_cache_hit = lazy (M.counter "spd.cache.hit")
+let m_cache_miss = lazy (M.counter "spd.cache.miss")
+let m_cache_evict = lazy (M.counter "spd.cache.evict")
 let m_cell_retries = lazy (M.counter "spd.engine.cells.retried")
 let m_cell_failures = lazy (M.counter "spd.engine.cells.failed")
 let m_queries = lazy (M.counter "spd.engine.queries")
@@ -58,6 +66,19 @@ let m_stage_seconds =
        Pipeline.stages)
 
 let mark c = M.incr (Lazy.force c)
+
+(** Force registration of the engine-level counters (including the
+    [spd.cache.*] aliases), so a metrics snapshot carries them before
+    any cell fires them. *)
+let register_metrics () =
+  List.iter
+    (fun c -> ignore (Lazy.force c))
+    [
+      m_lowerings; m_preparations; m_simulations; m_cache_hits;
+      m_cache_misses; m_cache_evictions; m_cache_hit; m_cache_miss;
+      m_cache_evict; m_cell_retries; m_cell_failures; m_queries;
+    ];
+  ignore (Lazy.force m_stage_seconds)
 
 (* ------------------------------------------------------------------ *)
 (* Promise-style memo table, safe for concurrent use from domains.  The
@@ -274,6 +295,7 @@ module Query = struct
     | Code_size of Pipeline.kind
     | Spd_counts
     | Spd_dynamics
+    | Spd_decisions
     | Speedup_over_naive of {
         kind : Pipeline.kind;
         width : Spd_machine.Descr.width;
@@ -294,13 +316,14 @@ module Query = struct
     | Code_size _ -> "code-size"
     | Spd_counts -> "spd-counts"
     | Spd_dynamics -> "spd-dynamics"
+    | Spd_decisions -> "spd-decisions"
     | Speedup_over_naive _ -> "speedup-over-naive"
     | Spec_over_static _ -> "spec-over-static"
     | Code_growth -> "code-growth"
 
   let artefact_names =
     [
-      "cycles"; "code-size"; "spd-counts"; "spd-dynamics";
+      "cycles"; "code-size"; "spd-counts"; "spd-dynamics"; "spd-decisions";
       "speedup-over-naive"; "spec-over-static"; "code-growth";
     ]
 
@@ -328,7 +351,7 @@ module Query = struct
       | Cycles { kind; width } ->
           Printf.sprintf "/%s/%s" (Pipeline.name kind) (width_tag width)
       | Code_size kind -> "/" ^ Pipeline.name kind
-      | Spd_counts | Spd_dynamics | Code_growth -> ""
+      | Spd_counts | Spd_dynamics | Spd_decisions | Code_growth -> ""
       | Speedup_over_naive { kind; width } ->
           Printf.sprintf "/%s/%s" (Pipeline.name kind) (width_tag width)
       | Spec_over_static { width } -> "/" ^ width_tag width
@@ -352,12 +375,14 @@ type value =
   | Float of float
   | Counts of int * int * int
   | Dynamics of Pipeline.dynamics
+  | Decisions of Spd_core.Heuristic.decision list
 
 let value_kind = function
   | Int _ -> "Int"
   | Float _ -> "Float"
   | Counts _ -> "Counts"
   | Dynamics _ -> "Dynamics"
+  | Decisions _ -> "Decisions"
 
 let project what f : value outcome -> _ outcome = function
   | Failed fl -> Failed fl
@@ -374,6 +399,9 @@ let to_counts o = project "counts" (function Counts (a, b, c) -> Some (a, b, c) 
 
 let to_dynamics o =
   project "dynamics" (function Dynamics d -> Some d | _ -> None) o
+
+let to_decisions o =
+  project "decisions" (function Decisions d -> Some d | _ -> None) o
 
 (* ------------------------------------------------------------------ *)
 
@@ -437,6 +465,7 @@ module Session = struct
     | D_cycles of int
     | D_summary of { code_size : int; counts : int * int * int }
     | D_dynamics of Pipeline.dynamics
+    | D_decisions of Spd_core.Heuristic.decision list
 
   type t = {
     jobs : int;
@@ -451,6 +480,7 @@ module Session = struct
     cycles_memo : (key * Spd_machine.Descr.width, int outcome) Memo.t;
     summary_memo : (key, (int * (int * int * int)) outcome) Memo.t;
     dynamics_memo : (key, Pipeline.dynamics outcome) Memo.t;
+    decisions_memo : (key, Spd_core.Heuristic.decision list outcome) Memo.t;
     stats_mu : Mutex.t;
     mutable lowerings : int;
     mutable preparations : int;
@@ -517,6 +547,7 @@ module Session = struct
       cycles_memo = Memo.create 256;
       summary_memo = Memo.create 64;
       dynamics_memo = Memo.create 64;
+      decisions_memo = Memo.create 64;
       stats_mu;
       lowerings = 0;
       preparations = 0;
@@ -696,7 +727,9 @@ module Session = struct
         t.disk_evictions <- t.disk_evictions + 1;
         t.disk_misses <- t.disk_misses + 1);
     mark m_cache_evictions;
-    mark m_cache_misses
+    mark m_cache_misses;
+    mark m_cache_evict;
+    mark m_cache_miss
 
   let disk_read t payload : disk_value option =
     match t.cache_dir with
@@ -707,6 +740,7 @@ module Session = struct
         | exception Sys_error _ ->
             bump t (fun t -> t.disk_misses <- t.disk_misses + 1);
             mark m_cache_misses;
+            mark m_cache_miss;
             None
         | s -> (
             let s =
@@ -717,6 +751,7 @@ module Session = struct
             | Ok v ->
                 bump t (fun t -> t.disk_hits <- t.disk_hits + 1);
                 mark m_cache_hits;
+                mark m_cache_hit;
                 Some v
             | Error reason -> evict t path reason; None))
 
@@ -874,6 +909,21 @@ module Session = struct
                 disk_write t payload (D_dynamics d);
                 d))
 
+  (* the heuristic's decision ledger of a cell; a pure function of the
+     preparation, so no simulation is charged *)
+  let decisions_cell t (k : key) =
+    Memo.get t.decisions_memo k (fun () ->
+        protected t ~deadline:(eff_deadline t k)
+          ~key:(cell_key k ^ "/decisions" ^ budget_tag k)
+          (fun () ->
+            let payload = cell_payload t k ^ "|decisions" in
+            match disk_read t payload with
+            | Some (D_decisions ds) -> ds
+            | _ ->
+                let p = prepared_cell t k in
+                disk_write t payload (D_decisions p.Pipeline.decisions);
+                p.Pipeline.decisions))
+
   let map_outcome f = function Ok v -> Ok (f v) | Failed f -> Failed f
 
   let pair_outcome a b =
@@ -910,6 +960,10 @@ module Session = struct
           (summary_cell t (k Pipeline.Spec))
     | Query.Spd_dynamics ->
         map_outcome (fun d -> Dynamics d) (dynamics_cell t (k Pipeline.Spec))
+    | Query.Spd_decisions ->
+        map_outcome
+          (fun ds -> Decisions ds)
+          (decisions_cell t (k Pipeline.Spec))
     | Query.Speedup_over_naive { kind; width } ->
         map_outcome
           (fun (base, this) -> Float (Pipeline.speedup ~base ~this))
@@ -947,6 +1001,9 @@ module Session = struct
 
   let spd_dynamics t ~bench ~latency =
     get (to_dynamics (shim t ~bench ~latency Query.Spd_dynamics))
+
+  let spd_decisions t ~bench ~latency =
+    get (to_decisions (shim t ~bench ~latency Query.Spd_decisions))
 
   let speedup_over_naive t ~bench ~latency kind ~width =
     get

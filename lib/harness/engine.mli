@@ -34,6 +34,12 @@
     decoding; invalidates the on-disk cache. *)
 val cache_version : string
 
+(** Force registration of the engine-level counters — including the
+    [spd.cache.{hit,miss,evict}] aliases surfaced by [spd cache stats]
+    — so a metrics snapshot carries them before any cell fires them
+    ([spd serve] calls this at startup). *)
+val register_metrics : unit -> unit
+
 (** {1 Per-cell outcomes} *)
 
 type failure = {
@@ -71,6 +77,8 @@ module Query : sig
         (** SpD applications by dependence kind — a Table 6-3 row *)
     | Spd_dynamics
         (** run-time alias/no-alias commit counts of the SPEC pipeline *)
+    | Spd_decisions
+        (** the guidance heuristic's full decision ledger (SPEC) *)
     | Speedup_over_naive of {
         kind : Pipeline.kind;
         width : Spd_machine.Descr.width;
@@ -98,9 +106,9 @@ module Query : sig
     bench:string -> latency:int -> artefact -> t
 
   (** Stable lowercase artefact-kind name ([cycles], [code-size],
-      [spd-counts], [spd-dynamics], [speedup-over-naive],
-      [spec-over-static], [code-growth]) — the wire spelling of the
-      [spd serve] protocol. *)
+      [spd-counts], [spd-dynamics], [spd-decisions],
+      [speedup-over-naive], [spec-over-static], [code-growth]) — the
+      wire spelling of the [spd serve] protocol. *)
   val artefact_name : artefact -> string
 
   (** All artefact-kind names, for diagnostics. *)
@@ -119,6 +127,7 @@ type value =
       (** [Speedup_over_naive], [Spec_over_static], [Code_growth] *)
   | Counts of int * int * int  (** [Spd_counts]: RAW, WAR, WAW *)
   | Dynamics of Pipeline.dynamics  (** [Spd_dynamics] *)
+  | Decisions of Spd_core.Heuristic.decision list  (** [Spd_decisions] *)
 
 (** Projections out of a {!value} outcome; raise [Invalid_argument]
     when the value kind does not match (a caller bug — [submit] always
@@ -128,6 +137,8 @@ val to_int : value outcome -> int outcome
 val to_float : value outcome -> float outcome
 val to_counts : value outcome -> (int * int * int) outcome
 val to_dynamics : value outcome -> Pipeline.dynamics outcome
+val to_decisions :
+  value outcome -> Spd_core.Heuristic.decision list outcome
 
 module Stats : sig
   type t = {
@@ -248,6 +259,9 @@ module Session : sig
   val spd_counts : t -> bench:string -> latency:int -> int * int * int
 
   val spd_dynamics : t -> bench:string -> latency:int -> Pipeline.dynamics
+
+  val spd_decisions :
+    t -> bench:string -> latency:int -> Spd_core.Heuristic.decision list
 
   val speedup_over_naive :
     t ->

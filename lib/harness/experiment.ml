@@ -14,4 +14,5 @@ let spec_over_static = Engine.Session.spec_over_static
 let spd_counts = Engine.Session.spd_counts
 let code_growth = Engine.Session.code_growth
 let spd_dynamics = Engine.Session.spd_dynamics
+let spd_decisions = Engine.Session.spd_decisions
 let failures = Engine.Session.failures

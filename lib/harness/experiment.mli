@@ -62,5 +62,11 @@ val code_growth : Engine.Session.t -> bench:string -> latency:int -> float
 val spd_dynamics :
   Engine.Session.t -> bench:string -> latency:int -> Pipeline.dynamics
 
+(** The guidance heuristic's full decision ledger for the SPEC
+    pipeline. *)
+val spd_decisions :
+  Engine.Session.t ->
+  bench:string -> latency:int -> Spd_core.Heuristic.decision list
+
 (** Every failure the session has recorded, sorted by cell key. *)
 val failures : Engine.Session.t -> Engine.failure list

@@ -110,7 +110,58 @@ type prepared = {
   prog : Prog.t;
   applications : Heuristic.application list;
       (** SpD applications performed (SPEC only) *)
+  decisions : Heuristic.decision list;
+      (** the heuristic's full decision ledger (SPEC only) *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Decision-ledger counters.  Registered lazily here and forced eagerly
+   by [spd serve], so a metrics snapshot carries them whether or not a
+   SPEC pipeline has been prepared yet. *)
+
+let rejection_labels =
+  [
+    "not-critical"; "not-applicable.arc-not-ambiguous";
+    "not-applicable.intervening-reference";
+    "not-applicable.address-unavailable"; "below-min-gain";
+    "max-applications"; "max-expansion";
+  ]
+
+let heuristic_counters =
+  lazy
+    (let c name = Spd_telemetry.Metrics.counter ("spd.heuristic." ^ name) in
+     ( c "candidates",
+       c "applied",
+       List.map (fun r -> (r, c ("rejected." ^ r))) rejection_labels ))
+
+(** Force registration of the [spd.heuristic.*] counters. *)
+let register_metrics () = ignore (Lazy.force heuristic_counters)
+
+(* the counter suffix for a rejection (metric names avoid ':') *)
+let rejection_label : Heuristic.verdict -> string option =
+  let module T = Spd_core.Transform in
+  function
+  | Heuristic.Applied -> None
+  | Heuristic.Rejected_not_critical -> Some "not-critical"
+  | Heuristic.Rejected_not_applicable T.Arc_not_ambiguous ->
+      Some "not-applicable.arc-not-ambiguous"
+  | Heuristic.Rejected_not_applicable T.Intervening_reference ->
+      Some "not-applicable.intervening-reference"
+  | Heuristic.Rejected_not_applicable T.Address_unavailable ->
+      Some "not-applicable.address-unavailable"
+  | Heuristic.Rejected_below_min_gain -> Some "below-min-gain"
+  | Heuristic.Rejected_max_applications -> Some "max-applications"
+  | Heuristic.Rejected_max_expansion -> Some "max-expansion"
+
+let observe_decisions (ds : Heuristic.decision list) =
+  let candidates, applied, rejected = Lazy.force heuristic_counters in
+  Spd_telemetry.Metrics.incr ~by:(List.length ds) candidates;
+  List.iter
+    (fun (d : Heuristic.decision) ->
+      match rejection_label d.verdict with
+      | None -> Spd_telemetry.Metrics.incr applied
+      | Some r -> Spd_telemetry.Metrics.incr (List.assoc r rejected))
+    ds
 
 (** Profile a program: run it once with instrumentation. *)
 let profile_of ?fuel ?deadline (prog : Prog.t) : Spd_sim.Profile.t =
@@ -151,24 +202,28 @@ let prepare ?(config = Config.default) (kind : kind) (lowered : Prog.t) :
      more ambiguous pairs to SpD *)
   let cleaned = if graft then Spd_analysis.Unroll.run cleaned else cleaned in
   let naive = Memarcs.annotate cleaned in
-  let prog, applications =
+  let prog, applications, decisions =
     match kind with
-    | Naive -> (naive, [])
-    | Static -> (time config Spd (fun () -> Static.run naive), [])
+    | Naive -> (naive, [], [])
+    | Static -> (time config Spd (fun () -> Static.run naive), [], [])
     | Spec ->
         let static = time config Spd (fun () -> Static.run naive) in
         let profile =
           time config Profile (fun () -> profile_of ?fuel ?deadline static)
         in
         let checker = if check then Some transform_checker else None in
-        time config Spd (fun () ->
-            Heuristic.run ~profile ?checker ?params:spd_params ~mem_latency
-              static)
+        let prog, apps, ds =
+          time config Spd (fun () ->
+              Heuristic.run ~profile ?checker ?params:spd_params ~mem_latency
+                static)
+        in
+        observe_decisions ds;
+        (prog, apps, ds)
     | Perfect ->
         let profile =
           time config Profile (fun () -> profile_of ?fuel ?deadline naive)
         in
-        (time config Spd (fun () -> Static.perfect ~profile naive), [])
+        (time config Spd (fun () -> Static.perfect ~profile naive), [], [])
   in
   Prog.validate prog;
   if check then begin
@@ -179,7 +234,7 @@ let prepare ?(config = Config.default) (kind : kind) (lowered : Prog.t) :
         (Behaviour_mismatch
            (Fmt.str "pipeline %s changed program behaviour" (name kind)))
   end;
-  { kind; config; mem_latency; prog; applications }
+  { kind; config; mem_latency; prog; applications; decisions }
 
 (** Cycle count of a prepared program on [width] functional units. *)
 let cycles (p : prepared) ~(width : Spd_machine.Descr.width) : int =

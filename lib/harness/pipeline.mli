@@ -82,7 +82,15 @@ type prepared = {
   mem_latency : int;
   prog : Spd_ir.Prog.t;
   applications : Heuristic.application list;
+  decisions : Heuristic.decision list;
+      (** the heuristic's full decision ledger (SPEC only) *)
 }
+
+(** Force registration of the [spd.heuristic.{candidates,applied,
+    rejected.<reason>}] counters, so a metrics snapshot carries them
+    before any SPEC pipeline fires them ([spd serve] calls this at
+    startup). *)
+val register_metrics : unit -> unit
 
 (** Profile a program: run it once with instrumentation. *)
 val profile_of :

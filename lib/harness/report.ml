@@ -377,6 +377,120 @@ let spd_dynamics_tables s =
   in
   List.map regions latencies @ [ totals ]
 
+(** Corpus-wide SpD opportunity statistics: the guidance heuristic's
+    decision ledger rolled up across the full workload grid — per
+    workload × latency the candidate and applied counts, the acceptance
+    rate, the gain distribution, and the rejection-reason histogram. *)
+let spd_decisions_tables s =
+  let module H = Spd_core.Heuristic in
+  warm s
+    (fun (bench, latency) ->
+      ignore (submit s ~bench ~latency Query.Spd_decisions))
+    (product (benches ()) latencies);
+  let ledger ~bench ~latency =
+    Engine.to_decisions (submit s ~bench ~latency Query.Spd_decisions)
+  in
+  (* short column headers for the rejection verdicts; the notes map
+     them back to the full machine-readable strings *)
+  let reasons =
+    [
+      ("not-crit", "rejected:not-critical");
+      ("not-ambig", "rejected:not-applicable:arc-not-ambiguous");
+      ("interv", "rejected:not-applicable:intervening-reference");
+      ("addr-na", "rejected:not-applicable:address-unavailable");
+      ("min-gain", "rejected:below-min-gain");
+      ("max-apps", "rejected:max-applications");
+      ("max-exp", "rejected:max-expansion");
+    ]
+  in
+  let summary latency =
+    let rows =
+      List.map
+        (fun bench ->
+          match ledger ~bench ~latency with
+          | Engine.Failed _ ->
+              Table.row bench
+                [ Table.Na; Table.Na; Table.Na; Table.Na; Table.Na ]
+          | Engine.Ok ds ->
+              let total = List.length ds in
+              let applied = List.length (H.applied_decisions ds) in
+              let gains = List.map (fun (d : H.decision) -> d.gain) ds in
+              let gsum = List.fold_left ( +. ) 0.0 gains in
+              let gmax = List.fold_left max neg_infinity gains in
+              Table.row bench
+                (Table.Int total :: Table.Int applied
+                ::
+                (if total = 0 then [ Table.Na; Table.Na; Table.Na ]
+                 else
+                   [
+                     Table.Pct
+                       (float_of_int applied /. float_of_int total);
+                     Table.Num (gsum /. float_of_int total);
+                     Table.Num gmax;
+                   ])))
+        (benches ())
+    in
+    Table.v
+      ~id:(Printf.sprintf "spd_decisions.lat%d" latency)
+      ~title:
+        (Printf.sprintf
+           "SpD opportunity statistics: heuristic decisions (%d cycle \
+            memory latency)"
+           latency)
+      ~notes:
+        [
+          "candidates: ambiguous arcs the guidance heuristic judged;";
+          "gain mean/max: distribution of predicted Gain() over all \
+           candidates";
+        ]
+      ~label_header:"Program"
+      ~columns:[ "Cands"; "Applied"; "Accept"; "Gain mean"; "Gain max" ]
+      rows
+  in
+  let histogram latency =
+    let totals = Array.make (List.length reasons) 0 in
+    let rows =
+      List.map
+        (fun bench ->
+          match ledger ~bench ~latency with
+          | Engine.Failed _ ->
+              Table.row bench (List.map (fun _ -> Table.Na) reasons)
+          | Engine.Ok ds ->
+              let hist = H.rejection_histogram ds in
+              Table.row bench
+                (List.mapi
+                   (fun i (_, verdict) ->
+                     let n =
+                       Option.value ~default:0 (List.assoc_opt verdict hist)
+                     in
+                     totals.(i) <- totals.(i) + n;
+                     Table.Int n)
+                   reasons))
+        (benches ())
+    in
+    Table.v
+      ~id:(Printf.sprintf "spd_decisions.rejections.lat%d" latency)
+      ~title:
+        (Printf.sprintf
+           "SpD opportunity statistics: rejection reasons (%d cycle \
+            memory latency)"
+           latency)
+      ~notes:
+        (List.map
+           (fun (short, verdict) ->
+             Printf.sprintf "%s: %s" short verdict)
+           reasons)
+      ~label_header:"Program"
+      ~columns:(List.map fst reasons)
+      ~footers:
+        [
+          Table.row "TOTAL"
+            (List.map (fun v -> Table.Int v) (Array.to_list totals));
+        ]
+      rows
+  in
+  List.concat_map (fun latency -> [ summary latency; histogram latency ]) latencies
+
 (** Engine report: per-stage wall clock and the session's counters.
     Seconds are wall-clock, hence run-dependent; the counter table is
     deterministic (and excludes the job count, see {!Engine.Stats}). *)

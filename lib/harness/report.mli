@@ -50,6 +50,12 @@ val fig6_4_tables : Engine.Session.t -> Table.t list
     guarded operations. *)
 val spd_dynamics_tables : Engine.Session.t -> Table.t list
 
+(** Corpus-wide SpD opportunity statistics: the guidance heuristic's
+    decision ledger rolled up across the full workload grid — per
+    workload × latency the candidate and applied counts, acceptance
+    rate, gain distribution and rejection-reason histogram. *)
+val spd_decisions_tables : Engine.Session.t -> Table.t list
+
 (** Engine per-stage wall clock and session counters.  Seconds are
     run-dependent; the counter table is deterministic. *)
 val timings_tables : Engine.Session.t -> Table.t list

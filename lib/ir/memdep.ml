@@ -21,11 +21,16 @@ type status =
   | Ambiguous of float option
   | Removed of removal
 
+type ambiguity = Opaque_base | Banerjee_inconclusive | Solution_counted
+
 type t = {
   src : int;  (** instruction id of the earlier reference *)
   dst : int;  (** instruction id of the later reference *)
   kind : kind;
   status : status;
+  why : ambiguity option;
+      (** for [Ambiguous] arcs that survived static disambiguation: which
+          test left the pair ambiguous *)
 }
 
 let kind_of_ops ~(src_is_store : bool) ~(dst_is_store : bool) =
@@ -54,6 +59,14 @@ let pp_removal ppf = function
   | By_static -> Fmt.string ppf "static"
   | By_perfect -> Fmt.string ppf "perfect"
   | By_spd -> Fmt.string ppf "spd"
+
+(** Stable machine-readable name, used by the decision-ledger schema. *)
+let ambiguity_name = function
+  | Opaque_base -> "opaque-base"
+  | Banerjee_inconclusive -> "banerjee-inconclusive"
+  | Solution_counted -> "solution-counted"
+
+let pp_ambiguity ppf a = Fmt.string ppf (ambiguity_name a)
 
 let pp_status ppf = function
   | Must -> Fmt.string ppf "must"

@@ -15,7 +15,22 @@
 type kind = Raw | War | Waw
 type removal = By_static | By_perfect | By_spd
 type status = Must | Ambiguous of float option | Removed of removal
-type t = { src : int; dst : int; kind : kind; status : status; }
+
+(** Why static disambiguation left an arc [Ambiguous]: the references
+    have statically incomparable bases ([Opaque_base]); they share a
+    base but the Banerjee bounds could not prove independence and no
+    probability could be counted ([Banerjee_inconclusive]); or the
+    alias probability was estimated by counting integer solutions of
+    the subscript equation ([Solution_counted]). *)
+type ambiguity = Opaque_base | Banerjee_inconclusive | Solution_counted
+
+type t = {
+  src : int;
+  dst : int;
+  kind : kind;
+  status : status;
+  why : ambiguity option;
+}
 val kind_of_ops : src_is_store:bool -> dst_is_store:bool -> kind
 val is_active : t -> bool
 val is_ambiguous : t -> bool
@@ -28,5 +43,12 @@ val is_ambiguous : t -> bool
 val weight : mem_latency:int -> t -> int
 val pp_kind : Format.formatter -> kind -> unit
 val pp_removal : Format.formatter -> removal -> unit
+
+(** Stable machine-readable name of an ambiguity reason
+    (["opaque-base"], ["banerjee-inconclusive"], ["solution-counted"]),
+    used by the [spd-decisions/1] schema. *)
+val ambiguity_name : ambiguity -> string
+
+val pp_ambiguity : Format.formatter -> ambiguity -> unit
 val pp_status : Format.formatter -> status -> unit
 val pp : Format.formatter -> t -> unit

@@ -41,6 +41,7 @@ module Query = Spd_harness.Engine.Query
 module Pipeline = Spd_harness.Pipeline
 module Artefact = Spd_harness.Artefact
 module Explain = Spd_harness.Explain
+module Why = Spd_harness.Why
 module Microbench = Spd_harness.Microbench
 module Faults = Spd_harness.Faults
 
@@ -48,7 +49,7 @@ let version = "1.1"
 
 let methods =
   [
-    "ping"; "health"; "query"; "report"; "explain"; "micro"; "run";
+    "ping"; "health"; "query"; "report"; "explain"; "why"; "micro"; "run";
     "metrics"; "metrics_prom"; "stats"; "shutdown";
   ]
 
@@ -264,6 +265,7 @@ let query_of_params p =
     | "code-size" -> Query.Code_size (kind_for "code-size")
     | "spd-counts" -> Query.Spd_counts
     | "spd-dynamics" -> Query.Spd_dynamics
+    | "spd-decisions" -> Query.Spd_decisions
     | "speedup-over-naive" ->
         Query.Speedup_over_naive
           {
@@ -310,6 +312,20 @@ let value_json : Engine.value -> Json.t = function
       Json.Obj
         [ ("raw", Json.Int raw); ("war", Json.Int war); ("waw", Json.Int waw) ]
   | Engine.Dynamics d -> dynamics_json d
+  | Engine.Decisions ds ->
+      (* ledger entries with their tree coordinates inlined; the [why]
+         method serves the same entries grouped per tree *)
+      Json.List
+        (List.map
+           (fun (d : Spd_core.Heuristic.decision) ->
+             match Why.decision_json d with
+             | Json.Obj fields ->
+                 Json.Obj
+                   (("func", Json.String d.func)
+                   :: ("tree", Json.Int d.tree_id)
+                   :: fields)
+             | j -> j)
+           ds)
 
 (* ------------------------------------------------------------------ *)
 (* Method dispatch.  Every result is either one of the repository's
@@ -418,6 +434,20 @@ let dispatch t meth params : Json.t =
       if Explain.selected ?fn ?tree e = [] then
         bad "no tree of %S matches the fn/tree filter" workload;
       Explain.to_json ?fn ?tree e
+  | "why" ->
+      let workload = req_string "workload" p in
+      require_workload workload;
+      let mem_latency =
+        Option.value ~default:2 (opt_pos_int "mem_latency" p)
+      in
+      let fn = opt_string "fn" p in
+      let tree = opt_nat "tree" p in
+      let w = Why.analyze ~mem_latency t.session workload in
+      (* an empty ledger is a valid answer; only a filter that matches
+         nothing is a caller error *)
+      if (fn <> None || tree <> None) && Why.selected ?fn ?tree w = [] then
+        bad "no ledger entry of %S matches the fn/tree filter" workload;
+      Why.to_json ?fn ?tree w
   | "micro" ->
       let workloads = opt_string_list "workloads" p in
       Option.iter (List.iter require_workload) workloads;
@@ -957,6 +987,10 @@ let start ?(workers = 4) ?(conn_timeout = 30.0) ?(drain_deadline = 10.0)
   ignore (Lazy.force m_worker_restart);
   ignore (Lazy.force m_rejected);
   ignore (Lazy.force m_rpc_latency);
+  (* harness-level counters too: the heuristic-decision and disk-cache
+     families must appear in scrapes before the first cell computes *)
+  Pipeline.register_metrics ();
+  Engine.register_metrics ();
   let t =
     {
       addr;

@@ -23,8 +23,9 @@
     [spd.serve.admission.rejected]); {!stop} drains in-flight requests
     under a deadline instead of dropping them.
 
-    Methods: [ping], [health], [query], [report], [explain], [micro],
-    [run], [metrics], [metrics_prom], [stats], [shutdown].  [report]
+    Methods: [ping], [health], [query], [report], [explain], [why],
+    [micro], [run], [metrics], [metrics_prom], [stats], [shutdown].
+    [report]
     responses reuse {!Spd_harness.Artefact.to_json} verbatim, which is
     what makes a served report byte-identical to [spd report --format
     json] (modulo the run-dependent ["metrics"] member).

@@ -48,15 +48,34 @@ let gain ?profile ~mem_latency ~func (tree : Tree.t) (arc : Memdep.t) : float
   expected_time ?profile ~mem_latency ~func tree
   -. expected_time ?profile ~mem_latency ~func ~without:arc tree
 
+(** One evaluated candidate: an ambiguous arc with the expected time
+    of the tree with and without it, and the resulting predicted gain
+    ([before -. after]). *)
+type candidate = {
+  arc : Memdep.t;
+  before : float;
+  after : float;
+  gain : float;
+}
+
+(** Every ambiguous arc of [tree], evaluated — the decision ledger's
+    raw material.  [before] is computed once and shared; the list is in
+    [Tree.ambiguous_arcs] order (program order), which keeps everything
+    derived from it deterministic. *)
+let candidates ?profile ~mem_latency ~func (tree : Tree.t) : candidate list =
+  let before = expected_time ?profile ~mem_latency ~func tree in
+  List.map
+    (fun arc ->
+      let after =
+        expected_time ?profile ~mem_latency ~func ~without:arc tree
+      in
+      { arc; before; after; gain = before -. after })
+    (Tree.ambiguous_arcs tree)
+
 (** The ambiguous arcs on a critical path: those whose removal reduces the
     expected traversal time (the paper's [CriticalAlias]). *)
 let critical_aliases ?profile ~mem_latency ~func (tree : Tree.t) :
     (Memdep.t * float) list =
-  let base = expected_time ?profile ~mem_latency ~func tree in
   List.filter_map
-    (fun arc ->
-      let g =
-        base -. expected_time ?profile ~mem_latency ~func ~without:arc tree
-      in
-      if g > 0.0 then Some (arc, g) else None)
-    (Tree.ambiguous_arcs tree)
+    (fun c -> if c.gain > 0.0 then Some (c.arc, c.gain) else None)
+    (candidates ?profile ~mem_latency ~func tree)

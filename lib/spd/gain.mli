@@ -24,6 +24,23 @@ val gain :
   ?profile:Spd_sim.Profile.t ->
   mem_latency:int -> func:string -> Spd_ir.Tree.t -> Spd_ir.Memdep.t -> float
 
+(** One evaluated candidate: an ambiguous arc with the expected time
+    of the tree with and without it, and the resulting predicted gain
+    ([before -. after]). *)
+type candidate = {
+  arc : Spd_ir.Memdep.t;
+  before : float;
+  after : float;
+  gain : float;
+}
+
+(** Every ambiguous arc of [tree], evaluated — the decision ledger's
+    raw material.  The list is in [Tree.ambiguous_arcs] order (program
+    order), which keeps everything derived from it deterministic. *)
+val candidates :
+  ?profile:Spd_sim.Profile.t ->
+  mem_latency:int -> func:string -> Spd_ir.Tree.t -> candidate list
+
 (** The ambiguous arcs on a critical path: those whose removal reduces the
     expected traversal time (the paper's [CriticalAlias]). *)
 val critical_aliases :

@@ -34,19 +34,71 @@ type application = {
 type checker =
   func:string -> before:Spd_ir.Tree.t -> application -> Spd_ir.Tree.t -> unit
 
+(** The fate of one candidate ambiguous arc.  Every candidate the
+    heuristic ever considered receives exactly one verdict: [Applied],
+    or a rejection carrying the machine-readable reason the arc was
+    left in place. *)
+type verdict =
+  | Applied
+  | Rejected_not_critical
+      (** removing the arc does not shorten the expected critical path *)
+  | Rejected_not_applicable of Transform.not_applicable
+  | Rejected_below_min_gain
+  | Rejected_max_applications
+  | Rejected_max_expansion
+
+(** Stable machine-readable verdict string (["applied"] or
+    ["rejected:<reason>"]), used by the [spd-decisions/1] schema and
+    the [spd.heuristic.*] counters. *)
+val verdict_name : verdict -> string
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** One ledger entry: a candidate ambiguous arc, the [Gain()] numbers
+    it was judged on, the budgets in force, and the verdict.  The
+    ledger partitions the candidates exactly: applied entries appear
+    in application order (matching the returned [application] list
+    one-for-one), and every ambiguous arc left in the final tree
+    appears once as a rejected entry, judged where the heuristic
+    stopped. *)
+type decision = {
+  func : string;
+  tree_id : int;
+  kind : Spd_ir.Memdep.kind;
+  arc : int * int;
+  ambiguity : Spd_ir.Memdep.ambiguity option;
+      (** which static test left the arc ambiguous *)
+  before : float;  (** expected traversal time with the arc in place *)
+  after : float;  (** expected traversal time without the arc *)
+  gain : float;  (** [before -. after], compared against [min_gain] *)
+  min_gain : float;
+  tree_size : int;  (** tree size when the candidate was judged *)
+  max_size : int;  (** the [max_expansion] budget, in instructions *)
+  verdict : verdict;
+  profiled : bool;  (** exit weights from a profile, not uniform *)
+}
+
 val run_tree :
   ?profile:Spd_sim.Profile.t ->
   ?checker:checker ->
   params:params ->
   mem_latency:int ->
-  func:string -> Spd_ir.Tree.t -> Spd_ir.Tree.t * application list
+  func:string ->
+  Spd_ir.Tree.t -> Spd_ir.Tree.t * application list * decision list
 
 (** Apply the heuristic to every tree of the program. *)
 val run :
   ?profile:Spd_sim.Profile.t ->
   ?checker:checker ->
   ?params:params ->
-  mem_latency:int -> Spd_ir.Prog.t -> Spd_ir.Prog.t * application list
+  mem_latency:int ->
+  Spd_ir.Prog.t -> Spd_ir.Prog.t * application list * decision list
 
 (** Tally applications by dependence kind: the row format of Table 6-3. *)
 val count_by_kind : application list -> int * int * int
+
+(** Applied ledger entries, in application order. *)
+val applied_decisions : decision list -> decision list
+
+(** Rejection-reason histogram of a ledger, sorted by reason name. *)
+val rejection_histogram : decision list -> (string * int) list

@@ -430,7 +430,13 @@ let apply_war (tree : Tree.t) (arc : Memdep.t) : Tree.t * Reg.t * provenance
   (* L3 must read before S1 may write, and inherits S1's alias
      relationships with other stores (paper section 4.4) *)
   let l3_arcs =
-    { Memdep.src = l3.id; dst = s1.id; kind = Memdep.War; status = Memdep.Must }
+    {
+      Memdep.src = l3.id;
+      dst = s1.id;
+      kind = Memdep.War;
+      status = Memdep.Must;
+      why = None;
+    }
     :: List.filter_map
          (fun (other : Memdep.t) ->
            if other.dst = arc.dst && other.kind = Memdep.Waw then

@@ -2,7 +2,8 @@
     JSON document, using the repository's own parser — the same one the
     test suite uses on trace and report output.  Documents carrying a
     known [schema] key ([spd-explain/1], [spd-bench-diff/1],
-    [spd-micro/1]) are additionally checked structurally.  Exits
+    [spd-micro/1], [spd-decisions/1], [spd-cache/1]) are additionally
+    checked structurally.  Exits
     nonzero on the first malformed file (see [make check]). *)
 
 module Json = Spd_telemetry.Json
@@ -120,6 +121,97 @@ let check_micro doc =
             bad "%s.%s: non-positive throughput" name stage)
         [ "compile"; "schedule"; "simulate"; "e2e" ])
     workloads
+
+(* spd-decisions/1: the guidance heuristic's decision ledger, in both
+   its forms at once — aggregate counts plus per-tree decision lists —
+   so the two cannot disagree. *)
+let check_decision d =
+  let (_ : int) = require_int "src" d in
+  let (_ : int) = require_int "dst" d in
+  let kind = require_string "kind" d in
+  if not (List.mem kind [ "raw"; "war"; "waw" ]) then
+    bad "unknown dependence kind %S" kind;
+  (match require_member "ambiguity" d with
+  | Json.Null | Json.String _ -> ()
+  | _ -> bad "\"ambiguity\" is neither a string nor null");
+  let (_ : float) = require_number "before" d in
+  let (_ : float) = require_number "after" d in
+  let (_ : float) = require_number "gain" d in
+  let (_ : float) = require_number "min_gain" d in
+  if require_int "tree_size" d < 1 then bad "tree_size < 1";
+  if require_int "max_size" d < 1 then bad "max_size < 1";
+  let profile = require_string "profile" d in
+  if profile <> "profiled" && profile <> "uniform" then
+    bad "unknown profile provenance %S" profile;
+  let verdict = require_string "verdict" d in
+  let rejected =
+    String.length verdict > 9 && String.sub verdict 0 9 = "rejected:"
+  in
+  if verdict <> "applied" && not rejected then
+    bad "malformed verdict %S" verdict;
+  verdict
+
+let check_decisions doc =
+  let (_ : string) = require_string "workload" doc in
+  let (_ : int) = require_int "mem_latency" doc in
+  let candidates = require_int "candidates" doc in
+  let applied = require_int "applied" doc in
+  let rejected = require_int "rejected" doc in
+  if applied < 0 || rejected < 0 then bad "negative counter";
+  if candidates <> applied + rejected then
+    bad "%d candidates but %d applied + %d rejected" candidates applied
+      rejected;
+  let rejections =
+    match require_member "rejections" doc with
+    | Json.Obj kvs -> kvs
+    | _ -> bad "\"rejections\" is not an object"
+  in
+  let histogram_total =
+    List.fold_left
+      (fun acc (reason, v) ->
+        if
+          String.length reason <= 9 || String.sub reason 0 9 <> "rejected:"
+        then bad "histogram key %S is not a rejection verdict" reason;
+        match Json.to_number v with
+        | Some n when Float.is_integer n -> acc + int_of_float n
+        | _ -> bad "histogram count for %S is not an integer" reason)
+      0 rejections
+  in
+  if histogram_total <> rejected then
+    bad "rejection histogram sums to %d, not %d" histogram_total rejected;
+  let trees = require_list "trees" doc in
+  let counted =
+    List.fold_left
+      (fun (acc_total, acc_applied) tree ->
+        let (_ : string) = require_string "func" tree in
+        let (_ : int) = require_int "tree" tree in
+        let n = require_int "candidates" tree in
+        let decisions = require_list "decisions" tree in
+        if List.length decisions <> n then
+          bad "tree claims %d candidates but lists %d decisions" n
+            (List.length decisions);
+        let applied_here =
+          List.fold_left
+            (fun a d -> if check_decision d = "applied" then a + 1 else a)
+            0 decisions
+        in
+        (acc_total + n, acc_applied + applied_here))
+      (0, 0) trees
+  in
+  if fst counted <> candidates then
+    bad "per-tree candidates sum to %d, not %d" (fst counted) candidates;
+  if snd counted <> applied then
+    bad "per-tree applied decisions sum to %d, not %d" (snd counted) applied
+
+(* spd-cache/1: the [spd cache stats --json] snapshot. *)
+let check_cache doc =
+  let (_ : string) = require_string "dir" doc in
+  let (_ : string) = require_string "version" doc in
+  if require_int "entries" doc < 0 then bad "negative entry count";
+  if require_int "bytes" doc < 0 then bad "negative byte count";
+  List.iter
+    (fun key -> if require_int key doc < 0 then bad "negative %S" key)
+    [ "hits"; "misses"; "evictions" ]
 
 (* spd-serve/1: the daemon's own response documents, discriminated by
    their "kind" member *)
@@ -241,6 +333,8 @@ let check_schema doc =
   | Some "spd-explain/1" -> check_explain doc; Some "spd-explain/1"
   | Some "spd-bench-diff/1" -> check_bench_diff doc; Some "spd-bench-diff/1"
   | Some "spd-micro/1" -> check_micro doc; Some "spd-micro/1"
+  | Some "spd-decisions/1" -> check_decisions doc; Some "spd-decisions/1"
+  | Some "spd-cache/1" -> check_cache doc; Some "spd-cache/1"
   | Some "spd-serve/1" -> check_serve doc; Some "spd-serve/1"
   | Some "spd-log/1" -> check_log_record doc; Some "spd-log/1"
   | _ ->

@@ -7,6 +7,8 @@
       issued, and their p95 is sane,
     - the Prometheus exposition round-trips: cumulative buckets are
       monotone and the [+Inf] bucket equals [_count],
+    - the served [why] decision ledger is byte-identical to the
+      [spd why --format json] CLI document,
     - [spd top --count 1] renders one dashboard frame,
     - after shutdown, the [--log] file is valid spd-log/1 JSON-lines
       whose [rpc] records carry rids, and the [--trace] profile has an
@@ -220,6 +222,28 @@ let () =
       | Some p95 when p95 >= 0.0 && p95 < 30.0 -> ()
       | Some p95 -> die "query p95 %g out of range" p95
       | None -> die "query p95 missing"));
+
+  (* the served [why] ledger must agree byte-for-byte with the CLI's
+     [spd why --format json] document (the envelope's rid lives outside
+     the result, so the result IS the bare spd-decisions/1 document) *)
+  let served_why =
+    call_ok c "why"
+      (Json.Obj
+         [ ("workload", Json.String "perm"); ("mem_latency", Json.Int 2) ])
+  in
+  let served_why_s = Json.to_string served_why in
+  write_file (Filename.concat !smoke_dir "spd_obs_why.json") served_why_s;
+  let cli_why =
+    String.trim
+      (capture
+         [|
+           !spd; "why"; "perm"; "--mem-latency"; "2"; "--no-cache";
+           "--format"; "json";
+         |])
+  in
+  if served_why_s <> cli_why then
+    die "served why differs from the CLI document:\n%s\nvs\n%s" served_why_s
+      cli_why;
 
   (* a raw envelope, saved for json_lint: must echo a rid *)
   let envelope =

@@ -156,7 +156,10 @@ let test_ddg_arc_weights () =
   let c = Insn.make ~id:0 (Opcode.Const (Value.Int 100)) ~dst:(Some 1) ~srcs:[] in
   let st = Insn.make ~id:1 Opcode.Store ~dst:None ~srcs:[ 1; 1 ] in
   let ld = Insn.make ~id:2 Opcode.Load ~dst:(Some 2) ~srcs:[ 1 ] in
-  let arc = { Memdep.src = 1; dst = 2; kind = Memdep.Raw; status = Memdep.Ambiguous None } in
+  let arc =
+    { Memdep.src = 1; dst = 2; kind = Memdep.Raw;
+      status = Memdep.Ambiguous None; why = None }
+  in
   let tree =
     Tree.make ~id:0 ~name:"raw" ~params:[]
       ~insns:[| c; st; ld |]

@@ -353,6 +353,78 @@ let test_query_quota_isolation () =
          f.Engine.key = "moment/2/SPEC/cycles/fus4+fuel=1")
        (Engine.Session.failures s))
 
+(* ------------------------------------------------------------------ *)
+(* The decision ledger through the engine (spd why) *)
+
+(* the spd-decisions/1 document exactly as `spd why --format json`
+   prints it *)
+let why_json ?fn ?tree s workload =
+  Spd_telemetry.Json.to_string
+    (H.Why.to_json ?fn ?tree (H.Why.analyze ~mem_latency:2 s workload))
+
+(* The why document is deterministic: byte-identical across job counts
+   and across a cold and a warm on-disk cache. *)
+let test_why_json_deterministic () =
+  let j1 =
+    with_session (Engine.Session.create ~jobs:1 ()) (fun s ->
+        why_json s "perm")
+  in
+  let j4 =
+    with_session (Engine.Session.create ~jobs:4 ()) (fun s ->
+        why_json s "perm")
+  in
+  check_bool "why JSON bit-identical across jobs" true (String.equal j1 j4);
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "spd_why_cache_test_%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let cold =
+    with_session
+      (Engine.Session.create ~jobs:2 ~disk_cache:true ~cache_dir:dir ())
+      (fun s -> why_json s "perm")
+  in
+  let s2 = Engine.Session.create ~jobs:2 ~disk_cache:true ~cache_dir:dir () in
+  let warm = with_session s2 (fun s -> why_json s "perm") in
+  check_int "warm why: zero pipeline recomputations" 0
+    (Engine.Session.stats s2).Engine.Stats.preparations;
+  check_bool "warm why byte-identical to cold" true (String.equal cold warm);
+  check_bool "why = uncached CLI baseline" true (String.equal j1 cold)
+
+(* The ledger cell, the spd-counts cell and the report rollup agree:
+   three surfaces, one underlying ledger. *)
+let test_why_agrees_with_counts () =
+  with_session (Engine.Session.create ~jobs:2 ()) @@ fun s ->
+  List.iter
+    (fun latency ->
+      List.iter
+        (fun bench ->
+          let ds = H.Experiment.spd_decisions s ~bench ~latency in
+          let applied = Spd_core.Heuristic.applied_decisions ds in
+          let row =
+            List.fold_left
+              (fun (r, w, o) (d : Spd_core.Heuristic.decision) ->
+                match d.kind with
+                | Spd_ir.Memdep.Raw -> (r + 1, w, o)
+                | Spd_ir.Memdep.War -> (r, w + 1, o)
+                | Spd_ir.Memdep.Waw -> (r, w, o + 1))
+              (0, 0, 0) applied
+          in
+          check_bool
+            (Printf.sprintf "%s/lat%d: ledger row = spd-counts row" bench
+               latency)
+            true
+            (row = H.Experiment.spd_counts s ~bench ~latency))
+        (H.Report.benches ()))
+    [ 2; 6 ];
+  (* the aggregate artefact is registered and builds from the same
+     cells *)
+  check_bool "spd-decisions artefact registered" true
+    (H.Artefact.find "spd-decisions" <> None);
+  check_bool "spd-decisions tables non-empty" true
+    (H.Report.spd_decisions_tables s <> [])
+
 (* the flag parsers shared by bin/spd, bench/main and the daemon *)
 let test_cliflags () =
   let module C = H.Cliflags in
@@ -391,4 +463,6 @@ let tests =
     case "Stats.pp stable across jobs" test_stats_pp_stable_across_jobs;
     case "spd-dynamics counters" test_spd_dynamics_counts;
     case "engine on-disk cache" test_engine_disk_cache;
+    case "why JSON deterministic (jobs, cache)" test_why_json_deterministic;
+    case "why ledger = spd-counts row" test_why_agrees_with_counts;
   ]

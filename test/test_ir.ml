@@ -169,7 +169,9 @@ let test_validate_failures () =
   let ld id dst addr = Insn.make ~id Opcode.Load ~dst:(Some dst) ~srcs:[ addr ] in
   let st id addr v = Insn.make ~id Opcode.Store ~dst:None ~srcs:[ addr; v ] in
   let insns = [ c 0 1; ld 1 2 1; st 2 1 2 ] in
-  let arc src dst kind = { Memdep.src; dst; kind; status = Memdep.Ambiguous None } in
+  let arc src dst kind =
+    { Memdep.src; dst; kind; status = Memdep.Ambiguous None; why = None }
+  in
   Tree.validate (mk_tree ~arcs:[ arc 1 2 Memdep.War ] insns [ ret ]);
   expect_invalid "arc not in program order"
     (mk_tree ~arcs:[ arc 2 1 Memdep.Raw ] insns [ ret ]);
@@ -196,7 +198,7 @@ let test_memdep () =
   (match Memdep.kind_of_ops ~src_is_store:false ~dst_is_store:false with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "load-load pair accepted");
-  let arc kind status = { Memdep.src = 0; dst = 1; kind; status } in
+  let arc kind status = { Memdep.src = 0; dst = 1; kind; status; why = None } in
   check_int "raw weight is the memory latency" 6
     (Memdep.weight ~mem_latency:6 (arc Memdep.Raw Memdep.Must));
   check_int "war weight is issue-order only" 1

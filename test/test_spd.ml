@@ -285,7 +285,7 @@ let test_max_expansion () =
     { Core.Heuristic.default_params with max_expansion = 1.05 }
   in
   let before = Ir.Prog.code_size static in
-  let after, _ =
+  let after, _, _ =
     Core.Heuristic.run ~params ~mem_latency:2 static
   in
   let after_size = Ir.Prog.code_size after in
@@ -413,4 +413,139 @@ let later_tests =
     case "cost model" test_cost_model_reported;
   ]
 
-let tests = tests @ later_tests
+(* ------------------------------------------------------------------ *)
+(* Decision ledger *)
+
+let qcase = QCheck_alcotest.to_alcotest
+
+(* The ledger must partition the candidates exactly: applied entries
+   match the returned application list one-for-one (coordinates, kind,
+   gain, order), their count_by_kind reproduces the Table 6-3 row, and
+   every ambiguous arc left in the final program appears exactly once
+   as a rejected entry carrying a machine-readable reason. *)
+let check_ledger_invariants ~what prog applications decisions =
+  let module H = Core.Heuristic in
+  let applied = H.applied_decisions decisions in
+  check_int
+    (what ^ ": applied ledger entries = returned applications")
+    (List.length applications) (List.length applied);
+  List.iter2
+    (fun (a : H.application) (d : H.decision) ->
+      check_string (what ^ ": applied func") a.func d.func;
+      check_int (what ^ ": applied tree") a.tree_id d.tree_id;
+      check_bool (what ^ ": applied arc+kind") true
+        (a.arc = d.arc && a.kind = d.kind);
+      check_close (what ^ ": applied gain") a.predicted_gain d.gain)
+    applications applied;
+  (* the Table 6-3 row is recoverable from the ledger alone *)
+  let kind_row ds =
+    List.fold_left
+      (fun (r, w, o) (d : H.decision) ->
+        match d.kind with
+        | Ir.Memdep.Raw -> (r + 1, w, o)
+        | Ir.Memdep.War -> (r, w + 1, o)
+        | Ir.Memdep.Waw -> (r, w, o + 1))
+      (0, 0, 0) ds
+  in
+  check_bool (what ^ ": count_by_kind matches ledger") true
+    (H.count_by_kind applications = kind_row applied);
+  (* every rejection carries a machine-readable reason *)
+  let rejected =
+    List.filter (fun (d : H.decision) -> d.verdict <> H.Applied) decisions
+  in
+  List.iter
+    (fun (d : H.decision) ->
+      let name = H.verdict_name d.verdict in
+      check_bool
+        (what ^ ": rejection reason machine-readable (" ^ name ^ ")")
+        true
+        (String.length name > 9 && String.sub name 0 9 = "rejected:"))
+    rejected;
+  (* the rejected entries are exactly the surviving ambiguous arcs *)
+  let coords ds =
+    List.sort compare
+      (List.map
+         (fun (d : H.decision) -> (d.func, d.tree_id, fst d.arc, snd d.arc))
+         ds)
+  in
+  let surviving = ref [] in
+  Ir.Prog.iter_trees
+    (fun func (t : Ir.Tree.t) ->
+      List.iter
+        (fun (a : Ir.Memdep.t) ->
+          surviving := (func, t.id, a.src, a.dst) :: !surviving)
+        (Ir.Tree.ambiguous_arcs t))
+    prog;
+  check_bool (what ^ ": rejected = surviving ambiguous arcs") true
+    (coords rejected = List.sort compare !surviving)
+
+(* The partition invariant over every paper workload at both memory
+   latencies — the acceptance criterion that the ledger's applied
+   entries reproduce the Table 6-3 counts exactly. *)
+let test_ledger_partition_workloads () =
+  List.iter
+    (fun (w : Spd_workloads.Workload.t) ->
+      List.iter
+        (fun mem_latency ->
+          let p =
+            Harness.Pipeline.prepare
+              ~config:(Harness.Pipeline.Config.v ~mem_latency ())
+              Harness.Pipeline.Spec
+              (compile w.source)
+          in
+          check_ledger_invariants
+            ~what:(Printf.sprintf "%s/lat%d" w.name mem_latency)
+            p.Harness.Pipeline.prog p.Harness.Pipeline.applications
+            p.Harness.Pipeline.decisions)
+        [ 2; 6 ])
+    Spd_workloads.Registry.all
+
+(* The same invariant under arbitrary heuristic budgets: whatever the
+   MinGain / MaxExpansion / max_applications knobs, the ledger stays an
+   exact partition of the candidates. *)
+let prop_ledger_partition_params =
+  QCheck.Test.make ~name:"ledger partitions candidates (random params)"
+    ~count:25
+    QCheck.(triple (int_range 100 400) (int_range 0 300) (int_range 0 8))
+    (fun (exp100, gain100, max_applications) ->
+      let params =
+        {
+          Core.Heuristic.max_expansion = float_of_int exp100 /. 100.0;
+          min_gain = float_of_int gain100 /. 100.0;
+          max_applications;
+        }
+      in
+      let static =
+        Disambig.Static_disambig.run (Analysis.Memarcs.annotate (lowered ()))
+      in
+      let prog, apps, ledger =
+        Core.Heuristic.run ~params ~mem_latency:2 static
+      in
+      check_ledger_invariants
+        ~what:
+          (Printf.sprintf "params(%d,%d,%d)" exp100 gain100 max_applications)
+        prog apps ledger;
+      true)
+
+(* Every ambiguous arc reaching the heuristic carries its
+   static-disambiguation provenance. *)
+let test_ledger_ambiguity_provenance () =
+  let static =
+    Disambig.Static_disambig.run (Analysis.Memarcs.annotate (lowered ()))
+  in
+  let _, _, ledger = Core.Heuristic.run ~mem_latency:2 static in
+  check_bool "ledger is non-empty" true (ledger <> []);
+  List.iter
+    (fun (d : Core.Heuristic.decision) ->
+      check_bool "decision carries an ambiguity reason" true
+        (d.ambiguity <> None))
+    ledger
+
+let ledger_tests =
+  [
+    case "ledger partition on all workloads" test_ledger_partition_workloads;
+    qcase prop_ledger_partition_params;
+    case "ledger ambiguity provenance" test_ledger_ambiguity_provenance;
+  ]
+
+let tests = tests @ later_tests @ ledger_tests
