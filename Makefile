@@ -1,15 +1,17 @@
 # Convenience targets; `make check` is the CI entry point: full build,
 # the test suite, a 200-seed differential fuzz smoke, a table6_3 smoke
 # run twice — the second pass must be served entirely from the warm
-# _spd_cache/ — and a telemetry smoke that lints the trace and JSON
-# report output with the in-repo JSON reader.
+# _spd_cache/ — a telemetry smoke that lints the trace and JSON
+# report output with the in-repo JSON reader, and a translation-
+# validation smoke that certifies every SpD application on the paper
+# grid with the symbolic equivalence checker.
 
 DUNE ?= dune
 SMOKE_DIR ?= /tmp
 
 .PHONY: all check test bench bench-json fuzz-smoke telemetry-smoke \
 	bench-diff-smoke perf-smoke serve-smoke chaos-smoke obs-smoke \
-	golden-promote clean
+	validate-smoke golden-promote clean
 
 all:
 	$(DUNE) build
@@ -100,16 +102,28 @@ chaos-smoke:
 # under a mixed RPC burst.  Asserts rid echoing on every envelope,
 # exact per-method latency histogram counts with a sane p95, a
 # monotone Prometheus exposition whose +Inf bucket equals _count, a
-# served `why` decision ledger byte-identical to the `spd why` CLI
-# document, one `spd top` frame, and a structured log + trace profile
-# that agree with the responses; then lints the spd-log/1 lines, the
-# trace, the saved envelope and the spd-decisions/1 ledger with the
-# in-repo reader.
+# served `why` decision ledger and `validate` verdict ledger
+# byte-identical to the `spd why` / `spd validate` CLI documents, one
+# `spd top` frame, and a structured log + trace profile that agree
+# with the responses; then lints the spd-log/1 lines, the trace, the
+# saved envelope and the spd-decisions/1 + spd-validate/1 ledgers with
+# the in-repo reader.
 obs-smoke:
 	$(DUNE) exec test/obs_smoke.exe -- $(SMOKE_DIR)
 	$(DUNE) exec test/json_lint.exe -- \
 	  $(SMOKE_DIR)/spd_obs_log.jsonl $(SMOKE_DIR)/spd_obs_trace.json \
-	  $(SMOKE_DIR)/spd_obs_envelope.json $(SMOKE_DIR)/spd_obs_why.json
+	  $(SMOKE_DIR)/spd_obs_envelope.json $(SMOKE_DIR)/spd_obs_why.json \
+	  $(SMOKE_DIR)/spd_obs_validate.json
+
+# Translation-validation smoke: certify the full paper grid with the
+# symbolic equivalence checker (`spd report --validate` exits 2 on any
+# refuted verdict or failed cell), then emit one per-workload
+# spd-validate/1 document and lint it against the schema.
+validate-smoke:
+	$(DUNE) exec bin/spd.exe -- report --validate --jobs 2
+	$(DUNE) exec bin/spd.exe -- validate matmul300 --format json \
+	  > $(SMOKE_DIR)/spd_validate.json
+	$(DUNE) exec test/json_lint.exe -- $(SMOKE_DIR)/spd_validate.json
 
 # Regenerate the golden-schedule corpus under test/golden/ after an
 # intentional scheduler or DDG change; review the grid diff and commit.
@@ -127,6 +141,7 @@ check: all
 	$(MAKE) serve-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) obs-smoke
+	$(MAKE) validate-smoke
 
 bench:
 	$(DUNE) exec bench/main.exe -- all --timings

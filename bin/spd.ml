@@ -9,6 +9,8 @@
     spd explain WORKLOAD [--fn F] [--tree T]            occupancy grids + critical paths
     spd why     WORKLOAD [--fn F] [--tree T]            the heuristic's decision ledger
                 [--format pretty|json|csv]
+    spd validate WORKLOAD [--fn F] [--tree T]           translation-validate the SpD transform
+                [--format pretty|json|csv]
     spd cache   stats [--dir _spd_cache] [--json]       on-disk result cache statistics
     spd report  [ARTEFACT] [--jobs N] [--no-cache]      regenerate the paper's tables/figures
                 [--trace FILE] [--format pretty|json|csv]
@@ -558,9 +560,26 @@ let bench_cmd =
 let report_cmd =
   let module Artefact = Spd_harness.Artefact in
   let module Trace = Spd_telemetry.Trace in
-  let run list_only name jobs no_cache timings retries fuel deadline widths
-      faults trace format =
+  let run list_only validate name jobs no_cache timings retries fuel
+      deadline widths faults trace format =
     if list_only then Artefact.pp_list Fmt.stdout ()
+    else if validate then begin
+      (* grid certification: translation-validate every SpD application
+         of the paper grid instead of rendering artefacts *)
+      let module Validation = Spd_harness.Validation in
+      let failed =
+        Trace.capture trace (fun () ->
+            Spd_harness.Experiment.with_session
+              (Spd_harness.Engine.Session.create ?jobs
+                 ~disk_cache:(not no_cache) ?retries ?fuel ?deadline
+                 ?faults:(Option.map Fun.id faults) ())
+              (fun session ->
+                let c = Validation.certify session in
+                Fmt.pr "%a@." Validation.pp_certification c;
+                not (Validation.acceptable c)))
+      in
+      if failed then exit 2
+    end
     else begin
       (match widths with
       | None -> ()
@@ -614,6 +633,17 @@ let report_cmd =
       & info [ "timings" ]
           ~doc:"Append the engine's per-stage wall-clock report.")
   in
+  let validate_arg =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Certify the paper grid instead of rendering artefacts: \
+             translation-validate every SpD application (each built-in \
+             workload at 2- and 6-cycle memory) and print the verdict \
+             tally.  Exits 2 on any $(b,refuted) verdict or failed \
+             cell; $(b,unknown) verdicts are tolerated and counted.")
+  in
   let widths_conv =
     Arg.conv
       ( (fun s ->
@@ -633,9 +663,9 @@ let report_cmd =
     (Cmd.info "report"
        ~doc:"Regenerate the paper's evaluation tables and figures.")
     Term.(
-      const run $ list_arg $ name_arg $ jobs_arg $ no_cache_arg
-      $ timings_arg $ retries_arg $ fuel_arg $ deadline_arg $ widths_arg
-      $ faults_arg $ trace_arg
+      const run $ list_arg $ validate_arg $ name_arg $ jobs_arg
+      $ no_cache_arg $ timings_arg $ retries_arg $ fuel_arg
+      $ deadline_arg $ widths_arg $ faults_arg $ trace_arg
       $ format_arg
           ~doc:
             "Output format: $(b,pretty) (default), $(b,json) (one \
@@ -787,6 +817,80 @@ let why_cmd =
           ~doc:
             "Output format: $(b,pretty) (default), $(b,json) (one \
              spd-decisions/1 document) or $(b,csv).")
+
+let validate_cmd =
+  let module Validation = Spd_harness.Validation in
+  let run name fn tree mem_latency jobs no_cache format =
+    match name with
+    | None ->
+        Fmt.epr "spd validate: missing WORKLOAD (one of: %s)@."
+          (String.concat ", " (workload_names ()));
+        exit 1
+    | Some name ->
+        if not (List.mem name (workload_names ())) then begin
+          Fmt.epr "unknown workload %S (one of: %s)@." name
+            (String.concat ", " (workload_names ()));
+          exit 1
+        end;
+        handle_errors (fun () ->
+            Spd_harness.Experiment.with_session
+              (Spd_harness.Engine.Session.create ?jobs
+                 ~disk_cache:(not no_cache) ())
+              (fun session ->
+                match Validation.analyze ~mem_latency session name with
+                | exception Spd_harness.Engine.Cell_failed f ->
+                    Fmt.epr "%a@." Spd_harness.Engine.pp_failure f;
+                    exit 2
+                | t ->
+                    (match (fn, tree) with
+                    | None, None -> ()
+                    | _ ->
+                        if Validation.selected ?fn ?tree t = [] then begin
+                          Fmt.epr
+                            "no validation entry matches the --fn/--tree \
+                             filters@.";
+                          exit 1
+                        end);
+                    Validation.render ?fn ?tree format Fmt.stdout t))
+  in
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Workload name (the built-in benchmarks plus extras such \
+                as $(b,matmul300)).")
+  in
+  let fn_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "fn" ] ~docv:"NAME" ~doc:"Restrict to a function.")
+  in
+  let tree_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "t"; "tree" ] ~docv:"ID" ~doc:"Restrict to a tree id.")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Translation-validate a workload's SpD transform: for every \
+          applied speculation, symbolically prove the original and \
+          transformed trees equivalent (taken exit, live-out values, \
+          committed stores) on both sides of the speculated alias \
+          predicate.  Each application is $(b,proved), $(b,refuted) \
+          (with a concrete counterexample — the cell then fails and \
+          the exit status is 2) or $(b,unknown) (the proof hit a \
+          modelling limit; counted, never fatal).")
+    Term.(
+      const run $ name_arg $ fn_arg $ tree_arg $ mem_latency_arg
+      $ jobs_arg $ no_cache_arg
+      $ format_arg
+          ~doc:
+            "Output format: $(b,pretty) (default), $(b,json) (one \
+             spd-validate/1 document) or $(b,csv).")
 
 let cache_cmd =
   let module Json = Spd_telemetry.Json in
@@ -1155,7 +1259,8 @@ let call_cmd =
       & info [] ~docv:"METHOD"
           ~doc:
             "Daemon method: ping, health, query, report, explain, why, \
-             micro, run, metrics, metrics_prom, stats or shutdown.")
+             validate, micro, run, metrics, metrics_prom, stats or \
+             shutdown.")
   in
   let params_arg =
     Arg.(
@@ -1303,6 +1408,6 @@ let () =
        (Cmd.group info
           [
             compile_cmd; run_cmd; bench_cmd; explain_cmd; why_cmd;
-            report_cmd; serve_cmd; call_cmd; top_cmd; cache_cmd;
-            graph_cmd; list_cmd;
+            validate_cmd; report_cmd; serve_cmd; call_cmd; top_cmd;
+            cache_cmd; graph_cmd; list_cmd;
           ]))

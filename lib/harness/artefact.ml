@@ -60,6 +60,9 @@ let registry : t list =
     { name = "spd-decisions";
       title = "SpD opportunity statistics (heuristic decision ledger rollup)";
       tables = Report.spd_decisions_tables };
+    { name = "spd-validate";
+      title = "SpD translation validation (verdict tally per grid cell)";
+      tables = Report.spd_validate_tables };
     { name = "ext_dynamic"; title = "SpD vs hardware dynamic disambiguation";
       tables = Extensions.ext_dynamic_tables };
     { name = "ext_grafting"; title = "Tree grafting";

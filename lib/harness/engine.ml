@@ -30,8 +30,9 @@ module W = Spd_workloads
    invalidates every on-disk entry.  "2": checksummed entry format.
    "3": [Dynamics] entries; SpD applications carry their predicate
    register.  "4": [Decisions] entries; memory arcs carry their
-   ambiguity provenance. *)
-let cache_version = "4"
+   ambiguity provenance.  "5": [D_verdicts] entries — the
+   translation-validation ledger. *)
+let cache_version = "5"
 
 (* Engine-level metrics, mirrored alongside the per-session [Stats]
    counters so a metrics snapshot covers multi-session processes too. *)
@@ -296,6 +297,7 @@ module Query = struct
     | Spd_counts
     | Spd_dynamics
     | Spd_decisions
+    | Spd_verdicts
     | Speedup_over_naive of {
         kind : Pipeline.kind;
         width : Spd_machine.Descr.width;
@@ -317,6 +319,7 @@ module Query = struct
     | Spd_counts -> "spd-counts"
     | Spd_dynamics -> "spd-dynamics"
     | Spd_decisions -> "spd-decisions"
+    | Spd_verdicts -> "spd-validate"
     | Speedup_over_naive _ -> "speedup-over-naive"
     | Spec_over_static _ -> "spec-over-static"
     | Code_growth -> "code-growth"
@@ -324,7 +327,7 @@ module Query = struct
   let artefact_names =
     [
       "cycles"; "code-size"; "spd-counts"; "spd-dynamics"; "spd-decisions";
-      "speedup-over-naive"; "spec-over-static"; "code-growth";
+      "spd-validate"; "speedup-over-naive"; "spec-over-static"; "code-growth";
     ]
 
   let v ?fuel ?deadline ~bench ~latency artefact =
@@ -351,7 +354,9 @@ module Query = struct
       | Cycles { kind; width } ->
           Printf.sprintf "/%s/%s" (Pipeline.name kind) (width_tag width)
       | Code_size kind -> "/" ^ Pipeline.name kind
-      | Spd_counts | Spd_dynamics | Spd_decisions | Code_growth -> ""
+      | Spd_counts | Spd_dynamics | Spd_decisions | Spd_verdicts
+      | Code_growth ->
+          ""
       | Speedup_over_naive { kind; width } ->
           Printf.sprintf "/%s/%s" (Pipeline.name kind) (width_tag width)
       | Spec_over_static { width } -> "/" ^ width_tag width
@@ -376,6 +381,7 @@ type value =
   | Counts of int * int * int
   | Dynamics of Pipeline.dynamics
   | Decisions of Spd_core.Heuristic.decision list
+  | Verdicts of Spd_validate.Validate.report list
 
 let value_kind = function
   | Int _ -> "Int"
@@ -383,6 +389,7 @@ let value_kind = function
   | Counts _ -> "Counts"
   | Dynamics _ -> "Dynamics"
   | Decisions _ -> "Decisions"
+  | Verdicts _ -> "Verdicts"
 
 let project what f : value outcome -> _ outcome = function
   | Failed fl -> Failed fl
@@ -402,6 +409,9 @@ let to_dynamics o =
 
 let to_decisions o =
   project "decisions" (function Decisions d -> Some d | _ -> None) o
+
+let to_verdicts o =
+  project "verdicts" (function Verdicts v -> Some v | _ -> None) o
 
 (* ------------------------------------------------------------------ *)
 
@@ -466,6 +476,7 @@ module Session = struct
     | D_summary of { code_size : int; counts : int * int * int }
     | D_dynamics of Pipeline.dynamics
     | D_decisions of Spd_core.Heuristic.decision list
+    | D_verdicts of Spd_validate.Validate.report list
 
   type t = {
     jobs : int;
@@ -481,6 +492,7 @@ module Session = struct
     summary_memo : (key, (int * (int * int * int)) outcome) Memo.t;
     dynamics_memo : (key, Pipeline.dynamics outcome) Memo.t;
     decisions_memo : (key, Spd_core.Heuristic.decision list outcome) Memo.t;
+    verdicts_memo : (key, Spd_validate.Validate.report list outcome) Memo.t;
     stats_mu : Mutex.t;
     mutable lowerings : int;
     mutable preparations : int;
@@ -519,6 +531,12 @@ module Session = struct
       M.observe (List.assoc stage (Lazy.force m_stage_seconds)) dt;
       match user_timer with Some f -> f stage dt | None -> ()
     in
+    (* the session's checker-raise fault fires ahead of any user hook *)
+    let user_checker_fault = config.Pipeline.Config.checker_fault in
+    let checker_fault () =
+      Faults.checker_raise faults;
+      match user_checker_fault with Some f -> f () | None -> ()
+    in
     (* an armed fuel fault is the tightest budget; otherwise the session
        budget; otherwise whatever the user config says *)
     let fuel =
@@ -539,7 +557,9 @@ module Session = struct
       retries = max 1 retries;
       deadline;
       faults;
-      config = { config with timer = Some timer; fuel; deadline };
+      config =
+        { config with timer = Some timer; fuel; deadline;
+          checker_fault = Some checker_fault };
       cache_dir = (if disk_cache then try_prepare_dir cache_dir else None);
       pool = Pool.create ~size:jobs;
       lowered_memo = Memo.create 16;
@@ -548,6 +568,7 @@ module Session = struct
       summary_memo = Memo.create 64;
       dynamics_memo = Memo.create 64;
       decisions_memo = Memo.create 64;
+      verdicts_memo = Memo.create 64;
       stats_mu;
       lowerings = 0;
       preparations = 0;
@@ -924,6 +945,32 @@ module Session = struct
                 disk_write t payload (D_decisions p.Pipeline.decisions);
                 p.Pipeline.decisions))
 
+  (* the translation-validation ledger of a cell's SPEC applications;
+     prepared under its own [validate = true] configuration.  Validation
+     is excluded from the config fingerprint (it never changes the
+     prepared program), so the ledger is addressed by the shared cell
+     payload plus its own suffix; the preparation itself is charged
+     separately from [prepared_cell]'s, because a raising verdict must
+     fail only this cell. *)
+  let verdicts_cell t (k : key) =
+    Memo.get t.verdicts_memo k (fun () ->
+        protected t ~deadline:(eff_deadline t k)
+          ~key:(cell_key k ^ "/verdicts" ^ budget_tag k)
+          (fun () ->
+            let payload = cell_payload t k ^ "|verdicts" in
+            match disk_read t payload with
+            | Some (D_verdicts vs) -> vs
+            | _ ->
+                let lowered = lowered t k.bench in
+                bump t (fun t -> t.preparations <- t.preparations + 1);
+                mark m_preparations;
+                let config =
+                  { (config_for t k) with Pipeline.Config.validate = true }
+                in
+                let p = Pipeline.prepare ~config k.kind lowered in
+                disk_write t payload (D_verdicts p.Pipeline.verdicts);
+                p.Pipeline.verdicts))
+
   let map_outcome f = function Ok v -> Ok (f v) | Failed f -> Failed f
 
   let pair_outcome a b =
@@ -964,6 +1011,10 @@ module Session = struct
         map_outcome
           (fun ds -> Decisions ds)
           (decisions_cell t (k Pipeline.Spec))
+    | Query.Spd_verdicts ->
+        map_outcome
+          (fun vs -> Verdicts vs)
+          (verdicts_cell t (k Pipeline.Spec))
     | Query.Speedup_over_naive { kind; width } ->
         map_outcome
           (fun (base, this) -> Float (Pipeline.speedup ~base ~this))
@@ -1004,6 +1055,9 @@ module Session = struct
 
   let spd_decisions t ~bench ~latency =
     get (to_decisions (shim t ~bench ~latency Query.Spd_decisions))
+
+  let spd_verdicts t ~bench ~latency =
+    get (to_verdicts (shim t ~bench ~latency Query.Spd_verdicts))
 
   let speedup_over_naive t ~bench ~latency kind ~width =
     get

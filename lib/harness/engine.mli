@@ -79,6 +79,9 @@ module Query : sig
         (** run-time alias/no-alias commit counts of the SPEC pipeline *)
     | Spd_decisions
         (** the guidance heuristic's full decision ledger (SPEC) *)
+    | Spd_verdicts
+        (** per-application translation-validation ledger of the SPEC
+            pipeline (disk-cacheable) *)
     | Speedup_over_naive of {
         kind : Pipeline.kind;
         width : Spd_machine.Descr.width;
@@ -106,7 +109,7 @@ module Query : sig
     bench:string -> latency:int -> artefact -> t
 
   (** Stable lowercase artefact-kind name ([cycles], [code-size],
-      [spd-counts], [spd-dynamics], [spd-decisions],
+      [spd-counts], [spd-dynamics], [spd-decisions], [spd-validate],
       [speedup-over-naive], [spec-over-static], [code-growth]) — the
       wire spelling of the [spd serve] protocol. *)
   val artefact_name : artefact -> string
@@ -128,6 +131,7 @@ type value =
   | Counts of int * int * int  (** [Spd_counts]: RAW, WAR, WAW *)
   | Dynamics of Pipeline.dynamics  (** [Spd_dynamics] *)
   | Decisions of Spd_core.Heuristic.decision list  (** [Spd_decisions] *)
+  | Verdicts of Spd_validate.Validate.report list  (** [Spd_verdicts] *)
 
 (** Projections out of a {!value} outcome; raise [Invalid_argument]
     when the value kind does not match (a caller bug — [submit] always
@@ -139,6 +143,9 @@ val to_counts : value outcome -> (int * int * int) outcome
 val to_dynamics : value outcome -> Pipeline.dynamics outcome
 val to_decisions :
   value outcome -> Spd_core.Heuristic.decision list outcome
+
+val to_verdicts :
+  value outcome -> Spd_validate.Validate.report list outcome
 
 module Stats : sig
   type t = {
@@ -262,6 +269,9 @@ module Session : sig
 
   val spd_decisions :
     t -> bench:string -> latency:int -> Spd_core.Heuristic.decision list
+
+  val spd_verdicts :
+    t -> bench:string -> latency:int -> Spd_validate.Validate.report list
 
   val speedup_over_naive :
     t ->

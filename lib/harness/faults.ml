@@ -24,6 +24,9 @@
                               silent mid-frame (slow-loris)
     worker-raise:<n>          daemon: raise from the first n accepted
                               connections, exercising worker supervision
+    checker-raise:<n>         raise from the first n per-application
+                              transform-checker invocations, exercising
+                              per-cell containment of a raising checker
     v}
 
     [<key>] selects cells by prefix of the engine's cell key,
@@ -31,7 +34,8 @@
     the summary and every cycle measurement of that grid cell.  The
     [conn-*] counts are budgets read by the chaos harness's clients
     rather than hooks the engine consults; [worker-raise] is consulted
-    by the serve daemon's workers. *)
+    by the serve daemon's workers; [checker-raise] by the pipeline's
+    composed {!Spd_core.Heuristic.checker}. *)
 
 exception Injected of string
 
@@ -49,21 +53,23 @@ type t = {
   conn_garbage : int option;  (** chaos budget: garbage headers to send *)
   conn_stall : int option;  (** chaos budget: stalled connections *)
   worker : int option;  (** connections whose worker should raise *)
+  checker : int option;  (** checker invocations that should raise *)
   reads : int Atomic.t;  (** on-disk cache reads observed so far *)
   raises : int Atomic.t;  (** cell-raise faults fired so far *)
   worker_hits : int Atomic.t;  (** worker-raise faults fired so far *)
+  checker_hits : int Atomic.t;  (** checker-raise faults fired so far *)
 }
 
 let none =
   { cache_corrupt = None; cell = None; fuel = None; inflate = None;
     conn_torn = None; conn_garbage = None; conn_stall = None; worker = None;
-    reads = Atomic.make 0; raises = Atomic.make 0;
-    worker_hits = Atomic.make 0 }
+    checker = None; reads = Atomic.make 0; raises = Atomic.make 0;
+    worker_hits = Atomic.make 0; checker_hits = Atomic.make 0 }
 
 let is_none t =
   t.cache_corrupt = None && t.cell = None && t.fuel = None
   && t.inflate = None && t.conn_torn = None && t.conn_garbage = None
-  && t.conn_stall = None && t.worker = None
+  && t.conn_stall = None && t.worker = None && t.checker = None
 
 let fuel t = t.fuel
 
@@ -105,6 +111,13 @@ let worker_raise t =
   | Some times ->
       if Atomic.fetch_and_add t.worker_hits 1 < times then
         raise (Injected "worker-raise")
+
+let checker_raise t =
+  match t.checker with
+  | None -> ()
+  | Some times ->
+      if Atomic.fetch_and_add t.checker_hits 1 < times then
+        raise (Injected "checker-raise")
 
 (* ------------------------------------------------------------------ *)
 
@@ -167,6 +180,10 @@ let parse_one acc spec =
           Result.map
             (fun n -> { acc with worker = Some n })
             (parse_int "worker-raise" arg)
+      | "checker-raise" ->
+          Result.map
+            (fun n -> { acc with checker = Some n })
+            (parse_int "checker-raise" arg)
       | _ -> Error (Printf.sprintf "unknown fault %S" name))
 
 let parse s =
@@ -177,7 +194,7 @@ let parse s =
          Result.bind acc (fun t -> parse_one t (String.trim part)))
        (Ok
           { none with reads = Atomic.make 0; raises = Atomic.make 0;
-            worker_hits = Atomic.make 0 })
+            worker_hits = Atomic.make 0; checker_hits = Atomic.make 0 })
 
 let pp ppf t =
   let parts =
@@ -195,6 +212,7 @@ let pp ppf t =
         Option.map (Printf.sprintf "conn-garbage-header:%d") t.conn_garbage;
         Option.map (Printf.sprintf "conn-stall:%d") t.conn_stall;
         Option.map (Printf.sprintf "worker-raise:%d") t.worker;
+        Option.map (Printf.sprintf "checker-raise:%d") t.checker;
       ]
   in
   Fmt.string ppf

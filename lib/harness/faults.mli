@@ -23,6 +23,9 @@
                               silent mid-frame (slow-loris)
     worker-raise:<n>          daemon: raise from the first n accepted
                               connections, exercising worker supervision
+    checker-raise:<n>         raise from the first n per-application
+                              transform-checker invocations, exercising
+                              per-cell containment of a raising checker
     v}
 
     [<key>] selects cells by prefix of the engine's cell key,
@@ -30,7 +33,8 @@
     the summary and every cycle measurement of that grid cell.  The
     [conn-*] counts are budgets for the chaos harness's synthetic
     clients; [worker-raise] is a hook the serve daemon's workers
-    consult once per accepted connection. *)
+    consult once per accepted connection; [checker-raise] is consulted
+    by the pipeline's composed per-application checker. *)
 
 (** Raised by {!cell_raise} / {!worker_raise} when an armed fault
     fires. *)
@@ -76,6 +80,16 @@ val inflate_cycles : t -> int -> int
     accepted connection; its worker supervisor must contain the raise
     and respawn the serving loop. *)
 val worker_raise : t -> unit
+
+(** [checker_raise t] raises {!Injected} while the armed [checker-raise]
+    fault still has hits left.  The engine wires it into
+    {!Pipeline.Config.checker_fault}, so it fires from inside the
+    per-application transform checker of a SPEC preparation — the
+    documented containment contract ({!Spd_core.Heuristic.run}) is that
+    such a raise propagates out of the preparation and the engine's
+    protected cell runner records it as that one cell's [Failed]
+    outcome, leaving sibling cells untouched. *)
+val checker_raise : t -> unit
 
 (** {1 Chaos-client budgets}
 

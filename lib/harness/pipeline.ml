@@ -53,6 +53,10 @@ let stage_index = function
 module Config = struct
   type t = {
     check : bool;  (** verify observable equivalence with NAIVE *)
+    validate : bool;
+        (** translation-validate every SpD application symbolically: a
+            [Refuted] verdict is a hard error, and the prepared record
+            carries the full verdict ledger *)
     spd_params : Heuristic.params option;
         (** guidance-heuristic knobs (default: {!Heuristic.default_params}) *)
     graft : bool;  (** unroll loop trees before disambiguation (section 7) *)
@@ -64,20 +68,29 @@ module Config = struct
         (** wall-clock budget in seconds for every simulator run *)
     timer : (stage -> float -> unit) option;
         (** called with the elapsed seconds of every instrumented stage *)
+    checker_fault : (unit -> unit) option;
+        (** consulted at every per-application checker invocation; the
+            engine wires the session's [checker-raise] fault here *)
   }
 
   let default =
-    { check = true; spd_params = None; graft = false; mem_latency = 2;
-      fuel = None; deadline = None; timer = None }
+    { check = true; validate = false; spd_params = None; graft = false;
+      mem_latency = 2; fuel = None; deadline = None; timer = None;
+      checker_fault = None }
 
-  let v ?(check = true) ?spd_params ?(graft = false) ?fuel ?deadline ?timer
-      ?(mem_latency = 2) () =
-    { check; spd_params; graft; mem_latency; fuel; deadline; timer }
+  let v ?(check = true) ?(validate = false) ?spd_params ?(graft = false)
+      ?fuel ?deadline ?timer ?checker_fault ?(mem_latency = 2) () =
+    { check; validate; spd_params; graft; mem_latency; fuel; deadline;
+      timer; checker_fault }
 
   (* The canonical encoding of the semantic fields (everything except
-     [timer], [fuel] and [deadline] — the budgets can only turn a result
-     into a failure, never change a successfully computed value, so they
-     do not participate in cache addressing). *)
+     [timer], [checker_fault], [fuel] and [deadline] — the budgets can
+     only turn a result into a failure, never change a successfully
+     computed value, so they do not participate in cache addressing).
+     [validate] is likewise excluded: validation never changes the
+     prepared program, it can only fail the preparation, so validated
+     and unvalidated cells share their cached numbers; the verdict
+     ledger itself is cached under its own payload suffix. *)
   let fingerprint t =
     let params =
       match t.spd_params with
@@ -112,6 +125,9 @@ type prepared = {
       (** SpD applications performed (SPEC only) *)
   decisions : Heuristic.decision list;
       (** the heuristic's full decision ledger (SPEC only) *)
+  verdicts : Spd_validate.Validate.report list;
+      (** per-application translation-validation ledger, in application
+          order (SPEC with [config.validate] only) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -134,8 +150,24 @@ let heuristic_counters =
        c "applied",
        List.map (fun r -> (r, c ("rejected." ^ r))) rejection_labels ))
 
-(** Force registration of the [spd.heuristic.*] counters. *)
-let register_metrics () = ignore (Lazy.force heuristic_counters)
+let validate_counters =
+  lazy
+    (let c name = Spd_telemetry.Metrics.counter ("spd.validate." ^ name) in
+     (c "proved", c "refuted", c "unknown"))
+
+let observe_verdict (v : Spd_validate.Verdict.t) =
+  let proved, refuted, unknown = Lazy.force validate_counters in
+  Spd_telemetry.Metrics.incr
+    (match v with
+    | Spd_validate.Verdict.Proved -> proved
+    | Spd_validate.Verdict.Refuted _ -> refuted
+    | Spd_validate.Verdict.Unknown _ -> unknown)
+
+(** Force registration of the [spd.heuristic.*] and [spd.validate.*]
+    counters. *)
+let register_metrics () =
+  ignore (Lazy.force heuristic_counters);
+  ignore (Lazy.force validate_counters)
 
 (* the counter suffix for a rejection (metric names avoid ':') *)
 let rejection_label : Heuristic.verdict -> string option =
@@ -171,6 +203,16 @@ let profile_of ?fuel ?deadline (prog : Prog.t) : Spd_sim.Profile.t =
 
 exception Behaviour_mismatch of string
 
+(** Raised by a [config.validate] preparation when the symbolic
+    equivalence checker refutes an SpD application; the payload names
+    the application and renders the concrete counterexample. *)
+exception Validation_failed of string
+
+let () =
+  Printexc.register_printer (function
+    | Validation_failed msg -> Some ("Validation_failed: " ^ msg)
+    | _ -> None)
+
 (* The per-application transform checker installed when [config.check]
    holds: every accepted SpD application must leave a structurally valid
    tree that did not shrink (SpD only adds compensation code).  The
@@ -191,8 +233,8 @@ let transform_checker ~func:_ ~(before : Spd_ir.Tree.t)
     validated SpD output the same way. *)
 let prepare ?(config = Config.default) (kind : kind) (lowered : Prog.t) :
     prepared =
-  let { Config.check; spd_params; graft; mem_latency; fuel; deadline;
-        timer = _ } =
+  let { Config.check; validate; spd_params; graft; mem_latency; fuel;
+        deadline; timer = _; checker_fault } =
     config
   in
   (* scalar cleanup every pipeline gets: store-to-load forwarding and
@@ -202,28 +244,73 @@ let prepare ?(config = Config.default) (kind : kind) (lowered : Prog.t) :
      more ambiguous pairs to SpD *)
   let cleaned = if graft then Spd_analysis.Unroll.run cleaned else cleaned in
   let naive = Memarcs.annotate cleaned in
-  let prog, applications, decisions =
+  let prog, applications, decisions, verdicts =
     match kind with
-    | Naive -> (naive, [], [])
-    | Static -> (time config Spd (fun () -> Static.run naive), [], [])
+    | Naive -> (naive, [], [], [])
+    | Static -> (time config Spd (fun () -> Static.run naive), [], [], [])
     | Spec ->
         let static = time config Spd (fun () -> Static.run naive) in
         let profile =
           time config Profile (fun () -> profile_of ?fuel ?deadline static)
         in
-        let checker = if check then Some transform_checker else None in
+        (* The composed per-application checker: the armed checker fault
+           (if any), the structural checks, then the symbolic
+           equivalence proof.  [Heuristic.run] calls it sequentially
+           within this preparation, so a plain accumulator is safe. *)
+        let acc = ref [] in
+        let fire_fault () =
+          match checker_fault with Some f -> f () | None -> ()
+        in
+        let composed ~func ~before app after =
+          fire_fault ();
+          if check then transform_checker ~func ~before app after;
+          if validate then begin
+            let r =
+              Spd_validate.Validate.check_application ~func ~before app after
+            in
+            observe_verdict r.Spd_validate.Validate.verdict;
+            (match r.Spd_validate.Validate.verdict with
+            | Spd_validate.Verdict.Refuted cx ->
+                raise
+                  (Validation_failed
+                     (Fmt.str
+                        "SpD application on tree %d arc #%d->#%d refuted: \
+                         %s (seed %d)"
+                        app.Heuristic.tree_id
+                        (fst app.Heuristic.arc)
+                        (snd app.Heuristic.arc)
+                        cx.Spd_validate.Verdict.detail
+                        cx.Spd_validate.Verdict.seed))
+            | Spd_validate.Verdict.Unknown reason ->
+                Spd_telemetry.Log.warn "pipeline.validate.unknown"
+                  [
+                    ("func", Spd_telemetry.Json.String func);
+                    ( "tree",
+                      Spd_telemetry.Json.Int app.Heuristic.tree_id );
+                    ( "reason",
+                      Spd_telemetry.Json.String
+                        (Spd_validate.Verdict.reason_text reason) );
+                  ]
+            | Spd_validate.Verdict.Proved -> ());
+            acc := r :: !acc
+          end
+        in
+        let checker =
+          if check || validate || checker_fault <> None then Some composed
+          else None
+        in
         let prog, apps, ds =
           time config Spd (fun () ->
               Heuristic.run ~profile ?checker ?params:spd_params ~mem_latency
                 static)
         in
         observe_decisions ds;
-        (prog, apps, ds)
+        (prog, apps, ds, List.rev !acc)
     | Perfect ->
         let profile =
           time config Profile (fun () -> profile_of ?fuel ?deadline naive)
         in
-        (time config Spd (fun () -> Static.perfect ~profile naive), [], [])
+        (time config Spd (fun () -> Static.perfect ~profile naive), [], [], [])
   in
   Prog.validate prog;
   if check then begin
@@ -234,7 +321,7 @@ let prepare ?(config = Config.default) (kind : kind) (lowered : Prog.t) :
         (Behaviour_mismatch
            (Fmt.str "pipeline %s changed program behaviour" (name kind)))
   end;
-  { kind; config; mem_latency; prog; applications; decisions }
+  { kind; config; mem_latency; prog; applications; decisions; verdicts }
 
 (** Cycle count of a prepared program on [width] functional units. *)
 let cycles (p : prepared) ~(width : Spd_machine.Descr.width) : int =

@@ -39,6 +39,12 @@ val stage_index : stage -> int
 module Config : sig
   type t = {
     check : bool;  (** verify observable equivalence with NAIVE *)
+    validate : bool;
+        (** translation-validate every SpD application symbolically
+            ({!Spd_validate.Validate.check_application}): a [Refuted]
+            verdict raises {!Validation_failed}, an [Unknown] verdict is
+            counted and logged, and the prepared record carries the full
+            verdict ledger *)
     spd_params : Heuristic.params option;
         (** guidance-heuristic knobs (default: {!Heuristic.default_params}) *)
     graft : bool;  (** unroll loop trees before disambiguation (section 7) *)
@@ -50,29 +56,37 @@ module Config : sig
         (** wall-clock budget in seconds for every simulator run *)
     timer : (stage -> float -> unit) option;
         (** called with the elapsed seconds of every instrumented stage *)
+    checker_fault : (unit -> unit) option;
+        (** consulted at every per-application checker invocation; the
+            engine wires the session's [checker-raise] fault here *)
   }
 
-  (** [check = true], no parameter overrides, no grafting, 2-cycle
-      memory, no budgets, no timer. *)
+  (** [check = true], no validation, no parameter overrides, no
+      grafting, 2-cycle memory, no budgets, no timer, no checker
+      fault. *)
   val default : t
 
   (** Build a configuration naming only the fields that differ from
       {!default}. *)
   val v :
     ?check:bool ->
+    ?validate:bool ->
     ?spd_params:Heuristic.params ->
     ?graft:bool ->
     ?fuel:int ->
     ?deadline:float ->
     ?timer:(stage -> float -> unit) ->
+    ?checker_fault:(unit -> unit) ->
     ?mem_latency:int ->
     unit -> t
 
   (** Canonical encoding of the semantic fields (everything except
-      [timer], [fuel] and [deadline] — budgets can only turn a result
-      into a failure, never change a successfully computed value); two
-      configurations with equal fingerprints prepare identical
-      programs.  Used by {!Engine}'s on-disk cache keys. *)
+      [timer], [checker_fault], [fuel] and [deadline] — budgets can only
+      turn a result into a failure, never change a successfully computed
+      value); [validate] is likewise excluded, since validation never
+      changes the prepared program.  Two configurations with equal
+      fingerprints prepare identical programs.  Used by {!Engine}'s
+      on-disk cache keys. *)
   val fingerprint : t -> string
 end
 
@@ -84,12 +98,15 @@ type prepared = {
   applications : Heuristic.application list;
   decisions : Heuristic.decision list;
       (** the heuristic's full decision ledger (SPEC only) *)
+  verdicts : Spd_validate.Validate.report list;
+      (** per-application translation-validation ledger, in application
+          order (SPEC with [config.validate] only) *)
 }
 
 (** Force registration of the [spd.heuristic.{candidates,applied,
-    rejected.<reason>}] counters, so a metrics snapshot carries them
-    before any SPEC pipeline fires them ([spd serve] calls this at
-    startup). *)
+    rejected.<reason>}] and [spd.validate.{proved,refuted,unknown}]
+    counters, so a metrics snapshot carries them before any SPEC
+    pipeline fires them ([spd serve] calls this at startup). *)
 val register_metrics : unit -> unit
 
 (** Profile a program: run it once with instrumentation. *)
@@ -97,6 +114,13 @@ val profile_of :
   ?fuel:int -> ?deadline:float -> Spd_ir.Prog.t -> Spd_sim.Profile.t
 
 exception Behaviour_mismatch of string
+
+(** Raised by a [config.validate] preparation when the symbolic
+    equivalence checker refutes an SpD application; the payload names
+    the application and renders the concrete counterexample.  Like any
+    checker exception, it propagates out of {!prepare} and the engine's
+    protected cell runner contains it to the affected grid cell. *)
+exception Validation_failed of string
 
 (** Build pipeline [kind] from a lowered program (no arcs yet) under
     [config] (default {!Config.default}).  [config.check] verifies

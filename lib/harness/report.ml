@@ -491,6 +491,48 @@ let spd_decisions_tables s =
   in
   List.concat_map (fun latency -> [ summary latency; histogram latency ]) latencies
 
+(** Translation-validation rollup: the verdict tally per paper grid
+    cell.  Wall-clock columns are deliberately absent, so the table is
+    a pure function of the grid (the per-application ledger, with
+    timings, is [spd validate]'s document). *)
+let spd_validate_tables s =
+  let module V = Spd_validate.Validate in
+  let grid = product (benches ()) latencies in
+  warm s
+    (fun (bench, latency) -> ignore (submit s ~bench ~latency Query.Spd_verdicts))
+    grid;
+  let rows =
+    List.map
+      (fun (bench, latency) ->
+        let label = Printf.sprintf "%s/%d" bench latency in
+        match
+          Engine.to_verdicts (submit s ~bench ~latency Query.Spd_verdicts)
+        with
+        | Engine.Ok rs ->
+            let p, r, u = V.tally rs in
+            Table.row label
+              [
+                Table.Int (List.length rs); Table.Int p; Table.Int r;
+                Table.Int u;
+              ]
+        | Engine.Failed _ ->
+            Table.row label [ Table.Na; Table.Na; Table.Na; Table.Na ])
+      grid
+  in
+  [
+    Table.v ~id:"validate.grid"
+      ~title:"SpD translation validation (verdict tally per grid cell)"
+      ~notes:
+        [
+          "every SpD application symbolically proved equivalent to its";
+          "original tree; n/a marks a cell whose validated preparation";
+          "failed (see the failure appendix)";
+        ]
+      ~label_header:"cell"
+      ~columns:[ "applications"; "proved"; "refuted"; "unknown" ]
+      rows;
+  ]
+
 (** Engine report: per-stage wall clock and the session's counters.
     Seconds are wall-clock, hence run-dependent; the counter table is
     deterministic (and excludes the job count, see {!Engine.Stats}). *)

@@ -56,6 +56,11 @@ val spd_dynamics_tables : Engine.Session.t -> Table.t list
     rate, gain distribution and rejection-reason histogram. *)
 val spd_decisions_tables : Engine.Session.t -> Table.t list
 
+(** Translation-validation rollup: verdict tallies per paper grid cell
+    (every built-in workload × 2- and 6-cycle memory).  Deterministic —
+    no wall-clock columns. *)
+val spd_validate_tables : Engine.Session.t -> Table.t list
+
 (** Engine per-stage wall clock and session counters.  Seconds are
     run-dependent; the counter table is deterministic. *)
 val timings_tables : Engine.Session.t -> Table.t list

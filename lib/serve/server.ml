@@ -42,6 +42,7 @@ module Pipeline = Spd_harness.Pipeline
 module Artefact = Spd_harness.Artefact
 module Explain = Spd_harness.Explain
 module Why = Spd_harness.Why
+module Validation = Spd_harness.Validation
 module Microbench = Spd_harness.Microbench
 module Faults = Spd_harness.Faults
 
@@ -49,8 +50,8 @@ let version = "1.1"
 
 let methods =
   [
-    "ping"; "health"; "query"; "report"; "explain"; "why"; "micro"; "run";
-    "metrics"; "metrics_prom"; "stats"; "shutdown";
+    "ping"; "health"; "query"; "report"; "explain"; "why"; "validate";
+    "micro"; "run"; "metrics"; "metrics_prom"; "stats"; "shutdown";
   ]
 
 let m_requests = lazy (Metrics.counter "spd.serve.requests")
@@ -266,6 +267,7 @@ let query_of_params p =
     | "spd-counts" -> Query.Spd_counts
     | "spd-dynamics" -> Query.Spd_dynamics
     | "spd-decisions" -> Query.Spd_decisions
+    | "spd-validate" -> Query.Spd_verdicts
     | "speedup-over-naive" ->
         Query.Speedup_over_naive
           {
@@ -326,6 +328,21 @@ let value_json : Engine.value -> Json.t = function
                    :: fields)
              | j -> j)
            ds)
+  | Engine.Verdicts rs ->
+      (* ledger entries with their tree coordinates inlined; the
+         [validate] method serves the same entries inside the
+         spd-validate/1 document *)
+      Json.List
+        (List.map
+           (fun (r : Spd_validate.Validate.report) ->
+             match Validation.report_json r with
+             | Json.Obj fields ->
+                 Json.Obj
+                   (("func", Json.String r.Spd_validate.Validate.func)
+                   :: ("tree", Json.Int r.Spd_validate.Validate.tree_id)
+                   :: fields)
+             | j -> j)
+           rs)
 
 (* ------------------------------------------------------------------ *)
 (* Method dispatch.  Every result is either one of the repository's
@@ -448,6 +465,22 @@ let dispatch t meth params : Json.t =
       if (fn <> None || tree <> None) && Why.selected ?fn ?tree w = [] then
         bad "no ledger entry of %S matches the fn/tree filter" workload;
       Why.to_json ?fn ?tree w
+  | "validate" ->
+      let workload = req_string "workload" p in
+      require_workload workload;
+      let mem_latency =
+        Option.value ~default:2 (opt_pos_int "mem_latency" p)
+      in
+      let fn = opt_string "fn" p in
+      let tree = opt_nat "tree" p in
+      let v = Validation.analyze ~mem_latency t.session workload in
+      (* an empty ledger (no SpD application) is a valid answer; only a
+         filter that matches nothing is a caller error *)
+      if
+        (fn <> None || tree <> None)
+        && Validation.selected ?fn ?tree v = []
+      then bad "no validation entry of %S matches the fn/tree filter" workload;
+      Validation.to_json ?fn ?tree v
   | "micro" ->
       let workloads = opt_string_list "workloads" p in
       Option.iter (List.iter require_workload) workloads;

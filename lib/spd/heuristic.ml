@@ -34,9 +34,13 @@ type application = {
 }
 
 (** Per-application verification hook: called with the tree before the
-    transform, the accepted application and the transformed tree.  A
-    checker that raises aborts the whole run — speculative transforms
-    must be machine-checked, not assumed correct. *)
+    transform, the accepted application and the transformed tree —
+    speculative transforms must be machine-checked, not assumed
+    correct.  An exception raised by a checker propagates out of
+    {!run}; callers decide the blast radius.  In the harness that is
+    the experiment engine's protected cell runner: the affected grid
+    cell alone records a [Failed] outcome (rendered n/a, CLI exit 2)
+    while sibling cells are unaffected. *)
 type checker =
   func:string -> before:Tree.t -> application -> Tree.t -> unit
 

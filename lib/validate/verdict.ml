@@ -1,0 +1,51 @@
+(** Structured verdicts of the per-application translation validator.
+
+    A verdict is deliberately three-valued.  [Proved] is a claim: every
+    explored symbolic path of the original and the transformed tree
+    agreed on the taken exit, its live-out values and the committed
+    store state.  [Refuted] is also a claim, and a stronger one: it
+    always carries a concrete counterexample that was *re-executed* and
+    observed to diverge, so a refutation can never be an artefact of
+    symbolic imprecision.  Everything the checker cannot settle either
+    way — case-split overflow, a construct outside the affine fragment,
+    or a symbolic mismatch for which no concrete witness was found —
+    is [Unknown], never silently promoted to either side. *)
+
+open Spd_ir
+
+type reason =
+  | Split_overflow of int
+      (** exploration exceeded the path budget; the argument is the
+          number of paths explored before giving up *)
+  | Unsupported of string
+      (** the trees use a construct the symbolic evaluator does not
+          model (e.g. a constant division by zero under folding) *)
+  | No_witness of string
+      (** a symbolic mismatch was found but no concrete valuation
+          reproduced it; the payload describes the symbolic mismatch *)
+
+type counterexample = {
+  seed : int;  (** valuation seed; replays deterministically *)
+  inputs : (Reg.t * Value.t) list;  (** concrete tree parameter values *)
+  detail : string;  (** which observable diverged, rendered *)
+}
+
+type t = Proved | Refuted of counterexample | Unknown of reason
+
+(** Stable machine-readable names, used by the [spd-validate/1]
+    schema and the [spd.validate.*] counters. *)
+let name = function
+  | Proved -> "proved"
+  | Refuted _ -> "refuted"
+  | Unknown _ -> "unknown"
+
+let reason_text = function
+  | Split_overflow n -> Printf.sprintf "case-split overflow after %d paths" n
+  | Unsupported what -> Printf.sprintf "unsupported construct: %s" what
+  | No_witness what -> Printf.sprintf "symbolic mismatch without witness: %s" what
+
+let pp ppf = function
+  | Proved -> Fmt.string ppf "proved"
+  | Refuted cex ->
+      Fmt.pf ppf "refuted (seed %d: %s)" cex.seed cex.detail
+  | Unknown r -> Fmt.pf ppf "unknown (%s)" (reason_text r)

@@ -1,0 +1,37 @@
+(** Structured verdicts of the per-application translation validator.
+
+    [Proved] means every explored symbolic path of the original and the
+    transformed tree agreed on the taken exit, its live-out values and
+    the committed store state.  [Refuted] always carries a concrete
+    counterexample that was re-executed and observed to diverge.
+    Anything the checker cannot settle either way is [Unknown]. *)
+
+type reason =
+  | Split_overflow of int
+      (** exploration exceeded the path budget; the argument is the
+          number of paths explored before giving up *)
+  | Unsupported of string
+      (** the trees use a construct the symbolic evaluator does not
+          model (e.g. a constant division by zero under folding) *)
+  | No_witness of string
+      (** a symbolic mismatch was found but no concrete valuation
+          reproduced it; the payload describes the symbolic mismatch *)
+
+type counterexample = {
+  seed : int;  (** valuation seed; replays deterministically *)
+  inputs : (Spd_ir.Reg.t * Spd_ir.Value.t) list;
+      (** concrete tree parameter values *)
+  detail : string;  (** which observable diverged, rendered *)
+}
+
+type t = Proved | Refuted of counterexample | Unknown of reason
+
+(** Stable machine-readable name (["proved"], ["refuted"],
+    ["unknown"]), used by the [spd-validate/1] schema and the
+    [spd.validate.*] counters. *)
+val name : t -> string
+
+(** One-line human rendering of an [Unknown] reason. *)
+val reason_text : reason -> string
+
+val pp : Format.formatter -> t -> unit

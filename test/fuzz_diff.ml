@@ -15,6 +15,12 @@
     (cache-disabled) run on results, cycle counts, profile counters and
     SpD region dynamics.
 
+    Finally the symbolic translation validator is run as a cross-oracle
+    against the concrete differential stages: a transform every
+    concrete run certified must not be [Refuted] symbolically — the
+    two oracles fail independently, so a divergence flags a bug in
+    whichever one is wrong.
+
     On a mismatch (or a crash in any stage) the failing case is
     greedily shrunk to a minimal spec, and the seed, case number and
     minimized source are printed so the failure replays exactly with
@@ -171,20 +177,43 @@ let check (spec : Gen_prog.spec) : (unit, mismatch) result =
         let r = Interp.run ~timing ~fuel:!case_fuel prepared.prog in
         (r.ret, r.output))
   in
-  if got <> expected then
+  let* () =
+    if got <> expected then
+      Error
+        {
+          stage = "diff (SpD vs plain)";
+          detail =
+            Fmt.str "plain: %a@.SpD:   %a" pp_observed expected pp_observed
+              got;
+        }
+    else if timed <> expected then
+      Error
+        {
+          stage = "diff (scheduled vs plain)";
+          detail =
+            Fmt.str "plain:     %a@.scheduled: %a" pp_observed expected
+              pp_observed timed;
+        }
+    else Ok ()
+  in
+  (* Cross-oracle: every concrete stage above just certified this
+     transform, so the symbolic validator must not refute it — a
+     [Validation_failed] here means the validator refuted a passing
+     program ([Unknown] verdicts are tolerated; [Proved] agreement with
+     concrete runs is what the earlier diff stages established). *)
+  let* p =
+    stage "validate-oracle (symbolic vs concrete)" (fun () ->
+        Pipeline.prepare
+          ~config:
+            (Pipeline.Config.v ~check:false ~validate:true ~fuel:!case_fuel ())
+          Pipeline.Spec lowered)
+  in
+  if List.length p.Pipeline.verdicts <> List.length p.Pipeline.applications
+  then
     Error
       {
-        stage = "diff (SpD vs plain)";
-        detail =
-          Fmt.str "plain: %a@.SpD:   %a" pp_observed expected pp_observed got;
-      }
-  else if timed <> expected then
-    Error
-      {
-        stage = "diff (scheduled vs plain)";
-        detail =
-          Fmt.str "plain:     %a@.scheduled: %a" pp_observed expected
-            pp_observed timed;
+        stage = "validate-oracle (symbolic vs concrete)";
+        detail = "validation ledger is missing applications";
       }
   else Ok ()
 

@@ -2,8 +2,8 @@
     JSON document, using the repository's own parser — the same one the
     test suite uses on trace and report output.  Documents carrying a
     known [schema] key ([spd-explain/1], [spd-bench-diff/1],
-    [spd-micro/1], [spd-decisions/1], [spd-cache/1]) are additionally
-    checked structurally.  Exits
+    [spd-micro/1], [spd-decisions/1], [spd-validate/1], [spd-cache/1])
+    are additionally checked structurally.  Exits
     nonzero on the first malformed file (see [make check]). *)
 
 module Json = Spd_telemetry.Json
@@ -203,6 +203,69 @@ let check_decisions doc =
   if snd counted <> applied then
     bad "per-tree applied decisions sum to %d, not %d" (snd counted) applied
 
+(* spd-validate/1: the translation-validation ledger — the top-level
+   tally and the per-application verdict list must agree, and each
+   verdict's evidence must match its shape (counterexample iff refuted,
+   reason iff unknown). *)
+let check_validate doc =
+  let (_ : string) = require_string "workload" doc in
+  let (_ : int) = require_int "mem_latency" doc in
+  let applications = require_int "applications" doc in
+  let proved = require_int "proved" doc in
+  let refuted = require_int "refuted" doc in
+  let unknown = require_int "unknown" doc in
+  if proved < 0 || refuted < 0 || unknown < 0 then bad "negative tally";
+  if applications <> proved + refuted + unknown then
+    bad "%d applications but %d proved + %d refuted + %d unknown"
+      applications proved refuted unknown;
+  let verdicts = require_list "verdicts" doc in
+  if List.length verdicts <> applications then
+    bad "tally claims %d applications but lists %d verdicts" applications
+      (List.length verdicts);
+  let counted =
+    List.fold_left
+      (fun (p, r, u) v ->
+        let (_ : string) = require_string "func" v in
+        let (_ : int) = require_int "tree" v in
+        let (_ : int) = require_int "src" v in
+        let (_ : int) = require_int "dst" v in
+        let kind = require_string "kind" v in
+        if not (List.mem kind [ "raw"; "war"; "waw" ]) then
+          bad "unknown dependence kind %S" kind;
+        List.iter
+          (fun key -> if require_int key v < 0 then bad "negative %S" key)
+          [ "paths"; "splits"; "terms" ];
+        List.iter
+          (fun key ->
+            if String.length (require_string key v) = 0 then
+              bad "empty %S" key)
+          [ "exit_digest"; "store_digest" ];
+        let verdict = require_string "verdict" v in
+        let reason = require_member "reason" v in
+        let cx = require_member "counterexample" v in
+        (match (verdict, reason, cx) with
+        | "proved", Json.Null, Json.Null -> ()
+        | "refuted", Json.Null, Json.Obj _ ->
+            if require_int "seed" cx < 0 then bad "negative witness seed";
+            (match require_member "inputs" cx with
+            | Json.Obj _ -> ()
+            | _ -> bad "counterexample \"inputs\" is not an object");
+            if String.length (require_string "detail" cx) = 0 then
+              bad "refutation without a detail"
+        | "unknown", Json.String s, Json.Null ->
+            if String.length s = 0 then bad "unknown verdict without a reason"
+        | _ ->
+            bad "verdict %S with mismatched reason/counterexample evidence"
+              verdict);
+        match verdict with
+        | "proved" -> (p + 1, r, u)
+        | "refuted" -> (p, r + 1, u)
+        | _ -> (p, r, u + 1))
+      (0, 0, 0) verdicts
+  in
+  if counted <> (proved, refuted, unknown) then
+    bad "verdict list tallies do not match the document's counters"
+
 (* spd-cache/1: the [spd cache stats --json] snapshot. *)
 let check_cache doc =
   let (_ : string) = require_string "dir" doc in
@@ -334,6 +397,7 @@ let check_schema doc =
   | Some "spd-bench-diff/1" -> check_bench_diff doc; Some "spd-bench-diff/1"
   | Some "spd-micro/1" -> check_micro doc; Some "spd-micro/1"
   | Some "spd-decisions/1" -> check_decisions doc; Some "spd-decisions/1"
+  | Some "spd-validate/1" -> check_validate doc; Some "spd-validate/1"
   | Some "spd-cache/1" -> check_cache doc; Some "spd-cache/1"
   | Some "spd-serve/1" -> check_serve doc; Some "spd-serve/1"
   | Some "spd-log/1" -> check_log_record doc; Some "spd-log/1"

@@ -10,6 +10,7 @@ let () =
       ("spd", Test_spd.tests);
       ("harness", Test_harness.tests);
       ("faults", Test_faults.tests);
+      ("validate", Test_validate.tests);
       ("serve", Test_serve.tests);
       ("workloads", Test_workloads.tests);
       ("telemetry", Test_telemetry.tests);

@@ -7,8 +7,9 @@
       issued, and their p95 is sane,
     - the Prometheus exposition round-trips: cumulative buckets are
       monotone and the [+Inf] bucket equals [_count],
-    - the served [why] decision ledger is byte-identical to the
-      [spd why --format json] CLI document,
+    - the served [why] decision ledger and the served [validate]
+      verdict ledger are byte-identical to the [spd why --format json]
+      and [spd validate --format json] CLI documents,
     - [spd top --count 1] renders one dashboard frame,
     - after shutdown, the [--log] file is valid spd-log/1 JSON-lines
       whose [rpc] records carry rids, and the [--trace] profile has an
@@ -244,6 +245,30 @@ let () =
   if served_why_s <> cli_why then
     die "served why differs from the CLI document:\n%s\nvs\n%s" served_why_s
       cli_why;
+
+  (* likewise the served [validate] verdict ledger: the spd-validate/1
+     document is a pure function of its inputs, so the daemon and the
+     CLI must emit identical bytes *)
+  let served_validate =
+    call_ok c "validate"
+      (Json.Obj
+         [ ("workload", Json.String "perm"); ("mem_latency", Json.Int 2) ])
+  in
+  let served_validate_s = Json.to_string served_validate in
+  write_file
+    (Filename.concat !smoke_dir "spd_obs_validate.json")
+    served_validate_s;
+  let cli_validate =
+    String.trim
+      (capture
+         [|
+           !spd; "validate"; "perm"; "--mem-latency"; "2"; "--no-cache";
+           "--format"; "json";
+         |])
+  in
+  if served_validate_s <> cli_validate then
+    die "served validate differs from the CLI document:\n%s\nvs\n%s"
+      served_validate_s cli_validate;
 
   (* a raw envelope, saved for json_lint: must echo a rid *)
   let envelope =

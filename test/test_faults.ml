@@ -64,6 +64,66 @@ let test_cell_raise_matching () =
   Faults.cell_raise f ~key:"adi/6/SPEC/summary";
   Faults.cell_raise f ~key:"fft/2/SPEC/summary" (* no match: no raise *)
 
+let test_checker_raise_budget () =
+  let f = parse_ok "checker-raise:2" in
+  check_bool "checker-raise arms the spec" false (Faults.is_none f);
+  let fired = ref 0 in
+  for _ = 1 to 5 do
+    match Faults.checker_raise f with
+    | () -> ()
+    | exception Faults.Injected _ -> incr fired
+  done;
+  check_int "fires exactly its budget" 2 !fired;
+  (* a no-fault spec never fires *)
+  Faults.checker_raise Faults.none;
+  List.iter
+    (fun bad ->
+      match Faults.parse bad with
+      | Ok _ -> Alcotest.failf "Faults.parse %S unexpectedly succeeded" bad
+      | Error _ -> ())
+    [ "checker-raise:"; "checker-raise:0"; "checker-raise:x" ]
+
+(* A raising per-application checker fails only the grid cell whose
+   preparation invoked it — the documented {!Spd_core.Heuristic.checker}
+   contract: the exception propagates out of [Heuristic.run] and the
+   engine's protected runner contains it. *)
+let test_checker_raise_contained () =
+  let faults = parse_ok "checker-raise:1" in
+  let s = Engine.Session.create ~jobs:1 ~faults () in
+  Fun.protect ~finally:(fun () -> Engine.Session.close s) @@ fun () ->
+  (match
+     Engine.Session.submit s
+       (Engine.Query.v ~bench:"moment" ~latency:2 Engine.Query.Spd_counts)
+   with
+  | Engine.Failed f ->
+      check_bool "failure key names the SPEC cell" true
+        (String.starts_with ~prefix:"moment/2/SPEC" f.Engine.key);
+      check_bool "failure is the injected fault" true
+        (match f.Engine.exn with
+        | Faults.Injected _ -> true
+        | _ -> false)
+  | Engine.Ok _ -> Alcotest.fail "expected Failed outcome");
+  (* the budget is spent: sibling cells run their checkers cleanly *)
+  ignore (Engine.Session.spd_counts s ~bench:"moment" ~latency:6);
+  check_int "only the faulted cell failed" 1
+    (List.length (Engine.Session.failures s))
+
+(* And through the report: the faulted cell renders n/a, the appendix
+   names the injection, every other cell keeps its value. *)
+let test_checker_raise_renders_na () =
+  let faults = parse_ok "checker-raise:1" in
+  Test_harness.with_session
+    (Engine.Session.create ~jobs:1 ~faults ())
+    (fun s ->
+      let table = Test_harness.render (H.Report.table6_3 s) in
+      let appendix = Test_harness.render (H.Report.failure_appendix s) in
+      check_bool "faulted table renders n/a" true
+        (Test_harness.contains table "n/a");
+      check_bool "appendix names the fault" true
+        (Test_harness.contains appendix "Fault injected");
+      check_int "exactly one cell failed" 1
+        (List.length (Engine.Session.failures s)))
+
 (* ------------------------------------------------------------------ *)
 (* A cell that raises once and then succeeds: with retries=2 the session
    must deliver the clean value and record the retry, not a failure. *)
@@ -244,6 +304,10 @@ let tests =
     case "faults: cell-raise key matching" test_cell_raise_matching;
     case "faults: chaos-client budgets" test_conn_faults_parse;
     case "faults: worker-raise budget" test_worker_raise_hook;
+    case "faults: checker-raise budget" test_checker_raise_budget;
+    case "engine: checker-raise contained to its cell"
+      test_checker_raise_contained;
+    case "report: checker-raise renders n/a" test_checker_raise_renders_na;
     case "engine: retry then succeed" test_retry_then_succeed;
     case "engine: contained cell failure" test_contained_failure;
     case "report: n/a cells and failure appendix" test_report_renders_na;
